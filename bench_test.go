@@ -1,0 +1,504 @@
+// Package breval's root benchmark suite regenerates every table and
+// figure of Prehn & Feldmann (IMC'21) on the calibrated full-scale
+// synthetic Internet (~8000 ASes) and reports the headline metrics
+// alongside the timings. Paper-vs-measured numbers are recorded in
+// EXPERIMENTS.md; run with
+//
+//	go test -bench=. -benchmem
+//
+// The expensive world construction and route propagation are shared
+// across benchmarks through a lazily-built fixture and excluded from
+// the timings.
+package breval
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+	"breval/internal/communities"
+	"breval/internal/core"
+	"breval/internal/inference"
+	"breval/internal/inference/asrank"
+	"breval/internal/inference/features"
+	"breval/internal/inference/gao"
+	"breval/internal/inference/problink"
+	"breval/internal/inference/toposcope"
+	"breval/internal/sampling"
+	"breval/internal/topogen"
+	"breval/internal/validation"
+	"breval/internal/wire"
+)
+
+var (
+	fixOnce sync.Once
+	fixArt  *core.Artifacts
+	fixErr  error
+)
+
+// fixture builds the full-scale artifacts once.
+func fixture(b *testing.B) *core.Artifacts {
+	b.Helper()
+	fixOnce.Do(func() {
+		fixArt, fixErr = core.Run(core.DefaultScenario(1))
+	})
+	if fixErr != nil {
+		b.Fatalf("fixture: %v", fixErr)
+	}
+	return fixArt
+}
+
+// ---- substrate benchmarks ----
+
+func BenchmarkWorldGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := topogen.Generate(topogen.DefaultConfig(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoutePropagation(b *testing.B) {
+	w, err := topogen.Generate(topogen.DefaultConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := bgp.NewSimulator(w.Graph)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps := sim.Propagate(w.ASNs, w.VPs)
+		if ps.Len() == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}
+
+func BenchmarkFeatureExtraction(b *testing.B) {
+	art := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := features.Compute(art.Paths)
+		if len(fs.Links) == 0 {
+			b.Fatal("no links")
+		}
+	}
+}
+
+func BenchmarkValidationExtraction(b *testing.B) {
+	art := fixture(b)
+	ex := communities.NewExtractor(art.World.Graph, art.World.Publishers, art.World.Strippers, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := ex.Extract(art.Paths)
+		if snap.Len() == 0 {
+			b.Fatal("no labels")
+		}
+	}
+}
+
+// BenchmarkLabelCleaning regenerates the §4.2 numbers (spurious,
+// ambiguous and sibling label counts).
+func BenchmarkLabelCleaning(b *testing.B) {
+	art := fixture(b)
+	var rep validation.CleanReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, rep = validation.Clean(art.RawValidation, art.World.Orgs, validation.Ignore)
+	}
+	b.ReportMetric(float64(rep.TransEntries), "trans_entries")
+	b.ReportMetric(float64(rep.ReservedEntries), "reserved_entries")
+	b.ReportMetric(float64(rep.MultiLabelEntries), "multilabel_entries")
+	b.ReportMetric(float64(rep.SiblingEntries), "sibling_entries")
+}
+
+// ---- inference benchmarks ----
+
+func benchInference(b *testing.B, algo inference.Algorithm) *inference.Result {
+	art := fixture(b)
+	var res *inference.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = algo.Infer(art.Features)
+	}
+	b.ReportMetric(float64(res.Len()), "links")
+	return res
+}
+
+func BenchmarkInferenceASRank(b *testing.B) {
+	benchInference(b, asrank.New(asrank.Options{}))
+}
+
+func BenchmarkInferenceProbLink(b *testing.B) {
+	benchInference(b, problink.New(problink.Options{}))
+}
+
+func BenchmarkInferenceTopoScope(b *testing.B) {
+	benchInference(b, toposcope.New(toposcope.Options{}))
+}
+
+func BenchmarkInferenceGao(b *testing.B) {
+	benchInference(b, gao.New(gao.Options{}))
+}
+
+// ---- figure benchmarks ----
+
+// BenchmarkFigure1RegionalImbalance regenerates Figure 1.
+func BenchmarkFigure1RegionalImbalance(b *testing.B) {
+	art := fixture(b)
+	var lCov, arCov float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, st := range art.Figure1() {
+			switch st.Class {
+			case "L°":
+				lCov = st.Coverage
+			case "AR°":
+				arCov = st.Coverage
+			}
+		}
+	}
+	b.ReportMetric(lCov, "L°_coverage")
+	b.ReportMetric(arCov, "AR°_coverage")
+}
+
+// BenchmarkFigure2TopologicalImbalance regenerates Figure 2.
+func BenchmarkFigure2TopologicalImbalance(b *testing.B) {
+	art := fixture(b)
+	var trCov, t1trCov float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, st := range art.Figure2() {
+			switch st.Class {
+			case "TR°":
+				trCov = st.Coverage
+			case "T1-TR":
+				t1trCov = st.Coverage
+			}
+		}
+	}
+	b.ReportMetric(trCov, "TR°_coverage")
+	b.ReportMetric(t1trCov, "T1-TR_coverage")
+}
+
+// BenchmarkFigure3TransitDegreeHeatmap regenerates Figure 3.
+func BenchmarkFigure3TransitDegreeHeatmap(b *testing.B) {
+	art := fixture(b)
+	var hp core.HeatmapPair
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hp = art.Figure3()
+	}
+	b.ReportMetric(hp.Inferred.CornerMass(1.0/3, 1.0/3), "inferred_corner")
+	b.ReportMetric(hp.Validated.CornerMass(1.0/3, 1.0/3), "validated_corner")
+}
+
+// BenchmarkFigures7to9AlternativeMetrics regenerates the appendix-B
+// heatmaps (customer cone, cone without VP-incident links, node
+// degree).
+func BenchmarkFigures7to9AlternativeMetrics(b *testing.B) {
+	art := fixture(b)
+	var pairs []core.HeatmapPair
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pairs = art.Figures7to9()
+	}
+	for _, hp := range pairs {
+		b.ReportMetric(hp.Inferred.CornerMass(1.0/3, 1.0/3)-hp.Validated.CornerMass(1.0/3, 1.0/3),
+			"corner_gap_"+hp.Name[:4])
+	}
+}
+
+// ---- table benchmarks ----
+
+func benchTable(b *testing.B, algo string) {
+	art := fixture(b)
+	if _, ok := art.Results[algo]; !ok {
+		b.Fatalf("no %s result", algo)
+	}
+	var tab core.Table
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err = art.TableFor(algo, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(tab.Total.PPVP, "total_ppv_p")
+	b.ReportMetric(tab.Total.MCC, "total_mcc")
+	for _, r := range tab.Rows {
+		if r.Class == "T1-TR" {
+			b.ReportMetric(r.Row.PPVP, "t1tr_ppv_p")
+			b.ReportMetric(r.Row.MCC, "t1tr_mcc")
+		}
+	}
+}
+
+// BenchmarkTable1ASRank regenerates Table 1.
+func BenchmarkTable1ASRank(b *testing.B) { benchTable(b, core.AlgoASRank) }
+
+// BenchmarkTable2ProbLink regenerates Table 2.
+func BenchmarkTable2ProbLink(b *testing.B) { benchTable(b, core.AlgoProbLink) }
+
+// BenchmarkTable3TopoScope regenerates Table 3.
+func BenchmarkTable3TopoScope(b *testing.B) { benchTable(b, core.AlgoTopoScope) }
+
+// ---- appendix benchmarks ----
+
+// BenchmarkFigures4to6SamplingRobustness regenerates the Appendix-A
+// sampling experiment on the T1-TR class.
+func BenchmarkFigures4to6SamplingRobustness(b *testing.B) {
+	art := fixture(b)
+	var ser sampling.Series
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ser, err = art.Figures4to6(core.AlgoASRank, "T1-TR", sampling.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sampling.TrendSlope(ser.Pcts, ser.PPVP.Median), "ppv_slope")
+	b.ReportMetric(sampling.TrendSlope(ser.Pcts, ser.MCC.Median), "mcc_slope")
+}
+
+// BenchmarkCaseStudyT1PartialTransit regenerates the §6.1 case study.
+func BenchmarkCaseStudyT1PartialTransit(b *testing.B) {
+	art := fixture(b)
+	var wrong, focus int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := art.CaseStudy(core.AlgoASRank)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wrong, focus = rep.WrongP2P, rep.FocusCount
+	}
+	b.ReportMetric(float64(wrong), "wrong_p2p")
+	b.ReportMetric(float64(focus), "focus_links")
+}
+
+// ---- ablation benchmarks (design choices DESIGN.md calls out) ----
+
+// BenchmarkAblationAmbiguousPolicy compares the three §4.2 multi-label
+// policies: the resulting P2P/P2C counts explain the differences
+// between the numbers ProbLink and TopoScope report.
+func BenchmarkAblationAmbiguousPolicy(b *testing.B) {
+	art := fixture(b)
+	counts := map[validation.AmbiguousPolicy][2]int{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pol := range []validation.AmbiguousPolicy{
+			validation.Ignore, validation.P2PIfFirst, validation.AlwaysP2C,
+		} {
+			snap, _ := validation.Clean(art.RawValidation, art.World.Orgs, pol)
+			counts[pol] = [2]int{snap.CountByType(asgraph.P2P), snap.CountByType(asgraph.P2C)}
+		}
+	}
+	b.ReportMetric(float64(counts[validation.P2PIfFirst][0]-counts[validation.AlwaysP2C][0]), "p2p_count_delta")
+}
+
+// BenchmarkAblationVPSetSize sweeps the vantage-point fraction: fewer
+// VPs mean fewer triplets and a worse ASRank — the visibility problem
+// §1 describes.
+func BenchmarkAblationVPSetSize(b *testing.B) {
+	art := fixture(b)
+	fractions := []float64{0.25, 0.5, 1.0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range fractions {
+			n := int(f * float64(len(art.World.VPs)))
+			if n < 1 {
+				n = 1
+			}
+			keep := make(map[asn.ASN]bool, n)
+			for _, v := range art.World.VPs[:n] {
+				keep[v] = true
+			}
+			sub := bgp.NewPathSet(art.Paths.Len(), art.Paths.Len()*4)
+			art.Paths.ForEach(func(p asgraph.Path) {
+				if keep[p.VantagePoint()] {
+					sub.Append(p)
+				}
+			})
+			fs := features.Compute(sub)
+			res := asrank.New(asrank.Options{}).Infer(fs)
+			if res.Len() == 0 {
+				b.Fatal("no inference")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationPublisherBias contrasts the biased publisher
+// population with an unbiased (uniform random, same size) one: with
+// uniform publishers the LACNIC coverage hole disappears.
+func BenchmarkAblationPublisherBias(b *testing.B) {
+	art := fixture(b)
+	nPub := len(art.World.Publishers)
+	rng := rand.New(rand.NewSource(99))
+	uniform := make(map[asn.ASN]bool, nPub)
+	for len(uniform) < nPub {
+		uniform[art.World.ASNs[rng.Intn(len(art.World.ASNs))]] = true
+	}
+	var lCov float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex := communities.NewExtractor(art.World.Graph, uniform, art.World.Strippers, nil)
+		snap := ex.Extract(art.Paths)
+		clean, _ := validation.Clean(snap, art.World.Orgs, validation.Ignore)
+		inL, valL := 0, 0
+		for l := range art.InferredLinks {
+			if cls, ok := art.RegionCls.Class(l); ok && cls == "L°" {
+				inL++
+				if clean.Has(l) {
+					valL++
+				}
+			}
+		}
+		if inL > 0 {
+			lCov = float64(valL) / float64(inL)
+		}
+	}
+	b.ReportMetric(lCov, "uniform_L°_coverage")
+}
+
+// ---- wire-format micro benchmarks ----
+
+func BenchmarkUpdateMarshal(b *testing.B) {
+	u := &wire.Update{
+		ASPath:      asgraph.Path{64500, 3356, 174, 2914, 1299},
+		Communities: []communities.Community{{ASN: 3356, Value: 666}, {ASN: 174, Value: 990}},
+		NLRI:        []wire.Prefix{wire.PrefixForAS(1299)},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdateUnmarshal(b *testing.B) {
+	u := &wire.Update{
+		ASPath:      asgraph.Path{64500, 3356, 174, 2914, 1299},
+		Communities: []communities.Community{{ASN: 3356, Value: 666}},
+		NLRI:        []wire.Prefix{wire.PrefixForAS(1299)},
+	}
+	buf, err := u.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := wire.UnmarshalUpdate(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- extension benchmarks ----
+
+// BenchmarkHardLinkAnalysis regenerates the §3.3 hard-link skew.
+func BenchmarkHardLinkAnalysis(b *testing.B) {
+	art := fixture(b)
+	var allHard, valHard float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, skew := art.HardLinks()
+		allHard, valHard = skew.AllHard, skew.ValidatedHard
+	}
+	b.ReportMetric(allHard, "hard_share_all")
+	b.ReportMetric(valHard, "hard_share_validated")
+}
+
+// BenchmarkAppendixCFeatures computes the 11 single-snapshot features
+// of Appendix C for every validated link.
+func BenchmarkAppendixCFeatures(b *testing.B) {
+	art := fixture(b)
+	var n int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n = len(art.AppendixC(nil))
+	}
+	b.ReportMetric(float64(n), "vectors")
+}
+
+// BenchmarkAblationValidationSources contrasts communities (iii), IRR
+// policies (ii) and their union — §7's argument that source diversity
+// softens the regional bias.
+func BenchmarkAblationValidationSources(b *testing.B) {
+	art := fixture(b)
+	var commL, irrL float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, st := range art.SourceComparison() {
+			switch st.Name {
+			case "communities (iii)":
+				commL = st.Coverage["L°"]
+			case "IRR policies (ii)":
+				irrL = st.Coverage["L°"]
+			}
+		}
+	}
+	b.ReportMetric(commL, "communities_L°_coverage")
+	b.ReportMetric(irrL, "irr_L°_coverage")
+}
+
+// BenchmarkAblationLookingGlassReclassification measures the §6
+// improvement headroom: applying the looking-glass diagnosis to the
+// T1-TR class.
+func BenchmarkAblationLookingGlassReclassification(b *testing.B) {
+	art := fixture(b)
+	var r core.ReclassResult
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err = art.LookingGlassReclassification(core.AlgoASRank)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Before.PPVP, "t1tr_ppv_p_before")
+	b.ReportMetric(r.After.PPVP, "t1tr_ppv_p_after")
+}
+
+// BenchmarkEvolutionOversampling runs the §7 monthly-churn study on a
+// mid-size world (the full pipeline re-propagates per month).
+func BenchmarkEvolutionOversampling(b *testing.B) {
+	s := core.DefaultScenario(4)
+	s.NumASes = 2500
+	s.Algorithms = []string{core.AlgoASRank}
+	art, err := core.Run(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gain float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := art.RunEvolution(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = res.OversamplingGain()
+	}
+	b.ReportMetric(gain, "oversampling_gain")
+}
+
+// BenchmarkUncertaintyCalibration computes the UNARI-style posterior
+// calibration curve (ProbLink with uncertainty output).
+func BenchmarkUncertaintyCalibration(b *testing.B) {
+	art := fixture(b)
+	var topAcc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buckets := art.UncertaintyCalibration(5)
+		topAcc = buckets[len(buckets)-1].Accuracy
+	}
+	b.ReportMetric(topAcc, "top_bucket_accuracy")
+}

@@ -1,0 +1,117 @@
+// Command asrel runs one AS-relationship inference algorithm over a
+// path file (text, one space-separated VP→origin AS path per line, or
+// an MRT-style binary RIB from bgpsim -rib) and writes the inferred
+// relationships in CAIDA serial-1 format.
+//
+// Usage: asrel -paths FILE [-mrt] [-algo asrank|problink|toposcope|gao] [-out FILE]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"breval/internal/asgraph"
+	"breval/internal/bgp"
+	"breval/internal/inference"
+	"breval/internal/inference/asrank"
+	"breval/internal/inference/features"
+	"breval/internal/inference/gao"
+	"breval/internal/inference/problink"
+	"breval/internal/inference/toposcope"
+	"breval/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "asrel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("asrel", flag.ContinueOnError)
+	pathsFile := fs.String("paths", "", "input path file (required)")
+	mrt := fs.Bool("mrt", false, "input is an MRT-style binary RIB dump")
+	algoName := fs.String("algo", "asrank", "algorithm: asrank, problink, toposcope or gao")
+	out := fs.String("out", "-", "output file; - for stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pathsFile == "" {
+		return fmt.Errorf("-paths is required")
+	}
+
+	ps, err := readPaths(*pathsFile, *mrt)
+	if err != nil {
+		return err
+	}
+	var algo inference.Algorithm
+	switch strings.ToLower(*algoName) {
+	case "asrank":
+		algo = asrank.New(asrank.Options{})
+	case "problink":
+		algo = problink.New(problink.Options{})
+	case "toposcope":
+		algo = toposcope.New(toposcope.Options{})
+	case "gao":
+		algo = gao.New(gao.Options{})
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algoName)
+	}
+
+	fset := features.Compute(ps)
+	fmt.Fprintf(os.Stderr, "asrel: %d paths, %d links, running %s\n",
+		fset.Paths.Len(), len(fset.Links), algo.Name())
+	res := algo.Infer(fset)
+
+	g := asgraph.New()
+	for l, rel := range res.Rels {
+		if err := g.SetRel(l.A, l.B, rel); err != nil {
+			return err
+		}
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return asgraph.WriteSerial1(w, g)
+}
+
+func readPaths(name string, mrt bool) (*bgp.PathSet, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if mrt {
+		return wire.ReadRIB(f)
+	}
+	ps := bgp.NewPathSet(1024, 8192)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		p, err := asgraph.ParsePath(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, lineno, err)
+		}
+		ps.Append(p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ps, nil
+}

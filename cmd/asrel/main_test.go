@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"breval/internal/asgraph"
+)
+
+func writePaths(t *testing.T, dir string) string {
+	t.Helper()
+	name := filepath.Join(dir, "paths.txt")
+	const content = `# vp ... origin
+100 10 1 2 12 103
+101 10 1 11 102
+102 11 1 2 12 103
+103 12 2 1 10 100
+103 12 2 1 11 102
+`
+	if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return name
+}
+
+func TestRunAlgorithms(t *testing.T) {
+	dir := t.TempDir()
+	paths := writePaths(t, dir)
+	for _, algo := range []string{"asrank", "problink", "toposcope", "gao"} {
+		out := filepath.Join(dir, algo+".txt")
+		if err := run([]string{"-paths", paths, "-algo", algo, "-out", out}); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := asgraph.ParseSerial1(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s output unparsable: %v", algo, err)
+		}
+		if g.NumLinks() == 0 {
+			t.Errorf("%s produced no relationships", algo)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	paths := writePaths(t, dir)
+	if err := run([]string{"-algo", "asrank"}); err == nil {
+		t.Error("missing -paths accepted")
+	}
+	if err := run([]string{"-paths", paths, "-algo", "oracle"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	os.WriteFile(bad, []byte("1 x 3\n"), 0o644)
+	if err := run([]string{"-paths", bad, "-out", filepath.Join(dir, "o.txt")}); err == nil {
+		t.Error("garbage input accepted")
+	}
+}

@@ -1,0 +1,89 @@
+// Command bgpsim generates a synthetic Internet, propagates routes
+// from every origin to the route-collector vantage points, and dumps
+// the resulting collector RIB as text (one AS path per line) and/or in
+// the MRT-style binary framing.
+//
+// Usage: bgpsim [-seed N] [-ases N] [-text paths.txt] [-rib rib.mrt]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"breval/internal/asgraph"
+	"breval/internal/bgp"
+	"breval/internal/topogen"
+	"breval/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bgpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bgpsim", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "world seed")
+	ases := fs.Int("ases", 8000, "number of ASes")
+	textOut := fs.String("text", "", "write paths as text (one per line); - for stdout")
+	ribOut := fs.String("rib", "", "write an MRT-style binary RIB dump")
+	ts := fs.Uint("ts", 1522540800, "RIB snapshot timestamp") // 2018-04-01
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *textOut == "" && *ribOut == "" {
+		return fmt.Errorf("nothing to do: pass -text and/or -rib")
+	}
+
+	cfg := topogen.DefaultConfig(*seed)
+	if *ases != cfg.NumASes {
+		cfg = cfg.Scaled(*ases)
+	}
+	w, err := topogen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	sim := bgp.NewSimulator(w.Graph)
+	ps := sim.Propagate(w.ASNs, w.VPs)
+	fmt.Fprintf(os.Stderr, "bgpsim: %d paths from %d vantage points\n", ps.Len(), len(w.VPs))
+
+	if *textOut != "" {
+		out := os.Stdout
+		if *textOut != "-" {
+			f, err := os.Create(*textOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		bw := bufio.NewWriter(out)
+		var werr error
+		ps.ForEach(func(p asgraph.Path) {
+			if werr == nil {
+				_, werr = fmt.Fprintln(bw, p)
+			}
+		})
+		if werr != nil {
+			return werr
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+	if *ribOut != "" {
+		f, err := os.Create(*ribOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := wire.WriteRIB(f, ps, uint32(*ts)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

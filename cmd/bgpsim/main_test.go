@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"breval/internal/wire"
+)
+
+func TestRunWritesTextAndRIB(t *testing.T) {
+	dir := t.TempDir()
+	text := filepath.Join(dir, "paths.txt")
+	rib := filepath.Join(dir, "rib.mrt")
+	if err := run([]string{"-seed", "2", "-ases", "400", "-text", text, "-rib", rib}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("only %d paths", len(lines))
+	}
+	f, err := os.Open(rib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ps, err := wire.ReadRIB(f)
+	if err != nil {
+		t.Fatalf("ReadRIB: %v", err)
+	}
+	if ps.Len() != len(lines) {
+		t.Errorf("RIB has %d paths, text has %d", ps.Len(), len(lines))
+	}
+}
+
+func TestRunRequiresOutput(t *testing.T) {
+	if err := run([]string{"-ases", "400"}); err == nil {
+		t.Error("no outputs requested but run succeeded")
+	}
+}

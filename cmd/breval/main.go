@@ -1,0 +1,164 @@
+// Command breval runs the full validation-bias study end to end on a
+// synthetic Internet and regenerates every table and figure of Prehn &
+// Feldmann, "How biased is our Validation (Data) for AS
+// Relationships?" (IMC 2021).
+//
+// Usage:
+//
+//	breval [-seed N] [-ases N] [-policy ignore|p2p-if-first|always-p2c]
+//	       [-only fig1,...,clean,case,hard,sources,reclass,evolve,unari]
+//	       [-algos ASRank,ProbLink,TopoScope,Gao] [-min-links N]
+//
+// Without -only every experiment is rendered in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"breval/internal/core"
+	"breval/internal/hardlinks"
+	"breval/internal/sampling"
+	"breval/internal/validation"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "breval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("breval", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "world seed")
+	ases := fs.Int("ases", 8000, "number of ASes")
+	policy := fs.String("policy", "ignore", "ambiguous-label policy: ignore, p2p-if-first or always-p2c")
+	only := fs.String("only", "", "comma-separated experiments (fig1,fig2,fig3,tables,fig4-6,fig7-9,clean,case,hard,sources,reclass,evolve,unari,vps,complex); empty = all")
+	algos := fs.String("algos", "", "comma-separated algorithms; empty = all four")
+	minLinks := fs.Int("min-links", 100, "minimum validated links for a table row")
+	appcOut := fs.String("appendix-c", "", "write the Appendix-C per-link feature vectors (validated links) to this TSV file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s := core.DefaultScenario(*seed)
+	s.NumASes = *ases
+	switch *policy {
+	case "ignore":
+		s.Policy = validation.Ignore
+	case "p2p-if-first":
+		s.Policy = validation.P2PIfFirst
+	case "always-p2c":
+		s.Policy = validation.AlwaysP2C
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	if *algos != "" {
+		s.Algorithms = strings.Split(*algos, ",")
+	}
+
+	fmt.Fprintf(os.Stderr, "breval: generating world (%d ASes, seed %d) and running the pipeline...\n",
+		s.NumASes, s.Seed)
+	art, err := core.Run(s)
+	if err != nil {
+		return err
+	}
+
+	if *appcOut != "" {
+		f, err := os.Create(*appcOut)
+		if err != nil {
+			return err
+		}
+		if err := hardlinks.WriteFeaturesTSV(f, art.AppendixC(nil)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "breval: wrote Appendix-C features to %s\n", *appcOut)
+	}
+
+	if *only == "" {
+		return art.RenderAll(os.Stdout, *minLinks)
+	}
+	for _, exp := range strings.Split(*only, ",") {
+		if err := renderOne(art, strings.TrimSpace(exp), *minLinks); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func renderOne(art *core.Artifacts, exp string, minLinks int) error {
+	w := os.Stdout
+	switch exp {
+	case "fig1":
+		return art.RenderFigure1(w)
+	case "fig2":
+		return art.RenderFigure2(w)
+	case "fig3":
+		return core.RenderHeatmapPair(w, "Figure 3", art.Figure3())
+	case "tables", "tab1", "tab2", "tab3":
+		names := map[string][]string{
+			"tab1":   {core.AlgoASRank},
+			"tab2":   {core.AlgoProbLink},
+			"tab3":   {core.AlgoTopoScope},
+			"tables": {core.AlgoASRank, core.AlgoProbLink, core.AlgoTopoScope, core.AlgoGao},
+		}[exp]
+		for _, algo := range names {
+			if _, ok := art.Results[algo]; !ok {
+				continue
+			}
+			tab, err := art.TableFor(algo, minLinks)
+			if err != nil {
+				return err
+			}
+			if err := core.RenderTable(w, tab); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	case "fig4-6":
+		ser, err := art.Figures4to6(core.AlgoASRank, "T1-TR", sampling.Config{})
+		if err != nil {
+			return err
+		}
+		return art.RenderSampling(w, core.AlgoASRank, "T1-TR", ser)
+	case "fig7-9":
+		for i, hp := range art.Figures7to9() {
+			if err := core.RenderHeatmapPair(w, fmt.Sprintf("Figure %d", 7+i), hp); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "clean":
+		return art.RenderCleanReport(w)
+	case "case":
+		return art.RenderCaseStudy(w, core.AlgoASRank)
+	case "hard":
+		return art.RenderHardLinks(w)
+	case "sources":
+		return art.RenderSourceComparison(w)
+	case "reclass":
+		return art.RenderReclassification(w, core.AlgoASRank)
+	case "evolve":
+		res, err := art.RunEvolution(6)
+		if err != nil {
+			return err
+		}
+		return art.RenderEvolution(w, res)
+	case "unari":
+		return art.RenderUncertainty(w)
+	case "vps":
+		return art.RenderVPSweep(w, art.VPSweep(nil))
+	case "complex":
+		return art.RenderComplexRelationships(w)
+	}
+	return fmt.Errorf("unknown experiment %q", exp)
+}

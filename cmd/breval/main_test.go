@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-policy", "maybe"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline")
+	}
+	// A small world end to end, one cheap experiment.
+	if err := run([]string{"-ases", "600", "-only", "clean", "-algos", "ASRank"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline")
+	}
+	if err := run([]string{"-ases", "600", "-only", "fig99", "-algos", "ASRank"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

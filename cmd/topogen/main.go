@@ -1,0 +1,122 @@
+// Command topogen generates a synthetic Internet and writes its
+// artefacts to a directory, in the same formats the real-world data
+// sources use:
+//
+//	as-rel.txt                CAIDA serial-1 relationships (ground truth)
+//	as-numbers.csv            IANA ASN block registry
+//	delegated-<rir>-extended  per-RIR delegation files
+//	as-org.txt                CAIDA-style AS-to-Organization table
+//	clique.txt, hypergiants.txt, vps.txt, publishers.txt
+//
+// Usage: topogen [-seed N] [-ases N] -out DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"breval/internal/asn"
+	"breval/internal/registry"
+	"breval/internal/topogen"
+
+	"breval/internal/asgraph"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "world seed")
+	ases := fs.Int("ases", 8000, "number of ASes")
+	out := fs.String("out", "", "output directory (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	cfg := topogen.DefaultConfig(*seed)
+	if *ases != cfg.NumASes {
+		cfg = cfg.Scaled(*ases)
+	}
+	w, err := topogen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	if err := writeFile(*out, "as-rel.txt", func(f *os.File) error {
+		return asgraph.WriteSerial1(f, w.Graph)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(*out, "as-numbers.csv", func(f *os.File) error {
+		_, err := w.IANA.WriteTo(f)
+		return err
+	}); err != nil {
+		return err
+	}
+	for _, d := range w.Delegations {
+		name := fmt.Sprintf("delegated-%s-extended", d.Registry)
+		d := d
+		if err := writeFile(*out, name, func(f *os.File) error {
+			return registry.WriteDelegated(f, d)
+		}); err != nil {
+			return err
+		}
+	}
+	if err := writeFile(*out, "as-org.txt", func(f *os.File) error {
+		_, err := w.Orgs.WriteTo(f)
+		return err
+	}); err != nil {
+		return err
+	}
+	lists := map[string][]asn.ASN{
+		"clique.txt":      w.Clique,
+		"hypergiants.txt": w.Hypergiants,
+		"vps.txt":         w.VPs,
+	}
+	var pubs []asn.ASN
+	for _, a := range w.ASNs {
+		if w.Publishers[a] {
+			pubs = append(pubs, a)
+		}
+	}
+	lists["publishers.txt"] = pubs
+	for name, asns := range lists {
+		asns := asns
+		if err := writeFile(*out, name, func(f *os.File) error {
+			for _, a := range asns {
+				if _, err := fmt.Fprintln(f, a); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("topogen: wrote %d ASes, %d links to %s\n", len(w.ASNs), w.Graph.NumLinks(), *out)
+	return nil
+}
+
+func writeFile(dir, name string, fn func(*os.File) error) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", name, err)
+	}
+	return f.Close()
+}

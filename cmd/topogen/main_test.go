@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/registry"
+)
+
+func TestRunWritesAllArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-seed", "2", "-ases", "400", "-out", dir}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, name := range []string{
+		"as-rel.txt", "as-numbers.csv", "as-org.txt",
+		"delegated-ripencc-extended", "delegated-lacnic-extended",
+		"clique.txt", "hypergiants.txt", "vps.txt", "publishers.txt",
+	} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	// The as-rel file parses back into a graph.
+	f, err := os.Open(filepath.Join(dir, "as-rel.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := asgraph.ParseSerial1(f)
+	if err != nil {
+		t.Fatalf("ParseSerial1: %v", err)
+	}
+	if g.NumLinks() == 0 {
+		t.Error("empty graph")
+	}
+	// The delegation files parse back.
+	df, err := os.Open(filepath.Join(dir, "delegated-ripencc-extended"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer df.Close()
+	if _, err := registry.ParseDelegated(df); err != nil {
+		t.Fatalf("ParseDelegated: %v", err)
+	}
+}
+
+func TestRunRequiresOut(t *testing.T) {
+	if err := run([]string{"-ases", "400"}); err == nil {
+		t.Error("missing -out accepted")
+	}
+}

@@ -1,0 +1,97 @@
+// Incentives demonstrates the two §7 do-ut-des services the paper
+// argues could convince operators to contribute accurate relationship
+// data: Peerlock route-leak filters and peering recommendations —
+// and shows how both degrade when built from inferred (rather than
+// true) relationships.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/core"
+	"breval/internal/peerlock"
+	"breval/internal/peerrec"
+)
+
+func main() {
+	scenario := core.DefaultScenario(13)
+	scenario.NumASes = 2000
+	scenario.Algorithms = []string{core.AlgoASRank}
+
+	art, err := core.Run(scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Inferred relationships as the service's data basis.
+	inferred := asgraph.New()
+	for l, rel := range art.Results[core.AlgoASRank].Rels {
+		if err := inferred.SetRel(l.A, l.B, rel); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Pick a mid-size transit AS as the subscriber: the largest
+	// non-clique transit network.
+	clique := art.World.CliqueSet()
+	var subscriber asn.ASN
+	best := 0
+	for _, a := range art.World.ASNs {
+		if clique[a] || art.World.Graph.IsStub(a) {
+			continue
+		}
+		if d := art.World.Graph.Degree(a); d > best {
+			best, subscriber = d, a
+		}
+	}
+	fmt.Printf("subscriber: AS%d (degree %d)\n\n", subscriber, best)
+
+	// --- Peerlock filters, truth vs inferred ---
+	fmt.Println("== Peerlock route-leak protection ==")
+	for _, basis := range []struct {
+		name string
+		g    *asgraph.Graph
+	}{
+		{"ground truth", art.World.Graph},
+		{"ASRank inference", inferred},
+	} {
+		cfg := peerlock.Generate(basis.g, subscriber, art.World.Clique)
+		out := peerlock.Evaluate(art.World.Graph, cfg, art.World.Clique)
+		fmt.Printf("%-18s rules %3d | leaks blocked %4d missed %3d | legitimate dropped %3d\n",
+			basis.name, len(cfg.Rules), out.LeaksBlocked, out.LeaksMissed, out.LegitimateDropped)
+	}
+
+	fmt.Println("\nsample of the generated filter (inferred basis):")
+	cfg := peerlock.Generate(inferred, subscriber, art.World.Clique)
+	if len(cfg.Rules) > 2 {
+		cfg.Rules = cfg.Rules[:2]
+	}
+	if _, err := cfg.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Peering recommendations ---
+	fmt.Println("\n== Peering recommendations ==")
+	memberships := make([][]asn.ASN, 0, len(art.World.IXPs))
+	for _, ix := range art.World.IXPs {
+		memberships = append(memberships, ix.Members)
+	}
+	rec := peerrec.New(inferred, memberships)
+	fmt.Println("top peers to approach:")
+	for _, c := range rec.RecommendPeers(subscriber, 5) {
+		fmt.Printf("  AS%-6d offloads %4d cone ASes, %d shared IXPs (score %.0f)\n",
+			c.ASN, c.NewCone, c.SharedIXPs, c.Score)
+	}
+	fmt.Println("top IXPs to join:")
+	ixps := rec.RecommendIXPs(subscriber, 3)
+	sort.Slice(ixps, func(i, j int) bool { return ixps[i].Score > ixps[j].Score })
+	for _, c := range ixps {
+		fmt.Printf("  IXP %-3d reaches %4d new cone ASes via %d members\n",
+			art.World.IXPs[c.Index].ID, c.ReachableCone, c.Members)
+	}
+}

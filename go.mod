@@ -1,0 +1,3 @@
+module breval
+
+go 1.22

@@ -1,0 +1,34 @@
+package asgraph_test
+
+import (
+	"fmt"
+
+	"breval/internal/asgraph"
+)
+
+func ExamplePath_ValleyFree() {
+	g := asgraph.New()
+	g.MustSetRel(1, 2, asgraph.P2PRel())   // two Tier-1 peers
+	g.MustSetRel(1, 10, asgraph.P2CRel(1)) // 10 buys from 1
+	g.MustSetRel(2, 20, asgraph.P2CRel(2)) // 20 buys from 2
+	g.MustSetRel(10, 20, asgraph.P2PRel()) // and they peer directly
+
+	valid := asgraph.Path{10, 1, 2, 20}  // up, across, down
+	valley := asgraph.Path{1, 10, 20, 2} // down, across, up: a leak
+	fmt.Println(valid.ValleyFree(g))
+	fmt.Println(valley.ValleyFree(g))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleGraph_CustomerCone() {
+	g := asgraph.New()
+	g.MustSetRel(1, 10, asgraph.P2CRel(1))
+	g.MustSetRel(10, 100, asgraph.P2CRel(10))
+	g.MustSetRel(10, 101, asgraph.P2CRel(10))
+	cone := g.CustomerCone(1)
+	fmt.Println(len(cone), cone[100])
+	// Output:
+	// 3 true
+}

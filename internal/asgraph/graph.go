@@ -1,0 +1,290 @@
+package asgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"breval/internal/asn"
+)
+
+// Neighbor is one adjacency entry: the neighboring AS and the
+// relationship role of the owning AS on that link.
+type Neighbor struct {
+	ASN  asn.ASN
+	Role Role
+	// PartialTransit is set on Customer entries whose relationship
+	// restricts re-export (see Rel.PartialTransit).
+	PartialTransit bool
+}
+
+// Role is the relationship of a neighbor relative to an AS.
+type Role int8
+
+// Roles of a neighbor relative to the owning AS.
+const (
+	RoleCustomer Role = iota // the neighbor is my customer
+	RoleProvider             // the neighbor is my provider
+	RolePeer
+	RoleSibling
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleCustomer:
+		return "customer"
+	case RoleProvider:
+		return "provider"
+	case RolePeer:
+		return "peer"
+	case RoleSibling:
+		return "sibling"
+	}
+	return fmt.Sprintf("role(%d)", int8(r))
+}
+
+// Graph is a typed AS-relationship graph. The zero value is not usable;
+// use New.
+type Graph struct {
+	rels map[Link]Rel
+	adj  map[asn.ASN][]Neighbor
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		rels: make(map[Link]Rel),
+		adj:  make(map[asn.ASN][]Neighbor),
+	}
+}
+
+// SetRel records the relationship for the link between a and b,
+// replacing any previous relationship on the same link. It returns an
+// error if a==b, either ASN is invalid for a relationship endpoint
+// (zero), or the relationship is P2C with a provider that is not an
+// endpoint.
+func (g *Graph) SetRel(a, b asn.ASN, r Rel) error {
+	if a == b {
+		return fmt.Errorf("asgraph: self-link on %d", a)
+	}
+	l := NewLink(a, b)
+	if r.Type == P2C && !l.Has(r.Provider) {
+		return fmt.Errorf("asgraph: provider %d is not an endpoint of %v", r.Provider, l)
+	}
+	if old, ok := g.rels[l]; ok {
+		g.dropAdjacency(l, old)
+	}
+	g.rels[l] = r
+	g.addAdjacency(l, r)
+	return nil
+}
+
+// MustSetRel is SetRel for construction code paths where the inputs
+// are known valid; it panics on error.
+func (g *Graph) MustSetRel(a, b asn.ASN, r Rel) {
+	if err := g.SetRel(a, b, r); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Graph) addAdjacency(l Link, r Rel) {
+	switch r.Type {
+	case P2C:
+		c := l.Other(r.Provider)
+		g.adj[r.Provider] = append(g.adj[r.Provider],
+			Neighbor{ASN: c, Role: RoleCustomer, PartialTransit: r.PartialTransit})
+		g.adj[c] = append(g.adj[c], Neighbor{ASN: r.Provider, Role: RoleProvider})
+	case P2P:
+		g.adj[l.A] = append(g.adj[l.A], Neighbor{ASN: l.B, Role: RolePeer})
+		g.adj[l.B] = append(g.adj[l.B], Neighbor{ASN: l.A, Role: RolePeer})
+	case S2S:
+		g.adj[l.A] = append(g.adj[l.A], Neighbor{ASN: l.B, Role: RoleSibling})
+		g.adj[l.B] = append(g.adj[l.B], Neighbor{ASN: l.A, Role: RoleSibling})
+	}
+}
+
+func (g *Graph) dropAdjacency(l Link, _ Rel) {
+	drop := func(owner, nb asn.ASN) {
+		s := g.adj[owner]
+		for i := range s {
+			if s[i].ASN == nb {
+				s[i] = s[len(s)-1]
+				g.adj[owner] = s[:len(s)-1]
+				return
+			}
+		}
+	}
+	drop(l.A, l.B)
+	drop(l.B, l.A)
+}
+
+// Remove deletes the link l and its adjacency entries. Removing an
+// absent link is a no-op.
+func (g *Graph) Remove(l Link) {
+	r, ok := g.rels[l]
+	if !ok {
+		return
+	}
+	g.dropAdjacency(l, r)
+	delete(g.rels, l)
+}
+
+// Rel returns the relationship on the link between a and b.
+func (g *Graph) Rel(a, b asn.ASN) (Rel, bool) {
+	r, ok := g.rels[NewLink(a, b)]
+	return r, ok
+}
+
+// RelOn returns the relationship stored for link l.
+func (g *Graph) RelOn(l Link) (Rel, bool) {
+	r, ok := g.rels[l]
+	return r, ok
+}
+
+// Neighbors returns the adjacency list of a. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(a asn.ASN) []Neighbor { return g.adj[a] }
+
+// Degree returns the node degree (number of neighbors) of a.
+func (g *Graph) Degree(a asn.ASN) int { return len(g.adj[a]) }
+
+// NumLinks returns the number of links with a relationship.
+func (g *Graph) NumLinks() int { return len(g.rels) }
+
+// NumASes returns the number of ASes with at least one link.
+func (g *Graph) NumASes() int { return len(g.adj) }
+
+// ASes returns all ASes with at least one link, in ascending order.
+func (g *Graph) ASes() []asn.ASN {
+	out := make([]asn.ASN, 0, len(g.adj))
+	for a := range g.adj {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Links returns all links in deterministic (A, then B) order.
+func (g *Graph) Links() []Link {
+	out := make([]Link, 0, len(g.rels))
+	for l := range g.rels {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// ForEachRel calls fn for every (link, relationship) pair in
+// unspecified order. Iteration is read-only; fn must not mutate g.
+func (g *Graph) ForEachRel(fn func(Link, Rel)) {
+	for l, r := range g.rels {
+		fn(l, r)
+	}
+}
+
+// Providers returns the providers of a (including sibling-free transit
+// arrangements only; siblings are not providers), ascending.
+func (g *Graph) Providers(a asn.ASN) []asn.ASN { return g.roleList(a, RoleProvider) }
+
+// Customers returns the customers of a, ascending.
+func (g *Graph) Customers(a asn.ASN) []asn.ASN { return g.roleList(a, RoleCustomer) }
+
+// Peers returns the peers of a, ascending.
+func (g *Graph) Peers(a asn.ASN) []asn.ASN { return g.roleList(a, RolePeer) }
+
+func (g *Graph) roleList(a asn.ASN, role Role) []asn.ASN {
+	var out []asn.ASN
+	for _, n := range g.adj[a] {
+		if n.Role == role {
+			out = append(out, n.ASN)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CustomerCone returns the customer cone of a: the set of ASes
+// reachable from a by following only provider→customer edges,
+// excluding a itself. This is CAIDA's "provider/peer observed dataset"
+// style recursive cone (PPDC) over the ground-truth graph.
+func (g *Graph) CustomerCone(a asn.ASN) map[asn.ASN]bool {
+	cone := make(map[asn.ASN]bool)
+	stack := []asn.ASN{a}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range g.adj[x] {
+			if n.Role == RoleCustomer && !cone[n.ASN] && n.ASN != a {
+				cone[n.ASN] = true
+				stack = append(stack, n.ASN)
+			}
+		}
+	}
+	return cone
+}
+
+// ConeSizes computes customer cone sizes for all ASes. The size counts
+// cone members, excluding the AS itself (a stub has cone size 0).
+func (g *Graph) ConeSizes() map[asn.ASN]int {
+	// Memoised DFS over the provider→customer DAG. Cycles (which can
+	// occur in dirty data) are broken by treating in-progress nodes
+	// as empty cones.
+	sizes := make(map[asn.ASN]int, len(g.adj))
+	cones := make(map[asn.ASN]map[asn.ASN]bool, len(g.adj))
+	state := make(map[asn.ASN]int8, len(g.adj)) // 0 new, 1 visiting, 2 done
+	var visit func(a asn.ASN) map[asn.ASN]bool
+	visit = func(a asn.ASN) map[asn.ASN]bool {
+		switch state[a] {
+		case 1:
+			return nil
+		case 2:
+			return cones[a]
+		}
+		state[a] = 1
+		cone := make(map[asn.ASN]bool)
+		for _, n := range g.adj[a] {
+			if n.Role != RoleCustomer {
+				continue
+			}
+			cone[n.ASN] = true
+			for m := range visit(n.ASN) {
+				cone[m] = true
+			}
+		}
+		delete(cone, a)
+		state[a] = 2
+		cones[a] = cone
+		return cone
+	}
+	for a := range g.adj {
+		sizes[a] = len(visit(a))
+	}
+	return sizes
+}
+
+// IsStub reports whether a has an empty customer cone (no AS below it).
+func (g *Graph) IsStub(a asn.ASN) bool {
+	for _, n := range g.adj[a] {
+		if n.Role == RoleCustomer {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for l, r := range g.rels {
+		c.rels[l] = r
+	}
+	for a, ns := range g.adj {
+		c.adj[a] = append([]Neighbor(nil), ns...)
+	}
+	return c
+}

@@ -1,0 +1,385 @@
+package asgraph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"breval/internal/asn"
+)
+
+// testGraph builds a small hierarchy:
+//
+//	     1 --- 2      (clique, p2p)
+//	    / \     \
+//	  10   11    12   (transit, customers of clique)
+//	  /\    |     |
+//	100 101 102  103  (stubs)
+//
+// plus a peering 10--11 and siblings 100~101.
+func testGraph(t testing.TB) *Graph {
+	t.Helper()
+	g := New()
+	g.MustSetRel(1, 2, P2PRel())
+	g.MustSetRel(1, 10, P2CRel(1))
+	g.MustSetRel(1, 11, P2CRel(1))
+	g.MustSetRel(2, 12, P2CRel(2))
+	g.MustSetRel(10, 100, P2CRel(10))
+	g.MustSetRel(10, 101, P2CRel(10))
+	g.MustSetRel(11, 102, P2CRel(11))
+	g.MustSetRel(12, 103, P2CRel(12))
+	g.MustSetRel(10, 11, P2PRel())
+	g.MustSetRel(100, 101, S2SRel())
+	return g
+}
+
+func TestNewLinkCanonical(t *testing.T) {
+	if NewLink(5, 3) != NewLink(3, 5) {
+		t.Error("NewLink is not canonical")
+	}
+	l := NewLink(7, 2)
+	if l.A != 2 || l.B != 7 {
+		t.Errorf("NewLink(7,2) = %+v", l)
+	}
+	if !l.Has(7) || !l.Has(2) || l.Has(3) {
+		t.Error("Has is wrong")
+	}
+	if l.Other(2) != 7 || l.Other(7) != 2 {
+		t.Error("Other is wrong")
+	}
+}
+
+func TestLinkOtherPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Other on a non-endpoint should panic")
+		}
+	}()
+	NewLink(1, 2).Other(3)
+}
+
+func TestSetRelValidation(t *testing.T) {
+	g := New()
+	if err := g.SetRel(1, 1, P2PRel()); err == nil {
+		t.Error("self-link accepted")
+	}
+	if err := g.SetRel(1, 2, P2CRel(3)); err == nil {
+		t.Error("provider outside link accepted")
+	}
+	if err := g.SetRel(1, 2, P2CRel(1)); err != nil {
+		t.Errorf("valid relation rejected: %v", err)
+	}
+}
+
+func TestRolesAndDegree(t *testing.T) {
+	g := testGraph(t)
+	if got := g.Providers(10); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Providers(10) = %v", got)
+	}
+	if got := g.Customers(1); len(got) != 2 || got[0] != 10 || got[1] != 11 {
+		t.Errorf("Customers(1) = %v", got)
+	}
+	if got := g.Peers(10); len(got) != 1 || got[0] != 11 {
+		t.Errorf("Peers(10) = %v", got)
+	}
+	if g.Degree(1) != 3 {
+		t.Errorf("Degree(1) = %d, want 3", g.Degree(1))
+	}
+	if g.Degree(100) != 2 { // provider 10 + sibling 101
+		t.Errorf("Degree(100) = %d, want 2", g.Degree(100))
+	}
+	if g.NumLinks() != 10 || g.NumASes() != 9 {
+		t.Errorf("NumLinks=%d NumASes=%d", g.NumLinks(), g.NumASes())
+	}
+}
+
+func TestSetRelReplace(t *testing.T) {
+	g := New()
+	g.MustSetRel(1, 2, P2CRel(1))
+	g.MustSetRel(1, 2, P2PRel()) // replace
+	r, ok := g.Rel(1, 2)
+	if !ok || r.Type != P2P {
+		t.Fatalf("Rel = %v, %v", r, ok)
+	}
+	if len(g.Peers(1)) != 1 || len(g.Customers(1)) != 0 || len(g.Providers(2)) != 0 {
+		t.Error("adjacency not rewritten after replace")
+	}
+	if g.NumLinks() != 1 {
+		t.Errorf("NumLinks = %d, want 1", g.NumLinks())
+	}
+}
+
+func TestCustomerCone(t *testing.T) {
+	g := testGraph(t)
+	cone := g.CustomerCone(1)
+	want := []asn.ASN{10, 11, 100, 101, 102}
+	if len(cone) != len(want) {
+		t.Fatalf("cone(1) = %v, want %v", cone, want)
+	}
+	for _, a := range want {
+		if !cone[a] {
+			t.Errorf("cone(1) missing %d", a)
+		}
+	}
+	if len(g.CustomerCone(100)) != 0 {
+		t.Error("stub cone should be empty")
+	}
+	if !g.IsStub(100) || g.IsStub(10) {
+		t.Error("IsStub wrong")
+	}
+}
+
+func TestConeSizesMatchCustomerCone(t *testing.T) {
+	g := testGraph(t)
+	sizes := g.ConeSizes()
+	for _, a := range g.ASes() {
+		if got, want := sizes[a], len(g.CustomerCone(a)); got != want {
+			t.Errorf("ConeSizes[%d] = %d, want %d", a, got, want)
+		}
+	}
+}
+
+func TestConeSizesSurvivesCycle(t *testing.T) {
+	g := New()
+	// A dirty p2c cycle: 1->2->3->1.
+	g.MustSetRel(1, 2, P2CRel(1))
+	g.MustSetRel(2, 3, P2CRel(2))
+	g.MustSetRel(3, 1, P2CRel(3))
+	sizes := g.ConeSizes() // must terminate
+	for a, s := range sizes {
+		if s < 1 || s > 2 {
+			t.Errorf("cycle cone size [%d]=%d out of range", a, s)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := testGraph(t)
+	c := g.Clone()
+	c.MustSetRel(50, 51, P2PRel())
+	if _, ok := g.Rel(50, 51); ok {
+		t.Error("Clone shares state with original")
+	}
+	if c.NumLinks() != g.NumLinks()+1 {
+		t.Error("clone link count wrong")
+	}
+}
+
+func TestPathBasics(t *testing.T) {
+	p := Path{10, 1, 2, 12, 103}
+	if p.VantagePoint() != 10 || p.Origin() != 103 {
+		t.Error("VantagePoint/Origin wrong")
+	}
+	if p.HasLoop() {
+		t.Error("no loop expected")
+	}
+	if !(Path{1, 2, 1}).HasLoop() {
+		t.Error("loop not detected")
+	}
+	links := p.Links()
+	if len(links) != 4 || links[0] != NewLink(1, 10) || links[3] != NewLink(12, 103) {
+		t.Errorf("Links = %v", links)
+	}
+	var trip [][3]asn.ASN
+	p.Triplets(func(l, m, r asn.ASN) { trip = append(trip, [3]asn.ASN{l, m, r}) })
+	if len(trip) != 3 || trip[0] != [3]asn.ASN{10, 1, 2} {
+		t.Errorf("Triplets = %v", trip)
+	}
+}
+
+func TestCompactPrepending(t *testing.T) {
+	p := Path{10, 1, 1, 1, 2, 2, 3}
+	got := p.CompactPrepending()
+	want := Path{10, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("CompactPrepending = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CompactPrepending = %v, want %v", got, want)
+		}
+	}
+	if len(Path{}.CompactPrepending()) != 0 {
+		t.Error("empty path should stay empty")
+	}
+}
+
+func TestParsePathRoundTrip(t *testing.T) {
+	p := Path{10, 1, 2, 12}
+	got, err := ParsePath(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(p) {
+		t.Fatalf("round trip: %v", got)
+	}
+	for i := range p {
+		if got[i] != p[i] {
+			t.Fatalf("round trip: %v", got)
+		}
+	}
+	if _, err := ParsePath(""); err == nil {
+		t.Error("empty path parsed")
+	}
+	if _, err := ParsePath("1 x 3"); err == nil {
+		t.Error("garbage path parsed")
+	}
+}
+
+func TestValleyFree(t *testing.T) {
+	g := testGraph(t)
+	cases := []struct {
+		p    Path
+		want bool
+	}{
+		{Path{100, 10, 1, 2, 12, 103}, true}, // up, up, across, down, down
+		{Path{100, 10, 11, 102}, true},       // up, across, down
+		{Path{102, 11, 10, 100}, true},       // symmetric
+		{Path{10, 1, 2, 12}, true},           // starts at transit
+		{Path{100, 10, 11, 1}, false},        // peer then up: valley
+		{Path{1, 10, 11, 2}, false},          // down, across, up
+		{Path{100, 101, 10}, true},           // sibling hop is transparent
+		{Path{12, 2, 1, 11}, true},           // up, across... wait: 12->2 up, 2->1 across, 1->11 down
+		{Path{100, 10, 999}, false},          // unknown link
+	}
+	for _, c := range cases {
+		if got := c.p.ValleyFree(g); got != c.want {
+			t.Errorf("ValleyFree(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSerial1RoundTrip(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := WriteSerial1(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSerial1(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumLinks() != g.NumLinks() {
+		t.Fatalf("round trip: %d links, want %d", got.NumLinks(), g.NumLinks())
+	}
+	g.ForEachRel(func(l Link, r Rel) {
+		rr, ok := got.RelOn(l)
+		if !ok || rr.Type != r.Type {
+			t.Errorf("link %v: got %v, want %v", l, rr, r)
+			return
+		}
+		if r.Type == P2C && rr.Provider != r.Provider {
+			t.Errorf("link %v: provider %d, want %d", l, rr.Provider, r.Provider)
+		}
+	})
+}
+
+func TestSerial1ParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"1|2\n",
+		"1|2|7\n",
+		"x|2|0\n",
+		"1|y|0\n",
+		"1|1|0\n",
+	} {
+		if _, err := ParseSerial1(bytes.NewBufferString(in)); err == nil {
+			t.Errorf("ParseSerial1(%q) succeeded", in)
+		}
+	}
+}
+
+// Property: serial-1 round trip preserves arbitrary random graphs.
+func TestSerial1RoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		for i := 0; i < 50; i++ {
+			a := asn.ASN(rng.Intn(200) + 1)
+			b := asn.ASN(rng.Intn(200) + 1)
+			if a == b {
+				continue
+			}
+			switch rng.Intn(3) {
+			case 0:
+				g.MustSetRel(a, b, P2CRel(a))
+			case 1:
+				g.MustSetRel(a, b, P2PRel())
+			case 2:
+				g.MustSetRel(a, b, S2SRel())
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteSerial1(&buf, g); err != nil {
+			return false
+		}
+		got, err := ParseSerial1(&buf)
+		if err != nil || got.NumLinks() != g.NumLinks() {
+			return false
+		}
+		ok := true
+		g.ForEachRel(func(l Link, r Rel) {
+			rr, found := got.RelOn(l)
+			if !found || rr.Type != r.Type || (r.Type == P2C && rr.Provider != r.Provider) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: customer cones are monotone — a provider's cone contains
+// every customer's cone.
+func TestConeMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		// Random DAG-ish hierarchy: provider always lower ASN.
+		for i := 0; i < 80; i++ {
+			a := asn.ASN(rng.Intn(100) + 1)
+			b := asn.ASN(rng.Intn(100) + 1)
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			g.MustSetRel(a, b, P2CRel(a))
+		}
+		for _, p := range g.ASes() {
+			cone := g.CustomerCone(p)
+			for _, c := range g.Customers(p) {
+				for m := range g.CustomerCone(c) {
+					if m != p && !cone[m] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelHelpers(t *testing.T) {
+	l := NewLink(3, 9)
+	r := P2CRel(9)
+	c, ok := r.Customer(l)
+	if !ok || c != 3 {
+		t.Errorf("Customer = %v, %v", c, ok)
+	}
+	if _, ok := P2PRel().Customer(l); ok {
+		t.Error("P2P has no customer")
+	}
+	if _, ok := P2CRel(99).Customer(l); ok {
+		t.Error("foreign provider should not resolve")
+	}
+	if P2P.String() != "p2p" || P2C.String() != "p2c" || S2S.String() != "s2s" {
+		t.Error("RelType.String wrong")
+	}
+}

@@ -1,0 +1,159 @@
+package asgraph
+
+import (
+	"fmt"
+	"strings"
+
+	"breval/internal/asn"
+)
+
+// Path is an AS path as observed at a route collector: index 0 is the
+// vantage-point AS (the collector's peer) and the last element is the
+// origin AS.
+type Path []asn.ASN
+
+// VantagePoint returns the first AS of the path, the collector peer.
+func (p Path) VantagePoint() asn.ASN {
+	if len(p) == 0 {
+		return 0
+	}
+	return p[0]
+}
+
+// Origin returns the last AS of the path.
+func (p Path) Origin() asn.ASN {
+	if len(p) == 0 {
+		return 0
+	}
+	return p[len(p)-1]
+}
+
+// HasLoop reports whether any AS appears more than once. Paths with
+// loops (usually poisoning artifacts) are discarded by all inference
+// algorithms.
+func (p Path) HasLoop() bool {
+	if len(p) < 2 {
+		return false
+	}
+	seen := make(map[asn.ASN]bool, len(p))
+	for _, a := range p {
+		if seen[a] {
+			return true
+		}
+		seen[a] = true
+	}
+	return false
+}
+
+// CompactPrepending returns the path with consecutive duplicates
+// (AS-path prepending) collapsed. The receiver is unmodified.
+func (p Path) CompactPrepending() Path {
+	if len(p) == 0 {
+		return nil
+	}
+	out := make(Path, 0, len(p))
+	out = append(out, p[0])
+	for _, a := range p[1:] {
+		if a != out[len(out)-1] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Links returns the canonical links the path traverses, in order.
+func (p Path) Links() []Link {
+	if len(p) < 2 {
+		return nil
+	}
+	out := make([]Link, 0, len(p)-1)
+	for i := 0; i+1 < len(p); i++ {
+		out = append(out, NewLink(p[i], p[i+1]))
+	}
+	return out
+}
+
+// Triplets calls fn for every consecutive AS triplet (left, mid,
+// right) of the path.
+func (p Path) Triplets(fn func(left, mid, right asn.ASN)) {
+	for i := 0; i+2 < len(p); i++ {
+		fn(p[i], p[i+1], p[i+2])
+	}
+}
+
+// String renders the path in the conventional space-separated order.
+func (p Path) String() string {
+	parts := make([]string, len(p))
+	for i, a := range p {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// ParsePath parses a space-separated AS path.
+func ParsePath(s string) (Path, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("asgraph: empty path")
+	}
+	p := make(Path, len(fields))
+	for i, f := range fields {
+		a, err := asn.Parse(f)
+		if err != nil {
+			return nil, fmt.Errorf("asgraph: path element %d: %w", i, err)
+		}
+		p[i] = a
+	}
+	return p, nil
+}
+
+// ValleyFree reports whether the path is valley-free under the
+// relationships in g: it may travel uphill (customer→provider or
+// sibling), then cross at most one peer link, then only downhill
+// (provider→customer or sibling). Links missing from g make the path
+// non-verifiable and ValleyFree returns false for them.
+func (p Path) ValleyFree(g *Graph) bool {
+	// The path as stored runs VP→origin; routes propagate
+	// origin→VP, so evaluate the reversed direction: origin goes up
+	// its providers, across at most one peer link, then down to the VP.
+	const (
+		up = iota
+		across
+		down
+	)
+	phase := up
+	for i := len(p) - 1; i > 0; i-- {
+		from, to := p[i], p[i-1]
+		r, ok := g.Rel(from, to)
+		if !ok {
+			return false
+		}
+		var step int
+		switch r.Type {
+		case S2S:
+			continue // siblings are transparent to the valley rule
+		case P2P:
+			step = across
+		case P2C:
+			if r.Provider == to {
+				step = up // moving to a provider
+			} else {
+				step = down
+			}
+		}
+		switch {
+		case step == up:
+			if phase != up {
+				return false
+			}
+		case step == across:
+			if phase != up {
+				return false
+			}
+			phase = across
+		case step == down:
+			phase = down
+		}
+	}
+	return true
+}

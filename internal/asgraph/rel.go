@@ -1,0 +1,125 @@
+// Package asgraph provides the AS-level graph substrate: typed
+// business relationships between Autonomous Systems, undirected link
+// identities, AS paths, adjacency structures, and derived topology
+// metrics (node degree, customer cones).
+//
+// Terminology follows the AS-relationship literature: a P2C edge
+// points from provider to customer, P2P edges are settlement-free
+// peering, S2S edges connect siblings of one organisation. Partial
+// transit (provider exports only customer and peer routes to the
+// customer, and does not export the customer's routes to its own
+// peers/providers) and hybrid (relationship differs per interconnection
+// point) relationships are modelled as attributes on top of the base
+// type, as in Giotsas et al. (IMC'14).
+package asgraph
+
+import (
+	"fmt"
+
+	"breval/internal/asn"
+)
+
+// RelType is the base type of a business relationship.
+type RelType int8
+
+// Relationship types. The numeric values of P2P and P2C match CAIDA's
+// serial-1 encoding (0 peer, -1 provider-customer); S2S uses CAIDA's
+// serial-2 sibling value (1).
+const (
+	P2P RelType = 0  // settlement-free peers
+	P2C RelType = -1 // provider-to-customer
+	S2S RelType = 1  // siblings (same organisation)
+)
+
+// String implements fmt.Stringer.
+func (t RelType) String() string {
+	switch t {
+	case P2P:
+		return "p2p"
+	case P2C:
+		return "p2c"
+	case S2S:
+		return "s2s"
+	}
+	return fmt.Sprintf("rel(%d)", int8(t))
+}
+
+// Link is the undirected identity of an AS interconnection. The
+// canonical form stores the lexicographically smaller ASN in A, so
+// Link values are comparable and usable as map keys regardless of the
+// direction a link was observed in.
+type Link struct {
+	A, B asn.ASN
+}
+
+// NewLink returns the canonical link between a and b.
+func NewLink(a, b asn.ASN) Link {
+	if a > b {
+		a, b = b, a
+	}
+	return Link{A: a, B: b}
+}
+
+// Has reports whether x is one of the link's endpoints.
+func (l Link) Has(x asn.ASN) bool { return l.A == x || l.B == x }
+
+// Other returns the endpoint that is not x. It panics if x is not an
+// endpoint; callers are expected to check Has first when unsure.
+func (l Link) Other(x asn.ASN) asn.ASN {
+	switch x {
+	case l.A:
+		return l.B
+	case l.B:
+		return l.A
+	}
+	panic(fmt.Sprintf("asgraph: %v is not an endpoint of %v", x, l))
+}
+
+// String implements fmt.Stringer.
+func (l Link) String() string { return fmt.Sprintf("%d<->%d", l.A, l.B) }
+
+// Rel is a typed relationship on a link. For P2C, Provider identifies
+// the provider endpoint (which must be one of the link's endpoints);
+// for P2P and S2S, Provider is zero and meaningless.
+type Rel struct {
+	Type     RelType
+	Provider asn.ASN
+	// PartialTransit marks a P2C relationship in which the provider
+	// exports the customer's routes only to its own customers, never
+	// to its peers or providers (the "174:990"-style arrangement of
+	// §6.1 of Prehn & Feldmann, IMC'21).
+	PartialTransit bool
+	// Hybrid marks a relationship that differs across interconnection
+	// points (PoPs); such links legitimately carry multiple labels.
+	Hybrid bool
+}
+
+// P2CRel constructs a provider-to-customer relationship.
+func P2CRel(provider asn.ASN) Rel { return Rel{Type: P2C, Provider: provider} }
+
+// P2PRel constructs a peering relationship.
+func P2PRel() Rel { return Rel{Type: P2P} }
+
+// S2SRel constructs a sibling relationship.
+func S2SRel() Rel { return Rel{Type: S2S} }
+
+// Customer returns the customer endpoint of a P2C relationship on
+// link l, and ok=false for non-P2C relationships.
+func (r Rel) Customer(l Link) (asn.ASN, bool) {
+	if r.Type != P2C || !l.Has(r.Provider) {
+		return 0, false
+	}
+	return l.Other(r.Provider), true
+}
+
+// String implements fmt.Stringer.
+func (r Rel) String() string {
+	if r.Type == P2C {
+		s := fmt.Sprintf("p2c(provider=%d)", r.Provider)
+		if r.PartialTransit {
+			s += "+partial"
+		}
+		return s
+	}
+	return r.Type.String()
+}

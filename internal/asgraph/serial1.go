@@ -1,0 +1,92 @@
+package asgraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"breval/internal/asn"
+)
+
+// WriteSerial1 serialises the graph's P2C and P2P relationships in
+// CAIDA's serial-1 as-rel format:
+//
+//	# comment
+//	<provider-as>|<customer-as>|-1
+//	<peer-as>|<peer-as>|0
+//
+// S2S relationships are written with value 1 (the serial-2 sibling
+// encoding) so they survive a round trip; consumers that only
+// understand serial-1 skip them. Links are emitted in deterministic
+// order.
+func WriteSerial1(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("# breval as-rel (CAIDA serial-1 layout)\n"); err != nil {
+		return err
+	}
+	for _, l := range g.Links() {
+		r, _ := g.RelOn(l)
+		var line string
+		switch r.Type {
+		case P2C:
+			line = fmt.Sprintf("%d|%d|-1\n", r.Provider, l.Other(r.Provider))
+		case P2P:
+			line = fmt.Sprintf("%d|%d|0\n", l.A, l.B)
+		case S2S:
+			line = fmt.Sprintf("%d|%d|1\n", l.A, l.B)
+		default:
+			continue
+		}
+		if _, err := bw.WriteString(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseSerial1 reads a CAIDA serial-1/serial-2 style as-rel file into
+// a new graph. Unknown relationship values are rejected.
+func ParseSerial1(r io.Reader) (*Graph, error) {
+	g := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("asgraph: serial1 line %d: want 3 fields, got %q", lineno, line)
+		}
+		a, err := asn.Parse(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("asgraph: serial1 line %d: %w", lineno, err)
+		}
+		b, err := asn.Parse(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("asgraph: serial1 line %d: %w", lineno, err)
+		}
+		var rel Rel
+		switch strings.TrimSpace(fields[2]) {
+		case "-1":
+			rel = P2CRel(a)
+		case "0":
+			rel = P2PRel()
+		case "1":
+			rel = S2SRel()
+		default:
+			return nil, fmt.Errorf("asgraph: serial1 line %d: unknown relationship %q", lineno, fields[2])
+		}
+		if err := g.SetRel(a, b, rel); err != nil {
+			return nil, fmt.Errorf("asgraph: serial1 line %d: %w", lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("asgraph: serial1: %w", err)
+	}
+	return g, nil
+}

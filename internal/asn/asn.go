@@ -1,0 +1,125 @@
+// Package asn models Autonomous System Numbers (ASNs), the IANA ASN
+// block registry, and the special/reserved number ranges that matter
+// when cleaning AS-relationship validation data.
+//
+// The package intentionally mirrors the public IANA "Autonomous System
+// (AS) Numbers" registry: 16-bit and 32-bit blocks are assigned to the
+// five Regional Internet Registries (RIRs), and a handful of numbers
+// and ranges are reserved for special purposes (documentation, private
+// use, AS_TRANS). Relationship entries that involve a reserved ASN or
+// AS_TRANS do not describe a business relationship between real
+// networks and must be discarded during validation (§4.2 of Prehn &
+// Feldmann, IMC'21).
+package asn
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ASN is a 32-bit Autonomous System Number.
+type ASN uint32
+
+// Special ASNs and range boundaries, per the IANA registry and RFCs
+// 1930, 4893, 5398, 6793, 6996, 7300 and 7607.
+const (
+	// Zero is reserved (RFC 7607) and must never originate routes.
+	Zero ASN = 0
+	// Trans is AS_TRANS (RFC 6793): a 16-bit placeholder that
+	// represents a 32-bit ASN towards devices that only understand
+	// 16-bit ASNs. It is not a network and cannot have business
+	// relationships.
+	Trans ASN = 23456
+	// Doc16First..Doc16Last is the 16-bit documentation range
+	// (RFC 5398).
+	Doc16First ASN = 64496
+	Doc16Last  ASN = 64511
+	// Private16First..Private16Last is the 16-bit private-use range
+	// (RFC 6996).
+	Private16First ASN = 64512
+	Private16Last  ASN = 65534
+	// Last16 is the last 16-bit ASN; 65535 itself is reserved
+	// (RFC 7300).
+	Last16 ASN = 65535
+	// Doc32First..Doc32Last is the 32-bit documentation range
+	// (RFC 5398).
+	Doc32First ASN = 65536
+	Doc32Last  ASN = 65551
+	// Private32First..Private32Last is the 32-bit private-use range
+	// (RFC 6996).
+	Private32First ASN = 4200000000
+	Private32Last  ASN = 4294967294
+	// Max is the largest 32-bit ASN, reserved by RFC 7300.
+	Max ASN = 4294967295
+)
+
+// String implements fmt.Stringer using the plain ("asplain", RFC 5396)
+// decimal notation used by all modern tooling.
+func (a ASN) String() string { return strconv.FormatUint(uint64(a), 10) }
+
+// IsTrans reports whether a is AS_TRANS.
+func (a ASN) IsTrans() bool { return a == Trans }
+
+// Is16Bit reports whether a fits in 16 bits.
+func (a ASN) Is16Bit() bool { return a <= Last16 }
+
+// IsPrivate reports whether a falls in a private-use range (RFC 6996).
+func (a ASN) IsPrivate() bool {
+	return (a >= Private16First && a <= Private16Last) ||
+		(a >= Private32First && a <= Private32Last)
+}
+
+// IsDocumentation reports whether a falls in a documentation range
+// (RFC 5398).
+func (a ASN) IsDocumentation() bool {
+	return (a >= Doc16First && a <= Doc16Last) ||
+		(a >= Doc32First && a <= Doc32Last)
+}
+
+// IsReserved reports whether a is reserved for any special purpose and
+// therefore cannot identify a publicly routed network: zero, AS_TRANS,
+// documentation, private use, 65535, and 4294967295.
+func (a ASN) IsReserved() bool {
+	switch {
+	case a == Zero, a == Trans, a == Last16, a == Max:
+		return true
+	case a.IsPrivate(), a.IsDocumentation():
+		return true
+	}
+	return false
+}
+
+// Parse converts an ASN string into an ASN. It accepts asplain
+// decimal notation with an optional "AS" prefix ("AS3356", "3356")
+// and the asdot notation of RFC 5396 ("1.5698" = 1<<16 + 5698).
+func Parse(s string) (ASN, error) {
+	if len(s) >= 2 && (s[0] == 'A' || s[0] == 'a') && (s[1] == 'S' || s[1] == 's') {
+		s = s[2:]
+	}
+	if hi, lo, ok := strings.Cut(s, "."); ok {
+		h, err := strconv.ParseUint(hi, 10, 16)
+		if err != nil {
+			return 0, fmt.Errorf("asn: parse asdot %q: %w", s, err)
+		}
+		l, err := strconv.ParseUint(lo, 10, 16)
+		if err != nil {
+			return 0, fmt.Errorf("asn: parse asdot %q: %w", s, err)
+		}
+		return ASN(h<<16 | l), nil
+	}
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("asn: parse %q: %w", s, err)
+	}
+	return ASN(v), nil
+}
+
+// Asdot renders the ASN in RFC 5396 asdot notation: plain decimal for
+// 16-bit ASNs, "high.low" for 32-bit ones.
+func (a ASN) Asdot() string {
+	if a.Is16Bit() {
+		return a.String()
+	}
+	return fmt.Sprintf("%d.%d", uint32(a)>>16, uint32(a)&0xffff)
+}

@@ -1,0 +1,258 @@
+package asn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecialASNs(t *testing.T) {
+	cases := []struct {
+		n        ASN
+		reserved bool
+	}{
+		{Zero, true},
+		{Trans, true},
+		{Last16, true},
+		{Max, true},
+		{Doc16First, true},
+		{Doc16Last, true},
+		{Doc32First, true},
+		{Doc32Last, true},
+		{Private16First, true},
+		{Private16Last, true},
+		{Private32First, true},
+		{Private32Last, true},
+		{1, false},
+		{3356, false},
+		{714, false},
+		{23455, false},
+		{23457, false},
+		{64495, false},      // just below documentation range
+		{65552, false},      // just above 32-bit documentation range
+		{4199999999, false}, // just below 32-bit private range
+	}
+	for _, c := range cases {
+		if got := c.n.IsReserved(); got != c.reserved {
+			t.Errorf("ASN(%d).IsReserved() = %v, want %v", c.n, got, c.reserved)
+		}
+	}
+}
+
+func TestIsTrans(t *testing.T) {
+	if !Trans.IsTrans() {
+		t.Error("Trans.IsTrans() = false")
+	}
+	if ASN(3356).IsTrans() {
+		t.Error("3356.IsTrans() = true")
+	}
+}
+
+func TestIs16Bit(t *testing.T) {
+	if !ASN(65535).Is16Bit() {
+		t.Error("65535 should be 16-bit")
+	}
+	if ASN(65536).Is16Bit() {
+		t.Error("65536 should not be 16-bit")
+	}
+}
+
+func TestParse(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want ASN
+		ok   bool
+	}{
+		{"3356", 3356, true},
+		{"AS3356", 3356, true},
+		{"as714", 714, true},
+		{"0", 0, true},
+		{"4294967295", Max, true},
+		{"4294967296", 0, false},
+		{"-1", 0, false},
+		{"", 0, false},
+		{"AS", 0, false},
+		{"1.0", 65536, true}, // asdot (RFC 5396)
+		{"AS1.5698", 1<<16 + 5698, true},
+		{"1.70000", 0, false}, // asdot low word overflow
+		{"70000.1", 0, false}, // asdot high word overflow
+	} {
+		got, err := Parse(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("Parse(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("Parse(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		got, err := Parse(ASN(n).String())
+		return err == nil && got == ASN(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseAuthority(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Authority
+	}{
+		{"Assigned by ARIN", AuthARIN},
+		{"Assigned by RIPE NCC", AuthRIPE},
+		{"Assigned by APNIC", AuthAPNIC},
+		{"Assigned by LACNIC", AuthLACNIC},
+		{"Assigned by AFRINIC", AuthAFRINIC},
+		{"Reserved by IANA", AuthIANA},
+		{"AS_TRANS; reserved by IANA", AuthIANA},
+		{"Unallocated", AuthIANA},
+		{"something else", AuthUnknown},
+	} {
+		if got := ParseAuthority(c.in); got != c.want {
+			t.Errorf("ParseAuthority(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func testRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r, err := NewRegistry([]Block{
+		{First: 1, Last: 1876, Authority: AuthARIN},
+		{First: 1877, Last: 1901, Authority: AuthRIPE},
+		{First: 2043, Last: 2043, Authority: AuthRIPE},
+		{First: 23456, Last: 23456, Authority: AuthIANA, Description: "AS_TRANS; reserved by IANA"},
+		{First: 131072, Last: 132095, Authority: AuthAPNIC},
+	})
+	if err != nil {
+		t.Fatalf("NewRegistry: %v", err)
+	}
+	return r
+}
+
+func TestRegistryLookup(t *testing.T) {
+	r := testRegistry(t)
+	for _, c := range []struct {
+		n    ASN
+		want Authority
+	}{
+		{1, AuthARIN},
+		{1876, AuthARIN},
+		{1877, AuthRIPE},
+		{2043, AuthRIPE},
+		{2044, AuthUnknown},
+		{23456, AuthIANA},
+		{131072, AuthAPNIC},
+		{132095, AuthAPNIC},
+		{132096, AuthUnknown},
+	} {
+		if got := r.Authority(c.n); got != c.want {
+			t.Errorf("Authority(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestRegistryRejectsOverlap(t *testing.T) {
+	_, err := NewRegistry([]Block{
+		{First: 1, Last: 100, Authority: AuthARIN},
+		{First: 100, Last: 200, Authority: AuthRIPE},
+	})
+	if err == nil {
+		t.Fatal("NewRegistry accepted overlapping blocks")
+	}
+}
+
+func TestRegistryRejectsInvertedRange(t *testing.T) {
+	_, err := NewRegistry([]Block{{First: 100, Last: 1, Authority: AuthARIN}})
+	if err == nil {
+		t.Fatal("NewRegistry accepted an inverted range")
+	}
+}
+
+func TestRegistrySerializationRoundTrip(t *testing.T) {
+	r := testRegistry(t)
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ParseRegistry(&buf)
+	if err != nil {
+		t.Fatalf("ParseRegistry: %v", err)
+	}
+	if got.Len() != r.Len() {
+		t.Fatalf("round trip: got %d blocks, want %d", got.Len(), r.Len())
+	}
+	for i, b := range got.Blocks() {
+		want := r.Blocks()[i]
+		if b.First != want.First || b.Last != want.Last || b.Authority != want.Authority {
+			t.Errorf("block %d: got %+v, want %+v", i, b, want)
+		}
+	}
+}
+
+func TestParseRegistryRealWorldFragment(t *testing.T) {
+	// A fragment copied (in structure) from IANA's as-numbers.csv,
+	// with a trailing column ParseRegistry must tolerate.
+	const in = `Number,Description
+# comment line
+1-1876,Assigned by ARIN
+1877-1901,Assigned by RIPE NCC
+23456,AS_TRANS; reserved by IANA
+
+64496-64511,Reserved for use in documentation and sample code
+`
+	r, err := ParseRegistry(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseRegistry: %v", err)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("got %d blocks, want 4", r.Len())
+	}
+	if got := r.Authority(23456); got != AuthIANA {
+		t.Errorf("Authority(23456) = %v, want IANA", got)
+	}
+	if got := r.Authority(1900); got != AuthRIPE {
+		t.Errorf("Authority(1900) = %v, want RIPE", got)
+	}
+}
+
+func TestParseRegistryErrors(t *testing.T) {
+	for _, in := range []string{
+		"garbage line without comma\n",
+		"5-2,inverted range\n",
+		"abc,not a number\n",
+	} {
+		if _, err := ParseRegistry(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseRegistry(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestAuthorityString(t *testing.T) {
+	if AuthRIPE.String() != "RIPE NCC" {
+		t.Errorf("AuthRIPE.String() = %q", AuthRIPE.String())
+	}
+	if got := Authority(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown authority String() = %q", got)
+	}
+}
+
+func TestAsdot(t *testing.T) {
+	if got := ASN(3356).Asdot(); got != "3356" {
+		t.Errorf("Asdot(3356) = %q", got)
+	}
+	if got := ASN(1<<16 + 5698).Asdot(); got != "1.5698" {
+		t.Errorf("Asdot = %q, want 1.5698", got)
+	}
+	// Round trip through asdot.
+	a := ASN(393216)
+	got, err := Parse(a.Asdot())
+	if err != nil || got != a {
+		t.Errorf("asdot round trip: %v %v", got, err)
+	}
+}

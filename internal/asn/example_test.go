@@ -1,0 +1,30 @@
+package asn_test
+
+import (
+	"fmt"
+	"strings"
+
+	"breval/internal/asn"
+)
+
+func ExampleParse() {
+	a, _ := asn.Parse("AS3356")
+	fmt.Println(a, a.IsReserved())
+	t, _ := asn.Parse("23456")
+	fmt.Println(t, t.IsTrans())
+	// Output:
+	// 3356 false
+	// 23456 true
+}
+
+func ExampleParseRegistry() {
+	const csv = `Number,Description
+1-1876,Assigned by ARIN
+23456,AS_TRANS; reserved by IANA`
+	reg, _ := asn.ParseRegistry(strings.NewReader(csv))
+	fmt.Println(reg.Authority(714))
+	fmt.Println(reg.Authority(23456))
+	// Output:
+	// ARIN
+	// IANA
+}

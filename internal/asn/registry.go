@@ -1,0 +1,230 @@
+package asn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Authority identifies who a block of ASNs is delegated to in the IANA
+// registry: one of the five RIRs, or IANA itself for reserved and
+// unallocated space.
+type Authority uint8
+
+// Authorities, in the lexicographic order the paper uses for its
+// abbreviations (AF, AP, AR, L, R).
+const (
+	AuthUnknown Authority = iota
+	AuthAFRINIC
+	AuthAPNIC
+	AuthARIN
+	AuthLACNIC
+	AuthRIPE
+	AuthIANA // reserved / special purpose / unallocated
+)
+
+var authorityNames = [...]string{
+	AuthUnknown: "Unknown",
+	AuthAFRINIC: "AFRINIC",
+	AuthAPNIC:   "APNIC",
+	AuthARIN:    "ARIN",
+	AuthLACNIC:  "LACNIC",
+	AuthRIPE:    "RIPE NCC",
+	AuthIANA:    "IANA",
+}
+
+// String implements fmt.Stringer.
+func (a Authority) String() string {
+	if int(a) < len(authorityNames) {
+		return authorityNames[a]
+	}
+	return fmt.Sprintf("Authority(%d)", uint8(a))
+}
+
+// ParseAuthority maps a registry description (as found in the IANA
+// as-numbers registry or in delegation files) to an Authority. The
+// match is case-insensitive and tolerant of the "Assigned by X"
+// phrasing the IANA registry uses.
+func ParseAuthority(s string) Authority {
+	t := strings.ToLower(s)
+	switch {
+	case strings.Contains(t, "afrinic"):
+		return AuthAFRINIC
+	case strings.Contains(t, "apnic"):
+		return AuthAPNIC
+	case strings.Contains(t, "arin"):
+		return AuthARIN
+	case strings.Contains(t, "lacnic"):
+		return AuthLACNIC
+	case strings.Contains(t, "ripe"):
+		return AuthRIPE
+	case strings.Contains(t, "iana"), strings.Contains(t, "reserved"),
+		strings.Contains(t, "unallocated"), strings.Contains(t, "documentation"),
+		strings.Contains(t, "private use"), strings.Contains(t, "as_trans"):
+		return AuthIANA
+	}
+	return AuthUnknown
+}
+
+// Block is one row of the IANA AS-numbers registry: a contiguous ASN
+// range delegated to an authority.
+type Block struct {
+	First, Last ASN
+	Authority   Authority
+	Description string
+}
+
+// Contains reports whether n falls inside the block.
+func (b Block) Contains(n ASN) bool { return n >= b.First && n <= b.Last }
+
+// Registry is an ordered, non-overlapping list of IANA blocks,
+// supporting O(log n) lookups. The zero value is an empty registry.
+type Registry struct {
+	blocks []Block
+}
+
+// NewRegistry builds a registry from blocks. Blocks are sorted by first
+// ASN; overlapping blocks are rejected.
+func NewRegistry(blocks []Block) (*Registry, error) {
+	sorted := make([]Block, len(blocks))
+	copy(sorted, blocks)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].First < sorted[j].First })
+	for i := range sorted {
+		if sorted[i].Last < sorted[i].First {
+			return nil, fmt.Errorf("asn: block %d: inverted range %d-%d", i, sorted[i].First, sorted[i].Last)
+		}
+		if i > 0 && sorted[i].First <= sorted[i-1].Last {
+			return nil, fmt.Errorf("asn: blocks %d-%d and %d-%d overlap",
+				sorted[i-1].First, sorted[i-1].Last, sorted[i].First, sorted[i].Last)
+		}
+	}
+	return &Registry{blocks: sorted}, nil
+}
+
+// Blocks returns the registry's blocks in ascending order. The returned
+// slice must not be modified.
+func (r *Registry) Blocks() []Block { return r.blocks }
+
+// Len returns the number of blocks.
+func (r *Registry) Len() int { return len(r.blocks) }
+
+// Lookup returns the block containing n, if any.
+func (r *Registry) Lookup(n ASN) (Block, bool) {
+	i := sort.Search(len(r.blocks), func(i int) bool { return r.blocks[i].Last >= n })
+	if i < len(r.blocks) && r.blocks[i].Contains(n) {
+		return r.blocks[i], true
+	}
+	return Block{}, false
+}
+
+// Authority returns the authority for n, or AuthUnknown when n is not
+// covered by any block.
+func (r *Registry) Authority(n ASN) Authority {
+	if b, ok := r.Lookup(n); ok {
+		return b.Authority
+	}
+	return AuthUnknown
+}
+
+// WriteTo serialises the registry in the IANA as-numbers CSV layout:
+//
+//	Number,Description
+//	1-1876,Assigned by ARIN
+//
+// Single-ASN blocks are written without the dash. A header line is
+// always emitted. WriteTo implements io.WriterTo.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n, err := bw.WriteString("Number,Description\n")
+	total := int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, b := range r.blocks {
+		var line string
+		desc := b.Description
+		if desc == "" {
+			desc = defaultDescription(b.Authority)
+		}
+		if b.First == b.Last {
+			line = fmt.Sprintf("%d,%s\n", b.First, desc)
+		} else {
+			line = fmt.Sprintf("%d-%d,%s\n", b.First, b.Last, desc)
+		}
+		n, err = bw.WriteString(line)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+func defaultDescription(a Authority) string {
+	switch a {
+	case AuthIANA:
+		return "Reserved by IANA"
+	case AuthUnknown:
+		return "Unallocated"
+	}
+	return "Assigned by " + a.String()
+}
+
+// ParseRegistry reads the IANA as-numbers CSV layout produced by
+// WriteTo (and by IANA itself, modulo the extra columns which are
+// ignored). Lines that are empty or start with '#' are skipped.
+func ParseRegistry(r io.Reader) (*Registry, error) {
+	sc := bufio.NewScanner(r)
+	var blocks []Block
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.SplitN(line, ",", 3)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("asn: registry line %d: want at least 2 CSV fields, got %q", lineno, line)
+		}
+		if strings.EqualFold(fields[0], "Number") {
+			continue // header
+		}
+		first, last, err := parseRange(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("asn: registry line %d: %w", lineno, err)
+		}
+		blocks = append(blocks, Block{
+			First:       first,
+			Last:        last,
+			Authority:   ParseAuthority(fields[1]),
+			Description: fields[1],
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("asn: registry: %w", err)
+	}
+	return NewRegistry(blocks)
+}
+
+func parseRange(s string) (first, last ASN, err error) {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		first, err = Parse(s[:i])
+		if err != nil {
+			return 0, 0, err
+		}
+		last, err = Parse(s[i+1:])
+		if err != nil {
+			return 0, 0, err
+		}
+		if last < first {
+			return 0, 0, fmt.Errorf("asn: inverted range %q", s)
+		}
+		return first, last, nil
+	}
+	first, err = Parse(s)
+	return first, first, err
+}

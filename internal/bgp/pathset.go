@@ -1,0 +1,103 @@
+// Package bgp implements an AS-level BGP route-propagation simulator
+// with Gao-Rexford export policies, deterministic route selection,
+// partial-transit export restrictions, and route-collector vantage
+// points. It produces the AS-path sets that relationship-inference
+// algorithms and the community-based validation extractor consume.
+//
+// The model follows the standard routing-tree simulation used in
+// interdomain routing studies: for every origin, each AS selects one
+// best route preferring customer-learned over peer-learned over
+// provider-learned routes, then shorter AS paths, then the lowest
+// next-hop ASN. Export follows Gao-Rexford: routes learned from
+// customers (and own routes) are exported to everyone; routes learned
+// from peers or providers are exported to customers only. Sibling
+// links are transparent: siblings exchange all routes.
+package bgp
+
+import (
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+)
+
+// PathSet is a compact arena of AS paths. Paths are stored
+// back-to-back in one buffer to avoid per-path allocations; At returns
+// views into the arena.
+type PathSet struct {
+	buf  []asn.ASN
+	offs []uint32
+}
+
+// NewPathSet returns an empty path set with capacity hints.
+func NewPathSet(nPaths, nHops int) *PathSet {
+	return &PathSet{
+		buf:  make([]asn.ASN, 0, nHops),
+		offs: append(make([]uint32, 0, nPaths+1), 0),
+	}
+}
+
+// Append adds a copy of p to the set.
+func (ps *PathSet) Append(p asgraph.Path) {
+	ps.buf = append(ps.buf, p...)
+	ps.offs = append(ps.offs, uint32(len(ps.buf)))
+}
+
+// AppendSet adds all paths of other to the set.
+func (ps *PathSet) AppendSet(other *PathSet) {
+	base := uint32(len(ps.buf))
+	ps.buf = append(ps.buf, other.buf...)
+	for _, o := range other.offs[1:] {
+		ps.offs = append(ps.offs, base+o)
+	}
+}
+
+// Len returns the number of paths.
+func (ps *PathSet) Len() int { return len(ps.offs) - 1 }
+
+// At returns the i-th path as a view into the arena; the caller must
+// not modify it.
+func (ps *PathSet) At(i int) asgraph.Path {
+	return asgraph.Path(ps.buf[ps.offs[i]:ps.offs[i+1]])
+}
+
+// ForEach calls fn for every path in insertion order.
+func (ps *PathSet) ForEach(fn func(asgraph.Path)) {
+	for i := 0; i < ps.Len(); i++ {
+		fn(ps.At(i))
+	}
+}
+
+// Links returns the set of distinct links appearing on any path —
+// the "inferred links" universe of the paper (§4.1: all AS links
+// visible in the snapshot).
+func (ps *PathSet) Links() map[asgraph.Link]bool {
+	links := make(map[asgraph.Link]bool)
+	ps.ForEach(func(p asgraph.Path) {
+		for i := 0; i+1 < len(p); i++ {
+			links[asgraph.NewLink(p[i], p[i+1])] = true
+		}
+	})
+	return links
+}
+
+// VPLinkCounts returns, per link, the number of distinct vantage
+// points that observed it.
+func (ps *PathSet) VPLinkCounts() map[asgraph.Link]int {
+	seen := make(map[asgraph.Link]map[asn.ASN]bool)
+	ps.ForEach(func(p asgraph.Path) {
+		vp := p.VantagePoint()
+		for i := 0; i+1 < len(p); i++ {
+			l := asgraph.NewLink(p[i], p[i+1])
+			m := seen[l]
+			if m == nil {
+				m = make(map[asn.ASN]bool, 4)
+				seen[l] = m
+			}
+			m[vp] = true
+		}
+	})
+	out := make(map[asgraph.Link]int, len(seen))
+	for l, m := range seen {
+		out[l] = len(m)
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package bgp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/topogen"
+)
+
+// Property: over arbitrary generated worlds, every collector path is
+// loop-free and valley-free, and every observed link exists in the
+// ground truth. This is the simulator's core soundness contract — an
+// export-rule bug shows up here immediately.
+func TestPropagationSoundnessProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep")
+	}
+	f := func(seed int64) bool {
+		cfg := topogen.DefaultConfig(seed).Scaled(300)
+		w, err := topogen.Generate(cfg)
+		if err != nil {
+			return false
+		}
+		sim := NewSimulator(w.Graph)
+		ps := sim.Propagate(w.ASNs, w.VPs)
+		if ps.Len() == 0 {
+			return false
+		}
+		ok := true
+		ps.ForEach(func(p asgraph.Path) {
+			if p.HasLoop() {
+				ok = false
+			}
+			if len(p) > 1 && !p.ValleyFree(w.Graph) {
+				ok = false
+			}
+			for i := 0; i+1 < len(p); i++ {
+				if _, found := w.Graph.Rel(p[i], p[i+1]); !found {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: partial-transit customers' origins are never reachable
+// from vantage points outside the provider's customer cone through
+// that provider, for arbitrary worlds.
+func TestPartialTransitContainmentProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep")
+	}
+	f := func(seed int64) bool {
+		cfg := topogen.DefaultConfig(seed).Scaled(300)
+		w, err := topogen.Generate(cfg)
+		if err != nil {
+			return false
+		}
+		sim := NewSimulator(w.Graph)
+		ps := sim.Propagate(w.ASNs, w.VPs)
+		ok := true
+		ps.ForEach(func(p asgraph.Path) {
+			p.Triplets(func(left, mid, right asn.ASN) {
+				r, found := w.Graph.Rel(mid, right)
+				if !found || r.Type != asgraph.P2C || r.Provider != mid || !r.PartialTransit {
+					return
+				}
+				// left received a partial customer's route from mid:
+				// left must be mid's customer (or sibling).
+				lr, found := w.Graph.Rel(left, mid)
+				if !found {
+					ok = false
+					return
+				}
+				legit := lr.Type == asgraph.S2S ||
+					(lr.Type == asgraph.P2C && lr.Provider == mid)
+				if !legit {
+					ok = false
+				}
+			})
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,379 @@
+package bgp
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+)
+
+// Route preference classes, higher is preferred. The origin's own
+// route ranks above everything.
+type routeClass uint8
+
+const (
+	clsNone routeClass = iota
+	clsProvider
+	clsPeer
+	clsCustomer
+	clsOrigin
+)
+
+// neighbor is a compact adjacency entry using dense AS indices.
+type neighbor struct {
+	id      int32
+	role    asgraph.Role
+	partial bool // partial-transit customer edge (owner is the provider)
+}
+
+// tiebreak deterministically ranks equally-preferred next hops. Real
+// routers break ties with IGP distance, router IDs and local policy,
+// which looks arbitrary per (chooser, candidate) pair and — crucially
+// — differs between choosers. A fixed global order (e.g. lowest ASN)
+// would funnel every AS's equal-cost choice through the same next hop
+// and starve all other links of path evidence.
+func tiebreak(chooser, candidate int32) uint32 {
+	h := uint32(chooser)*2654435761 ^ uint32(candidate)*40503
+	h ^= h >> 15
+	h *= 2246822519
+	h ^= h >> 13
+	return h
+}
+
+// Simulator propagates routes over a relationship graph. It is safe
+// for concurrent use after construction.
+type Simulator struct {
+	asns []asn.ASN
+	idx  map[asn.ASN]int32
+	nbr  [][]neighbor
+}
+
+// NewSimulator compiles g into a dense simulator.
+func NewSimulator(g *asgraph.Graph) *Simulator {
+	asns := g.ASes()
+	idx := make(map[asn.ASN]int32, len(asns))
+	for i, a := range asns {
+		idx[a] = int32(i)
+	}
+	nbr := make([][]neighbor, len(asns))
+	for i, a := range asns {
+		ns := g.Neighbors(a)
+		row := make([]neighbor, 0, len(ns))
+		for _, n := range ns {
+			row = append(row, neighbor{
+				id:      idx[n.ASN],
+				role:    n.Role,
+				partial: n.PartialTransit,
+			})
+		}
+		// Deterministic adjacency order: ascending neighbor ASN.
+		sort.Slice(row, func(x, y int) bool { return row[x].id < row[y].id })
+		nbr[i] = row
+	}
+	return &Simulator{asns: asns, idx: idx, nbr: nbr}
+}
+
+// NumASes returns the number of ASes known to the simulator.
+func (s *Simulator) NumASes() int { return len(s.asns) }
+
+// state holds per-origin propagation state, reused across origins by
+// one worker.
+type state struct {
+	class      []routeClass
+	dist       []uint16
+	next       []int32 // index of the AS the route was learned from
+	restricted []bool  // best route must not be exported to peers/providers
+	stamp      []uint32
+	cur        uint32
+	frontier   []int32
+	nextFront  []int32
+	buckets    [][]int32
+}
+
+func newState(n int) *state {
+	return &state{
+		class:      make([]routeClass, n),
+		dist:       make([]uint16, n),
+		next:       make([]int32, n),
+		restricted: make([]bool, n),
+		stamp:      make([]uint32, n),
+	}
+}
+
+// reset prepares the state for a new origin using epoch stamps, so no
+// O(n) clearing is needed.
+func (st *state) reset() { st.cur++ }
+
+func (st *state) fresh(i int32) bool { return st.stamp[i] != st.cur }
+
+func (st *state) set(i int32, c routeClass, d uint16, nh int32, restr bool) {
+	st.stamp[i] = st.cur
+	st.class[i] = c
+	st.dist[i] = d
+	st.next[i] = nh
+	st.restricted[i] = restr
+}
+
+func (st *state) has(i int32) bool { return st.stamp[i] == st.cur }
+
+// Propagate computes, for every origin, the best route of every
+// vantage point and returns the resulting VP→origin AS paths.
+// Unreachable (vp, origin) pairs yield no path. The computation is
+// parallel across origins and fully deterministic.
+func (s *Simulator) Propagate(origins, vps []asn.ASN) *PathSet {
+	vpIdx := make([]int32, 0, len(vps))
+	for _, v := range vps {
+		if i, ok := s.idx[v]; ok {
+			vpIdx = append(vpIdx, i)
+		}
+	}
+	sort.Slice(vpIdx, func(a, b int) bool { return vpIdx[a] < vpIdx[b] })
+
+	type job struct {
+		pos    int
+		origin int32
+	}
+	jobs := make([]job, 0, len(origins))
+	for pos, o := range origins {
+		if i, ok := s.idx[o]; ok {
+			jobs = append(jobs, job{pos: pos, origin: i})
+		}
+	}
+
+	nw := runtime.GOMAXPROCS(0)
+	if nw > len(jobs) {
+		nw = len(jobs)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	results := make([]*PathSet, len(jobs))
+	var wg sync.WaitGroup
+	ch := make(chan int, len(jobs))
+	for j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := newState(len(s.asns))
+			for j := range ch {
+				ps := NewPathSet(len(vpIdx), len(vpIdx)*5)
+				s.propagateOne(st, jobs[j].origin, vpIdx, ps)
+				results[j] = ps
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := NewPathSet(len(jobs)*len(vpIdx), len(jobs)*len(vpIdx)*5)
+	for _, ps := range results {
+		if ps != nil {
+			total.AppendSet(ps)
+		}
+	}
+	return total
+}
+
+// propagateOne computes the routing state for a single origin and
+// appends the VP paths to ps.
+func (s *Simulator) propagateOne(st *state, origin int32, vpIdx []int32, ps *PathSet) {
+	st.reset()
+	st.set(origin, clsOrigin, 0, -1, false)
+
+	// Phase 1 — customer routes travel uphill. Layered BFS over
+	// provider and sibling edges; restricted routes stop climbing.
+	// Within a layer, equally-long announcements are resolved by the
+	// per-pair tiebreak.
+	st.frontier = st.frontier[:0]
+	st.frontier = append(st.frontier, origin)
+	for len(st.frontier) > 0 {
+		st.nextFront = st.nextFront[:0]
+		for _, x := range st.frontier {
+			if st.restricted[x] && st.class[x] != clsOrigin {
+				continue // not exported up or across
+			}
+			d := st.dist[x] + 1
+			for _, n := range s.nbr[x] {
+				up := n.role == asgraph.RoleProvider || n.role == asgraph.RoleSibling
+				if !up {
+					continue
+				}
+				if st.has(n.id) {
+					// Same-layer tie: prefer the tiebreak-best
+					// announcer.
+					if st.dist[n.id] != d ||
+						tiebreak(n.id, x) >= tiebreak(n.id, st.next[n.id]) {
+						continue
+					}
+					restr := st.restricted[x] || s.partialEdge(n.id, x)
+					st.set(n.id, clsCustomer, d, x, restr)
+					continue // already on the next frontier
+				}
+				// Does the provider see x over a partial-transit edge?
+				restr := st.restricted[x] || s.partialEdge(n.id, x)
+				st.set(n.id, clsCustomer, d, x, restr)
+				st.nextFront = append(st.nextFront, n.id)
+			}
+		}
+		st.frontier, st.nextFront = st.nextFront, st.frontier
+		sortInt32(st.frontier)
+	}
+
+	// Phase 2 — one peer hop. Collect announcements from every AS
+	// holding an exportable customer/origin route, then apply them.
+	type peerOffer struct {
+		to, from int32
+		dist     uint16
+	}
+	var offers []peerOffer
+	for i := range s.asns {
+		x := int32(i)
+		if !st.has(x) {
+			continue
+		}
+		if c := st.class[x]; c != clsCustomer && c != clsOrigin {
+			continue
+		}
+		if st.restricted[x] && st.class[x] != clsOrigin {
+			continue
+		}
+		d := st.dist[x] + 1
+		for _, n := range s.nbr[x] {
+			if n.role != asgraph.RolePeer {
+				continue
+			}
+			if st.has(n.id) { // already has a customer/origin route
+				continue
+			}
+			offers = append(offers, peerOffer{to: n.id, from: x, dist: d})
+		}
+	}
+	sort.Slice(offers, func(a, b int) bool {
+		if offers[a].to != offers[b].to {
+			return offers[a].to < offers[b].to
+		}
+		if offers[a].dist != offers[b].dist {
+			return offers[a].dist < offers[b].dist
+		}
+		return tiebreak(offers[a].to, offers[a].from) < tiebreak(offers[b].to, offers[b].from)
+	})
+	for _, o := range offers {
+		if st.has(o.to) {
+			continue // first (best) offer wins
+		}
+		st.set(o.to, clsPeer, o.dist, o.from, false)
+	}
+
+	// Phase 3 — downhill. Dijkstra over customer/sibling edges with a
+	// bucket queue keyed by path length; every routed AS seeds the
+	// queue, provider-class routes chain further down.
+	if st.buckets == nil {
+		st.buckets = make([][]int32, 64)
+	}
+	for i := range st.buckets {
+		st.buckets[i] = st.buckets[i][:0]
+	}
+	maxd := 0
+	push := func(x int32) {
+		d := int(st.dist[x])
+		for d >= len(st.buckets) {
+			st.buckets = append(st.buckets, nil)
+		}
+		st.buckets[d] = append(st.buckets[d], x)
+		if d > maxd {
+			maxd = d
+		}
+	}
+	for i := range s.asns {
+		x := int32(i)
+		if st.has(x) {
+			push(x)
+		}
+	}
+	for d := 0; d <= maxd; d++ {
+		layer := st.buckets[d]
+		sortInt32(layer)
+		for _, x := range layer {
+			if int(st.dist[x]) != d {
+				continue // stale entry
+			}
+			nd := uint16(d + 1)
+			for _, n := range s.nbr[x] {
+				down := n.role == asgraph.RoleCustomer || n.role == asgraph.RoleSibling
+				if !down {
+					continue
+				}
+				// Partial transit restricts both directions: the
+				// provider gives such a customer only routes from its
+				// own customer cone, never peer- or provider-learned
+				// ones.
+				if n.partial && st.class[x] != clsCustomer && st.class[x] != clsOrigin {
+					continue
+				}
+				if st.has(n.id) {
+					// Existing route is a better class or shorter —
+					// except a same-length provider route, where the
+					// tiebreak decides.
+					if st.class[n.id] != clsProvider || st.dist[n.id] != nd ||
+						tiebreak(n.id, x) >= tiebreak(n.id, st.next[n.id]) {
+						continue
+					}
+					st.set(n.id, clsProvider, nd, x, false)
+					continue // already queued at this distance
+				}
+				st.set(n.id, clsProvider, nd, x, false)
+				push(n.id)
+				if int(nd) > maxd {
+					maxd = int(nd)
+				}
+			}
+		}
+	}
+
+	// Emit VP paths by walking next-hop pointers.
+	var path asgraph.Path
+	for _, v := range vpIdx {
+		if !st.has(v) {
+			continue
+		}
+		path = path[:0]
+		x := v
+		for x != -1 {
+			path = append(path, s.asns[x])
+			if st.class[x] == clsOrigin {
+				break
+			}
+			x = st.next[x]
+		}
+		ps.Append(path)
+	}
+}
+
+// partialEdge reports whether provider p sees child c over a
+// partial-transit edge.
+func (s *Simulator) partialEdge(p, c int32) bool {
+	row := s.nbr[p]
+	// Binary search by neighbor id.
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if row[mid].id < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(row) && row[lo].id == c {
+		return row[lo].role == asgraph.RoleCustomer && row[lo].partial
+	}
+	return false
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,270 @@
+package bgp
+
+import (
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/topogen"
+)
+
+// hierarchy builds the reference topology used across the tests:
+//
+//	     1 --- 2      (clique, p2p)
+//	    / \     \
+//	  10   11    12   (transit; 10--11 peer)
+//	  /\    |     |
+//	100 101 102  103  (stubs; 100~101 siblings)
+func hierarchy() *asgraph.Graph {
+	g := asgraph.New()
+	g.MustSetRel(1, 2, asgraph.P2PRel())
+	g.MustSetRel(1, 10, asgraph.P2CRel(1))
+	g.MustSetRel(1, 11, asgraph.P2CRel(1))
+	g.MustSetRel(2, 12, asgraph.P2CRel(2))
+	g.MustSetRel(10, 100, asgraph.P2CRel(10))
+	g.MustSetRel(10, 101, asgraph.P2CRel(10))
+	g.MustSetRel(11, 102, asgraph.P2CRel(11))
+	g.MustSetRel(12, 103, asgraph.P2CRel(12))
+	g.MustSetRel(10, 11, asgraph.P2PRel())
+	g.MustSetRel(100, 101, asgraph.S2SRel())
+	return g
+}
+
+func allASNs(g *asgraph.Graph) []asn.ASN { return g.ASes() }
+
+func pathsBetween(ps *PathSet, vp, origin asn.ASN) []asgraph.Path {
+	var out []asgraph.Path
+	ps.ForEach(func(p asgraph.Path) {
+		if p.VantagePoint() == vp && p.Origin() == origin {
+			out = append(out, p)
+		}
+	})
+	return out
+}
+
+func pathEq(p asgraph.Path, want ...asn.ASN) bool {
+	if len(p) != len(want) {
+		return false
+	}
+	for i := range p {
+		if p[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPropagateKnownPaths(t *testing.T) {
+	g := hierarchy()
+	sim := NewSimulator(g)
+	ps := sim.Propagate(allASNs(g), []asn.ASN{100, 103, 1})
+
+	// 100 -> 103 must cross the clique peering.
+	got := pathsBetween(ps, 100, 103)
+	if len(got) != 1 || !pathEq(got[0], 100, 10, 1, 2, 12, 103) {
+		t.Errorf("path 100->103 = %v", got)
+	}
+	// Sibling shortcut: 100 reaches 101 directly.
+	got = pathsBetween(ps, 100, 101)
+	if len(got) != 1 || !pathEq(got[0], 100, 101) {
+		t.Errorf("path 100->101 = %v", got)
+	}
+	// Customer-route preference: VP 1 reaches 102 via its customer 11
+	// even though a (longer or equal) peer path could exist.
+	got = pathsBetween(ps, 1, 102)
+	if len(got) != 1 || !pathEq(got[0], 1, 11, 102) {
+		t.Errorf("path 1->102 = %v", got)
+	}
+	// Each VP has a route to itself (the trivial path).
+	got = pathsBetween(ps, 1, 1)
+	if len(got) != 1 || !pathEq(got[0], 1) {
+		t.Errorf("path 1->1 = %v", got)
+	}
+}
+
+func TestPropagatePeerRoutePreferredOverProvider(t *testing.T) {
+	g := hierarchy()
+	sim := NewSimulator(g)
+	ps := sim.Propagate([]asn.ASN{102}, []asn.ASN{100})
+	// 10 prefers the peer route via 11 over the provider route via 1.
+	got := pathsBetween(ps, 100, 102)
+	if len(got) != 1 || !pathEq(got[0], 100, 10, 11, 102) {
+		t.Errorf("path 100->102 = %v", got)
+	}
+}
+
+func TestPropagateAllPathsValleyFree(t *testing.T) {
+	g := hierarchy()
+	sim := NewSimulator(g)
+	ps := sim.Propagate(allASNs(g), allASNs(g))
+	n := 0
+	ps.ForEach(func(p asgraph.Path) {
+		n++
+		if len(p) > 1 && !p.ValleyFree(g) {
+			t.Errorf("non-valley-free path %v", p)
+		}
+		if p.HasLoop() {
+			t.Errorf("looping path %v", p)
+		}
+	})
+	if n == 0 {
+		t.Fatal("no paths produced")
+	}
+}
+
+func TestPropagateFullVisibilityOnCleanGraph(t *testing.T) {
+	g := hierarchy()
+	sim := NewSimulator(g)
+	all := allASNs(g)
+	ps := sim.Propagate(all, all)
+	// Without export restrictions every AS reaches every origin.
+	want := len(all) * len(all)
+	if ps.Len() != want {
+		t.Errorf("got %d paths, want %d", ps.Len(), want)
+	}
+}
+
+func TestPartialTransitHidesRoutesFromPeers(t *testing.T) {
+	g := hierarchy()
+	// 11 becomes a partial-transit customer of 1: 1 must not export
+	// 11's routes (or its customers') to its peer 2.
+	r, _ := g.Rel(1, 11)
+	r.PartialTransit = true
+	g.MustSetRel(1, 11, r)
+
+	sim := NewSimulator(g)
+	all := allASNs(g)
+	ps := sim.Propagate([]asn.ASN{102, 11}, all)
+
+	for _, origin := range []asn.ASN{102, 11} {
+		for _, vp := range []asn.ASN{2, 12, 103} {
+			if got := pathsBetween(ps, vp, origin); len(got) != 0 {
+				t.Errorf("VP %d should not reach %d (partial transit), got %v", vp, origin, got)
+			}
+		}
+	}
+	// The provider itself and its customers still have routes.
+	if got := pathsBetween(ps, 1, 102); len(got) != 1 || !pathEq(got[0], 1, 11, 102) {
+		t.Errorf("path 1->102 = %v", got)
+	}
+	// 10 hears 102 via its peering with 11, not via 1.
+	if got := pathsBetween(ps, 10, 102); len(got) != 1 || !pathEq(got[0], 10, 11, 102) {
+		t.Errorf("path 10->102 = %v", got)
+	}
+	// Crucially for §6.1: no path contains the triplet 2|1|11 — the
+	// clique triplet ASRank would need to call 1->11 a P2C link.
+	ps2 := sim.Propagate(all, all)
+	ps2.ForEach(func(p asgraph.Path) {
+		p.Triplets(func(l, m, rr asn.ASN) {
+			if l == 2 && m == 1 && (rr == 11 || rr == 102) {
+				t.Errorf("forbidden clique triplet %d|%d|%d on %v", l, m, rr, p)
+			}
+		})
+	})
+}
+
+func TestPropagateDeterministic(t *testing.T) {
+	cfg := topogen.DefaultConfig(21).Scaled(400)
+	w, err := topogen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(w.Graph)
+	ps1 := sim.Propagate(w.ASNs, w.VPs)
+	ps2 := sim.Propagate(w.ASNs, w.VPs)
+	if ps1.Len() != ps2.Len() {
+		t.Fatalf("path counts differ: %d vs %d", ps1.Len(), ps2.Len())
+	}
+	for i := 0; i < ps1.Len(); i++ {
+		if ps1.At(i).String() != ps2.At(i).String() {
+			t.Fatalf("path %d differs: %v vs %v", i, ps1.At(i), ps2.At(i))
+		}
+	}
+}
+
+func TestPropagateSyntheticWorldInvariants(t *testing.T) {
+	cfg := topogen.DefaultConfig(22).Scaled(500)
+	w, err := topogen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(w.Graph)
+	ps := sim.Propagate(w.ASNs, w.VPs)
+	if ps.Len() == 0 {
+		t.Fatal("no paths")
+	}
+	bad := 0
+	ps.ForEach(func(p asgraph.Path) {
+		if p.HasLoop() {
+			t.Fatalf("loop in %v", p)
+		}
+		if len(p) > 1 && !p.ValleyFree(w.Graph) {
+			bad++
+		}
+	})
+	if bad != 0 {
+		t.Errorf("%d non-valley-free paths", bad)
+	}
+	// Visibility sanity: the observed link universe is a subset of
+	// ground truth and contains every clique link.
+	links := ps.Links()
+	for l := range links {
+		if _, ok := w.Graph.RelOn(l); !ok {
+			t.Errorf("observed link %v not in ground truth", l)
+		}
+	}
+	for i, a := range w.Clique {
+		for _, b := range w.Clique[i+1:] {
+			if !links[asgraph.NewLink(a, b)] {
+				t.Errorf("clique link %d-%d invisible", a, b)
+			}
+		}
+	}
+}
+
+func TestVPLinkCounts(t *testing.T) {
+	g := hierarchy()
+	sim := NewSimulator(g)
+	ps := sim.Propagate(allASNs(g), []asn.ASN{100, 103})
+	counts := ps.VPLinkCounts()
+	// The 1-2 clique link is crossed by both VPs.
+	if got := counts[asgraph.NewLink(1, 2)]; got != 2 {
+		t.Errorf("VP count for 1-2 = %d, want 2", got)
+	}
+	// The 12-103 access link: VP 103 uses it for everything; VP 100
+	// crosses it only toward 103.
+	if got := counts[asgraph.NewLink(12, 103)]; got != 2 {
+		t.Errorf("VP count for 12-103 = %d, want 2", got)
+	}
+}
+
+func TestPathSetArena(t *testing.T) {
+	ps := NewPathSet(2, 8)
+	ps.Append(asgraph.Path{1, 2, 3})
+	ps.Append(asgraph.Path{4, 5})
+	if ps.Len() != 2 {
+		t.Fatalf("Len = %d", ps.Len())
+	}
+	if !pathEq(ps.At(0), 1, 2, 3) || !pathEq(ps.At(1), 4, 5) {
+		t.Errorf("At() returned %v / %v", ps.At(0), ps.At(1))
+	}
+	other := NewPathSet(1, 4)
+	other.Append(asgraph.Path{7, 8, 9})
+	ps.AppendSet(other)
+	if ps.Len() != 3 || !pathEq(ps.At(2), 7, 8, 9) {
+		t.Errorf("AppendSet: %v", ps.At(2))
+	}
+	links := ps.Links()
+	if !links[asgraph.NewLink(1, 2)] || !links[asgraph.NewLink(8, 9)] || len(links) != 5 {
+		t.Errorf("Links = %v", links)
+	}
+}
+
+func TestPropagateUnknownVPsAndOrigins(t *testing.T) {
+	g := hierarchy()
+	sim := NewSimulator(g)
+	ps := sim.Propagate([]asn.ASN{999}, []asn.ASN{888})
+	if ps.Len() != 0 {
+		t.Errorf("unknown origin/VP produced %d paths", ps.Len())
+	}
+}

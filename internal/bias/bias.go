@@ -1,0 +1,195 @@
+// Package bias implements the bias analysis of §5 of Prehn & Feldmann
+// (IMC'21): grouping AS links into regional and topological classes,
+// computing per-class link shares and validation coverage, and the 2-D
+// "size" heatmaps (transit degree, customer cone, node degree) that
+// contrast inferred against validatable links.
+package bias
+
+import (
+	"sort"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/registry"
+	"breval/internal/validation"
+)
+
+// RegionClassifier assigns links to regional classes ("R°", "AR-L",
+// ...) using an ASN→region mapping.
+type RegionClassifier struct {
+	mapper *registry.Mapper
+}
+
+// NewRegionClassifier wraps a §5-style region mapper.
+func NewRegionClassifier(m *registry.Mapper) *RegionClassifier {
+	return &RegionClassifier{mapper: m}
+}
+
+// Class returns the link's regional class name. ok is false when a
+// link endpoint is reserved or unmapped (such links are discarded from
+// the analysis, as in the paper).
+func (rc *RegionClassifier) Class(l asgraph.Link) (string, bool) {
+	ra := rc.mapper.Region(l.A)
+	rb := rc.mapper.Region(l.B)
+	if !ra.Valid() || !rb.Valid() {
+		return "", false
+	}
+	if ra == rb {
+		return ra.Abbrev() + "°", true
+	}
+	// Lexicographically smaller abbreviation first.
+	a, b := ra.Abbrev(), rb.Abbrev()
+	if a > b {
+		a, b = b, a
+	}
+	return a + "-" + b, true
+}
+
+// TopoCategory is the paper's node category: Hypergiant, Stub, Tier-1
+// or Transit.
+type TopoCategory uint8
+
+// Node categories, in the paper's class-name ordering (H < S < T1 <
+// TR).
+const (
+	CatHypergiant TopoCategory = iota
+	CatStub
+	CatTier1
+	CatTransit
+)
+
+// String implements fmt.Stringer.
+func (c TopoCategory) String() string {
+	switch c {
+	case CatHypergiant:
+		return "H"
+	case CatStub:
+		return "S"
+	case CatTier1:
+		return "T1"
+	case CatTransit:
+		return "TR"
+	}
+	return "?"
+}
+
+// TopoClassifier assigns links to topological classes following §5:
+// stub/transit is decided by the (inferred) customer cone, then
+// refined by a Tier-1 list and a hypergiant list.
+type TopoClassifier struct {
+	cat map[asn.ASN]TopoCategory
+}
+
+// NewTopoClassifier builds the classifier. coneSizes is the customer
+// cone size per AS derived from inferred relationships (CAIDA-style);
+// tier1 and hypergiants are the external lists.
+func NewTopoClassifier(coneSizes map[asn.ASN]int, tier1, hypergiants []asn.ASN) *TopoClassifier {
+	tc := &TopoClassifier{cat: make(map[asn.ASN]TopoCategory, len(coneSizes))}
+	for a, n := range coneSizes {
+		if n > 0 {
+			tc.cat[a] = CatTransit
+		} else {
+			tc.cat[a] = CatStub
+		}
+	}
+	for _, a := range hypergiants {
+		tc.cat[a] = CatHypergiant
+	}
+	for _, a := range tier1 {
+		tc.cat[a] = CatTier1
+	}
+	return tc
+}
+
+// Category returns the node category of a. ASes absent from the cone
+// data default to Stub.
+func (tc *TopoClassifier) Category(a asn.ASN) TopoCategory {
+	if c, ok := tc.cat[a]; ok {
+		return c
+	}
+	return CatStub
+}
+
+// Class returns the link's topological class name ("S-TR", "TR°", ...).
+func (tc *TopoClassifier) Class(l asgraph.Link) (string, bool) {
+	ca, cb := tc.Category(l.A), tc.Category(l.B)
+	if ca == cb {
+		return ca.String() + "°", true
+	}
+	if ca > cb {
+		ca, cb = cb, ca
+	}
+	return ca.String() + "-" + cb.String(), true
+}
+
+// LinkClassifier maps a link to a class name; the bool discards the
+// link when false.
+type LinkClassifier interface {
+	Class(asgraph.Link) (string, bool)
+}
+
+// ClassStat holds one bar pair of Figures 1/2: a class's share of the
+// inferred links and its validation coverage.
+type ClassStat struct {
+	Class string
+	// Links is the number of inferred links in the class, Share its
+	// fraction of all classified links.
+	Links int
+	Share float64
+	// Validated is the number of class links with validation labels;
+	// Coverage is Validated/Links.
+	Validated int
+	Coverage  float64
+}
+
+// Imbalance computes per-class link shares and validation coverage for
+// the inferred link set, sorted by descending share (the paper's bar
+// order). Snapshot entries count as validated whatever their label
+// multiplicity, matching "fraction of links for which we have
+// validation labels".
+func Imbalance(links map[asgraph.Link]bool, snap *validation.Snapshot, cls LinkClassifier) []ClassStat {
+	byClass := make(map[string]*ClassStat)
+	total := 0
+	for l := range links {
+		name, ok := cls.Class(l)
+		if !ok {
+			continue
+		}
+		st := byClass[name]
+		if st == nil {
+			st = &ClassStat{Class: name}
+			byClass[name] = st
+		}
+		st.Links++
+		total++
+		if snap != nil && snap.Has(l) {
+			st.Validated++
+		}
+	}
+	out := make([]ClassStat, 0, len(byClass))
+	for _, st := range byClass {
+		if total > 0 {
+			st.Share = float64(st.Links) / float64(total)
+		}
+		if st.Links > 0 {
+			st.Coverage = float64(st.Validated) / float64(st.Links)
+		}
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Share != out[j].Share {
+			return out[i].Share > out[j].Share
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
+}
+
+// FilterForClass returns a metrics-style filter selecting the links of
+// one class.
+func FilterForClass(cls LinkClassifier, name string) func(asgraph.Link) bool {
+	return func(l asgraph.Link) bool {
+		got, ok := cls.Class(l)
+		return ok && got == name
+	}
+}

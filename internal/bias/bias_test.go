@@ -1,0 +1,233 @@
+package bias
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/registry"
+	"breval/internal/validation"
+)
+
+func regionMapper(t *testing.T) *registry.Mapper {
+	t.Helper()
+	iana, err := asn.NewRegistry([]asn.Block{
+		{First: 1, Last: 100, Authority: asn.AuthARIN},
+		{First: 101, Last: 200, Authority: asn.AuthRIPE},
+		{First: 201, Last: 300, Authority: asn.AuthLACNIC},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return registry.NewMapper(iana)
+}
+
+func TestRegionClass(t *testing.T) {
+	rc := NewRegionClassifier(regionMapper(t))
+	for _, c := range []struct {
+		a, b asn.ASN
+		want string
+		ok   bool
+	}{
+		{1, 2, "AR°", true},
+		{150, 160, "R°", true},
+		{1, 150, "AR-R", true},
+		{150, 1, "AR-R", true}, // order-independent
+		{250, 1, "AR-L", true},
+		{250, 150, "L-R", true},
+		{1, 5000, "", false},      // unmapped
+		{1, asn.Trans, "", false}, // reserved
+	} {
+		got, ok := rc.Class(asgraph.NewLink(c.a, c.b))
+		if ok != c.ok || got != c.want {
+			t.Errorf("Class(%d,%d) = %q, %v; want %q, %v", c.a, c.b, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestTopoClass(t *testing.T) {
+	cones := map[asn.ASN]int{
+		1: 500, 2: 400, // tier-1s (also transit by cone)
+		10: 50, 11: 3, // transit
+		100: 0, 101: 0, // stubs
+		200: 0, // hypergiant (stub by cone)
+	}
+	tc := NewTopoClassifier(cones, []asn.ASN{1, 2}, []asn.ASN{200})
+	for _, c := range []struct {
+		a, b asn.ASN
+		want string
+	}{
+		{1, 2, "T1°"},
+		{1, 10, "T1-TR"},
+		{10, 11, "TR°"},
+		{10, 100, "S-TR"},
+		{100, 1, "S-T1"},
+		{100, 101, "S°"},
+		{200, 10, "H-TR"},
+		{200, 100, "H-S"},
+		{200, 1, "H-T1"},
+		{999, 100, "S°"}, // unknown defaults to stub
+	} {
+		got, ok := tc.Class(asgraph.NewLink(c.a, c.b))
+		if !ok || got != c.want {
+			t.Errorf("Class(%d,%d) = %q, want %q", c.a, c.b, got, c.want)
+		}
+	}
+	if tc.Category(10) != CatTransit || tc.Category(100) != CatStub {
+		t.Error("Category wrong")
+	}
+	if CatHypergiant.String() != "H" || TopoCategory(9).String() != "?" {
+		t.Error("category names wrong")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	rc := NewRegionClassifier(regionMapper(t))
+	links := map[asgraph.Link]bool{
+		asgraph.NewLink(1, 2):     true, // AR°
+		asgraph.NewLink(3, 4):     true, // AR°
+		asgraph.NewLink(5, 6):     true, // AR°
+		asgraph.NewLink(150, 151): true, // R°
+		asgraph.NewLink(250, 251): true, // L°
+		asgraph.NewLink(1, 9999):  true, // discarded
+	}
+	snap := validation.NewSnapshot()
+	snap.Add(asgraph.NewLink(1, 2), validation.Label{Type: asgraph.P2P})
+	snap.Add(asgraph.NewLink(3, 4), validation.Label{Type: asgraph.P2P})
+	snap.Add(asgraph.NewLink(150, 151), validation.Label{Type: asgraph.P2P})
+
+	stats := Imbalance(links, snap, rc)
+	if len(stats) != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[0].Class != "AR°" || stats[0].Links != 3 {
+		t.Errorf("top class = %+v", stats[0])
+	}
+	if math.Abs(stats[0].Share-0.6) > 1e-12 {
+		t.Errorf("AR° share = %v, want 0.6", stats[0].Share)
+	}
+	if math.Abs(stats[0].Coverage-2.0/3) > 1e-12 {
+		t.Errorf("AR° coverage = %v", stats[0].Coverage)
+	}
+	// L° exists with zero coverage.
+	for _, st := range stats {
+		if st.Class == "L°" && (st.Coverage != 0 || st.Validated != 0) {
+			t.Errorf("L° = %+v", st)
+		}
+	}
+}
+
+func TestFilterForClass(t *testing.T) {
+	rc := NewRegionClassifier(regionMapper(t))
+	f := FilterForClass(rc, "AR°")
+	if !f(asgraph.NewLink(1, 2)) || f(asgraph.NewLink(150, 151)) || f(asgraph.NewLink(1, 9999)) {
+		t.Error("filter wrong")
+	}
+}
+
+func TestBuildHeatmap(t *testing.T) {
+	links := []asgraph.Link{
+		asgraph.NewLink(1, 2),
+		asgraph.NewLink(3, 4),
+		asgraph.NewLink(5, 6),
+		asgraph.NewLink(7, 8),
+	}
+	metric := map[asn.ASN]int{
+		1: 5, 2: 7, // both tiny -> bin (0,0)
+		3: 2000, 4: 3, // x catch-all, y bin 0
+		5: 500, 6: 200, // larger 500 -> x=5, smaller 200 >= 150 -> y catch-all
+		7: 9999, 8: 9999, // both catch-all
+	}
+	h := BuildHeatmap(links, metric, TransitDegreeSpec())
+	if h.Total != 4 {
+		t.Fatalf("Total = %d", h.Total)
+	}
+	nx := len(h.Frac[0]) - 1
+	ny := len(h.Frac) - 1
+	if h.Frac[0][0] != 0.25 {
+		t.Errorf("corner = %v", h.Frac[0][0])
+	}
+	if h.Frac[0][nx] != 0.25 {
+		t.Errorf("x catch-all = %v", h.Frac[0][nx])
+	}
+	if h.Frac[ny][5] != 0.25 {
+		t.Errorf("y catch-all = %v", h.Frac[ny][5])
+	}
+	if h.Frac[ny][nx] != 0.25 {
+		t.Errorf("both catch-all = %v", h.Frac[ny][nx])
+	}
+	// Mass adds to 1.
+	sum := 0.0
+	for _, row := range h.Frac {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("mass = %v", sum)
+	}
+	if got := h.MassAbove(1, 1); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("MassAbove(1,1) = %v", got)
+	}
+}
+
+func TestBuildHeatmapEmpty(t *testing.T) {
+	h := BuildHeatmap(nil, nil, ConeSpec())
+	if h.Total != 0 {
+		t.Error("empty heatmap total wrong")
+	}
+	if h.MassAbove(0, 0) != 0 {
+		t.Error("empty heatmap mass wrong")
+	}
+}
+
+func TestMissingMetricDefaultsToZero(t *testing.T) {
+	h := BuildHeatmap([]asgraph.Link{asgraph.NewLink(1, 2)}, map[asn.ASN]int{}, NodeDegreeSpec())
+	if h.Frac[0][0] != 1 {
+		t.Errorf("missing metric: %v", h.Frac[0][0])
+	}
+}
+
+// Property: heatmap mass always sums to ~1 for non-empty link sets,
+// whatever the metric values and spec, and CornerMass is within
+// [0, 1].
+func TestHeatmapMassProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		links := make([]asgraph.Link, 0, n)
+		metric := map[asn.ASN]int{}
+		for i := 0; i < n; i++ {
+			a := asn.ASN(rng.Intn(300) + 1)
+			b := asn.ASN(rng.Intn(300) + 1)
+			if a == b {
+				continue
+			}
+			links = append(links, asgraph.NewLink(a, b))
+			metric[a] = rng.Intn(5000)
+			metric[b] = rng.Intn(5000)
+		}
+		if len(links) == 0 {
+			return true
+		}
+		spec := SpecFromData(links, metric, 10)
+		h := BuildHeatmap(links, metric, spec)
+		sum := 0.0
+		for _, row := range h.Frac {
+			for _, v := range row {
+				sum += v
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		cm := h.CornerMass(0.5, 0.5)
+		return cm >= 0 && cm <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package bias
+
+import (
+	"sort"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+)
+
+// Heatmap is the 2-D link-size histogram of Figures 3 and 7-9: every
+// link is binned by the size metric of its two incident ASes, larger
+// metric on the X axis, smaller on the Y axis. The last bin of each
+// axis is a catch-all for everything at or above the axis cap (the
+// paper's "row above 150 / column right of 1500").
+type Heatmap struct {
+	// XBinWidth/YBinWidth are the bin widths; XCap/YCap the catch-all
+	// thresholds.
+	XBinWidth, YBinWidth int
+	XCap, YCap           int
+	// Frac[y][x] is the fraction of links in the bin; y grows with
+	// the smaller metric, x with the larger.
+	Frac [][]float64
+	// Total is the number of binned links.
+	Total int
+}
+
+// HeatmapSpec configures the binning.
+type HeatmapSpec struct {
+	XBinWidth, YBinWidth int
+	XCap, YCap           int
+}
+
+// TransitDegreeSpec reproduces Figure 3's axes: larger transit degree
+// up to 1500, smaller up to 150.
+func TransitDegreeSpec() HeatmapSpec {
+	return HeatmapSpec{XBinWidth: 100, YBinWidth: 10, XCap: 1500, YCap: 150}
+}
+
+// ConeSpec reproduces Figures 7/8's axes: larger PPDC cone size up to
+// 750, smaller up to 45.
+func ConeSpec() HeatmapSpec {
+	return HeatmapSpec{XBinWidth: 50, YBinWidth: 3, XCap: 750, YCap: 45}
+}
+
+// NodeDegreeSpec reproduces Figure 9's axes (same caps as Figure 3).
+func NodeDegreeSpec() HeatmapSpec {
+	return HeatmapSpec{XBinWidth: 100, YBinWidth: 10, XCap: 1500, YCap: 150}
+}
+
+// SpecFromData derives a spec from the links to be binned, so the
+// figure stays meaningful for worlds whose size metrics are orders of
+// magnitude below the 2018 Internet's: the caps sit near the 98th
+// percentile of the larger/smaller endpoint metrics (keeping the
+// paper's catch-all top row and right column), with bins bins per
+// axis.
+func SpecFromData(links []asgraph.Link, metric map[asn.ASN]int, bins int) HeatmapSpec {
+	if bins < 2 {
+		bins = 15
+	}
+	larger := make([]int, 0, len(links))
+	smaller := make([]int, 0, len(links))
+	for _, l := range links {
+		ma, mb := metric[l.A], metric[l.B]
+		if ma < mb {
+			ma, mb = mb, ma
+		}
+		larger = append(larger, ma)
+		smaller = append(smaller, mb)
+	}
+	xcap := quantileInt(larger, 0.98)
+	ycap := quantileInt(smaller, 0.98)
+	xw := (xcap + bins - 1) / bins
+	if xw < 1 {
+		xw = 1
+	}
+	yw := (ycap + bins - 1) / bins
+	if yw < 1 {
+		yw = 1
+	}
+	return HeatmapSpec{XBinWidth: xw, YBinWidth: yw, XCap: xw * bins, YCap: yw * bins}
+}
+
+func quantileInt(vals []int, q float64) int {
+	if len(vals) == 0 {
+		return 1
+	}
+	s := append([]int(nil), vals...)
+	sort.Ints(s)
+	i := int(q * float64(len(s)-1))
+	v := s[i]
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// BuildHeatmap bins the given links by the per-AS size metric.
+// Links whose endpoints lack a metric value use zero, like the paper's
+// treatment of ASes missing from the size data.
+func BuildHeatmap(links []asgraph.Link, metric map[asn.ASN]int, spec HeatmapSpec) *Heatmap {
+	nx := spec.XCap/spec.XBinWidth + 1
+	ny := spec.YCap/spec.YBinWidth + 1
+	h := &Heatmap{
+		XBinWidth: spec.XBinWidth, YBinWidth: spec.YBinWidth,
+		XCap: spec.XCap, YCap: spec.YCap,
+		Frac: make([][]float64, ny),
+	}
+	for y := range h.Frac {
+		h.Frac[y] = make([]float64, nx)
+	}
+	for _, l := range links {
+		ma, mb := metric[l.A], metric[l.B]
+		if ma < mb {
+			ma, mb = mb, ma
+		}
+		x := ma / spec.XBinWidth
+		if x >= nx {
+			x = nx - 1
+		}
+		y := mb / spec.YBinWidth
+		if y >= ny {
+			y = ny - 1
+		}
+		h.Frac[y][x]++
+		h.Total++
+	}
+	if h.Total > 0 {
+		for y := range h.Frac {
+			for x := range h.Frac[y] {
+				h.Frac[y][x] /= float64(h.Total)
+			}
+		}
+	}
+	return h
+}
+
+// MassAbove returns the fraction of links whose bin lies outside the
+// lowest qx × qy corner bins — a scalar summary of how spread out the
+// distribution is (the paper's validation heatmaps are far more
+// uniform than the inferred ones, which concentrate in the
+// bottom-left corner).
+func (h *Heatmap) MassAbove(qx, qy int) float64 {
+	sum := 0.0
+	for y := range h.Frac {
+		for x := range h.Frac[y] {
+			if x >= qx || y >= qy {
+				sum += h.Frac[y][x]
+			}
+		}
+	}
+	return sum
+}
+
+// CornerMass returns the fraction of links binned into the lowest
+// fx/fy fraction of the x/y axes (e.g. CornerMass(1.0/3, 1.0/3) is
+// the bottom-left ninth). The paper's inferred heatmaps concentrate
+// here; the validated ones are far more uniform.
+func (h *Heatmap) CornerMass(fx, fy float64) float64 {
+	if len(h.Frac) == 0 {
+		return 0
+	}
+	qx := int(fx * float64(len(h.Frac[0])))
+	qy := int(fy * float64(len(h.Frac)))
+	return 1 - h.MassAbove(qx, qy)
+}

@@ -1,0 +1,244 @@
+// Package casestudy reproduces §6.1 of Prehn & Feldmann (IMC'21): the
+// AS714 (Cogent) analysis of Tier-1-to-transit links that an inference
+// wrongly classifies as P2P although the validation data says P2C.
+//
+// The study proceeds exactly like the paper:
+//
+//  1. Find the "target links": validated-P2C, inferred-P2P links
+//     between the inferred clique and transit ASes, and identify the
+//     Tier-1 involved in most of them (the AS714 stand-in).
+//  2. Verify algorithmic cause: no observed path contains a triplet
+//     C|T1|X with C another clique member — the evidence ASRank would
+//     need for a P2C inference.
+//  3. Explain the routing cause via the "looking glass": the
+//     customer's routes carry a no-export-to-peers community at the
+//     provider (partial transit), or the validation data itself is
+//     wrong (stale community documentation).
+package casestudy
+
+import (
+	"sort"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/inference"
+	"breval/internal/inference/features"
+	"breval/internal/validation"
+)
+
+// Cause classifies why a target link was wrongly inferred (or wrongly
+// validated).
+type Cause uint8
+
+// Causes surfaced by the looking-glass analysis.
+const (
+	// CausePartialTransit: the link is P2C with a no-export-to-peers
+	// arrangement, hiding the clique triplets (the paper's majority
+	// case).
+	CausePartialTransit Cause = iota
+	// CauseInaccurateValidation: the link is really P2P; the
+	// community-derived validation label is wrong (1 case in the
+	// paper).
+	CauseInaccurateValidation
+	// CauseOther: neither explanation applies (e.g. visibility
+	// artifacts).
+	CauseOther
+)
+
+// String implements fmt.Stringer.
+func (c Cause) String() string {
+	switch c {
+	case CausePartialTransit:
+		return "partial-transit"
+	case CauseInaccurateValidation:
+		return "inaccurate-validation"
+	}
+	return "other"
+}
+
+// TargetLink is one wrongly-inferred link with its diagnosis.
+type TargetLink struct {
+	Link asgraph.Link
+	// Tier1 is the clique endpoint.
+	Tier1 asn.ASN
+	// HasCliqueTriplet reports whether any path contains C|T1|X with C
+	// another clique member — expected false for all target links.
+	HasCliqueTriplet bool
+	Cause            Cause
+}
+
+// Report is the full §6.1 analysis.
+type Report struct {
+	// WrongP2P is the total number of validated-P2C links between
+	// clique and transit ASes that the algorithm inferred as P2P
+	// (the paper's 111).
+	WrongP2P int
+	// Focus is the Tier-1 involved in most wrong links (AS714's
+	// stand-in) and FocusCount its number of wrong links (54 in the
+	// paper).
+	Focus      asn.ASN
+	FocusCount int
+	// Targets describes the focus AS's wrong links.
+	Targets []TargetLink
+	// AllTargets describes every wrong link (all clique members),
+	// diagnosed the same way; Targets is its focus-AS subset.
+	AllTargets []TargetLink
+	// ByCause counts the diagnosed causes over the focus targets.
+	ByCause map[Cause]int
+}
+
+// LookingGlass answers "does the route from customer X at provider T1
+// carry a no-export-to-peers community, and what is the relationship
+// really?". In a real deployment this queries the operator's looking
+// glass; here it is answered from the simulator's ground truth, which
+// plays that role.
+type LookingGlass interface {
+	// PartialTransit reports whether t1 treats x as a partial-transit
+	// customer (routes tagged no-export-to-peers).
+	PartialTransit(t1, x asn.ASN) bool
+	// TrueRelType returns the actual relationship type of the link.
+	TrueRelType(a, b asn.ASN) (asgraph.RelType, bool)
+}
+
+// Analyze runs the case study for the given inference.
+func Analyze(res *inference.Result, truth *validation.Snapshot, fs *features.Set, lg LookingGlass) Report {
+	rep := Report{ByCause: make(map[Cause]int)}
+	cliqueSet := make(map[asn.ASN]bool, len(res.Clique))
+	for _, c := range res.Clique {
+		cliqueSet[c] = true
+	}
+
+	// Step 1: wrong-P2P links per clique member.
+	perT1 := make(map[asn.ASN][]asgraph.Link)
+	truth.ForEach(func(l asgraph.Link, lbs []validation.Label) {
+		if len(lbs) != 1 || lbs[0].Type != asgraph.P2C {
+			return
+		}
+		var t1 asn.ASN
+		switch {
+		case cliqueSet[l.A] && !cliqueSet[l.B]:
+			t1 = l.A
+		case cliqueSet[l.B] && !cliqueSet[l.A]:
+			t1 = l.B
+		default:
+			return
+		}
+		// Transit counterpart only (the T1-TR class).
+		if fs.TransitDegree[l.Other(t1)] == 0 {
+			return
+		}
+		p, ok := res.Rel(l)
+		if !ok || p.Type != asgraph.P2P {
+			return
+		}
+		rep.WrongP2P++
+		perT1[t1] = append(perT1[t1], l)
+	})
+
+	for t1, links := range perT1 {
+		if len(links) > rep.FocusCount ||
+			(len(links) == rep.FocusCount && t1 < rep.Focus) {
+			rep.Focus = t1
+			rep.FocusCount = len(links)
+		}
+	}
+	if rep.FocusCount == 0 {
+		return rep
+	}
+
+	// Step 2: clique-triplet search for the focus AS's target links.
+	targets := perT1[rep.Focus]
+	sort.Slice(targets, func(i, j int) bool {
+		if targets[i].A != targets[j].A {
+			return targets[i].A < targets[j].A
+		}
+		return targets[i].B < targets[j].B
+	})
+	hasTriplet := make(map[asgraph.Link]bool, len(targets))
+	targetSet := make(map[asgraph.Link]bool, len(targets))
+	for _, l := range targets {
+		targetSet[l] = true
+	}
+	fs.Paths.ForEach(func(p asgraph.Path) {
+		p.Triplets(func(left, mid, right asn.ASN) {
+			if mid != rep.Focus {
+				return
+			}
+			if cliqueSet[left] && targetSet[asgraph.NewLink(mid, right)] {
+				hasTriplet[asgraph.NewLink(mid, right)] = true
+			}
+			if cliqueSet[right] && targetSet[asgraph.NewLink(mid, left)] {
+				hasTriplet[asgraph.NewLink(mid, left)] = true
+			}
+		})
+	})
+
+	// Step 3: looking-glass diagnosis, for the focus AS's targets and
+	// for every other clique member's wrong links.
+	diagnose := func(t1 asn.ASN, l asgraph.Link, withTriplet bool) TargetLink {
+		t := TargetLink{Link: l, Tier1: t1, HasCliqueTriplet: withTriplet}
+		x := l.Other(t1)
+		switch {
+		case lg != nil && lg.PartialTransit(t1, x):
+			t.Cause = CausePartialTransit
+		case lg != nil && trueTypeIs(lg, l, asgraph.P2P):
+			t.Cause = CauseInaccurateValidation
+		default:
+			t.Cause = CauseOther
+		}
+		return t
+	}
+	for _, l := range targets {
+		t := diagnose(rep.Focus, l, hasTriplet[l])
+		rep.ByCause[t.Cause]++
+		rep.Targets = append(rep.Targets, t)
+	}
+	t1s := make([]asn.ASN, 0, len(perT1))
+	for t1 := range perT1 {
+		t1s = append(t1s, t1)
+	}
+	sort.Slice(t1s, func(i, j int) bool { return t1s[i] < t1s[j] })
+	for _, t1 := range t1s {
+		links := perT1[t1]
+		sort.Slice(links, func(i, j int) bool {
+			if links[i].A != links[j].A {
+				return links[i].A < links[j].A
+			}
+			return links[i].B < links[j].B
+		})
+		for _, l := range links {
+			rep.AllTargets = append(rep.AllTargets, diagnose(t1, l, hasTriplet[l]))
+		}
+	}
+	return rep
+}
+
+// Reclassify applies the looking-glass diagnosis back to the
+// inference, the improvement §6 says is still available to future
+// classification efforts: every wrong-P2P link whose cause is partial
+// transit becomes a P2C (with the partial-transit attribute), and
+// links whose validation label was found inaccurate stay P2P. The
+// input result is not modified.
+func Reclassify(res *inference.Result, rep Report) *inference.Result {
+	out := inference.NewResult(res.Name+"+LG", res.Len())
+	out.Clique = res.Clique
+	for l, rel := range res.Rels {
+		out.Set(l, rel)
+	}
+	for _, t := range rep.AllTargets {
+		if t.Cause != CausePartialTransit {
+			continue
+		}
+		out.Set(t.Link, asgraph.Rel{
+			Type:           asgraph.P2C,
+			Provider:       t.Tier1,
+			PartialTransit: true,
+		})
+	}
+	return out
+}
+
+func trueTypeIs(lg LookingGlass, l asgraph.Link, want asgraph.RelType) bool {
+	got, ok := lg.TrueRelType(l.A, l.B)
+	return ok && got == want
+}

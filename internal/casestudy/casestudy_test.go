@@ -1,0 +1,191 @@
+package casestudy
+
+import (
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+	"breval/internal/inference"
+	"breval/internal/inference/features"
+	"breval/internal/validation"
+)
+
+// glass is a test looking glass backed by a plain graph.
+type glass struct{ g *asgraph.Graph }
+
+func (gl glass) PartialTransit(t1, x asn.ASN) bool {
+	r, ok := gl.g.Rel(t1, x)
+	return ok && r.Type == asgraph.P2C && r.Provider == t1 && r.PartialTransit
+}
+
+func (gl glass) TrueRelType(a, b asn.ASN) (asgraph.RelType, bool) {
+	r, ok := gl.g.Rel(a, b)
+	return r.Type, ok
+}
+
+// fixture: clique {1,2,3}; 1 has partial customers 20, 21 (validated
+// P2C, inferred P2P), one true peer 22 with a wrong P2C validation
+// label, and a normal customer 23; 2 has one partial customer 30.
+func fixture(t *testing.T) (*inference.Result, *validation.Snapshot, *features.Set, glass) {
+	t.Helper()
+	g := asgraph.New()
+	g.MustSetRel(1, 2, asgraph.P2PRel())
+	g.MustSetRel(1, 3, asgraph.P2PRel())
+	g.MustSetRel(2, 3, asgraph.P2PRel())
+	for _, c := range []asn.ASN{20, 21} {
+		g.MustSetRel(1, c, asgraph.Rel{Type: asgraph.P2C, Provider: 1, PartialTransit: true})
+	}
+	g.MustSetRel(1, 22, asgraph.P2PRel())
+	g.MustSetRel(1, 23, asgraph.P2CRel(1))
+	g.MustSetRel(2, 30, asgraph.Rel{Type: asgraph.P2C, Provider: 2, PartialTransit: true})
+	// Give the transit ASes customers so they have transit degree.
+	for i, tr := range []asn.ASN{20, 21, 22, 23, 30} {
+		g.MustSetRel(tr, asn.ASN(100+i), asgraph.P2CRel(tr))
+	}
+
+	pred := inference.NewResult("ASRank", 8)
+	pred.Clique = []asn.ASN{1, 2, 3}
+	pred.Set(asgraph.NewLink(1, 20), asgraph.P2PRel()) // wrong
+	pred.Set(asgraph.NewLink(1, 21), asgraph.P2PRel()) // wrong
+	pred.Set(asgraph.NewLink(1, 22), asgraph.P2PRel()) // right, but validation says P2C
+	pred.Set(asgraph.NewLink(1, 23), asgraph.P2CRel(1))
+	pred.Set(asgraph.NewLink(2, 30), asgraph.P2PRel()) // wrong
+
+	truth := validation.NewSnapshot()
+	truth.Add(asgraph.NewLink(1, 20), validation.Label{Type: asgraph.P2C, Provider: 1})
+	truth.Add(asgraph.NewLink(1, 21), validation.Label{Type: asgraph.P2C, Provider: 1})
+	truth.Add(asgraph.NewLink(1, 22), validation.Label{Type: asgraph.P2C, Provider: 1}) // inaccurate
+	truth.Add(asgraph.NewLink(1, 23), validation.Label{Type: asgraph.P2C, Provider: 1})
+	truth.Add(asgraph.NewLink(2, 30), validation.Label{Type: asgraph.P2C, Provider: 2})
+
+	// Paths: normal customer 23 has a clique triplet (2|1|23); the
+	// partial customers appear only below 1.
+	ps := bgp.NewPathSet(8, 64)
+	ps.Append(asgraph.Path{2, 1, 23, 103})
+	ps.Append(asgraph.Path{23, 1, 20, 100})
+	ps.Append(asgraph.Path{23, 1, 21, 101})
+	ps.Append(asgraph.Path{23, 1, 22, 102})
+	ps.Append(asgraph.Path{30, 2, 1, 23})
+	ps.Append(asgraph.Path{2, 30, 104}) // 30 in transit position
+	fs := features.Compute(ps)
+	return pred, truth, fs, glass{g}
+}
+
+func TestAnalyze(t *testing.T) {
+	pred, truth, fs, lg := fixture(t)
+	rep := Analyze(pred, truth, fs, lg)
+
+	if rep.WrongP2P != 4 {
+		t.Errorf("WrongP2P = %d, want 4", rep.WrongP2P)
+	}
+	if rep.Focus != 1 || rep.FocusCount != 3 {
+		t.Errorf("Focus = %d (%d links), want AS1 with 3", rep.Focus, rep.FocusCount)
+	}
+	if len(rep.Targets) != 3 {
+		t.Fatalf("targets = %v", rep.Targets)
+	}
+	for _, tl := range rep.Targets {
+		if tl.HasCliqueTriplet {
+			t.Errorf("target %v has a clique triplet; it should not", tl.Link)
+		}
+		if tl.Tier1 != 1 {
+			t.Errorf("target %v attributed to %d", tl.Link, tl.Tier1)
+		}
+	}
+	if rep.ByCause[CausePartialTransit] != 2 {
+		t.Errorf("partial-transit causes = %d, want 2", rep.ByCause[CausePartialTransit])
+	}
+	if rep.ByCause[CauseInaccurateValidation] != 1 {
+		t.Errorf("inaccurate-validation causes = %d, want 1", rep.ByCause[CauseInaccurateValidation])
+	}
+}
+
+func TestAnalyzeTripletDetection(t *testing.T) {
+	pred, truth, _, lg := fixture(t)
+	// Add a path that DOES provide a clique triplet for 1-20: the
+	// analysis must flag it.
+	ps := bgp.NewPathSet(2, 16)
+	ps.Append(asgraph.Path{3, 1, 20, 100})
+	ps.Append(asgraph.Path{23, 1, 21, 101})
+	fs := features.Compute(ps)
+	rep := Analyze(pred, truth, fs, lg)
+	found := false
+	for _, tl := range rep.Targets {
+		if tl.Link == asgraph.NewLink(1, 20) {
+			found = true
+			if !tl.HasCliqueTriplet {
+				t.Error("clique triplet 3|1|20 not detected")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("target 1-20 missing")
+	}
+}
+
+func TestAnalyzeNilLookingGlass(t *testing.T) {
+	pred, truth, fs, _ := fixture(t)
+	rep := Analyze(pred, truth, fs, nil)
+	if rep.ByCause[CauseOther] != len(rep.Targets) {
+		t.Errorf("without a looking glass all causes must be other: %v", rep.ByCause)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	pred := inference.NewResult("x", 0)
+	rep := Analyze(pred, validation.NewSnapshot(), features.Compute(bgp.NewPathSet(0, 0)), nil)
+	if rep.WrongP2P != 0 || rep.FocusCount != 0 || len(rep.Targets) != 0 {
+		t.Errorf("empty analysis: %+v", rep)
+	}
+}
+
+func TestCauseString(t *testing.T) {
+	if CausePartialTransit.String() != "partial-transit" ||
+		CauseInaccurateValidation.String() != "inaccurate-validation" ||
+		CauseOther.String() != "other" {
+		t.Error("cause names wrong")
+	}
+}
+
+func TestAllTargetsCoverEveryT1(t *testing.T) {
+	pred, truth, fs, lg := fixture(t)
+	rep := Analyze(pred, truth, fs, lg)
+	if len(rep.AllTargets) != rep.WrongP2P {
+		t.Errorf("AllTargets = %d, want %d", len(rep.AllTargets), rep.WrongP2P)
+	}
+	t1s := map[asn.ASN]bool{}
+	for _, tl := range rep.AllTargets {
+		t1s[tl.Tier1] = true
+	}
+	if !t1s[1] || !t1s[2] {
+		t.Errorf("AllTargets misses a Tier-1: %v", t1s)
+	}
+}
+
+func TestReclassify(t *testing.T) {
+	pred, truth, fs, lg := fixture(t)
+	rep := Analyze(pred, truth, fs, lg)
+	fixed := Reclassify(pred, rep)
+	if fixed.Len() != pred.Len() {
+		t.Fatalf("result size changed: %d vs %d", fixed.Len(), pred.Len())
+	}
+	// Partial-transit targets become P2C with the Tier-1 as provider.
+	for _, l := range []asgraph.Link{asgraph.NewLink(1, 20), asgraph.NewLink(1, 21), asgraph.NewLink(2, 30)} {
+		rel, ok := fixed.Rel(l)
+		if !ok || rel.Type != asgraph.P2C || !rel.PartialTransit {
+			t.Errorf("%v not reclassified: %v %v", l, rel, ok)
+		}
+	}
+	// The inaccurate-validation link stays P2P (the inference was right).
+	if rel, _ := fixed.Rel(asgraph.NewLink(1, 22)); rel.Type != asgraph.P2P {
+		t.Errorf("1-22 flipped although validation was wrong: %v", rel)
+	}
+	// The original is untouched.
+	if rel, _ := pred.Rel(asgraph.NewLink(1, 20)); rel.Type != asgraph.P2P {
+		t.Error("Reclassify mutated its input")
+	}
+	if fixed.Name != "ASRank+LG" {
+		t.Errorf("Name = %q", fixed.Name)
+	}
+}

@@ -1,0 +1,169 @@
+// Package communities models relationship-encoding BGP communities and
+// the Luckie et al. (IMC'13) extraction method that turns them into
+// "best-effort" validation data for AS relationships.
+//
+// A publisher AS documents a dictionary mapping community values to
+// meanings ("learned from customer", "learned from peer", ...). Its
+// routers tag every route on ingress with the value that corresponds
+// to the true relationship of the neighbor the route was learned from.
+// A route collector that receives a route whose communities include
+// publisher X's tag for "learned from peer" reveals the relationship
+// between X and the next AS on the path.
+//
+// Two real-world defects are modelled because the paper's §4.2 and
+// §6.1 hinge on them:
+//
+//   - Stale dictionaries: a publisher's documentation may not match
+//     its router configuration anymore, producing wrong labels
+//     ("inaccurate validation data" in §6.1).
+//   - Community stripping: ASes that scrub foreign communities on
+//     export destroy tags set below them, so a tag only reaches the
+//     collector if no AS between the publisher and the vantage point
+//     strips (this is what makes the sampling biased towards links
+//     near vantage points).
+package communities
+
+import (
+	"fmt"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+)
+
+// Community is one RFC 1997 community value: the high 16 bits carry
+// the tagging AS, the low 16 bits the value.
+type Community struct {
+	ASN   asn.ASN // tagging AS (16-bit in the classic attribute)
+	Value uint16
+}
+
+// String implements fmt.Stringer.
+func (c Community) String() string { return fmt.Sprintf("%d:%d", c.ASN, c.Value) }
+
+// Meaning is what a community value encodes in a publisher's
+// dictionary.
+type Meaning uint8
+
+// Meanings relevant to relationship extraction. MeaningOther covers
+// everything else a dictionary documents (blackholing, traffic
+// engineering, ...) which extraction ignores.
+const (
+	MeaningNone Meaning = iota
+	MeaningFromCustomer
+	MeaningFromPeer
+	MeaningFromProvider
+	MeaningFromSibling
+	MeaningNoExportToPeers // action community, e.g. 174:990
+	MeaningOther
+)
+
+// String implements fmt.Stringer.
+func (m Meaning) String() string {
+	switch m {
+	case MeaningFromCustomer:
+		return "learned-from-customer"
+	case MeaningFromPeer:
+		return "learned-from-peer"
+	case MeaningFromProvider:
+		return "learned-from-provider"
+	case MeaningFromSibling:
+		return "learned-from-sibling"
+	case MeaningNoExportToPeers:
+		return "no-export-to-peers"
+	case MeaningOther:
+		return "other"
+	}
+	return "none"
+}
+
+// Dictionary is a publisher's documented community encoding. Values
+// holds the documented meaning per community value. Applied holds the
+// value the routers actually tag per relationship; for an accurate
+// dictionary the two agree.
+type Dictionary struct {
+	ASN    asn.ASN
+	Values map[uint16]Meaning
+	// applied maps the true ingress role to the tagged value.
+	applied map[asgraph.Role]uint16
+	// Stale marks dictionaries whose documentation diverged from the
+	// router configuration (see NewStaleDictionary).
+	Stale bool
+}
+
+// Value schemes: publishers use one of a few conventional layouts
+// (mirroring how e.g. 3356, 174 and 2914 use different value ranges),
+// so identical values mean different things at different ASes — the
+// ambiguity §3.2 discusses.
+var schemes = [][4]uint16{
+	// customer, peer, provider, sibling
+	{100, 200, 300, 400},
+	{1000, 2000, 3000, 4000},
+	{65, 66, 67, 68},
+	{3001, 666, 2001, 4001}, // note: 666 is blackhole at other ASes
+}
+
+// NewDictionary builds an accurate dictionary for publisher a using a
+// value scheme chosen by the publisher's ASN.
+func NewDictionary(a asn.ASN) *Dictionary {
+	s := schemes[int(a)%len(schemes)]
+	d := &Dictionary{
+		ASN: a,
+		Values: map[uint16]Meaning{
+			s[0]: MeaningFromCustomer,
+			s[1]: MeaningFromPeer,
+			s[2]: MeaningFromProvider,
+			s[3]: MeaningFromSibling,
+			990:  MeaningNoExportToPeers,
+		},
+		applied: map[asgraph.Role]uint16{
+			asgraph.RoleCustomer: s[0],
+			asgraph.RolePeer:     s[1],
+			asgraph.RoleProvider: s[2],
+			asgraph.RoleSibling:  s[3],
+		},
+	}
+	return d
+}
+
+// NewStaleDictionary builds a dictionary whose documentation is out of
+// date: the routers tag peer ingress with the value the documentation
+// declares as the customer tag. Extraction through such a dictionary
+// yields P2C labels for links that are really P2P — the "inaccurate
+// validation data" case of §6.1.
+func NewStaleDictionary(a asn.ASN) *Dictionary {
+	d := NewDictionary(a)
+	d.Stale = true
+	// Routers were reconfigured: peer ingress now tags the documented
+	// customer value.
+	d.applied[asgraph.RolePeer] = d.applied[asgraph.RoleCustomer]
+	return d
+}
+
+// AppliedValue returns the community value the publisher's routers tag
+// for a route learned over the given ingress role.
+func (d *Dictionary) AppliedValue(role asgraph.Role) (uint16, bool) {
+	v, ok := d.applied[role]
+	return v, ok
+}
+
+// Decode returns the documented meaning of value v.
+func (d *Dictionary) Decode(v uint16) Meaning { return d.Values[v] }
+
+// DecodeToLabel converts a documented meaning observed on a route
+// tagged by publisher x about the link x-neighbor into a relationship
+// label, following Luckie et al.: "learned from customer" implies the
+// neighbor is x's customer, etc. ok is false for non-relationship
+// meanings.
+func DecodeToLabel(x, neighbor asn.ASN, m Meaning) (asgraph.Rel, bool) {
+	switch m {
+	case MeaningFromCustomer:
+		return asgraph.P2CRel(x), true
+	case MeaningFromPeer:
+		return asgraph.P2PRel(), true
+	case MeaningFromProvider:
+		return asgraph.P2CRel(neighbor), true
+	case MeaningFromSibling:
+		return asgraph.S2SRel(), true
+	}
+	return asgraph.Rel{}, false
+}

@@ -1,0 +1,246 @@
+package communities
+
+import (
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+	"breval/internal/topogen"
+	"breval/internal/validation"
+)
+
+// extractFixture: 1--2 clique; 1->10, 1->11 p2c; 10--11 p2p;
+// 10->100 p2c; 11->102 p2c.
+func extractFixture() *asgraph.Graph {
+	g := asgraph.New()
+	g.MustSetRel(1, 2, asgraph.P2PRel())
+	g.MustSetRel(1, 10, asgraph.P2CRel(1))
+	g.MustSetRel(1, 11, asgraph.P2CRel(1))
+	g.MustSetRel(10, 11, asgraph.P2PRel())
+	g.MustSetRel(10, 100, asgraph.P2CRel(10))
+	g.MustSetRel(11, 102, asgraph.P2CRel(11))
+	return g
+}
+
+func pathSet(paths ...asgraph.Path) *bgp.PathSet {
+	ps := bgp.NewPathSet(len(paths), 16)
+	for _, p := range paths {
+		ps.Append(p)
+	}
+	return ps
+}
+
+func TestDictionaryRoundTrip(t *testing.T) {
+	for _, a := range []asn.ASN{1, 2, 3, 4, 100} {
+		d := NewDictionary(a)
+		for _, role := range []asgraph.Role{
+			asgraph.RoleCustomer, asgraph.RolePeer, asgraph.RoleProvider, asgraph.RoleSibling,
+		} {
+			v, ok := d.AppliedValue(role)
+			if !ok {
+				t.Fatalf("AS%d: no applied value for %v", a, role)
+			}
+			m := d.Decode(v)
+			want := map[asgraph.Role]Meaning{
+				asgraph.RoleCustomer: MeaningFromCustomer,
+				asgraph.RolePeer:     MeaningFromPeer,
+				asgraph.RoleProvider: MeaningFromProvider,
+				asgraph.RoleSibling:  MeaningFromSibling,
+			}[role]
+			if m != want {
+				t.Errorf("AS%d role %v: decoded %v, want %v", a, role, m, want)
+			}
+		}
+	}
+}
+
+func TestSchemesDisagree(t *testing.T) {
+	// The ambiguity of §3.2: the same value decodes differently (or
+	// not at all) at publishers using different schemes.
+	d0 := NewDictionary(0) // scheme 0: 200 = peer
+	d3 := NewDictionary(3) // scheme 3: 666 = peer
+	if d0.Decode(200) != MeaningFromPeer {
+		t.Error("scheme 0: 200 should be peer")
+	}
+	if d3.Decode(666) != MeaningFromPeer {
+		t.Error("scheme 3: 666 should be peer")
+	}
+	if d0.Decode(666) == MeaningFromPeer {
+		t.Error("scheme 0 should not decode 666 as peer")
+	}
+}
+
+func TestStaleDictionaryMislabelsPeers(t *testing.T) {
+	d := NewStaleDictionary(7)
+	v, _ := d.AppliedValue(asgraph.RolePeer)
+	if d.Decode(v) != MeaningFromCustomer {
+		t.Error("stale dictionary should decode peer-tagged routes as customer")
+	}
+	if !d.Stale {
+		t.Error("Stale flag unset")
+	}
+}
+
+func TestDecodeToLabel(t *testing.T) {
+	r, ok := DecodeToLabel(10, 100, MeaningFromCustomer)
+	if !ok || r.Type != asgraph.P2C || r.Provider != 10 {
+		t.Errorf("customer: %v %v", r, ok)
+	}
+	r, ok = DecodeToLabel(10, 1, MeaningFromProvider)
+	if !ok || r.Type != asgraph.P2C || r.Provider != 1 {
+		t.Errorf("provider: %v %v", r, ok)
+	}
+	r, ok = DecodeToLabel(10, 11, MeaningFromPeer)
+	if !ok || r.Type != asgraph.P2P {
+		t.Errorf("peer: %v %v", r, ok)
+	}
+	r, ok = DecodeToLabel(10, 11, MeaningFromSibling)
+	if !ok || r.Type != asgraph.S2S {
+		t.Errorf("sibling: %v %v", r, ok)
+	}
+	if _, ok := DecodeToLabel(10, 11, MeaningNoExportToPeers); ok {
+		t.Error("action community decoded to a label")
+	}
+	if _, ok := DecodeToLabel(10, 11, MeaningNone); ok {
+		t.Error("unknown value decoded to a label")
+	}
+}
+
+func TestExtractPublisherTagsOnly(t *testing.T) {
+	g := extractFixture()
+	// Only AS 10 publishes.
+	ex := NewExtractor(g, map[asn.ASN]bool{10: true}, nil, nil)
+	// Path 100<-10<-1<-11<-102 seen at VP 100 (order VP..origin).
+	snap := ex.Extract(pathSet(asgraph.Path{100, 10, 1, 11, 102}))
+	// AS 10 is at position 1, next toward origin is 1 (its provider).
+	lb, ok := snap.Label(asgraph.NewLink(10, 1))
+	if !ok || lb.Type != asgraph.P2C || lb.Provider != 1 {
+		t.Errorf("10-1 label = %v, %v; want p2c(1)", lb, ok)
+	}
+	// No other link may be labelled: 1 and 11 do not publish.
+	if snap.Len() != 1 {
+		t.Errorf("snapshot has %d entries, want 1: %v", snap.Len(), snap.Links())
+	}
+}
+
+func TestExtractAllRoles(t *testing.T) {
+	g := extractFixture()
+	ex := NewExtractor(g, map[asn.ASN]bool{10: true}, nil, nil)
+	snap := ex.Extract(pathSet(
+		asgraph.Path{100, 10, 1},  // 10 learned from provider 1... position 1, next=1
+		asgraph.Path{1, 10, 100},  // 10 tags customer 100
+		asgraph.Path{100, 10, 11}, // 10 tags peer 11
+	))
+	if lb, ok := snap.Label(asgraph.NewLink(10, 100)); !ok || lb.Type != asgraph.P2C || lb.Provider != 10 {
+		t.Errorf("10-100 = %v, %v", lb, ok)
+	}
+	if lb, ok := snap.Label(asgraph.NewLink(10, 11)); !ok || lb.Type != asgraph.P2P {
+		t.Errorf("10-11 = %v, %v", lb, ok)
+	}
+}
+
+func TestExtractStrippingBlocksDeepTags(t *testing.T) {
+	g := extractFixture()
+	// 11 publishes, but 1 strips foreign communities: the tag 11 sets
+	// on the 11-102 link cannot reach VP 100 through 1.
+	ex := NewExtractor(g, map[asn.ASN]bool{11: true},
+		map[asn.ASN]bool{1: true}, nil)
+	snap := ex.Extract(pathSet(asgraph.Path{100, 10, 1, 11, 102}))
+	if snap.Len() != 0 {
+		t.Errorf("stripped tag extracted: %v", snap.Links())
+	}
+	// But a VP adjacent to 11 still sees it.
+	snap = ex.Extract(pathSet(asgraph.Path{1, 11, 102}))
+	// Position 0 is the VP itself (1, strips but tags set by deeper
+	// publisher 11 at position 1 must pass through... 1 strips, so no.
+	if snap.Len() != 0 {
+		t.Errorf("tag through stripping VP extracted: %v", snap.Links())
+	}
+	snap = ex.Extract(pathSet(asgraph.Path{11, 102}))
+	if lb, ok := snap.Label(asgraph.NewLink(11, 102)); !ok || lb.Type != asgraph.P2C || lb.Provider != 11 {
+		t.Errorf("VP's own tag lost: %v %v", lb, ok)
+	}
+}
+
+func TestExtractStaleDictionaryProducesWrongLabel(t *testing.T) {
+	g := extractFixture()
+	ex := NewExtractor(g, map[asn.ASN]bool{10: true}, nil, []asn.ASN{10})
+	snap := ex.Extract(pathSet(asgraph.Path{100, 10, 11})) // 11 is 10's peer
+	lb, ok := snap.Label(asgraph.NewLink(10, 11))
+	if !ok || lb.Type != asgraph.P2C || lb.Provider != 10 {
+		t.Errorf("stale label = %v, %v; want wrong p2c(10)", lb, ok)
+	}
+}
+
+func TestExtractHybridYieldsMultipleLabels(t *testing.T) {
+	g := extractFixture()
+	r, _ := g.Rel(10, 11)
+	r.Hybrid = true
+	g.MustSetRel(10, 11, r)
+	ex := NewExtractor(g, map[asn.ASN]bool{10: true}, nil, nil)
+	// Two VPs of different parity observe the same link.
+	snap := ex.Extract(pathSet(
+		asgraph.Path{100, 10, 11}, // vp 100: (100+11)%2 == 1 -> base (peer)
+		asgraph.Path{101, 10, 11}, // vp 101: (101+11)%2 == 0 -> customer PoP
+	))
+	lbs := snap.Labels(asgraph.NewLink(10, 11))
+	if len(lbs) != 2 {
+		t.Fatalf("hybrid link labels = %v, want 2", lbs)
+	}
+}
+
+func TestExtractOnSyntheticWorld(t *testing.T) {
+	w, err := topogen.Generate(topogen.DefaultConfig(33).Scaled(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := bgp.NewSimulator(w.Graph)
+	ps := sim.Propagate(w.ASNs, w.VPs)
+	ex := NewExtractor(w.Graph, w.Publishers, w.Strippers, nil)
+	snap := ex.Extract(ps)
+	if snap.Len() == 0 {
+		t.Fatal("no validation data extracted")
+	}
+	// Every extracted label must describe a link adjacent to a
+	// publisher, and (accurate dictionaries, no hybrid surprises
+	// beyond multi-labels) match ground truth for single-label
+	// non-hybrid entries.
+	wrong := 0
+	snap.ForEach(func(l asgraph.Link, lbs []validation.Label) {
+		if !w.Publishers[l.A] && !w.Publishers[l.B] {
+			t.Errorf("label on %v but neither endpoint publishes", l)
+		}
+		truth, ok := w.Graph.RelOn(l)
+		if !ok {
+			t.Errorf("label on unknown link %v", l)
+			return
+		}
+		if truth.Hybrid || len(lbs) != 1 {
+			return
+		}
+		if lbs[0].Type != truth.Type ||
+			(truth.Type == asgraph.P2C && lbs[0].Provider != truth.Provider) {
+			wrong++
+		}
+	})
+	if wrong != 0 {
+		t.Errorf("%d single-label entries disagree with ground truth", wrong)
+	}
+	// Coverage must be partial: publishers are a biased subset.
+	visible := ps.Links()
+	if snap.Len() >= len(visible) {
+		t.Errorf("validation covers %d of %d visible links; expected partial coverage",
+			snap.Len(), len(visible))
+	}
+}
+
+func TestCommunityString(t *testing.T) {
+	c := Community{ASN: 3356, Value: 666}
+	if c.String() != "3356:666" {
+		t.Errorf("String = %q", c.String())
+	}
+	if MeaningFromPeer.String() != "learned-from-peer" || MeaningNone.String() != "none" {
+		t.Error("meaning names wrong")
+	}
+}

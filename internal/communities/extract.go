@@ -1,0 +1,120 @@
+package communities
+
+import (
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+	"breval/internal/validation"
+)
+
+// Extractor replays the community-based validation-data compilation
+// over a set of collector-observed paths. For every path position
+// occupied by a publisher X, the tag X applied on ingress (derived
+// from the true relationship to the next AS towards the origin, via
+// X's — possibly stale — dictionary) is decoded back into a label,
+// provided the tag survived to the collector (no stripping AS between
+// X and the vantage point).
+type Extractor struct {
+	// Truth is the ground-truth graph the taggers configure their
+	// routers from.
+	Truth *asgraph.Graph
+	// Dictionaries per publisher AS.
+	Dictionaries map[asn.ASN]*Dictionary
+	// Strippers are ASes that scrub foreign communities on export.
+	Strippers map[asn.ASN]bool
+}
+
+// NewExtractor builds an extractor with accurate dictionaries for all
+// publishers, then replaces the dictionaries of the ASes listed in
+// stale with stale ones.
+func NewExtractor(truth *asgraph.Graph, publishers map[asn.ASN]bool, strippers map[asn.ASN]bool, stale []asn.ASN) *Extractor {
+	dicts := make(map[asn.ASN]*Dictionary, len(publishers))
+	for a, ok := range publishers {
+		if ok {
+			dicts[a] = NewDictionary(a)
+		}
+	}
+	for _, a := range stale {
+		if _, ok := dicts[a]; ok {
+			dicts[a] = NewStaleDictionary(a)
+		}
+	}
+	return &Extractor{Truth: truth, Dictionaries: dicts, Strippers: strippers}
+}
+
+// ingressRole returns the role of neighbor relative to x for the route
+// observed by vantage point vp. Hybrid links resolve to different
+// relationships at different PoPs; which PoP a route crosses is
+// deterministic in (vp, link).
+func (e *Extractor) ingressRole(x, neighbor, vp asn.ASN) (asgraph.Role, bool) {
+	r, ok := e.Truth.Rel(x, neighbor)
+	if !ok {
+		return 0, false
+	}
+	if r.Hybrid {
+		// Half the vantage points observe the link at a PoP where it
+		// behaves as P2C (x the provider), the rest at the documented
+		// base relationship.
+		if (uint32(vp)+uint32(neighbor))%2 == 0 {
+			return asgraph.RoleCustomer, true
+		}
+	}
+	switch r.Type {
+	case asgraph.P2P:
+		return asgraph.RolePeer, true
+	case asgraph.S2S:
+		return asgraph.RoleSibling, true
+	case asgraph.P2C:
+		if r.Provider == x {
+			return asgraph.RoleCustomer, true
+		}
+		return asgraph.RoleProvider, true
+	}
+	return 0, false
+}
+
+// Extract compiles the raw (uncleaned) validation snapshot from the
+// path set.
+func (e *Extractor) Extract(ps *bgp.PathSet) *validation.Snapshot {
+	snap := validation.NewSnapshot()
+	ps.ForEach(func(p asgraph.Path) {
+		e.extractPath(p, snap)
+	})
+	return snap
+}
+
+func (e *Extractor) extractPath(p asgraph.Path, snap *validation.Snapshot) {
+	vp := p.VantagePoint()
+	for i := 0; i+1 < len(p); i++ {
+		x := p[i]
+		// A tag set by x survives to the collector only if no AS
+		// between x and the collector strips foreign communities.
+		// Check incrementally: once a stripper is passed, deeper tags
+		// are unreachable too — but tags set by the stripper itself
+		// survive, so test positions before x only.
+		if i > 0 && e.Strippers[p[i-1]] {
+			// p[i-1] strips; nothing x or anyone beyond tags gets
+			// through — unless an earlier position already failed,
+			// which the return below handles uniformly.
+			return
+		}
+		dict, ok := e.Dictionaries[x]
+		if !ok {
+			continue
+		}
+		role, ok := e.ingressRole(x, p[i+1], vp)
+		if !ok {
+			continue
+		}
+		value, ok := dict.AppliedValue(role)
+		if !ok {
+			continue
+		}
+		meaning := dict.Decode(value)
+		rel, ok := DecodeToLabel(x, p[i+1], meaning)
+		if !ok {
+			continue
+		}
+		snap.Add(asgraph.NewLink(x, p[i+1]), validation.LabelOf(rel))
+	}
+}

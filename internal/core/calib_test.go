@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"breval/internal/sampling"
+)
+
+// TestCalibrationDiagnostic logs the calibrated shape of every
+// experiment next to the paper's published values, for eyeballing
+// drift after generator changes. Run with -v; -short skips it.
+func TestCalibrationDiagnostic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration diagnostic")
+	}
+	s := DefaultScenario(1)
+	s.NumASes = 3000
+	art, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("world: ASes=%d links=%d VPs=%d publishers=%d", len(art.World.ASNs),
+		art.World.Graph.NumLinks(), len(art.World.VPs), len(art.World.Publishers))
+	t.Logf("paths=%d inferredLinks=%d rawVal=%d cleanVal=%d", art.Paths.Len(),
+		len(art.InferredLinks), art.RawValidation.Len(), art.Validation.Len())
+	t.Logf("clean report: %+v", art.CleanReport)
+
+	t.Log("Figure 1 paper shares:   R°.39 AR°.15 L°.14 AP°.08 AR-R.08 AP-R.06 AP-AR.03 AF-R.02 AR-L.02 AF°.01 L-R.01")
+	t.Log("Figure 1 paper coverage: R°.15 AR°.31 L°.00 AP°.05 AR-R.32 AP-R.07 AP-AR.17 AF-R.04 AR-L.18 AF°.00 L-R.08")
+	for _, st := range art.Figure1() {
+		t.Logf("  %-6s share %.3f cover %.3f (links %d val %d)", st.Class, st.Share, st.Coverage, st.Links, st.Validated)
+	}
+	t.Log("Figure 2 paper shares:   S-TR.48 TR°.34 S-T1.07 S°.04 T1-TR.04 H-TR.02 H-S.01 H-T1.00")
+	t.Log("Figure 2 paper coverage: S-TR.06 TR°.12 S-T1.74 S°.00 T1-TR.74 H-TR.07 H-S.00 H-T1.58")
+	for _, st := range art.Figure2() {
+		t.Logf("  %-6s share %.3f cover %.3f (links %d val %d)", st.Class, st.Share, st.Coverage, st.Links, st.Validated)
+	}
+	f3 := art.Figure3()
+	t.Logf("Figure 3 corner(1/3): inferred %.3f validated %.3f (want inferred larger)",
+		f3.Inferred.CornerMass(1.0/3, 1.0/3), f3.Validated.CornerMass(1.0/3, 1.0/3))
+
+	paperT1TR := map[string][3]float64{ // PPV_P, TPR_P, MCC
+		AlgoASRank:    {0.839, 0.955, 0.886},
+		AlgoProbLink:  {0.718, 0.670, 0.667},
+		AlgoTopoScope: {0.798, 0.947, 0.858},
+	}
+	for _, algo := range []string{AlgoASRank, AlgoProbLink, AlgoTopoScope} {
+		tab, err := art.TableFor(algo, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("Table %s Total: PPVp %.3f TPRp %.3f LCp %d | PPVc %.3f TPRc %.3f LCc %d | MCC %.3f",
+			algo, tab.Total.PPVP, tab.Total.TPRP, tab.Total.LCP,
+			tab.Total.PPVC, tab.Total.TPRC, tab.Total.LCC, tab.Total.MCC)
+		for _, r := range tab.Rows {
+			note := ""
+			if r.Class == "T1-TR" {
+				p := paperT1TR[algo]
+				note = fmt.Sprintf(" <- paper: PPVp %.3f TPRp %.3f MCC %.3f", p[0], p[1], p[2])
+			}
+			t.Logf("  %-6s PPVp %.3f TPRp %.3f LCp %4d | PPVc %.3f TPRc %.3f LCc %5d | MCC %.3f%s",
+				r.Class, r.Row.PPVP, r.Row.TPRP, r.Row.LCP,
+				r.Row.PPVC, r.Row.TPRC, r.Row.LCC, r.Row.MCC, note)
+		}
+	}
+
+	cs, err := art.CaseStudy(AlgoASRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Case study: wrongP2P=%d focus=%d focusCount=%d byCause=%v (paper: 111 wrong, 54 at AS714)",
+		cs.WrongP2P, cs.Focus, cs.FocusCount, cs.ByCause)
+
+	ser, err := art.Figures4to6(AlgoASRank, "T1-TR", sampling.Config{Reps: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ser.Pcts) > 0 {
+		t.Logf("Fig 4-6 sampling: eligible=%d slopes PPVP=%.5f TPRP=%.5f MCC=%.5f (paper: no trend)",
+			ser.Eligible,
+			sampling.TrendSlope(ser.Pcts, ser.PPVP.Median),
+			sampling.TrendSlope(ser.Pcts, ser.TPRP.Median),
+			sampling.TrendSlope(ser.Pcts, ser.MCC.Median))
+	}
+}

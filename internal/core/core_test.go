@@ -1,0 +1,319 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/casestudy"
+	"breval/internal/sampling"
+	"breval/internal/validation"
+)
+
+// shared mid-size artifacts: built once, used by all shape tests.
+var (
+	artOnce sync.Once
+	artMid  *Artifacts
+	artErr  error
+)
+
+func midArtifacts(t *testing.T) *Artifacts {
+	t.Helper()
+	artOnce.Do(func() {
+		s := DefaultScenario(1)
+		s.NumASes = 2500
+		artMid, artErr = Run(s)
+	})
+	if artErr != nil {
+		t.Fatalf("Run: %v", artErr)
+	}
+	return artMid
+}
+
+func TestRunProducesAllArtifacts(t *testing.T) {
+	art := midArtifacts(t)
+	if art.World == nil || art.Paths == nil || art.Features == nil ||
+		art.RawValidation == nil || art.Validation == nil ||
+		art.RegionCls == nil || art.TopoCls == nil || art.ConeSizes == nil {
+		t.Fatal("missing artifacts")
+	}
+	if len(art.Results) != 4 {
+		t.Fatalf("got %d results", len(art.Results))
+	}
+	if art.Validation.Len() == 0 || len(art.InferredLinks) == 0 {
+		t.Fatal("empty data")
+	}
+	if art.Validation.Len() >= len(art.InferredLinks) {
+		t.Error("validation must cover a strict subset of inferred links")
+	}
+}
+
+func TestCleaningReportMatchesScenario(t *testing.T) {
+	art := midArtifacts(t)
+	rep := art.CleanReport
+	s := art.Scenario
+	// Injected dirt may collide on identical links, so counts are
+	// bounded by the injection numbers and close to them.
+	if rep.TransEntries == 0 || rep.TransEntries > s.SpuriousTrans {
+		t.Errorf("TransEntries = %d (injected %d)", rep.TransEntries, s.SpuriousTrans)
+	}
+	if rep.ReservedEntries == 0 || rep.ReservedEntries > s.SpuriousReserved {
+		t.Errorf("ReservedEntries = %d (injected %d)", rep.ReservedEntries, s.SpuriousReserved)
+	}
+	if rep.MultiLabelEntries == 0 {
+		t.Error("no multi-label entries despite hybrid links")
+	}
+	if rep.Kept != art.Validation.Len() {
+		t.Errorf("Kept = %d, snapshot = %d", rep.Kept, art.Validation.Len())
+	}
+	// Under Ignore, no multi-label entry is kept.
+	if rep.MultiLabelKept != 0 {
+		t.Errorf("MultiLabelKept = %d under Ignore", rep.MultiLabelKept)
+	}
+}
+
+func TestFigure1RegionalImbalanceShape(t *testing.T) {
+	art := midArtifacts(t)
+	stats := art.Figure1()
+	if len(stats) < 8 {
+		t.Fatalf("only %d regional classes", len(stats))
+	}
+	byClass := make(map[string]int)
+	intraShare := 0.0
+	for i, st := range stats {
+		byClass[st.Class] = i
+		switch st.Class {
+		case "AF°", "AP°", "AR°", "L°", "R°":
+			intraShare += st.Share
+		}
+	}
+	// ~79% of inferred links are region-internal in the paper.
+	if intraShare < 0.65 {
+		t.Errorf("region-internal share = %.2f, want >= 0.65", intraShare)
+	}
+	// The headline claim: AR° and L° have similar shares but AR° is
+	// well covered while L° has (near) zero coverage.
+	arIdx, okAR := byClass["AR°"]
+	lIdx, okL := byClass["L°"]
+	if !okAR || !okL {
+		t.Fatalf("missing AR°/L° classes: %v", byClass)
+	}
+	ar, l := stats[arIdx], stats[lIdx]
+	if l.Coverage >= 0.01 {
+		t.Errorf("L° coverage = %.3f, want < 0.01", l.Coverage)
+	}
+	if ar.Coverage < 0.15 {
+		t.Errorf("AR° coverage = %.3f, want >= 0.15", ar.Coverage)
+	}
+	if r := ar.Share / l.Share; r < 0.5 || r > 3 {
+		t.Errorf("AR°/L° share ratio = %.2f; the classes should be comparable", r)
+	}
+	// R° is the biggest class.
+	if stats[0].Class != "R°" {
+		t.Errorf("largest class = %s, want R°", stats[0].Class)
+	}
+}
+
+func TestFigure2TopologicalImbalanceShape(t *testing.T) {
+	art := midArtifacts(t)
+	stats := art.Figure2()
+	cov := make(map[string]float64)
+	share := make(map[string]float64)
+	for _, st := range stats {
+		cov[st.Class] = st.Coverage
+		share[st.Class] = st.Share
+	}
+	// S-TR and TR° are the two majority classes...
+	if share["S-TR"] < share["TR°"] || share["TR°"] < share["T1-TR"] {
+		t.Errorf("share order wrong: %v", share)
+	}
+	if share["S-TR"]+share["TR°"] < 0.6 {
+		t.Errorf("majority classes hold %.2f, want >= 0.6", share["S-TR"]+share["TR°"])
+	}
+	// ...with far lower coverage than the Tier-1-incident classes.
+	if cov["T1-TR"] < 3*cov["TR°"] {
+		t.Errorf("T1-TR coverage %.2f not >> TR° coverage %.2f", cov["T1-TR"], cov["TR°"])
+	}
+	if cov["S-T1"] < 3*cov["S-TR"] {
+		t.Errorf("S-T1 coverage %.2f not >> S-TR coverage %.2f", cov["S-T1"], cov["S-TR"])
+	}
+	// S° is near-uncovered (0.00 in the paper). At this scale the
+	// class holds only a few dozen links, so tolerate granularity
+	// noise from customer-less transit publishers classified as stubs.
+	if cov["S°"] > 0.2 {
+		t.Errorf("S° coverage = %.2f, want ~0", cov["S°"])
+	}
+}
+
+func TestFigure3HeatmapShape(t *testing.T) {
+	art := midArtifacts(t)
+	hp := art.Figure3()
+	if hp.Inferred.Total == 0 || hp.Validated.Total == 0 {
+		t.Fatal("empty heatmaps")
+	}
+	if hp.Validated.Total >= hp.Inferred.Total {
+		t.Error("validated TR° links must be a subset")
+	}
+	// Mass must be normalised.
+	sum := 0.0
+	for _, row := range hp.Inferred.Frac {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("inferred mass = %v", sum)
+	}
+}
+
+func TestTablesShapeAcrossAlgorithms(t *testing.T) {
+	art := midArtifacts(t)
+	for _, algo := range []string{AlgoASRank, AlgoProbLink, AlgoTopoScope} {
+		tab, err := art.TableFor(algo, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.Total.LCP == 0 || tab.Total.LCC == 0 {
+			t.Fatalf("%s: empty totals", algo)
+		}
+		// Paper: all three algorithms near-perfect for P2C.
+		if tab.Total.TPRC < 0.80 || tab.Total.PPVC < 0.85 {
+			t.Errorf("%s: P2C correctness too low: PPVc %.3f TPRc %.3f",
+				algo, tab.Total.PPVC, tab.Total.TPRC)
+		}
+		rows := make(map[string]TableRow)
+		for _, r := range tab.Rows {
+			rows[r.Class] = r
+		}
+		// The T1-TR correctness drop (precision or recall; MCC
+		// captures both failure modes).
+		t1tr, ok := rows["T1-TR"]
+		if !ok {
+			t.Fatalf("%s: no T1-TR row (rows: %v)", algo, tab.Rows)
+		}
+		if t1tr.Row.MCC >= tab.Total.MCC-0.01 {
+			t.Errorf("%s: T1-TR MCC %.3f not below Total %.3f",
+				algo, t1tr.Row.MCC, tab.Total.MCC)
+		}
+		// The S-T1 collapse: recall ~0 for P2P.
+		if st1, ok := rows["S-T1"]; ok && st1.Row.TPRP > 0.2 {
+			t.Errorf("%s: S-T1 TPR_P = %.3f, want ~0", algo, st1.Row.TPRP)
+		}
+	}
+}
+
+func TestFollowUpAlgorithmsDegradeT1TR(t *testing.T) {
+	art := midArtifacts(t)
+	mcc := map[string]float64{}
+	for _, algo := range []string{AlgoASRank, AlgoProbLink, AlgoTopoScope} {
+		tab, err := art.TableFor(algo, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tab.Rows {
+			if r.Class == "T1-TR" {
+				mcc[algo] = r.Row.MCC
+			}
+		}
+	}
+	// The paper's §6 observation: the correctness gap for T1-TR grows
+	// from ASRank to ProbLink.
+	if mcc[AlgoProbLink] >= mcc[AlgoASRank] {
+		t.Errorf("ProbLink T1-TR MCC %.3f not below ASRank %.3f",
+			mcc[AlgoProbLink], mcc[AlgoASRank])
+	}
+}
+
+func TestCaseStudyShape(t *testing.T) {
+	art := midArtifacts(t)
+	rep, err := art.CaseStudy(AlgoASRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WrongP2P == 0 || rep.FocusCount == 0 {
+		t.Fatalf("no target links: %+v", rep)
+	}
+	// The focus AS holds a large share of the wrong links (AS714
+	// held roughly half in the paper).
+	if frac := float64(rep.FocusCount) / float64(rep.WrongP2P); frac < 0.3 {
+		t.Errorf("focus share = %.2f, want >= 0.3", frac)
+	}
+	for _, tl := range rep.Targets {
+		if tl.HasCliqueTriplet {
+			t.Errorf("target %v has a clique triplet", tl.Link)
+		}
+	}
+	// Partial transit must be the dominant cause.
+	if rep.ByCause[casestudy.CausePartialTransit] < rep.FocusCount/2 {
+		t.Errorf("partial-transit causes = %d of %d", rep.ByCause[casestudy.CausePartialTransit], rep.FocusCount)
+	}
+}
+
+func TestSamplingNoCorrelation(t *testing.T) {
+	art := midArtifacts(t)
+	ser, err := art.Figures4to6(AlgoASRank, "T1-TR", sampling.Config{Reps: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Eligible < 50 {
+		t.Skipf("only %d eligible links", ser.Eligible)
+	}
+	for name, med := range map[string][]float64{
+		"PPVP": ser.PPVP.Median, "TPRP": ser.TPRP.Median, "MCC": ser.MCC.Median,
+	} {
+		if slope := sampling.TrendSlope(ser.Pcts, med); math.Abs(slope) > 0.002 {
+			t.Errorf("%s slope = %.5f; Appendix A expects no trend", name, slope)
+		}
+	}
+}
+
+func TestAmbiguousPolicyChangesCounts(t *testing.T) {
+	art := midArtifacts(t)
+	ignore, _ := validation.Clean(art.RawValidation, art.World.Orgs, validation.Ignore)
+	p2pFirst, _ := validation.Clean(art.RawValidation, art.World.Orgs, validation.P2PIfFirst)
+	alwaysC, _ := validation.Clean(art.RawValidation, art.World.Orgs, validation.AlwaysP2C)
+	// The §4.2 observation: the policy changes the P2P/P2C counts.
+	if p2pFirst.Len() <= ignore.Len() {
+		t.Errorf("P2PIfFirst kept %d <= Ignore %d", p2pFirst.Len(), ignore.Len())
+	}
+	if alwaysC.CountByType(asgraph.P2C) < p2pFirst.CountByType(asgraph.P2C) {
+		t.Errorf("AlwaysP2C produced fewer P2C labels (%d) than P2PIfFirst (%d)",
+			alwaysC.CountByType(asgraph.P2C), p2pFirst.CountByType(asgraph.P2C))
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	s := DefaultScenario(5)
+	s.NumASes = 600
+	s.Algorithms = []string{AlgoASRank}
+	a1, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Validation.Len() != a2.Validation.Len() {
+		t.Fatal("validation differs between runs")
+	}
+	r1, r2 := a1.Results[AlgoASRank], a2.Results[AlgoASRank]
+	if r1.Len() != r2.Len() {
+		t.Fatal("result sizes differ")
+	}
+	for l, rel := range r1.Rels {
+		if r2.Rels[l] != rel {
+			t.Fatalf("link %v differs", l)
+		}
+	}
+}
+
+func TestRunRejectsUnknownAlgorithm(t *testing.T) {
+	s := DefaultScenario(1)
+	s.NumASes = 600
+	s.Algorithms = []string{"Oracle"}
+	if _, err := Run(s); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunEvolution(t *testing.T) {
+	s := DefaultScenario(9)
+	s.NumASes = 900
+	s.Algorithms = []string{AlgoASRank}
+	art, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseLinks := art.World.Graph.NumLinks()
+
+	res, err := art.RunEvolution(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 5 {
+		t.Fatalf("got %d steps", len(res.Steps))
+	}
+	if res.Steps[0].Changes != 0 || res.Steps[1].Changes == 0 {
+		t.Errorf("change counts: %+v", res.Steps[:2])
+	}
+	// The base artifacts must be untouched.
+	if art.World.Graph.NumLinks() != baseLinks {
+		t.Error("evolution mutated the base world")
+	}
+	// The §7 claim: churn yields new validation pairs every month, so
+	// the cumulative set outgrows any single snapshot.
+	last := res.Steps[len(res.Steps)-1]
+	if last.CumulativePairs <= res.Steps[0].Validated {
+		t.Errorf("no over-sampling gain: cumulative %d vs base %d",
+			last.CumulativePairs, res.Steps[0].Validated)
+	}
+	if res.OversamplingGain() <= 1.0 {
+		t.Errorf("gain = %.3f, want > 1", res.OversamplingGain())
+	}
+	// Some links churn in and out of visibility.
+	if len(res.VisibilityOverTime) == 0 {
+		t.Fatal("no visibility data")
+	}
+	sometimes := 0
+	for _, n := range res.VisibilityOverTime {
+		if n < res.Months {
+			sometimes++
+		}
+	}
+	if sometimes == 0 {
+		t.Error("every link visible in every snapshot despite churn")
+	}
+	// Labels change over time (the stability signal).
+	changed := 0
+	for _, st := range res.Steps[1:] {
+		changed += st.ChangedLabels
+	}
+	if changed == 0 {
+		t.Error("no label ever changed despite relationship flips")
+	}
+
+	var buf bytes.Buffer
+	if err := art.RenderEvolution(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"month", "cumulative", "grew", "feature 1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("evolution report missing %q", want)
+		}
+	}
+}
+
+func TestRunEvolutionRejectsZeroMonths(t *testing.T) {
+	art := midArtifacts(t)
+	if _, err := art.RunEvolution(0); err == nil {
+		t.Error("zero months accepted")
+	}
+}

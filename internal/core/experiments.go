@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bias"
+	"breval/internal/casestudy"
+	"breval/internal/metrics"
+	"breval/internal/sampling"
+)
+
+// Figure1 computes the regional imbalance of Figure 1: per regional
+// link class, the share of inferred links and the validation
+// coverage.
+func (a *Artifacts) Figure1() []bias.ClassStat {
+	return bias.Imbalance(a.InferredLinks, a.Validation, a.RegionCls)
+}
+
+// Figure2 computes the topological imbalance of Figure 2.
+func (a *Artifacts) Figure2() []bias.ClassStat {
+	return bias.Imbalance(a.InferredLinks, a.Validation, a.TopoCls)
+}
+
+// trLinks returns the TR° links of the inferred universe and the
+// validatable subset.
+func (a *Artifacts) trLinks() (inferred, validated []asgraph.Link) {
+	for l := range a.InferredLinks {
+		if name, ok := a.TopoCls.Class(l); ok && name == "TR°" {
+			inferred = append(inferred, l)
+			if a.Validation.Has(l) {
+				validated = append(validated, l)
+			}
+		}
+	}
+	sortLinks(inferred)
+	sortLinks(validated)
+	return inferred, validated
+}
+
+// HeatmapPair is one of the Figure 3/7/8/9 panels: the same binning
+// over inferred and validatable TR° links.
+type HeatmapPair struct {
+	Name      string
+	Inferred  *bias.Heatmap
+	Validated *bias.Heatmap
+}
+
+// Figure3 computes the transit-degree heatmap pair of Figure 3. Both
+// panels share one binning ("consistently colored heatmaps"), derived
+// from the inferred TR° links so it fits the world's scale; the
+// paper's fixed 150/1500 caps assume 2018-Internet degrees.
+func (a *Artifacts) Figure3() HeatmapPair {
+	inf, val := a.trLinks()
+	spec := bias.SpecFromData(inf, a.Features.TransitDegree, 15)
+	return HeatmapPair{
+		Name:      "transit degree",
+		Inferred:  bias.BuildHeatmap(inf, a.Features.TransitDegree, spec),
+		Validated: bias.BuildHeatmap(val, a.Features.TransitDegree, spec),
+	}
+}
+
+// Figures7to9 computes the appendix-B heatmap pairs: customer cone
+// size (Fig. 7), customer cone size ignoring links incident to route
+// collector peers (Fig. 8) and node degree (Fig. 9).
+func (a *Artifacts) Figures7to9() []HeatmapPair {
+	inf, val := a.trLinks()
+
+	vpSet := make(map[asn.ASN]bool, len(a.World.VPs))
+	for _, v := range a.World.VPs {
+		vpSet[v] = true
+	}
+	noVP := func(links []asgraph.Link) []asgraph.Link {
+		var out []asgraph.Link
+		for _, l := range links {
+			if !vpSet[l.A] && !vpSet[l.B] {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
+
+	cone := bias.SpecFromData(inf, a.ConeSizes, 15)
+	deg := bias.SpecFromData(inf, a.Features.NodeDegree, 15)
+	return []HeatmapPair{
+		{
+			Name:      "customer cone size (PPDC)",
+			Inferred:  bias.BuildHeatmap(inf, a.ConeSizes, cone),
+			Validated: bias.BuildHeatmap(val, a.ConeSizes, cone),
+		},
+		{
+			Name:      "customer cone size, no VP-incident links",
+			Inferred:  bias.BuildHeatmap(noVP(inf), a.ConeSizes, cone),
+			Validated: bias.BuildHeatmap(noVP(val), a.ConeSizes, cone),
+		},
+		{
+			Name:      "node degree",
+			Inferred:  bias.BuildHeatmap(inf, a.Features.NodeDegree, deg),
+			Validated: bias.BuildHeatmap(val, a.Features.NodeDegree, deg),
+		},
+	}
+}
+
+// TableRow is one class row of Tables 1-3.
+type TableRow struct {
+	Class string
+	Row   metrics.Row
+}
+
+// Table is one of the paper's per-group validation tables.
+type Table struct {
+	Algorithm string
+	Total     metrics.Row
+	Rows      []TableRow
+}
+
+// TableFor evaluates one algorithm per link class, keeping classes
+// with at least minLinks validated relationships (the paper uses
+// 500). The row order matches the paper: regional classes first, then
+// topological, both alphabetical.
+func (a *Artifacts) TableFor(algo string, minLinks int) (Table, error) {
+	res, ok := a.Results[algo]
+	if !ok {
+		return Table{}, fmt.Errorf("core: no result for algorithm %q", algo)
+	}
+	t := Table{Algorithm: algo}
+	t.Total = metrics.Evaluate(res, a.Validation, nil)
+
+	classes := a.validatedClasses()
+	for _, name := range classes {
+		var filter metrics.LinkFilter
+		if isTopoClass(name) {
+			filter = bias.FilterForClass(a.TopoCls, name)
+		} else {
+			filter = bias.FilterForClass(a.RegionCls, name)
+		}
+		row := metrics.Evaluate(res, a.Validation, filter)
+		if row.LCP+row.LCC < minLinks {
+			continue
+		}
+		t.Rows = append(t.Rows, TableRow{Class: name, Row: row})
+	}
+	return t, nil
+}
+
+// validatedClasses lists every class name occurring in the validation
+// data, regional classes first, each group alphabetical.
+func (a *Artifacts) validatedClasses() []string {
+	regional := make(map[string]bool)
+	topological := make(map[string]bool)
+	for _, l := range a.Validation.Links() {
+		if n, ok := a.RegionCls.Class(l); ok {
+			regional[n] = true
+		}
+		if n, ok := a.TopoCls.Class(l); ok {
+			topological[n] = true
+		}
+	}
+	out := sortedKeys(regional)
+	out = append(out, sortedKeys(topological)...)
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// isTopoClass distinguishes topological class names (built from H, S,
+// T1, TR) from regional ones.
+func isTopoClass(name string) bool {
+	switch name {
+	case "H°", "S°", "T1°", "TR°",
+		"H-S", "H-T1", "H-TR", "S-T1", "S-TR", "T1-TR":
+		return true
+	}
+	return false
+}
+
+// Figures4to6 runs the Appendix-A sampling experiment for one
+// algorithm restricted to one link class (the paper uses T1-TR).
+func (a *Artifacts) Figures4to6(algo, class string, cfg sampling.Config) (sampling.Series, error) {
+	res, ok := a.Results[algo]
+	if !ok {
+		return sampling.Series{}, fmt.Errorf("core: no result for algorithm %q", algo)
+	}
+	var filter metrics.LinkFilter
+	if class != "" && class != "Total°" {
+		if isTopoClass(class) {
+			filter = bias.FilterForClass(a.TopoCls, class)
+		} else {
+			filter = bias.FilterForClass(a.RegionCls, class)
+		}
+	}
+	return sampling.Run(res, a.Validation, filter, cfg), nil
+}
+
+// CaseStudy runs the §6.1 analysis for one algorithm.
+func (a *Artifacts) CaseStudy(algo string) (casestudy.Report, error) {
+	res, ok := a.Results[algo]
+	if !ok {
+		return casestudy.Report{}, fmt.Errorf("core: no result for algorithm %q", algo)
+	}
+	return casestudy.Analyze(res, a.Validation, a.Features, worldGlass{a}), nil
+}
+
+// worldGlass answers looking-glass queries from the simulated world's
+// ground truth.
+type worldGlass struct{ a *Artifacts }
+
+// PartialTransit implements casestudy.LookingGlass.
+func (w worldGlass) PartialTransit(t1, x asn.ASN) bool {
+	rel, ok := w.a.World.Graph.Rel(t1, x)
+	return ok && rel.Type == asgraph.P2C && rel.Provider == t1 && rel.PartialTransit
+}
+
+// TrueRelType implements casestudy.LookingGlass.
+func (w worldGlass) TrueRelType(a, b asn.ASN) (asgraph.RelType, bool) {
+	rel, ok := w.a.World.Graph.Rel(a, b)
+	return rel.Type, ok
+}
+
+func sortLinks(s []asgraph.Link) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].A != s[j].A {
+			return s[i].A < s[j].A
+		}
+		return s[i].B < s[j].B
+	})
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"breval/internal/asgraph"
+)
+
+func TestSourceComparison(t *testing.T) {
+	art := midArtifacts(t)
+	stats := art.SourceComparison()
+	if len(stats) != 3 {
+		t.Fatalf("got %d sources", len(stats))
+	}
+	byName := map[string]SourceStat{}
+	for _, st := range stats {
+		byName[st.Name] = st
+	}
+	comm := byName["communities (iii)"]
+	irr := byName["IRR policies (ii)"]
+	union := byName["union (ii+iii)"]
+	if comm.Entries == 0 || irr.Entries == 0 {
+		t.Fatalf("empty source: comm=%d irr=%d", comm.Entries, irr.Entries)
+	}
+	if union.Entries < comm.Entries || union.Entries < irr.Entries {
+		t.Error("union smaller than a component")
+	}
+	// The decisive regional property: communities never cover L°;
+	// the IRR does (LACNIC operators keep WHOIS records even though
+	// nobody documents community dictionaries).
+	if comm.Coverage["L°"] >= 0.01 {
+		t.Errorf("communities L° coverage = %.3f, want ~0", comm.Coverage["L°"])
+	}
+	if irr.Coverage["L°"] <= comm.Coverage["L°"] {
+		t.Errorf("IRR L° coverage %.3f not above communities %.3f",
+			irr.Coverage["L°"], comm.Coverage["L°"])
+	}
+	if union.Coverage["AR°"] < comm.Coverage["AR°"] {
+		t.Error("union coverage dropped below a component")
+	}
+}
+
+func TestIncludeRPSLGrowsValidation(t *testing.T) {
+	s := DefaultScenario(3)
+	s.NumASes = 800
+	s.Algorithms = []string{AlgoASRank}
+	base, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.IncludeRPSL = true
+	merged, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Validation.Len() <= base.Validation.Len() {
+		t.Errorf("IncludeRPSL did not grow the cleaned snapshot: %d vs %d",
+			merged.Validation.Len(), base.Validation.Len())
+	}
+}
+
+func TestRenderSourceComparison(t *testing.T) {
+	art := midArtifacts(t)
+	var buf bytes.Buffer
+	if err := art.RenderSourceComparison(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"communities", "IRR", "union", "L°"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("source comparison missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHardLinksSkew(t *testing.T) {
+	art := midArtifacts(t)
+	set, skew := art.HardLinks()
+	if set.Total != len(art.InferredLinks) {
+		t.Errorf("categorised %d of %d links", set.Total, len(art.InferredLinks))
+	}
+	if len(set.Hard) == 0 {
+		t.Fatal("no hard links found")
+	}
+	if skew.AllHard <= 0 || skew.AllHard > 1 {
+		t.Fatalf("AllHard = %v", skew.AllHard)
+	}
+	// §3.3: the validation data skews towards easy links.
+	if skew.ValidatedHard >= skew.AllHard {
+		t.Errorf("validated hard share %.3f not below overall %.3f",
+			skew.ValidatedHard, skew.AllHard)
+	}
+}
+
+func TestAppendixCFeatures(t *testing.T) {
+	art := midArtifacts(t)
+	links := art.Validation.Links()
+	if len(links) > 200 {
+		links = links[:200]
+	}
+	feats := art.AppendixC(links)
+	if len(feats) != len(links) {
+		t.Fatalf("got %d vectors for %d links", len(feats), len(links))
+	}
+	nonzeroVia, nonzeroIXP := 0, 0
+	for _, f := range feats {
+		if f.PrefixesVia > 0 {
+			nonzeroVia++
+		}
+		if f.CommonIXPs > 0 {
+			nonzeroIXP++
+		}
+		if f.Behaviour == "" {
+			t.Fatalf("empty behaviour for %v", f.Link)
+		}
+		if f.AddressesVia != 256*f.PrefixesVia {
+			t.Fatalf("address arithmetic wrong for %v", f.Link)
+		}
+	}
+	if nonzeroVia == 0 {
+		t.Error("no link carries any prefix; feature 2 is broken")
+	}
+	if nonzeroIXP == 0 {
+		t.Error("no link shares an IXP; feature 10 is broken")
+	}
+}
+
+func TestRenderHardLinks(t *testing.T) {
+	art := midArtifacts(t)
+	var buf bytes.Buffer
+	if err := art.RenderHardLinks(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"hard links among all", "low-degree", "top-down-conflict", "share_validated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hard-link report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAppendixCNilSelectsValidated(t *testing.T) {
+	art := midArtifacts(t)
+	feats := art.AppendixC(nil)
+	if len(feats) != art.Validation.Len() {
+		t.Errorf("got %d vectors for %d validated links", len(feats), art.Validation.Len())
+	}
+	// Vectors arrive in canonical link order.
+	for i := 1; i < len(feats); i++ {
+		a, b := feats[i-1].Link, feats[i].Link
+		if a.A > b.A || (a.A == b.A && a.B >= b.B) {
+			t.Fatalf("vectors unordered at %d: %v then %v", i, a, b)
+		}
+	}
+	_ = asgraph.Link{}
+}
+
+func TestLookingGlassReclassification(t *testing.T) {
+	art := midArtifacts(t)
+	r, err := art.LookingGlassReclassification(AlgoASRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Reclassified == 0 {
+		t.Fatal("nothing reclassified")
+	}
+	// The pass must improve (or at least not hurt) the class.
+	if r.After.MCC < r.Before.MCC {
+		t.Errorf("MCC worsened: %.3f -> %.3f", r.Before.MCC, r.After.MCC)
+	}
+	if r.After.PPVP < r.Before.PPVP {
+		t.Errorf("PPV_P worsened: %.3f -> %.3f", r.Before.PPVP, r.After.PPVP)
+	}
+	var buf bytes.Buffer
+	if err := art.RenderReclassification(&buf, AlgoASRank); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "before") || !strings.Contains(buf.String(), "after") {
+		t.Errorf("report:\n%s", buf.String())
+	}
+}
+
+func TestUncertaintyCalibration(t *testing.T) {
+	art := midArtifacts(t)
+	buckets := art.UncertaintyCalibration(5)
+	if len(buckets) != 5 {
+		t.Fatalf("got %d buckets", len(buckets))
+	}
+	total := 0
+	for _, b := range buckets {
+		total += b.Links
+		if b.Links > 0 && (b.Accuracy < 0 || b.Accuracy > 1) {
+			t.Fatalf("accuracy out of range: %+v", b)
+		}
+	}
+	if total == 0 {
+		t.Fatal("no validated links bucketed")
+	}
+	// Calibration: the top-confidence bucket must be at least as
+	// accurate as the bottom one (with data in both).
+	lo, hi := buckets[0], buckets[len(buckets)-1]
+	if lo.Links > 20 && hi.Links > 20 && hi.Accuracy < lo.Accuracy {
+		t.Errorf("top bucket accuracy %.3f below bottom %.3f", hi.Accuracy, lo.Accuracy)
+	}
+	var buf bytes.Buffer
+	if err := art.RenderUncertainty(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "confidence") {
+		t.Errorf("report:\n%s", buf.String())
+	}
+}
+
+func TestVPSweep(t *testing.T) {
+	art := midArtifacts(t)
+	points := art.VPSweep([]float64{0.25, 1.0})
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	quarter, full := points[0], points[1]
+	if quarter.VPs >= full.VPs {
+		t.Errorf("VP counts not increasing: %d vs %d", quarter.VPs, full.VPs)
+	}
+	// Fewer VPs see fewer links and infer no better.
+	if quarter.VisibleLinks >= full.VisibleLinks {
+		t.Errorf("visible links did not grow: %d vs %d", quarter.VisibleLinks, full.VisibleLinks)
+	}
+	if quarter.Row.MCC > full.Row.MCC+0.02 {
+		t.Errorf("quarter VP set outperformed full: %.3f vs %.3f", quarter.Row.MCC, full.Row.MCC)
+	}
+	var buf bytes.Buffer
+	if err := art.RenderVPSweep(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "visible") {
+		t.Errorf("report:\n%s", buf.String())
+	}
+}
+
+func TestComplexRelationships(t *testing.T) {
+	art := midArtifacts(t)
+	rep := art.ComplexRelationships()
+	if rep.TrueHybrids == 0 {
+		t.Fatal("no visible hybrid links in the world")
+	}
+	if rep.Candidates > 0 && rep.Hits == 0 {
+		t.Errorf("multi-label candidates never match hybrids: %+v", rep)
+	}
+	if p := rep.Precision(); p < 0 || p > 1 {
+		t.Errorf("precision %v", p)
+	}
+	if r := rep.Recall(); r < 0 || r > 1 {
+		t.Errorf("recall %v", r)
+	}
+	var buf bytes.Buffer
+	if err := art.RenderComplexRelationships(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "multi-label candidates") {
+		t.Errorf("report:\n%s", buf.String())
+	}
+}

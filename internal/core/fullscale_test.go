@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestFullScaleShape runs the complete calibrated scenario (~8000
+// ASes, all four algorithms) and asserts the paper's headline claims
+// at full scale. It takes ~1 minute; -short skips it.
+func TestFullScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale run")
+	}
+	art, err := Run(DefaultScenario(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Figure 1: L° uncovered, AR° covered.
+	var arCov, lCov, arShare, lShare float64
+	for _, st := range art.Figure1() {
+		switch st.Class {
+		case "AR°":
+			arCov, arShare = st.Coverage, st.Share
+		case "L°":
+			lCov, lShare = st.Coverage, st.Share
+		}
+	}
+	if lCov >= 0.01 {
+		t.Errorf("L° coverage = %.3f, want < 0.01", lCov)
+	}
+	if arCov < 0.2 {
+		t.Errorf("AR° coverage = %.3f, want >= 0.2 (paper: 0.31)", arCov)
+	}
+	if r := arShare / lShare; r < 0.5 || r > 3 {
+		t.Errorf("AR°/L° shares %.2f/%.2f not comparable", arShare, lShare)
+	}
+
+	// Tables: precision drop for T1-TR P2P of at least 5% for every
+	// algorithm (paper: 14-25%), ProbLink below ASRank.
+	ppv := map[string]float64{}
+	totalPPV := map[string]float64{}
+	for _, algo := range []string{AlgoASRank, AlgoProbLink, AlgoTopoScope} {
+		tab, err := art.TableFor(algo, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalPPV[algo] = tab.Total.PPVP
+		for _, r := range tab.Rows {
+			if r.Class == "T1-TR" {
+				ppv[algo] = r.Row.PPVP
+			}
+		}
+		if tab.Total.TPRC < 0.9 {
+			t.Errorf("%s: Total TPR_C = %.3f, want >= 0.9", algo, tab.Total.TPRC)
+		}
+	}
+	for algo, v := range ppv {
+		if drop := totalPPV[algo] - v; drop < 0.05 {
+			t.Errorf("%s: T1-TR PPV_P drop = %.3f, want >= 0.05", algo, drop)
+		}
+	}
+	if ppv[AlgoProbLink] >= ppv[AlgoASRank] {
+		t.Errorf("ProbLink T1-TR PPV_P %.3f not below ASRank %.3f",
+			ppv[AlgoProbLink], ppv[AlgoASRank])
+	}
+
+	// Case study: enough target links and no clique triplets.
+	cs, err := art.CaseStudy(AlgoASRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.WrongP2P < 10 {
+		t.Errorf("only %d wrong-P2P links", cs.WrongP2P)
+	}
+	for _, tl := range cs.Targets {
+		if tl.HasCliqueTriplet {
+			t.Errorf("target %v has a clique triplet", tl.Link)
+		}
+	}
+
+	// Heatmaps: inferred links concentrate at least as hard in the
+	// bottom-left corner as validated ones.
+	for _, hp := range art.Figures7to9() {
+		if hp.Validated.Total < 150 {
+			// Sub-sample panels (fig 8 drops VP-incident links, and
+			// validated TR° links are mostly VP-incident — itself a
+			// facet of the bias) are too noisy to assert a direction.
+			continue
+		}
+		ci := hp.Inferred.CornerMass(1.0/3, 1.0/3)
+		cv := hp.Validated.CornerMass(1.0/3, 1.0/3)
+		if ci < cv-0.02 {
+			t.Errorf("%s: inferred corner %.3f below validated %.3f", hp.Name, ci, cv)
+		}
+	}
+}

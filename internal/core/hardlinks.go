@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/hardlinks"
+	"breval/internal/textplot"
+)
+
+// HardLinks categorises the observed links into Jin et al.'s five
+// hard-link classes (§3.3) and computes the easy-link skew of the
+// validation data: the paper recalls that validation covers hard
+// links far less than their share among all links.
+func (a *Artifacts) HardLinks() (*hardlinks.Set, hardlinks.Skew) {
+	clique := a.inferredClique()
+	set := hardlinks.Categorize(a.Features, clique, a.World.VPs,
+		hardlinks.DefaultCriteria(a.Features))
+	skew := set.ComputeSkew(a.Validation.Has, a.InferredLinks)
+	return set, skew
+}
+
+func (a *Artifacts) inferredClique() []asn.ASN {
+	if res, ok := a.Results[AlgoASRank]; ok && len(res.Clique) > 0 {
+		return res.Clique
+	}
+	for _, res := range a.Results {
+		if len(res.Clique) > 0 {
+			return res.Clique
+		}
+	}
+	return a.World.Clique
+}
+
+// AppendixC computes the Appendix-C per-link feature vectors for the
+// given links (nil selects all validated links).
+func (a *Artifacts) AppendixC(links []asgraph.Link) []hardlinks.LinkFeatures {
+	if links == nil {
+		links = a.Validation.Links()
+	}
+	ixps := make([][]asn.ASN, 0, len(a.World.IXPs))
+	for _, ix := range a.World.IXPs {
+		ixps = append(ixps, ix.Members)
+	}
+	facs := make([][]asn.ASN, 0, len(a.World.Facilities))
+	for _, f := range a.World.Facilities {
+		facs = append(facs, f.Members)
+	}
+	return hardlinks.ComputeFeatures(a.Features, links, hardlinks.FeatureInputs{
+		ConeSizes:       a.ConeSizes,
+		IXPMembers:      ixps,
+		FacilityMembers: facs,
+		MANRS:           a.World.MANRS,
+		Hijackers:       a.World.Hijackers,
+	})
+}
+
+// RenderHardLinks writes the §3.3 hard-link report.
+func (a *Artifacts) RenderHardLinks(w io.Writer) error {
+	set, skew := a.HardLinks()
+	if _, err := fmt.Fprintf(w, `Hard-to-infer links (§3.3, after Jin et al.)
+
+criteria: node degree < %d, VP count in [%d, %d]
+hard links among all inferred links: %.1f%%
+hard links among validated links:    %.1f%%
+`,
+		set.Criteria.MaxNodeDegree, set.Criteria.VPLow, set.Criteria.VPHigh,
+		100*skew.AllHard, 100*skew.ValidatedHard); err != nil {
+		return err
+	}
+	if skew.ValidatedHard < skew.AllHard {
+		fmt.Fprintln(w, "-> validation is skewed towards easy links, as §3.3 reports")
+	}
+	fmt.Fprintln(w)
+
+	cats := make([]hardlinks.Category, 0, hardlinks.NumCategories)
+	for c := hardlinks.Category(0); c < hardlinks.NumCategories; c++ {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	rows := make([][]string, 0, len(cats))
+	for _, c := range cats {
+		pc := skew.PerCategory[c]
+		rows = append(rows, []string{
+			c.String(),
+			fmt.Sprintf("%d", len(set.ByCategory[c])),
+			fmt.Sprintf("%.3f", pc[0]),
+			fmt.Sprintf("%.3f", pc[1]),
+		})
+	}
+	_, err := io.WriteString(w, textplot.Table(
+		[]string{"category", "links", "share_all", "share_validated"}, rows))
+	return err
+}

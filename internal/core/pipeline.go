@@ -1,0 +1,349 @@
+// Package core orchestrates the full validation-bias study of Prehn &
+// Feldmann (IMC'21) over a synthetic Internet: world generation, BGP
+// route propagation, community-based validation extraction, §4.2 label
+// cleaning, relationship inference with four algorithms, and the
+// experiment drivers that regenerate every table and figure of the
+// paper (see experiments.go).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+	"breval/internal/bias"
+	"breval/internal/communities"
+	"breval/internal/inference"
+	"breval/internal/inference/asrank"
+	"breval/internal/inference/features"
+	"breval/internal/inference/gao"
+	"breval/internal/inference/problink"
+	"breval/internal/inference/toposcope"
+	"breval/internal/rpsl"
+	"breval/internal/topogen"
+	"breval/internal/validation"
+)
+
+// Algorithm names used as map keys throughout.
+const (
+	AlgoASRank    = "ASRank"
+	AlgoProbLink  = "ProbLink"
+	AlgoTopoScope = "TopoScope"
+	AlgoGao       = "Gao"
+)
+
+// Scenario configures one end-to-end run.
+type Scenario struct {
+	// Seed drives all randomness; NumASes the world size (0 selects
+	// the calibrated default world).
+	Seed    int64
+	NumASes int
+	// Policy is the ambiguous-label treatment (§4.2); the paper
+	// argues for Ignore.
+	Policy validation.AmbiguousPolicy
+	// StaleDictionaries is the number of publishers whose community
+	// documentation diverged from their router configs.
+	StaleDictionaries int
+	// SpuriousTrans/SpuriousReserved are the numbers of dirty
+	// validation entries injected involving AS_TRANS and reserved
+	// ASNs (§4.2 finds 15 and 112).
+	SpuriousTrans    int
+	SpuriousReserved int
+	// InaccurateT1Labels is the number of true-P2P Tier-1/transit
+	// links whose community-derived validation label is flipped to
+	// P2C — the §6.1 "inaccurate validation data" case (1 in the
+	// paper).
+	InaccurateT1Labels int
+	// IncludeRPSL additionally merges relationships extracted from
+	// the synthetic IRR (Luckie et al.'s source ii) into the raw
+	// validation snapshot. The paper's recent-works critique is about
+	// relying on communities alone, so the default is off; the
+	// source-comparison ablation flips it.
+	IncludeRPSL bool
+	// Algorithms restricts which classifiers run (nil = all four).
+	Algorithms []string
+	// TopoConfig overrides the generator configuration; nil derives
+	// it from Seed/NumASes.
+	TopoConfig *topogen.Config
+}
+
+// DefaultScenario returns the calibrated default run.
+func DefaultScenario(seed int64) Scenario {
+	return Scenario{
+		Seed:               seed,
+		NumASes:            8000,
+		Policy:             validation.Ignore,
+		StaleDictionaries:  4,
+		SpuriousTrans:      15,
+		SpuriousReserved:   112,
+		InaccurateT1Labels: 1,
+	}
+}
+
+// Artifacts is everything a run produces; the experiment drivers and
+// examples consume it.
+type Artifacts struct {
+	Scenario Scenario
+	World    *topogen.World
+	Paths    *bgp.PathSet
+	Features *features.Set
+
+	// RawValidation is the uncleaned community-extracted snapshot;
+	// Validation the §4.2-cleaned one; CleanReport what cleaning did.
+	// RPSL is the IRR-derived snapshot (source ii), populated whether
+	// or not the scenario merges it, so source comparisons are cheap.
+	RawValidation *validation.Snapshot
+	Validation    *validation.Snapshot
+	CleanReport   validation.CleanReport
+	RPSL          *validation.Snapshot
+
+	// Results holds one inference per algorithm name.
+	Results map[string]*inference.Result
+
+	// RegionCls and TopoCls are the §5 link classifiers; ConeSizes
+	// the CAIDA-style customer cones derived from the ASRank
+	// inference (used for stub/transit and the Fig. 7/8 heatmaps).
+	RegionCls *bias.RegionClassifier
+	TopoCls   *bias.TopoClassifier
+	ConeSizes map[asn.ASN]int
+
+	// InferredLinks is the observed link universe after path
+	// cleaning.
+	InferredLinks map[asgraph.Link]bool
+}
+
+// Run executes the scenario.
+func Run(s Scenario) (*Artifacts, error) {
+	if s.NumASes == 0 {
+		s.NumASes = 8000
+	}
+	cfg := topogen.DefaultConfig(s.Seed)
+	if s.TopoConfig != nil {
+		cfg = *s.TopoConfig
+	} else if s.NumASes != cfg.NumASes {
+		cfg = cfg.Scaled(s.NumASes)
+	}
+	world, err := topogen.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: generate world: %w", err)
+	}
+
+	sim := bgp.NewSimulator(world.Graph)
+	paths := sim.Propagate(world.ASNs, world.VPs)
+	fs := features.Compute(paths)
+
+	// Community-based validation extraction with stale dictionaries.
+	stale := pickStale(world, s.StaleDictionaries)
+	ex := communities.NewExtractor(world.Graph, world.Publishers, world.Strippers, stale)
+	raw := ex.Extract(paths)
+	injectSpuriousLabels(raw, world, s)
+	injectInaccurateT1Labels(raw, world, s.InaccurateT1Labels)
+
+	// Source (ii): relationships from IRR routing policies.
+	irr := rpsl.Generate(world.Graph, world.IRRRegistrants, rpsl.DefaultGenerateConfig(s.Seed^0x1225))
+	rpslSnap := rpsl.Extract(irr)
+	if s.IncludeRPSL {
+		rpslSnap.ForEach(func(l asgraph.Link, lbs []validation.Label) {
+			for _, lb := range lbs {
+				raw.Add(l, lb)
+			}
+		})
+	}
+
+	clean, report := validation.Clean(raw, world.Orgs, s.Policy)
+
+	// Inference. The algorithms are independent and individually
+	// deterministic, so they run concurrently.
+	algos := s.Algorithms
+	if algos == nil {
+		algos = []string{AlgoASRank, AlgoProbLink, AlgoTopoScope, AlgoGao}
+	}
+	results := make(map[string]*inference.Result, len(algos))
+	instances := make([]inference.Algorithm, len(algos))
+	for i, name := range algos {
+		a, err := newAlgorithm(name)
+		if err != nil {
+			return nil, err
+		}
+		instances[i] = a
+	}
+	resSlice := make([]*inference.Result, len(algos))
+	var wg sync.WaitGroup
+	for i := range instances {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resSlice[i] = instances[i].Infer(fs)
+		}(i)
+	}
+	wg.Wait()
+	for i, name := range algos {
+		results[name] = resSlice[i]
+	}
+
+	art := &Artifacts{
+		Scenario:      s,
+		World:         world,
+		Paths:         paths,
+		Features:      fs,
+		RawValidation: raw,
+		Validation:    clean,
+		CleanReport:   report,
+		RPSL:          rpslSnap,
+		Results:       results,
+		RegionCls:     bias.NewRegionClassifier(world.Mapper()),
+		InferredLinks: fs.Links,
+	}
+
+	// Topological classification per §5: customer cones from the
+	// inferred relationships (CAIDA-style), refined by the Tier-1 and
+	// hypergiant lists.
+	coneSrc := results[AlgoASRank]
+	if coneSrc == nil {
+		for _, r := range results {
+			coneSrc = r
+			break
+		}
+	}
+	if coneSrc != nil {
+		g := graphFromResult(coneSrc)
+		art.ConeSizes = g.ConeSizes()
+		art.TopoCls = bias.NewTopoClassifier(art.ConeSizes, world.Clique, world.Hypergiants)
+	}
+	return art, nil
+}
+
+func newAlgorithm(name string) (inference.Algorithm, error) {
+	switch name {
+	case AlgoASRank:
+		return asrank.New(asrank.Options{}), nil
+	case AlgoProbLink:
+		return problink.New(problink.Options{}), nil
+	case AlgoTopoScope:
+		return toposcope.New(toposcope.Options{}), nil
+	case AlgoGao:
+		return gao.New(gao.Options{}), nil
+	}
+	return nil, fmt.Errorf("core: unknown algorithm %q", name)
+}
+
+// graphFromResult materialises an inferred relationship set as a
+// graph (for customer-cone computation).
+func graphFromResult(res *inference.Result) *asgraph.Graph {
+	g := asgraph.New()
+	for l, rel := range res.Rels {
+		_ = g.SetRel(l.A, l.B, rel)
+	}
+	return g
+}
+
+// pickStale deterministically selects publishers with stale community
+// documentation. Clique members are excluded: Tier-1 community
+// documentation is actively maintained, and a stale Tier-1 dictionary
+// would poison hundreds of labels at once, which is not what real
+// snapshots look like. The Tier-1-adjacent inaccuracy of §6.1 is
+// modelled separately (Scenario.InaccurateT1Labels).
+func pickStale(w *topogen.World, n int) []asn.ASN {
+	if n <= 0 {
+		return nil
+	}
+	clique := w.CliqueSet()
+	var pubs []asn.ASN
+	for _, a := range w.ASNs {
+		if w.Publishers[a] && !clique[a] {
+			pubs = append(pubs, a)
+		}
+	}
+	if len(pubs) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(w.Config.Seed ^ 0x5717a1e))
+	out := make([]asn.ASN, 0, n)
+	seen := make(map[asn.ASN]bool, n)
+	for len(out) < n && len(seen) < len(pubs) {
+		a := pubs[rng.Intn(len(pubs))]
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// injectInaccurateT1Labels flips the validation label of n true-P2P
+// links between the first partial-transit Tier-1 and transit ASes to
+// P2C — the "inaccurate validation data" case the §6.1 looking-glass
+// analysis uncovers (1 of Cogent's 17 re-checked links).
+func injectInaccurateT1Labels(snap *validation.Snapshot, w *topogen.World, n int) {
+	if n <= 0 {
+		return
+	}
+	clique := w.CliqueSet()
+	// Prefer links of the heavy partial-transit seller, so the flipped
+	// label surfaces among the §6.1 target links like in the paper.
+	preferred := map[asn.ASN]bool{}
+	if len(w.PartialSellers) > 0 {
+		preferred[w.PartialSellers[0]] = true
+	}
+	flipped := 0
+	for pass := 0; pass < 2 && flipped < n; pass++ {
+		for _, l := range snap.Links() {
+			if flipped >= n {
+				return
+			}
+			var t1 asn.ASN
+			switch {
+			case clique[l.A] && !clique[l.B]:
+				t1 = l.A
+			case clique[l.B] && !clique[l.A]:
+				t1 = l.B
+			default:
+				continue
+			}
+			if pass == 0 && !preferred[t1] {
+				continue
+			}
+			truth, ok := w.Graph.RelOn(l)
+			if !ok || truth.Type != asgraph.P2P {
+				continue
+			}
+			other := l.Other(t1)
+			if t := w.Type[other]; t != topogen.TypeLargeTransit && t != topogen.TypeSmallTransit {
+				continue
+			}
+			lb, ok := snap.Label(l)
+			if !ok || lb.Type != asgraph.P2P {
+				continue
+			}
+			snap.SetLabels(l, []validation.Label{{Type: asgraph.P2C, Provider: t1}})
+			flipped++
+		}
+	}
+}
+
+// injectSpuriousLabels adds the §4.2 dirt: entries involving AS_TRANS
+// and reserved ASNs, as real community scraping produces.
+func injectSpuriousLabels(snap *validation.Snapshot, w *topogen.World, s Scenario) {
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x7ca5))
+	randomAS := func() asn.ASN { return w.ASNs[rng.Intn(len(w.ASNs))] }
+	for i := 0; i < s.SpuriousTrans; i++ {
+		snap.Add(asgraph.NewLink(asn.Trans, randomAS()),
+			validation.Label{Type: asgraph.P2C, Provider: asn.Trans})
+	}
+	reservedPool := []asn.ASN{
+		asn.Doc16First, asn.Doc16First + 1, asn.Doc16Last,
+		asn.Private16First, asn.Private16First + 7, asn.Private16Last,
+		asn.Doc32First, asn.Private32First, asn.Max - 1,
+	}
+	for i := 0; i < s.SpuriousReserved; i++ {
+		r := reservedPool[rng.Intn(len(reservedPool))] + asn.ASN(0)
+		lbl := validation.Label{Type: asgraph.P2P}
+		if rng.Intn(2) == 0 {
+			lbl = validation.Label{Type: asgraph.P2C, Provider: r}
+		}
+		snap.Add(asgraph.NewLink(r, randomAS()), lbl)
+	}
+}

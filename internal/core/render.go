@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"breval/internal/bias"
+	"breval/internal/metrics"
+	"breval/internal/sampling"
+	"breval/internal/textplot"
+)
+
+// RenderFigure1 writes the Figure 1 bar pairs (regional link shares
+// and validation coverage).
+func (a *Artifacts) RenderFigure1(w io.Writer) error {
+	return renderImbalance(w, "Figure 1 — regional imbalance", a.Figure1())
+}
+
+// RenderFigure2 writes the Figure 2 bar pairs (topological classes).
+func (a *Artifacts) RenderFigure2(w io.Writer) error {
+	return renderImbalance(w, "Figure 2 — topological imbalance", a.Figure2())
+}
+
+func renderImbalance(w io.Writer, title string, stats []bias.ClassStat) error {
+	classes := make([]string, 0, len(stats))
+	shares := make([]float64, 0, len(stats))
+	covers := make([]float64, 0, len(stats))
+	rows := make([][]string, 0, len(stats))
+	for _, st := range stats {
+		classes = append(classes, st.Class)
+		shares = append(shares, st.Share)
+		covers = append(covers, st.Coverage)
+		rows = append(rows, []string{
+			st.Class,
+			fmt.Sprintf("%.3f", st.Share),
+			fmt.Sprintf("%.3f", st.Coverage),
+			fmt.Sprintf("%d", st.Links),
+			fmt.Sprintf("%d", st.Validated),
+		})
+	}
+	if _, err := fmt.Fprintf(w, "%s\n\n", title); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, textplot.Table(
+		[]string{"class", "share", "coverage", "links", "validated"}, rows)); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, textplot.BarPairs(classes, shares, covers, 40))
+	return err
+}
+
+// RenderHeatmapPair writes one Figure 3/7/8/9 panel pair.
+func RenderHeatmapPair(w io.Writer, id string, hp HeatmapPair) error {
+	corner := func(h interface {
+		CornerMass(fx, fy float64) float64
+	}) float64 {
+		return h.CornerMass(1.0/3, 1.0/3)
+	}
+	if _, err := fmt.Fprintf(w,
+		"%s — %s heatmaps over TR° links (x: larger, y: smaller; last row/col are catch-alls)\n",
+		id, hp.Name); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"inferred: %d links, bottom-left ninth holds %.2f of the mass\n%s",
+		hp.Inferred.Total, corner(hp.Inferred),
+		textplot.Heatmap(hp.Inferred.Frac, "")); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"validated: %d links, bottom-left ninth holds %.2f of the mass\n%s",
+		hp.Validated.Total, corner(hp.Validated),
+		textplot.Heatmap(hp.Validated.Frac, ""))
+	return err
+}
+
+// RenderTable writes a per-group validation table in the paper's
+// layout, annotating per-class deltas against Total° with the paper's
+// colour letters (+ green, y yellow, o orange, r red).
+func RenderTable(w io.Writer, t Table) error {
+	if _, err := fmt.Fprintf(w, "Per group validation table for %s\n\n", t.Algorithm); err != nil {
+		return err
+	}
+	headers := []string{"Class", "PPV_P", "TPR_P", "LC_P", "PPV_C", "TPR_C", "LC_C", "MCC"}
+	rows := [][]string{totalRow("Total°", t.Total, t.Total)}
+	for _, r := range t.Rows {
+		rows = append(rows, totalRow(r.Class, r.Row, t.Total))
+	}
+	_, err := io.WriteString(w, textplot.Table(headers, rows))
+	return err
+}
+
+func totalRow(name string, r, total metrics.Row) []string {
+	cell := func(v, base float64) string {
+		s := textplot.Fmt3(v)
+		if name != "Total°" {
+			if m := textplot.DeltaMark(metrics.Delta(v, base)); m != "" {
+				s += m
+			}
+		}
+		return s
+	}
+	return []string{
+		name,
+		cell(r.PPVP, total.PPVP),
+		cell(r.TPRP, total.TPRP),
+		fmt.Sprintf("%d", r.LCP),
+		cell(r.PPVC, total.PPVC),
+		cell(r.TPRC, total.TPRC),
+		fmt.Sprintf("%d", r.LCC),
+		cell(r.MCC, total.MCC),
+	}
+}
+
+// RenderSampling writes the Figures 4-6 series.
+func (a *Artifacts) RenderSampling(w io.Writer, algo, class string, ser sampling.Series) error {
+	if _, err := fmt.Fprintf(w,
+		"Figures 4-6 — sampling robustness for %s on %s (%d eligible links)\n",
+		algo, class, ser.Eligible); err != nil {
+		return err
+	}
+	if len(ser.Pcts) == 0 {
+		_, err := io.WriteString(w, "(class too small to sample)\n")
+		return err
+	}
+	for _, m := range []struct {
+		name string
+		st   sampling.Stats
+	}{
+		{"PPV_P (Fig. 4)", ser.PPVP},
+		{"TPR_P (Fig. 5)", ser.TPRP},
+		{"MCC   (Fig. 6)", ser.MCC},
+	} {
+		slope := sampling.TrendSlope(ser.Pcts, m.st.Median)
+		if _, err := fmt.Fprintf(w, "\n%s  trend slope %.6f per %%\n", m.name, slope); err != nil {
+			return err
+		}
+		// Show every 7th point to keep the dump compact.
+		var xs []int
+		var med, q1, q3 []float64
+		for i := 0; i < len(ser.Pcts); i += 7 {
+			xs = append(xs, ser.Pcts[i])
+			med = append(med, m.st.Median[i])
+			q1 = append(q1, m.st.Q1[i])
+			q3 = append(q3, m.st.Q3[i])
+		}
+		if _, err := io.WriteString(w, textplot.MedianIQR(xs, med, q1, q3, "")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCaseStudy writes the §6.1 report.
+func (a *Artifacts) RenderCaseStudy(w io.Writer, algo string) error {
+	rep, err := a.CaseStudy(algo)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Case study (§6.1) for %s\n\n", algo)
+	fmt.Fprintf(w, "validated-P2C links between clique and transit inferred as P2P: %d\n", rep.WrongP2P)
+	if rep.FocusCount == 0 {
+		_, err := io.WriteString(w, "no focus AS (no wrong links)\n")
+		return err
+	}
+	fmt.Fprintf(w, "focus AS (the AS714 stand-in): AS%d with %d of them (%.0f%%)\n",
+		rep.Focus, rep.FocusCount, 100*float64(rep.FocusCount)/float64(rep.WrongP2P))
+	withTrip := 0
+	for _, tl := range rep.Targets {
+		if tl.HasCliqueTriplet {
+			withTrip++
+		}
+	}
+	fmt.Fprintf(w, "target links with a clique triplet C|T1|X: %d (the paper finds none)\n", withTrip)
+	causes := make([]string, 0, len(rep.ByCause))
+	for c, n := range rep.ByCause {
+		causes = append(causes, fmt.Sprintf("%s: %d", c, n))
+	}
+	sort.Strings(causes)
+	fmt.Fprintf(w, "looking-glass causes: %s\n", strings.Join(causes, ", "))
+	return nil
+}
+
+// RenderCleanReport writes the §4.2 label-treatment summary.
+func (a *Artifacts) RenderCleanReport(w io.Writer) error {
+	r := a.CleanReport
+	_, err := fmt.Fprintf(w, `Label quality & treatment (§4.2, policy %s)
+
+entries involving AS_TRANS:        %d (removed)
+entries involving reserved ASNs:   %d (removed)
+entries with multiple labels:      %d over %d ASes (%d kept)
+sibling entries (via AS2Org):      %d (removed)
+usable single-label entries:       %d
+`, a.Scenario.Policy, r.TransEntries, r.ReservedEntries,
+		r.MultiLabelEntries, r.MultiLabelASes, r.MultiLabelKept,
+		r.SiblingEntries, r.Kept)
+	return err
+}
+
+// RenderAll writes every experiment the paper reports, in order.
+// minLinks is the validated-link threshold for table rows (the paper
+// uses 500); values below 1 default to 100.
+func (a *Artifacts) RenderAll(w io.Writer, minLinks int) error {
+	hr := func() { fmt.Fprintln(w, "\n"+strings.Repeat("=", 72)+"\n") }
+	fmt.Fprintf(w, "breval experiments — seed %d, %d ASes, %d links (%d visible), %d VPs\n",
+		a.Scenario.Seed, len(a.World.ASNs), a.World.Graph.NumLinks(),
+		len(a.InferredLinks), len(a.World.VPs))
+	hr()
+	if err := a.RenderCleanReport(w); err != nil {
+		return err
+	}
+	hr()
+	if err := a.RenderFigure1(w); err != nil {
+		return err
+	}
+	hr()
+	if err := a.RenderFigure2(w); err != nil {
+		return err
+	}
+	hr()
+	if err := RenderHeatmapPair(w, "Figure 3", a.Figure3()); err != nil {
+		return err
+	}
+	for _, algo := range []string{AlgoASRank, AlgoProbLink, AlgoTopoScope, AlgoGao} {
+		if _, ok := a.Results[algo]; !ok {
+			continue
+		}
+		hr()
+		if minLinks < 1 {
+			minLinks = 100
+		}
+		tab, err := a.TableFor(algo, minLinks)
+		if err != nil {
+			return err
+		}
+		if err := RenderTable(w, tab); err != nil {
+			return err
+		}
+	}
+	if _, ok := a.Results[AlgoASRank]; ok {
+		hr()
+		ser, err := a.Figures4to6(AlgoASRank, "T1-TR", sampling.Config{})
+		if err != nil {
+			return err
+		}
+		if err := a.RenderSampling(w, AlgoASRank, "T1-TR", ser); err != nil {
+			return err
+		}
+		hr()
+		if err := a.RenderCaseStudy(w, AlgoASRank); err != nil {
+			return err
+		}
+	}
+	hr()
+	for i, hp := range a.Figures7to9() {
+		if err := RenderHeatmapPair(w, fmt.Sprintf("Figure %d", 7+i), hp); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	hr()
+	if err := a.RenderHardLinks(w); err != nil {
+		return err
+	}
+	hr()
+	if err := a.RenderSourceComparison(w); err != nil {
+		return err
+	}
+	if _, ok := a.Results[AlgoASRank]; ok {
+		hr()
+		if err := a.RenderReclassification(w, AlgoASRank); err != nil {
+			return err
+		}
+	}
+	hr()
+	if err := a.RenderComplexRelationships(w); err != nil {
+		return err
+	}
+	hr()
+	if err := a.RenderUncertainty(w); err != nil {
+		return err
+	}
+	hr()
+	evo, err := a.RunEvolution(4)
+	if err != nil {
+		return err
+	}
+	return a.RenderEvolution(w, evo)
+}

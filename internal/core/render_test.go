@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"breval/internal/sampling"
+)
+
+func TestRenderFigures(t *testing.T) {
+	art := midArtifacts(t)
+	var buf bytes.Buffer
+	if err := art.RenderFigure1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 1", "R°", "L°", "share", "cover"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 1 output missing %q", want)
+		}
+	}
+	buf.Reset()
+	if err := art.RenderFigure2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 2", "S-TR", "TR°", "T1-TR"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("figure 2 output missing %q", want)
+		}
+	}
+}
+
+func TestRenderTableAnnotatesDeltas(t *testing.T) {
+	art := midArtifacts(t)
+	tab, err := art.TableFor(AlgoASRank, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderTable(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Total°") || !strings.Contains(out, "PPV_P") {
+		t.Errorf("table output:\n%s", out)
+	}
+	// The S-T1 / T1-TR degradations must be annotated with a
+	// yellow/orange/red mark somewhere.
+	if !strings.ContainsAny(out, "yor") {
+		t.Error("no degradation marks in table")
+	}
+}
+
+func TestRenderHeatmapPair(t *testing.T) {
+	art := midArtifacts(t)
+	var buf bytes.Buffer
+	if err := RenderHeatmapPair(&buf, "Figure 3", art.Figure3()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "inferred:") || !strings.Contains(out, "validated:") {
+		t.Errorf("heatmap output:\n%s", out)
+	}
+	if !strings.Contains(out, "|") {
+		t.Error("no heatmap body")
+	}
+}
+
+func TestRenderSamplingAndCaseStudy(t *testing.T) {
+	art := midArtifacts(t)
+	ser, err := art.Figures4to6(AlgoASRank, "T1-TR", sampling.Config{Reps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := art.RenderSampling(&buf, AlgoASRank, "T1-TR", ser); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trend slope") {
+		t.Errorf("sampling output:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := art.RenderCaseStudy(&buf, AlgoASRank); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "partial-transit") {
+		t.Errorf("case study output:\n%s", buf.String())
+	}
+}
+
+func TestRenderAllCoversEverything(t *testing.T) {
+	art := midArtifacts(t)
+	var buf bytes.Buffer
+	if err := art.RenderAll(&buf, 100); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Figure 1", "Figure 2", "Figure 3", "Figures 4-6",
+		"Figure 7", "Figure 8", "Figure 9",
+		"ASRank", "ProbLink", "TopoScope", "Gao",
+		"Case study", "AS_TRANS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderAll output missing %q", want)
+		}
+	}
+}

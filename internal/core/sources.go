@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"breval/internal/asgraph"
+	"breval/internal/textplot"
+	"breval/internal/validation"
+)
+
+// SourceStat profiles one validation source over the inferred links:
+// total labelled links and the per-class coverage.
+type SourceStat struct {
+	Name    string
+	Entries int
+	// Coverage maps regional class name to the fraction of the
+	// class's inferred links the source labels.
+	Coverage map[string]float64
+}
+
+// SourceComparison contrasts the two Luckie et al. validation sources
+// the pipeline implements — BGP communities (source iii, what recent
+// works rely on exclusively) and IRR routing policies (source ii) —
+// plus their union, over the regional link classes. It quantifies the
+// §7 argument that combining sources softens but does not remove the
+// regional bias (no source covers LACNIC).
+func (a *Artifacts) SourceComparison() []SourceStat {
+	union := a.RawValidation.Clone()
+	a.RPSL.ForEach(func(l asgraph.Link, lbs []validation.Label) {
+		for _, lb := range lbs {
+			union.Add(l, lb)
+		}
+	})
+	sources := []struct {
+		name string
+		snap *validation.Snapshot
+	}{
+		{"communities (iii)", a.RawValidation},
+		{"IRR policies (ii)", a.RPSL},
+		{"union (ii+iii)", union},
+	}
+	out := make([]SourceStat, 0, len(sources))
+	for _, src := range sources {
+		st := SourceStat{Name: src.name, Entries: src.snap.Len(), Coverage: map[string]float64{}}
+		counts := map[string][2]int{} // class -> [links, validated]
+		for l := range a.InferredLinks {
+			cls, ok := a.RegionCls.Class(l)
+			if !ok {
+				continue
+			}
+			c := counts[cls]
+			c[0]++
+			if src.snap.Has(l) {
+				c[1]++
+			}
+			counts[cls] = c
+		}
+		for cls, c := range counts {
+			if c[0] > 0 {
+				st.Coverage[cls] = float64(c[1]) / float64(c[0])
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// RenderSourceComparison writes the source-comparison table.
+func (a *Artifacts) RenderSourceComparison(w io.Writer) error {
+	stats := a.SourceComparison()
+	if _, err := fmt.Fprintf(w, "Validation sources (§3.2/§7) — per-class coverage of inferred links\n\n"); err != nil {
+		return err
+	}
+	classSet := map[string]bool{}
+	for _, st := range stats {
+		for c := range st.Coverage {
+			classSet[c] = true
+		}
+	}
+	classes := make([]string, 0, len(classSet))
+	for c := range classSet {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+
+	headers := []string{"class"}
+	for _, st := range stats {
+		headers = append(headers, st.Name)
+	}
+	rows := make([][]string, 0, len(classes)+1)
+	entries := []string{"entries"}
+	for _, st := range stats {
+		entries = append(entries, fmt.Sprintf("%d", st.Entries))
+	}
+	rows = append(rows, entries)
+	for _, c := range classes {
+		row := []string{c}
+		for _, st := range stats {
+			row = append(row, textplot.Fmt3(st.Coverage[c]))
+		}
+		rows = append(rows, row)
+	}
+	_, err := io.WriteString(w, textplot.Table(headers, rows))
+	return err
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"breval/internal/asgraph"
+	"breval/internal/inference/problink"
+	"breval/internal/textplot"
+	"breval/internal/validation"
+)
+
+// UncertaintyBucket is one row of the UNARI-style calibration curve:
+// validated links whose winning posterior falls into the bucket, and
+// the empirical accuracy within it.
+type UncertaintyBucket struct {
+	// Lo/Hi bound the winning-probability range.
+	Lo, Hi float64
+	Links  int
+	// Accuracy is the fraction whose inferred relationship matches
+	// the validation label.
+	Accuracy float64
+}
+
+// UncertaintyCalibration runs ProbLink with posterior output and bins
+// the validated links by confidence. UNARI (Feng et al., CoNEXT'19)
+// argued a certainty measure per link is the honest output format;
+// the paper could not analyse it for lack of artifacts (footnote 1),
+// so this experiment supplies the missing view: if the posterior is
+// well calibrated, high-confidence buckets are accurate and the
+// misclassified minority classes (partial transit, stub-T1 peerings)
+// concentrate in the low-confidence buckets.
+func (a *Artifacts) UncertaintyCalibration(buckets int) []UncertaintyBucket {
+	if buckets < 2 {
+		buckets = 5
+	}
+	algo := problink.New(problink.Options{})
+	res, post := algo.InferWithUncertainty(a.Features)
+
+	counts := make([]int, buckets)
+	correct := make([]int, buckets)
+	a.Validation.ForEach(func(l asgraph.Link, lbs []validation.Label) {
+		if len(lbs) != 1 {
+			return
+		}
+		p, okP := post[l]
+		rel, okR := res.Rel(l)
+		if !okP || !okR {
+			return
+		}
+		conf := p.Max()
+		// Winning probability of a 3-class posterior lies in (1/3, 1];
+		// stretch that range over the buckets.
+		idx := int((conf - 1.0/3) / (2.0 / 3) * float64(buckets))
+		if idx >= buckets {
+			idx = buckets - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		counts[idx]++
+		t := lbs[0]
+		if rel.Type == t.Type && (rel.Type != asgraph.P2C || rel.Provider == t.Provider) {
+			correct[idx]++
+		}
+	})
+
+	out := make([]UncertaintyBucket, 0, buckets)
+	for i := 0; i < buckets; i++ {
+		b := UncertaintyBucket{
+			Lo: 1.0/3 + float64(i)*2.0/3/float64(buckets),
+			Hi: 1.0/3 + float64(i+1)*2.0/3/float64(buckets),
+		}
+		b.Links = counts[i]
+		if counts[i] > 0 {
+			b.Accuracy = float64(correct[i]) / float64(counts[i])
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// RenderUncertainty writes the calibration curve.
+func (a *Artifacts) RenderUncertainty(w io.Writer) error {
+	buckets := a.UncertaintyCalibration(5)
+	if _, err := fmt.Fprintf(w, "UNARI-style uncertainty calibration (ProbLink posteriors, validated links)\n\n"); err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(buckets))
+	for _, b := range buckets {
+		acc := "-"
+		if b.Links > 0 {
+			acc = fmt.Sprintf("%.3f", b.Accuracy)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("[%.2f, %.2f)", b.Lo, b.Hi),
+			fmt.Sprintf("%d", b.Links),
+			acc,
+		})
+	}
+	if _, err := io.WriteString(w, textplot.Table(
+		[]string{"confidence", "links", "accuracy"}, rows)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "\nwell-calibrated output concentrates errors in the low-confidence rows —")
+	fmt.Fprintln(w, "the uncertainty-aware answer to evaluating hard classes the paper asks for")
+	return err
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+	"breval/internal/inference/asrank"
+	"breval/internal/inference/features"
+	"breval/internal/metrics"
+	"breval/internal/textplot"
+)
+
+// VPSweepPoint is one point of the vantage-point sweep: inference
+// quality when only a fraction of the collector sessions exist.
+type VPSweepPoint struct {
+	// Fraction of the full VP set used.
+	Fraction float64
+	VPs      int
+	// VisibleLinks is the observed link universe at this VP count.
+	VisibleLinks int
+	// Row is ASRank's evaluation against the full validation data
+	// (restricted to links visible at this VP count).
+	Row metrics.Row
+}
+
+// VPSweep quantifies the §1 visibility problem: the same world,
+// observed through progressively smaller vantage-point sets, yields
+// smaller link universes and worse inferences. VPs are dropped from
+// the end of the (sorted) VP list, which removes mostly non-Tier-1
+// sessions first — mirroring how collector projects grew.
+func (a *Artifacts) VPSweep(fractions []float64) []VPSweepPoint {
+	if len(fractions) == 0 {
+		fractions = []float64{0.25, 0.5, 0.75, 1.0}
+	}
+	out := make([]VPSweepPoint, 0, len(fractions))
+	for _, f := range fractions {
+		n := int(f * float64(len(a.World.VPs)))
+		if n < 1 {
+			n = 1
+		}
+		keep := make(map[asn.ASN]bool, n)
+		for _, v := range a.World.VPs[:n] {
+			keep[v] = true
+		}
+		sub := bgp.NewPathSet(a.Paths.Len(), a.Paths.Len()*4)
+		a.Paths.ForEach(func(p asgraph.Path) {
+			if keep[p.VantagePoint()] {
+				sub.Append(p)
+			}
+		})
+		fs := features.Compute(sub)
+		res := asrank.New(asrank.Options{}).Infer(fs)
+		out = append(out, VPSweepPoint{
+			Fraction:     f,
+			VPs:          n,
+			VisibleLinks: len(fs.Links),
+			Row:          metrics.Evaluate(res, a.Validation, nil),
+		})
+	}
+	return out
+}
+
+// RenderVPSweep writes the sweep table.
+func (a *Artifacts) RenderVPSweep(w io.Writer, points []VPSweepPoint) error {
+	if _, err := fmt.Fprintf(w, "Vantage-point sweep (the §1 visibility problem) — ASRank vs validation\n\n"); err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", 100*p.Fraction),
+			fmt.Sprintf("%d", p.VPs),
+			fmt.Sprintf("%d", p.VisibleLinks),
+			textplot.Fmt3(p.Row.PPVP),
+			textplot.Fmt3(p.Row.TPRP),
+			textplot.Fmt3(p.Row.PPVC),
+			textplot.Fmt3(p.Row.TPRC),
+			textplot.Fmt3(p.Row.MCC),
+		})
+	}
+	_, err := io.WriteString(w, textplot.Table(
+		[]string{"VP set", "VPs", "visible", "PPV_P", "TPR_P", "PPV_C", "TPR_C", "MCC"}, rows))
+	return err
+}

@@ -1,0 +1,211 @@
+package hardlinks
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/inference/features"
+)
+
+// LinkFeatures is the Appendix-C per-link feature vector: the twelve
+// metrics the paper proposes for identifying further groups of hard
+// links. Feature 1 (visibility over time) needs a snapshot series and
+// lives with the evolution experiment; the remaining eleven are
+// computed here from one snapshot.
+type LinkFeatures struct {
+	Link asgraph.Link
+
+	// 2/3: prefixes (and covered addresses) redistributed via the
+	// link — distinct origins whose collector paths cross it.
+	PrefixesVia  int
+	AddressesVia int
+
+	// 4/5: prefixes (addresses) originated through the link — the
+	// origin is one of its endpoints.
+	PrefixesOriginated  int
+	AddressesOriginated int
+
+	// 6: ASes that can observe the link (occur left of it on paths).
+	Observers int
+	// 7: ASes that might receive traffic via the link (occur right).
+	Receivers int
+
+	// 8: relative transit-degree difference of the endpoints.
+	TransitDegreeDiff float64
+	// 9: relative PPDC (customer cone) size difference.
+	ConeDiff float64
+
+	// 10/11: co-location counts.
+	CommonIXPs       int
+	CommonFacilities int
+
+	// 12: behaviour of the incident ASes, e.g. "manrs|clean" or
+	// "clean|hijacker" (canonical link order).
+	Behaviour string
+}
+
+// FeatureInputs carries the side data the features need beyond the
+// path-derived feature set.
+type FeatureInputs struct {
+	// ConeSizes is the inferred customer cone size per AS (PPDC).
+	ConeSizes map[asn.ASN]int
+	// IXPMembers / FacilityMembers list the member sets of each
+	// fabric/facility.
+	IXPMembers      [][]asn.ASN
+	FacilityMembers [][]asn.ASN
+	// MANRS and Hijackers flag the behavioural classes.
+	MANRS     map[asn.ASN]bool
+	Hijackers map[asn.ASN]bool
+	// AddressesPerPrefix converts prefix counts to address counts
+	// (256 for the synthetic /24-per-AS world).
+	AddressesPerPrefix int
+}
+
+// ComputeFeatures evaluates the Appendix-C vector for the requested
+// links.
+func ComputeFeatures(fs *features.Set, links []asgraph.Link, in FeatureInputs) []LinkFeatures {
+	if in.AddressesPerPrefix == 0 {
+		in.AddressesPerPrefix = 256
+	}
+	type accum struct {
+		via       map[asn.ASN]bool
+		observers map[asn.ASN]bool
+		receivers map[asn.ASN]bool
+		origin    map[asn.ASN]bool
+	}
+	want := make(map[asgraph.Link]*accum, len(links))
+	for _, l := range links {
+		want[l] = &accum{
+			via:       make(map[asn.ASN]bool),
+			observers: make(map[asn.ASN]bool),
+			receivers: make(map[asn.ASN]bool),
+			origin:    make(map[asn.ASN]bool),
+		}
+	}
+
+	fs.Paths.ForEach(func(p asgraph.Path) {
+		if len(p) < 2 {
+			return
+		}
+		origin := p.Origin()
+		for i := 0; i+1 < len(p); i++ {
+			l := asgraph.NewLink(p[i], p[i+1])
+			acc, ok := want[l]
+			if !ok {
+				continue
+			}
+			acc.via[origin] = true
+			if i+2 == len(p) {
+				acc.origin[origin] = true
+			}
+			for j := 0; j < i; j++ {
+				acc.observers[p[j]] = true
+			}
+			for j := i + 2; j < len(p); j++ {
+				acc.receivers[p[j]] = true
+			}
+		}
+	})
+
+	ixpIdx := membershipIndex(in.IXPMembers)
+	facIdx := membershipIndex(in.FacilityMembers)
+
+	out := make([]LinkFeatures, 0, len(links))
+	for _, l := range links {
+		acc := want[l]
+		f := LinkFeatures{
+			Link:                l,
+			PrefixesVia:         len(acc.via),
+			AddressesVia:        len(acc.via) * in.AddressesPerPrefix,
+			PrefixesOriginated:  len(acc.origin),
+			AddressesOriginated: len(acc.origin) * in.AddressesPerPrefix,
+			Observers:           len(acc.observers),
+			Receivers:           len(acc.receivers),
+			TransitDegreeDiff:   relDiff(fs.TransitDegree[l.A], fs.TransitDegree[l.B]),
+			ConeDiff:            relDiff(in.ConeSizes[l.A], in.ConeSizes[l.B]),
+			CommonIXPs:          commonCount(ixpIdx[l.A], ixpIdx[l.B]),
+			CommonFacilities:    commonCount(facIdx[l.A], facIdx[l.B]),
+			Behaviour:           behaviour(l.A, in) + "|" + behaviour(l.B, in),
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Link.A != out[j].Link.A {
+			return out[i].Link.A < out[j].Link.A
+		}
+		return out[i].Link.B < out[j].Link.B
+	})
+	return out
+}
+
+func relDiff(a, b int) float64 {
+	fa, fb := float64(a), float64(b)
+	m := math.Max(fa, fb)
+	if m == 0 {
+		return 0
+	}
+	return math.Abs(fa-fb) / m
+}
+
+func membershipIndex(groups [][]asn.ASN) map[asn.ASN]map[int]bool {
+	idx := make(map[asn.ASN]map[int]bool)
+	for g, members := range groups {
+		for _, a := range members {
+			m := idx[a]
+			if m == nil {
+				m = make(map[int]bool, 2)
+				idx[a] = m
+			}
+			m[g] = true
+		}
+	}
+	return idx
+}
+
+func commonCount(a, b map[int]bool) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	n := 0
+	for g := range a {
+		if b[g] {
+			n++
+		}
+	}
+	return n
+}
+
+func behaviour(a asn.ASN, in FeatureInputs) string {
+	switch {
+	case in.Hijackers[a]:
+		return "hijacker"
+	case in.MANRS[a]:
+		return "manrs"
+	}
+	return "clean"
+}
+
+// WriteFeaturesTSV writes the vectors as a tab-separated table with a
+// header row, ready for external analysis tooling.
+func WriteFeaturesTSV(w io.Writer, feats []LinkFeatures) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "as1\tas2\tprefixes_via\taddrs_via\tprefixes_orig\taddrs_orig\tobservers\treceivers\ttdeg_diff\tcone_diff\tcommon_ixps\tcommon_facilities\tbehaviour"); err != nil {
+		return err
+	}
+	for _, f := range feats {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.4f\t%.4f\t%d\t%d\t%s\n",
+			f.Link.A, f.Link.B, f.PrefixesVia, f.AddressesVia,
+			f.PrefixesOriginated, f.AddressesOriginated,
+			f.Observers, f.Receivers,
+			f.TransitDegreeDiff, f.ConeDiff,
+			f.CommonIXPs, f.CommonFacilities, f.Behaviour); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,287 @@
+// Package hardlinks implements the "hard-to-infer link" analysis the
+// paper builds on (§3.3, after Jin et al., NSDI'19) and the per-link
+// feature vector of Appendix C.
+//
+// Jin et al. describe five characteristics that make a link hard:
+//
+//	(i)   low node degree,
+//	(ii)  observed by a mid-range number of vantage points,
+//	(iii) neither incident to a vantage point nor to a clique AS,
+//	(iv)  stub links with no triplet of two consecutive clique ASes
+//	      on any observing path, and
+//	(v)   links for which a simple top-down classification conflicts.
+//
+// The paper's §3.3 recalls their finding that validation data skews
+// towards easy links; Categorize plus validation coverage per category
+// reproduces that skew on the synthetic world.
+package hardlinks
+
+import (
+	"sort"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/inference/features"
+)
+
+// Category identifies one of Jin et al.'s hard-link characteristics.
+type Category uint8
+
+// Hard-link categories (i)-(v).
+const (
+	CatLowDegree Category = iota
+	CatMidVisibility
+	CatRemote
+	CatStubNoCliqueTriplet
+	CatTopDownConflict
+	NumCategories
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case CatLowDegree:
+		return "low-degree"
+	case CatMidVisibility:
+		return "mid-visibility"
+	case CatRemote:
+		return "remote"
+	case CatStubNoCliqueTriplet:
+		return "stub-no-clique-triplet"
+	case CatTopDownConflict:
+		return "top-down-conflict"
+	}
+	return "unknown"
+}
+
+// Criteria parameterises the categories. Jin et al.'s absolute
+// thresholds (degree < 100, 50-100 VPs) assume 2019-Internet scale;
+// DefaultCriteria derives scale-appropriate values from the feature
+// set's distributions instead.
+type Criteria struct {
+	// MaxNodeDegree: category (i) holds when both endpoints' node
+	// degrees are below this.
+	MaxNodeDegree int
+	// VPLow/VPHigh: category (ii) holds when the link is observed by
+	// a count of vantage points inside [VPLow, VPHigh].
+	VPLow, VPHigh int
+}
+
+// DefaultCriteria picks thresholds from the observed distributions:
+// MaxNodeDegree at the 50th percentile of link-max degrees, the VP
+// band between the 25th and 60th percentile of per-link VP counts.
+func DefaultCriteria(fs *features.Set) Criteria {
+	degrees := make([]int, 0, len(fs.Links))
+	vps := make([]int, 0, len(fs.Links))
+	for l := range fs.Links {
+		d := fs.NodeDegree[l.A]
+		if fs.NodeDegree[l.B] > d {
+			d = fs.NodeDegree[l.B]
+		}
+		degrees = append(degrees, d)
+		vps = append(vps, fs.VPCount[l])
+	}
+	sort.Ints(degrees)
+	sort.Ints(vps)
+	pick := func(s []int, q float64) int {
+		if len(s) == 0 {
+			return 0
+		}
+		return s[int(q*float64(len(s)-1))]
+	}
+	return Criteria{
+		MaxNodeDegree: pick(degrees, 0.5),
+		VPLow:         pick(vps, 0.25),
+		VPHigh:        pick(vps, 0.6),
+	}
+}
+
+// Set holds the categorisation result.
+type Set struct {
+	Criteria Criteria
+	// ByCategory maps each category to its link set.
+	ByCategory map[Category]map[asgraph.Link]bool
+	// Hard is the union of all categories.
+	Hard map[asgraph.Link]bool
+	// Total is the number of links examined.
+	Total int
+}
+
+// IsHard reports whether l fell into any category.
+func (s *Set) IsHard(l asgraph.Link) bool { return s.Hard[l] }
+
+// Categorize computes the five categories over the observed links.
+// clique and vps are the inferred clique and the vantage-point list.
+func Categorize(fs *features.Set, clique, vps []asn.ASN, crit Criteria) *Set {
+	s := &Set{
+		Criteria:   crit,
+		ByCategory: make(map[Category]map[asgraph.Link]bool, NumCategories),
+		Hard:       make(map[asgraph.Link]bool),
+		Total:      len(fs.Links),
+	}
+	for c := Category(0); c < NumCategories; c++ {
+		s.ByCategory[c] = make(map[asgraph.Link]bool)
+	}
+	cliqueSet := make(map[asn.ASN]bool, len(clique))
+	for _, a := range clique {
+		cliqueSet[a] = true
+	}
+	vpSet := make(map[asn.ASN]bool, len(vps))
+	for _, v := range vps {
+		vpSet[v] = true
+	}
+
+	add := func(c Category, l asgraph.Link) {
+		s.ByCategory[c][l] = true
+		s.Hard[l] = true
+	}
+
+	// (i)-(iii) are per-link lookups.
+	for l := range fs.Links {
+		maxDeg := fs.NodeDegree[l.A]
+		if fs.NodeDegree[l.B] > maxDeg {
+			maxDeg = fs.NodeDegree[l.B]
+		}
+		if maxDeg < crit.MaxNodeDegree {
+			add(CatLowDegree, l)
+		}
+		if n := fs.VPCount[l]; n >= crit.VPLow && n <= crit.VPHigh {
+			add(CatMidVisibility, l)
+		}
+		if !vpSet[l.A] && !vpSet[l.B] && !cliqueSet[l.A] && !cliqueSet[l.B] {
+			add(CatRemote, l)
+		}
+	}
+
+	// (iv): stub links whose observing paths never carry two
+	// consecutive clique ASes. First collect, per stub link, whether
+	// ANY observing path has a clique pair.
+	isStubLink := func(l asgraph.Link) bool {
+		return fs.TransitDegree[l.A] == 0 || fs.TransitDegree[l.B] == 0
+	}
+	hasCliquePair := make(map[asgraph.Link]bool)
+	fs.Paths.ForEach(func(p asgraph.Path) {
+		pair := false
+		for i := 0; i+1 < len(p); i++ {
+			if cliqueSet[p[i]] && cliqueSet[p[i+1]] {
+				pair = true
+				break
+			}
+		}
+		if !pair {
+			return
+		}
+		for i := 0; i+1 < len(p); i++ {
+			l := asgraph.NewLink(p[i], p[i+1])
+			if isStubLink(l) {
+				hasCliquePair[l] = true
+			}
+		}
+	})
+	for l := range fs.Links {
+		if isStubLink(l) && !hasCliquePair[l] {
+			add(CatStubNoCliqueTriplet, l)
+		}
+	}
+
+	// (v): top-down conflicts. Classify each path with the simple
+	// peak rule (the highest-transit-degree AS is the top; links
+	// before it point up, links after it point down) and flag links
+	// receiving votes in both directions.
+	type votes struct{ up, down bool }
+	v := make(map[asgraph.Link]*votes, len(fs.Links))
+	fs.Paths.ForEach(func(p asgraph.Path) {
+		if len(p) < 2 {
+			return
+		}
+		top := 0
+		for i := 1; i < len(p); i++ {
+			if fs.TransitDegree[p[i]] > fs.TransitDegree[p[top]] {
+				top = i
+			}
+		}
+		for i := 0; i+1 < len(p); i++ {
+			l := asgraph.NewLink(p[i], p[i+1])
+			row := v[l]
+			if row == nil {
+				row = &votes{}
+				v[l] = row
+			}
+			// Before the top the route descends towards the VP, so
+			// the canonical-A side direction depends on orientation;
+			// record whether the higher-index element is the provider
+			// side (up) or customer side (down) w.r.t. canonical A.
+			providerIsFirst := i >= top // after the top: p[i] above p[i+1]
+			if (l.A == p[i]) == providerIsFirst {
+				row.up = true
+			} else {
+				row.down = true
+			}
+		}
+	})
+	for l, row := range v {
+		if row.up && row.down {
+			add(CatTopDownConflict, l)
+		}
+	}
+	return s
+}
+
+// Skew summarises the §3.3 claim for one link universe and one
+// validation predicate: the share of hard links among all links vs
+// among validated links. Validation skews easy when ValidatedHard is
+// clearly below AllHard.
+type Skew struct {
+	AllHard       float64
+	ValidatedHard float64
+	// PerCategory holds, per category, {share of all links, share of
+	// validated links}.
+	PerCategory map[Category][2]float64
+}
+
+// ComputeSkew evaluates the easy-link skew over the observed links.
+func (s *Set) ComputeSkew(validated func(asgraph.Link) bool, links map[asgraph.Link]bool) Skew {
+	sk := Skew{PerCategory: make(map[Category][2]float64, NumCategories)}
+	totalAll, totalVal := 0, 0
+	hardAll, hardVal := 0, 0
+	catAll := make(map[Category]int)
+	catVal := make(map[Category]int)
+	for l := range links {
+		totalAll++
+		isVal := validated(l)
+		if isVal {
+			totalVal++
+		}
+		if s.Hard[l] {
+			hardAll++
+			if isVal {
+				hardVal++
+			}
+		}
+		for c := Category(0); c < NumCategories; c++ {
+			if s.ByCategory[c][l] {
+				catAll[c]++
+				if isVal {
+					catVal[c]++
+				}
+			}
+		}
+	}
+	if totalAll > 0 {
+		sk.AllHard = float64(hardAll) / float64(totalAll)
+	}
+	if totalVal > 0 {
+		sk.ValidatedHard = float64(hardVal) / float64(totalVal)
+	}
+	for c := Category(0); c < NumCategories; c++ {
+		var row [2]float64
+		if totalAll > 0 {
+			row[0] = float64(catAll[c]) / float64(totalAll)
+		}
+		if totalVal > 0 {
+			row[1] = float64(catVal[c]) / float64(totalVal)
+		}
+		sk.PerCategory[c] = row
+	}
+	return sk
+}

@@ -1,0 +1,331 @@
+// Package asrank reimplements the core of CAIDA's ASRank relationship
+// inference (Luckie et al., "AS Relationships, Customer Cones, and
+// Validation", IMC 2013): clique inference from transit degrees,
+// top-down provider-to-customer inference driven by path triplets, a
+// stub-to-clique default, and peering as the fallback class.
+//
+// The implementation is a faithful-in-spirit subset of the published
+// 11-step heuristic pipeline. It preserves the properties the bias
+// study depends on:
+//
+//   - A link T1-X is inferred P2C only if some path contains the
+//     triplet C|T1|X with C another clique member (§6.1 of Prehn &
+//     Feldmann, IMC'21, verifies exactly this mechanism).
+//   - Remaining stub-to-clique links default to P2C, so true stub-T1
+//     peerings are (wrongly) classified P2C — the S-T1 pathology of
+//     the paper's Table 1.
+//   - Everything without downward evidence falls back to P2P.
+package asrank
+
+import (
+	"sort"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/inference"
+	"breval/internal/inference/features"
+)
+
+// Options tunes the algorithm; the zero value uses the published
+// defaults.
+type Options struct {
+	// CliqueCandidates is how many top transit-degree ASes are
+	// considered for the clique (default 25).
+	CliqueCandidates int
+	// MaxIterations bounds the top-down sweeps (default 4).
+	MaxIterations int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CliqueCandidates == 0 {
+		o.CliqueCandidates = 50
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 4
+	}
+	return o
+}
+
+// Algorithm is the ASRank classifier.
+type Algorithm struct {
+	opts Options
+}
+
+// New returns an ASRank classifier.
+func New(opts Options) *Algorithm { return &Algorithm{opts: opts.withDefaults()} }
+
+// Name implements inference.Algorithm.
+func (a *Algorithm) Name() string { return "ASRank" }
+
+// InferClique infers the provider-free clique: among the top
+// candidates by transit degree, greedily grow the largest set that is
+// pairwise connected in the observed topology and free of
+// customer-style triplet evidence, seeded by the highest transit
+// degree ASes.
+//
+// The triplet filter is the essential part (it mirrors Luckie et
+// al.'s refinement): a candidate c is rejected against member m when
+// some path shows another candidate receiving c's routes through m
+// (triplet x|m|c), because peer-learned routes are never re-exported
+// to peers — such a path proves c is m's customer, however large c's
+// transit degree is.
+func InferClique(fs *features.Set, candidates int) []asn.ASN {
+	ranked := fs.ASesByTransitDegree()
+	if len(ranked) > candidates {
+		ranked = ranked[:candidates]
+	}
+	cand := make(map[asn.ASN]bool, len(ranked))
+	for _, a := range ranked {
+		cand[a] = true
+	}
+	// trips records every ordered triplet whose three ASes are all
+	// candidates.
+	trips := make(map[[3]asn.ASN]bool)
+	fs.Paths.ForEach(func(p asgraph.Path) {
+		p.Triplets(func(left, mid, right asn.ASN) {
+			if cand[left] && cand[mid] && cand[right] {
+				trips[[3]asn.ASN{left, mid, right}] = true
+			}
+		})
+	})
+	connected := func(a, b asn.ASN) bool {
+		return fs.Links[asgraph.NewLink(a, b)]
+	}
+	// customerEvidence reports whether c's routes were seen crossing a
+	// member to reach another member — proof that c is a customer and
+	// must not join the clique.
+	customerEvidence := func(members []asn.ASN, c asn.ASN) bool {
+		for _, m1 := range members {
+			if m1 == c {
+				continue
+			}
+			for _, m2 := range members {
+				if m2 == c || m2 == m1 {
+					continue
+				}
+				if trips[[3]asn.ASN{m1, m2, c}] || trips[[3]asn.ASN{c, m2, m1}] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	var best []asn.ASN
+	// Greedy growth from each of the first few seeds; each grown set
+	// is then re-validated against itself until stable, expelling
+	// members with customer evidence. Keep the largest surviving set.
+	seeds := 5
+	if seeds > len(ranked) {
+		seeds = len(ranked)
+	}
+	for s := 0; s < seeds; s++ {
+		clique := []asn.ASN{ranked[s]}
+		for _, c := range ranked {
+			if c == ranked[s] {
+				continue
+			}
+			ok := true
+			for _, m := range clique {
+				if !connected(c, m) {
+					ok = false
+					break
+				}
+			}
+			if ok && !customerEvidence(clique, c) {
+				clique = append(clique, c)
+			}
+		}
+		// Post-filter: expel members proven to be customers of the
+		// final set (they may have joined before their providers).
+		for {
+			kept := clique[:0]
+			expelled := false
+			for _, c := range clique {
+				if customerEvidence(clique, c) {
+					expelled = true
+					continue
+				}
+				kept = append(kept, c)
+			}
+			clique = kept
+			if !expelled {
+				break
+			}
+		}
+		if len(clique) > len(best) {
+			best = append(best[:0:0], clique...)
+		}
+	}
+	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+	return best
+}
+
+// Infer implements inference.Algorithm.
+func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
+	res := inference.NewResult(a.Name(), len(fs.Links))
+	clique := InferClique(fs, a.opts.CliqueCandidates)
+	res.Clique = clique
+	cliqueSet := make(map[asn.ASN]bool, len(clique))
+	for _, c := range clique {
+		cliqueSet[c] = true
+	}
+
+	// Step 1: clique members peer with each other.
+	for i, c1 := range clique {
+		for _, c2 := range clique[i+1:] {
+			l := asgraph.NewLink(c1, c2)
+			if fs.Links[l] {
+				res.Set(l, asgraph.P2PRel())
+			}
+		}
+	}
+
+	// Step 2: clique triplets. A triplet C1|C2|X (or X|C2|C1) with
+	// C1, C2 clique members proves C2 exported X's route to a peer,
+	// so X is C2's customer.
+	fs.Paths.ForEach(func(p asgraph.Path) {
+		p.Triplets(func(left, mid, right asn.ASN) {
+			if !cliqueSet[mid] {
+				return
+			}
+			if cliqueSet[left] && !cliqueSet[right] {
+				setP2C(res, mid, right)
+			}
+			if cliqueSet[right] && !cliqueSet[left] {
+				setP2C(res, mid, left)
+			}
+		})
+	})
+
+	// Step 3: iterative top-down sweep. When the left link of a
+	// triplet A|X|B makes A X's provider or peer, the route crossing X
+	// towards A must be a customer route, so B is X's customer.
+	// Ordering by transit degree is implicit in the data (higher tiers
+	// get resolved by step 2 first); iterating to a fixed point
+	// propagates the frontier downwards.
+	firm := make(map[asgraph.Link]bool, len(fs.Links))
+	for l := range res.Rels {
+		firm[l] = true
+	}
+	// rankIdx orders ASes by transit degree (the published algorithm's
+	// processing order); tentative evidence may only push provider
+	// relationships downwards in this order.
+	rankIdx := make(map[asn.ASN]int, len(fs.Adj))
+	for i, x := range fs.ASesByTransitDegree() {
+		rankIdx[x] = i
+	}
+	sweep := func(useTentative bool) bool {
+		changed := false
+		fs.Paths.ForEach(func(p asgraph.Path) {
+			p.Triplets(func(left, mid, right asn.ASN) {
+				if cliqueSet[right] {
+					// Clique members are provider-free by
+					// definition; never infer one as a customer.
+					// Without this guard a single mislabelled link
+					// below a Tier-1 cascades: the Tier-1 gets
+					// "demoted" and every one of its unresolved
+					// customer links firms up through it.
+					return
+				}
+				rl := asgraph.NewLink(mid, right)
+				if firm[rl] {
+					return
+				}
+				ll := asgraph.NewLink(left, mid)
+				lrel, ok := res.Rel(ll)
+				if !ok {
+					return
+				}
+				if !firm[ll] {
+					// Tentative P2P labels are weaker evidence: never
+					// trust them around a clique member, where a
+					// single unresolved customer link (e.g. partial
+					// transit) would cascade into firm inferences for
+					// all of the member's other unresolved links;
+					// never trust them when the left AS is an observed
+					// stub (a stub's relationships are unknowable from
+					// paths, so its P2P default is just the fallback);
+					// and only let them push provider relationships
+					// *down* the transit-degree ranking, as the
+					// published top-down processing order does.
+					if !useTentative || cliqueSet[mid] ||
+						fs.TransitDegree[left] == 0 ||
+						rankIdx[mid] > rankIdx[right] {
+						return
+					}
+				}
+				// left is mid's provider or peer => mid exported the
+				// route upward/across => right is mid's customer.
+				if lrel.Type == asgraph.P2P || (lrel.Type == asgraph.P2C && lrel.Provider == left) {
+					res.Set(rl, asgraph.P2CRel(mid))
+					firm[rl] = true
+					changed = true
+				}
+			})
+		})
+		return changed
+	}
+	for iter := 0; iter < a.opts.MaxIterations; iter++ {
+		if !sweep(false) {
+			break
+		}
+	}
+
+	// Step 4: stub-to-clique default. Links between an observed stub
+	// (transit degree 0) and a clique member default to P2C with the
+	// clique member as provider.
+	for l := range fs.Links {
+		if _, ok := res.Rel(l); ok {
+			continue
+		}
+		var rel asgraph.Rel
+		switch {
+		case cliqueSet[l.A] && fs.TransitDegree[l.B] == 0:
+			rel = asgraph.P2CRel(l.A)
+		case cliqueSet[l.B] && fs.TransitDegree[l.A] == 0:
+			rel = asgraph.P2CRel(l.B)
+		default:
+			continue
+		}
+		res.Set(l, rel)
+		firm[l] = true
+	}
+
+	// Step 5: tentative peering pass. Links still unclassified get a
+	// tentative P2P label; treating those as peer evidence resolves
+	// customer links that are only ever observed below a peering (the
+	// published algorithm reaches the same links through its
+	// fold/unfold steps). Tentative labels may be overridden by the
+	// renewed sweep; firm labels may not. Whatever remains P2P at the
+	// fixed point is final: a true stub customer is resolved because
+	// its provider's own providers and peers re-export the stub's
+	// routes (yielding provider/peer-left triplets), whereas a stub
+	// peering is only ever seen from inside the neighbor's customer
+	// cone and correctly stays P2P.
+	for iter := 0; iter < a.opts.MaxIterations; iter++ {
+		for l := range fs.Links {
+			if _, ok := res.Rel(l); !ok {
+				res.Set(l, asgraph.P2PRel())
+			}
+		}
+		if !sweep(true) {
+			break
+		}
+	}
+	res.Firm = firm
+	return res
+}
+
+// setP2C records a provider-to-customer inference unless the link is
+// already classified (first evidence wins, keeping the pass
+// deterministic and protecting clique peerings from triplet noise).
+func setP2C(res *inference.Result, provider, customer asn.ASN) {
+	l := asgraph.NewLink(provider, customer)
+	if _, ok := res.Rel(l); ok {
+		return
+	}
+	res.Set(l, asgraph.P2CRel(provider))
+}
+
+var _ inference.Algorithm = (*Algorithm)(nil)

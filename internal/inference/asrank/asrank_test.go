@@ -1,0 +1,141 @@
+package asrank
+
+import (
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+	"breval/internal/inference/features"
+)
+
+func pathSet(paths ...asgraph.Path) *features.Set {
+	ps := bgp.NewPathSet(len(paths), 64)
+	for _, p := range paths {
+		ps.Append(p)
+	}
+	return features.Compute(ps)
+}
+
+// cliquePaths describe a world with clique {1,2,3} (each transiting
+// for the others' customers) and customers 10, 11, 12.
+func cliquePaths() *features.Set {
+	return pathSet(
+		asgraph.Path{10, 1, 2, 11},
+		asgraph.Path{10, 1, 3, 12},
+		asgraph.Path{11, 2, 1, 10},
+		asgraph.Path{11, 2, 3, 12},
+		asgraph.Path{12, 3, 1, 10},
+		asgraph.Path{12, 3, 2, 11},
+	)
+}
+
+func TestInferCliqueExact(t *testing.T) {
+	fs := cliquePaths()
+	clique := InferClique(fs, 10)
+	if len(clique) != 3 || clique[0] != 1 || clique[1] != 2 || clique[2] != 3 {
+		t.Errorf("clique = %v, want [1 2 3]", clique)
+	}
+}
+
+func TestInferCliqueRejectsCustomerWithEvidence(t *testing.T) {
+	// 20 is linked to all clique members, but a triplet 2|1|20 proves
+	// 1 exported 20's routes to a peer — 20 is a customer.
+	fs := pathSet(
+		asgraph.Path{10, 1, 2, 11},
+		asgraph.Path{11, 2, 1, 10},
+		asgraph.Path{11, 2, 3, 12},
+		asgraph.Path{12, 3, 1, 10},
+		asgraph.Path{12, 3, 2, 11},
+		asgraph.Path{10, 1, 3, 12},
+		// 20's uplinks to 1, 2 and 3 (transit customer of all).
+		asgraph.Path{2, 1, 20, 99},
+		asgraph.Path{3, 2, 20, 99},
+		asgraph.Path{1, 3, 20, 99},
+		// Make 20's transit degree large.
+		asgraph.Path{1, 20, 98},
+		asgraph.Path{2, 20, 97},
+		asgraph.Path{3, 20, 96},
+	)
+	clique := InferClique(fs, 10)
+	for _, c := range clique {
+		if c == 20 {
+			t.Errorf("customer 20 joined the clique: %v", clique)
+		}
+	}
+}
+
+func TestInferCliqueTripletRule(t *testing.T) {
+	fs := cliquePaths()
+	res := New(Options{}).Infer(fs)
+	// The clique mesh is P2P.
+	for _, pair := range [][2]asn.ASN{{1, 2}, {1, 3}, {2, 3}} {
+		rel, ok := res.Rel(asgraph.NewLink(pair[0], pair[1]))
+		if !ok || rel.Type != asgraph.P2P {
+			t.Errorf("clique pair %v = %v, %v", pair, rel, ok)
+		}
+	}
+	// Each customer link is P2C with the clique member as provider
+	// (clique triplets like 2|1|10 exist).
+	for _, c := range []struct{ t1, cust asn.ASN }{{1, 10}, {2, 11}, {3, 12}} {
+		rel, ok := res.Rel(asgraph.NewLink(c.t1, c.cust))
+		if !ok || rel.Type != asgraph.P2C || rel.Provider != c.t1 {
+			t.Errorf("link %d-%d = %v, %v; want p2c(%d)", c.t1, c.cust, rel, ok, c.t1)
+		}
+	}
+}
+
+func TestStubToCliqueDefault(t *testing.T) {
+	// Stub 50 appears only below clique member 1 (no triplet through
+	// another member) — step 4 must still classify it P2C.
+	fs := pathSet(
+		asgraph.Path{10, 1, 2, 11},
+		asgraph.Path{11, 2, 1, 10},
+		asgraph.Path{11, 2, 3, 12},
+		asgraph.Path{12, 3, 2, 11},
+		asgraph.Path{10, 1, 3, 12},
+		asgraph.Path{12, 3, 1, 10},
+		asgraph.Path{1, 50}, // 50 visible only via its provider session
+	)
+	res := New(Options{}).Infer(fs)
+	rel, ok := res.Rel(asgraph.NewLink(1, 50))
+	if !ok || rel.Type != asgraph.P2C || rel.Provider != 1 {
+		t.Errorf("stub default: 1-50 = %v, %v", rel, ok)
+	}
+}
+
+func TestPeerFallback(t *testing.T) {
+	// 10 and 11 exchange customer routes below the clique: the link
+	// 10-11 is only ever crossed at the top of a path, so it falls
+	// through to P2P.
+	fs := pathSet(
+		asgraph.Path{10, 1, 2, 11},
+		asgraph.Path{11, 2, 1, 10},
+		asgraph.Path{100, 10, 11, 110},
+		asgraph.Path{110, 11, 10, 100},
+		asgraph.Path{11, 2, 3, 12},
+		asgraph.Path{12, 3, 2, 11},
+		asgraph.Path{10, 1, 3, 12},
+		asgraph.Path{12, 3, 1, 10},
+	)
+	res := New(Options{}).Infer(fs)
+	rel, ok := res.Rel(asgraph.NewLink(10, 11))
+	if !ok || rel.Type != asgraph.P2P {
+		t.Errorf("10-11 = %v, %v; want p2p", rel, ok)
+	}
+	// And the firm map marks it as a fallback, not evidence.
+	if res.Firm[asgraph.NewLink(10, 11)] {
+		t.Error("peer fallback marked as firm evidence")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.CliqueCandidates == 0 || o.MaxIterations == 0 {
+		t.Errorf("defaults not applied: %+v", o)
+	}
+	o2 := Options{CliqueCandidates: 7, MaxIterations: 2}.withDefaults()
+	if o2.CliqueCandidates != 7 || o2.MaxIterations != 2 {
+		t.Errorf("explicit options overridden: %+v", o2)
+	}
+}

@@ -1,0 +1,178 @@
+// Package features computes the path-derived quantities the
+// relationship-inference algorithms and the bias analysis share:
+// transit degree, node degree, vantage-point visibility per link,
+// observed adjacency, triplet evidence, and distance to the clique.
+//
+// All quantities are derived from observed paths only — exactly what a
+// real deployment computes from collector RIBs — never from the
+// ground-truth graph.
+package features
+
+import (
+	"sort"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+)
+
+// Set holds the shared path-derived features.
+type Set struct {
+	// Paths is the cleaned path set (loops removed, prepending
+	// collapsed).
+	Paths *bgp.PathSet
+	// Links is the observed ("inferred") link universe.
+	Links map[asgraph.Link]bool
+	// NodeDegree counts distinct observed neighbors per AS.
+	NodeDegree map[asn.ASN]int
+	// TransitDegree counts distinct neighbors an AS was seen
+	// forwarding between (Luckie et al.'s transit degree).
+	TransitDegree map[asn.ASN]int
+	// VPCount is the number of distinct vantage points observing each
+	// link.
+	VPCount map[asgraph.Link]int
+	// Adj is the observed adjacency (sorted neighbor lists).
+	Adj map[asn.ASN][]asn.ASN
+}
+
+// Compute cleans ps (dropping looped paths, collapsing prepending)
+// and derives the feature set.
+func Compute(ps *bgp.PathSet) *Set {
+	clean := bgp.NewPathSet(ps.Len(), ps.Len()*4)
+	ps.ForEach(func(p asgraph.Path) {
+		c := p.CompactPrepending()
+		if c.HasLoop() || len(c) == 0 {
+			return
+		}
+		clean.Append(c)
+	})
+
+	s := &Set{
+		Paths:         clean,
+		Links:         make(map[asgraph.Link]bool),
+		NodeDegree:    make(map[asn.ASN]int),
+		TransitDegree: make(map[asn.ASN]int),
+		VPCount:       make(map[asgraph.Link]int),
+		Adj:           make(map[asn.ASN][]asn.ASN),
+	}
+
+	nbrs := make(map[asn.ASN]map[asn.ASN]bool)
+	transit := make(map[asn.ASN]map[asn.ASN]bool)
+	vpSeen := make(map[asgraph.Link]map[asn.ASN]bool)
+
+	addNbr := func(a, b asn.ASN) {
+		m := nbrs[a]
+		if m == nil {
+			m = make(map[asn.ASN]bool, 4)
+			nbrs[a] = m
+		}
+		m[b] = true
+	}
+	addTransit := func(mid, side asn.ASN) {
+		m := transit[mid]
+		if m == nil {
+			m = make(map[asn.ASN]bool, 4)
+			transit[mid] = m
+		}
+		m[side] = true
+	}
+
+	clean.ForEach(func(p asgraph.Path) {
+		vp := p.VantagePoint()
+		for i := 0; i+1 < len(p); i++ {
+			a, b := p[i], p[i+1]
+			l := asgraph.NewLink(a, b)
+			s.Links[l] = true
+			addNbr(a, b)
+			addNbr(b, a)
+			m := vpSeen[l]
+			if m == nil {
+				m = make(map[asn.ASN]bool, 4)
+				vpSeen[l] = m
+			}
+			m[vp] = true
+		}
+		p.Triplets(func(left, mid, right asn.ASN) {
+			addTransit(mid, left)
+			addTransit(mid, right)
+		})
+	})
+
+	for a, m := range nbrs {
+		s.NodeDegree[a] = len(m)
+		lst := make([]asn.ASN, 0, len(m))
+		for b := range m {
+			lst = append(lst, b)
+		}
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		s.Adj[a] = lst
+	}
+	for a, m := range transit {
+		s.TransitDegree[a] = len(m)
+	}
+	for l, m := range vpSeen {
+		s.VPCount[l] = len(m)
+	}
+	return s
+}
+
+// ASesByTransitDegree returns all observed ASes sorted by descending
+// transit degree, breaking ties by descending node degree, then
+// ascending ASN (deterministic).
+func (s *Set) ASesByTransitDegree() []asn.ASN {
+	out := make([]asn.ASN, 0, len(s.Adj))
+	for a := range s.Adj {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if s.TransitDegree[a] != s.TransitDegree[b] {
+			return s.TransitDegree[a] > s.TransitDegree[b]
+		}
+		if s.NodeDegree[a] != s.NodeDegree[b] {
+			return s.NodeDegree[a] > s.NodeDegree[b]
+		}
+		return a < b
+	})
+	return out
+}
+
+// DistanceToSet returns, per AS, the minimum hop distance in the
+// observed adjacency to any AS in seeds. Unreachable ASes are absent
+// from the result.
+func (s *Set) DistanceToSet(seeds []asn.ASN) map[asn.ASN]int {
+	dist := make(map[asn.ASN]int, len(s.Adj))
+	queue := make([]asn.ASN, 0, len(seeds))
+	for _, a := range seeds {
+		if _, ok := s.Adj[a]; !ok {
+			continue
+		}
+		if _, ok := dist[a]; !ok {
+			dist[a] = 0
+			queue = append(queue, a)
+		}
+	}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, n := range s.Adj[x] {
+			if _, ok := dist[n]; !ok {
+				dist[n] = dist[x] + 1
+				queue = append(queue, n)
+			}
+		}
+	}
+	return dist
+}
+
+// ObservedStubs returns the ASes with transit degree zero — ASes never
+// seen forwarding, the "stubs" of the observed topology.
+func (s *Set) ObservedStubs() map[asn.ASN]bool {
+	out := make(map[asn.ASN]bool)
+	for a := range s.Adj {
+		if s.TransitDegree[a] == 0 {
+			out[a] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package features
+
+import (
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+)
+
+func pathSet(paths ...asgraph.Path) *bgp.PathSet {
+	ps := bgp.NewPathSet(len(paths), 32)
+	for _, p := range paths {
+		ps.Append(p)
+	}
+	return ps
+}
+
+func TestComputeCleansPaths(t *testing.T) {
+	fs := Compute(pathSet(
+		asgraph.Path{1, 2, 2, 3}, // prepending collapses
+		asgraph.Path{4, 5, 4},    // loop: dropped
+		asgraph.Path{6, 7},
+	))
+	if fs.Paths.Len() != 2 {
+		t.Fatalf("cleaned paths = %d, want 2", fs.Paths.Len())
+	}
+	if !fs.Links[asgraph.NewLink(2, 3)] || fs.Links[asgraph.NewLink(4, 5)] {
+		t.Error("link universe wrong after cleaning")
+	}
+}
+
+func TestDegreesAndVPCounts(t *testing.T) {
+	fs := Compute(pathSet(
+		asgraph.Path{10, 1, 2},
+		asgraph.Path{11, 1, 2},
+		asgraph.Path{10, 1, 3},
+	))
+	if got := fs.NodeDegree[1]; got != 4 { // 10, 11, 2, 3
+		t.Errorf("NodeDegree[1] = %d, want 4", got)
+	}
+	if got := fs.TransitDegree[1]; got != 4 { // transits between {10,11,2,3}
+		t.Errorf("TransitDegree[1] = %d, want 4", got)
+	}
+	if got := fs.TransitDegree[10]; got != 0 {
+		t.Errorf("TransitDegree[10] = %d, want 0", got)
+	}
+	if got := fs.VPCount[asgraph.NewLink(1, 2)]; got != 2 {
+		t.Errorf("VPCount[1-2] = %d, want 2", got)
+	}
+	if got := fs.VPCount[asgraph.NewLink(1, 3)]; got != 1 {
+		t.Errorf("VPCount[1-3] = %d, want 1", got)
+	}
+}
+
+func TestAdjSortedAndSymmetric(t *testing.T) {
+	fs := Compute(pathSet(asgraph.Path{3, 1, 2}))
+	if got := fs.Adj[1]; len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("Adj[1] = %v", got)
+	}
+	if got := fs.Adj[2]; len(got) != 1 || got[0] != 1 {
+		t.Errorf("Adj[2] = %v", got)
+	}
+}
+
+func TestASesByTransitDegreeDeterministic(t *testing.T) {
+	fs := Compute(pathSet(
+		asgraph.Path{10, 1, 2},
+		asgraph.Path{11, 1, 2},
+		asgraph.Path{10, 2, 5},
+	))
+	order := fs.ASesByTransitDegree()
+	if len(order) == 0 || order[0] != 1 {
+		t.Errorf("order = %v, want 1 first (highest transit degree)", order)
+	}
+	// Ties break by node degree then ASN: all stubs come after.
+	again := fs.ASesByTransitDegree()
+	for i := range order {
+		if order[i] != again[i] {
+			t.Fatal("ordering not deterministic")
+		}
+	}
+}
+
+func TestDistanceToSet(t *testing.T) {
+	fs := Compute(pathSet(
+		asgraph.Path{100, 10, 1},
+		asgraph.Path{100, 10, 2},
+	))
+	dist := fs.DistanceToSet([]asn.ASN{1, 2})
+	if dist[1] != 0 || dist[2] != 0 {
+		t.Error("seed distance must be 0")
+	}
+	if dist[10] != 1 || dist[100] != 2 {
+		t.Errorf("dist = %v", dist)
+	}
+	if _, ok := dist[999]; ok {
+		t.Error("unknown AS has a distance")
+	}
+	// Seeds not present in the adjacency are skipped.
+	dist = fs.DistanceToSet([]asn.ASN{999})
+	if len(dist) != 0 {
+		t.Errorf("unknown seed produced distances: %v", dist)
+	}
+}
+
+func TestObservedStubs(t *testing.T) {
+	fs := Compute(pathSet(asgraph.Path{100, 10, 1}))
+	stubs := fs.ObservedStubs()
+	if !stubs[100] || !stubs[1] || stubs[10] {
+		t.Errorf("stubs = %v", stubs)
+	}
+}

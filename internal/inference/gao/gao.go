@@ -1,0 +1,125 @@
+// Package gao reimplements Lixin Gao's degree-based relationship
+// inference ("On Inferring Autonomous System Relationships in the
+// Internet", ToN 2001): in every path the highest-degree AS is taken
+// as the top of the hill; links before it are customer-to-provider,
+// links after it provider-to-customer. Votes are accumulated across
+// paths and links with conflicting or balanced votes near the top
+// become peers.
+package gao
+
+import (
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/inference"
+	"breval/internal/inference/features"
+)
+
+// Options tunes the classifier.
+type Options struct {
+	// PeerDegreeRatio is the maximum degree ratio between two ASes
+	// for a conflicted link to be classified P2P rather than P2C
+	// (Gao's R parameter; default 60, her recommended setting).
+	PeerDegreeRatio float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PeerDegreeRatio == 0 {
+		o.PeerDegreeRatio = 60
+	}
+	return o
+}
+
+// Algorithm is the Gao classifier.
+type Algorithm struct {
+	opts Options
+}
+
+// New returns a Gao classifier.
+func New(opts Options) *Algorithm { return &Algorithm{opts: opts.withDefaults()} }
+
+// Name implements inference.Algorithm.
+func (a *Algorithm) Name() string { return "Gao" }
+
+// Infer implements inference.Algorithm.
+func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
+	res := inference.NewResult(a.Name(), len(fs.Links))
+
+	// votes[link] counts evidence: positive favours A-as-provider,
+	// negative favours B-as-provider (canonical link order).
+	votes := make(map[asgraph.Link]int, len(fs.Links))
+	degree := func(x asn.ASN) int { return fs.NodeDegree[x] }
+
+	fs.Paths.ForEach(func(p asgraph.Path) {
+		if len(p) < 2 {
+			return
+		}
+		// Find the top: the AS with the maximum node degree. Paths are
+		// stored VP→origin, so positions before the top walk downhill
+		// (VP side received the route), positions after walk uphill.
+		top := 0
+		for i := 1; i < len(p); i++ {
+			if degree(p[i]) > degree(p[top]) {
+				top = i
+			}
+		}
+		for i := 0; i+1 < len(p); i++ {
+			var provider, customer asn.ASN
+			if i < top {
+				// Downhill seen from the VP: p[i] learned the route
+				// from p[i+1]... no: the route travelled origin→VP, so
+				// between VP and top the flow is top→VP: p[i+1] is the
+				// provider of p[i].
+				provider, customer = p[i+1], p[i]
+			} else {
+				provider, customer = p[i], p[i+1]
+			}
+			l := asgraph.NewLink(provider, customer)
+			if l.A == provider {
+				votes[l]++
+			} else {
+				votes[l]--
+			}
+		}
+	})
+
+	for l, v := range votes {
+		switch {
+		case v > 0:
+			res.Set(l, asgraph.P2CRel(l.A))
+		case v < 0:
+			res.Set(l, asgraph.P2CRel(l.B))
+		default:
+			// Balanced evidence: peer if the degrees are comparable,
+			// otherwise the bigger AS is the provider.
+			da, db := float64(degree(l.A)), float64(degree(l.B))
+			if da == 0 {
+				da = 1
+			}
+			if db == 0 {
+				db = 1
+			}
+			ratio := da / db
+			if ratio < 1 {
+				ratio = 1 / ratio
+			}
+			if ratio <= a.opts.PeerDegreeRatio {
+				res.Set(l, asgraph.P2PRel())
+			} else if da > db {
+				res.Set(l, asgraph.P2CRel(l.A))
+			} else {
+				res.Set(l, asgraph.P2CRel(l.B))
+			}
+		}
+	}
+
+	// Links observed but never voted on (single-AS paths cannot
+	// produce them, so this is defensive only).
+	for l := range fs.Links {
+		if _, ok := res.Rel(l); !ok {
+			res.Set(l, asgraph.P2PRel())
+		}
+	}
+	return res
+}
+
+var _ inference.Algorithm = (*Algorithm)(nil)

@@ -1,0 +1,81 @@
+package gao
+
+import (
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+	"breval/internal/inference/features"
+)
+
+func pathSet(paths ...asgraph.Path) *features.Set {
+	ps := bgp.NewPathSet(len(paths), 64)
+	for _, p := range paths {
+		ps.Append(p)
+	}
+	return features.Compute(ps)
+}
+
+func TestConsistentVotesGiveP2C(t *testing.T) {
+	// 1 always sits above 10; 10 above 100. Extra spokes make 1's
+	// degree unambiguous so the peak rule picks it consistently.
+	fs := pathSet(
+		asgraph.Path{100, 10, 1},
+		asgraph.Path{100, 10, 1, 2},
+		asgraph.Path{2, 1, 10, 100},
+		asgraph.Path{200, 1},
+		asgraph.Path{201, 1},
+		asgraph.Path{202, 1},
+	)
+	res := New(Options{}).Infer(fs)
+	rel, ok := res.Rel(asgraph.NewLink(10, 100))
+	if !ok || rel.Type != asgraph.P2C || rel.Provider != 10 {
+		t.Errorf("10-100 = %v, %v; want p2c(10)", rel, ok)
+	}
+	rel, _ = res.Rel(asgraph.NewLink(1, 10))
+	if rel.Type != asgraph.P2C || rel.Provider != 1 {
+		t.Errorf("1-10 = %v; want p2c(1)", rel)
+	}
+}
+
+func TestBalancedVotesGivePeerForComparableDegrees(t *testing.T) {
+	// Routes cross 1-2 in both directions, so votes cancel; degrees
+	// are comparable, so Gao calls it a peering.
+	fs := pathSet(
+		asgraph.Path{10, 1, 2, 20},
+		asgraph.Path{20, 2, 1, 10},
+	)
+	res := New(Options{}).Infer(fs)
+	rel, ok := res.Rel(asgraph.NewLink(1, 2))
+	if !ok || rel.Type != asgraph.P2P {
+		t.Errorf("1-2 = %v, %v; want p2p", rel, ok)
+	}
+}
+
+func TestBalancedVotesHugeGapGivesP2C(t *testing.T) {
+	// Balanced votes but a >R degree ratio: the big side provides.
+	paths := []asgraph.Path{
+		{10, 1, 2, 20},
+		{20, 2, 1, 10},
+	}
+	// Inflate 1's degree far beyond 2's.
+	for i := 0; i < 200; i++ {
+		paths = append(paths, asgraph.Path{asn.ASN(1000 + i), 1})
+	}
+	fs := pathSet(paths...)
+	res := New(Options{PeerDegreeRatio: 10}).Infer(fs)
+	rel, ok := res.Rel(asgraph.NewLink(1, 2))
+	if !ok || rel.Type != asgraph.P2C || rel.Provider != 1 {
+		t.Errorf("1-2 = %v, %v; want p2c(1)", rel, ok)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	if o := (Options{}).withDefaults(); o.PeerDegreeRatio != 60 {
+		t.Errorf("default ratio = %v", o.PeerDegreeRatio)
+	}
+	if o := (Options{PeerDegreeRatio: 5}).withDefaults(); o.PeerDegreeRatio != 5 {
+		t.Errorf("explicit ratio overridden: %v", o.PeerDegreeRatio)
+	}
+}

@@ -1,0 +1,84 @@
+// Package inference defines the common contract for AS-relationship
+// classification algorithms and the shared result representation. The
+// concrete algorithms live in sub-packages: gao (Gao 2001), asrank
+// (Luckie et al. 2013), problink (Jin et al. 2019) and toposcope
+// (Jin et al. 2020) — reimplemented from scratch on top of the same
+// observed-path features, as the paper evaluates them as black boxes.
+package inference
+
+import (
+	"sort"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/inference/features"
+)
+
+// Result is a relationship classification: one label per observed
+// link. Labels are P2C (with the provider endpoint) or P2P; the
+// algorithms do not emit S2S.
+type Result struct {
+	// Name identifies the producing algorithm.
+	Name string
+	// Rels maps every classified link to its inferred relationship.
+	Rels map[asgraph.Link]asgraph.Rel
+	// Clique is the inferred set of provider-free ASes, when the
+	// algorithm computes one.
+	Clique []asn.ASN
+	// Firm, when set, marks links whose label is backed by positive
+	// path evidence (clique membership, triplets) rather than a
+	// fallback default. Meta-classifiers use it as the equivalent of
+	// ProbLink's triplet feature.
+	Firm map[asgraph.Link]bool
+}
+
+// Algorithm is a relationship classifier over observed-path features.
+type Algorithm interface {
+	// Name returns the algorithm's display name.
+	Name() string
+	// Infer classifies every link in fs.Links.
+	Infer(fs *features.Set) *Result
+}
+
+// NewResult allocates an empty result.
+func NewResult(name string, capacity int) *Result {
+	return &Result{Name: name, Rels: make(map[asgraph.Link]asgraph.Rel, capacity)}
+}
+
+// Rel returns the inferred relationship for l.
+func (r *Result) Rel(l asgraph.Link) (asgraph.Rel, bool) {
+	rel, ok := r.Rels[l]
+	return rel, ok
+}
+
+// Set records a relationship.
+func (r *Result) Set(l asgraph.Link, rel asgraph.Rel) { r.Rels[l] = rel }
+
+// Len returns the number of classified links.
+func (r *Result) Len() int { return len(r.Rels) }
+
+// CountByType returns the number of links classified with type t.
+func (r *Result) CountByType(t asgraph.RelType) int {
+	n := 0
+	for _, rel := range r.Rels {
+		if rel.Type == t {
+			n++
+		}
+	}
+	return n
+}
+
+// Links returns the classified links in deterministic order.
+func (r *Result) Links() []asgraph.Link {
+	out := make([]asgraph.Link, 0, len(r.Rels))
+	for l := range r.Rels {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}

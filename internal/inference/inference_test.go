@@ -1,0 +1,242 @@
+package inference_test
+
+import (
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+	"breval/internal/inference"
+	"breval/internal/inference/asrank"
+	"breval/internal/inference/features"
+	"breval/internal/inference/gao"
+	"breval/internal/inference/problink"
+	"breval/internal/inference/toposcope"
+	"breval/internal/topogen"
+)
+
+// world800 is a shared small world for the integration tests.
+func world800(t testing.TB, seed int64) (*topogen.World, *features.Set) {
+	t.Helper()
+	w, err := topogen.Generate(topogen.DefaultConfig(seed).Scaled(800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := bgp.NewSimulator(w.Graph)
+	ps := sim.Propagate(w.ASNs, w.VPs)
+	return w, features.Compute(ps)
+}
+
+// accuracy returns (correct, total) of res against ground truth,
+// skipping sibling and hybrid links.
+func accuracy(w *topogen.World, res *inference.Result) (correct, total int) {
+	for l, rel := range res.Rels {
+		truth, ok := w.Graph.RelOn(l)
+		if !ok || truth.Type == asgraph.S2S || truth.Hybrid {
+			continue
+		}
+		total++
+		if rel.Type == truth.Type &&
+			(rel.Type != asgraph.P2C || rel.Provider == truth.Provider) {
+			correct++
+		}
+	}
+	return correct, total
+}
+
+func TestASRankCliqueRecovery(t *testing.T) {
+	w, fs := world800(t, 41)
+	clique := asrank.InferClique(fs, 25)
+	truth := w.CliqueSet()
+	found := 0
+	for _, c := range clique {
+		if truth[c] {
+			found++
+		}
+	}
+	if found < len(w.Clique)*3/4 {
+		t.Errorf("clique recovery: %d of %d true members found (inferred %v)",
+			found, len(w.Clique), clique)
+	}
+	if len(clique) > len(w.Clique)+3 {
+		t.Errorf("clique too large: %d inferred vs %d true", len(clique), len(w.Clique))
+	}
+}
+
+func TestASRankOverallAccuracy(t *testing.T) {
+	w, fs := world800(t, 42)
+	res := asrank.New(asrank.Options{}).Infer(fs)
+	if res.Len() != len(fs.Links) {
+		t.Fatalf("classified %d of %d links", res.Len(), len(fs.Links))
+	}
+	correct, total := accuracy(w, res)
+	if total == 0 {
+		t.Fatal("nothing to evaluate")
+	}
+	if acc := float64(correct) / float64(total); acc < 0.90 {
+		t.Errorf("ASRank accuracy = %.3f (%d/%d), want >= 0.90", acc, correct, total)
+	}
+}
+
+func TestASRankPartialTransitBecomesP2P(t *testing.T) {
+	w, fs := world800(t, 43)
+	res := asrank.New(asrank.Options{}).Infer(fs)
+	totalPartial, asP2P := 0, 0
+	w.Graph.ForEachRel(func(l asgraph.Link, r asgraph.Rel) {
+		if r.Type != asgraph.P2C || !r.PartialTransit {
+			return
+		}
+		rel, ok := res.Rel(l)
+		if !ok {
+			return // invisible link
+		}
+		totalPartial++
+		if rel.Type == asgraph.P2P {
+			asP2P++
+		}
+	})
+	if totalPartial == 0 {
+		t.Skip("no partial-transit links visible in this world")
+	}
+	if float64(asP2P)/float64(totalPartial) < 0.6 {
+		t.Errorf("only %d/%d partial-transit links inferred P2P; the §6.1 mechanism is broken",
+			asP2P, totalPartial)
+	}
+}
+
+func TestASRankSpecialStubPeeringBecomesP2C(t *testing.T) {
+	w, fs := world800(t, 44)
+	res := asrank.New(asrank.Options{}).Infer(fs)
+	clique := w.CliqueSet()
+	total, asP2C := 0, 0
+	for _, s := range w.SpecialStubs {
+		for _, p := range w.Graph.Peers(s) {
+			if !clique[p] {
+				continue
+			}
+			rel, ok := res.Rel(asgraph.NewLink(s, p))
+			if !ok {
+				continue
+			}
+			total++
+			if rel.Type == asgraph.P2C && rel.Provider == p {
+				asP2C++
+			}
+		}
+	}
+	if total == 0 {
+		t.Skip("no special-stub links visible")
+	}
+	if float64(asP2C)/float64(total) < 0.7 {
+		t.Errorf("only %d/%d stub-T1 peerings inferred P2C; the S-T1 pathology is missing",
+			asP2C, total)
+	}
+}
+
+func TestP2CNearPerfectForAllAlgorithms(t *testing.T) {
+	w, fs := world800(t, 45)
+	algos := []inference.Algorithm{
+		asrank.New(asrank.Options{}),
+		problink.New(problink.Options{}),
+		toposcope.New(toposcope.Options{}),
+	}
+	for _, algo := range algos {
+		res := algo.Infer(fs)
+		// Recall on plain (non-partial) P2C links.
+		total, correct := 0, 0
+		w.Graph.ForEachRel(func(l asgraph.Link, r asgraph.Rel) {
+			if r.Type != asgraph.P2C || r.PartialTransit || r.Hybrid {
+				return
+			}
+			rel, ok := res.Rel(l)
+			if !ok {
+				return
+			}
+			total++
+			if rel.Type == asgraph.P2C && rel.Provider == r.Provider {
+				correct++
+			}
+		})
+		if total == 0 {
+			t.Fatalf("%s: no p2c links to assess", algo.Name())
+		}
+		if tpr := float64(correct) / float64(total); tpr < 0.9 {
+			t.Errorf("%s: P2C recall %.3f (%d/%d), want >= 0.9", algo.Name(), tpr, correct, total)
+		}
+	}
+}
+
+func TestProbLinkConvergesAndCoversAllLinks(t *testing.T) {
+	_, fs := world800(t, 46)
+	res := problink.New(problink.Options{MaxIterations: 5}).Infer(fs)
+	if res.Len() != len(fs.Links) {
+		t.Errorf("ProbLink classified %d of %d links", res.Len(), len(fs.Links))
+	}
+	if res.CountByType(asgraph.P2C) == 0 || res.CountByType(asgraph.P2P) == 0 {
+		t.Error("degenerate classification")
+	}
+}
+
+func TestTopoScopeCoversAllLinks(t *testing.T) {
+	w, fs := world800(t, 47)
+	res := toposcope.New(toposcope.Options{Groups: 4}).Infer(fs)
+	if res.Len() != len(fs.Links) {
+		t.Errorf("TopoScope classified %d of %d links", res.Len(), len(fs.Links))
+	}
+	correct, total := accuracy(w, res)
+	if acc := float64(correct) / float64(total); acc < 0.85 {
+		t.Errorf("TopoScope accuracy = %.3f, want >= 0.85", acc)
+	}
+}
+
+func TestGaoReasonableAccuracy(t *testing.T) {
+	w, fs := world800(t, 48)
+	res := gao.New(gao.Options{}).Infer(fs)
+	if res.Len() != len(fs.Links) {
+		t.Errorf("Gao classified %d of %d links", res.Len(), len(fs.Links))
+	}
+	correct, total := accuracy(w, res)
+	if acc := float64(correct) / float64(total); acc < 0.65 {
+		t.Errorf("Gao accuracy = %.3f, want >= 0.65", acc)
+	}
+}
+
+func TestAlgorithmsDeterministic(t *testing.T) {
+	_, fs := world800(t, 49)
+	for _, mk := range []func() inference.Algorithm{
+		func() inference.Algorithm { return asrank.New(asrank.Options{}) },
+		func() inference.Algorithm { return problink.New(problink.Options{MaxIterations: 3}) },
+		func() inference.Algorithm { return toposcope.New(toposcope.Options{Groups: 4}) },
+		func() inference.Algorithm { return gao.New(gao.Options{}) },
+	} {
+		r1 := mk().Infer(fs)
+		r2 := mk().Infer(fs)
+		if r1.Len() != r2.Len() {
+			t.Fatalf("%s: lengths differ", r1.Name)
+		}
+		for l, rel := range r1.Rels {
+			if r2.Rels[l] != rel {
+				t.Fatalf("%s: link %v differs: %v vs %v", r1.Name, l, rel, r2.Rels[l])
+			}
+		}
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	res := inference.NewResult("x", 4)
+	l1 := asgraph.NewLink(1, 2)
+	l2 := asgraph.NewLink(3, 4)
+	res.Set(l1, asgraph.P2CRel(1))
+	res.Set(l2, asgraph.P2PRel())
+	if res.Len() != 2 || res.CountByType(asgraph.P2C) != 1 || res.CountByType(asgraph.P2P) != 1 {
+		t.Error("counts wrong")
+	}
+	links := res.Links()
+	if len(links) != 2 || links[0] != l1 || links[1] != l2 {
+		t.Errorf("Links = %v", links)
+	}
+	if _, ok := res.Rel(asgraph.NewLink(9, 10)); ok {
+		t.Error("unknown link resolved")
+	}
+	_ = []asn.ASN(res.Clique) // type sanity
+}

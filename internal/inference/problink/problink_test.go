@@ -1,0 +1,94 @@
+package problink
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"breval/internal/asgraph"
+)
+
+func TestBuckets(t *testing.T) {
+	if b := vpBucket(0); b != 0 {
+		t.Errorf("vpBucket(0) = %d", b)
+	}
+	if b := vpBucket(1); b != 1 {
+		t.Errorf("vpBucket(1) = %d", b)
+	}
+	if b := vpBucket(1 << 20); b != nVPBuckets-1 {
+		t.Errorf("vpBucket(big) = %d", b)
+	}
+	if b := ratioBucket(100, 100); b != 4 {
+		t.Errorf("equal ratio bucket = %d, want middle (4)", b)
+	}
+	if b := ratioBucket(1600, 1); b != 8 {
+		t.Errorf("huge ratio bucket = %d, want 8", b)
+	}
+	if b := ratioBucket(1, 1600); b != 0 {
+		t.Errorf("tiny ratio bucket = %d, want 0", b)
+	}
+	if c := stubCombo(0, 0); c != 3 {
+		t.Errorf("stubCombo(0,0) = %d", c)
+	}
+	if c := stubCombo(5, 0); c != 2 {
+		t.Errorf("stubCombo(5,0) = %d", c)
+	}
+	if c := stubCombo(5, 5); c != 0 {
+		t.Errorf("stubCombo(5,5) = %d", c)
+	}
+}
+
+func TestClassRoundTrip(t *testing.T) {
+	l := asgraph.NewLink(3, 9)
+	for _, rel := range []asgraph.Rel{
+		asgraph.P2PRel(), asgraph.P2CRel(3), asgraph.P2CRel(9),
+	} {
+		got := fromClass(l, toClass(l, rel))
+		if got.Type != rel.Type || got.Provider != rel.Provider {
+			t.Errorf("round trip %v -> %v", rel, got)
+		}
+	}
+}
+
+// Property: softmax output is a probability distribution and
+// preserves the argmax.
+func TestSoftmaxProperty(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 50)
+		}
+		row := [numClasses]float64{clamp(a), clamp(b), clamp(c)}
+		p := softmax(row)
+		sum := p.P2P + p.P2CA + p.P2CB
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		for _, v := range []float64{p.P2P, p.P2CA, p.P2CB} {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		// argmax preserved
+		maxIdx := 0
+		for i := 1; i < int(numClasses); i++ {
+			if row[i] > row[maxIdx] {
+				maxIdx = i
+			}
+		}
+		probs := []float64{p.P2P, p.P2CA, p.P2CB}
+		return p.Max() >= probs[maxIdx]-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPosteriorMax(t *testing.T) {
+	p := Posterior{P2P: 0.2, P2CA: 0.7, P2CB: 0.1}
+	if p.Max() != 0.7 {
+		t.Errorf("Max = %v", p.Max())
+	}
+}

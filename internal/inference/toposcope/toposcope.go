@@ -1,0 +1,171 @@
+// Package toposcope reimplements the central mechanism of TopoScope
+// (Jin et al., IMC 2020): recovering relationships from fragmentary
+// observations by splitting the vantage points into groups, running a
+// base inference per group, and reconciling the per-group votes with a
+// feature-driven (ProbLink-style Bayesian) referee for links the
+// groups disagree on or that too few groups observed.
+//
+// The published system adds gradient-boosted trees and hidden-link
+// discovery on top; this implementation keeps the ensemble-over-VPs
+// architecture, which is what determines its per-class behaviour in
+// the bias study (Table 3 of Prehn & Feldmann, IMC'21).
+package toposcope
+
+import (
+	"sort"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+	"breval/internal/inference"
+	"breval/internal/inference/asrank"
+	"breval/internal/inference/features"
+	"breval/internal/inference/problink"
+)
+
+// Options tunes the ensemble.
+type Options struct {
+	// Groups is the number of vantage-point groups (default 8).
+	Groups int
+	// MinVotes is the minimum number of groups that must have
+	// observed a link for the vote to stand on its own; below it the
+	// referee decides (default 4).
+	MinVotes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Groups == 0 {
+		o.Groups = 8
+	}
+	if o.MinVotes == 0 {
+		o.MinVotes = 4
+	}
+	return o
+}
+
+// Algorithm is the TopoScope classifier.
+type Algorithm struct {
+	opts Options
+}
+
+// New returns a TopoScope classifier.
+func New(opts Options) *Algorithm { return &Algorithm{opts: opts.withDefaults()} }
+
+// Name implements inference.Algorithm.
+func (a *Algorithm) Name() string { return "TopoScope" }
+
+// Infer implements inference.Algorithm.
+func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
+	// Referee: ProbLink over the full view.
+	referee := problink.New(problink.Options{}).Infer(fs)
+
+	// Partition paths by vantage-point group.
+	vps := make(map[asn.ASN]int)
+	fs.Paths.ForEach(func(p asgraph.Path) {
+		if len(p) > 0 {
+			vps[p.VantagePoint()] = 0
+		}
+	})
+	vpList := make([]asn.ASN, 0, len(vps))
+	for v := range vps {
+		vpList = append(vpList, v)
+	}
+	sort.Slice(vpList, func(i, j int) bool { return vpList[i] < vpList[j] })
+	groups := a.opts.Groups
+	if groups > len(vpList) {
+		groups = len(vpList)
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	for i, v := range vpList {
+		vps[v] = i % groups
+	}
+
+	grouped := make([]*bgp.PathSet, groups)
+	for g := range grouped {
+		grouped[g] = bgp.NewPathSet(fs.Paths.Len()/groups+1, 64)
+	}
+	fs.Paths.ForEach(func(p asgraph.Path) {
+		grouped[vps[p.VantagePoint()]].Append(p)
+	})
+
+	// Per-group base inference and voting. Votes are orientation
+	// aware: P2C(A), P2C(B) or P2P.
+	votes := make(map[asgraph.Link]*voteRow, len(fs.Links))
+	for g := 0; g < groups; g++ {
+		gfs := features.Compute(grouped[g])
+		gres := asrank.New(asrank.Options{}).Infer(gfs)
+		for l, rel := range gres.Rels {
+			row := votes[l]
+			if row == nil {
+				row = &voteRow{}
+				votes[l] = row
+			}
+			switch {
+			case rel.Type == asgraph.P2C && rel.Provider == l.A:
+				row.p2cA++
+			case rel.Type == asgraph.P2C:
+				row.p2cB++
+			default:
+				row.p2p++
+			}
+		}
+	}
+
+	res := inference.NewResult(a.Name(), len(fs.Links))
+	res.Clique = referee.Clique
+	for l := range fs.Links {
+		row := votes[l]
+		relFromReferee, okRef := referee.Rel(l)
+		if row == nil {
+			// Never classified by any group (observed only in paths
+			// whose group lost it after cleaning); referee decides.
+			if okRef {
+				res.Set(l, relFromReferee)
+			} else {
+				res.Set(l, asgraph.P2PRel())
+			}
+			continue
+		}
+		total := row.p2cA + row.p2cB + row.p2p
+		best, n := bestVote(row)
+		// A two-thirds majority from enough groups stands; otherwise
+		// the referee decides.
+		if total >= a.opts.MinVotes && n*3 >= total*2 {
+			res.Set(l, voteRel(l, best))
+		} else if okRef {
+			res.Set(l, relFromReferee)
+		} else {
+			res.Set(l, voteRel(l, best))
+		}
+	}
+	return res
+}
+
+// voteRow accumulates per-group votes for one link.
+type voteRow struct{ p2cA, p2cB, p2p int }
+
+func bestVote(r *voteRow) (int, int) {
+	// Deterministic preference on ties: p2cA, p2cB, then p2p.
+	best, n := 0, r.p2cA
+	if r.p2cB > n {
+		best, n = 1, r.p2cB
+	}
+	if r.p2p > n {
+		best, n = 2, r.p2p
+	}
+	return best, n
+}
+
+func voteRel(l asgraph.Link, vote int) asgraph.Rel {
+	switch vote {
+	case 0:
+		return asgraph.P2CRel(l.A)
+	case 1:
+		return asgraph.P2CRel(l.B)
+	}
+	return asgraph.P2PRel()
+}
+
+var _ inference.Algorithm = (*Algorithm)(nil)

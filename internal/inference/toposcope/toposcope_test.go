@@ -1,0 +1,49 @@
+package toposcope
+
+import (
+	"testing"
+
+	"breval/internal/asgraph"
+)
+
+func TestBestVoteDeterministicTies(t *testing.T) {
+	for _, c := range []struct {
+		row  voteRow
+		want int
+	}{
+		{voteRow{p2cA: 3, p2cB: 1, p2p: 1}, 0},
+		{voteRow{p2cA: 1, p2cB: 3, p2p: 1}, 1},
+		{voteRow{p2cA: 1, p2cB: 1, p2p: 3}, 2},
+		{voteRow{p2cA: 2, p2cB: 2, p2p: 1}, 0}, // tie prefers p2cA
+		{voteRow{p2cA: 0, p2cB: 0, p2p: 0}, 0},
+	} {
+		got, _ := bestVote(&c.row)
+		if got != c.want {
+			t.Errorf("bestVote(%+v) = %d, want %d", c.row, got, c.want)
+		}
+	}
+}
+
+func TestVoteRel(t *testing.T) {
+	l := asgraph.NewLink(4, 9)
+	if r := voteRel(l, 0); r.Type != asgraph.P2C || r.Provider != 4 {
+		t.Errorf("vote 0 = %v", r)
+	}
+	if r := voteRel(l, 1); r.Type != asgraph.P2C || r.Provider != 9 {
+		t.Errorf("vote 1 = %v", r)
+	}
+	if r := voteRel(l, 2); r.Type != asgraph.P2P {
+		t.Errorf("vote 2 = %v", r)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Groups != 8 || o.MinVotes != 4 {
+		t.Errorf("defaults = %+v", o)
+	}
+	o2 := Options{Groups: 3, MinVotes: 1}.withDefaults()
+	if o2.Groups != 3 || o2.MinVotes != 1 {
+		t.Errorf("explicit options overridden: %+v", o2)
+	}
+}

@@ -1,0 +1,167 @@
+// Package metrics implements the classification-correctness metrics of
+// §6 of Prehn & Feldmann (IMC'21): per-class confusion matrices with
+// either P2P or P2C as the positive class, precision (PPV), recall
+// (TPR), Matthews correlation coefficient (MCC) and the
+// Fowlkes–Mallows index.
+//
+// Directionality: a P2C prediction with the wrong provider endpoint is
+// a misclassification. It counts as a false negative for the P2C
+// matrix (the true relationship was not recovered) and as a true
+// negative for the P2P matrix (neither truth nor prediction is P2P),
+// keeping every link counted exactly once per matrix.
+package metrics
+
+import (
+	"math"
+
+	"breval/internal/asgraph"
+	"breval/internal/inference"
+	"breval/internal/validation"
+)
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// N returns the total number of classified samples.
+func (c Confusion) N() int { return c.TP + c.FP + c.TN + c.FN }
+
+// PPV returns precision (positive predictive value). It is NaN when no
+// positive predictions exist.
+func (c Confusion) PPV() float64 {
+	d := c.TP + c.FP
+	if d == 0 {
+		return math.NaN()
+	}
+	return float64(c.TP) / float64(d)
+}
+
+// TPR returns recall (true positive rate). It is NaN when no positive
+// samples exist.
+func (c Confusion) TPR() float64 {
+	d := c.TP + c.FN
+	if d == 0 {
+		return math.NaN()
+	}
+	return float64(c.TP) / float64(d)
+}
+
+// MCC returns Matthews correlation coefficient in [-1, 1]. Following
+// Chicco et al., a zero denominator yields 0 (coin-toss correctness).
+func (c Confusion) MCC() float64 {
+	tp, fp, tn, fn := float64(c.TP), float64(c.FP), float64(c.TN), float64(c.FN)
+	den := math.Sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn))
+	if den == 0 {
+		return 0
+	}
+	return (tp*tn - fp*fn) / den
+}
+
+// FowlkesMallows returns the Fowlkes–Mallows index sqrt(PPV·TPR), or
+// NaN when undefined.
+func (c Confusion) FowlkesMallows() float64 {
+	return math.Sqrt(c.PPV() * c.TPR())
+}
+
+// Row is one row of the paper's per-group validation tables: the P2P
+// and P2C one-vs-rest views of the same links plus the symmetric MCC.
+type Row struct {
+	// PPVP/TPRP/LCP describe the P2P-positive view: precision, recall
+	// and the number of validated P2P links in the group.
+	PPVP, TPRP float64
+	LCP        int
+	// PPVC/TPRC/LCC describe the P2C-positive view.
+	PPVC, TPRC float64
+	LCC        int
+	// MCC is Matthews correlation coefficient of the group.
+	MCC float64
+	// P2P and P2C are the underlying confusion matrices.
+	P2P, P2C Confusion
+}
+
+// LinkFilter selects the links a Row is computed over; nil selects
+// all.
+type LinkFilter func(asgraph.Link) bool
+
+// Evaluate scores an inference against a cleaned validation snapshot
+// over the links accepted by filter. Validation entries the inference
+// did not classify are skipped (they are invisible links), matching
+// the paper's evaluation of inferred snapshots.
+func Evaluate(pred *inference.Result, truth *validation.Snapshot, filter LinkFilter) Row {
+	var row Row
+	truth.ForEach(func(l asgraph.Link, lbs []validation.Label) {
+		if len(lbs) != 1 {
+			return // uncleaned multi-label entry
+		}
+		if filter != nil && !filter(l) {
+			return
+		}
+		p, ok := pred.Rel(l)
+		if !ok {
+			return
+		}
+		t := lbs[0]
+
+		truthP2P := t.Type == asgraph.P2P
+		predP2P := p.Type == asgraph.P2P
+		switch {
+		case truthP2P && predP2P:
+			row.P2P.TP++
+		case truthP2P && !predP2P:
+			row.P2P.FN++
+		case !truthP2P && predP2P:
+			row.P2P.FP++
+		default:
+			row.P2P.TN++
+		}
+
+		truthP2C := t.Type == asgraph.P2C
+		predP2CMatch := p.Type == asgraph.P2C && t.Type == asgraph.P2C && p.Provider == t.Provider
+		predP2CClaim := p.Type == asgraph.P2C
+		switch {
+		case truthP2C && predP2CMatch:
+			row.P2C.TP++
+		case truthP2C: // missed or direction-flipped
+			row.P2C.FN++
+		case predP2CClaim: // true P2P predicted as P2C
+			row.P2C.FP++
+		default:
+			row.P2C.TN++
+		}
+
+		if truthP2P {
+			row.LCP++
+		}
+		if truthP2C {
+			row.LCC++
+		}
+	})
+	row.PPVP, row.TPRP = row.P2P.PPV(), row.P2P.TPR()
+	row.PPVC, row.TPRC = row.P2C.PPV(), row.P2C.TPR()
+	row.MCC = row.P2P.MCC()
+	return row
+}
+
+// Delta classifies a per-group metric against the whole-dataset
+// baseline using the paper's colour thresholds: +1 when at least 1%
+// better (green), 0 within 1%, -1/-2/-3 when at least 1%/5%/10% worse
+// (yellow/orange/red).
+func Delta(group, total float64) int {
+	if math.IsNaN(group) || math.IsNaN(total) {
+		return 0
+	}
+	d := group - total
+	switch {
+	case d >= 0.01:
+		return 1
+	case d > -0.01:
+		return 0
+	case d > -0.05:
+		return -1
+	case d > -0.10:
+		return -2
+	default:
+		return -3
+	}
+}

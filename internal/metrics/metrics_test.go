@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/inference"
+	"breval/internal/validation"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, TN: 85, FN: 5}
+	if got := c.N(); got != 100 {
+		t.Errorf("N = %d", got)
+	}
+	if got := c.PPV(); got != 0.8 {
+		t.Errorf("PPV = %v", got)
+	}
+	if got := c.TPR(); math.Abs(got-8.0/13) > 1e-12 {
+		t.Errorf("TPR = %v", got)
+	}
+	if got := c.MCC(); got <= 0 || got >= 1 {
+		t.Errorf("MCC = %v, want in (0,1)", got)
+	}
+	if got := c.FowlkesMallows(); math.Abs(got-math.Sqrt(0.8*8.0/13)) > 1e-12 {
+		t.Errorf("FM = %v", got)
+	}
+}
+
+func TestConfusionEdgeCases(t *testing.T) {
+	if !math.IsNaN((Confusion{TN: 5}).PPV()) {
+		t.Error("PPV with no positive predictions should be NaN")
+	}
+	if !math.IsNaN((Confusion{TN: 5}).TPR()) {
+		t.Error("TPR with no positives should be NaN")
+	}
+	if got := (Confusion{TN: 5}).MCC(); got != 0 {
+		t.Errorf("degenerate MCC = %v, want 0", got)
+	}
+	perfect := Confusion{TP: 10, TN: 10}
+	if got := perfect.MCC(); got != 1 {
+		t.Errorf("perfect MCC = %v", got)
+	}
+	inverted := Confusion{FP: 10, FN: 10}
+	if got := inverted.MCC(); got != -1 {
+		t.Errorf("inverted MCC = %v", got)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	pred := inference.NewResult("t", 8)
+	truth := validation.NewSnapshot()
+
+	add := func(a, b asn.ASN, tl validation.Label, pr asgraph.Rel) {
+		l := asgraph.NewLink(a, b)
+		truth.Add(l, tl)
+		pred.Set(l, pr)
+	}
+	p2p := validation.Label{Type: asgraph.P2P}
+	p2c := func(p asn.ASN) validation.Label {
+		return validation.Label{Type: asgraph.P2C, Provider: p}
+	}
+	add(1, 2, p2p, asgraph.P2PRel())     // P2P TP
+	add(1, 3, p2p, asgraph.P2CRel(1))    // P2P FN / P2C FP
+	add(1, 4, p2c(1), asgraph.P2PRel())  // P2C FN / P2P FP
+	add(1, 5, p2c(1), asgraph.P2CRel(1)) // P2C TP
+	add(1, 6, p2c(1), asgraph.P2CRel(6)) // direction flip: P2C FN, P2P TN
+	add(7, 8, p2p, asgraph.P2PRel())     // P2P TP (filtered out below)
+
+	// Multi-label entry must be skipped.
+	ml := asgraph.NewLink(20, 21)
+	truth.Add(ml, p2p)
+	truth.Add(ml, p2c(20))
+	pred.Set(ml, asgraph.P2PRel())
+	// Entry the prediction does not cover must be skipped.
+	truth.Add(asgraph.NewLink(30, 31), p2p)
+
+	all := Evaluate(pred, truth, nil)
+	if all.P2P.TP != 2 || all.P2P.FN != 1 || all.P2P.FP != 1 || all.P2P.TN != 2 {
+		t.Errorf("P2P matrix = %+v", all.P2P)
+	}
+	if all.P2C.TP != 1 || all.P2C.FN != 2 || all.P2C.FP != 1 || all.P2C.TN != 2 {
+		t.Errorf("P2C matrix = %+v", all.P2C)
+	}
+	if all.LCP != 3 || all.LCC != 3 {
+		t.Errorf("LCP=%d LCC=%d", all.LCP, all.LCC)
+	}
+	if all.PPVP != all.P2P.PPV() || all.TPRC != all.P2C.TPR() || all.MCC != all.P2P.MCC() {
+		t.Error("row fields inconsistent with matrices")
+	}
+
+	filtered := Evaluate(pred, truth, func(l asgraph.Link) bool { return l.A < 7 })
+	if filtered.P2P.TP != 1 {
+		t.Errorf("filtered P2P TP = %d, want 1", filtered.P2P.TP)
+	}
+	if filtered.LCP != 2 {
+		t.Errorf("filtered LCP = %d, want 2", filtered.LCP)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	for _, c := range []struct {
+		group, total float64
+		want         int
+	}{
+		{0.99, 0.97, 1},
+		{0.975, 0.97, 0},
+		{0.965, 0.97, 0},
+		{0.955, 0.97, -1},
+		{0.93, 0.97, -1},
+		{0.91, 0.97, -2},
+		{0.85, 0.97, -3},
+		{math.NaN(), 0.97, 0},
+	} {
+		if got := Delta(c.group, c.total); got != c.want {
+			t.Errorf("Delta(%v, %v) = %d, want %d", c.group, c.total, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// clampCounts keeps random confusion matrices in a sane range.
+func clampCounts(v uint16) int { return int(v % 1000) }
+
+// Property: MCC is bounded by [-1, 1] and symmetric under swapping
+// the positive class (TP<->TN, FP<->FN) for arbitrary matrices.
+func TestMCCBoundsAndSymmetryProperty(t *testing.T) {
+	f := func(tp, fp, tn, fn uint16) bool {
+		c := Confusion{TP: clampCounts(tp), FP: clampCounts(fp), TN: clampCounts(tn), FN: clampCounts(fn)}
+		m := c.MCC()
+		if math.IsNaN(m) || m < -1-1e-9 || m > 1+1e-9 {
+			return false
+		}
+		swapped := Confusion{TP: c.TN, FP: c.FN, TN: c.TP, FN: c.FP}
+		return math.Abs(m-swapped.MCC()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PPV, TPR and the Fowlkes-Mallows index are in [0, 1] when
+// defined; FM² never exceeds max(PPV, TPR).
+func TestRateBoundsProperty(t *testing.T) {
+	f := func(tp, fp, tn, fn uint16) bool {
+		c := Confusion{TP: clampCounts(tp), FP: clampCounts(fp), TN: clampCounts(tn), FN: clampCounts(fn)}
+		ppv, tpr := c.PPV(), c.TPR()
+		for _, v := range []float64{ppv, tpr} {
+			if !math.IsNaN(v) && (v < 0 || v > 1) {
+				return false
+			}
+		}
+		fm := c.FowlkesMallows()
+		if math.IsNaN(fm) {
+			return true
+		}
+		if fm < 0 || fm > 1 {
+			return false
+		}
+		return fm*fm <= math.Max(ppv, tpr)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a perfect classifier has MCC 1 for any class balance with
+// both classes present.
+func TestPerfectClassifierProperty(t *testing.T) {
+	f := func(pos, neg uint16) bool {
+		p, n := 1+clampCounts(pos), 1+clampCounts(neg)
+		c := Confusion{TP: p, TN: n}
+		return math.Abs(c.MCC()-1) < 1e-9 && c.PPV() == 1 && c.TPR() == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Delta never reports "better" when the group value is
+// below the total, and is monotone in the group value.
+func TestDeltaMonotoneProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		g := float64(a) / 255
+		tot := float64(b) / 255
+		d := Delta(g, tot)
+		if g < tot && d > 0 {
+			return false
+		}
+		if g > tot && d < 0 {
+			return false
+		}
+		// Monotonicity: a higher group value never yields a lower class.
+		return Delta(g+0.01, tot) >= d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package org models AS-to-Organization data in the shape of CAIDA's
+// as-organizations dataset: organisations own one or more ASNs, and
+// two distinct ASNs owned by the same organisation form a sibling
+// (S2S) pair. Sibling pairs must be removed from relationship
+// validation data unless the classifier handles them explicitly
+// (§4.2 of Prehn & Feldmann, IMC'21).
+//
+// Serialisation follows CAIDA's legacy pipe-separated layout:
+//
+//	# format: org_id|changed|org_name|country|source
+//	# format: aut|changed|aut_name|org_id|opaque_id|source
+//
+// so synthetic tables round-trip through the same parser real data
+// would use.
+package org
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"breval/internal/asn"
+)
+
+// Organization is one organisation record.
+type Organization struct {
+	ID      string
+	Name    string
+	Country string
+}
+
+// Table maps ASNs to organisations.
+type Table struct {
+	orgs  map[string]Organization
+	owner map[asn.ASN]string
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{
+		orgs:  make(map[string]Organization),
+		owner: make(map[asn.ASN]string),
+	}
+}
+
+// AddOrg registers (or replaces) an organisation record.
+func (t *Table) AddOrg(o Organization) { t.orgs[o.ID] = o }
+
+// Assign records that a is owned by the organisation with the given
+// id. The organisation does not need to be registered first; a bare
+// record is created on demand.
+func (t *Table) Assign(a asn.ASN, orgID string) {
+	if _, ok := t.orgs[orgID]; !ok {
+		t.orgs[orgID] = Organization{ID: orgID}
+	}
+	t.owner[a] = orgID
+}
+
+// Org returns the organisation owning a, if known.
+func (t *Table) Org(a asn.ASN) (Organization, bool) {
+	id, ok := t.owner[a]
+	if !ok {
+		return Organization{}, false
+	}
+	return t.orgs[id], true
+}
+
+// Siblings reports whether a and b belong to the same organisation.
+// Distinct ASNs with no organisation data are never siblings, and an
+// ASN is not its own sibling.
+func (t *Table) Siblings(a, b asn.ASN) bool {
+	if a == b {
+		return false
+	}
+	ia, ok := t.owner[a]
+	if !ok {
+		return false
+	}
+	ib, ok := t.owner[b]
+	return ok && ia == ib
+}
+
+// Members returns all ASNs owned by orgID, in ascending order.
+func (t *Table) Members(orgID string) []asn.ASN {
+	var out []asn.ASN
+	for a, id := range t.owner {
+		if id == orgID {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumOrgs returns the number of organisations, NumASNs the number of
+// ASN→org assignments.
+func (t *Table) NumOrgs() int { return len(t.orgs) }
+
+// NumASNs returns the number of ASN→organisation assignments.
+func (t *Table) NumASNs() int { return len(t.owner) }
+
+// WriteTo serialises the table in CAIDA's legacy layout. Organisations
+// are emitted in sorted ID order, ASNs in ascending order, so output
+// is deterministic. WriteTo implements io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	emit := func(s string) error {
+		n, err := bw.WriteString(s)
+		total += int64(n)
+		return err
+	}
+	if err := emit("# format: org_id|changed|org_name|country|source\n"); err != nil {
+		return total, err
+	}
+	ids := make([]string, 0, len(t.orgs))
+	for id := range t.orgs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		o := t.orgs[id]
+		if err := emit(fmt.Sprintf("%s|20180401|%s|%s|BREVAL\n", o.ID, o.Name, o.Country)); err != nil {
+			return total, err
+		}
+	}
+	if err := emit("# format: aut|changed|aut_name|org_id|opaque_id|source\n"); err != nil {
+		return total, err
+	}
+	asns := make([]asn.ASN, 0, len(t.owner))
+	for a := range t.owner {
+		asns = append(asns, a)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, a := range asns {
+		if err := emit(fmt.Sprintf("%d|20180401|AS%d|%s||BREVAL\n", a, a, t.owner[a])); err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// Parse reads a table in CAIDA's legacy layout. The two record shapes
+// are distinguished by the most recent "# format:" comment, exactly as
+// in the real files.
+func Parse(r io.Reader) (*Table, error) {
+	t := NewTable()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	inAut := false
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.Contains(line, "format:") {
+				inAut = strings.Contains(line, "aut|")
+			}
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if inAut {
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("org: line %d: aut record needs >=4 fields", lineno)
+			}
+			a, err := asn.Parse(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("org: line %d: %w", lineno, err)
+			}
+			t.Assign(a, fields[3])
+			continue
+		}
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("org: line %d: org record needs >=4 fields", lineno)
+		}
+		t.AddOrg(Organization{ID: fields[0], Name: fields[2], Country: fields[3]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("org: %w", err)
+	}
+	return t, nil
+}

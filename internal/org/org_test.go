@@ -1,0 +1,137 @@
+package org
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"breval/internal/asn"
+)
+
+func TestSiblings(t *testing.T) {
+	tab := NewTable()
+	tab.AddOrg(Organization{ID: "o1", Name: "Lumen", Country: "US"})
+	tab.Assign(3356, "o1")
+	tab.Assign(3549, "o1")
+	tab.Assign(209, "o1")
+	tab.Assign(174, "o2")
+
+	if !tab.Siblings(3356, 3549) {
+		t.Error("3356 and 3549 should be siblings")
+	}
+	if !tab.Siblings(3549, 3356) {
+		t.Error("Siblings should be symmetric")
+	}
+	if tab.Siblings(3356, 174) {
+		t.Error("3356 and 174 are not siblings")
+	}
+	if tab.Siblings(3356, 3356) {
+		t.Error("an ASN is not its own sibling")
+	}
+	if tab.Siblings(3356, 9999) {
+		t.Error("unknown ASN cannot be a sibling")
+	}
+	if tab.Siblings(9998, 9999) {
+		t.Error("two unknown ASNs cannot be siblings")
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	tab := NewTable()
+	tab.Assign(300, "o1")
+	tab.Assign(100, "o1")
+	tab.Assign(200, "o1")
+	tab.Assign(400, "o2")
+	got := tab.Members("o1")
+	if len(got) != 3 || got[0] != 100 || got[1] != 200 || got[2] != 300 {
+		t.Errorf("Members(o1) = %v", got)
+	}
+	if len(tab.Members("missing")) != 0 {
+		t.Error("Members of unknown org should be empty")
+	}
+}
+
+func TestOrgLookup(t *testing.T) {
+	tab := NewTable()
+	tab.AddOrg(Organization{ID: "o1", Name: "Example", Country: "DE"})
+	tab.Assign(64000, "o1")
+	o, ok := tab.Org(64000)
+	if !ok || o.Name != "Example" || o.Country != "DE" {
+		t.Errorf("Org(64000) = %+v, %v", o, ok)
+	}
+	if _, ok := tab.Org(1); ok {
+		t.Error("Org(1) should be unknown")
+	}
+}
+
+func TestAssignCreatesBareOrg(t *testing.T) {
+	tab := NewTable()
+	tab.Assign(1, "auto")
+	if tab.NumOrgs() != 1 || tab.NumASNs() != 1 {
+		t.Errorf("NumOrgs=%d NumASNs=%d", tab.NumOrgs(), tab.NumASNs())
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	tab := NewTable()
+	tab.AddOrg(Organization{ID: "o-lumen", Name: "Lumen Technologies", Country: "US"})
+	tab.AddOrg(Organization{ID: "o-dtag", Name: "Deutsche Telekom", Country: "DE"})
+	tab.Assign(3356, "o-lumen")
+	tab.Assign(3549, "o-lumen")
+	tab.Assign(3320, "o-dtag")
+
+	var buf bytes.Buffer
+	if _, err := tab.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got.NumOrgs() != 2 || got.NumASNs() != 3 {
+		t.Fatalf("round trip: orgs=%d asns=%d", got.NumOrgs(), got.NumASNs())
+	}
+	if !got.Siblings(3356, 3549) {
+		t.Error("siblings lost in round trip")
+	}
+	o, ok := got.Org(3320)
+	if !ok || o.Name != "Deutsche Telekom" {
+		t.Errorf("Org(3320) = %+v, %v", o, ok)
+	}
+}
+
+func TestParseRealWorldFragment(t *testing.T) {
+	const in = `# name: AS Org
+# format: org_id|changed|org_name|country|source
+LPL-141-ARIN|20170128|Lumen|US|ARIN
+# format: aut|changed|aut_name|org_id|opaque_id|source
+3356|20170128|LEVEL3|LPL-141-ARIN|e5e3b9|ARIN
+`
+	tab, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	o, ok := tab.Org(3356)
+	if !ok || o.Name != "Lumen" {
+		t.Errorf("Org(3356) = %+v, %v", o, ok)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"# format: aut|changed|aut_name|org_id|opaque_id|source\nbad|x|y\n",
+		"# format: aut|changed|aut_name|org_id|opaque_id|source\nabc|x|y|o1\n",
+		"# format: org_id|changed|org_name|country|source\nonly|three|fields\n",
+	} {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestSiblingsUnassignedZeroValue(t *testing.T) {
+	tab := NewTable()
+	if tab.Siblings(asn.ASN(1), asn.ASN(2)) {
+		t.Error("empty table claims siblings")
+	}
+}

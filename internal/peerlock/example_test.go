@@ -1,0 +1,24 @@
+package peerlock_test
+
+import (
+	"os"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/peerlock"
+)
+
+func ExampleGenerate() {
+	g := asgraph.New()
+	g.MustSetRel(1, 2, asgraph.P2PRel())   // protected Tier-1s
+	g.MustSetRel(1, 10, asgraph.P2CRel(1)) // 10's provider
+	g.MustSetRel(10, 30, asgraph.P2PRel()) // a peer that must not leak them
+
+	cfg := peerlock.Generate(g, 10, []asn.ASN{1, 2})
+	cfg.WriteTo(os.Stdout)
+	// Output:
+	// ! peerlock filters for AS10 (generated)
+	// ip as-path access-list PEERLOCK-1 deny _(1|2)_
+	// ip as-path access-list PEERLOCK-1 permit .*
+	// ! apply to neighbor 30 inbound
+}

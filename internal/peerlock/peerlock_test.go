@@ -1,0 +1,132 @@
+package peerlock
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+)
+
+// world: clique {1,2}; owner 10 is customer of 1, peers with 11,
+// serves customer 100. 11 is customer of 2.
+func world() *asgraph.Graph {
+	g := asgraph.New()
+	g.MustSetRel(1, 2, asgraph.P2PRel())
+	g.MustSetRel(1, 10, asgraph.P2CRel(1))
+	g.MustSetRel(2, 11, asgraph.P2CRel(2))
+	g.MustSetRel(10, 11, asgraph.P2PRel())
+	g.MustSetRel(10, 100, asgraph.P2CRel(10))
+	g.MustSetRel(11, 110, asgraph.P2CRel(11))
+	return g
+}
+
+func TestGenerateRules(t *testing.T) {
+	g := world()
+	cfg := Generate(g, 10, []asn.ASN{1, 2})
+	if cfg.Owner != 10 {
+		t.Fatalf("owner = %d", cfg.Owner)
+	}
+	// Provider session (1) has no rules; peer 11 and customer 100 do.
+	for _, r := range cfg.Rules {
+		if r.Neighbor == 1 {
+			t.Errorf("rule on provider session: %+v", r)
+		}
+	}
+	byNb := map[asn.ASN]Rule{}
+	for _, r := range cfg.Rules {
+		byNb[r.Neighbor] = r
+	}
+	// Peer 11 may not announce protected 1 (it is not 1's upstream),
+	// and may not announce 2 either: 11 is 2's CUSTOMER, not upstream.
+	r11, ok := byNb[11]
+	if !ok {
+		t.Fatal("no rule for peer 11")
+	}
+	if len(r11.Protected) != 2 {
+		t.Errorf("rule for 11 protects %v, want both clique members", r11.Protected)
+	}
+	// Customer 100: both protected ASes denied.
+	r100, ok := byNb[100]
+	if !ok || len(r100.Protected) != 2 {
+		t.Fatalf("rule for 100 = %+v", r100)
+	}
+}
+
+func TestPermits(t *testing.T) {
+	g := world()
+	cfg := Generate(g, 10, []asn.ASN{1, 2})
+	// Peer 11 announcing its own cone: fine.
+	if !cfg.Permits(11, asgraph.Path{11, 110}) {
+		t.Error("legitimate cone route rejected")
+	}
+	// Peer 11 leaking a route through Tier-1 2: blocked.
+	if cfg.Permits(11, asgraph.Path{11, 2}) {
+		t.Error("leak through protected AS permitted")
+	}
+	// Provider session unrestricted.
+	if !cfg.Permits(1, asgraph.Path{1, 2, 11, 110}) {
+		t.Error("provider transit rejected")
+	}
+	// Unknown sessions default to permit.
+	if !cfg.Permits(999, asgraph.Path{999, 1}) {
+		t.Error("session without rules rejected")
+	}
+}
+
+func TestEvaluatePerfectKnowledge(t *testing.T) {
+	g := world()
+	cfg := Generate(g, 10, []asn.ASN{1, 2})
+	out := Evaluate(g, cfg, []asn.ASN{1, 2})
+	if out.LeaksMissed != 0 {
+		t.Errorf("leaks missed with perfect knowledge: %+v", out)
+	}
+	if out.LegitimateDropped != 0 {
+		t.Errorf("legitimate routes dropped with perfect knowledge: %+v", out)
+	}
+	if out.LeaksBlocked == 0 {
+		t.Errorf("no leaks blocked: %+v", out)
+	}
+}
+
+func TestEvaluateMisclassifiedRelationship(t *testing.T) {
+	truth := world()
+	// The inferred graph wrongly believes peer 11 is a provider of
+	// owner 10: no rules get generated for that session, so leaks
+	// through it are missed.
+	inferred := world()
+	inferred.MustSetRel(10, 11, asgraph.P2CRel(11))
+	cfg := Generate(inferred, 10, []asn.ASN{1, 2})
+	out := Evaluate(truth, cfg, []asn.ASN{1, 2})
+	if out.LeaksMissed == 0 {
+		t.Errorf("misclassification should open leaks: %+v", out)
+	}
+}
+
+func TestEvaluateUpstreamException(t *testing.T) {
+	// 11 truly is an upstream of protected AS 3: announcing 3 is
+	// legitimate and must not be dropped.
+	truth := world()
+	truth.MustSetRel(11, 3, asgraph.P2CRel(11))
+	cfg := Generate(truth, 10, []asn.ASN{1, 2, 3})
+	out := Evaluate(truth, cfg, []asn.ASN{1, 2, 3})
+	if out.LegitimateDropped != 0 {
+		t.Errorf("upstream exception broken: %+v", out)
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	g := world()
+	cfg := Generate(g, 10, []asn.ASN{1, 2})
+	var buf bytes.Buffer
+	if _, err := cfg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"peerlock filters for AS10", "as-path access-list", "deny _(", "permit .*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("config missing %q:\n%s", want, out)
+		}
+	}
+}

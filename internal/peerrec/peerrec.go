@@ -1,0 +1,207 @@
+// Package peerrec implements the second §7 incentive system: a
+// recommendation engine that ranks IXPs to join and ASes to peer with
+// for a given network, computed from AS-relationship data. The paper
+// proposes such recommendations as a service operators would trade
+// accurate relationship information for.
+//
+// The benefit model is deliberately simple and fully driven by the
+// relationship graph: peering with a candidate AS offloads the traffic
+// towards the candidate's customer cone from the network's transit
+// providers, so a candidate's value is the size of the cone slice not
+// yet reachable through existing peers, scaled by co-location
+// feasibility (shared IXPs mean a session is cheap to set up).
+package peerrec
+
+import (
+	"sort"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+)
+
+// PeerCandidate is one recommended peering partner.
+type PeerCandidate struct {
+	ASN asn.ASN
+	// NewCone is the number of ASes the candidate would newly make
+	// reachable via peering (cone minus what existing peers cover).
+	NewCone int
+	// SharedIXPs counts fabrics where both networks are present.
+	SharedIXPs int
+	// Score is the ranking key: NewCone weighted by feasibility.
+	Score float64
+}
+
+// IXPCandidate is one recommended fabric.
+type IXPCandidate struct {
+	// Index refers to the fabric's position in the Memberships input.
+	Index int
+	// ReachableCone is the union cone size of its members the network
+	// does not already reach via peers.
+	ReachableCone int
+	// Members is the fabric's member count.
+	Members int
+	// Score ranks fabrics by reachable cone per (log-ish) member,
+	// favouring dense fabrics with unreached customer cones.
+	Score float64
+}
+
+// Recommender ranks candidates over a relationship graph.
+type Recommender struct {
+	g *asgraph.Graph
+	// memberships[i] is fabric i's member list.
+	memberships [][]asn.ASN
+	memberIdx   map[asn.ASN]map[int]bool
+	coneCache   map[asn.ASN]map[asn.ASN]bool
+}
+
+// New builds a recommender from a relationship graph (typically an
+// inferred one — the paper's point is that recommendation quality
+// hinges on relationship accuracy) and the IXP membership lists.
+func New(g *asgraph.Graph, memberships [][]asn.ASN) *Recommender {
+	idx := make(map[asn.ASN]map[int]bool)
+	for i, members := range memberships {
+		for _, a := range members {
+			m := idx[a]
+			if m == nil {
+				m = make(map[int]bool, 2)
+				idx[a] = m
+			}
+			m[i] = true
+		}
+	}
+	return &Recommender{
+		g:           g,
+		memberships: memberships,
+		memberIdx:   idx,
+		coneCache:   make(map[asn.ASN]map[asn.ASN]bool),
+	}
+}
+
+func (r *Recommender) cone(a asn.ASN) map[asn.ASN]bool {
+	if c, ok := r.coneCache[a]; ok {
+		return c
+	}
+	c := r.g.CustomerCone(a)
+	r.coneCache[a] = c
+	return c
+}
+
+// covered returns the set of ASes the network already reaches without
+// paying transit: its own cone plus every peer's cone.
+func (r *Recommender) covered(network asn.ASN) map[asn.ASN]bool {
+	out := map[asn.ASN]bool{network: true}
+	for a := range r.cone(network) {
+		out[a] = true
+	}
+	for _, p := range r.g.Peers(network) {
+		out[p] = true
+		for a := range r.cone(p) {
+			out[a] = true
+		}
+	}
+	return out
+}
+
+// RecommendPeers ranks up to limit peering partners for network.
+// Existing neighbors (any relationship) are excluded.
+func (r *Recommender) RecommendPeers(network asn.ASN, limit int) []PeerCandidate {
+	covered := r.covered(network)
+	myFabrics := r.memberIdx[network]
+
+	seenNeighbor := make(map[asn.ASN]bool)
+	for _, nb := range r.g.Neighbors(network) {
+		seenNeighbor[nb.ASN] = true
+	}
+
+	var out []PeerCandidate
+	for _, cand := range r.g.ASes() {
+		if cand == network || seenNeighbor[cand] {
+			continue
+		}
+		cone := r.cone(cand)
+		if len(cone) == 0 {
+			continue // stub cones offload nothing
+		}
+		nw := 0
+		for a := range cone {
+			if !covered[a] {
+				nw++
+			}
+		}
+		if nw == 0 {
+			continue
+		}
+		shared := 0
+		for f := range r.memberIdx[cand] {
+			if myFabrics[f] {
+				shared++
+			}
+		}
+		score := float64(nw)
+		if shared > 0 {
+			score *= 1 + 0.5*float64(shared)
+		} else {
+			score *= 0.25 // a new PNI/fabric is expensive
+		}
+		out = append(out, PeerCandidate{
+			ASN: cand, NewCone: nw, SharedIXPs: shared, Score: score,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ASN < out[j].ASN
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// RecommendIXPs ranks up to limit fabrics for network to join,
+// excluding fabrics it is already a member of.
+func (r *Recommender) RecommendIXPs(network asn.ASN, limit int) []IXPCandidate {
+	covered := r.covered(network)
+	myFabrics := r.memberIdx[network]
+
+	var out []IXPCandidate
+	for i, members := range r.memberships {
+		if myFabrics[i] || len(members) == 0 {
+			continue
+		}
+		reach := make(map[asn.ASN]bool)
+		for _, m := range members {
+			if m == network {
+				continue
+			}
+			if !covered[m] {
+				reach[m] = true
+			}
+			for a := range r.cone(m) {
+				if !covered[a] {
+					reach[a] = true
+				}
+			}
+		}
+		if len(reach) == 0 {
+			continue
+		}
+		out = append(out, IXPCandidate{
+			Index:         i,
+			ReachableCone: len(reach),
+			Members:       len(members),
+			Score:         float64(len(reach)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Index < out[j].Index
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package peerrec
+
+import (
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+)
+
+// topo: network 10 (customer of 1, cone {100}); candidates:
+//
+//	20 with cone {200, 201} sharing IXP 0 with 10,
+//	30 with cone {300} on a foreign fabric,
+//	40 with empty cone,
+//	11 existing peer of 10 with cone {110}.
+func fixture() (*Recommender, asn.ASN) {
+	g := asgraph.New()
+	g.MustSetRel(1, 10, asgraph.P2CRel(1))
+	g.MustSetRel(10, 100, asgraph.P2CRel(10))
+	g.MustSetRel(10, 11, asgraph.P2PRel())
+	g.MustSetRel(11, 110, asgraph.P2CRel(11))
+	g.MustSetRel(1, 20, asgraph.P2CRel(1))
+	g.MustSetRel(20, 200, asgraph.P2CRel(20))
+	g.MustSetRel(20, 201, asgraph.P2CRel(20))
+	g.MustSetRel(1, 30, asgraph.P2CRel(1))
+	g.MustSetRel(30, 300, asgraph.P2CRel(30))
+	g.MustSetRel(1, 40, asgraph.P2CRel(1))
+	memberships := [][]asn.ASN{
+		{10, 20, 40}, // fabric 0: shared with 20
+		{30, 300},    // fabric 1: foreign
+		{20, 30},     // fabric 2: foreign, two transit members
+	}
+	return New(g, memberships), 10
+}
+
+func TestRecommendPeers(t *testing.T) {
+	r, network := fixture()
+	recs := r.RecommendPeers(network, 0)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	// Existing neighbors and zero-cone candidates are excluded.
+	for _, c := range recs {
+		switch c.ASN {
+		case 11, 1, 100:
+			t.Errorf("existing neighbor %d recommended", c.ASN)
+		case 40:
+			t.Errorf("empty-cone candidate recommended")
+		}
+	}
+	// 20 outranks 30: bigger new cone AND a shared fabric.
+	if recs[0].ASN != 20 {
+		t.Errorf("top candidate = %d, want 20 (recs: %+v)", recs[0].ASN, recs)
+	}
+	if recs[0].NewCone != 2 || recs[0].SharedIXPs != 1 {
+		t.Errorf("candidate 20 = %+v", recs[0])
+	}
+	// The peer's cone counts as covered: 110 contributes to nobody.
+	for _, c := range recs {
+		if c.ASN == 30 && c.NewCone != 1 {
+			t.Errorf("candidate 30 NewCone = %d, want 1", c.NewCone)
+		}
+	}
+}
+
+func TestRecommendPeersLimit(t *testing.T) {
+	r, network := fixture()
+	recs := r.RecommendPeers(network, 1)
+	if len(recs) != 1 {
+		t.Fatalf("limit ignored: %d recs", len(recs))
+	}
+}
+
+func TestRecommendIXPs(t *testing.T) {
+	r, network := fixture()
+	recs := r.RecommendIXPs(network, 0)
+	if len(recs) == 0 {
+		t.Fatal("no fabric recommendations")
+	}
+	// Fabric 0 is excluded (already a member).
+	for _, c := range recs {
+		if c.Index == 0 {
+			t.Error("own fabric recommended")
+		}
+	}
+	// Fabric 2 beats fabric 1: members 20+30 reach {20,30,200,201,300}
+	// (5 new) vs fabric 1's {30,300} (2 new).
+	if recs[0].Index != 2 {
+		t.Errorf("top fabric = %d, want 2 (recs: %+v)", recs[0].Index, recs)
+	}
+	if recs[0].ReachableCone != 5 {
+		t.Errorf("fabric 2 reach = %d, want 5", recs[0].ReachableCone)
+	}
+}
+
+func TestRecommendationsDependOnRelationshipAccuracy(t *testing.T) {
+	// The §7 point: a wrong relationship changes the recommendation.
+	// If the graph wrongly believes 20's customers are its peers, its
+	// cone collapses and 30 wins instead.
+	g := asgraph.New()
+	g.MustSetRel(1, 10, asgraph.P2CRel(1))
+	g.MustSetRel(1, 20, asgraph.P2CRel(1))
+	g.MustSetRel(20, 200, asgraph.P2PRel()) // misclassified!
+	g.MustSetRel(20, 201, asgraph.P2PRel()) // misclassified!
+	g.MustSetRel(1, 30, asgraph.P2CRel(1))
+	g.MustSetRel(30, 300, asgraph.P2CRel(30))
+	r := New(g, nil)
+	recs := r.RecommendPeers(10, 1)
+	if len(recs) == 0 || recs[0].ASN != 30 {
+		t.Errorf("misclassification should flip the ranking: %+v", recs)
+	}
+}

@@ -1,0 +1,138 @@
+package registry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"breval/internal/asn"
+)
+
+// Delegation is one "asn" record of an RIR delegated-extended
+// statistics file: a contiguous run of Count ASNs starting at First,
+// delegated by Registry to a holder in country CC.
+type Delegation struct {
+	Registry Region
+	CC       string // ISO-3166 country code, or "ZZ"
+	First    asn.ASN
+	Count    uint32
+	Date     string // YYYYMMDD, may be empty
+	Status   string // allocated | assigned | available | reserved
+	OpaqueID string
+}
+
+// Last returns the last ASN of the delegated run.
+func (d Delegation) Last() asn.ASN { return d.First + asn.ASN(d.Count-1) }
+
+// File is a parsed delegated-extended file: the version/summary header
+// plus all ASN delegation records. IPv4/IPv6 records are ignored since
+// the relationship pipeline only needs ASNs.
+type File struct {
+	Registry    Region
+	Serial      string
+	Delegations []Delegation
+}
+
+// WriteDelegated serialises f in the RIR delegated-extended format:
+//
+//	2|ripencc|20180405|3|19830705|20180404|+0000
+//	ripencc|*|asn|*|3|summary
+//	ripencc|DE|asn|3320|1|19930901|allocated|org-1
+//
+// Only an asn summary line is written because only asn records are.
+func WriteDelegated(w io.Writer, f *File) error {
+	bw := bufio.NewWriter(w)
+	reg := f.Registry.String()
+	serial := f.Serial
+	if serial == "" {
+		serial = "20180405"
+	}
+	fmt.Fprintf(bw, "2|%s|%s|%d|19830705|%s|+0000\n", reg, serial, len(f.Delegations), serial)
+	fmt.Fprintf(bw, "%s|*|asn|*|%d|summary\n", reg, len(f.Delegations))
+	for _, d := range f.Delegations {
+		cc := d.CC
+		if cc == "" {
+			cc = "ZZ"
+		}
+		date := d.Date
+		if date == "" {
+			date = serial
+		}
+		status := d.Status
+		if status == "" {
+			status = "allocated"
+		}
+		fmt.Fprintf(bw, "%s|%s|asn|%d|%d|%s|%s|%s\n",
+			d.Registry.String(), cc, d.First, d.Count, date, status, d.OpaqueID)
+	}
+	return bw.Flush()
+}
+
+// ParseDelegated reads a delegated-extended file, keeping only asn
+// records. Header, summary and non-asn lines are skipped; comment
+// lines start with '#'. The format is the one published at e.g.
+// ftp.ripe.net/pub/stats/ripencc/delegated-ripencc-extended-latest.
+func ParseDelegated(r io.Reader) (*File, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	f := &File{}
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		// Version line: 2|ripencc|20180405|...
+		if fields[0] == "2" || fields[0] == "2.3" {
+			if len(fields) >= 3 {
+				if reg, err := ParseRegion(fields[1]); err == nil {
+					f.Registry = reg
+				}
+				f.Serial = fields[2]
+			}
+			continue
+		}
+		// Summary line: ripencc|*|asn|*|N|summary
+		if len(fields) >= 6 && fields[5] == "summary" {
+			continue
+		}
+		if len(fields) < 7 {
+			return nil, fmt.Errorf("registry: delegated line %d: want >=7 fields, got %d", lineno, len(fields))
+		}
+		if fields[2] != "asn" {
+			continue // ipv4/ipv6 records
+		}
+		reg, err := ParseRegion(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("registry: delegated line %d: %w", lineno, err)
+		}
+		first, err := asn.Parse(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("registry: delegated line %d: %w", lineno, err)
+		}
+		count, err := strconv.ParseUint(fields[4], 10, 32)
+		if err != nil || count == 0 {
+			return nil, fmt.Errorf("registry: delegated line %d: bad count %q", lineno, fields[4])
+		}
+		d := Delegation{
+			Registry: reg,
+			CC:       fields[1],
+			First:    first,
+			Count:    uint32(count),
+			Date:     fields[5],
+			Status:   fields[6],
+		}
+		if len(fields) >= 8 {
+			d.OpaqueID = fields[7]
+		}
+		f.Delegations = append(f.Delegations, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("registry: delegated: %w", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,61 @@
+package registry
+
+import (
+	"breval/internal/asn"
+)
+
+// Mapper maps ASNs to service regions using the two-stage process of
+// §5: IANA's initial block assignments bootstrap the mapping for all
+// ASes, and per-ASN RIR delegation records then correct it for
+// resources transferred between regions after the initial assignment.
+type Mapper struct {
+	iana     *asn.Registry
+	override map[asn.ASN]Region
+}
+
+// NewMapper creates a mapper bootstrapped from the IANA registry.
+// A nil registry yields a mapper that knows nothing until delegation
+// files are applied.
+func NewMapper(iana *asn.Registry) *Mapper {
+	return &Mapper{iana: iana, override: make(map[asn.ASN]Region)}
+}
+
+// Apply refines the mapping with one RIR delegation file. Records with
+// status "available" or "reserved" describe the RIR's own pool, not a
+// delegation to a network, and are skipped. Later Apply calls win when
+// files disagree, matching the "most recent delegation file" semantics
+// of daily re-computation.
+func (m *Mapper) Apply(f *File) {
+	for _, d := range f.Delegations {
+		if d.Status == "available" || d.Status == "reserved" {
+			continue
+		}
+		last := d.Last()
+		for a := d.First; ; a++ {
+			m.override[a] = d.Registry
+			if a == last {
+				break
+			}
+		}
+	}
+}
+
+// Region returns the service region for a. Reserved ASNs (AS_TRANS,
+// documentation, private use, ...) never map to a region, regardless
+// of registry contents. ASNs not covered by a delegation record fall
+// back to the IANA block assignment.
+func (m *Mapper) Region(a asn.ASN) Region {
+	if a.IsReserved() {
+		return RegionNone
+	}
+	if r, ok := m.override[a]; ok {
+		return r
+	}
+	if m.iana != nil {
+		return FromAuthority(m.iana.Authority(a))
+	}
+	return RegionNone
+}
+
+// Overrides returns the number of per-ASN delegation overrides applied.
+func (m *Mapper) Overrides() int { return len(m.override) }

@@ -1,0 +1,198 @@
+package registry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"breval/internal/asn"
+)
+
+func TestRegionStringAndAbbrev(t *testing.T) {
+	for _, c := range []struct {
+		r      Region
+		name   string
+		abbrev string
+	}{
+		{AFRINIC, "afrinic", "AF"},
+		{APNIC, "apnic", "AP"},
+		{ARIN, "arin", "AR"},
+		{LACNIC, "lacnic", "L"},
+		{RIPE, "ripencc", "R"},
+		{RegionNone, "none", "-"},
+	} {
+		if got := c.r.String(); got != c.name {
+			t.Errorf("%v.String() = %q, want %q", c.r, got, c.name)
+		}
+		if got := c.r.Abbrev(); got != c.abbrev {
+			t.Errorf("Abbrev() = %q, want %q", got, c.abbrev)
+		}
+	}
+}
+
+func TestParseRegionRoundTrip(t *testing.T) {
+	for _, r := range Regions {
+		got, err := ParseRegion(r.String())
+		if err != nil || got != r {
+			t.Errorf("ParseRegion(%q) = %v, %v; want %v", r.String(), got, err, r)
+		}
+		got, err = ParseRegion(r.Abbrev())
+		if err != nil || got != r {
+			t.Errorf("ParseRegion(%q) = %v, %v; want %v", r.Abbrev(), got, err, r)
+		}
+	}
+	if _, err := ParseRegion("mars"); err == nil {
+		t.Error("ParseRegion accepted an unknown region")
+	}
+}
+
+func TestDelegatedRoundTrip(t *testing.T) {
+	f := &File{
+		Registry: RIPE,
+		Serial:   "20180405",
+		Delegations: []Delegation{
+			{Registry: RIPE, CC: "DE", First: 3320, Count: 1, Status: "allocated", OpaqueID: "org-dtag"},
+			{Registry: RIPE, CC: "NL", First: 1103, Count: 2, Status: "assigned"},
+			{Registry: LACNIC, CC: "BR", First: 52000, Count: 10, Status: "allocated"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteDelegated(&buf, f); err != nil {
+		t.Fatalf("WriteDelegated: %v", err)
+	}
+	got, err := ParseDelegated(&buf)
+	if err != nil {
+		t.Fatalf("ParseDelegated: %v", err)
+	}
+	if got.Registry != RIPE || got.Serial != "20180405" {
+		t.Errorf("header: got %v/%s", got.Registry, got.Serial)
+	}
+	if len(got.Delegations) != 3 {
+		t.Fatalf("got %d delegations, want 3", len(got.Delegations))
+	}
+	d := got.Delegations[1]
+	if d.First != 1103 || d.Count != 2 || d.CC != "NL" || d.Last() != 1104 {
+		t.Errorf("delegation 1 = %+v", d)
+	}
+	if got.Delegations[0].OpaqueID != "org-dtag" {
+		t.Errorf("opaque id lost: %+v", got.Delegations[0])
+	}
+}
+
+func TestParseDelegatedRealWorldFragment(t *testing.T) {
+	// Structure matches the real delegated-ripencc-extended files,
+	// including ipv4 records that must be skipped.
+	const in = `2|ripencc|20180405|123456|19830705|20180404|+0000
+ripencc|*|asn|*|2|summary
+ripencc|*|ipv4|*|1|summary
+ripencc|FR|asn|2200|1|19930901|allocated|fr-renater
+ripencc|EU|asn|2043|1|19930901|allocated
+ripencc|FR|ipv4|2.0.0.0|1048576|20100712|allocated|fr-telecom
+`
+	f, err := ParseDelegated(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseDelegated: %v", err)
+	}
+	if len(f.Delegations) != 2 {
+		t.Fatalf("got %d asn delegations, want 2", len(f.Delegations))
+	}
+	if f.Delegations[0].First != 2200 || f.Delegations[0].CC != "FR" {
+		t.Errorf("delegation 0 = %+v", f.Delegations[0])
+	}
+}
+
+func TestParseDelegatedErrors(t *testing.T) {
+	for _, in := range []string{
+		"ripencc|FR|asn|2200\n",            // too few fields
+		"mars|FR|asn|2200|1|x|allocated\n", // unknown registry
+		"ripencc|FR|asn|abc|1|x|allocated\n",
+		"ripencc|FR|asn|2200|0|x|allocated\n", // zero count
+	} {
+		if _, err := ParseDelegated(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseDelegated(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func ianaForTest(t *testing.T) *asn.Registry {
+	t.Helper()
+	r, err := asn.NewRegistry([]asn.Block{
+		{First: 1, Last: 5000, Authority: asn.AuthARIN},
+		{First: 5001, Last: 10000, Authority: asn.AuthRIPE},
+		{First: 10001, Last: 15000, Authority: asn.AuthAPNIC},
+		{First: 15001, Last: 20000, Authority: asn.AuthLACNIC},
+		{First: 20001, Last: 23000, Authority: asn.AuthAFRINIC},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMapperBootstrapAndRefine(t *testing.T) {
+	m := NewMapper(ianaForTest(t))
+	// Bootstrap only.
+	if got := m.Region(100); got != ARIN {
+		t.Errorf("Region(100) = %v, want ARIN", got)
+	}
+	if got := m.Region(5555); got != RIPE {
+		t.Errorf("Region(5555) = %v, want RIPE", got)
+	}
+	// AS 100 was transferred ARIN -> LACNIC.
+	m.Apply(&File{Registry: LACNIC, Delegations: []Delegation{
+		{Registry: LACNIC, CC: "BR", First: 100, Count: 1, Status: "allocated"},
+	}})
+	if got := m.Region(100); got != LACNIC {
+		t.Errorf("after transfer, Region(100) = %v, want LACNIC", got)
+	}
+	if m.Overrides() != 1 {
+		t.Errorf("Overrides() = %d, want 1", m.Overrides())
+	}
+	// Neighboring ASNs keep the IANA mapping.
+	if got := m.Region(101); got != ARIN {
+		t.Errorf("Region(101) = %v, want ARIN", got)
+	}
+}
+
+func TestMapperSkipsPoolRecords(t *testing.T) {
+	m := NewMapper(ianaForTest(t))
+	m.Apply(&File{Registry: RIPE, Delegations: []Delegation{
+		{Registry: RIPE, First: 200, Count: 1, Status: "available"},
+		{Registry: RIPE, First: 201, Count: 1, Status: "reserved"},
+	}})
+	if m.Overrides() != 0 {
+		t.Errorf("pool records created %d overrides", m.Overrides())
+	}
+	if got := m.Region(200); got != ARIN {
+		t.Errorf("Region(200) = %v, want ARIN (IANA bootstrap)", got)
+	}
+}
+
+func TestMapperReservedASNsHaveNoRegion(t *testing.T) {
+	m := NewMapper(ianaForTest(t))
+	// Even a (bogus) delegation for AS_TRANS must not give it a region.
+	m.Apply(&File{Registry: RIPE, Delegations: []Delegation{
+		{Registry: RIPE, First: asn.Trans, Count: 1, Status: "allocated"},
+	}})
+	if got := m.Region(asn.Trans); got != RegionNone {
+		t.Errorf("Region(AS_TRANS) = %v, want none", got)
+	}
+	if got := m.Region(asn.Private16First); got != RegionNone {
+		t.Errorf("Region(private) = %v, want none", got)
+	}
+}
+
+func TestMapperMultiASNDelegation(t *testing.T) {
+	m := NewMapper(nil)
+	m.Apply(&File{Registry: APNIC, Delegations: []Delegation{
+		{Registry: APNIC, First: 1000, Count: 3, Status: "allocated"},
+	}})
+	for a := asn.ASN(1000); a <= 1002; a++ {
+		if got := m.Region(a); got != APNIC {
+			t.Errorf("Region(%d) = %v, want APNIC", a, got)
+		}
+	}
+	if got := m.Region(1003); got != RegionNone {
+		t.Errorf("Region(1003) = %v, want none (nil IANA)", got)
+	}
+}

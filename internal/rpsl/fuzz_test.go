@@ -1,0 +1,34 @@
+package rpsl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the RPSL parser: no panics, and
+// successfully parsed databases must round-trip through WriteTo.
+func FuzzParse(f *testing.F) {
+	f.Add("aut-num: AS64500\nimport: from AS3356 accept ANY\nexport: to AS3356 announce AS64500:AS-CUST\n")
+	f.Add("% comment\naut-num: AS1\n")
+	f.Add("")
+	f.Add("garbage: no aut-num\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		db, err := Parse(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := db.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo after successful Parse: %v", err)
+		}
+		again, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip does not parse: %v", err)
+		}
+		if again.Len() != db.Len() {
+			t.Fatalf("round trip changed object count: %d vs %d", again.Len(), db.Len())
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package rpsl
+
+import (
+	"math/rand"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/validation"
+)
+
+// GenerateConfig controls synthetic IRR generation.
+type GenerateConfig struct {
+	Seed int64
+	// MaintainProb is the probability a registrant documents a given
+	// neighbor at all (records are voluntary and sparse).
+	MaintainProb float64
+	// StaleProb is the probability a documented policy reflects an
+	// old relationship: the relationship's direction is rewritten as
+	// if the neighbor were still a provider (the typical "left my old
+	// upstream in the object" staleness).
+	StaleProb float64
+}
+
+// DefaultGenerateConfig mirrors the sparseness real IRRs show.
+func DefaultGenerateConfig(seed int64) GenerateConfig {
+	return GenerateConfig{Seed: seed, MaintainProb: 0.55, StaleProb: 0.07}
+}
+
+// Generate builds a synthetic IRR: every AS in registrants gets an
+// aut-num object documenting a subset of its true relationships,
+// with a fraction of stale policies.
+func Generate(truth *asgraph.Graph, registrants []asn.ASN, cfg GenerateConfig) *Database {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := NewDatabase()
+	for _, a := range registrants {
+		neighbors := truth.Neighbors(a)
+		if len(neighbors) == 0 {
+			continue
+		}
+		obj := &AutNum{ASN: a, Name: "AS" + a.String() + "-NET"}
+		for _, nb := range sortedNeighbors(neighbors) {
+			if rng.Float64() >= cfg.MaintainProb {
+				continue
+			}
+			var pol Policy
+			pol.Neighbor = nb.ASN
+			switch nb.Role {
+			case asgraph.RoleProvider:
+				pol.ImportAny, pol.ExportAny = true, false
+			case asgraph.RoleCustomer:
+				pol.ImportAny, pol.ExportAny = false, true
+			case asgraph.RolePeer:
+				pol.ImportAny, pol.ExportAny = false, false
+			default: // siblings: ANY/ANY, the ambiguous form
+				pol.ImportAny, pol.ExportAny = true, true
+			}
+			if rng.Float64() < cfg.StaleProb {
+				// Stale record: documented as if the neighbor were a
+				// provider, whatever it is today.
+				pol.ImportAny, pol.ExportAny = true, false
+			}
+			obj.Policies = append(obj.Policies, pol)
+		}
+		if len(obj.Policies) > 0 {
+			db.Add(obj)
+		}
+	}
+	return db
+}
+
+func sortedNeighbors(ns []asgraph.Neighbor) []asgraph.Neighbor {
+	out := append([]asgraph.Neighbor(nil), ns...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ASN < out[j-1].ASN; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Extract compiles a validation snapshot from the database, the
+// Luckie et al. source-(ii) way: every documented policy pair yields
+// one label for the link between registrant and neighbor.
+func Extract(db *Database) *validation.Snapshot {
+	snap := validation.NewSnapshot()
+	for _, a := range db.ASNs() {
+		obj, _ := db.Get(a)
+		for _, p := range obj.Policies {
+			rel, ok := obj.Rel(p.Neighbor)
+			if !ok {
+				continue
+			}
+			snap.Add(asgraph.NewLink(a, p.Neighbor), validation.LabelOf(rel))
+		}
+	}
+	return snap
+}

@@ -1,0 +1,268 @@
+// Package rpsl implements the second validation-data source of Luckie
+// et al. (IMC'13), which the paper's §3.2 discusses alongside the
+// community-based one: AS relationships encoded in Routing Policy
+// Specification Language (RFC 2622) aut-num objects inside IRR/WHOIS
+// databases.
+//
+// An operator that documents
+//
+//	aut-num: AS64500
+//	import:  from AS3356 accept ANY
+//	export:  to AS3356 announce AS64500:AS-CUST
+//	import:  from AS64510 accept AS64510
+//	export:  to AS64510 announce ANY
+//
+// reveals its relationships: importing ANY from a neighbor while
+// announcing only one's own cone marks the neighbor as a provider;
+// announcing ANY to a neighbor that only gives its own routes marks it
+// a customer; symmetric customer-cone exchanges mark peers.
+//
+// As §3.2 notes, WHOIS records are maintained voluntarily and go
+// stale; the extractor therefore takes the registry as-is and the
+// synthetic IRR generator can age a fraction of the objects so they
+// contradict the current ground truth.
+package rpsl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+)
+
+// Policy is the per-neighbor import/export pair of an aut-num object.
+type Policy struct {
+	Neighbor asn.ASN
+	// ImportAny is true when the object accepts ANY from the
+	// neighbor (typical towards providers).
+	ImportAny bool
+	// ExportAny is true when the object announces ANY to the
+	// neighbor (typical towards customers).
+	ExportAny bool
+}
+
+// AutNum is one aut-num object.
+type AutNum struct {
+	ASN      asn.ASN
+	Name     string
+	Policies []Policy
+}
+
+// Rel derives the relationship the object's owner claims to have with
+// the given neighbor, following the standard RPSL reading:
+//
+//	import ANY + export own cone  -> neighbor is a provider
+//	import cone + export ANY      -> neighbor is a customer
+//	import cone + export own cone -> peer
+//	import ANY  + export ANY      -> ambiguous (sibling/backup mix); skipped
+func (a *AutNum) Rel(neighbor asn.ASN) (asgraph.Rel, bool) {
+	for _, p := range a.Policies {
+		if p.Neighbor != neighbor {
+			continue
+		}
+		switch {
+		case p.ImportAny && !p.ExportAny:
+			return asgraph.P2CRel(neighbor), true // neighbor provides transit
+		case !p.ImportAny && p.ExportAny:
+			return asgraph.P2CRel(a.ASN), true // owner provides transit
+		case !p.ImportAny && !p.ExportAny:
+			return asgraph.P2PRel(), true
+		}
+		return asgraph.Rel{}, false // ANY/ANY: ambiguous
+	}
+	return asgraph.Rel{}, false
+}
+
+// Database is a collection of aut-num objects keyed by ASN.
+type Database struct {
+	objects map[asn.ASN]*AutNum
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{objects: make(map[asn.ASN]*AutNum)}
+}
+
+// Add registers (replacing) an object.
+func (db *Database) Add(obj *AutNum) { db.objects[obj.ASN] = obj }
+
+// Get returns the object for a.
+func (db *Database) Get(a asn.ASN) (*AutNum, bool) {
+	obj, ok := db.objects[a]
+	return obj, ok
+}
+
+// Len returns the number of objects.
+func (db *Database) Len() int { return len(db.objects) }
+
+// ASNs lists all object owners in ascending order.
+func (db *Database) ASNs() []asn.ASN {
+	out := make([]asn.ASN, 0, len(db.objects))
+	for a := range db.objects {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WriteTo serialises the database in RPSL object layout, objects in
+// ascending ASN order, policies in declaration order. WriteTo
+// implements io.WriterTo.
+func (db *Database) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	emit := func(s string) error {
+		n, err := bw.WriteString(s)
+		total += int64(n)
+		return err
+	}
+	for _, a := range db.ASNs() {
+		obj := db.objects[a]
+		if err := emit(fmt.Sprintf("aut-num: AS%d\n", obj.ASN)); err != nil {
+			return total, err
+		}
+		if obj.Name != "" {
+			if err := emit(fmt.Sprintf("as-name: %s\n", obj.Name)); err != nil {
+				return total, err
+			}
+		}
+		for _, p := range obj.Policies {
+			imp := fmt.Sprintf("AS%d", p.Neighbor)
+			if p.ImportAny {
+				imp = "ANY"
+			}
+			exp := fmt.Sprintf("AS%d:AS-CUST", obj.ASN)
+			if p.ExportAny {
+				exp = "ANY"
+			}
+			if err := emit(fmt.Sprintf("import: from AS%d accept %s\n", p.Neighbor, imp)); err != nil {
+				return total, err
+			}
+			if err := emit(fmt.Sprintf("export: to AS%d announce %s\n", p.Neighbor, exp)); err != nil {
+				return total, err
+			}
+		}
+		if err := emit("source: BREVAL-IRR\n\n"); err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// Parse reads a database written by WriteTo (or hand-authored in the
+// same RPSL subset). Unknown attributes are skipped; objects are
+// separated by blank lines or the next aut-num attribute.
+func Parse(r io.Reader) (*Database, error) {
+	db := NewDatabase()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var cur *AutNum
+	// pending tracks half-built policies: neighbor -> *Policy.
+	var pending map[asn.ASN]*Policy
+	flush := func() {
+		if cur != nil {
+			db.Add(cur)
+		}
+		cur = nil
+		pending = nil
+	}
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		attr, value, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("rpsl: line %d: no attribute separator", lineno)
+		}
+		attr = strings.ToLower(strings.TrimSpace(attr))
+		value = strings.TrimSpace(value)
+		switch attr {
+		case "aut-num":
+			flush()
+			a, err := asn.Parse(value)
+			if err != nil {
+				return nil, fmt.Errorf("rpsl: line %d: %w", lineno, err)
+			}
+			cur = &AutNum{ASN: a}
+			pending = make(map[asn.ASN]*Policy)
+		case "as-name":
+			if cur != nil {
+				cur.Name = value
+			}
+		case "import", "export":
+			if cur == nil {
+				return nil, fmt.Errorf("rpsl: line %d: %s outside aut-num", lineno, attr)
+			}
+			nb, any, err := parsePolicyLine(attr, value)
+			if err != nil {
+				return nil, fmt.Errorf("rpsl: line %d: %w", lineno, err)
+			}
+			p := pending[nb]
+			if p == nil {
+				p = &Policy{Neighbor: nb}
+				pending[nb] = p
+				cur.Policies = append(cur.Policies, Policy{})
+				// placeholder; rewritten on flushPolicies below
+			}
+			if attr == "import" {
+				p.ImportAny = any
+			} else {
+				p.ExportAny = any
+			}
+			// Rewrite the object's policies from pending, keeping
+			// neighbor order stable by ASN.
+			cur.Policies = cur.Policies[:0]
+			nbs := make([]asn.ASN, 0, len(pending))
+			for n := range pending {
+				nbs = append(nbs, n)
+			}
+			sort.Slice(nbs, func(i, j int) bool { return nbs[i] < nbs[j] })
+			for _, n := range nbs {
+				cur.Policies = append(cur.Policies, *pending[n])
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rpsl: %w", err)
+	}
+	flush()
+	return db, nil
+}
+
+// parsePolicyLine handles "from ASx accept Y" / "to ASx announce Y".
+func parsePolicyLine(attr, value string) (asn.ASN, bool, error) {
+	fields := strings.Fields(value)
+	if len(fields) < 3 {
+		return 0, false, fmt.Errorf("short %s policy %q", attr, value)
+	}
+	kw1, kw2 := "from", "accept"
+	if attr == "export" {
+		kw1, kw2 = "to", "announce"
+	}
+	if !strings.EqualFold(fields[0], kw1) {
+		return 0, false, fmt.Errorf("%s policy must start with %q", attr, kw1)
+	}
+	nb, err := asn.Parse(fields[1])
+	if err != nil {
+		return 0, false, err
+	}
+	// The filter follows the accept/announce keyword; action clauses
+	// ("action pref=100;") may sit in between.
+	for i := 2; i+1 < len(fields); i++ {
+		if strings.EqualFold(fields[i], kw2) {
+			return nb, strings.EqualFold(fields[i+1], "ANY"), nil
+		}
+	}
+	// Bare form without the keyword: "from ASx ANY".
+	if len(fields) == 3 && !strings.EqualFold(fields[2], kw2) {
+		return nb, strings.EqualFold(fields[2], "ANY"), nil
+	}
+	return 0, false, fmt.Errorf("missing %s filter in %q", kw2, value)
+}

@@ -1,0 +1,219 @@
+package rpsl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/topogen"
+)
+
+func obj64500() *AutNum {
+	return &AutNum{
+		ASN:  64500,
+		Name: "EXAMPLE-NET",
+		Policies: []Policy{
+			{Neighbor: 3356, ImportAny: true, ExportAny: false},   // provider
+			{Neighbor: 64510, ImportAny: false, ExportAny: true},  // customer
+			{Neighbor: 64520, ImportAny: false, ExportAny: false}, // peer
+			{Neighbor: 64530, ImportAny: true, ExportAny: true},   // ambiguous
+		},
+	}
+}
+
+func TestAutNumRel(t *testing.T) {
+	o := obj64500()
+	r, ok := o.Rel(3356)
+	if !ok || r.Type != asgraph.P2C || r.Provider != 3356 {
+		t.Errorf("provider policy: %v %v", r, ok)
+	}
+	r, ok = o.Rel(64510)
+	if !ok || r.Type != asgraph.P2C || r.Provider != 64500 {
+		t.Errorf("customer policy: %v %v", r, ok)
+	}
+	r, ok = o.Rel(64520)
+	if !ok || r.Type != asgraph.P2P {
+		t.Errorf("peer policy: %v %v", r, ok)
+	}
+	if _, ok := o.Rel(64530); ok {
+		t.Error("ambiguous ANY/ANY policy produced a relationship")
+	}
+	if _, ok := o.Rel(9999); ok {
+		t.Error("undocumented neighbor produced a relationship")
+	}
+}
+
+func TestDatabaseRoundTrip(t *testing.T) {
+	db := NewDatabase()
+	db.Add(obj64500())
+	db.Add(&AutNum{ASN: 64510, Policies: []Policy{
+		{Neighbor: 64500, ImportAny: true},
+	}})
+
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, buf.String())
+	}
+	if got.Len() != 2 {
+		t.Fatalf("Len = %d", got.Len())
+	}
+	o, ok := got.Get(64500)
+	if !ok || o.Name != "EXAMPLE-NET" || len(o.Policies) != 4 {
+		t.Fatalf("object 64500 = %+v", o)
+	}
+	// Relationship reading survives the round trip.
+	r, ok := o.Rel(3356)
+	if !ok || r.Type != asgraph.P2C || r.Provider != 3356 {
+		t.Errorf("round-tripped provider = %v %v", r, ok)
+	}
+}
+
+func TestParseRealWorldFragment(t *testing.T) {
+	const in = `% RIPE-style comment
+aut-num: AS64500
+as-name: EXAMPLE
+import: from AS3356 action pref=100; accept ANY
+export: to AS3356 announce AS64500:AS-CUST
+mnt-by: EXAMPLE-MNT
+source: RIPE
+`
+	db, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, ok := db.Get(64500)
+	if !ok {
+		t.Fatal("object missing")
+	}
+	r, ok := o.Rel(3356)
+	if !ok || r.Type != asgraph.P2C || r.Provider != 3356 {
+		t.Errorf("rel = %v %v", r, ok)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"import: from AS1 accept ANY\n",               // outside aut-num
+		"aut-num: ASx\n",                              // bad ASN
+		"aut-num: AS1\nimport: garbage\n",             // short policy
+		"aut-num: AS1\nimport: toward AS2 accept X\n", // wrong keyword
+		"no separator line\n",
+	} {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+func TestGenerateAndExtract(t *testing.T) {
+	w, err := topogen.Generate(topogen.DefaultConfig(5).Scaled(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Register every transit AS.
+	var regs []asn.ASN
+	for _, a := range w.ASNs {
+		switch w.Type[a] {
+		case topogen.TypeLargeTransit, topogen.TypeSmallTransit:
+			regs = append(regs, a)
+		}
+	}
+	cfg := DefaultGenerateConfig(1)
+	cfg.StaleProb = 0 // exact in this test
+	db := Generate(w.Graph, regs, cfg)
+	if db.Len() == 0 {
+		t.Fatal("empty IRR")
+	}
+	snap := Extract(db)
+	if snap.Len() == 0 {
+		t.Fatal("no labels extracted")
+	}
+	// Without staleness, single-label entries must match ground truth
+	// (multi-label entries arise when both ends document and one side
+	// is stale — impossible here, but hybrid truth is not modelled in
+	// RPSL, so just skip multi-label).
+	wrong := 0
+	for _, l := range snap.Links() {
+		lbs := snap.Labels(l)
+		if len(lbs) != 1 {
+			continue
+		}
+		truth, ok := w.Graph.RelOn(l)
+		if !ok {
+			t.Fatalf("label for unknown link %v", l)
+		}
+		if truth.Type == asgraph.S2S {
+			continue // documented as ambiguous, never extracted
+		}
+		if lbs[0].Type != truth.Type ||
+			(truth.Type == asgraph.P2C && lbs[0].Provider != truth.Provider) {
+			wrong++
+		}
+	}
+	if wrong != 0 {
+		t.Errorf("%d labels disagree with ground truth despite zero staleness", wrong)
+	}
+}
+
+func TestGenerateStaleness(t *testing.T) {
+	w, err := topogen.Generate(topogen.DefaultConfig(6).Scaled(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regs []asn.ASN
+	for _, a := range w.ASNs {
+		if !w.Graph.IsStub(a) {
+			regs = append(regs, a)
+		}
+	}
+	cfg := DefaultGenerateConfig(2)
+	cfg.StaleProb = 0.5 // exaggerate for the test
+	db := Generate(w.Graph, regs, cfg)
+	snap := Extract(db)
+	wrong := 0
+	total := 0
+	for _, l := range snap.Links() {
+		lbs := snap.Labels(l)
+		if len(lbs) != 1 {
+			continue
+		}
+		truth, ok := w.Graph.RelOn(l)
+		if !ok || truth.Type == asgraph.S2S {
+			continue
+		}
+		total++
+		if lbs[0].Type != truth.Type ||
+			(truth.Type == asgraph.P2C && lbs[0].Provider != truth.Provider) {
+			wrong++
+		}
+	}
+	if total == 0 || wrong == 0 {
+		t.Errorf("staleness produced no wrong labels (%d/%d)", wrong, total)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w, err := topogen.Generate(topogen.DefaultConfig(7).Scaled(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultGenerateConfig(3)
+	db1 := Generate(w.Graph, w.ASNs, cfg)
+	db2 := Generate(w.Graph, w.ASNs, cfg)
+	var b1, b2 bytes.Buffer
+	if _, err := db1.WriteTo(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.WriteTo(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("IRR generation not deterministic")
+	}
+}

@@ -1,0 +1,204 @@
+// Package sampling implements the Appendix-A robustness experiment of
+// Prehn & Feldmann (IMC'21): uniformly sub-sample the validated links
+// of a class at rates from 50% to 99%, re-evaluate precision, recall
+// and MCC on each sample, and summarise each rate with median and
+// interquartile range over many repetitions. The paper uses the
+// experiment to show that evaluation performance does not correlate
+// with validation coverage.
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"breval/internal/asgraph"
+	"breval/internal/inference"
+	"breval/internal/metrics"
+	"breval/internal/validation"
+)
+
+// Config tunes the experiment; zero values select the paper's
+// parameters.
+type Config struct {
+	MinPct int   // default 50
+	MaxPct int   // default 99
+	Reps   int   // default 100
+	Seed   int64 // default 1
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinPct == 0 {
+		c.MinPct = 50
+	}
+	if c.MaxPct == 0 {
+		c.MaxPct = 99
+	}
+	if c.Reps == 0 {
+		c.Reps = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Stats summarises one metric across sample rates.
+type Stats struct {
+	Median, Q1, Q3 []float64
+}
+
+// Series is the experiment outcome: for each sampling percentage the
+// distribution summary of PPV_P (Fig. 4), TPR_P (Fig. 5) and MCC
+// (Fig. 6).
+type Series struct {
+	Pcts            []int
+	PPVP, TPRP, MCC Stats
+	// Eligible is the number of validated, classified links the
+	// experiment sampled from.
+	Eligible int
+}
+
+// sample is one pre-resolved (truth, prediction) pair.
+type sample struct {
+	truthP2P bool
+	predP2P  bool
+	p2cMatch bool // P2C prediction matching the truth's direction
+}
+
+// Run executes the experiment for the links accepted by filter.
+func Run(pred *inference.Result, truth *validation.Snapshot, filter metrics.LinkFilter, cfg Config) Series {
+	cfg = cfg.withDefaults()
+
+	var pool []sample
+	for _, l := range truth.Links() { // deterministic order
+		lbs := truth.Labels(l)
+		if len(lbs) != 1 {
+			continue
+		}
+		if filter != nil && !filter(l) {
+			continue
+		}
+		p, ok := pred.Rel(l)
+		if !ok {
+			continue
+		}
+		t := lbs[0]
+		pool = append(pool, sample{
+			truthP2P: t.Type == asgraph.P2P,
+			predP2P:  p.Type == asgraph.P2P,
+			p2cMatch: t.Type == asgraph.P2C && p.Type == asgraph.P2C && p.Provider == t.Provider,
+		})
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := Series{Eligible: len(pool)}
+	idx := make([]int, len(pool))
+	for i := range idx {
+		idx[i] = i
+	}
+
+	for pct := cfg.MinPct; pct <= cfg.MaxPct; pct++ {
+		n := len(pool) * pct / 100
+		if n == 0 {
+			continue
+		}
+		ppvs := make([]float64, 0, cfg.Reps)
+		tprs := make([]float64, 0, cfg.Reps)
+		mccs := make([]float64, 0, cfg.Reps)
+		for rep := 0; rep < cfg.Reps; rep++ {
+			// Partial Fisher-Yates: the first n entries of idx are a
+			// uniform sample without replacement.
+			for i := 0; i < n; i++ {
+				j := i + rng.Intn(len(idx)-i)
+				idx[i], idx[j] = idx[j], idx[i]
+			}
+			var c metrics.Confusion
+			for _, k := range idx[:n] {
+				s := pool[k]
+				switch {
+				case s.truthP2P && s.predP2P:
+					c.TP++
+				case s.truthP2P:
+					c.FN++
+				case s.predP2P:
+					c.FP++
+				default:
+					c.TN++
+				}
+			}
+			if v := c.PPV(); !math.IsNaN(v) {
+				ppvs = append(ppvs, v)
+			}
+			if v := c.TPR(); !math.IsNaN(v) {
+				tprs = append(tprs, v)
+			}
+			mccs = append(mccs, c.MCC())
+		}
+		out.Pcts = append(out.Pcts, pct)
+		appendStats(&out.PPVP, ppvs)
+		appendStats(&out.TPRP, tprs)
+		appendStats(&out.MCC, mccs)
+	}
+	return out
+}
+
+func appendStats(s *Stats, vals []float64) {
+	m, q1, q3 := quartiles(vals)
+	s.Median = append(s.Median, m)
+	s.Q1 = append(s.Q1, q1)
+	s.Q3 = append(s.Q3, q3)
+}
+
+// quartiles returns the median and the first/third quartiles using
+// linear interpolation; NaN for empty input.
+func quartiles(vals []float64) (median, q1, q3 float64) {
+	if len(vals) == 0 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	return quantile(s, 0.5), quantile(s, 0.25), quantile(s, 0.75)
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// TrendSlope fits a least-squares line through (pct, median) and
+// returns its slope — the paper's "neither increasing nor decreasing
+// trend" check reduces to this being ~0.
+func TrendSlope(pcts []int, medians []float64) float64 {
+	n := 0
+	var sx, sy, sxx, sxy float64
+	for i := range pcts {
+		if math.IsNaN(medians[i]) {
+			continue
+		}
+		x := float64(pcts[i])
+		sx += x
+		sy += medians[i]
+		sxx += x * x
+		sxy += x * medians[i]
+		n++
+	}
+	if n < 2 {
+		return 0
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (fn*sxy - sx*sy) / den
+}

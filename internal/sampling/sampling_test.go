@@ -1,0 +1,159 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/inference"
+	"breval/internal/validation"
+)
+
+// fixture builds a validation set + prediction with known precision:
+// 80 true P2P (64 predicted P2P, 16 predicted P2C) and 120 true P2C
+// (110 correct, 10 predicted P2P). PPV_P = 64/74, TPR_P = 64/80.
+func fixture() (*inference.Result, *validation.Snapshot) {
+	pred := inference.NewResult("t", 200)
+	truth := validation.NewSnapshot()
+	next := asn.ASN(1)
+	add := func(tl validation.Label, pr asgraph.Rel) {
+		a, b := next, next+1
+		next += 2
+		l := asgraph.NewLink(a, b)
+		if tl.Type == asgraph.P2C {
+			tl.Provider = a
+		}
+		if pr.Type == asgraph.P2C {
+			pr.Provider = a
+		}
+		truth.Add(l, tl)
+		pred.Set(l, pr)
+	}
+	for i := 0; i < 64; i++ {
+		add(validation.Label{Type: asgraph.P2P}, asgraph.P2PRel())
+	}
+	for i := 0; i < 16; i++ {
+		add(validation.Label{Type: asgraph.P2P}, asgraph.P2CRel(0))
+	}
+	for i := 0; i < 110; i++ {
+		add(validation.Label{Type: asgraph.P2C}, asgraph.P2CRel(0))
+	}
+	for i := 0; i < 10; i++ {
+		add(validation.Label{Type: asgraph.P2C}, asgraph.P2PRel())
+	}
+	return pred, truth
+}
+
+func TestRunBasics(t *testing.T) {
+	pred, truth := fixture()
+	s := Run(pred, truth, nil, Config{Reps: 40, Seed: 7})
+	if s.Eligible != 200 {
+		t.Fatalf("Eligible = %d", s.Eligible)
+	}
+	if len(s.Pcts) != 50 {
+		t.Fatalf("got %d percentages, want 50", len(s.Pcts))
+	}
+	if s.Pcts[0] != 50 || s.Pcts[len(s.Pcts)-1] != 99 {
+		t.Errorf("pct range = %d..%d", s.Pcts[0], s.Pcts[len(s.Pcts)-1])
+	}
+	// The full-set values: PPV_P = 64/74, TPR_P = 64/80.
+	wantPPV, wantTPR := 64.0/74, 64.0/80
+	for i := range s.Pcts {
+		if math.Abs(s.PPVP.Median[i]-wantPPV) > 0.08 {
+			t.Errorf("pct %d: PPVP median %.3f, want ~%.3f", s.Pcts[i], s.PPVP.Median[i], wantPPV)
+		}
+		if math.Abs(s.TPRP.Median[i]-wantTPR) > 0.08 {
+			t.Errorf("pct %d: TPRP median %.3f, want ~%.3f", s.Pcts[i], s.TPRP.Median[i], wantTPR)
+		}
+		if s.PPVP.Q1[i] > s.PPVP.Median[i] || s.PPVP.Median[i] > s.PPVP.Q3[i] {
+			t.Errorf("pct %d: quartiles out of order", s.Pcts[i])
+		}
+	}
+}
+
+func TestRunNoTrendOnUniformData(t *testing.T) {
+	// The paper's Appendix-A claim: the metric medians carry no trend
+	// in sample size.
+	pred, truth := fixture()
+	s := Run(pred, truth, nil, Config{Reps: 60, Seed: 3})
+	for name, medians := range map[string][]float64{
+		"PPVP": s.PPVP.Median, "TPRP": s.TPRP.Median, "MCC": s.MCC.Median,
+	} {
+		slope := TrendSlope(s.Pcts, medians)
+		if math.Abs(slope) > 0.001 {
+			t.Errorf("%s: slope %.5f, want ~0", name, slope)
+		}
+	}
+}
+
+func TestRunVarianceShrinksWithSampleSize(t *testing.T) {
+	pred, truth := fixture()
+	s := Run(pred, truth, nil, Config{Reps: 80, Seed: 5})
+	first, last := 0, len(s.Pcts)-1
+	iqrFirst := s.PPVP.Q3[first] - s.PPVP.Q1[first]
+	iqrLast := s.PPVP.Q3[last] - s.PPVP.Q1[last]
+	if iqrLast > iqrFirst {
+		t.Errorf("IQR at 99%% (%.4f) larger than at 50%% (%.4f)", iqrLast, iqrFirst)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	pred, truth := fixture()
+	s1 := Run(pred, truth, nil, Config{Reps: 10, Seed: 9})
+	s2 := Run(pred, truth, nil, Config{Reps: 10, Seed: 9})
+	for i := range s1.Pcts {
+		if s1.PPVP.Median[i] != s2.PPVP.Median[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestRunWithFilterAndEmptyPool(t *testing.T) {
+	pred, truth := fixture()
+	s := Run(pred, truth, func(asgraph.Link) bool { return false }, Config{Reps: 5})
+	if s.Eligible != 0 || len(s.Pcts) != 0 {
+		t.Errorf("empty pool: %+v", s)
+	}
+}
+
+func TestRunSkipsMultiLabelAndUncovered(t *testing.T) {
+	pred := inference.NewResult("t", 2)
+	truth := validation.NewSnapshot()
+	ml := asgraph.NewLink(1, 2)
+	truth.Add(ml, validation.Label{Type: asgraph.P2P})
+	truth.Add(ml, validation.Label{Type: asgraph.P2C, Provider: 1})
+	pred.Set(ml, asgraph.P2PRel())
+	truth.Add(asgraph.NewLink(3, 4), validation.Label{Type: asgraph.P2P}) // not predicted
+	s := Run(pred, truth, nil, Config{Reps: 2})
+	if s.Eligible != 0 {
+		t.Errorf("Eligible = %d, want 0", s.Eligible)
+	}
+}
+
+func TestQuartiles(t *testing.T) {
+	m, q1, q3 := quartiles([]float64{1, 2, 3, 4, 5})
+	if m != 3 || q1 != 2 || q3 != 4 {
+		t.Errorf("quartiles = %v %v %v", m, q1, q3)
+	}
+	m, _, _ = quartiles([]float64{7})
+	if m != 7 {
+		t.Errorf("single-element median = %v", m)
+	}
+	m, _, _ = quartiles(nil)
+	if !math.IsNaN(m) {
+		t.Errorf("empty median = %v", m)
+	}
+}
+
+func TestTrendSlope(t *testing.T) {
+	if got := TrendSlope([]int{1, 2, 3}, []float64{2, 4, 6}); math.Abs(got-2) > 1e-9 {
+		t.Errorf("slope = %v, want 2", got)
+	}
+	if got := TrendSlope([]int{1, 2}, []float64{math.NaN(), 5}); got != 0 {
+		t.Errorf("slope with one point = %v", got)
+	}
+	if got := TrendSlope(nil, nil); got != 0 {
+		t.Errorf("empty slope = %v", got)
+	}
+}

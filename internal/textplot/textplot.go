@@ -1,0 +1,178 @@
+// Package textplot renders the study's tables, bar pairs and heatmaps
+// as plain text for terminals, logs and EXPERIMENTS.md.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders rows of cells with left-aligned headers and
+// right-aligned data columns, separated by two spaces.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string, leftAlignFirst bool) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := widths[i] - len([]rune(c))
+			if i == 0 && leftAlignFirst {
+				b.WriteString(c)
+				b.WriteString(strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers, true)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep, true)
+	for _, row := range rows {
+		writeRow(row, true)
+	}
+	return b.String()
+}
+
+// BarPairs renders the Figure 1/2 style plot: for every class a share
+// bar (top) and a coverage bar (bottom).
+func BarPairs(classes []string, shares, coverages []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	nameW := 0
+	for _, c := range classes {
+		if len([]rune(c)) > nameW {
+			nameW = len([]rune(c))
+		}
+	}
+	var b strings.Builder
+	for i, c := range classes {
+		pad := strings.Repeat(" ", nameW-len([]rune(c)))
+		fmt.Fprintf(&b, "%s%s  share %5.2f %s\n", c, pad, shares[i], bar(shares[i], width))
+		fmt.Fprintf(&b, "%s  cover %5.2f %s\n", strings.Repeat(" ", nameW), coverages[i], bar(coverages[i], width))
+	}
+	return b.String()
+}
+
+func bar(v float64, width int) string {
+	if math.IsNaN(v) || v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	n := int(v*float64(width) + 0.5)
+	return strings.Repeat("#", n)
+}
+
+// heatShades orders the shading characters from empty to dense.
+var heatShades = []rune(" .:-=+*#%@")
+
+// Heatmap renders a 2-D fraction matrix (rows indexed bottom-up: row 0
+// is printed last) with log-scaled shading, one character per cell.
+func Heatmap(frac [][]float64, title string) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	maxv := 0.0
+	for _, row := range frac {
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+	}
+	for y := len(frac) - 1; y >= 0; y-- {
+		b.WriteByte('|')
+		for _, v := range frac[y] {
+			b.WriteRune(shade(v, maxv))
+		}
+		b.WriteString("|\n")
+	}
+	if len(frac) > 0 {
+		b.WriteByte('+')
+		b.WriteString(strings.Repeat("-", len(frac[0])))
+		b.WriteString("+\n")
+	}
+	return b.String()
+}
+
+func shade(v, maxv float64) rune {
+	if v <= 0 || maxv <= 0 {
+		return heatShades[0]
+	}
+	// Log scale between maxv/1e4 and maxv.
+	lo := maxv / 1e4
+	if v < lo {
+		v = lo
+	}
+	f := math.Log(v/lo) / math.Log(maxv/lo)
+	idx := 1 + int(f*float64(len(heatShades)-2)+0.5)
+	if idx >= len(heatShades) {
+		idx = len(heatShades) - 1
+	}
+	if idx < 1 {
+		idx = 1
+	}
+	return heatShades[idx]
+}
+
+// MedianIQR renders an Appendix-A style series: per x value the median
+// and interquartile range.
+func MedianIQR(xs []int, medians, q1s, q3s []float64, caption string) string {
+	var b strings.Builder
+	if caption != "" {
+		b.WriteString(caption)
+		b.WriteByte('\n')
+	}
+	for i, x := range xs {
+		fmt.Fprintf(&b, "%3d%%  median %.4f  IQR [%.4f, %.4f]\n", x, medians[i], q1s[i], q3s[i])
+	}
+	return b.String()
+}
+
+// Fmt3 formats a metric with three decimals, rendering NaN as "-".
+func Fmt3(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// DeltaMark annotates a metrics.Delta-style classification with the
+// paper's colour letters: "+" green, "" neutral, "y"/"o"/"r" for
+// yellow/orange/red.
+func DeltaMark(d int) string {
+	switch {
+	case d > 0:
+		return "+"
+	case d == 0:
+		return ""
+	case d == -1:
+		return "y"
+	case d == -2:
+		return "o"
+	default:
+		return "r"
+	}
+}

@@ -1,0 +1,104 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"Class", "PPV", "TPR"}, [][]string{
+		{"Total°", "0.982", "0.990"},
+		{"T1-TR", "0.839", "0.955"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Class") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "Total°") || !strings.Contains(lines[2], "0.982") {
+		t.Errorf("row: %q", lines[2])
+	}
+	// All rows align to the same width.
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("separator width %d != header width %d", len(lines[1]), len(lines[0]))
+	}
+}
+
+func TestBarPairs(t *testing.T) {
+	out := BarPairs([]string{"R°", "AR-L"}, []float64{0.39, 0.02}, []float64{0.15, 0.18}, 20)
+	if !strings.Contains(out, "share  0.39") || !strings.Contains(out, "cover  0.15") {
+		t.Errorf("output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// Bars scale with value.
+	if strings.Count(lines[0], "#") <= strings.Count(lines[2], "#") {
+		t.Error("larger share should have longer bar")
+	}
+}
+
+func TestBarPairsClamping(t *testing.T) {
+	out := BarPairs([]string{"X"}, []float64{1.7}, []float64{math.NaN()}, 10)
+	if strings.Count(out, "#") != 10 {
+		t.Errorf("overlong bar not clamped:\n%s", out)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	frac := [][]float64{
+		{0.5, 0.2},
+		{0.0, 0.0001},
+	}
+	out := Heatmap(frac, "test map")
+	if !strings.HasPrefix(out, "test map\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 2 rows + axis = 4 lines; rows render bottom-up.
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	bottom := lines[2] // frac[0] printed last before axis
+	if bottom[1] == ' ' {
+		t.Error("dense cell rendered empty")
+	}
+	if !strings.HasPrefix(lines[3], "+--") {
+		t.Errorf("axis line: %q", lines[3])
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	if out := Heatmap(nil, ""); out != "" {
+		t.Errorf("empty heatmap: %q", out)
+	}
+}
+
+func TestMedianIQR(t *testing.T) {
+	out := MedianIQR([]int{50, 51}, []float64{0.84, 0.85}, []float64{0.83, 0.84}, []float64{0.85, 0.86}, "fig4")
+	if !strings.Contains(out, "fig4") || !strings.Contains(out, "50%") ||
+		!strings.Contains(out, "median 0.8400") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestFmt3(t *testing.T) {
+	if Fmt3(0.98345) != "0.983" {
+		t.Errorf("Fmt3 = %q", Fmt3(0.98345))
+	}
+	if Fmt3(math.NaN()) != "-" {
+		t.Errorf("NaN = %q", Fmt3(math.NaN()))
+	}
+}
+
+func TestDeltaMark(t *testing.T) {
+	for d, want := range map[int]string{2: "+", 1: "+", 0: "", -1: "y", -2: "o", -3: "r", -5: "r"} {
+		if got := DeltaMark(d); got != want {
+			t.Errorf("DeltaMark(%d) = %q, want %q", d, got, want)
+		}
+	}
+}

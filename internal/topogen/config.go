@@ -1,0 +1,309 @@
+// Package topogen generates seeded synthetic Internet topologies:
+// a Tier-1 clique, a regional transit hierarchy, stub networks,
+// hypergiants, IXP-mediated peering, sibling organisations, and
+// partial-transit arrangements. The generated world also carries the
+// registry-side artefacts (IANA block registry, RIR delegation files,
+// AS-to-Org table) and the measurement-side roles (route-collector
+// vantage points, BGP-community publishers) the validation-bias
+// pipeline of Prehn & Feldmann (IMC'21) needs.
+//
+// The generator substitutes for the proprietary April-2018 BGP and
+// registry data the paper uses; its knobs are calibrated so the
+// *distribution* of inferred links across regional and topological
+// classes matches the paper's Figures 1-3 (see DESIGN.md).
+package topogen
+
+import (
+	"breval/internal/registry"
+)
+
+// ASType is the generator-assigned role of an AS. The evaluation
+// pipeline never reads these directly — it re-derives stub/transit
+// from customer cones like the paper does — but examples and tests use
+// them, and the generator's wiring decisions depend on them.
+type ASType uint8
+
+// Generator roles.
+const (
+	TypeStub ASType = iota
+	TypeSmallTransit
+	TypeLargeTransit
+	TypeTier1
+	TypeHypergiant
+)
+
+// String implements fmt.Stringer.
+func (t ASType) String() string {
+	switch t {
+	case TypeStub:
+		return "stub"
+	case TypeSmallTransit:
+		return "small-transit"
+	case TypeLargeTransit:
+		return "large-transit"
+	case TypeTier1:
+		return "tier1"
+	case TypeHypergiant:
+		return "hypergiant"
+	}
+	return "unknown"
+}
+
+// Config holds all generator knobs. DefaultConfig returns the
+// calibrated defaults; tests use smaller worlds via Scaled.
+type Config struct {
+	Seed    int64
+	NumASes int
+
+	// RegionShare is the fraction of ASes homed in each region,
+	// indexed by registry.Region. Entries must sum to ~1 over the five
+	// real regions.
+	RegionShare map[registry.Region]float64
+
+	// CliqueSize is the number of Tier-1 (provider-free) ASes.
+	CliqueSize int
+	// CliqueRegions distributes clique members over regions; counts
+	// must sum to CliqueSize.
+	CliqueRegions map[registry.Region]int
+
+	// NumHypergiants is the number of hypergiant content networks.
+	NumHypergiants int
+
+	// LargeTransitFrac and SmallTransitFrac are fractions of NumASes.
+	LargeTransitFrac float64
+	SmallTransitFrac float64
+
+	// Provider-count ranges (inclusive) per customer type.
+	StubProviderMin, StubProviderMax       int
+	TransitProviderMin, TransitProviderMax int
+
+	// IntraRegionProviderProb is the probability a stub's provider is
+	// chosen from its own region; TransitIntraRegionProb the same for
+	// transit customers (international transit is common).
+	IntraRegionProviderProb float64
+	TransitIntraRegionProb  float64
+
+	// StubT1ProviderFrac and StubLTProviderFrac control which tier a
+	// stub buys from: Tier-1 with StubT1ProviderFrac, large transit
+	// with StubLTProviderFrac, small transit otherwise.
+	StubT1ProviderFrac float64
+	StubLTProviderFrac float64
+
+	// T1TransitPeerProb is the probability that a given (Tier-1,
+	// large-transit) pair maintains a settlement-free peering — the
+	// true-P2P part of the paper's T1-TR class.
+	T1TransitPeerProb float64
+
+	// NumIXPs is the number of IXPs; members are drawn from the IXP's
+	// region. RemoteMemberProb is the per-AS probability of remote
+	// peering: joining one fabric outside the home region.
+	NumIXPs          int
+	RemoteMemberProb float64
+
+	// PeerProb holds the base probability that two co-located IXP
+	// members of the given types establish a P2P session; the pair
+	// probability is the product of both endpoints' base values,
+	// scaled by the IXP region's OpenPeeringBoost.
+	PeerProb map[ASType]float64
+
+	// OpenPeeringBoost scales peering probability per IXP region
+	// (LACNIC's IX.br-style fabrics are far more open than average).
+	OpenPeeringBoost map[registry.Region]float64
+
+	// HypergiantT1PeerProb and HypergiantTransitPeerProb control
+	// direct (PNI) peering of hypergiants.
+	HypergiantT1PeerProb      float64
+	HypergiantTransitPeerProb float64
+
+	// NumSpecialStubs is the number of research/anycast-DNS/CDN/cloud
+	// stubs that peer directly with Tier-1s (the S-T1 P2P class of
+	// §6; see Table 1's S-T1 row).
+	NumSpecialStubs int
+	// SpecialStubT1Peers is how many Tier-1s each special stub peers
+	// with.
+	SpecialStubT1Peers int
+
+	// SiblingOrgs is the number of multi-AS organisations;
+	// SiblingOrgMax is the max ASNs per such organisation.
+	SiblingOrgs   int
+	SiblingOrgMax int
+
+	// PartialTransitT1s is how many Tier-1s sell partial transit;
+	// the first of them is "heavy" (PartialTransitHeavyProb of its
+	// transit customers), the rest use PartialTransitLightProb.
+	// This reproduces the Cogent-dominated target-link skew of §6.1.
+	PartialTransitT1s       int
+	PartialTransitHeavyProb float64
+	PartialTransitLightProb float64
+
+	// VPProb is the probability an AS of the given type hosts a route
+	// collector session (is a vantage point), further scaled by
+	// VPRegionBoost for its region. Clique members are always VPs.
+	VPProb        map[ASType]float64
+	VPRegionBoost map[registry.Region]float64
+
+	// PublishProb is the probability an AS of the given type
+	// publishes a relationship-encoding BGP community dictionary,
+	// scaled by PublishRegionBoost. This is the principal bias knob:
+	// validation labels can only come from publishers.
+	PublishProb        map[ASType]float64
+	PublishRegionBoost map[registry.Region]float64
+
+	// IRRMaintainerProb is the per-region probability that an AS
+	// keeps an aut-num object with routing policies in an IRR — the
+	// Luckie et al. source-(ii) population. European networks
+	// document heavily (RIPE requires it), ARIN networks rarely do.
+	IRRMaintainerProb map[registry.Region]float64
+
+	// StripProb is the probability an AS strips foreign communities
+	// on export (tags set below it never reach a collector through
+	// it). Tier-1s rarely strip.
+	StripProb      float64
+	StripProbTier1 float64
+
+	// TransferFrac is the fraction of ASNs transferred between
+	// regions after the initial IANA assignment, so the delegation
+	// refinement step of §5 has work to do.
+	TransferFrac float64
+
+	// HybridLinkCount is the number of peering links flagged as
+	// hybrid (relationship differs per PoP); they yield multi-label
+	// validation entries (§4.2).
+	HybridLinkCount int
+}
+
+// DefaultConfig returns the calibrated default configuration
+// (~8000 ASes). See DESIGN.md §2 for the calibration targets.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:    seed,
+		NumASes: 8000,
+		RegionShare: map[registry.Region]float64{
+			registry.AFRINIC: 0.035,
+			registry.APNIC:   0.150,
+			registry.ARIN:    0.210,
+			registry.LACNIC:  0.165,
+			registry.RIPE:    0.440,
+		},
+		CliqueSize: 16,
+		CliqueRegions: map[registry.Region]int{
+			registry.ARIN:  8,
+			registry.RIPE:  6,
+			registry.APNIC: 2,
+		},
+		NumHypergiants:   15,
+		LargeTransitFrac: 0.070,
+		SmallTransitFrac: 0.120,
+
+		StubProviderMin: 1, StubProviderMax: 2,
+		TransitProviderMin: 1, TransitProviderMax: 3,
+		IntraRegionProviderProb: 0.93,
+		TransitIntraRegionProb:  0.72,
+		StubT1ProviderFrac:      0.13,
+		StubLTProviderFrac:      0.30,
+		T1TransitPeerProb:       0.035,
+
+		NumIXPs:          44,
+		RemoteMemberProb: 0.17,
+		PeerProb: map[ASType]float64{
+			TypeStub:         0.20,
+			TypeSmallTransit: 0.38,
+			TypeLargeTransit: 0.26,
+			TypeTier1:        0.02,
+			TypeHypergiant:   0.60,
+		},
+		OpenPeeringBoost: map[registry.Region]float64{
+			registry.AFRINIC: 1.0,
+			registry.APNIC:   0.8,
+			registry.ARIN:    0.6,
+			registry.LACNIC:  2.6,
+			registry.RIPE:    1.0,
+		},
+		HypergiantT1PeerProb:      0.15,
+		HypergiantTransitPeerProb: 0.04,
+
+		NumSpecialStubs:    10,
+		SpecialStubT1Peers: 2,
+
+		SiblingOrgs:   90,
+		SiblingOrgMax: 3,
+
+		PartialTransitT1s:       4,
+		PartialTransitHeavyProb: 0.55,
+		PartialTransitLightProb: 0.09,
+
+		VPProb: map[ASType]float64{
+			TypeStub:         0.010,
+			TypeSmallTransit: 0.16,
+			TypeLargeTransit: 0.55,
+			TypeTier1:        1.0,
+			TypeHypergiant:   0.1,
+		},
+		VPRegionBoost: map[registry.Region]float64{
+			registry.AFRINIC: 0.4,
+			registry.APNIC:   0.6,
+			registry.ARIN:    1.0,
+			registry.LACNIC:  0.9, // IX.br-hosted collectors
+			registry.RIPE:    1.3,
+		},
+
+		PublishProb: map[ASType]float64{
+			TypeStub:         0.0,
+			TypeSmallTransit: 0.02,
+			TypeLargeTransit: 0.50,
+			TypeTier1:        0.95,
+			TypeHypergiant:   0.15,
+		},
+		PublishRegionBoost: map[registry.Region]float64{
+			registry.AFRINIC: 0.03,
+			registry.APNIC:   0.30,
+			registry.ARIN:    0.85,
+			registry.LACNIC:  0.0, // nobody in LACNIC publishes encodings
+			registry.RIPE:    0.45,
+		},
+		IRRMaintainerProb: map[registry.Region]float64{
+			registry.AFRINIC: 0.30,
+			registry.APNIC:   0.35,
+			registry.ARIN:    0.12,
+			registry.LACNIC:  0.20,
+			registry.RIPE:    0.60,
+		},
+
+		StripProb:      0.15,
+		StripProbTier1: 0.04,
+
+		TransferFrac:    0.012,
+		HybridLinkCount: 60,
+	}
+}
+
+// Scaled returns a copy of c resized to n ASes with structural counts
+// scaled proportionally (minimums keep tiny worlds functional).
+func (c Config) Scaled(n int) Config {
+	f := float64(n) / float64(c.NumASes)
+	c.NumASes = n
+	scale := func(v int, min int) int {
+		s := int(float64(v) * f)
+		if s < min {
+			s = min
+		}
+		return s
+	}
+	c.CliqueSize = scale(c.CliqueSize, 4)
+	c.NumHypergiants = scale(c.NumHypergiants, 2)
+	c.NumIXPs = scale(c.NumIXPs, 5)
+	c.NumSpecialStubs = scale(c.NumSpecialStubs, 4)
+	c.SiblingOrgs = scale(c.SiblingOrgs, 3)
+	c.HybridLinkCount = scale(c.HybridLinkCount, 3)
+	c.PartialTransitT1s = scale(c.PartialTransitT1s, 1)
+	// Re-derive clique regions for the smaller clique.
+	ar := c.CliqueSize / 2
+	r := c.CliqueSize - ar - c.CliqueSize/8
+	ap := c.CliqueSize - ar - r
+	c.CliqueRegions = map[registry.Region]int{
+		registry.ARIN:  ar,
+		registry.RIPE:  r,
+		registry.APNIC: ap,
+	}
+	return c
+}

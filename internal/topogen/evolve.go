@@ -1,0 +1,207 @@
+package topogen
+
+import (
+	"math/rand"
+	"sort"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+)
+
+// EvolveConfig controls one evolution step (one "month") of the
+// routing ecosystem. §7 of the paper argues that the ecosystem's
+// continuous change can be exploited to over-sample validation data;
+// the validation snapshots the paper received span 2014-2018 exactly
+// because relationships churn.
+type EvolveConfig struct {
+	Seed int64
+	// PeeringChurnFrac is the fraction of existing P2P links replaced
+	// per step: each removed peering is matched by a new one between
+	// co-located IXP members.
+	PeeringChurnFrac float64
+	// ProviderChurnFrac is the fraction of customers that switch one
+	// provider per step (the old P2C link disappears, a new one to a
+	// different provider of the same tier appears).
+	ProviderChurnFrac float64
+	// RelFlipFrac is the fraction of links whose relationship type
+	// flips per step: a customer upgrading to settlement-free peering
+	// or a peer becoming a customer.
+	RelFlipFrac float64
+}
+
+// DefaultEvolveConfig returns monthly churn rates in line with
+// longitudinal AS-topology studies (a few percent of links per month).
+func DefaultEvolveConfig(seed int64) EvolveConfig {
+	return EvolveConfig{
+		Seed:              seed,
+		PeeringChurnFrac:  0.03,
+		ProviderChurnFrac: 0.015,
+		RelFlipFrac:       0.004,
+	}
+}
+
+// ChangeSet records what one evolution step did.
+type ChangeSet struct {
+	RemovedPeerings  []asgraph.Link
+	AddedPeerings    []asgraph.Link
+	ProviderSwitches []asgraph.Link // the new P2C links
+	Flips            []asgraph.Link // links whose type flipped
+}
+
+// Total returns the number of changes.
+func (c ChangeSet) Total() int {
+	return len(c.RemovedPeerings) + len(c.AddedPeerings) +
+		len(c.ProviderSwitches) + len(c.Flips)
+}
+
+// Evolve mutates the world's graph by one step and returns the change
+// set. Region assignments, measurement roles and registry artefacts
+// stay fixed (monthly churn does not re-home networks); only the
+// relationship fabric moves. Evolution is deterministic in cfg.Seed
+// and can be chained by bumping the seed per step.
+func Evolve(w *World, cfg EvolveConfig) ChangeSet {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var cs ChangeSet
+	g := w.Graph
+
+	// Collect the mutable link pools.
+	var peerings []asgraph.Link
+	var transits []asgraph.Link // plain P2C, not partial, not clique-internal
+	clique := w.CliqueSet()
+	g.ForEachRel(func(l asgraph.Link, r asgraph.Rel) {
+		switch r.Type {
+		case asgraph.P2P:
+			if !clique[l.A] || !clique[l.B] { // never unravel the clique mesh
+				peerings = append(peerings, l)
+			}
+		case asgraph.P2C:
+			if !r.PartialTransit && !r.Hybrid {
+				transits = append(transits, l)
+			}
+		}
+	})
+	sortLinks(peerings)
+	sortLinks(transits)
+
+	// 1. Peering churn: drop k peerings, add k new ones at IXPs.
+	k := int(cfg.PeeringChurnFrac * float64(len(peerings)))
+	for i := 0; i < k && len(peerings) > 0; i++ {
+		idx := rng.Intn(len(peerings))
+		l := peerings[idx]
+		peerings = append(peerings[:idx], peerings[idx+1:]...)
+		g.Remove(l)
+		cs.RemovedPeerings = append(cs.RemovedPeerings, l)
+	}
+	for i := 0; i < k && len(w.IXPs) > 0; i++ {
+		ixp := w.IXPs[rng.Intn(len(w.IXPs))]
+		if len(ixp.Members) < 2 {
+			continue
+		}
+		a := ixp.Members[rng.Intn(len(ixp.Members))]
+		b := ixp.Members[rng.Intn(len(ixp.Members))]
+		if a == b {
+			continue
+		}
+		if _, ok := g.Rel(a, b); ok {
+			continue
+		}
+		g.MustSetRel(a, b, asgraph.P2PRel())
+		cs.AddedPeerings = append(cs.AddedPeerings, asgraph.NewLink(a, b))
+	}
+
+	// 2. Provider switches: the customer leaves one provider for
+	// another AS of the same generator tier (same region pool).
+	k = int(cfg.ProviderChurnFrac * float64(len(transits)))
+	for i := 0; i < k && len(transits) > 0; i++ {
+		idx := rng.Intn(len(transits))
+		l := transits[idx]
+		transits = append(transits[:idx], transits[idx+1:]...)
+		r, ok := g.RelOn(l)
+		if !ok || r.Type != asgraph.P2C {
+			continue
+		}
+		old := r.Provider
+		cust := l.Other(old)
+		// Candidate providers: same type and region as the old one.
+		cands := w.sameTierProviders(old)
+		if len(cands) == 0 {
+			continue
+		}
+		nw := cands[rng.Intn(len(cands))]
+		if nw == old || nw == cust {
+			continue
+		}
+		if _, exists := g.Rel(nw, cust); exists {
+			continue
+		}
+		// Keep the customer connected: only drop the old link after
+		// the new one exists, and never orphan a single-homed
+		// customer of its last provider before adding the new one.
+		g.MustSetRel(nw, cust, asgraph.P2CRel(nw))
+		g.Remove(l)
+		cs.ProviderSwitches = append(cs.ProviderSwitches, asgraph.NewLink(nw, cust))
+	}
+
+	// 3. Relationship flips: P2C -> P2P (a customer grew into a peer)
+	// and P2P -> P2C (a peer started buying transit).
+	k = int(cfg.RelFlipFrac * float64(g.NumLinks()))
+	links := g.Links()
+	for i := 0; i < k && len(links) > 0; i++ {
+		l := links[rng.Intn(len(links))]
+		r, ok := g.RelOn(l)
+		if !ok || r.Hybrid || r.PartialTransit {
+			continue
+		}
+		switch r.Type {
+		case asgraph.P2C:
+			// Only flip if the customer keeps another provider.
+			cust := l.Other(r.Provider)
+			if len(g.Providers(cust)) < 2 || clique[cust] {
+				continue
+			}
+			g.MustSetRel(l.A, l.B, asgraph.P2PRel())
+			cs.Flips = append(cs.Flips, l)
+		case asgraph.P2P:
+			if clique[l.A] && clique[l.B] {
+				continue
+			}
+			// The bigger side becomes the provider; a clique member
+			// always does (Tier-1s never buy transit).
+			p := l.A
+			if w.Graph.Degree(l.B) > w.Graph.Degree(l.A) {
+				p = l.B
+			}
+			if clique[l.A] {
+				p = l.A
+			} else if clique[l.B] {
+				p = l.B
+			}
+			g.MustSetRel(l.A, l.B, asgraph.P2CRel(p))
+			cs.Flips = append(cs.Flips, l)
+		}
+	}
+	return cs
+}
+
+// sameTierProviders lists ASes of the same generator type and region
+// as the given provider.
+func (w *World) sameTierProviders(p asn.ASN) []asn.ASN {
+	t := w.Type[p]
+	r := w.Region[p]
+	var out []asn.ASN
+	for _, a := range w.ASNs {
+		if w.Type[a] == t && w.Region[a] == r {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func sortLinks(s []asgraph.Link) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].A != s[j].A {
+			return s[i].A < s[j].A
+		}
+		return s[i].B < s[j].B
+	})
+}

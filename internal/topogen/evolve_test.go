@@ -1,0 +1,74 @@
+package topogen
+
+import (
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+)
+
+func TestEvolveDeterministicAndBounded(t *testing.T) {
+	w1 := smallWorld(t, 21)
+	w2 := smallWorld(t, 21)
+	cs1 := Evolve(w1, DefaultEvolveConfig(5))
+	cs2 := Evolve(w2, DefaultEvolveConfig(5))
+	if cs1.Total() != cs2.Total() {
+		t.Fatalf("change counts differ: %d vs %d", cs1.Total(), cs2.Total())
+	}
+	if cs1.Total() == 0 {
+		t.Fatal("no changes applied")
+	}
+	l1, l2 := w1.Graph.Links(), w2.Graph.Links()
+	if len(l1) != len(l2) {
+		t.Fatal("evolved graphs differ in size")
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("link %d differs", i)
+		}
+	}
+}
+
+func TestEvolvePreservesInvariants(t *testing.T) {
+	w := smallWorld(t, 22)
+	clique := w.CliqueSet()
+	for m := 0; m < 5; m++ {
+		Evolve(w, DefaultEvolveConfig(int64(100+m)))
+	}
+	// Clique mesh intact and provider-free.
+	for i, a := range w.Clique {
+		if len(w.Graph.Providers(a)) != 0 {
+			t.Errorf("clique member %d gained providers %v", a, w.Graph.Providers(a))
+		}
+		for _, b := range w.Clique[i+1:] {
+			if r, ok := w.Graph.Rel(a, b); !ok || r.Type != asgraph.P2P {
+				t.Errorf("clique link %d-%d broken: %v %v", a, b, r, ok)
+			}
+		}
+	}
+	// Everyone still reaches the clique upward (no orphaned customer).
+	for _, a := range w.ASNs {
+		if !reachesClique(w, a, clique) {
+			t.Fatalf("AS %d orphaned after evolution", a)
+		}
+	}
+}
+
+func reachesClique(w *World, a asn.ASN, clique map[asn.ASN]bool) bool {
+	seen := map[asn.ASN]bool{a: true}
+	stack := []asn.ASN{a}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if clique[x] {
+			return true
+		}
+		for _, n := range w.Graph.Neighbors(x) {
+			if (n.Role == asgraph.RoleProvider || n.Role == asgraph.RoleSibling) && !seen[n.ASN] {
+				seen[n.ASN] = true
+				stack = append(stack, n.ASN)
+			}
+		}
+	}
+	return false
+}

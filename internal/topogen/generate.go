@@ -1,0 +1,890 @@
+package topogen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/org"
+	"breval/internal/registry"
+)
+
+// Generate builds a world from the configuration. Generation is fully
+// deterministic in Config.Seed.
+func Generate(cfg Config) (*World, error) {
+	if cfg.NumASes < 50 {
+		return nil, fmt.Errorf("topogen: NumASes = %d too small (min 50)", cfg.NumASes)
+	}
+	if cfg.CliqueSize < 2 {
+		return nil, fmt.Errorf("topogen: CliqueSize = %d too small", cfg.CliqueSize)
+	}
+	b := &builder{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		w: &World{
+			Config:     cfg,
+			Graph:      asgraph.New(),
+			Region:     make(map[asn.ASN]registry.Region),
+			Type:       make(map[asn.ASN]ASType),
+			Publishers: make(map[asn.ASN]bool),
+			Strippers:  make(map[asn.ASN]bool),
+			Orgs:       org.NewTable(),
+		},
+	}
+	b.allocateASNs()
+	b.assignTypes()
+	b.wireProviders()
+	b.wireClique()
+	b.wireSpecialStubs()
+	b.markPartialTransit()
+	b.buildIXPs()
+	b.wireHypergiantPNI()
+	b.buildSiblings()
+	b.chooseVPs()
+	b.chooseMeasurementRoles()
+	b.markHybridLinks()
+	b.buildFacilitiesAndBehaviour()
+	b.buildRegistryArtifacts()
+	return b.w, nil
+}
+
+type builder struct {
+	cfg Config
+	rng *rand.Rand
+	w   *World
+
+	byRegion map[registry.Region][]asn.ASN
+	// transfers records ASNs whose current region differs from their
+	// IANA block region (post-assignment transfers, §5).
+	transfers map[asn.ASN]registry.Region
+	// ianaRegion is the block region an ASN was initially allocated in.
+	ianaRegion map[asn.ASN]registry.Region
+}
+
+// regionOrder iterates regions deterministically.
+var regionOrder = []registry.Region{
+	registry.AFRINIC, registry.APNIC, registry.ARIN, registry.LACNIC, registry.RIPE,
+}
+
+// crossProviderAffinity gives, per customer region, the weight of each
+// foreign region when a provider is chosen outside the home region.
+// The weights encode the dominant international transit flows
+// (AFRINIC buys in Europe, LACNIC in North America, ...), which drive
+// the cross-region link-class shares of Figure 1.
+var crossProviderAffinity = map[registry.Region]map[registry.Region]float64{
+	registry.AFRINIC: {registry.RIPE: 0.65, registry.ARIN: 0.25, registry.APNIC: 0.10},
+	registry.APNIC:   {registry.RIPE: 0.58, registry.ARIN: 0.40, registry.AFRINIC: 0.02},
+	registry.ARIN:    {registry.RIPE: 0.68, registry.LACNIC: 0.17, registry.APNIC: 0.15},
+	registry.LACNIC:  {registry.ARIN: 0.78, registry.RIPE: 0.17, registry.APNIC: 0.05},
+	registry.RIPE:    {registry.ARIN: 0.57, registry.APNIC: 0.26, registry.AFRINIC: 0.12, registry.LACNIC: 0.05},
+}
+
+func (b *builder) allocateASNs() {
+	counts := make(map[registry.Region]int, 5)
+	total := 0
+	for _, r := range regionOrder {
+		n := int(b.cfg.RegionShare[r] * float64(b.cfg.NumASes))
+		counts[r] = n
+		total += n
+	}
+	counts[registry.RIPE] += b.cfg.NumASes - total // rounding remainder
+
+	b.byRegion = make(map[registry.Region][]asn.ASN, 5)
+	b.ianaRegion = make(map[asn.ASN]registry.Region)
+	b.transfers = make(map[asn.ASN]registry.Region)
+	next := asn.ASN(1)
+	for _, r := range regionOrder {
+		for i := 0; i < counts[r]; i++ {
+			a := next
+			next++
+			b.w.ASNs = append(b.w.ASNs, a)
+			b.w.Region[a] = r
+			b.ianaRegion[a] = r
+			b.byRegion[r] = append(b.byRegion[r], a)
+		}
+		// Leave headroom in each block so blocks are disjoint even if
+		// transfers are later modelled as renumbering-free.
+		next += asn.ASN(counts[r]/4 + 8)
+	}
+
+	// Transfer a fraction of ASNs to a different region: the home
+	// region changes, the IANA block does not. The §5 delegation
+	// refinement exists to catch exactly these.
+	nTransfer := int(b.cfg.TransferFrac * float64(len(b.w.ASNs)))
+	for i := 0; i < nTransfer; i++ {
+		a := b.w.ASNs[b.rng.Intn(len(b.w.ASNs))]
+		from := b.w.Region[a]
+		to := regionOrder[b.rng.Intn(len(regionOrder))]
+		if to == from {
+			continue
+		}
+		// Move between region member lists.
+		b.byRegion[from] = removeASN(b.byRegion[from], a)
+		b.byRegion[to] = append(b.byRegion[to], a)
+		b.w.Region[a] = to
+		b.transfers[a] = to
+	}
+	for _, r := range regionOrder {
+		sortASNs(b.byRegion[r])
+	}
+}
+
+func removeASN(s []asn.ASN, a asn.ASN) []asn.ASN {
+	for i := range s {
+		if s[i] == a {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+func (b *builder) assignTypes() {
+	// Default everyone to stub, then promote.
+	for _, a := range b.w.ASNs {
+		b.w.Type[a] = TypeStub
+	}
+
+	// Clique members: lowest ASNs of their region (old allocations).
+	for _, r := range regionOrder {
+		n := b.cfg.CliqueRegions[r]
+		pool := b.byRegion[r]
+		for i := 0; i < n && i < len(pool); i++ {
+			a := pool[i]
+			b.w.Type[a] = TypeTier1
+			b.w.Clique = append(b.w.Clique, a)
+		}
+	}
+	sortASNs(b.w.Clique)
+
+	// Hypergiants: concentrated in ARIN, some RIPE/APNIC.
+	hgRegions := []registry.Region{registry.ARIN, registry.ARIN, registry.ARIN,
+		registry.RIPE, registry.APNIC}
+	for i := 0; i < b.cfg.NumHypergiants; i++ {
+		r := hgRegions[i%len(hgRegions)]
+		a := b.pickUnassigned(r)
+		if a == 0 {
+			continue
+		}
+		b.w.Type[a] = TypeHypergiant
+		b.w.Hypergiants = append(b.w.Hypergiants, a)
+	}
+	sortASNs(b.w.Hypergiants)
+
+	// Transit tiers, proportionally per region (every region gets at
+	// least one large transit so regional hierarchies exist).
+	nLT := int(b.cfg.LargeTransitFrac * float64(b.cfg.NumASes))
+	nST := int(b.cfg.SmallTransitFrac * float64(b.cfg.NumASes))
+	b.promoteTransit(TypeLargeTransit, nLT, 1)
+	b.promoteTransit(TypeSmallTransit, nST, 2)
+}
+
+func (b *builder) promoteTransit(t ASType, total, minPerRegion int) {
+	for _, r := range regionOrder {
+		share := b.cfg.RegionShare[r]
+		n := int(share * float64(total))
+		if n < minPerRegion {
+			n = minPerRegion
+		}
+		for i := 0; i < n; i++ {
+			a := b.pickUnassigned(r)
+			if a == 0 {
+				break
+			}
+			b.w.Type[a] = t
+		}
+	}
+}
+
+// pickUnassigned returns a random stub-typed ASN from region r, or 0
+// if none remain.
+func (b *builder) pickUnassigned(r registry.Region) asn.ASN {
+	pool := b.byRegion[r]
+	if len(pool) == 0 {
+		return 0
+	}
+	for try := 0; try < 64; try++ {
+		a := pool[b.rng.Intn(len(pool))]
+		if b.w.Type[a] == TypeStub {
+			return a
+		}
+	}
+	// Fall back to a scan for small pools.
+	for _, a := range pool {
+		if b.w.Type[a] == TypeStub {
+			return a
+		}
+	}
+	return 0
+}
+
+// typed returns the ASes of region r having type t, ascending.
+func (b *builder) typed(r registry.Region, t ASType) []asn.ASN {
+	var out []asn.ASN
+	for _, a := range b.byRegion[r] {
+		if b.w.Type[a] == t {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (b *builder) wireProviders() {
+	// Pre-index provider pools.
+	ltBy := make(map[registry.Region][]asn.ASN)
+	stBy := make(map[registry.Region][]asn.ASN)
+	t1By := make(map[registry.Region][]asn.ASN)
+	for _, r := range regionOrder {
+		ltBy[r] = b.typed(r, TypeLargeTransit)
+		stBy[r] = b.typed(r, TypeSmallTransit)
+		t1By[r] = b.typed(r, TypeTier1)
+	}
+
+	pickRegion := func(home registry.Region, intraProb float64) registry.Region {
+		if b.rng.Float64() < intraProb {
+			return home
+		}
+		aff := crossProviderAffinity[home]
+		x := b.rng.Float64()
+		for _, r := range regionOrder {
+			w, ok := aff[r]
+			if !ok {
+				continue
+			}
+			if x < w {
+				return r
+			}
+			x -= w
+		}
+		return home
+	}
+
+	// Provider choice uses preferential attachment (Pólya urn): every
+	// time a provider is picked it is appended to its urn again, so
+	// busy providers attract more customers and transit degrees
+	// become heavy-tailed — the property Figures 3 and 7-9 depend on.
+	clonePools := func(pools map[registry.Region][]asn.ASN) map[registry.Region][]asn.ASN {
+		u := make(map[registry.Region][]asn.ASN, len(pools))
+		for r, p := range pools {
+			u[r] = append([]asn.ASN(nil), p...)
+		}
+		return u
+	}
+	// The Tier-1 urn stays uniform (grow=false): every real Tier-1
+	// maintains a large customer base, and a starved Tier-1 would
+	// drop out of the observable clique.
+	urnT1 := clonePools(t1By)
+	urnLT := clonePools(ltBy)
+	urnST := clonePools(stBy)
+	// pickWith returns a random element, weighted preferentially when
+	// grow is set (each pick is appended back to the urn), falling
+	// back across regions when the preferred urn is empty.
+	pickWith := func(urn map[registry.Region][]asn.ASN, r registry.Region, grow bool) asn.ASN {
+		pick := func(rr registry.Region) asn.ASN {
+			u := urn[rr]
+			a := u[b.rng.Intn(len(u))]
+			if grow {
+				urn[rr] = append(u, a)
+			}
+			return a
+		}
+		if len(urn[r]) > 0 {
+			return pick(r)
+		}
+		for _, rr := range regionOrder {
+			if len(urn[rr]) > 0 {
+				return pick(rr)
+			}
+		}
+		return 0
+	}
+
+	addP2C := func(provider, customer asn.ASN) {
+		if provider == 0 || provider == customer {
+			return
+		}
+		if _, ok := b.w.Graph.Rel(provider, customer); ok {
+			return
+		}
+		b.w.Graph.MustSetRel(provider, customer, asgraph.P2CRel(provider))
+	}
+
+	nProviders := func(min, max int) int {
+		if max <= min {
+			return min
+		}
+		return min + b.rng.Intn(max-min+1)
+	}
+
+	for _, a := range b.w.ASNs {
+		home := b.w.Region[a]
+		switch b.w.Type[a] {
+		case TypeTier1:
+			// provider-free
+		case TypeLargeTransit:
+			n := nProviders(b.cfg.TransitProviderMin, b.cfg.TransitProviderMax)
+			for i := 0; i < n; i++ {
+				addP2C(pickWith(urnT1, pickRegion(home, b.cfg.TransitIntraRegionProb), false), a)
+			}
+		case TypeSmallTransit:
+			n := nProviders(b.cfg.TransitProviderMin, b.cfg.TransitProviderMax)
+			for i := 0; i < n; i++ {
+				r := pickRegion(home, b.cfg.TransitIntraRegionProb)
+				// Small transit mostly buys from large transit, with a
+				// minority of direct Tier-1 uplinks.
+				if b.rng.Float64() < 0.15 {
+					addP2C(pickWith(urnT1, r, false), a)
+				} else {
+					addP2C(pickWith(urnLT, r, true), a)
+				}
+			}
+		case TypeHypergiant:
+			// Hypergiants keep one or two Tier-1 transit contracts.
+			n := 1 + b.rng.Intn(2)
+			for i := 0; i < n; i++ {
+				addP2C(pickWith(urnT1, pickRegion(home, b.cfg.TransitIntraRegionProb), false), a)
+			}
+		case TypeStub:
+			n := nProviders(b.cfg.StubProviderMin, b.cfg.StubProviderMax)
+			for i := 0; i < n; i++ {
+				r := pickRegion(home, b.cfg.IntraRegionProviderProb)
+				x := b.rng.Float64()
+				switch {
+				case x < b.cfg.StubT1ProviderFrac:
+					addP2C(pickWith(urnT1, r, false), a)
+				case x < b.cfg.StubT1ProviderFrac+b.cfg.StubLTProviderFrac:
+					addP2C(pickWith(urnLT, r, true), a)
+				default:
+					addP2C(pickWith(urnST, r, true), a)
+				}
+			}
+		}
+	}
+
+	// Settlement-free Tier-1 / large-transit peering: the true-P2P
+	// population of the paper's T1-TR class.
+	for _, t1 := range b.w.Clique {
+		for _, r := range regionOrder {
+			for _, lt := range ltBy[r] {
+				if b.rng.Float64() >= b.cfg.T1TransitPeerProb {
+					continue
+				}
+				if _, ok := b.w.Graph.Rel(t1, lt); !ok {
+					b.w.Graph.MustSetRel(t1, lt, asgraph.P2PRel())
+				}
+			}
+		}
+	}
+}
+
+func (b *builder) wireClique() {
+	for i, a := range b.w.Clique {
+		for _, c := range b.w.Clique[i+1:] {
+			b.w.Graph.MustSetRel(a, c, asgraph.P2PRel())
+		}
+	}
+}
+
+func (b *builder) wireSpecialStubs() {
+	// Special stubs live mostly in ARIN/RIPE (research networks,
+	// anycast DNS operators, clouds) and peer directly with Tier-1s.
+	pools := append(append([]asn.ASN{}, b.typed(registry.ARIN, TypeStub)...),
+		b.typed(registry.RIPE, TypeStub)...)
+	if len(pools) == 0 {
+		return
+	}
+	seen := make(map[asn.ASN]bool)
+	for len(b.w.SpecialStubs) < b.cfg.NumSpecialStubs && len(seen) < len(pools) {
+		a := pools[b.rng.Intn(len(pools))]
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		b.w.SpecialStubs = append(b.w.SpecialStubs, a)
+		for i := 0; i < b.cfg.SpecialStubT1Peers && i < len(b.w.Clique); i++ {
+			t1 := b.w.Clique[b.rng.Intn(len(b.w.Clique))]
+			if _, ok := b.w.Graph.Rel(a, t1); !ok {
+				b.w.Graph.MustSetRel(a, t1, asgraph.P2PRel())
+			}
+		}
+	}
+	sortASNs(b.w.SpecialStubs)
+}
+
+func (b *builder) markPartialTransit() {
+	n := b.cfg.PartialTransitT1s
+	if n > len(b.w.Clique) {
+		n = len(b.w.Clique)
+	}
+	// Partial-transit sellers are ARIN clique members first (the
+	// AS714 role model is), largest transit-customer base first, so
+	// the heavy seller's links land in the well-validated part of the
+	// T1-TR class and dominate the §6.1 target links.
+	transitCustomers := func(t1 asn.ASN) int {
+		n := 0
+		for _, c := range b.w.Graph.Customers(t1) {
+			if isTransitType(b.w.Type[c]) {
+				n++
+			}
+		}
+		return n
+	}
+	sellers := make([]asn.ASN, 0, len(b.w.Clique))
+	for _, t1 := range b.w.Clique {
+		if b.w.Region[t1] == registry.ARIN {
+			sellers = append(sellers, t1)
+		}
+	}
+	sort.Slice(sellers, func(i, j int) bool {
+		ni, nj := transitCustomers(sellers[i]), transitCustomers(sellers[j])
+		if ni != nj {
+			return ni > nj
+		}
+		return sellers[i] < sellers[j]
+	})
+	for _, t1 := range b.w.Clique {
+		if b.w.Region[t1] != registry.ARIN {
+			sellers = append(sellers, t1)
+		}
+	}
+	for i := 0; i < n && i < len(sellers); i++ {
+		t1 := sellers[i]
+		b.w.PartialSellers = append(b.w.PartialSellers, t1)
+		prob := b.cfg.PartialTransitLightProb
+		if i == 0 {
+			prob = b.cfg.PartialTransitHeavyProb
+		}
+		for _, c := range b.w.Graph.Customers(t1) {
+			ct := b.w.Type[c]
+			if ct != TypeLargeTransit && ct != TypeSmallTransit {
+				continue // partial transit is a transit-customer product
+			}
+			if b.rng.Float64() < prob {
+				r, _ := b.w.Graph.Rel(t1, c)
+				r.PartialTransit = true
+				b.w.Graph.MustSetRel(t1, c, r)
+			}
+		}
+	}
+}
+
+func (b *builder) buildIXPs() {
+	// Distribute IXPs over regions proportionally to AS share, with a
+	// minimum of one per region.
+	id := 0
+	for _, r := range regionOrder {
+		n := int(b.cfg.RegionShare[r] * float64(b.cfg.NumIXPs))
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			b.w.IXPs = append(b.w.IXPs, IXP{ID: id, Region: r})
+			id++
+		}
+	}
+
+	// Index IXPs per region.
+	ixBy := make(map[registry.Region][]int)
+	for i := range b.w.IXPs {
+		ixBy[b.w.IXPs[i].Region] = append(ixBy[b.w.IXPs[i].Region], i)
+	}
+
+	join := func(ix int, a asn.ASN) {
+		b.w.IXPs[ix].Members = append(b.w.IXPs[ix].Members, a)
+	}
+
+	for _, a := range b.w.ASNs {
+		home := b.w.Region[a]
+		local := ixBy[home]
+		if len(local) == 0 {
+			continue
+		}
+		var nJoin int
+		switch b.w.Type[a] {
+		case TypeStub:
+			if b.rng.Float64() < 0.35 {
+				nJoin = 1
+			}
+		case TypeSmallTransit:
+			nJoin = 1 + b.rng.Intn(2)
+		case TypeLargeTransit:
+			nJoin = 1 + b.rng.Intn(3)
+		case TypeTier1:
+			if b.rng.Float64() < 0.2 {
+				nJoin = 1
+			}
+		case TypeHypergiant:
+			// Hypergiants join fabrics everywhere.
+			for i := range b.w.IXPs {
+				if b.rng.Float64() < 0.25 {
+					join(i, a)
+				}
+			}
+			continue
+		}
+		for i := 0; i < nJoin; i++ {
+			join(local[b.rng.Intn(len(local))], a)
+		}
+		// Remote peering: occasionally join a fabric abroad.
+		if b.rng.Float64() < b.cfg.RemoteMemberProb {
+			ix := b.rng.Intn(len(b.w.IXPs))
+			if b.w.IXPs[ix].Region != home {
+				join(ix, a)
+			}
+		}
+	}
+
+	// Establish P2P sessions between co-located members.
+	for i := range b.w.IXPs {
+		ixp := &b.w.IXPs[i]
+		sortASNs(ixp.Members)
+		ixp.Members = dedupASNs(ixp.Members)
+		boost := b.cfg.OpenPeeringBoost[ixp.Region]
+		for x := 0; x < len(ixp.Members); x++ {
+			for y := x + 1; y < len(ixp.Members); y++ {
+				a, c := ixp.Members[x], ixp.Members[y]
+				ta, tc := b.w.Type[a], b.w.Type[c]
+				if ta == TypeTier1 && tc == TypeTier1 {
+					continue // already a full mesh
+				}
+				p := b.cfg.PeerProb[ta] * b.cfg.PeerProb[tc] * boost
+				if b.rng.Float64() >= p {
+					continue
+				}
+				if _, ok := b.w.Graph.Rel(a, c); ok {
+					continue // keep existing (e.g. transit) relationship
+				}
+				b.w.Graph.MustSetRel(a, c, asgraph.P2PRel())
+			}
+		}
+	}
+}
+
+func dedupASNs(s []asn.ASN) []asn.ASN {
+	out := s[:0]
+	var last asn.ASN
+	for i, a := range s {
+		if i == 0 || a != last {
+			out = append(out, a)
+		}
+		last = a
+	}
+	return out
+}
+
+func (b *builder) wireHypergiantPNI() {
+	var transits []asn.ASN
+	for _, a := range b.w.ASNs {
+		if t := b.w.Type[a]; t == TypeLargeTransit || t == TypeSmallTransit {
+			transits = append(transits, a)
+		}
+	}
+	for _, h := range b.w.Hypergiants {
+		for _, t1 := range b.w.Clique {
+			if b.rng.Float64() >= b.cfg.HypergiantT1PeerProb {
+				continue
+			}
+			if _, ok := b.w.Graph.Rel(h, t1); !ok {
+				b.w.Graph.MustSetRel(h, t1, asgraph.P2PRel())
+			}
+		}
+		for _, tr := range transits {
+			if b.rng.Float64() >= b.cfg.HypergiantTransitPeerProb {
+				continue
+			}
+			if _, ok := b.w.Graph.Rel(h, tr); !ok {
+				b.w.Graph.MustSetRel(h, tr, asgraph.P2PRel())
+			}
+		}
+	}
+}
+
+func (b *builder) buildSiblings() {
+	// Multi-AS organisations; remaining ASes get singleton orgs so the
+	// org table is total, like CAIDA's.
+	assigned := make(map[asn.ASN]bool)
+	orgID := 0
+	for i := 0; i < b.cfg.SiblingOrgs; i++ {
+		r := regionOrder[b.rng.Intn(len(regionOrder))]
+		pool := b.byRegion[r]
+		if len(pool) < 2 {
+			continue
+		}
+		size := 2
+		if b.cfg.SiblingOrgMax > 2 {
+			size += b.rng.Intn(b.cfg.SiblingOrgMax - 1)
+		}
+		var members []asn.ASN
+		for try := 0; try < 32 && len(members) < size; try++ {
+			a := pool[b.rng.Intn(len(pool))]
+			if !assigned[a] && b.w.Type[a] != TypeTier1 {
+				assigned[a] = true
+				members = append(members, a)
+			}
+		}
+		if len(members) < 2 {
+			continue
+		}
+		id := fmt.Sprintf("org-m%04d", orgID)
+		orgID++
+		b.w.Orgs.AddOrg(org.Organization{ID: id, Name: fmt.Sprintf("MultiAS Org %d", orgID), Country: r.Abbrev()})
+		sortASNs(members)
+		for _, a := range members {
+			b.w.Orgs.Assign(a, id)
+		}
+		for x := 0; x < len(members); x++ {
+			for y := x + 1; y < len(members); y++ {
+				if _, ok := b.w.Graph.Rel(members[x], members[y]); !ok {
+					b.w.Graph.MustSetRel(members[x], members[y], asgraph.S2SRel())
+				}
+			}
+		}
+	}
+	for _, a := range b.w.ASNs {
+		if !assigned[a] {
+			id := fmt.Sprintf("org-s%d", a)
+			b.w.Orgs.Assign(a, id)
+		}
+	}
+}
+
+func (b *builder) markHybridLinks() {
+	// Flag some transit-to-transit peering links as hybrid: their
+	// relationship differs per PoP, so community-based extraction
+	// legitimately yields multiple labels (§4.2).
+	// Prefer links with a publisher endpoint: a hybrid relationship
+	// only surfaces as a multi-label validation entry when the
+	// publisher's routers tag it differently per PoP.
+	var candidates []asgraph.Link
+	b.w.Graph.ForEachRel(func(l asgraph.Link, r asgraph.Rel) {
+		if r.Type != asgraph.P2P {
+			return
+		}
+		ta, tb := b.w.Type[l.A], b.w.Type[l.B]
+		if isTransitType(ta) && isTransitType(tb) &&
+			(b.w.Publishers[l.A] || b.w.Publishers[l.B]) {
+			candidates = append(candidates, l)
+		}
+	})
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].A != candidates[j].A {
+			return candidates[i].A < candidates[j].A
+		}
+		return candidates[i].B < candidates[j].B
+	})
+	n := b.cfg.HybridLinkCount
+	for i := 0; i < n && len(candidates) > 0; i++ {
+		idx := b.rng.Intn(len(candidates))
+		l := candidates[idx]
+		candidates = append(candidates[:idx], candidates[idx+1:]...)
+		r, _ := b.w.Graph.RelOn(l)
+		r.Hybrid = true
+		b.w.Graph.MustSetRel(l.A, l.B, r)
+	}
+}
+
+func isTransitType(t ASType) bool {
+	return t == TypeSmallTransit || t == TypeLargeTransit
+}
+
+func (b *builder) chooseVPs() {
+	for _, a := range b.w.ASNs {
+		t := b.w.Type[a]
+		if t == TypeTier1 {
+			b.w.VPs = append(b.w.VPs, a)
+			continue
+		}
+		p := b.cfg.VPProb[t] * b.cfg.VPRegionBoost[b.w.Region[a]]
+		if b.rng.Float64() < p {
+			b.w.VPs = append(b.w.VPs, a)
+		}
+	}
+	sortASNs(b.w.VPs)
+}
+
+func (b *builder) chooseMeasurementRoles() {
+	for _, a := range b.w.ASNs {
+		t := b.w.Type[a]
+		p := b.cfg.PublishProb[t] * b.cfg.PublishRegionBoost[b.w.Region[a]]
+		switch {
+		case t == TypeTier1:
+			// Tier-1 community documentation is maintained regardless
+			// of home region (3356, 174, 2914, 1299, ... all publish).
+			p = b.cfg.PublishProb[t]
+		case t == TypeLargeTransit || t == TypeSmallTransit:
+			// Community documentation effort grows with network size:
+			// the extensively documented dictionaries come from the
+			// big transit providers, which is what skews validation
+			// towards large-degree links (Figure 3's mismatch).
+			deg := float64(b.w.Graph.Degree(a))
+			size := deg / 60
+			if size > 1 {
+				size = 1
+			}
+			p *= 0.15 + 0.85*size
+		}
+		if b.rng.Float64() < p {
+			b.w.Publishers[a] = true
+		}
+		strip := b.cfg.StripProb
+		if t == TypeTier1 {
+			strip = b.cfg.StripProbTier1
+		}
+		if b.rng.Float64() < strip {
+			b.w.Strippers[a] = true
+		}
+		if b.rng.Float64() < b.cfg.IRRMaintainerProb[b.w.Region[a]] {
+			b.w.IRRRegistrants = append(b.w.IRRRegistrants, a)
+		}
+	}
+}
+
+// buildFacilitiesAndBehaviour adds the PeeringDB-style co-location
+// layer and the behavioural flags of Appendix C (features 11 and 12):
+// colocation facilities per region, MANRS participation, and a few
+// serial-hijacker-like ASes.
+func (b *builder) buildFacilitiesAndBehaviour() {
+	b.w.MANRS = make(map[asn.ASN]bool)
+	b.w.Hijackers = make(map[asn.ASN]bool)
+
+	// Facilities: roughly two per IXP, same regional distribution.
+	id := 0
+	facBy := make(map[registry.Region][]int)
+	for _, r := range regionOrder {
+		n := 2 * maxInt(1, int(b.cfg.RegionShare[r]*float64(b.cfg.NumIXPs)))
+		for i := 0; i < n; i++ {
+			b.w.Facilities = append(b.w.Facilities, IXP{ID: id, Region: r})
+			facBy[r] = append(facBy[r], id)
+			id++
+		}
+	}
+	for _, a := range b.w.ASNs {
+		home := b.w.Region[a]
+		local := facBy[home]
+		if len(local) == 0 {
+			continue
+		}
+		var n int
+		switch b.w.Type[a] {
+		case TypeStub:
+			if b.rng.Float64() < 0.25 {
+				n = 1
+			}
+		case TypeSmallTransit:
+			n = 1 + b.rng.Intn(2)
+		case TypeLargeTransit:
+			n = 1 + b.rng.Intn(3)
+		case TypeTier1, TypeHypergiant:
+			n = 2 + b.rng.Intn(3)
+		}
+		for i := 0; i < n; i++ {
+			f := local[b.rng.Intn(len(local))]
+			b.w.Facilities[f].Members = append(b.w.Facilities[f].Members, a)
+		}
+		// Behaviour: MANRS uptake is strongest among European transit
+		// networks; hijacker-like behaviour is rare and small.
+		manrs := 0.0
+		switch b.w.Type[a] {
+		case TypeLargeTransit:
+			manrs = 0.25
+		case TypeSmallTransit:
+			manrs = 0.12
+		case TypeTier1:
+			manrs = 0.4
+		case TypeStub:
+			manrs = 0.02
+		}
+		if home == registry.RIPE {
+			manrs *= 1.6
+		}
+		if b.rng.Float64() < manrs {
+			b.w.MANRS[a] = true
+		} else if b.rng.Float64() < 0.004 {
+			b.w.Hijackers[a] = true
+		}
+	}
+	for i := range b.w.Facilities {
+		sortASNs(b.w.Facilities[i].Members)
+		b.w.Facilities[i].Members = dedupASNs(b.w.Facilities[i].Members)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (b *builder) buildRegistryArtifacts() {
+	// IANA blocks: one contiguous block per region covering its
+	// initial allocations (headroom included by construction).
+	var blocks []asn.Block
+	type spanKey struct {
+		first, last asn.ASN
+		r           registry.Region
+	}
+	var spans []spanKey
+	// Recover contiguous spans from the initial allocation order.
+	var cur spanKey
+	for _, a := range b.w.ASNs {
+		r := b.ianaRegion[a]
+		if cur.last != 0 && a == cur.last+1 && r == cur.r {
+			cur.last = a
+			continue
+		}
+		if cur.last != 0 {
+			spans = append(spans, cur)
+		}
+		cur = spanKey{first: a, last: a, r: r}
+	}
+	if cur.last != 0 {
+		spans = append(spans, cur)
+	}
+	for _, s := range spans {
+		blocks = append(blocks, asn.Block{
+			First: s.first, Last: s.last,
+			Authority:   regionAuthority(s.r),
+			Description: "Assigned by " + regionAuthority(s.r).String(),
+		})
+	}
+	iana, err := asn.NewRegistry(blocks)
+	if err != nil {
+		panic(fmt.Sprintf("topogen: building IANA registry: %v", err))
+	}
+	b.w.IANA = iana
+
+	// Delegation files: each region lists its current holdings
+	// (including inbound transfers).
+	for _, r := range regionOrder {
+		f := &registry.File{Registry: r, Serial: "20180405"}
+		for _, a := range b.byRegion[r] {
+			f.Delegations = append(f.Delegations, registry.Delegation{
+				Registry: r,
+				CC:       "ZZ",
+				First:    a,
+				Count:    1,
+				Date:     "20180405",
+				Status:   "allocated",
+			})
+		}
+		b.w.Delegations = append(b.w.Delegations, f)
+	}
+}
+
+func regionAuthority(r registry.Region) asn.Authority {
+	switch r {
+	case registry.AFRINIC:
+		return asn.AuthAFRINIC
+	case registry.APNIC:
+		return asn.AuthAPNIC
+	case registry.ARIN:
+		return asn.AuthARIN
+	case registry.LACNIC:
+		return asn.AuthLACNIC
+	case registry.RIPE:
+		return asn.AuthRIPE
+	}
+	return asn.AuthIANA
+}

@@ -1,0 +1,297 @@
+package topogen
+
+import (
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/registry"
+)
+
+func smallWorld(t testing.TB, seed int64) *World {
+	t.Helper()
+	cfg := DefaultConfig(seed).Scaled(1200)
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return w
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w1 := smallWorld(t, 7)
+	w2 := smallWorld(t, 7)
+	if w1.Graph.NumLinks() != w2.Graph.NumLinks() {
+		t.Fatalf("link counts differ: %d vs %d", w1.Graph.NumLinks(), w2.Graph.NumLinks())
+	}
+	l1, l2 := w1.Graph.Links(), w2.Graph.Links()
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("link %d differs: %v vs %v", i, l1[i], l2[i])
+		}
+		r1, _ := w1.Graph.RelOn(l1[i])
+		r2, _ := w2.Graph.RelOn(l2[i])
+		if r1 != r2 {
+			t.Fatalf("rel on %v differs: %v vs %v", l1[i], r1, r2)
+		}
+	}
+	if len(w1.VPs) != len(w2.VPs) {
+		t.Fatal("VP sets differ")
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	w1 := smallWorld(t, 1)
+	w2 := smallWorld(t, 2)
+	if w1.Graph.NumLinks() == w2.Graph.NumLinks() &&
+		len(w1.VPs) == len(w2.VPs) && len(w1.Publishers) == len(w2.Publishers) {
+		t.Error("different seeds produced suspiciously identical worlds")
+	}
+}
+
+func TestGenerateRejectsTinyConfigs(t *testing.T) {
+	if _, err := Generate(Config{NumASes: 10}); err == nil {
+		t.Error("tiny world accepted")
+	}
+	cfg := DefaultConfig(1)
+	cfg.CliqueSize = 1
+	if _, err := Generate(cfg); err == nil {
+		t.Error("degenerate clique accepted")
+	}
+}
+
+func TestCliqueIsFullMeshAndProviderFree(t *testing.T) {
+	w := smallWorld(t, 3)
+	if len(w.Clique) < 4 {
+		t.Fatalf("clique too small: %d", len(w.Clique))
+	}
+	for i, a := range w.Clique {
+		if len(w.Graph.Providers(a)) != 0 {
+			t.Errorf("clique member %d has providers %v", a, w.Graph.Providers(a))
+		}
+		for _, c := range w.Clique[i+1:] {
+			r, ok := w.Graph.Rel(a, c)
+			if !ok || r.Type != asgraph.P2P {
+				t.Errorf("clique pair %d-%d: rel %v, ok=%v", a, c, r, ok)
+			}
+		}
+	}
+}
+
+func TestEveryASReachesClique(t *testing.T) {
+	w := smallWorld(t, 4)
+	clique := w.CliqueSet()
+	// Upward closure: follow provider (and sibling) edges.
+	for _, a := range w.ASNs {
+		seen := map[asn.ASN]bool{a: true}
+		stack := []asn.ASN{a}
+		found := false
+		for len(stack) > 0 && !found {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if clique[x] {
+				found = true
+				break
+			}
+			for _, n := range w.Graph.Neighbors(x) {
+				if (n.Role == asgraph.RoleProvider || n.Role == asgraph.RoleSibling) && !seen[n.ASN] {
+					seen[n.ASN] = true
+					stack = append(stack, n.ASN)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("AS %d (%v) cannot reach the clique via providers", a, w.Type[a])
+		}
+	}
+}
+
+func TestRegionAssignmentsAndMapper(t *testing.T) {
+	w := smallWorld(t, 5)
+	m := w.Mapper()
+	mismatch := 0
+	for _, a := range w.ASNs {
+		if got := m.Region(a); got != w.Region[a] {
+			mismatch++
+		}
+	}
+	if mismatch != 0 {
+		t.Errorf("%d ASNs map to the wrong region via registry files", mismatch)
+	}
+	// The IANA bootstrap alone must disagree for transferred ASNs:
+	// otherwise the refinement step is pointless.
+	boot := registry.NewMapper(w.IANA)
+	diffs := 0
+	for _, a := range w.ASNs {
+		if boot.Region(a) != w.Region[a] {
+			diffs++
+		}
+	}
+	if diffs == 0 {
+		t.Error("no transfers generated; delegation refinement is untested")
+	}
+}
+
+func TestTypeDistribution(t *testing.T) {
+	w := smallWorld(t, 6)
+	counts := make(map[ASType]int)
+	for _, a := range w.ASNs {
+		counts[w.Type[a]]++
+	}
+	if counts[TypeTier1] != len(w.Clique) {
+		t.Errorf("tier1 count %d != clique size %d", counts[TypeTier1], len(w.Clique))
+	}
+	if counts[TypeStub] < len(w.ASNs)/2 {
+		t.Errorf("stubs %d should dominate %d ASes", counts[TypeStub], len(w.ASNs))
+	}
+	if counts[TypeSmallTransit] == 0 || counts[TypeLargeTransit] == 0 {
+		t.Error("missing transit tier")
+	}
+	if counts[TypeHypergiant] != len(w.Hypergiants) {
+		t.Errorf("hypergiant count %d != list %d", counts[TypeHypergiant], len(w.Hypergiants))
+	}
+}
+
+func TestPartialTransitSkew(t *testing.T) {
+	w := smallWorld(t, 8)
+	perT1 := make(map[asn.ASN]int)
+	w.Graph.ForEachRel(func(l asgraph.Link, r asgraph.Rel) {
+		if r.Type == asgraph.P2C && r.PartialTransit {
+			perT1[r.Provider]++
+		}
+	})
+	if len(perT1) == 0 {
+		t.Fatal("no partial-transit links generated")
+	}
+	if len(w.PartialSellers) == 0 {
+		t.Fatal("no partial sellers recorded")
+	}
+	heavy := w.PartialSellers[0]
+	for t1, n := range perT1 {
+		if t1 != heavy && n > perT1[heavy] {
+			t.Errorf("T1 %d has more partial-transit customers (%d) than the heavy T1 %d (%d)",
+				t1, n, heavy, perT1[heavy])
+		}
+	}
+	if perT1[heavy] < 2 {
+		t.Errorf("heavy T1 has only %d partial-transit customers", perT1[heavy])
+	}
+}
+
+func TestSpecialStubsPeerWithT1s(t *testing.T) {
+	w := smallWorld(t, 9)
+	if len(w.SpecialStubs) == 0 {
+		t.Fatal("no special stubs")
+	}
+	clique := w.CliqueSet()
+	for _, s := range w.SpecialStubs {
+		found := false
+		for _, p := range w.Graph.Peers(s) {
+			if clique[p] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("special stub %d has no Tier-1 peer", s)
+		}
+	}
+}
+
+func TestSiblingsExistAndMatchOrgTable(t *testing.T) {
+	w := smallWorld(t, 10)
+	s2s := 0
+	w.Graph.ForEachRel(func(l asgraph.Link, r asgraph.Rel) {
+		if r.Type == asgraph.S2S {
+			s2s++
+			if !w.Orgs.Siblings(l.A, l.B) {
+				t.Errorf("S2S link %v not siblings in org table", l)
+			}
+		}
+	})
+	if s2s == 0 {
+		t.Error("no sibling links generated")
+	}
+	if w.Orgs.NumASNs() != len(w.ASNs) {
+		t.Errorf("org table covers %d of %d ASNs", w.Orgs.NumASNs(), len(w.ASNs))
+	}
+}
+
+func TestHybridLinksFlagged(t *testing.T) {
+	w := smallWorld(t, 11)
+	n := 0
+	w.Graph.ForEachRel(func(_ asgraph.Link, r asgraph.Rel) {
+		if r.Hybrid {
+			n++
+			if r.Type != asgraph.P2P {
+				t.Errorf("hybrid link with base type %v", r.Type)
+			}
+		}
+	})
+	if n == 0 {
+		t.Error("no hybrid links flagged")
+	}
+}
+
+func TestMeasurementRoles(t *testing.T) {
+	w := smallWorld(t, 12)
+	if len(w.VPs) < len(w.Clique) {
+		t.Errorf("VPs %d < clique %d", len(w.VPs), len(w.Clique))
+	}
+	clique := w.CliqueSet()
+	vpSet := make(map[asn.ASN]bool)
+	for _, v := range w.VPs {
+		vpSet[v] = true
+	}
+	for a := range clique {
+		if !vpSet[a] {
+			t.Errorf("clique member %d is not a VP", a)
+		}
+	}
+	if len(w.Publishers) == 0 {
+		t.Fatal("no community publishers")
+	}
+	// The LACNIC publishing knob is zero: validation coverage for L°
+	// must be able to collapse, so assert no LACNIC publishers.
+	for a := range w.Publishers {
+		if w.Region[a] == registry.LACNIC {
+			t.Errorf("LACNIC AS %d publishes communities; bias knob broken", a)
+		}
+	}
+}
+
+func TestIXPMembersSortedUnique(t *testing.T) {
+	w := smallWorld(t, 13)
+	total := 0
+	for _, ix := range w.IXPs {
+		total += len(ix.Members)
+		for i := 1; i < len(ix.Members); i++ {
+			if ix.Members[i] <= ix.Members[i-1] {
+				t.Fatalf("IXP %d members not sorted/unique", ix.ID)
+			}
+		}
+	}
+	if total == 0 {
+		t.Error("IXPs have no members")
+	}
+}
+
+func TestASesOfType(t *testing.T) {
+	w := smallWorld(t, 14)
+	t1s := w.ASesOfType(TypeTier1)
+	if len(t1s) != len(w.Clique) {
+		t.Errorf("ASesOfType(T1) = %d, want %d", len(t1s), len(w.Clique))
+	}
+}
+
+func TestASTypeString(t *testing.T) {
+	for ty, want := range map[ASType]string{
+		TypeStub: "stub", TypeSmallTransit: "small-transit",
+		TypeLargeTransit: "large-transit", TypeTier1: "tier1",
+		TypeHypergiant: "hypergiant", ASType(99): "unknown",
+	} {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package topogen
+
+import (
+	"sort"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/org"
+	"breval/internal/registry"
+)
+
+// IXP is one Internet Exchange Point: a switching fabric in a region
+// with a member list.
+type IXP struct {
+	ID      int
+	Region  registry.Region
+	Members []asn.ASN
+}
+
+// World is a fully generated synthetic Internet, including the
+// registry artefacts and measurement roles the validation pipeline
+// consumes.
+type World struct {
+	Config Config
+
+	// Graph is the ground-truth relationship graph (P2C/P2P/S2S with
+	// partial-transit and hybrid attributes).
+	Graph *asgraph.Graph
+	// ASNs lists every allocated ASN in ascending order.
+	ASNs []asn.ASN
+	// Region is the ground-truth home region per ASN.
+	Region map[asn.ASN]registry.Region
+	// Type is the generator role per ASN.
+	Type map[asn.ASN]ASType
+
+	// Clique is the Tier-1 clique (our stand-in for the Wikipedia
+	// Tier-1 list the paper uses), Hypergiants the Böttger-style
+	// hypergiant list, SpecialStubs the research/anycast/CDN stubs
+	// that peer with Tier-1s.
+	Clique       []asn.ASN
+	Hypergiants  []asn.ASN
+	SpecialStubs []asn.ASN
+	// PartialSellers lists the Tier-1s selling partial transit, the
+	// heavy (AS714-style) seller first.
+	PartialSellers []asn.ASN
+
+	IXPs []IXP
+	// Facilities are colocation facilities (the PeeringDB-style
+	// co-presence layer behind Appendix C's feature 11); each has a
+	// region and a member list like an IXP.
+	Facilities []IXP
+
+	// MANRS lists ASes participating in MANRS; Hijackers flags the
+	// few ASes behaving like BGP serial hijackers (Appendix C,
+	// feature 12).
+	MANRS     map[asn.ASN]bool
+	Hijackers map[asn.ASN]bool
+
+	// VPs are the route-collector vantage-point ASes.
+	VPs []asn.ASN
+	// Publishers marks ASes that publish a relationship-encoding BGP
+	// community dictionary; Strippers marks ASes that strip foreign
+	// communities on export. IRRRegistrants lists ASes maintaining
+	// RPSL aut-num objects in an IRR (ascending).
+	Publishers     map[asn.ASN]bool
+	Strippers      map[asn.ASN]bool
+	IRRRegistrants []asn.ASN
+
+	// Orgs is the AS-to-Organization table (multi-AS organisations
+	// produce sibling pairs).
+	Orgs *org.Table
+
+	// IANA is the initial block registry; Delegations holds one
+	// delegated-extended file per region, including post-IANA
+	// transfers.
+	IANA        *asn.Registry
+	Delegations []*registry.File
+}
+
+// TypeOf returns the generator role of a (TypeStub for unknown ASNs).
+func (w *World) TypeOf(a asn.ASN) ASType { return w.Type[a] }
+
+// ASesOfType returns all ASes with the given role, ascending.
+func (w *World) ASesOfType(t ASType) []asn.ASN {
+	var out []asn.ASN
+	for _, a := range w.ASNs {
+		if w.Type[a] == t {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Mapper builds the §5-style region mapper from the world's IANA
+// registry and delegation files.
+func (w *World) Mapper() *registry.Mapper {
+	m := registry.NewMapper(w.IANA)
+	for _, f := range w.Delegations {
+		m.Apply(f)
+	}
+	return m
+}
+
+// CliqueSet returns the clique as a set.
+func (w *World) CliqueSet() map[asn.ASN]bool {
+	s := make(map[asn.ASN]bool, len(w.Clique))
+	for _, a := range w.Clique {
+		s[a] = true
+	}
+	return s
+}
+
+// HypergiantSet returns the hypergiants as a set.
+func (w *World) HypergiantSet() map[asn.ASN]bool {
+	s := make(map[asn.ASN]bool, len(w.Hypergiants))
+	for _, a := range w.Hypergiants {
+		s[a] = true
+	}
+	return s
+}
+
+// sortASNs sorts a slice of ASNs ascending, in place, and returns it.
+func sortASNs(s []asn.ASN) []asn.ASN {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}

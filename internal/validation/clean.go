@@ -1,0 +1,134 @@
+package validation
+
+import (
+	"breval/internal/asgraph"
+	"breval/internal/org"
+)
+
+// AmbiguousPolicy selects how entries with multiple labels are
+// treated (§4.2). The paper observes that the published per-year
+// P2P/P2C counts of TopoScope match the P2PIfFirst policy and those of
+// ProbLink match AlwaysP2C, while arguing that Ignore is the only
+// defensible choice for classifiers that predict a single label.
+type AmbiguousPolicy uint8
+
+// Ambiguous-label treatment policies.
+const (
+	// Ignore drops multi-label entries from the validation set.
+	Ignore AmbiguousPolicy = iota
+	// P2PIfFirst keeps a multi-label entry as P2P if its first label
+	// is P2P and as P2C otherwise (reproduces TopoScope's counts).
+	P2PIfFirst
+	// AlwaysP2C keeps every multi-label entry as P2C, using the first
+	// P2C label's direction (reproduces ProbLink's counts). Entries
+	// with no P2C label at all are dropped.
+	AlwaysP2C
+)
+
+// String implements fmt.Stringer.
+func (p AmbiguousPolicy) String() string {
+	switch p {
+	case Ignore:
+		return "ignore"
+	case P2PIfFirst:
+		return "p2p-if-first"
+	case AlwaysP2C:
+		return "always-p2c"
+	}
+	return "unknown"
+}
+
+// CleanReport records what each §4.2 cleaning pass removed or
+// rewrote.
+type CleanReport struct {
+	// TransEntries is the number of entries involving AS_TRANS
+	// (AS 23456), ReservedEntries the number involving other reserved
+	// ASNs; both are always removed.
+	TransEntries    int
+	ReservedEntries int
+	// MultiLabelEntries is the number of entries that carried more
+	// than one label; MultiLabelASes the number of distinct ASes on
+	// such entries. Depending on the policy the entries were dropped
+	// or collapsed (MultiLabelKept).
+	MultiLabelEntries int
+	MultiLabelASes    int
+	MultiLabelKept    int
+	// SiblingEntries is the number of entries removed because the two
+	// ASes belong to the same organisation, whether labelled S2S or
+	// not.
+	SiblingEntries int
+	// Kept is the number of single-label entries in the result.
+	Kept int
+}
+
+// Clean applies the §4.2 passes in order — spurious labels, ambiguous
+// labels, sibling labels — and returns a snapshot in which every link
+// has exactly one P2C or P2P label.
+func Clean(s *Snapshot, orgs *org.Table, policy AmbiguousPolicy) (*Snapshot, CleanReport) {
+	var rep CleanReport
+	out := NewSnapshot()
+
+	asesOnMulti := make(map[uint32]bool)
+
+	s.ForEach(func(l asgraph.Link, lbs []Label) {
+		// Pass 1 — spurious labels.
+		if l.A.IsTrans() || l.B.IsTrans() {
+			rep.TransEntries++
+			return
+		}
+		if l.A.IsReserved() || l.B.IsReserved() {
+			rep.ReservedEntries++
+			return
+		}
+
+		// Pass 2 — ambiguous labels.
+		var lb Label
+		if len(lbs) > 1 {
+			rep.MultiLabelEntries++
+			asesOnMulti[uint32(l.A)] = true
+			asesOnMulti[uint32(l.B)] = true
+			switch policy {
+			case Ignore:
+				return
+			case P2PIfFirst:
+				if lbs[0].Type == asgraph.P2P {
+					lb = Label{Type: asgraph.P2P}
+				} else {
+					lb = firstP2C(lbs)
+					if lb.Type != asgraph.P2C {
+						return
+					}
+				}
+			case AlwaysP2C:
+				lb = firstP2C(lbs)
+				if lb.Type != asgraph.P2C {
+					return
+				}
+			}
+			rep.MultiLabelKept++
+		} else {
+			lb = lbs[0]
+		}
+
+		// Pass 3 — sibling labels: drop S2S-labelled entries and any
+		// entry whose endpoints share an organisation.
+		if lb.Type == asgraph.S2S || (orgs != nil && orgs.Siblings(l.A, l.B)) {
+			rep.SiblingEntries++
+			return
+		}
+
+		out.Add(l, lb)
+	})
+	rep.MultiLabelASes = len(asesOnMulti)
+	rep.Kept = out.Len()
+	return out, rep
+}
+
+func firstP2C(lbs []Label) Label {
+	for _, lb := range lbs {
+		if lb.Type == asgraph.P2C {
+			return lb
+		}
+	}
+	return Label{Type: asgraph.S2S} // sentinel: no P2C label present
+}

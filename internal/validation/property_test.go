@@ -1,0 +1,127 @@
+package validation
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/org"
+)
+
+// randomSnapshot builds an arbitrary snapshot, possibly including
+// reserved ASNs, multi-label entries and sibling pairs.
+func randomSnapshot(rng *rand.Rand) (*Snapshot, *org.Table) {
+	s := NewSnapshot()
+	orgs := org.NewTable()
+	n := 5 + rng.Intn(60)
+	for i := 0; i < n; i++ {
+		a := asn.ASN(rng.Intn(500) + 1)
+		b := asn.ASN(rng.Intn(500) + 1)
+		if a == b {
+			continue
+		}
+		switch rng.Intn(6) {
+		case 0: // reserved endpoint
+			a = asn.Trans
+		case 1:
+			a = asn.Private16First + asn.ASN(rng.Intn(100))
+		case 2: // sibling pair
+			orgs.Assign(a, "shared")
+			orgs.Assign(b, "shared")
+		}
+		l := asgraph.NewLink(a, b)
+		switch rng.Intn(3) {
+		case 0:
+			s.Add(l, Label{Type: asgraph.P2P})
+		case 1:
+			s.Add(l, Label{Type: asgraph.P2C, Provider: l.A})
+		default:
+			s.Add(l, Label{Type: asgraph.S2S})
+		}
+		if rng.Intn(5) == 0 { // multi-label
+			s.Add(l, Label{Type: asgraph.P2C, Provider: l.B})
+		}
+	}
+	return s, orgs
+}
+
+// Property: serialization round-trips arbitrary snapshots exactly.
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, _ := randomSnapshot(rng)
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Parse(&buf)
+		if err != nil || got.Len() != s.Len() {
+			return false
+		}
+		ok := true
+		s.ForEach(func(l asgraph.Link, lbs []Label) {
+			g := got.Labels(l)
+			if len(g) != len(lbs) {
+				ok = false
+				return
+			}
+			for i := range lbs {
+				if g[i] != lbs[i] {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clean is idempotent and its output is free of reserved
+// ASNs, siblings, S2S labels and multi-label entries — for every
+// policy.
+func TestCleanIdempotentAndSoundProperty(t *testing.T) {
+	f := func(seed int64, policyRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, orgs := randomSnapshot(rng)
+		policy := AmbiguousPolicy(policyRaw % 3)
+
+		clean, rep := Clean(s, orgs, policy)
+		if rep.Kept != clean.Len() {
+			return false
+		}
+		sound := true
+		clean.ForEach(func(l asgraph.Link, lbs []Label) {
+			if len(lbs) != 1 {
+				sound = false
+				return
+			}
+			if l.A.IsReserved() || l.B.IsReserved() {
+				sound = false
+			}
+			if orgs.Siblings(l.A, l.B) {
+				sound = false
+			}
+			if lbs[0].Type == asgraph.S2S {
+				sound = false
+			}
+		})
+		if !sound {
+			return false
+		}
+		// Idempotence: cleaning the cleaned snapshot changes nothing.
+		again, rep2 := Clean(clean, orgs, policy)
+		if again.Len() != clean.Len() {
+			return false
+		}
+		return rep2.TransEntries == 0 && rep2.ReservedEntries == 0 &&
+			rep2.MultiLabelEntries == 0 && rep2.SiblingEntries == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

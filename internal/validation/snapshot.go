@@ -1,0 +1,225 @@
+// Package validation models AS-relationship validation data: label
+// snapshots compiled from BGP community observations, the multi-label
+// entries complex relationships produce, and the §4.2 cleaning passes
+// of Prehn & Feldmann (IMC'21) — spurious-label removal (AS_TRANS and
+// reserved ASNs), ambiguous-label treatment policies, and sibling
+// removal via AS-to-Organization data.
+package validation
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+)
+
+// Label is one validation label for a link. For P2C labels Provider
+// identifies the provider endpoint.
+type Label struct {
+	Type     asgraph.RelType
+	Provider asn.ASN
+}
+
+// LabelOf converts a ground-truth relationship into a label.
+func LabelOf(r asgraph.Rel) Label {
+	return Label{Type: r.Type, Provider: r.Provider}
+}
+
+// String implements fmt.Stringer.
+func (l Label) String() string {
+	if l.Type == asgraph.P2C {
+		return fmt.Sprintf("p2c(provider=%d)", l.Provider)
+	}
+	return l.Type.String()
+}
+
+// Snapshot is a validation data set: per link, the list of distinct
+// labels observed (in observation order). Most links have exactly one
+// label; complex/hybrid links and dirty data have several.
+type Snapshot struct {
+	labels map[asgraph.Link][]Label
+}
+
+// NewSnapshot returns an empty snapshot.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{labels: make(map[asgraph.Link][]Label)}
+}
+
+// Add records a label observation for l, ignoring exact duplicates.
+func (s *Snapshot) Add(l asgraph.Link, lb Label) {
+	for _, have := range s.labels[l] {
+		if have == lb {
+			return
+		}
+	}
+	s.labels[l] = append(s.labels[l], lb)
+}
+
+// Labels returns the labels recorded for l.
+func (s *Snapshot) Labels(l asgraph.Link) []Label { return s.labels[l] }
+
+// Label returns the single label for l; ok is false when l is absent
+// or carries multiple labels.
+func (s *Snapshot) Label(l asgraph.Link) (Label, bool) {
+	lbs := s.labels[l]
+	if len(lbs) != 1 {
+		return Label{}, false
+	}
+	return lbs[0], true
+}
+
+// Has reports whether l has at least one label.
+func (s *Snapshot) Has(l asgraph.Link) bool { return len(s.labels[l]) > 0 }
+
+// Len returns the number of labelled links.
+func (s *Snapshot) Len() int { return len(s.labels) }
+
+// Links returns all labelled links in deterministic order.
+func (s *Snapshot) Links() []asgraph.Link {
+	out := make([]asgraph.Link, 0, len(s.labels))
+	for l := range s.labels {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// ForEach calls fn for every (link, labels) pair in unspecified order.
+func (s *Snapshot) ForEach(fn func(asgraph.Link, []Label)) {
+	for l, lbs := range s.labels {
+		fn(l, lbs)
+	}
+}
+
+// CountByType returns the number of links whose (single) label has the
+// given type. Multi-label links are not counted.
+func (s *Snapshot) CountByType(t asgraph.RelType) int {
+	n := 0
+	for _, lbs := range s.labels {
+		if len(lbs) == 1 && lbs[0].Type == t {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (s *Snapshot) Clone() *Snapshot {
+	c := NewSnapshot()
+	for l, lbs := range s.labels {
+		c.labels[l] = append([]Label(nil), lbs...)
+	}
+	return c
+}
+
+// remove deletes the entry for l.
+func (s *Snapshot) remove(l asgraph.Link) { delete(s.labels, l) }
+
+// SetLabels replaces the labels of l (deleting the entry when labels
+// is empty). It is used to model defects in upstream data, e.g. the
+// §6.1 "inaccurate validation data" case.
+func (s *Snapshot) SetLabels(l asgraph.Link, labels []Label) {
+	if len(labels) == 0 {
+		delete(s.labels, l)
+		return
+	}
+	s.labels[l] = append([]Label(nil), labels...)
+}
+
+// WriteTo serialises the snapshot in a pipe-separated layout modelled
+// on the published ASRank validation data:
+//
+//	<as1>|<as2>|<label>[,<label>...]
+//
+// where label is "p2c" (as1 is the provider), "c2p" (as2 is the
+// provider), "p2p" or "s2s". WriteTo implements io.WriterTo.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	n, err := bw.WriteString("# breval validation snapshot\n")
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, l := range s.Links() {
+		parts := make([]string, 0, len(s.labels[l]))
+		for _, lb := range s.labels[l] {
+			switch {
+			case lb.Type == asgraph.P2C && lb.Provider == l.A:
+				parts = append(parts, "p2c")
+			case lb.Type == asgraph.P2C:
+				parts = append(parts, "c2p")
+			case lb.Type == asgraph.S2S:
+				parts = append(parts, "s2s")
+			default:
+				parts = append(parts, "p2p")
+			}
+		}
+		n, err := fmt.Fprintf(bw, "%d|%d|%s\n", l.A, l.B, strings.Join(parts, ","))
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// Parse reads a snapshot produced by WriteTo.
+func Parse(r io.Reader) (*Snapshot, error) {
+	s := NewSnapshot()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("validation: line %d: want 3 fields", lineno)
+		}
+		a, err := asn.Parse(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("validation: line %d: %w", lineno, err)
+		}
+		b, err := asn.Parse(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("validation: line %d: %w", lineno, err)
+		}
+		l := asgraph.NewLink(a, b)
+		for _, part := range strings.Split(fields[2], ",") {
+			var lb Label
+			switch part {
+			case "p2c":
+				lb = Label{Type: asgraph.P2C, Provider: a}
+			case "c2p":
+				lb = Label{Type: asgraph.P2C, Provider: b}
+			case "p2p":
+				lb = Label{Type: asgraph.P2P}
+			case "s2s":
+				lb = Label{Type: asgraph.S2S}
+			default:
+				return nil, fmt.Errorf("validation: line %d: unknown label %q", lineno, part)
+			}
+			if lb.Type == asgraph.P2C && !l.Has(lb.Provider) {
+				return nil, fmt.Errorf("validation: line %d: provider not on link", lineno)
+			}
+			s.Add(l, lb)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("validation: %w", err)
+	}
+	return s, nil
+}

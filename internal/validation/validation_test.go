@@ -1,0 +1,209 @@
+package validation
+
+import (
+	"bytes"
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/org"
+)
+
+func lbP2C(provider asn.ASN) Label { return Label{Type: asgraph.P2C, Provider: provider} }
+func lbP2P() Label                 { return Label{Type: asgraph.P2P} }
+func lbS2S() Label                 { return Label{Type: asgraph.S2S} }
+
+func TestSnapshotAddDedup(t *testing.T) {
+	s := NewSnapshot()
+	l := asgraph.NewLink(1, 2)
+	s.Add(l, lbP2C(1))
+	s.Add(l, lbP2C(1)) // duplicate
+	if got := s.Labels(l); len(got) != 1 {
+		t.Fatalf("Labels = %v", got)
+	}
+	s.Add(l, lbP2P())
+	if got := s.Labels(l); len(got) != 2 {
+		t.Fatalf("Labels after second type = %v", got)
+	}
+	if _, ok := s.Label(l); ok {
+		t.Error("Label() must fail on multi-label entries")
+	}
+	if !s.Has(l) || s.Len() != 1 {
+		t.Error("Has/Len wrong")
+	}
+}
+
+func TestSnapshotCountByType(t *testing.T) {
+	s := NewSnapshot()
+	s.Add(asgraph.NewLink(1, 2), lbP2C(1))
+	s.Add(asgraph.NewLink(1, 3), lbP2C(1))
+	s.Add(asgraph.NewLink(2, 3), lbP2P())
+	s.Add(asgraph.NewLink(4, 5), lbP2P())
+	s.Add(asgraph.NewLink(4, 5), lbP2C(4)) // multi-label: not counted
+	if got := s.CountByType(asgraph.P2C); got != 2 {
+		t.Errorf("CountByType(P2C) = %d", got)
+	}
+	if got := s.CountByType(asgraph.P2P); got != 1 {
+		t.Errorf("CountByType(P2P) = %d", got)
+	}
+}
+
+func TestSnapshotSerializationRoundTrip(t *testing.T) {
+	s := NewSnapshot()
+	s.Add(asgraph.NewLink(10, 2), lbP2C(10)) // canonical link is (2,10): c2p
+	s.Add(asgraph.NewLink(1, 3), lbP2P())
+	s.Add(asgraph.NewLink(5, 6), lbS2S())
+	multi := asgraph.NewLink(7, 8)
+	s.Add(multi, lbP2P())
+	s.Add(multi, lbP2C(7))
+
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, buf.String())
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), s.Len())
+	}
+	lb, ok := got.Label(asgraph.NewLink(10, 2))
+	if !ok || lb.Type != asgraph.P2C || lb.Provider != 10 {
+		t.Errorf("p2c direction lost: %v %v", lb, ok)
+	}
+	if lbs := got.Labels(multi); len(lbs) != 2 {
+		t.Errorf("multi-label lost: %v", lbs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"1|2\n",
+		"1|2|bogus\n",
+		"x|2|p2p\n",
+		"1|y|p2p\n",
+	} {
+		if _, err := Parse(bytes.NewBufferString(in)); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+func cleanFixture() (*Snapshot, *org.Table) {
+	s := NewSnapshot()
+	// Spurious: AS_TRANS and reserved.
+	s.Add(asgraph.NewLink(asn.Trans, 5), lbP2C(5))
+	s.Add(asgraph.NewLink(asn.Private16First, 6), lbP2P())
+	s.Add(asgraph.NewLink(asn.Doc16First, 7), lbP2P())
+	// Ambiguous entries.
+	m1 := asgraph.NewLink(20, 21)
+	s.Add(m1, lbP2P())
+	s.Add(m1, lbP2C(20))
+	m2 := asgraph.NewLink(22, 23)
+	s.Add(m2, lbP2C(23))
+	s.Add(m2, lbP2P())
+	// Sibling entries: one labelled s2s, one mislabelled p2c.
+	s.Add(asgraph.NewLink(30, 31), lbS2S())
+	s.Add(asgraph.NewLink(32, 33), lbP2C(32))
+	// Clean entries.
+	s.Add(asgraph.NewLink(40, 41), lbP2C(40))
+	s.Add(asgraph.NewLink(42, 43), lbP2P())
+
+	orgs := org.NewTable()
+	orgs.Assign(32, "o1")
+	orgs.Assign(33, "o1")
+	return s, orgs
+}
+
+func TestCleanIgnorePolicy(t *testing.T) {
+	s, orgs := cleanFixture()
+	out, rep := Clean(s, orgs, Ignore)
+	if rep.TransEntries != 1 || rep.ReservedEntries != 2 {
+		t.Errorf("spurious: %+v", rep)
+	}
+	if rep.MultiLabelEntries != 2 || rep.MultiLabelKept != 0 {
+		t.Errorf("multi: %+v", rep)
+	}
+	if rep.MultiLabelASes != 4 {
+		t.Errorf("MultiLabelASes = %d, want 4", rep.MultiLabelASes)
+	}
+	if rep.SiblingEntries != 2 {
+		t.Errorf("siblings: %+v", rep)
+	}
+	if out.Len() != 2 || rep.Kept != 2 {
+		t.Errorf("kept %d entries: %+v", out.Len(), rep)
+	}
+	if _, ok := out.Label(asgraph.NewLink(40, 41)); !ok {
+		t.Error("clean p2c entry lost")
+	}
+}
+
+func TestCleanP2PIfFirstPolicy(t *testing.T) {
+	s, orgs := cleanFixture()
+	out, rep := Clean(s, orgs, P2PIfFirst)
+	if rep.MultiLabelKept != 2 {
+		t.Errorf("MultiLabelKept = %d", rep.MultiLabelKept)
+	}
+	lb, ok := out.Label(asgraph.NewLink(20, 21))
+	if !ok || lb.Type != asgraph.P2P {
+		t.Errorf("m1 = %v, %v; want p2p (first label p2p)", lb, ok)
+	}
+	lb, ok = out.Label(asgraph.NewLink(22, 23))
+	if !ok || lb.Type != asgraph.P2C || lb.Provider != 23 {
+		t.Errorf("m2 = %v, %v; want p2c(23)", lb, ok)
+	}
+	if out.Len() != 4 {
+		t.Errorf("kept %d entries, want 4", out.Len())
+	}
+}
+
+func TestCleanAlwaysP2CPolicy(t *testing.T) {
+	s, orgs := cleanFixture()
+	out, _ := Clean(s, orgs, AlwaysP2C)
+	lb, ok := out.Label(asgraph.NewLink(20, 21))
+	if !ok || lb.Type != asgraph.P2C || lb.Provider != 20 {
+		t.Errorf("m1 = %v, %v; want p2c(20)", lb, ok)
+	}
+	lb, ok = out.Label(asgraph.NewLink(22, 23))
+	if !ok || lb.Type != asgraph.P2C || lb.Provider != 23 {
+		t.Errorf("m2 = %v, %v; want p2c(23)", lb, ok)
+	}
+}
+
+func TestCleanAlwaysP2CDropsP2POnlyMulti(t *testing.T) {
+	s := NewSnapshot()
+	l := asgraph.NewLink(1, 2)
+	s.Add(l, lbP2P())
+	s.Add(l, lbS2S())
+	out, _ := Clean(s, nil, AlwaysP2C)
+	if out.Has(l) {
+		t.Error("multi-label entry without p2c label kept under AlwaysP2C")
+	}
+}
+
+func TestCleanNilOrgTable(t *testing.T) {
+	s := NewSnapshot()
+	s.Add(asgraph.NewLink(1, 2), lbP2C(1))
+	out, rep := Clean(s, nil, Ignore)
+	if out.Len() != 1 || rep.SiblingEntries != 0 {
+		t.Errorf("nil org table: %+v", rep)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := NewSnapshot()
+	s.Add(asgraph.NewLink(1, 2), lbP2P())
+	c := s.Clone()
+	c.Add(asgraph.NewLink(3, 4), lbP2P())
+	if s.Len() != 1 || c.Len() != 2 {
+		t.Error("Clone shares state")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Ignore.String() != "ignore" || P2PIfFirst.String() != "p2p-if-first" ||
+		AlwaysP2C.String() != "always-p2c" || AmbiguousPolicy(9).String() != "unknown" {
+		t.Error("policy names wrong")
+	}
+}

@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/communities"
+)
+
+// FuzzUnmarshalUpdate feeds arbitrary bytes to the UPDATE decoder: it
+// must never panic, and whatever decodes successfully must re-encode
+// to something that decodes to the same message.
+func FuzzUnmarshalUpdate(f *testing.F) {
+	seed := &Update{
+		ASPath:           asgraph.Path{64500, 3356, 174},
+		Communities:      []communities.Community{{ASN: 3356, Value: 666}},
+		LargeCommunities: []LargeCommunity{{Global: 4200000001, Data1: 1, Data2: 990}},
+		NLRI:             []Prefix{PrefixForAS(174)},
+		Withdrawn:        []Prefix{{Addr: [4]byte{10, 1, 2, 0}, Bits: 24}},
+	}
+	b, err := seed.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 19))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, n, err := UnmarshalUpdate(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re, err := u.Marshal()
+		if err != nil {
+			// Some decodable messages are not re-encodable (e.g. an
+			// empty update without NLRI drops its attributes); that
+			// is fine as long as decoding never panicked.
+			return
+		}
+		u2, _, err := UnmarshalUpdate(re)
+		if err != nil {
+			t.Fatalf("re-encoded message does not decode: %v", err)
+		}
+		if u2.ASPath.String() != u.ASPath.String() {
+			t.Fatalf("path changed: %v vs %v", u.ASPath, u2.ASPath)
+		}
+	})
+}
+
+// FuzzRIBReader must never panic on arbitrary streams.
+func FuzzRIBReader(f *testing.F) {
+	var buf bytes.Buffer
+	rw := NewRIBWriter(&buf, 42)
+	_ = rw.Write(RIBEntry{Prefix: PrefixForAS(3356), Path: asgraph.Path{64500, 3356}})
+	_ = rw.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewRIBReader(bytes.NewReader(data))
+		for i := 0; i < 1000; i++ {
+			if _, err := r.Read(); err != nil {
+				return
+			}
+		}
+	})
+}

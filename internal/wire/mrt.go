@@ -1,0 +1,168 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+)
+
+// MRT-style record framing, modelled on RFC 6396: a fixed header
+// (timestamp, type, subtype, length) followed by the record body. The
+// single record type used here carries one RIB entry: the prefix, the
+// vantage-point AS and the AS path.
+const (
+	mrtType       = 13 // TABLE_DUMP_V2
+	mrtSubtypeRIB = 2  // RIB_IPV4_UNICAST (simplified body)
+)
+
+// RIBEntry is one (vantage point, origin prefix, AS path) row of a
+// collector RIB snapshot.
+type RIBEntry struct {
+	Prefix Prefix
+	Path   asgraph.Path
+}
+
+// RIBWriter streams RIB entries in the MRT-style framing.
+type RIBWriter struct {
+	w   *bufio.Writer
+	ts  uint32
+	err error
+}
+
+// NewRIBWriter wraps w; ts is the snapshot timestamp recorded in every
+// record header.
+func NewRIBWriter(w io.Writer, ts uint32) *RIBWriter {
+	return &RIBWriter{w: bufio.NewWriter(w), ts: ts}
+}
+
+// Write emits one entry.
+func (rw *RIBWriter) Write(e RIBEntry) error {
+	if rw.err != nil {
+		return rw.err
+	}
+	if len(e.Path) == 0 || len(e.Path) > 255 {
+		return fmt.Errorf("wire: bad path length %d", len(e.Path))
+	}
+	// Body: prefix (1+n bytes) | path len (1) | ASNs (4 each).
+	bodyLen := 1 + int(e.Prefix.Bits+7)/8 + 1 + 4*len(e.Path)
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], rw.ts)
+	binary.BigEndian.PutUint16(hdr[4:6], mrtType)
+	binary.BigEndian.PutUint16(hdr[6:8], mrtSubtypeRIB)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(bodyLen))
+	if _, rw.err = rw.w.Write(hdr[:]); rw.err != nil {
+		return rw.err
+	}
+	rw.w.WriteByte(e.Prefix.Bits)
+	rw.w.Write(e.Prefix.Addr[:int(e.Prefix.Bits+7)/8])
+	rw.w.WriteByte(byte(len(e.Path)))
+	var buf [4]byte
+	for _, a := range e.Path {
+		binary.BigEndian.PutUint32(buf[:], uint32(a))
+		if _, rw.err = rw.w.Write(buf[:]); rw.err != nil {
+			return rw.err
+		}
+	}
+	return nil
+}
+
+// Flush completes the stream.
+func (rw *RIBWriter) Flush() error {
+	if rw.err != nil {
+		return rw.err
+	}
+	return rw.w.Flush()
+}
+
+// WriteRIB dumps an entire path set, deriving each entry's prefix from
+// its origin AS.
+func WriteRIB(w io.Writer, ps *bgp.PathSet, ts uint32) error {
+	rw := NewRIBWriter(w, ts)
+	var err error
+	ps.ForEach(func(p asgraph.Path) {
+		if err != nil {
+			return
+		}
+		err = rw.Write(RIBEntry{Prefix: PrefixForAS(p.Origin()), Path: p})
+	})
+	if err != nil {
+		return err
+	}
+	return rw.Flush()
+}
+
+// RIBReader streams RIB entries back.
+type RIBReader struct {
+	r *bufio.Reader
+}
+
+// NewRIBReader wraps r.
+func NewRIBReader(r io.Reader) *RIBReader {
+	return &RIBReader{r: bufio.NewReader(r)}
+}
+
+// Read returns the next entry, or io.EOF at a clean end of stream.
+func (rr *RIBReader) Read() (RIBEntry, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(rr.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return RIBEntry{}, errTruncated
+		}
+		return RIBEntry{}, err
+	}
+	typ := binary.BigEndian.Uint16(hdr[4:6])
+	sub := binary.BigEndian.Uint16(hdr[6:8])
+	if typ != mrtType || sub != mrtSubtypeRIB {
+		return RIBEntry{}, fmt.Errorf("wire: unexpected record type %d/%d", typ, sub)
+	}
+	bodyLen := binary.BigEndian.Uint32(hdr[8:12])
+	if bodyLen < 2 || bodyLen > 4096 {
+		return RIBEntry{}, fmt.Errorf("wire: bad record length %d", bodyLen)
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(rr.r, body); err != nil {
+		return RIBEntry{}, errTruncated
+	}
+	var e RIBEntry
+	p, n, err := readPrefix(body)
+	if err != nil {
+		return RIBEntry{}, err
+	}
+	e.Prefix = p
+	body = body[n:]
+	if len(body) < 1 {
+		return RIBEntry{}, errTruncated
+	}
+	hops := int(body[0])
+	body = body[1:]
+	if len(body) != hops*4 {
+		return RIBEntry{}, errors.New("wire: path length mismatch")
+	}
+	e.Path = make(asgraph.Path, hops)
+	for i := 0; i < hops; i++ {
+		e.Path[i] = asn.ASN(binary.BigEndian.Uint32(body[i*4 : i*4+4]))
+	}
+	return e, nil
+}
+
+// ReadRIB reads a whole dump into a path set.
+func ReadRIB(r io.Reader) (*bgp.PathSet, error) {
+	rr := NewRIBReader(r)
+	ps := bgp.NewPathSet(1024, 4096)
+	for {
+		e, err := rr.Read()
+		if err == io.EOF {
+			return ps, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		ps.Append(e.Path)
+	}
+}

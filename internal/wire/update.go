@@ -1,0 +1,347 @@
+// Package wire implements binary codecs for the routing data the
+// pipeline exchanges on disk and over pipes: a simplified BGP UPDATE
+// message (RFC 4271 framing with ORIGIN, AS_PATH — 4-byte ASNs per RFC
+// 6793 — NEXT_HOP and COMMUNITIES attributes) and an MRT-style
+// container for RIB snapshots (inspired by RFC 6396's TABLE_DUMP_V2).
+//
+// The codecs cover exactly the feature subset the AS-relationship
+// pipeline needs; they are not a full BGP implementation, but the
+// framing matches the real wire formats so real-world tooling concepts
+// (marker, attribute flags, prefix encoding) carry over.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/communities"
+)
+
+// BGP message framing constants (RFC 4271).
+const (
+	markerLen     = 16
+	headerLen     = 19
+	maxMessageLen = 4096
+
+	// TypeUpdate is the BGP UPDATE message type code.
+	TypeUpdate = 2
+)
+
+// Path attribute type codes.
+const (
+	attrOrigin           = 1
+	attrASPath           = 2
+	attrNextHop          = 3
+	attrCommunities      = 8
+	attrLargeCommunities = 32
+)
+
+// AS_PATH segment types.
+const (
+	segSequence = 2
+)
+
+// Attribute flag bits.
+const (
+	flagOptional   = 0x80
+	flagTransitive = 0x40
+	flagExtLen     = 0x10
+)
+
+// Prefix is an IPv4 NLRI prefix.
+type Prefix struct {
+	Addr [4]byte
+	Bits uint8
+}
+
+// String implements fmt.Stringer.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d/%d", p.Addr[0], p.Addr[1], p.Addr[2], p.Addr[3], p.Bits)
+}
+
+// PrefixForAS returns the deterministic synthetic prefix the simulator
+// assigns to an origin AS: one /24 from 10.0.0.0/8, unique for ASNs
+// below 2^16 (the synthetic worlds allocate far less).
+func PrefixForAS(a asn.ASN) Prefix {
+	return Prefix{Addr: [4]byte{10, byte(a >> 8), byte(a), 0}, Bits: 24}
+}
+
+// LargeCommunity is an RFC 8092 large community: a 4-byte global
+// administrator (the tagging ASN, which may be 32-bit) and two 4-byte
+// local data fields.
+type LargeCommunity struct {
+	Global       asn.ASN
+	Data1, Data2 uint32
+}
+
+// String implements fmt.Stringer.
+func (c LargeCommunity) String() string {
+	return fmt.Sprintf("%d:%d:%d", c.Global, c.Data1, c.Data2)
+}
+
+// Update is a simplified BGP UPDATE: announced prefixes with one AS
+// path, classic communities (16-bit admins) and large communities
+// (32-bit admins). Withdrawals carry no attributes.
+type Update struct {
+	Withdrawn        []Prefix
+	ASPath           asgraph.Path
+	Communities      []communities.Community
+	LargeCommunities []LargeCommunity
+	NLRI             []Prefix
+}
+
+// errTruncated reports short input.
+var errTruncated = errors.New("wire: truncated message")
+
+// Marshal encodes the update with RFC 4271 framing (all-ones marker,
+// length, type) and 4-byte AS numbers in AS_PATH.
+func (u *Update) Marshal() ([]byte, error) {
+	var body bytes.Buffer
+
+	// Withdrawn routes.
+	var wd bytes.Buffer
+	for _, p := range u.Withdrawn {
+		writePrefix(&wd, p)
+	}
+	if wd.Len() > 0xffff {
+		return nil, errors.New("wire: withdrawn section too large")
+	}
+	binary.Write(&body, binary.BigEndian, uint16(wd.Len()))
+	body.Write(wd.Bytes())
+
+	// Path attributes.
+	var attrs bytes.Buffer
+	if len(u.NLRI) > 0 {
+		writeAttr(&attrs, flagTransitive, attrOrigin, []byte{0}) // IGP
+		var pb bytes.Buffer
+		pb.WriteByte(segSequence)
+		if len(u.ASPath) > 255 {
+			return nil, errors.New("wire: AS path too long")
+		}
+		pb.WriteByte(byte(len(u.ASPath)))
+		for _, a := range u.ASPath {
+			binary.Write(&pb, binary.BigEndian, uint32(a))
+		}
+		writeAttr(&attrs, flagTransitive, attrASPath, pb.Bytes())
+		writeAttr(&attrs, flagTransitive, attrNextHop, []byte{192, 0, 2, 1})
+		if len(u.Communities) > 0 {
+			var cb bytes.Buffer
+			for _, c := range u.Communities {
+				if !c.ASN.Is16Bit() {
+					return nil, fmt.Errorf("wire: community AS %d needs large communities", c.ASN)
+				}
+				binary.Write(&cb, binary.BigEndian, uint16(c.ASN))
+				binary.Write(&cb, binary.BigEndian, c.Value)
+			}
+			writeAttr(&attrs, flagOptional|flagTransitive, attrCommunities, cb.Bytes())
+		}
+		if len(u.LargeCommunities) > 0 {
+			var lb bytes.Buffer
+			for _, c := range u.LargeCommunities {
+				binary.Write(&lb, binary.BigEndian, uint32(c.Global))
+				binary.Write(&lb, binary.BigEndian, c.Data1)
+				binary.Write(&lb, binary.BigEndian, c.Data2)
+			}
+			writeAttr(&attrs, flagOptional|flagTransitive, attrLargeCommunities, lb.Bytes())
+		}
+	}
+	if attrs.Len() > 0xffff {
+		return nil, errors.New("wire: attribute section too large")
+	}
+	binary.Write(&body, binary.BigEndian, uint16(attrs.Len()))
+	body.Write(attrs.Bytes())
+
+	for _, p := range u.NLRI {
+		writePrefix(&body, p)
+	}
+
+	total := headerLen + body.Len()
+	if total > maxMessageLen {
+		return nil, fmt.Errorf("wire: message length %d exceeds %d", total, maxMessageLen)
+	}
+	out := make([]byte, 0, total)
+	for i := 0; i < markerLen; i++ {
+		out = append(out, 0xff)
+	}
+	out = append(out, byte(total>>8), byte(total), TypeUpdate)
+	out = append(out, body.Bytes()...)
+	return out, nil
+}
+
+func writeAttr(w *bytes.Buffer, flags, code byte, val []byte) {
+	if len(val) > 255 {
+		flags |= flagExtLen
+	}
+	w.WriteByte(flags)
+	w.WriteByte(code)
+	if flags&flagExtLen != 0 {
+		binary.Write(w, binary.BigEndian, uint16(len(val)))
+	} else {
+		w.WriteByte(byte(len(val)))
+	}
+	w.Write(val)
+}
+
+func writePrefix(w *bytes.Buffer, p Prefix) {
+	w.WriteByte(p.Bits)
+	n := int(p.Bits+7) / 8
+	w.Write(p.Addr[:n])
+}
+
+// UnmarshalUpdate decodes one UPDATE message produced by Marshal (or
+// by any speaker using the same attribute subset). It returns the
+// parsed update and the number of bytes consumed.
+func UnmarshalUpdate(b []byte) (*Update, int, error) {
+	if len(b) < headerLen {
+		return nil, 0, errTruncated
+	}
+	for i := 0; i < markerLen; i++ {
+		if b[i] != 0xff {
+			return nil, 0, fmt.Errorf("wire: bad marker byte at %d", i)
+		}
+	}
+	total := int(binary.BigEndian.Uint16(b[16:18]))
+	if total < headerLen || total > maxMessageLen {
+		return nil, 0, fmt.Errorf("wire: bad message length %d", total)
+	}
+	if len(b) < total {
+		return nil, 0, errTruncated
+	}
+	if b[18] != TypeUpdate {
+		return nil, 0, fmt.Errorf("wire: unexpected message type %d", b[18])
+	}
+	body := b[headerLen:total]
+	u := &Update{}
+
+	if len(body) < 2 {
+		return nil, 0, errTruncated
+	}
+	wdLen := int(binary.BigEndian.Uint16(body[:2]))
+	body = body[2:]
+	if len(body) < wdLen {
+		return nil, 0, errTruncated
+	}
+	wd := body[:wdLen]
+	body = body[wdLen:]
+	for len(wd) > 0 {
+		p, n, err := readPrefix(wd)
+		if err != nil {
+			return nil, 0, err
+		}
+		u.Withdrawn = append(u.Withdrawn, p)
+		wd = wd[n:]
+	}
+
+	if len(body) < 2 {
+		return nil, 0, errTruncated
+	}
+	atLen := int(binary.BigEndian.Uint16(body[:2]))
+	body = body[2:]
+	if len(body) < atLen {
+		return nil, 0, errTruncated
+	}
+	attrs := body[:atLen]
+	body = body[atLen:]
+	for len(attrs) > 0 {
+		if len(attrs) < 3 {
+			return nil, 0, errTruncated
+		}
+		flags, code := attrs[0], attrs[1]
+		var vlen, off int
+		if flags&flagExtLen != 0 {
+			if len(attrs) < 4 {
+				return nil, 0, errTruncated
+			}
+			vlen = int(binary.BigEndian.Uint16(attrs[2:4]))
+			off = 4
+		} else {
+			vlen = int(attrs[2])
+			off = 3
+		}
+		if len(attrs) < off+vlen {
+			return nil, 0, errTruncated
+		}
+		val := attrs[off : off+vlen]
+		attrs = attrs[off+vlen:]
+		switch code {
+		case attrASPath:
+			if err := parseASPath(val, u); err != nil {
+				return nil, 0, err
+			}
+		case attrCommunities:
+			if vlen%4 != 0 {
+				return nil, 0, errors.New("wire: bad communities length")
+			}
+			for i := 0; i < vlen; i += 4 {
+				u.Communities = append(u.Communities, communities.Community{
+					ASN:   asn.ASN(binary.BigEndian.Uint16(val[i : i+2])),
+					Value: binary.BigEndian.Uint16(val[i+2 : i+4]),
+				})
+			}
+		case attrLargeCommunities:
+			if vlen%12 != 0 {
+				return nil, 0, errors.New("wire: bad large-communities length")
+			}
+			for i := 0; i < vlen; i += 12 {
+				u.LargeCommunities = append(u.LargeCommunities, LargeCommunity{
+					Global: asn.ASN(binary.BigEndian.Uint32(val[i : i+4])),
+					Data1:  binary.BigEndian.Uint32(val[i+4 : i+8]),
+					Data2:  binary.BigEndian.Uint32(val[i+8 : i+12]),
+				})
+			}
+		}
+	}
+
+	for len(body) > 0 {
+		p, n, err := readPrefix(body)
+		if err != nil {
+			return nil, 0, err
+		}
+		u.NLRI = append(u.NLRI, p)
+		body = body[n:]
+	}
+	return u, total, nil
+}
+
+func parseASPath(val []byte, u *Update) error {
+	for len(val) > 0 {
+		if len(val) < 2 {
+			return errTruncated
+		}
+		segType, count := val[0], int(val[1])
+		if segType != segSequence {
+			return fmt.Errorf("wire: unsupported AS_PATH segment type %d", segType)
+		}
+		need := 2 + count*4
+		if len(val) < need {
+			return errTruncated
+		}
+		for i := 0; i < count; i++ {
+			u.ASPath = append(u.ASPath, asn.ASN(binary.BigEndian.Uint32(val[2+i*4:6+i*4])))
+		}
+		val = val[need:]
+	}
+	return nil
+}
+
+func readPrefix(b []byte) (Prefix, int, error) {
+	if len(b) < 1 {
+		return Prefix{}, 0, errTruncated
+	}
+	bits := b[0]
+	if bits > 32 {
+		return Prefix{}, 0, fmt.Errorf("wire: bad prefix length %d", bits)
+	}
+	n := int(bits+7) / 8
+	if len(b) < 1+n {
+		return Prefix{}, 0, errTruncated
+	}
+	var p Prefix
+	p.Bits = bits
+	copy(p.Addr[:], b[1:1+n])
+	return p, 1 + n, nil
+}

@@ -1,0 +1,269 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+	"breval/internal/communities"
+)
+
+func TestUpdateRoundTrip(t *testing.T) {
+	u := &Update{
+		ASPath: asgraph.Path{64500, 3356, 174, 90000000},
+		Communities: []communities.Community{
+			{ASN: 3356, Value: 666},
+			{ASN: 174, Value: 990},
+		},
+		NLRI:      []Prefix{PrefixForAS(90000000), {Addr: [4]byte{192, 0, 2, 0}, Bits: 25}},
+		Withdrawn: []Prefix{{Addr: [4]byte{198, 51, 100, 0}, Bits: 24}},
+	}
+	b, err := u.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, n, err := UnmarshalUpdate(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if n != len(b) {
+		t.Errorf("consumed %d of %d bytes", n, len(b))
+	}
+	if got.ASPath.String() != u.ASPath.String() {
+		t.Errorf("path = %v, want %v", got.ASPath, u.ASPath)
+	}
+	if len(got.Communities) != 2 || got.Communities[0] != u.Communities[0] {
+		t.Errorf("communities = %v", got.Communities)
+	}
+	if len(got.NLRI) != 2 || got.NLRI[0] != u.NLRI[0] || got.NLRI[1] != u.NLRI[1] {
+		t.Errorf("nlri = %v", got.NLRI)
+	}
+	if len(got.Withdrawn) != 1 || got.Withdrawn[0] != u.Withdrawn[0] {
+		t.Errorf("withdrawn = %v", got.Withdrawn)
+	}
+}
+
+func TestUpdateEmptyWithdrawOnly(t *testing.T) {
+	u := &Update{Withdrawn: []Prefix{{Addr: [4]byte{10, 0, 0, 0}, Bits: 8}}}
+	b, err := u.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := UnmarshalUpdate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.NLRI) != 0 || len(got.ASPath) != 0 || len(got.Withdrawn) != 1 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestUpdateRejectsLargeCommunityASN(t *testing.T) {
+	u := &Update{
+		ASPath:      asgraph.Path{1},
+		NLRI:        []Prefix{PrefixForAS(1)},
+		Communities: []communities.Community{{ASN: 70000, Value: 1}},
+	}
+	if _, err := u.Marshal(); err == nil {
+		t.Error("32-bit community ASN accepted in classic attribute")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	u := &Update{ASPath: asgraph.Path{1, 2}, NLRI: []Prefix{PrefixForAS(2)}}
+	good, _ := u.Marshal()
+
+	for name, corrupt := range map[string]func([]byte) []byte{
+		"truncated header": func(b []byte) []byte { return b[:10] },
+		"bad marker":       func(b []byte) []byte { c := clone(b); c[0] = 0; return c },
+		"bad type":         func(b []byte) []byte { c := clone(b); c[18] = 99; return c },
+		"short body":       func(b []byte) []byte { return b[:len(b)-3] },
+		"bad length":       func(b []byte) []byte { c := clone(b); c[16], c[17] = 0, 5; return c },
+	} {
+		if _, _, err := UnmarshalUpdate(corrupt(good)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func clone(b []byte) []byte { return append([]byte(nil), b...) }
+
+func TestUpdateRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := &Update{}
+		hops := 1 + rng.Intn(10)
+		for i := 0; i < hops; i++ {
+			u.ASPath = append(u.ASPath, asn.ASN(rng.Uint32()))
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			u.Communities = append(u.Communities, communities.Community{
+				ASN: asn.ASN(rng.Intn(65536)), Value: uint16(rng.Intn(65536)),
+			})
+		}
+		for i := 0; i <= rng.Intn(4); i++ {
+			u.NLRI = append(u.NLRI, Prefix{
+				Addr: [4]byte{byte(rng.Intn(224)), byte(rng.Intn(256)), byte(rng.Intn(256)), 0},
+				Bits: uint8(16 + rng.Intn(9)),
+			})
+		}
+		b, err := u.Marshal()
+		if err != nil {
+			return false
+		}
+		got, n, err := UnmarshalUpdate(b)
+		if err != nil || n != len(b) {
+			return false
+		}
+		if got.ASPath.String() != u.ASPath.String() || len(got.NLRI) != len(u.NLRI) ||
+			len(got.Communities) != len(u.Communities) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixForASDeterministic(t *testing.T) {
+	p1 := PrefixForAS(3356)
+	p2 := PrefixForAS(3356)
+	if p1 != p2 {
+		t.Error("PrefixForAS not deterministic")
+	}
+	if p1 == PrefixForAS(174) {
+		t.Error("distinct ASes share a prefix")
+	}
+	if p1.Bits != 24 {
+		t.Errorf("prefix length = %d", p1.Bits)
+	}
+	if p1.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestRIBRoundTrip(t *testing.T) {
+	ps := bgp.NewPathSet(3, 16)
+	ps.Append(asgraph.Path{100, 10, 1})
+	ps.Append(asgraph.Path{200, 20, 2, 90000000})
+	ps.Append(asgraph.Path{1})
+
+	var buf bytes.Buffer
+	if err := WriteRIB(&buf, ps, 1522540800); err != nil {
+		t.Fatalf("WriteRIB: %v", err)
+	}
+	got, err := ReadRIB(&buf)
+	if err != nil {
+		t.Fatalf("ReadRIB: %v", err)
+	}
+	if got.Len() != ps.Len() {
+		t.Fatalf("round trip: %d paths, want %d", got.Len(), ps.Len())
+	}
+	for i := 0; i < ps.Len(); i++ {
+		if got.At(i).String() != ps.At(i).String() {
+			t.Errorf("path %d = %v, want %v", i, got.At(i), ps.At(i))
+		}
+	}
+}
+
+func TestRIBReaderEOFAndErrors(t *testing.T) {
+	r := NewRIBReader(bytes.NewReader(nil))
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want EOF", err)
+	}
+	// Truncated header.
+	r = NewRIBReader(bytes.NewReader([]byte{1, 2, 3}))
+	if _, err := r.Read(); err == nil || err == io.EOF {
+		t.Errorf("truncated header: err = %v", err)
+	}
+	// Wrong type.
+	bad := make([]byte, 12)
+	bad[5] = 99
+	bad[11] = 2
+	r = NewRIBReader(bytes.NewReader(bad))
+	if _, err := r.Read(); err == nil {
+		t.Error("wrong type accepted")
+	}
+}
+
+func TestRIBWriterRejectsBadPaths(t *testing.T) {
+	rw := NewRIBWriter(&bytes.Buffer{}, 0)
+	if err := rw.Write(RIBEntry{Prefix: PrefixForAS(1)}); err == nil {
+		t.Error("empty path accepted")
+	}
+	long := make(asgraph.Path, 300)
+	for i := range long {
+		long[i] = asn.ASN(i + 1)
+	}
+	if err := rw.Write(RIBEntry{Prefix: PrefixForAS(1), Path: long}); err == nil {
+		t.Error("overlong path accepted")
+	}
+}
+
+func TestRIBEndToEndWithSimulatedWorld(t *testing.T) {
+	// RIB files written from simulator output parse back identically.
+	g := asgraph.New()
+	g.MustSetRel(1, 2, asgraph.P2PRel())
+	g.MustSetRel(1, 10, asgraph.P2CRel(1))
+	g.MustSetRel(2, 20, asgraph.P2CRel(2))
+	sim := bgp.NewSimulator(g)
+	ps := sim.Propagate(g.ASes(), []asn.ASN{10, 20})
+
+	var buf bytes.Buffer
+	if err := WriteRIB(&buf, ps, 42); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRIB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ps.Len() {
+		t.Fatalf("%d paths, want %d", got.Len(), ps.Len())
+	}
+}
+
+func TestLargeCommunitiesRoundTrip(t *testing.T) {
+	u := &Update{
+		ASPath: asgraph.Path{64500, 3356},
+		NLRI:   []Prefix{PrefixForAS(3356)},
+		LargeCommunities: []LargeCommunity{
+			{Global: 4200000001, Data1: 1, Data2: 990},
+			{Global: 3356, Data1: 0, Data2: 666},
+		},
+	}
+	b, err := u.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := UnmarshalUpdate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.LargeCommunities) != 2 || got.LargeCommunities[0] != u.LargeCommunities[0] ||
+		got.LargeCommunities[1] != u.LargeCommunities[1] {
+		t.Errorf("large communities = %v", got.LargeCommunities)
+	}
+	if got.LargeCommunities[0].String() != "4200000001:1:990" {
+		t.Errorf("String = %q", got.LargeCommunities[0].String())
+	}
+}
+
+func TestLargeCommunitiesBadLength(t *testing.T) {
+	u := &Update{ASPath: asgraph.Path{1}, NLRI: []Prefix{PrefixForAS(1)},
+		LargeCommunities: []LargeCommunity{{Global: 1, Data1: 2, Data2: 3}}}
+	b, err := u.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the large-communities length to a non-multiple of 12 by
+	// truncating the message body mid-attribute.
+	if _, _, err := UnmarshalUpdate(b[:len(b)-5]); err == nil {
+		t.Error("truncated large communities accepted")
+	}
+}

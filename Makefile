@@ -1,0 +1,12 @@
+# Convenience targets; scripts/check.sh is the canonical gate.
+
+.PHONY: build test check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+check:
+	sh scripts/check.sh

@@ -8,10 +8,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"breval/internal/asgraph"
 	"breval/internal/bgp"
@@ -21,6 +24,7 @@ import (
 	"breval/internal/inference/gao"
 	"breval/internal/inference/problink"
 	"breval/internal/inference/toposcope"
+	"breval/internal/resilience"
 	"breval/internal/wire"
 )
 
@@ -65,7 +69,22 @@ func run(args []string) error {
 	fset := features.Compute(ps)
 	fmt.Fprintf(os.Stderr, "asrel: %d paths, %d links, running %s\n",
 		fset.Paths.Len(), len(fset.Links), algo.Name())
-	res := algo.Infer(fset)
+
+	// Run the inference as an isolated stage: a panic on pathological
+	// input surfaces as an error with the algorithm's name and stack
+	// instead of a bare crash.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := resilience.Value(ctx, resilience.NewRunner(), "infer."+algo.Name(),
+		resilience.Policy{}, func(ctx context.Context) (*inference.Result, error) {
+			if err := resilience.Checkpoint(ctx, "infer."+algo.Name()); err != nil {
+				return nil, err
+			}
+			return algo.Infer(fset), nil
+		})
+	if err != nil {
+		return err
+	}
 
 	g := asgraph.New()
 	for l, rel := range res.Rels {

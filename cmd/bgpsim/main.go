@@ -8,9 +8,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"breval/internal/asgraph"
 	"breval/internal/bgp"
@@ -39,16 +42,22 @@ func run(args []string) error {
 		return fmt.Errorf("nothing to do: pass -text and/or -rib")
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := topogen.DefaultConfig(*seed)
 	if *ases != cfg.NumASes {
 		cfg = cfg.Scaled(*ases)
 	}
-	w, err := topogen.Generate(cfg)
+	w, err := topogen.GenerateContext(ctx, cfg)
 	if err != nil {
 		return err
 	}
 	sim := bgp.NewSimulator(w.Graph)
-	ps := sim.Propagate(w.ASNs, w.VPs)
+	ps, err := sim.PropagateContext(ctx, w.ASNs, w.VPs)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(os.Stderr, "bgpsim: %d paths from %d vantage points\n", ps.Len(), len(w.VPs))
 
 	if *textOut != "" {

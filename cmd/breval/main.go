@@ -8,27 +8,57 @@
 //	breval [-seed N] [-ases N] [-policy ignore|p2p-if-first|always-p2c]
 //	       [-only fig1,...,clean,case,hard,sources,reclass,evolve,unari]
 //	       [-algos ASRank,ProbLink,TopoScope,Gao] [-min-links N]
+//	       [-timeout D] [-experiment-timeout D] [-stage-retries N]
+//	       [-report FILE]
 //
 // Without -only every experiment is rendered in paper order.
+//
+// -timeout bounds the whole run; -experiment-timeout bounds each
+// pipeline stage and each experiment renderer individually (a stage
+// that overruns is abandoned and reported, the rest of the run
+// continues); -stage-retries re-attempts failed retryable stages.
+// -report writes the machine-readable per-stage run report as JSON.
+//
+// Exit codes: 0 when everything succeeded, 1 on fatal errors (bad
+// flags, a fatal pipeline stage, cancellation), 3 on partial success —
+// some stages failed or degraded but every surviving experiment was
+// rendered.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"breval/internal/core"
 	"breval/internal/hardlinks"
-	"breval/internal/sampling"
+	"breval/internal/resilience"
 	"breval/internal/validation"
 )
 
+// errPartial marks a run in which some stages failed but the
+// surviving experiments were rendered; main maps it to exitPartial.
+var errPartial = errors.New("partial success: some stages failed, surviving experiments rendered")
+
+// exitPartial is the documented partial-success exit code (see
+// docs/resilience.md).
+const exitPartial = 3
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "breval:", err)
-		os.Exit(1)
+	err := run(os.Args[1:])
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "breval:", err)
+	if errors.Is(err, errPartial) {
+		os.Exit(exitPartial)
+	}
+	os.Exit(1)
 }
 
 func run(args []string) error {
@@ -40,12 +70,26 @@ func run(args []string) error {
 	algos := fs.String("algos", "", "comma-separated algorithms; empty = all four")
 	minLinks := fs.Int("min-links", 100, "minimum validated links for a table row")
 	appcOut := fs.String("appendix-c", "", "write the Appendix-C per-link feature vectors (validated links) to this TSV file")
+	timeout := fs.Duration("timeout", 0, "deadline for the whole run (0 = none)")
+	expTimeout := fs.Duration("experiment-timeout", 0, "deadline per pipeline stage and per experiment renderer (0 = none)")
+	retries := fs.Int("stage-retries", 0, "re-attempts for failed retryable stages")
+	reportOut := fs.String("report", "", "write the per-stage run report as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	s := core.DefaultScenario(*seed)
 	s.NumASes = *ases
+	s.StageTimeout = *expTimeout
+	s.StageRetries = *retries
 	switch *policy {
 	case "ignore":
 		s.Policy = validation.Ignore
@@ -59,12 +103,31 @@ func run(args []string) error {
 	if *algos != "" {
 		s.Algorithms = strings.Split(*algos, ",")
 	}
+	if *retries < 0 {
+		return fmt.Errorf("-stage-retries must be non-negative (got %d)", *retries)
+	}
+	var names []string
+	if *only != "" {
+		for _, exp := range strings.Split(*only, ",") {
+			name := strings.TrimSpace(exp)
+			if !core.KnownExperiment(name) {
+				return fmt.Errorf("unknown experiment %q", name)
+			}
+			names = append(names, name)
+		}
+	}
 
 	fmt.Fprintf(os.Stderr, "breval: generating world (%d ASes, seed %d) and running the pipeline...\n",
 		s.NumASes, s.Seed)
-	art, err := core.Run(s)
+	art, err := core.RunContext(ctx, s)
+	report := &resilience.RunReport{}
+	if art != nil && art.Report != nil {
+		report = art.Report
+	}
 	if err != nil {
-		return err
+		// A fatal pipeline stage: nothing can render. Still emit the
+		// report so the failed stage is machine-readable.
+		return errors.Join(err, finishReport(report, *reportOut))
 	}
 
 	if *appcOut != "" {
@@ -82,83 +145,56 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "breval: wrote Appendix-C features to %s\n", *appcOut)
 	}
 
-	if *only == "" {
-		return art.RenderAll(os.Stdout, *minLinks)
+	opts := core.RenderOptions{
+		MinLinks:     *minLinks,
+		StageTimeout: *expTimeout,
+		StageRetries: *retries,
 	}
-	for _, exp := range strings.Split(*only, ",") {
-		if err := renderOne(art, strings.TrimSpace(exp), *minLinks); err != nil {
-			return err
-		}
-		fmt.Println()
+	var renderRep *resilience.RunReport
+	var renderErr error
+	if len(names) == 0 {
+		renderRep, renderErr = art.RenderAllContext(ctx, os.Stdout, opts)
+	} else {
+		opts.EvolveMonths = 6
+		renderRep, renderErr = art.RenderOnlyContext(ctx, os.Stdout, names, opts)
+	}
+	if renderRep != nil {
+		report.Merge(renderRep)
+	}
+	werr := finishReport(report, *reportOut)
+	if renderErr != nil {
+		return errors.Join(renderErr, werr)
+	}
+	if werr != nil {
+		return werr
+	}
+	if len(report.Failed()) > 0 || len(art.Degraded) > 0 {
+		return errPartial
 	}
 	return nil
 }
 
-func renderOne(art *core.Artifacts, exp string, minLinks int) error {
-	w := os.Stdout
-	switch exp {
-	case "fig1":
-		return art.RenderFigure1(w)
-	case "fig2":
-		return art.RenderFigure2(w)
-	case "fig3":
-		return core.RenderHeatmapPair(w, "Figure 3", art.Figure3())
-	case "tables", "tab1", "tab2", "tab3":
-		names := map[string][]string{
-			"tab1":   {core.AlgoASRank},
-			"tab2":   {core.AlgoProbLink},
-			"tab3":   {core.AlgoTopoScope},
-			"tables": {core.AlgoASRank, core.AlgoProbLink, core.AlgoTopoScope, core.AlgoGao},
-		}[exp]
-		for _, algo := range names {
-			if _, ok := art.Results[algo]; !ok {
-				continue
-			}
-			tab, err := art.TableFor(algo, minLinks)
-			if err != nil {
-				return err
-			}
-			if err := core.RenderTable(w, tab); err != nil {
-				return err
-			}
-			fmt.Fprintln(w)
-		}
-		return nil
-	case "fig4-6":
-		ser, err := art.Figures4to6(core.AlgoASRank, "T1-TR", sampling.Config{})
-		if err != nil {
-			return err
-		}
-		return art.RenderSampling(w, core.AlgoASRank, "T1-TR", ser)
-	case "fig7-9":
-		for i, hp := range art.Figures7to9() {
-			if err := core.RenderHeatmapPair(w, fmt.Sprintf("Figure %d", 7+i), hp); err != nil {
-				return err
-			}
-		}
-		return nil
-	case "clean":
-		return art.RenderCleanReport(w)
-	case "case":
-		return art.RenderCaseStudy(w, core.AlgoASRank)
-	case "hard":
-		return art.RenderHardLinks(w)
-	case "sources":
-		return art.RenderSourceComparison(w)
-	case "reclass":
-		return art.RenderReclassification(w, core.AlgoASRank)
-	case "evolve":
-		res, err := art.RunEvolution(6)
-		if err != nil {
-			return err
-		}
-		return art.RenderEvolution(w, res)
-	case "unari":
-		return art.RenderUncertainty(w)
-	case "vps":
-		return art.RenderVPSweep(w, art.VPSweep(nil))
-	case "complex":
-		return art.RenderComplexRelationships(w)
+// finishReport prints non-OK stages to stderr and writes the full
+// JSON report when a path was given. A failed write is an error: the
+// caller asked for a machine-readable record and did not get one.
+func finishReport(report *resilience.RunReport, path string) error {
+	if d := report.Degraded(); len(d) > 0 {
+		fmt.Fprintln(os.Stderr, "breval: stage report (non-OK stages):")
+		(&resilience.RunReport{Stages: d}).WriteText(os.Stderr)
 	}
-	return fmt.Errorf("unknown experiment %q", exp)
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("write report: %w", err)
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write report: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("write report: %w", err)
+	}
+	return nil
 }

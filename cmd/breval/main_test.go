@@ -1,7 +1,13 @@
 package main
 
 import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+
+	"breval/internal/resilience"
 )
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -24,10 +30,51 @@ func TestRunSingleExperiment(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
+	// Name validation happens before the pipeline runs, so this is
+	// cheap even though it exercises the -only path.
+	if err := run([]string{"-ases", "600", "-only", "fig99", "-algos", "ASRank"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestRunPartialSuccess injects a panic into one inference algorithm:
+// the run must render the surviving experiments, report the failed
+// stage, and return the partial-success sentinel (exit code 3).
+func TestRunPartialSuccess(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the pipeline")
 	}
-	if err := run([]string{"-ases", "600", "-only", "fig99", "-algos", "ASRank"}); err == nil {
-		t.Error("unknown experiment accepted")
+	defer resilience.ClearFaults()
+	resilience.InjectAt("infer.Gao", resilience.Fault{Kind: resilience.KindPanic})
+	report := filepath.Join(t.TempDir(), "report.json")
+	err := run([]string{"-ases", "600", "-only", "clean",
+		"-algos", "ASRank,Gao", "-report", report})
+	if !errors.Is(err, errPartial) {
+		t.Fatalf("err = %v, want errPartial", err)
+	}
+	b, rerr := os.ReadFile(report)
+	if rerr != nil {
+		t.Fatalf("report not written: %v", rerr)
+	}
+	if !strings.Contains(string(b), `"infer.Gao"`) ||
+		!strings.Contains(string(b), `"panic"`) {
+		t.Errorf("report does not name the failed stage:\n%s", b)
+	}
+}
+
+// TestRunFatalStageFault: a fault in a fatal stage is not partial
+// success — run returns a non-partial error naming the stage.
+func TestRunFatalStageFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline")
+	}
+	defer resilience.ClearFaults()
+	resilience.InjectAt("bgp.propagate", resilience.Fault{Kind: resilience.KindPanic})
+	err := run([]string{"-ases", "600", "-only", "clean", "-algos", "ASRank"})
+	if err == nil || errors.Is(err, errPartial) {
+		t.Fatalf("err = %v, want fatal (non-partial) error", err)
+	}
+	if !strings.Contains(err.Error(), "bgp.propagate") {
+		t.Errorf("error does not name the stage: %v", err)
 	}
 }

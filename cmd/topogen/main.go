@@ -12,10 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"breval/internal/asn"
 	"breval/internal/registry"
@@ -42,11 +45,13 @@ func run(args []string) error {
 	if *out == "" {
 		return fmt.Errorf("-out is required")
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cfg := topogen.DefaultConfig(*seed)
 	if *ases != cfg.NumASes {
 		cfg = cfg.Scaled(*ases)
 	}
-	w, err := topogen.Generate(cfg)
+	w, err := topogen.GenerateContext(ctx, cfg)
 	if err != nil {
 		return err
 	}

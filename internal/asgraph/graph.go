@@ -79,8 +79,11 @@ func (g *Graph) SetRel(a, b asn.ASN, r Rel) error {
 	return nil
 }
 
-// MustSetRel is SetRel for construction code paths where the inputs
-// are known valid; it panics on error.
+// MustSetRel is SetRel for tests and examples whose fixture inputs
+// are known valid; it panics on error. Production code paths (the
+// topology generator and everything downstream) use SetRel and
+// propagate the error so a bad input degrades the run instead of
+// killing the process.
 func (g *Graph) MustSetRel(a, b asn.ASN, r Rel) {
 	if err := g.SetRel(a, b, r); err != nil {
 		panic(err)
@@ -90,7 +93,8 @@ func (g *Graph) MustSetRel(a, b asn.ASN, r Rel) {
 func (g *Graph) addAdjacency(l Link, r Rel) {
 	switch r.Type {
 	case P2C:
-		c := l.Other(r.Provider)
+		// SetRel validated the provider endpoint before calling us.
+		c, _ := l.OtherOK(r.Provider)
 		g.adj[r.Provider] = append(g.adj[r.Provider],
 			Neighbor{ASN: c, Role: RoleCustomer, PartialTransit: r.PartialTransit})
 		g.adj[c] = append(g.adj[c], Neighbor{ASN: r.Provider, Role: RoleProvider})

@@ -64,15 +64,26 @@ func NewLink(a, b asn.ASN) Link {
 func (l Link) Has(x asn.ASN) bool { return l.A == x || l.B == x }
 
 // Other returns the endpoint that is not x. It panics if x is not an
-// endpoint; callers are expected to check Has first when unsure.
+// endpoint; it exists for construction/test code where x is known
+// valid. Hot paths and anything fed untrusted data use OtherOK.
 func (l Link) Other(x asn.ASN) asn.ASN {
+	o, ok := l.OtherOK(x)
+	if !ok {
+		panic(fmt.Sprintf("asgraph: %v is not an endpoint of %v", x, l))
+	}
+	return o
+}
+
+// OtherOK returns the endpoint that is not x, with ok=false when x is
+// not an endpoint, so callers need not rely on panic-for-control-flow.
+func (l Link) OtherOK(x asn.ASN) (asn.ASN, bool) {
 	switch x {
 	case l.A:
-		return l.B
+		return l.B, true
 	case l.B:
-		return l.A
+		return l.A, true
 	}
-	panic(fmt.Sprintf("asgraph: %v is not an endpoint of %v", x, l))
+	return 0, false
 }
 
 // String implements fmt.Stringer.
@@ -106,10 +117,10 @@ func S2SRel() Rel { return Rel{Type: S2S} }
 // Customer returns the customer endpoint of a P2C relationship on
 // link l, and ok=false for non-P2C relationships.
 func (r Rel) Customer(l Link) (asn.ASN, bool) {
-	if r.Type != P2C || !l.Has(r.Provider) {
+	if r.Type != P2C {
 		return 0, false
 	}
-	return l.Other(r.Provider), true
+	return l.OtherOK(r.Provider)
 }
 
 // String implements fmt.Stringer.

@@ -30,7 +30,11 @@ func WriteSerial1(w io.Writer, g *Graph) error {
 		var line string
 		switch r.Type {
 		case P2C:
-			line = fmt.Sprintf("%d|%d|-1\n", r.Provider, l.Other(r.Provider))
+			c, ok := l.OtherOK(r.Provider)
+			if !ok {
+				return fmt.Errorf("asgraph: serial1: provider %d not on link %v", r.Provider, l)
+			}
+			line = fmt.Sprintf("%d|%d|-1\n", r.Provider, c)
 		case P2P:
 			line = fmt.Sprintf("%d|%d|0\n", l.A, l.B)
 		case S2S:

@@ -1,0 +1,89 @@
+package bgp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/resilience"
+)
+
+func smallSim(t *testing.T) (*Simulator, []asn.ASN, []asn.ASN) {
+	t.Helper()
+	g := asgraph.New()
+	g.MustSetRel(1, 2, asgraph.P2PRel())
+	g.MustSetRel(1, 10, asgraph.P2CRel(1))
+	g.MustSetRel(2, 20, asgraph.P2CRel(2))
+	g.MustSetRel(10, 100, asgraph.P2CRel(10))
+	g.MustSetRel(20, 200, asgraph.P2CRel(20))
+	return NewSimulator(g), g.ASes(), []asn.ASN{100, 200}
+}
+
+// TestPropagateContextContainsPanic: a panic inside a propagation
+// worker must surface as a typed StageError with the recovered stack,
+// not crash the caller, and must cancel the sibling workers.
+func TestPropagateContextContainsPanic(t *testing.T) {
+	defer resilience.ClearFaults()
+	resilience.InjectAt("bgp.propagate", resilience.Fault{Kind: resilience.KindPanic})
+	sim, origins, vps := smallSim(t)
+	ps, err := sim.PropagateContext(context.Background(), origins, vps)
+	if err == nil {
+		t.Fatal("injected panic did not surface")
+	}
+	if ps != nil {
+		t.Error("path set returned alongside error")
+	}
+	var se *resilience.StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T %v, want *resilience.StageError", err, err)
+	}
+	if se.Stage != "bgp.propagate" || se.Kind != resilience.KindPanic {
+		t.Errorf("stage/kind = %s/%s", se.Stage, se.Kind)
+	}
+	if len(se.Stack) == 0 {
+		t.Error("no recovered stack")
+	}
+}
+
+// TestPropagateContextInjectedError: an error fault degrades the
+// propagation without a panic.
+func TestPropagateContextInjectedError(t *testing.T) {
+	defer resilience.ClearFaults()
+	resilience.InjectAt("bgp.propagate", resilience.Fault{Kind: resilience.KindError})
+	sim, origins, vps := smallSim(t)
+	if _, err := sim.PropagateContext(context.Background(), origins, vps); err == nil {
+		t.Fatal("injected error did not surface")
+	}
+}
+
+// TestPropagateContextCanceled: a pre-canceled context yields no
+// paths and the context's error.
+func TestPropagateContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sim, origins, vps := smallSim(t)
+	if _, err := sim.PropagateContext(ctx, origins, vps); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestPropagateMatchesPropagateContext: the fault-free context path
+// returns exactly what the Must-style wrapper returns.
+func TestPropagateMatchesPropagateContext(t *testing.T) {
+	sim, origins, vps := smallSim(t)
+	a := sim.Propagate(origins, vps)
+	b, err := sim.PropagateContext(context.Background(), origins, vps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("path counts differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i).String() != b.At(i).String() {
+			t.Errorf("path %d: %v vs %v", i, a.At(i), b.At(i))
+		}
+	}
+}

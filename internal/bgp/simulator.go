@@ -1,12 +1,15 @@
 package bgp
 
 import (
+	"context"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 
 	"breval/internal/asgraph"
 	"breval/internal/asn"
+	"breval/internal/resilience"
 )
 
 // Route preference classes, higher is preferred. The origin's own
@@ -122,7 +125,25 @@ func (st *state) has(i int32) bool { return st.stamp[i] == st.cur }
 // vantage point and returns the resulting VP→origin AS paths.
 // Unreachable (vp, origin) pairs yield no path. The computation is
 // parallel across origins and fully deterministic.
+//
+// Propagate is the Must-style convenience for tests and tools running
+// without cancellation or fault injection: it panics if the
+// propagation fails, which cannot happen under a background context
+// with no injected faults. Pipelines use PropagateContext.
 func (s *Simulator) Propagate(origins, vps []asn.ASN) *PathSet {
+	ps, err := s.PropagateContext(context.Background(), origins, vps)
+	if err != nil {
+		panic(err)
+	}
+	return ps
+}
+
+// PropagateContext is Propagate with fault isolation: a panic in any
+// propagation worker is recovered, the sibling workers are cancelled,
+// and the failure surfaces as a *resilience.StageError (stage
+// "bgp.propagate") carrying the recovered stack. Context cancellation
+// is honoured between origins.
+func (s *Simulator) PropagateContext(ctx context.Context, origins, vps []asn.ASN) (*PathSet, error) {
 	vpIdx := make([]int32, 0, len(vps))
 	for _, v := range vps {
 		if i, ok := s.idx[v]; ok {
@@ -149,6 +170,21 @@ func (s *Simulator) Propagate(origins, vps []asn.ASN) *PathSet {
 	if nw < 1 {
 		nw = 1
 	}
+
+	// A failing worker cancels its siblings; the first error wins.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+
 	results := make([]*PathSet, len(jobs))
 	var wg sync.WaitGroup
 	ch := make(chan int, len(jobs))
@@ -160,8 +196,17 @@ func (s *Simulator) Propagate(origins, vps []asn.ASN) *PathSet {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					fail(resilience.NewPanic("bgp.propagate", v, debug.Stack()))
+				}
+			}()
 			st := newState(len(s.asns))
 			for j := range ch {
+				if err := resilience.Checkpoint(ctx, "bgp.propagate"); err != nil {
+					fail(err)
+					return
+				}
 				ps := NewPathSet(len(vpIdx), len(vpIdx)*5)
 				s.propagateOne(st, jobs[j].origin, vpIdx, ps)
 				results[j] = ps
@@ -169,6 +214,12 @@ func (s *Simulator) Propagate(origins, vps []asn.ASN) *PathSet {
 		}()
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	total := NewPathSet(len(jobs)*len(vpIdx), len(jobs)*len(vpIdx)*5)
 	for _, ps := range results {
@@ -176,7 +227,7 @@ func (s *Simulator) Propagate(origins, vps []asn.ASN) *PathSet {
 			total.AppendSet(ps)
 		}
 	}
-	return total
+	return total, nil
 }
 
 // propagateOne computes the routing state for a single origin and

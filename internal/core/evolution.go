@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -60,6 +61,14 @@ func (r EvolutionResult) OversamplingGain() float64 {
 // set grows and how stable labels are. The artifacts' world is cloned
 // first; the receiver is not mutated.
 func (a *Artifacts) RunEvolution(months int) (EvolutionResult, error) {
+	return a.RunEvolutionContext(context.Background(), months)
+}
+
+// RunEvolutionContext is RunEvolution with cancellation: the context
+// is checked between snapshots and threaded into each monthly BGP
+// propagation, so a deadline or cancel aborts the study promptly with
+// the steps collected so far.
+func (a *Artifacts) RunEvolutionContext(ctx context.Context, months int) (EvolutionResult, error) {
 	if months < 1 {
 		return EvolutionResult{}, fmt.Errorf("core: need at least 1 month, got %d", months)
 	}
@@ -82,7 +91,10 @@ func (a *Artifacts) RunEvolution(months int) (EvolutionResult, error) {
 
 	snapshot := func(month, changes int) error {
 		sim := bgp.NewSimulator(w.Graph)
-		paths := sim.Propagate(w.ASNs, w.VPs)
+		paths, err := sim.PropagateContext(ctx, w.ASNs, w.VPs)
+		if err != nil {
+			return fmt.Errorf("core: evolution month %d: %w", month, err)
+		}
 		fs := features.Compute(paths)
 		ex := communities.NewExtractor(w.Graph, w.Publishers, w.Strippers, nil)
 		raw := ex.Extract(paths)
@@ -123,7 +135,13 @@ func (a *Artifacts) RunEvolution(months int) (EvolutionResult, error) {
 		return res, err
 	}
 	for m := 1; m <= months; m++ {
-		cs := topogen.Evolve(&w, topogen.DefaultEvolveConfig(a.Scenario.Seed+int64(m)*7919))
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		cs, err := topogen.Evolve(&w, topogen.DefaultEvolveConfig(a.Scenario.Seed+int64(m)*7919))
+		if err != nil {
+			return res, fmt.Errorf("core: evolution month %d: %w", m, err)
+		}
 		if err := snapshot(m, cs.Total()); err != nil {
 			return res, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -12,6 +13,11 @@ import (
 	"breval/internal/sampling"
 )
 
+// errNoTopoCls is returned by experiments that need the §5
+// topological classifier when the cones.build stage degraded and
+// Artifacts.TopoCls is nil.
+var errNoTopoCls = errors.New("core: no topological classifier (cones.build stage degraded)")
+
 // Figure1 computes the regional imbalance of Figure 1: per regional
 // link class, the share of inferred links and the validation
 // coverage.
@@ -19,14 +25,22 @@ func (a *Artifacts) Figure1() []bias.ClassStat {
 	return bias.Imbalance(a.InferredLinks, a.Validation, a.RegionCls)
 }
 
-// Figure2 computes the topological imbalance of Figure 2.
+// Figure2 computes the topological imbalance of Figure 2. It returns
+// nil when the run degraded without a topological classifier.
 func (a *Artifacts) Figure2() []bias.ClassStat {
+	if a.TopoCls == nil {
+		return nil
+	}
 	return bias.Imbalance(a.InferredLinks, a.Validation, a.TopoCls)
 }
 
 // trLinks returns the TR° links of the inferred universe and the
-// validatable subset.
+// validatable subset (empty when the topological classifier is
+// missing from a degraded run).
 func (a *Artifacts) trLinks() (inferred, validated []asgraph.Link) {
+	if a.TopoCls == nil {
+		return nil, nil
+	}
 	for l := range a.InferredLinks {
 		if name, ok := a.TopoCls.Class(l); ok && name == "TR°" {
 			inferred = append(inferred, l)
@@ -154,6 +168,9 @@ func (a *Artifacts) validatedClasses() []string {
 		if n, ok := a.RegionCls.Class(l); ok {
 			regional[n] = true
 		}
+		if a.TopoCls == nil {
+			continue
+		}
 		if n, ok := a.TopoCls.Class(l); ok {
 			topological[n] = true
 		}
@@ -193,6 +210,9 @@ func (a *Artifacts) Figures4to6(algo, class string, cfg sampling.Config) (sampli
 	var filter metrics.LinkFilter
 	if class != "" && class != "Total°" {
 		if isTopoClass(class) {
+			if a.TopoCls == nil {
+				return sampling.Series{}, errNoTopoCls
+			}
 			filter = bias.FilterForClass(a.TopoCls, class)
 		} else {
 			filter = bias.FilterForClass(a.RegionCls, class)

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"breval/internal/resilience"
+	"breval/internal/sampling"
+	"breval/internal/validation"
+)
+
+// faultScenario is a small fast world for fault-injection runs.
+func faultScenario(algos ...string) Scenario {
+	s := DefaultScenario(1)
+	s.NumASes = 600
+	if len(algos) > 0 {
+		s.Algorithms = algos
+	}
+	return s
+}
+
+// TestPipelineFatalStageFaults injects a fault into each fatal
+// pipeline stage in turn and checks that RunContext aborts with
+// partial Artifacts whose Report names the failed stage and kind.
+func TestPipelineFatalStageFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline")
+	}
+	fatalStages := []string{
+		"topo.generate", "bgp.propagate", "features.compute",
+		"validation.extract", "validation.clean",
+	}
+	kinds := []struct {
+		name  string
+		fault resilience.Fault
+		want  resilience.FailureKind
+	}{
+		{"panic", resilience.Fault{Kind: resilience.KindPanic}, resilience.KindPanic},
+		{"error", resilience.Fault{Kind: resilience.KindError}, resilience.KindError},
+		{"timeout", resilience.Fault{Kind: resilience.KindTimeout}, resilience.KindTimeout},
+	}
+	for _, stage := range fatalStages {
+		for _, k := range kinds {
+			t.Run(stage+"/"+k.name, func(t *testing.T) {
+				defer resilience.ClearFaults()
+				resilience.InjectAt(stage, k.fault)
+				s := faultScenario(AlgoASRank)
+				if k.want == resilience.KindTimeout {
+					// A zero-delay timeout fault blocks until the
+					// attempt's deadline expires. Generous enough
+					// that the healthy stages before the faulted one
+					// finish in time even under the race detector.
+					s.StageTimeout = 2 * time.Second
+				}
+				art, err := RunContext(context.Background(), s)
+				if err == nil {
+					t.Fatalf("fault in fatal stage %s: RunContext succeeded", stage)
+				}
+				if art == nil || art.Report == nil {
+					t.Fatal("no partial artifacts / report on fatal failure")
+				}
+				sr, ok := art.Report.Find(stage)
+				if !ok {
+					t.Fatalf("report has no entry for %s: %+v", stage, art.Report.Stages)
+				}
+				if sr.Status != resilience.StatusFailed {
+					t.Errorf("stage %s status = %s, want failed", stage, sr.Status)
+				}
+				if sr.Kind != k.want {
+					t.Errorf("stage %s kind = %s, want %s", stage, sr.Kind, k.want)
+				}
+			})
+		}
+	}
+}
+
+// TestPipelineDegradedStages injects failures into non-fatal stages
+// and checks the run completes with the stage degraded and everything
+// else intact.
+func TestPipelineDegradedStages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline")
+	}
+	t.Run("rpsl.generate", func(t *testing.T) {
+		defer resilience.ClearFaults()
+		resilience.InjectAt("rpsl.generate", resilience.Fault{Kind: resilience.KindPanic})
+		art, err := RunContext(context.Background(), faultScenario(AlgoASRank))
+		if err != nil {
+			t.Fatalf("RunContext: %v", err)
+		}
+		if art.RPSL != nil {
+			t.Error("RPSL snapshot present despite injected failure")
+		}
+		if len(art.Degraded) != 1 || art.Degraded[0] != "rpsl.generate" {
+			t.Errorf("Degraded = %v, want [rpsl.generate]", art.Degraded)
+		}
+		if art.Validation == nil || len(art.Results) != 1 {
+			t.Error("unrelated artifacts missing")
+		}
+	})
+	t.Run("one-algorithm", func(t *testing.T) {
+		defer resilience.ClearFaults()
+		resilience.InjectAt("infer.Gao", resilience.Fault{Kind: resilience.KindPanic})
+		art, err := RunContext(context.Background(), faultScenario(AlgoASRank, AlgoGao))
+		if err != nil {
+			t.Fatalf("RunContext: %v", err)
+		}
+		if _, ok := art.Results[AlgoGao]; ok {
+			t.Error("Gao result present despite injected panic")
+		}
+		if _, ok := art.Results[AlgoASRank]; !ok {
+			t.Error("ASRank result missing")
+		}
+		if art.TopoCls == nil {
+			t.Error("cones not built from surviving algorithm")
+		}
+		sr, ok := art.Report.Find("infer.Gao")
+		if !ok || sr.Status != resilience.StatusFailed || sr.Kind != resilience.KindPanic {
+			t.Errorf("infer.Gao report = %+v, %v", sr, ok)
+		}
+	})
+	t.Run("all-algorithms", func(t *testing.T) {
+		defer resilience.ClearFaults()
+		resilience.InjectAt("infer.ASRank", resilience.Fault{Kind: resilience.KindPanic})
+		resilience.InjectAt("infer.Gao", resilience.Fault{Kind: resilience.KindError})
+		art, err := RunContext(context.Background(), faultScenario(AlgoASRank, AlgoGao))
+		if err == nil {
+			t.Fatal("all algorithms failed but RunContext succeeded")
+		}
+		if !strings.Contains(err.Error(), "all inference algorithms failed") {
+			t.Errorf("err = %v", err)
+		}
+		if art == nil || art.Validation == nil {
+			t.Error("partial artifacts missing upstream outputs")
+		}
+	})
+	t.Run("cones.build", func(t *testing.T) {
+		defer resilience.ClearFaults()
+		resilience.InjectAt("cones.build", resilience.Fault{Kind: resilience.KindPanic})
+		art, err := RunContext(context.Background(), faultScenario(AlgoASRank))
+		if err != nil {
+			t.Fatalf("RunContext: %v", err)
+		}
+		if art.TopoCls != nil || art.ConeSizes != nil {
+			t.Error("cone artifacts present despite injected failure")
+		}
+		// Degraded-mode experiments: Figure2 yields nothing, topo-class
+		// sampling reports the missing classifier.
+		if got := art.Figure2(); got != nil {
+			t.Errorf("Figure2 on degraded run = %v, want nil", got)
+		}
+		if _, err := art.Figures4to6(AlgoASRank, "T1-TR", sampling.Config{}); err == nil {
+			t.Error("Figures4to6 on topo class succeeded without classifier")
+		}
+	})
+}
+
+// TestPipelineRetriesTransientFault pairs a transient error (fires
+// once) with one retry: the stage must succeed on the second attempt.
+func TestPipelineRetriesTransientFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline")
+	}
+	defer resilience.ClearFaults()
+	resilience.InjectAt("features.compute", resilience.Fault{Kind: resilience.KindError, Times: 1})
+	s := faultScenario(AlgoASRank)
+	s.StageRetries = 1
+	art, err := RunContext(context.Background(), s)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	sr, ok := art.Report.Find("features.compute")
+	if !ok || sr.Status != resilience.StatusOK {
+		t.Fatalf("features.compute report = %+v, %v", sr, ok)
+	}
+	if sr.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", sr.Attempts)
+	}
+}
+
+// TestPipelineCorruptValidation swaps the extracted validation
+// snapshot for an empty one at the validation.extract data-fault
+// site: the pipeline must complete (empty validation is legal input)
+// with the corruption visible downstream.
+func TestPipelineCorruptValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline")
+	}
+	defer resilience.ClearFaults()
+	resilience.InjectAt("validation.extract", resilience.Fault{
+		Kind: resilience.KindCorrupt,
+		Corrupt: func(v any) any {
+			if _, ok := v.(*validation.Snapshot); ok {
+				return validation.NewSnapshot()
+			}
+			return v
+		},
+	})
+	art, err := RunContext(context.Background(), faultScenario(AlgoASRank))
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if got := art.RawValidation.Len(); got != 0 {
+		t.Errorf("raw validation links = %d, want 0 after corruption", got)
+	}
+	if got := art.Validation.Len(); got != 0 {
+		t.Errorf("clean validation links = %d, want 0 after corruption", got)
+	}
+}
+
+// TestPipelineCanceledContext aborts before the run starts.
+func TestPipelineCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	art, err := RunContext(ctx, faultScenario(AlgoASRank))
+	if err == nil {
+		t.Fatal("canceled run succeeded")
+	}
+	if art == nil || art.Report == nil {
+		t.Fatal("no report on canceled run")
+	}
+	sr, ok := art.Report.Find("topo.generate")
+	if !ok || sr.Kind != resilience.KindCanceled {
+		t.Errorf("topo.generate report = %+v, %v (want canceled)", sr, ok)
+	}
+}
+
+// TestRenderAllSurvivesFailedExperiment injects a panic into one
+// experiment renderer: the dump must carry an inline failure note for
+// it and still render every other experiment.
+func TestRenderAllSurvivesFailedExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders everything")
+	}
+	art := midArtifacts(t)
+	defer resilience.ClearFaults()
+	resilience.InjectAt("render.fig1", resilience.Fault{Kind: resilience.KindPanic})
+	var buf bytes.Buffer
+	rep, err := art.RenderAllContext(context.Background(), &buf, RenderOptions{MinLinks: 100})
+	if err != nil {
+		t.Fatalf("RenderAllContext: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "(experiment fig1 failed:") {
+		t.Error("no inline failure note for fig1")
+	}
+	if strings.Contains(out, "Figure 1 — regional imbalance") {
+		t.Error("failed experiment leaked partial output")
+	}
+	for _, want := range []string{
+		"Figure 2 — topological imbalance",
+		"Per group validation table for ASRank",
+		"Case study (§6.1)",
+		"Over-sampling through ecosystem change",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("surviving experiment missing: %q", want)
+		}
+	}
+	sr, ok := rep.Find("render.fig1")
+	if !ok || sr.Status != resilience.StatusFailed || sr.Kind != resilience.KindPanic {
+		t.Errorf("render.fig1 report = %+v, %v", sr, ok)
+	}
+	if failed := rep.Failed(); len(failed) != 1 {
+		t.Errorf("failed stages = %d, want 1", len(failed))
+	}
+}
+
+// TestRenderOnlyContextIsolation: a failing named experiment does not
+// stop the rest of the -only list.
+func TestRenderOnlyContextIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders experiments")
+	}
+	art := midArtifacts(t)
+	defer resilience.ClearFaults()
+	resilience.InjectAt("render.fig1", resilience.Fault{Kind: resilience.KindError})
+	var buf bytes.Buffer
+	rep, err := art.RenderOnlyContext(context.Background(), &buf,
+		[]string{"fig1", "clean"}, RenderOptions{})
+	if err != nil {
+		t.Fatalf("RenderOnlyContext: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "(experiment fig1 failed:") {
+		t.Error("no failure note for fig1")
+	}
+	if !strings.Contains(out, "Label quality & treatment") {
+		t.Error("clean experiment missing")
+	}
+	if len(rep.Failed()) != 1 {
+		t.Errorf("failed = %v", rep.Failed())
+	}
+	if _, err := art.RenderOnlyContext(context.Background(), &buf,
+		[]string{"fig99"}, RenderOptions{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -7,9 +7,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"breval/internal/asgraph"
 	"breval/internal/asn"
@@ -22,6 +24,7 @@ import (
 	"breval/internal/inference/gao"
 	"breval/internal/inference/problink"
 	"breval/internal/inference/toposcope"
+	"breval/internal/resilience"
 	"breval/internal/rpsl"
 	"breval/internal/topogen"
 	"breval/internal/validation"
@@ -68,6 +71,11 @@ type Scenario struct {
 	// TopoConfig overrides the generator configuration; nil derives
 	// it from Seed/NumASes.
 	TopoConfig *topogen.Config
+	// StageTimeout bounds each pipeline stage attempt (0 = no per-stage
+	// deadline); StageRetries is how many times a failed retryable
+	// stage is re-attempted (panics and cancellations never retry).
+	StageTimeout time.Duration
+	StageRetries int
 }
 
 // DefaultScenario returns the calibrated default run.
@@ -113,10 +121,42 @@ type Artifacts struct {
 	// InferredLinks is the observed link universe after path
 	// cleaning.
 	InferredLinks map[asgraph.Link]bool
+
+	// Report records per-stage outcomes (status, attempts, duration,
+	// failure kind). It is populated on every return, including fatal
+	// ones, so callers can see which stage broke a partial run.
+	Report *resilience.RunReport
+
+	// Degraded lists non-fatal stages that failed; the corresponding
+	// artifacts (an algorithm's result, the RPSL snapshot, the cone
+	// classifier) are missing and downstream consumers degrade.
+	Degraded []string
 }
 
-// Run executes the scenario.
+// Run executes the scenario without external cancellation. It is the
+// compatibility entry point for benchmarks, examples and simple tools;
+// pipelines that need deadlines or partial-failure reports use
+// RunContext.
 func Run(s Scenario) (*Artifacts, error) {
+	return RunContext(context.Background(), s)
+}
+
+// RunContext executes the scenario as a sequence of isolated stages on
+// a resilience.Runner. Each stage honours ctx and the scenario's
+// StageTimeout/StageRetries policy; a panic anywhere inside a stage is
+// recovered into a *resilience.StageError instead of killing the
+// caller.
+//
+// Fatal stages (world generation, propagation, feature computation,
+// validation extraction and cleaning) abort the run: RunContext then
+// returns the error together with partial Artifacts whose Report names
+// the failed stage. Non-fatal stages (the IRR snapshot, each inference
+// algorithm, cone building) degrade instead: the run continues with
+// the corresponding artifact missing and the stage listed in
+// Artifacts.Degraded. Only if every inference algorithm fails does the
+// run abort, since no experiment can render without at least one
+// result.
+func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 	if s.NumASes == 0 {
 		s.NumASes = 8000
 	}
@@ -126,92 +166,196 @@ func Run(s Scenario) (*Artifacts, error) {
 	} else if s.NumASes != cfg.NumASes {
 		cfg = cfg.Scaled(s.NumASes)
 	}
-	world, err := topogen.Generate(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: generate world: %w", err)
-	}
 
-	sim := bgp.NewSimulator(world.Graph)
-	paths := sim.Propagate(world.ASNs, world.VPs)
-	fs := features.Compute(paths)
+	runner := resilience.NewRunner()
+	pol := resilience.Policy{Timeout: s.StageTimeout, Retries: s.StageRetries}
+	art := &Artifacts{Scenario: s}
+	defer func() { art.Report = runner.Report() }()
+	degrade := func(stage string) { art.Degraded = append(art.Degraded, stage) }
+
+	world, err := resilience.Value(ctx, runner, "topo.generate", pol,
+		func(ctx context.Context) (*topogen.World, error) {
+			return topogen.GenerateContext(ctx, cfg)
+		})
+	if err != nil {
+		return art, fmt.Errorf("core: generate world: %w", err)
+	}
+	art.World = world
+	art.RegionCls = bias.NewRegionClassifier(world.Mapper())
+
+	paths, err := resilience.Value(ctx, runner, "bgp.propagate", pol,
+		func(ctx context.Context) (*bgp.PathSet, error) {
+			sim := bgp.NewSimulator(world.Graph)
+			return sim.PropagateContext(ctx, world.ASNs, world.VPs)
+		})
+	if err != nil {
+		return art, fmt.Errorf("core: propagate: %w", err)
+	}
+	art.Paths = paths
+
+	fs, err := resilience.Value(ctx, runner, "features.compute", pol,
+		func(ctx context.Context) (*features.Set, error) {
+			if err := resilience.Checkpoint(ctx, "features.compute"); err != nil {
+				return nil, err
+			}
+			return features.Compute(paths), nil
+		})
+	if err != nil {
+		return art, fmt.Errorf("core: compute features: %w", err)
+	}
+	art.Features = fs
+	art.InferredLinks = fs.Links
 
 	// Community-based validation extraction with stale dictionaries.
-	stale := pickStale(world, s.StaleDictionaries)
-	ex := communities.NewExtractor(world.Graph, world.Publishers, world.Strippers, stale)
-	raw := ex.Extract(paths)
-	injectSpuriousLabels(raw, world, s)
-	injectInaccurateT1Labels(raw, world, s.InaccurateT1Labels)
-
-	// Source (ii): relationships from IRR routing policies.
-	irr := rpsl.Generate(world.Graph, world.IRRRegistrants, rpsl.DefaultGenerateConfig(s.Seed^0x1225))
-	rpslSnap := rpsl.Extract(irr)
-	if s.IncludeRPSL {
-		rpslSnap.ForEach(func(l asgraph.Link, lbs []validation.Label) {
-			for _, lb := range lbs {
-				raw.Add(l, lb)
+	raw, err := resilience.Value(ctx, runner, "validation.extract", pol,
+		func(ctx context.Context) (*validation.Snapshot, error) {
+			if err := resilience.Checkpoint(ctx, "validation.extract"); err != nil {
+				return nil, err
 			}
+			stale := pickStale(world, s.StaleDictionaries)
+			ex := communities.NewExtractor(world.Graph, world.Publishers, world.Strippers, stale)
+			snap := ex.Extract(paths)
+			injectSpuriousLabels(snap, world, s)
+			injectInaccurateT1Labels(snap, world, s.InaccurateT1Labels)
+			return resilience.CorruptAt("validation.extract", snap), nil
 		})
+	if err != nil {
+		return art, fmt.Errorf("core: extract validation: %w", err)
+	}
+	art.RawValidation = raw
+
+	// Source (ii): relationships from IRR routing policies. Non-fatal:
+	// the paper's main line uses communities alone, so a broken IRR
+	// snapshot degrades the source-comparison ablation, not the run.
+	rpslSnap, err := resilience.Value(ctx, runner, "rpsl.generate", pol,
+		func(ctx context.Context) (*validation.Snapshot, error) {
+			if err := resilience.Checkpoint(ctx, "rpsl.generate"); err != nil {
+				return nil, err
+			}
+			irr := rpsl.Generate(world.Graph, world.IRRRegistrants, rpsl.DefaultGenerateConfig(s.Seed^0x1225))
+			return rpsl.Extract(irr), nil
+		})
+	switch {
+	case err != nil && ctx.Err() != nil:
+		return art, err
+	case err != nil:
+		degrade("rpsl.generate")
+	default:
+		art.RPSL = rpslSnap
+		if s.IncludeRPSL {
+			rpslSnap.ForEach(func(l asgraph.Link, lbs []validation.Label) {
+				for _, lb := range lbs {
+					raw.Add(l, lb)
+				}
+			})
+		}
 	}
 
-	clean, report := validation.Clean(raw, world.Orgs, s.Policy)
+	type cleaned struct {
+		snap *validation.Snapshot
+		rep  validation.CleanReport
+	}
+	cl, err := resilience.Value(ctx, runner, "validation.clean", pol,
+		func(ctx context.Context) (cleaned, error) {
+			if err := resilience.Checkpoint(ctx, "validation.clean"); err != nil {
+				return cleaned{}, err
+			}
+			snap, rep := validation.Clean(raw, world.Orgs, s.Policy)
+			return cleaned{snap, rep}, nil
+		})
+	if err != nil {
+		return art, fmt.Errorf("core: clean validation: %w", err)
+	}
+	art.Validation = cl.snap
+	art.CleanReport = cl.rep
 
 	// Inference. The algorithms are independent and individually
-	// deterministic, so they run concurrently.
+	// deterministic, so they run concurrently — each as its own
+	// isolated stage, so one algorithm's panic or timeout costs only
+	// that algorithm's result.
 	algos := s.Algorithms
 	if algos == nil {
 		algos = []string{AlgoASRank, AlgoProbLink, AlgoTopoScope, AlgoGao}
 	}
-	results := make(map[string]*inference.Result, len(algos))
 	instances := make([]inference.Algorithm, len(algos))
 	for i, name := range algos {
 		a, err := newAlgorithm(name)
 		if err != nil {
-			return nil, err
+			return art, err
 		}
 		instances[i] = a
 	}
 	resSlice := make([]*inference.Result, len(algos))
+	errSlice := make([]error, len(algos))
 	var wg sync.WaitGroup
 	for i := range instances {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resSlice[i] = instances[i].Infer(fs)
+			stage := "infer." + algos[i]
+			resSlice[i], errSlice[i] = resilience.Value(ctx, runner, stage, pol,
+				func(ctx context.Context) (*inference.Result, error) {
+					if err := resilience.Checkpoint(ctx, stage); err != nil {
+						return nil, err
+					}
+					return instances[i].Infer(fs), nil
+				})
 		}(i)
 	}
 	wg.Wait()
+	results := make(map[string]*inference.Result, len(algos))
 	for i, name := range algos {
+		if errSlice[i] != nil {
+			degrade("infer." + name)
+			continue
+		}
 		results[name] = resSlice[i]
 	}
-
-	art := &Artifacts{
-		Scenario:      s,
-		World:         world,
-		Paths:         paths,
-		Features:      fs,
-		RawValidation: raw,
-		Validation:    clean,
-		CleanReport:   report,
-		RPSL:          rpslSnap,
-		Results:       results,
-		RegionCls:     bias.NewRegionClassifier(world.Mapper()),
-		InferredLinks: fs.Links,
+	if len(results) == 0 {
+		if err := ctx.Err(); err != nil {
+			return art, err
+		}
+		return art, fmt.Errorf("core: all inference algorithms failed: %w", errSlice[0])
 	}
+	art.Results = results
 
 	// Topological classification per §5: customer cones from the
 	// inferred relationships (CAIDA-style), refined by the Tier-1 and
-	// hypergiant lists.
-	coneSrc := results[AlgoASRank]
-	if coneSrc == nil {
-		for _, r := range results {
-			coneSrc = r
-			break
-		}
+	// hypergiant lists. Non-fatal: without it the §5 splits degrade
+	// but the accuracy tables still render.
+	type cones struct {
+		sizes map[asn.ASN]int
+		cls   *bias.TopoClassifier
 	}
-	if coneSrc != nil {
-		g := graphFromResult(coneSrc)
-		art.ConeSizes = g.ConeSizes()
-		art.TopoCls = bias.NewTopoClassifier(art.ConeSizes, world.Clique, world.Hypergiants)
+	cb, err := resilience.Value(ctx, runner, "cones.build", pol,
+		func(ctx context.Context) (cones, error) {
+			if err := resilience.Checkpoint(ctx, "cones.build"); err != nil {
+				return cones{}, err
+			}
+			coneSrc := results[AlgoASRank]
+			if coneSrc == nil {
+				for _, name := range algos {
+					if r := results[name]; r != nil {
+						coneSrc = r
+						break
+					}
+				}
+			}
+			if coneSrc == nil {
+				return cones{}, nil
+			}
+			g := graphFromResult(coneSrc)
+			sizes := g.ConeSizes()
+			return cones{sizes, bias.NewTopoClassifier(sizes, world.Clique, world.Hypergiants)}, nil
+		})
+	switch {
+	case err != nil && ctx.Err() != nil:
+		return art, err
+	case err != nil:
+		degrade("cones.build")
+	default:
+		art.ConeSizes = cb.sizes
+		art.TopoCls = cb.cls
 	}
 	return art, nil
 }
@@ -310,7 +454,10 @@ func injectInaccurateT1Labels(snap *validation.Snapshot, w *topogen.World, n int
 			if !ok || truth.Type != asgraph.P2P {
 				continue
 			}
-			other := l.Other(t1)
+			other, ok := l.OtherOK(t1)
+			if !ok {
+				continue
+			}
 			if t := w.Type[other]; t != topogen.TypeLargeTransit && t != topogen.TypeSmallTransit {
 				continue
 			}

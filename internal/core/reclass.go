@@ -28,6 +28,9 @@ func (a *Artifacts) LookingGlassReclassification(algo string) (ReclassResult, er
 	if !ok {
 		return ReclassResult{}, fmt.Errorf("core: no result for algorithm %q", algo)
 	}
+	if a.TopoCls == nil {
+		return ReclassResult{}, errNoTopoCls
+	}
 	rep, err := a.CaseStudy(algo)
 	if err != nil {
 		return ReclassResult{}, err

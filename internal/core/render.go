@@ -1,13 +1,17 @@
 package core
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"breval/internal/bias"
 	"breval/internal/metrics"
+	"breval/internal/resilience"
 	"breval/internal/sampling"
 	"breval/internal/textplot"
 )
@@ -202,93 +206,323 @@ usable single-label entries:       %d
 	return err
 }
 
-// RenderAll writes every experiment the paper reports, in order.
-// minLinks is the validated-link threshold for table rows (the paper
-// uses 500); values below 1 default to 100.
-func (a *Artifacts) RenderAll(w io.Writer, minLinks int) error {
-	hr := func() { fmt.Fprintln(w, "\n"+strings.Repeat("=", 72)+"\n") }
-	fmt.Fprintf(w, "breval experiments — seed %d, %d ASes, %d links (%d visible), %d VPs\n",
-		a.Scenario.Seed, len(a.World.ASNs), a.World.Graph.NumLinks(),
-		len(a.InferredLinks), len(a.World.VPs))
-	hr()
-	if err := a.RenderCleanReport(w); err != nil {
+// RenderOptions configures experiment rendering.
+type RenderOptions struct {
+	// MinLinks is the validated-link threshold for table rows (the
+	// paper uses 500); values below 1 default to 100.
+	MinLinks int
+	// EvolveMonths is the horizon of the §7 evolution study; values
+	// below 1 default to 4 (the full-dump default).
+	EvolveMonths int
+	// StageTimeout/StageRetries apply the pipeline's per-stage policy
+	// to each experiment renderer (stage names "render.<experiment>").
+	StageTimeout time.Duration
+	StageRetries int
+}
+
+func (o *RenderOptions) fill() {
+	if o.MinLinks < 1 {
+		o.MinLinks = 100
+	}
+	if o.EvolveMonths < 1 {
+		o.EvolveMonths = 4
+	}
+}
+
+// renderFunc writes one experiment. Each experiment renders into a
+// private buffer, so a renderer that fails mid-write leaks nothing
+// into the output stream.
+type renderFunc func(ctx context.Context, a *Artifacts, w io.Writer, opts RenderOptions) error
+
+// allExperiment is one entry of the full paper dump: the experiment
+// name, an optional silent-skip condition (an experiment that cannot
+// apply to this run, e.g. a table for an algorithm the scenario did
+// not request — distinct from a failure) and the renderer.
+type allExperiment struct {
+	name   string
+	skip   func(a *Artifacts) string
+	render renderFunc
+}
+
+func skipWithoutAlgo(algo string) func(a *Artifacts) string {
+	return func(a *Artifacts) string {
+		if _, ok := a.Results[algo]; !ok {
+			return "no " + algo + " result"
+		}
+		return ""
+	}
+}
+
+func renderTableExperiment(algo string) renderFunc {
+	return func(ctx context.Context, a *Artifacts, w io.Writer, opts RenderOptions) error {
+		tab, err := a.TableFor(algo, opts.MinLinks)
+		if err != nil {
+			return err
+		}
+		return RenderTable(w, tab)
+	}
+}
+
+func renderFig1(ctx context.Context, a *Artifacts, w io.Writer, opts RenderOptions) error {
+	return a.RenderFigure1(w)
+}
+
+func renderFig2(ctx context.Context, a *Artifacts, w io.Writer, opts RenderOptions) error {
+	if a.TopoCls == nil {
+		return errNoTopoCls
+	}
+	return a.RenderFigure2(w)
+}
+
+func renderFig3(ctx context.Context, a *Artifacts, w io.Writer, opts RenderOptions) error {
+	if a.TopoCls == nil {
+		return errNoTopoCls
+	}
+	return RenderHeatmapPair(w, "Figure 3", a.Figure3())
+}
+
+func renderFig46(ctx context.Context, a *Artifacts, w io.Writer, opts RenderOptions) error {
+	ser, err := a.Figures4to6(AlgoASRank, "T1-TR", sampling.Config{})
+	if err != nil {
 		return err
 	}
-	hr()
-	if err := a.RenderFigure1(w); err != nil {
+	return a.RenderSampling(w, AlgoASRank, "T1-TR", ser)
+}
+
+// renderFig79 writes the appendix-B heatmaps; sep adds the blank line
+// the full dump prints between pairs.
+func renderFig79(sep bool) renderFunc {
+	return func(ctx context.Context, a *Artifacts, w io.Writer, opts RenderOptions) error {
+		if a.TopoCls == nil {
+			return errNoTopoCls
+		}
+		for i, hp := range a.Figures7to9() {
+			if err := RenderHeatmapPair(w, fmt.Sprintf("Figure %d", 7+i), hp); err != nil {
+				return err
+			}
+			if sep {
+				fmt.Fprintln(w)
+			}
+		}
+		return nil
+	}
+}
+
+func renderClean(ctx context.Context, a *Artifacts, w io.Writer, opts RenderOptions) error {
+	return a.RenderCleanReport(w)
+}
+
+func renderCase(ctx context.Context, a *Artifacts, w io.Writer, opts RenderOptions) error {
+	return a.RenderCaseStudy(w, AlgoASRank)
+}
+
+func renderHard(ctx context.Context, a *Artifacts, w io.Writer, opts RenderOptions) error {
+	return a.RenderHardLinks(w)
+}
+
+func renderSources(ctx context.Context, a *Artifacts, w io.Writer, opts RenderOptions) error {
+	return a.RenderSourceComparison(w)
+}
+
+func renderReclass(ctx context.Context, a *Artifacts, w io.Writer, opts RenderOptions) error {
+	return a.RenderReclassification(w, AlgoASRank)
+}
+
+func renderComplex(ctx context.Context, a *Artifacts, w io.Writer, opts RenderOptions) error {
+	return a.RenderComplexRelationships(w)
+}
+
+func renderUnari(ctx context.Context, a *Artifacts, w io.Writer, opts RenderOptions) error {
+	return a.RenderUncertainty(w)
+}
+
+func renderEvolve(ctx context.Context, a *Artifacts, w io.Writer, opts RenderOptions) error {
+	evo, err := a.RunEvolutionContext(ctx, opts.EvolveMonths)
+	if err != nil {
 		return err
 	}
-	hr()
-	if err := a.RenderFigure2(w); err != nil {
-		return err
-	}
-	hr()
-	if err := RenderHeatmapPair(w, "Figure 3", a.Figure3()); err != nil {
-		return err
-	}
+	return a.RenderEvolution(w, evo)
+}
+
+func renderVPs(ctx context.Context, a *Artifacts, w io.Writer, opts RenderOptions) error {
+	return a.RenderVPSweep(w, a.VPSweep(nil))
+}
+
+func renderTables(ctx context.Context, a *Artifacts, w io.Writer, opts RenderOptions) error {
 	for _, algo := range []string{AlgoASRank, AlgoProbLink, AlgoTopoScope, AlgoGao} {
 		if _, ok := a.Results[algo]; !ok {
 			continue
 		}
-		hr()
-		if minLinks < 1 {
-			minLinks = 100
-		}
-		tab, err := a.TableFor(algo, minLinks)
+		tab, err := a.TableFor(algo, opts.MinLinks)
 		if err != nil {
 			return err
 		}
 		if err := RenderTable(w, tab); err != nil {
 			return err
 		}
+		fmt.Fprintln(w)
 	}
-	if _, ok := a.Results[AlgoASRank]; ok {
+	return nil
+}
+
+// allExperiments is the paper-order sequence of the full dump.
+var allExperiments = []allExperiment{
+	{name: "clean", render: renderClean},
+	{name: "fig1", render: renderFig1},
+	{name: "fig2", render: renderFig2},
+	{name: "fig3", render: renderFig3},
+	{name: "tab:ASRank", skip: skipWithoutAlgo(AlgoASRank), render: renderTableExperiment(AlgoASRank)},
+	{name: "tab:ProbLink", skip: skipWithoutAlgo(AlgoProbLink), render: renderTableExperiment(AlgoProbLink)},
+	{name: "tab:TopoScope", skip: skipWithoutAlgo(AlgoTopoScope), render: renderTableExperiment(AlgoTopoScope)},
+	{name: "tab:Gao", skip: skipWithoutAlgo(AlgoGao), render: renderTableExperiment(AlgoGao)},
+	{name: "fig4-6", skip: skipWithoutAlgo(AlgoASRank), render: renderFig46},
+	{name: "case", skip: skipWithoutAlgo(AlgoASRank), render: renderCase},
+	{name: "fig7-9", render: renderFig79(true)},
+	{name: "hard", render: renderHard},
+	{name: "sources", render: renderSources},
+	{name: "reclass", skip: skipWithoutAlgo(AlgoASRank), render: renderReclass},
+	{name: "complex", render: renderComplex},
+	{name: "unari", render: renderUnari},
+	{name: "evolve", render: renderEvolve},
+}
+
+// namedExperiments is the on-demand registry (the -only flag). The
+// tab1-3 aliases follow the paper's table numbering.
+var namedExperiments = map[string]renderFunc{
+	"fig1":    renderFig1,
+	"fig2":    renderFig2,
+	"fig3":    renderFig3,
+	"tables":  renderTables,
+	"tab1":    renderTableExperiment(AlgoASRank),
+	"tab2":    renderTableExperiment(AlgoProbLink),
+	"tab3":    renderTableExperiment(AlgoTopoScope),
+	"fig4-6":  renderFig46,
+	"fig7-9":  renderFig79(false),
+	"clean":   renderClean,
+	"case":    renderCase,
+	"hard":    renderHard,
+	"sources": renderSources,
+	"reclass": renderReclass,
+	"evolve":  renderEvolve,
+	"unari":   renderUnari,
+	"vps":     renderVPs,
+	"complex": renderComplex,
+}
+
+// KnownExperiment reports whether name is a renderable experiment
+// (one of the -only names).
+func KnownExperiment(name string) bool {
+	_, ok := namedExperiments[name]
+	return ok
+}
+
+// renderStage runs one experiment renderer as an isolated stage: the
+// renderer writes into a private buffer under the runner's policy
+// (timeout, retry, panic containment), and only a successful attempt's
+// bytes reach w.
+func renderStage(ctx context.Context, runner *resilience.Runner, pol resilience.Policy,
+	a *Artifacts, name string, fn renderFunc, opts RenderOptions) ([]byte, error) {
+	stage := "render." + name
+	return resilience.Value(ctx, runner, stage, pol,
+		func(ctx context.Context) ([]byte, error) {
+			if err := resilience.Checkpoint(ctx, stage); err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if err := fn(ctx, a, &buf, opts); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		})
+}
+
+// RenderAllContext writes every experiment the paper reports, in
+// order, with each experiment isolated as its own stage: one failing
+// renderer yields an inline "(experiment X failed: ...)" note and the
+// dump continues with every other experiment. The returned report has
+// one entry per experiment (ok / failed / skipped). The error is
+// non-nil only for whole-run problems: context cancellation or a
+// write error on w.
+func (a *Artifacts) RenderAllContext(ctx context.Context, w io.Writer, opts RenderOptions) (*resilience.RunReport, error) {
+	opts.fill()
+	runner := resilience.NewRunner()
+	pol := resilience.Policy{Timeout: opts.StageTimeout, Retries: opts.StageRetries}
+	hr := func() { fmt.Fprintln(w, "\n"+strings.Repeat("=", 72)+"\n") }
+	fmt.Fprintf(w, "breval experiments — seed %d, %d ASes, %d links (%d visible), %d VPs\n",
+		a.Scenario.Seed, len(a.World.ASNs), a.World.Graph.NumLinks(),
+		len(a.InferredLinks), len(a.World.VPs))
+	for _, e := range allExperiments {
+		if err := ctx.Err(); err != nil {
+			return runner.Report(), err
+		}
+		if e.skip != nil {
+			if note := e.skip(a); note != "" {
+				runner.Skip("render."+e.name, note)
+				continue
+			}
+		}
+		out, err := renderStage(ctx, runner, pol, a, e.name, e.render, opts)
 		hr()
-		ser, err := a.Figures4to6(AlgoASRank, "T1-TR", sampling.Config{})
 		if err != nil {
-			return err
+			if ctx.Err() != nil {
+				return runner.Report(), err
+			}
+			fmt.Fprintf(w, "(experiment %s failed: %v)\n", e.name, err)
+			continue
 		}
-		if err := a.RenderSampling(w, AlgoASRank, "T1-TR", ser); err != nil {
-			return err
-		}
-		hr()
-		if err := a.RenderCaseStudy(w, AlgoASRank); err != nil {
-			return err
+		if _, err := w.Write(out); err != nil {
+			return runner.Report(), err
 		}
 	}
-	hr()
-	for i, hp := range a.Figures7to9() {
-		if err := RenderHeatmapPair(w, fmt.Sprintf("Figure %d", 7+i), hp); err != nil {
-			return err
+	return runner.Report(), nil
+}
+
+// RenderOnlyContext renders the named experiments (the -only list) in
+// the given order, a blank line after each, with the same per-stage
+// isolation as RenderAllContext. Unknown names fail up front, before
+// anything renders.
+func (a *Artifacts) RenderOnlyContext(ctx context.Context, w io.Writer, names []string, opts RenderOptions) (*resilience.RunReport, error) {
+	opts.fill()
+	for _, name := range names {
+		if !KnownExperiment(name) {
+			return nil, fmt.Errorf("core: unknown experiment %q", name)
+		}
+	}
+	runner := resilience.NewRunner()
+	pol := resilience.Policy{Timeout: opts.StageTimeout, Retries: opts.StageRetries}
+	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return runner.Report(), err
+		}
+		out, err := renderStage(ctx, runner, pol, a, name, namedExperiments[name], opts)
+		if err != nil {
+			if ctx.Err() != nil {
+				return runner.Report(), err
+			}
+			fmt.Fprintf(w, "(experiment %s failed: %v)\n", name, err)
+			fmt.Fprintln(w)
+			continue
+		}
+		if _, err := w.Write(out); err != nil {
+			return runner.Report(), err
 		}
 		fmt.Fprintln(w)
 	}
-	hr()
-	if err := a.RenderHardLinks(w); err != nil {
-		return err
-	}
-	hr()
-	if err := a.RenderSourceComparison(w); err != nil {
-		return err
-	}
-	if _, ok := a.Results[AlgoASRank]; ok {
-		hr()
-		if err := a.RenderReclassification(w, AlgoASRank); err != nil {
-			return err
-		}
-	}
-	hr()
-	if err := a.RenderComplexRelationships(w); err != nil {
-		return err
-	}
-	hr()
-	if err := a.RenderUncertainty(w); err != nil {
-		return err
-	}
-	hr()
-	evo, err := a.RunEvolution(4)
+	return runner.Report(), nil
+}
+
+// RenderAll writes the full paper dump without external cancellation
+// and folds experiment failures into its error: compatibility entry
+// point for examples and tests. minLinks is the validated-link
+// threshold for table rows (values below 1 default to 100).
+func (a *Artifacts) RenderAll(w io.Writer, minLinks int) error {
+	rep, err := a.RenderAllContext(context.Background(), w, RenderOptions{MinLinks: minLinks})
 	if err != nil {
 		return err
 	}
-	return a.RenderEvolution(w, evo)
+	if failed := rep.Failed(); len(failed) > 0 {
+		return fmt.Errorf("core: %d experiment(s) failed, first %s: %s",
+			len(failed), failed[0].Stage, failed[0].Error)
+	}
+	return nil
 }

@@ -1,0 +1,178 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault is one injectable failure. Tests register faults at named
+// sites; production code marks those sites with Checkpoint (control
+// faults) or CorruptAt (data faults) and pays one atomic load when no
+// fault is registered.
+type Fault struct {
+	// Kind selects the behaviour: KindPanic panics, KindError returns
+	// an error, KindTimeout blocks (Delay, or until the context
+	// expires when Delay is zero), KindCorrupt rewrites data passed
+	// through CorruptAt.
+	Kind FailureKind
+	// Err is returned for KindError; nil selects a generic error.
+	Err error
+	// Panic is the panic value for KindPanic; nil selects a generic
+	// string naming the site.
+	Panic any
+	// Delay is the KindTimeout stall; 0 blocks until the context is
+	// done, which deterministically exercises stage deadlines.
+	Delay time.Duration
+	// Corrupt rewrites the value passing a CorruptAt site; it must
+	// return the same dynamic type it was given.
+	Corrupt func(any) any
+	// After skips the first After matching hits of the site, so a
+	// fault can target e.g. the third origin a worker processes.
+	After int
+	// Times bounds how often the fault fires; 0 means every hit. A
+	// transient fault (Times: 1) paired with a retrying stage tests
+	// the retry path.
+	Times int
+}
+
+type faultEntry struct {
+	f     Fault
+	hits  int
+	fired int
+}
+
+var faultReg = struct {
+	mu sync.Mutex
+	m  map[string]*faultEntry
+}{m: map[string]*faultEntry{}}
+
+// activeFaults counts registered sites; Checkpoint's fast path is one
+// atomic load when it is zero.
+var activeFaults atomic.Int32
+
+// InjectAt registers (or replaces) the fault at a named site. Sites
+// are free-form strings; the pipeline's conventional sites are listed
+// in docs/resilience.md.
+func InjectAt(site string, f Fault) {
+	faultReg.mu.Lock()
+	defer faultReg.mu.Unlock()
+	if _, ok := faultReg.m[site]; !ok {
+		activeFaults.Add(1)
+	}
+	faultReg.m[site] = &faultEntry{f: f}
+}
+
+// ClearFault removes the fault at site, if any.
+func ClearFault(site string) {
+	faultReg.mu.Lock()
+	defer faultReg.mu.Unlock()
+	if _, ok := faultReg.m[site]; ok {
+		delete(faultReg.m, site)
+		activeFaults.Add(-1)
+	}
+}
+
+// ClearFaults removes every registered fault. Tests defer it.
+func ClearFaults() {
+	faultReg.mu.Lock()
+	defer faultReg.mu.Unlock()
+	activeFaults.Add(-int32(len(faultReg.m)))
+	faultReg.m = map[string]*faultEntry{}
+}
+
+// fire counts a hit at site and reports the fault to apply, honouring
+// After/Times. wantCorrupt separates data-fault sites (CorruptAt)
+// from control-fault sites (Checkpoint).
+func fire(site string, wantCorrupt bool) *Fault {
+	faultReg.mu.Lock()
+	defer faultReg.mu.Unlock()
+	e := faultReg.m[site]
+	if e == nil || (e.f.Kind == KindCorrupt) != wantCorrupt {
+		return nil
+	}
+	e.hits++
+	if e.hits <= e.f.After {
+		return nil
+	}
+	if e.f.Times > 0 && e.fired >= e.f.Times {
+		return nil
+	}
+	e.fired++
+	f := e.f
+	return &f
+}
+
+// Checkpoint is a named cancellation and fault-injection point.
+// Production code calls it at stage boundaries and inside worker
+// loops; it returns the context's error when the context is done,
+// applies any fault registered at site, and is otherwise free.
+func Checkpoint(ctx context.Context, site string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if activeFaults.Load() == 0 {
+		return nil
+	}
+	f := fire(site, false)
+	if f == nil {
+		return nil
+	}
+	switch f.Kind {
+	case KindPanic:
+		v := f.Panic
+		if v == nil {
+			v = "resilience: injected panic at " + site
+		}
+		panic(v)
+	case KindTimeout:
+		if f.Delay <= 0 {
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		if err := ctxSleep(ctx, f.Delay); err != nil {
+			return err
+		}
+		return nil
+	default:
+		err := f.Err
+		if err == nil {
+			err = errors.New("injected error")
+		}
+		return fmt.Errorf("resilience: injected fault at %s: %w", site, err)
+	}
+}
+
+// CorruptAt passes v through the KindCorrupt fault registered at
+// site, if any, so tests can hand a stage deliberately corrupt
+// intermediate data without touching production code paths.
+func CorruptAt[T any](site string, v T) T {
+	if activeFaults.Load() == 0 {
+		return v
+	}
+	f := fire(site, true)
+	if f == nil || f.Corrupt == nil {
+		return v
+	}
+	if nv, ok := f.Corrupt(v).(T); ok {
+		return nv
+	}
+	return v
+}
+
+// PickSite deterministically selects one of sites from a seed
+// (splitmix64), for seed-driven fault schedules: the same seed always
+// targets the same site, so a failing schedule reproduces exactly.
+func PickSite(seed int64, sites []string) string {
+	if len(sites) == 0 {
+		return ""
+	}
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return sites[z%uint64(len(sites))]
+}

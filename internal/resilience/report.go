@@ -1,0 +1,121 @@
+package resilience
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Status is the recorded outcome of one stage.
+type Status string
+
+// Stage outcomes.
+const (
+	StatusOK      Status = "ok"
+	StatusFailed  Status = "failed"
+	StatusSkipped Status = "skipped"
+)
+
+// StageReport is the machine-readable outcome of one stage.
+type StageReport struct {
+	Stage    string        `json:"stage"`
+	Status   Status        `json:"status"`
+	Kind     FailureKind   `json:"kind,omitempty"`
+	Attempts int           `json:"attempts,omitempty"`
+	Duration time.Duration `json:"duration_ns,omitempty"`
+	Error    string        `json:"error,omitempty"`
+	Note     string        `json:"note,omitempty"`
+}
+
+// RunReport is the per-run stage ledger. Stages appear in completion
+// order (parallel stages interleave).
+type RunReport struct {
+	Stages []StageReport `json:"stages"`
+}
+
+// Report returns a snapshot of the runner's ledger so far.
+func (r *Runner) Report() *RunReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &RunReport{Stages: append([]StageReport(nil), r.stages...)}
+}
+
+// Merge appends the other report's stages.
+func (rep *RunReport) Merge(other *RunReport) {
+	if other == nil {
+		return
+	}
+	rep.Stages = append(rep.Stages, other.Stages...)
+}
+
+// Failed returns the stages that failed.
+func (rep *RunReport) Failed() []StageReport {
+	var out []StageReport
+	for _, s := range rep.Stages {
+		if s.Status == StatusFailed {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Degraded returns the stages that did not fully run: failures and
+// skips (a skip marks an output degraded by an upstream failure or a
+// narrowed scenario).
+func (rep *RunReport) Degraded() []StageReport {
+	var out []StageReport
+	for _, s := range rep.Stages {
+		if s.Status != StatusOK {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// OK reports whether no stage failed.
+func (rep *RunReport) OK() bool { return len(rep.Failed()) == 0 }
+
+// Find returns the latest entry recorded for stage.
+func (rep *RunReport) Find(stage string) (StageReport, bool) {
+	for i := len(rep.Stages) - 1; i >= 0; i-- {
+		if rep.Stages[i].Stage == stage {
+			return rep.Stages[i], true
+		}
+	}
+	return StageReport{}, false
+}
+
+// WriteJSON emits the report as indented JSON.
+func (rep *RunReport) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteText emits a one-line-per-stage human summary.
+func (rep *RunReport) WriteText(w io.Writer) error {
+	for _, s := range rep.Stages {
+		line := fmt.Sprintf("%-8s %-24s", s.Status, s.Stage)
+		if s.Status != StatusSkipped {
+			line += fmt.Sprintf(" %8.1fms x%d", float64(s.Duration)/float64(time.Millisecond), s.Attempts)
+		}
+		if s.Kind != "" {
+			line += " [" + string(s.Kind) + "]"
+		}
+		if s.Error != "" {
+			line += " " + s.Error
+		}
+		if s.Note != "" {
+			line += " (" + s.Note + ")"
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

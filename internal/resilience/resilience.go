@@ -1,0 +1,257 @@
+// Package resilience is the pipeline's fault-isolation substrate: a
+// stage runner with context cancellation and per-stage deadlines,
+// panic containment that converts worker panics into typed
+// StageErrors, bounded retry with exponential backoff, a
+// machine-readable per-run report (report.go), and a deterministic
+// fault-injection registry for tests (inject.go).
+//
+// The design goal, borrowed from inference-serving data planes, is
+// that corrupt or partial inputs degrade output coverage, never
+// availability: a failing stage yields a recorded StageError and the
+// run continues with whatever the surviving stages produced.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// FailureKind classifies how a stage failed.
+type FailureKind string
+
+// Failure kinds. KindCorrupt never appears in a StageError; it exists
+// only as an injectable fault class (see Fault and CorruptAt).
+const (
+	KindError    FailureKind = "error"
+	KindPanic    FailureKind = "panic"
+	KindTimeout  FailureKind = "timeout"
+	KindCanceled FailureKind = "canceled"
+	KindCorrupt  FailureKind = "corrupt"
+)
+
+// StageError is the typed failure of one named stage. It wraps the
+// underlying error (or recovered panic value) and, for panics, keeps
+// the recovered goroutine stack.
+type StageError struct {
+	Stage    string
+	Kind     FailureKind
+	Attempts int
+	Err      error
+	Stack    []byte
+}
+
+// Error implements the error interface.
+func (e *StageError) Error() string {
+	return fmt.Sprintf("stage %s: %s after %d attempt(s): %v", e.Stage, e.Kind, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// NewPanic converts a recovered panic value into a StageError. Worker
+// pools that recover their own goroutines (e.g. bgp.Simulator) use it
+// to surface the panic as a typed error instead of crashing.
+func NewPanic(stage string, v any, stack []byte) *StageError {
+	return &StageError{Stage: stage, Kind: KindPanic, Attempts: 1, Err: panicError(v), Stack: stack}
+}
+
+func panicError(v any) error {
+	if err, ok := v.(error); ok {
+		return err
+	}
+	return fmt.Errorf("panic: %v", v)
+}
+
+// Policy configures how one stage runs.
+type Policy struct {
+	// Timeout bounds each attempt; 0 means no per-attempt deadline
+	// (the parent context may still carry one).
+	Timeout time.Duration
+	// Retries is the number of extra attempts after the first failure.
+	// Panics and parent-context cancellation are never retried.
+	Retries int
+	// Backoff is the sleep before the first retry; it doubles per
+	// retry. Zero selects a 50ms default.
+	Backoff time.Duration
+	// Retryable overrides the default retry predicate (retry anything
+	// except panics and cancellation).
+	Retryable func(error) bool
+}
+
+const defaultBackoff = 50 * time.Millisecond
+
+// Runner executes stages and accumulates their reports. It is safe
+// for concurrent use: independent stages may run in parallel on one
+// runner.
+type Runner struct {
+	mu     sync.Mutex
+	stages []StageReport
+	sleep  func(ctx context.Context, d time.Duration) error
+}
+
+// NewRunner returns an empty runner.
+func NewRunner() *Runner { return &Runner{sleep: ctxSleep} }
+
+func ctxSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (r *Runner) record(sr StageReport) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stages = append(r.stages, sr)
+}
+
+// Skip records a stage that was not attempted (e.g. its upstream
+// input is missing) so the report accounts for every planned stage.
+func (r *Runner) Skip(stage, note string) {
+	r.record(StageReport{Stage: stage, Status: StatusSkipped, Note: note})
+}
+
+// Run executes fn as one isolated stage: panics are recovered and
+// converted to StageErrors, a Policy.Timeout bounds each attempt, and
+// retryable failures are retried with exponential backoff. The
+// outcome is recorded in the runner's report. A nil return means the
+// stage succeeded.
+//
+// On timeout the attempt goroutine is abandoned, not killed (Go
+// cannot preempt it); fn must therefore only write state it owns and
+// publish results through its return value — see Value.
+func (r *Runner) Run(ctx context.Context, stage string, pol Policy, fn func(context.Context) error) error {
+	start := time.Now()
+	backoff := pol.Backoff
+	if backoff <= 0 {
+		backoff = defaultBackoff
+	}
+	attempts := 0
+	var err error
+	for {
+		attempts++
+		err = r.attempt(ctx, pol, fn)
+		if err == nil {
+			r.record(StageReport{
+				Stage: stage, Status: StatusOK,
+				Attempts: attempts, Duration: time.Since(start),
+			})
+			return nil
+		}
+		if attempts > pol.Retries || !retryable(pol, err) || ctx.Err() != nil {
+			break
+		}
+		if serr := r.sleep(ctx, backoff); serr != nil {
+			err = serr
+			break
+		}
+		backoff *= 2
+	}
+	se := intoStageError(stage, attempts, err)
+	r.record(StageReport{
+		Stage: stage, Status: StatusFailed, Kind: se.Kind,
+		Attempts: attempts, Duration: time.Since(start), Error: se.Err.Error(),
+	})
+	return se
+}
+
+// attempt runs fn once in its own goroutine so a deadline can abandon
+// a non-cooperative (CPU-bound) stage, and recovers panics.
+func (r *Runner) attempt(ctx context.Context, pol Policy, fn func(context.Context) error) error {
+	actx := ctx
+	if pol.Timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, pol.Timeout)
+		defer cancel()
+	}
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				done <- &StageError{Kind: KindPanic, Err: panicError(v), Stack: debug.Stack()}
+			}
+		}()
+		done <- fn(actx)
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-actx.Done():
+		return actx.Err()
+	}
+}
+
+func retryable(pol Policy, err error) bool {
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	var se *StageError
+	if errors.As(err, &se) && se.Kind == KindPanic {
+		return false
+	}
+	if pol.Retryable != nil {
+		return pol.Retryable(err)
+	}
+	return true
+}
+
+func intoStageError(stage string, attempts int, err error) *StageError {
+	var se *StageError
+	if errors.As(err, &se) {
+		// Keep the inner kind/stack/stage (a worker may have failed at
+		// a more specific site); restamp the attempt count.
+		out := *se
+		if out.Stage == "" {
+			out.Stage = stage
+		}
+		out.Attempts = attempts
+		if out.Err == nil {
+			out.Err = errors.New(string(out.Kind))
+		}
+		return &out
+	}
+	kind := KindError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		kind = KindTimeout
+	case errors.Is(err, context.Canceled):
+		kind = KindCanceled
+	}
+	return &StageError{Stage: stage, Kind: kind, Attempts: attempts, Err: err}
+}
+
+// Value runs fn as a stage on r and returns its result. The value
+// travels over a private buffered channel, so an abandoned
+// (timed-out) attempt can never race with the caller's use of the
+// result; if a retry succeeds, any value a stale attempt produced is
+// also a valid fn output and may be the one returned.
+func Value[T any](ctx context.Context, r *Runner, stage string, pol Policy, fn func(context.Context) (T, error)) (T, error) {
+	// Negative Retries means "no retries", same as zero; it must not
+	// blow up the channel allocation.
+	capacity := pol.Retries + 1
+	if capacity < 1 {
+		capacity = 1
+	}
+	ch := make(chan T, capacity)
+	err := r.Run(ctx, stage, pol, func(ctx context.Context) error {
+		v, ferr := fn(ctx)
+		if ferr != nil {
+			return ferr
+		}
+		ch <- v
+		return nil
+	})
+	var zero T
+	if err != nil {
+		return zero, err
+	}
+	return <-ch, nil
+}

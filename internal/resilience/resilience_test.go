@@ -1,0 +1,314 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunOK(t *testing.T) {
+	r := NewRunner()
+	if err := r.Run(context.Background(), "s", Policy{}, func(context.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Report()
+	sr, ok := rep.Find("s")
+	if !ok || sr.Status != StatusOK || sr.Attempts != 1 {
+		t.Fatalf("report = %+v", sr)
+	}
+	if !rep.OK() {
+		t.Error("report not OK")
+	}
+}
+
+func TestRunRecoversPanic(t *testing.T) {
+	r := NewRunner()
+	err := r.Run(context.Background(), "boom", Policy{Retries: 3}, func(context.Context) error {
+		panic("kaboom")
+	})
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v (%T)", err, err)
+	}
+	if se.Kind != KindPanic || se.Stage != "boom" {
+		t.Fatalf("StageError = %+v", se)
+	}
+	if se.Attempts != 1 {
+		t.Errorf("panics must not be retried, got %d attempts", se.Attempts)
+	}
+	if len(se.Stack) == 0 || !strings.Contains(se.Err.Error(), "kaboom") {
+		t.Errorf("missing stack or panic value: %+v", se)
+	}
+	if sr, _ := r.Report().Find("boom"); sr.Status != StatusFailed || sr.Kind != KindPanic {
+		t.Errorf("report = %+v", sr)
+	}
+}
+
+func TestRunRetriesWithBackoff(t *testing.T) {
+	r := NewRunner()
+	var slept []time.Duration
+	r.sleep = func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	calls := 0
+	err := r.Run(context.Background(), "flaky", Policy{Retries: 3, Backoff: 10 * time.Millisecond},
+		func(context.Context) error {
+			calls++
+			if calls < 3 {
+				return errors.New("transient")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d", calls)
+	}
+	if len(slept) != 2 || slept[0] != 10*time.Millisecond || slept[1] != 20*time.Millisecond {
+		t.Fatalf("backoffs = %v", slept)
+	}
+	if sr, _ := r.Report().Find("flaky"); sr.Attempts != 3 || sr.Status != StatusOK {
+		t.Errorf("report = %+v", sr)
+	}
+}
+
+func TestRunRetriesExhausted(t *testing.T) {
+	r := NewRunner()
+	r.sleep = func(context.Context, time.Duration) error { return nil }
+	err := r.Run(context.Background(), "dead", Policy{Retries: 2},
+		func(context.Context) error { return errors.New("always") })
+	var se *StageError
+	if !errors.As(err, &se) || se.Kind != KindError || se.Attempts != 3 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	r := NewRunner()
+	start := time.Now()
+	err := r.Run(context.Background(), "slow", Policy{Timeout: 20 * time.Millisecond},
+		func(ctx context.Context) error {
+			<-ctx.Done()
+			return ctx.Err()
+		})
+	var se *StageError
+	if !errors.As(err, &se) || se.Kind != KindTimeout {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("timeout did not bound the stage")
+	}
+}
+
+func TestRunAbandonsNonCooperativeStage(t *testing.T) {
+	// A stage that never checks its context is abandoned at the
+	// deadline; Run must still return.
+	r := NewRunner()
+	release := make(chan struct{})
+	err := r.Run(context.Background(), "stuck", Policy{Timeout: 20 * time.Millisecond},
+		func(context.Context) error {
+			<-release
+			return nil
+		})
+	close(release)
+	var se *StageError
+	if !errors.As(err, &se) || se.Kind != KindTimeout {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunCanceledParent(t *testing.T) {
+	r := NewRunner()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := r.Run(ctx, "c", Policy{Retries: 5}, func(ctx context.Context) error {
+		return ctx.Err()
+	})
+	var se *StageError
+	if !errors.As(err, &se) || se.Kind != KindCanceled {
+		t.Fatalf("err = %v", err)
+	}
+	if se.Attempts != 1 {
+		t.Errorf("canceled stage retried: %d attempts", se.Attempts)
+	}
+}
+
+func TestValue(t *testing.T) {
+	r := NewRunner()
+	v, err := Value(context.Background(), r, "v", Policy{}, func(context.Context) (int, error) {
+		return 42, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+	_, err = Value(context.Background(), r, "v2", Policy{}, func(context.Context) (int, error) {
+		return 0, errors.New("nope")
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunnerConcurrentStages(t *testing.T) {
+	r := NewRunner()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = r.Run(context.Background(), "par", Policy{}, func(context.Context) error { return nil })
+		}()
+	}
+	wg.Wait()
+	if n := len(r.Report().Stages); n != 16 {
+		t.Fatalf("recorded %d stages", n)
+	}
+}
+
+func TestCheckpointKinds(t *testing.T) {
+	defer ClearFaults()
+
+	// No fault: free.
+	if err := Checkpoint(context.Background(), "quiet"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Error kind.
+	InjectAt("site.err", Fault{Kind: KindError, Err: errors.New("boom")})
+	if err := Checkpoint(context.Background(), "site.err"); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Panic kind.
+	InjectAt("site.panic", Fault{Kind: KindPanic})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		_ = Checkpoint(context.Background(), "site.panic")
+	}()
+
+	// Timeout kind blocks until the context expires.
+	InjectAt("site.slow", Fault{Kind: KindTimeout})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := Checkpoint(ctx, "site.slow"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Done context wins over injection.
+	if err := Checkpoint(ctx, "site.err"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFaultAfterAndTimes(t *testing.T) {
+	defer ClearFaults()
+	InjectAt("nth", Fault{Kind: KindError, After: 2, Times: 1})
+	var errs []error
+	for i := 0; i < 5; i++ {
+		errs = append(errs, Checkpoint(context.Background(), "nth"))
+	}
+	for i, want := range []bool{false, false, true, false, false} {
+		if (errs[i] != nil) != want {
+			t.Errorf("hit %d: err=%v want fired=%v", i+1, errs[i], want)
+		}
+	}
+}
+
+func TestCorruptAt(t *testing.T) {
+	defer ClearFaults()
+	if got := CorruptAt("clean.site", 7); got != 7 {
+		t.Fatalf("no-fault corrupt changed value: %d", got)
+	}
+	InjectAt("dirty.site", Fault{Kind: KindCorrupt, Corrupt: func(v any) any { return v.(int) * -1 }})
+	if got := CorruptAt("dirty.site", 7); got != -7 {
+		t.Fatalf("got %d", got)
+	}
+	// A corrupt fault never fires at Checkpoint and vice versa.
+	if err := Checkpoint(context.Background(), "dirty.site"); err != nil {
+		t.Fatalf("corrupt fault leaked into Checkpoint: %v", err)
+	}
+	InjectAt("err.site", Fault{Kind: KindError})
+	if got := CorruptAt("err.site", 7); got != 7 {
+		t.Fatalf("error fault leaked into CorruptAt: %d", got)
+	}
+}
+
+func TestClearFault(t *testing.T) {
+	defer ClearFaults()
+	InjectAt("gone", Fault{Kind: KindError})
+	ClearFault("gone")
+	if err := Checkpoint(context.Background(), "gone"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPickSiteDeterministic(t *testing.T) {
+	sites := []string{"a", "b", "c", "d"}
+	for seed := int64(0); seed < 64; seed++ {
+		if PickSite(seed, sites) != PickSite(seed, sites) {
+			t.Fatalf("seed %d not deterministic", seed)
+		}
+	}
+	// All sites reachable over a modest seed range.
+	seen := map[string]bool{}
+	for seed := int64(0); seed < 256; seed++ {
+		seen[PickSite(seed, sites)] = true
+	}
+	if len(seen) != len(sites) {
+		t.Errorf("only %d of %d sites reachable", len(seen), len(sites))
+	}
+	if PickSite(1, nil) != "" {
+		t.Error("empty site list")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := NewRunner()
+	_ = r.Run(context.Background(), "good", Policy{}, func(context.Context) error { return nil })
+	_ = r.Run(context.Background(), "bad", Policy{}, func(context.Context) error { return errors.New("x") })
+	r.Skip("later", "upstream failed")
+	rep := r.Report()
+
+	if rep.OK() {
+		t.Error("report with failure considered OK")
+	}
+	if got := len(rep.Failed()); got != 1 {
+		t.Errorf("Failed() = %d", got)
+	}
+	if got := len(rep.Degraded()); got != 2 {
+		t.Errorf("Degraded() = %d", got)
+	}
+
+	var txt strings.Builder
+	if err := rep.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"good", "bad", "later", "upstream failed"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, txt.String())
+		}
+	}
+	var js strings.Builder
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"stage": "bad"`) || !strings.Contains(js.String(), `"status": "failed"`) {
+		t.Errorf("json report:\n%s", js.String())
+	}
+
+	other := NewRunner()
+	_ = other.Run(context.Background(), "merged", Policy{}, func(context.Context) error { return nil })
+	rep.Merge(other.Report())
+	if _, ok := rep.Find("merged"); !ok {
+		t.Error("merge lost stage")
+	}
+}

@@ -1,6 +1,7 @@
 package topogen
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -58,8 +59,10 @@ func (c ChangeSet) Total() int {
 // set. Region assignments, measurement roles and registry artefacts
 // stay fixed (monthly churn does not re-home networks); only the
 // relationship fabric moves. Evolution is deterministic in cfg.Seed
-// and can be chained by bumping the seed per step.
-func Evolve(w *World, cfg EvolveConfig) ChangeSet {
+// and can be chained by bumping the seed per step. A non-nil error
+// reports an inconsistent graph mutation; the returned change set
+// covers everything applied before the failure.
+func Evolve(w *World, cfg EvolveConfig) (ChangeSet, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var cs ChangeSet
 	g := w.Graph
@@ -105,7 +108,9 @@ func Evolve(w *World, cfg EvolveConfig) ChangeSet {
 		if _, ok := g.Rel(a, b); ok {
 			continue
 		}
-		g.MustSetRel(a, b, asgraph.P2PRel())
+		if err := g.SetRel(a, b, asgraph.P2PRel()); err != nil {
+			return cs, fmt.Errorf("topogen: evolve peering: %w", err)
+		}
 		cs.AddedPeerings = append(cs.AddedPeerings, asgraph.NewLink(a, b))
 	}
 
@@ -121,7 +126,10 @@ func Evolve(w *World, cfg EvolveConfig) ChangeSet {
 			continue
 		}
 		old := r.Provider
-		cust := l.Other(old)
+		cust, ok := l.OtherOK(old)
+		if !ok {
+			continue // inconsistent provider record; leave the link alone
+		}
 		// Candidate providers: same type and region as the old one.
 		cands := w.sameTierProviders(old)
 		if len(cands) == 0 {
@@ -137,7 +145,9 @@ func Evolve(w *World, cfg EvolveConfig) ChangeSet {
 		// Keep the customer connected: only drop the old link after
 		// the new one exists, and never orphan a single-homed
 		// customer of its last provider before adding the new one.
-		g.MustSetRel(nw, cust, asgraph.P2CRel(nw))
+		if err := g.SetRel(nw, cust, asgraph.P2CRel(nw)); err != nil {
+			return cs, fmt.Errorf("topogen: evolve provider switch: %w", err)
+		}
 		g.Remove(l)
 		cs.ProviderSwitches = append(cs.ProviderSwitches, asgraph.NewLink(nw, cust))
 	}
@@ -155,11 +165,13 @@ func Evolve(w *World, cfg EvolveConfig) ChangeSet {
 		switch r.Type {
 		case asgraph.P2C:
 			// Only flip if the customer keeps another provider.
-			cust := l.Other(r.Provider)
-			if len(g.Providers(cust)) < 2 || clique[cust] {
+			cust, ok := l.OtherOK(r.Provider)
+			if !ok || len(g.Providers(cust)) < 2 || clique[cust] {
 				continue
 			}
-			g.MustSetRel(l.A, l.B, asgraph.P2PRel())
+			if err := g.SetRel(l.A, l.B, asgraph.P2PRel()); err != nil {
+				return cs, fmt.Errorf("topogen: evolve flip: %w", err)
+			}
 			cs.Flips = append(cs.Flips, l)
 		case asgraph.P2P:
 			if clique[l.A] && clique[l.B] {
@@ -176,11 +188,13 @@ func Evolve(w *World, cfg EvolveConfig) ChangeSet {
 			} else if clique[l.B] {
 				p = l.B
 			}
-			g.MustSetRel(l.A, l.B, asgraph.P2CRel(p))
+			if err := g.SetRel(l.A, l.B, asgraph.P2CRel(p)); err != nil {
+				return cs, fmt.Errorf("topogen: evolve flip: %w", err)
+			}
 			cs.Flips = append(cs.Flips, l)
 		}
 	}
-	return cs
+	return cs, nil
 }
 
 // sameTierProviders lists ASes of the same generator type and region

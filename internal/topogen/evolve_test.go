@@ -10,8 +10,11 @@ import (
 func TestEvolveDeterministicAndBounded(t *testing.T) {
 	w1 := smallWorld(t, 21)
 	w2 := smallWorld(t, 21)
-	cs1 := Evolve(w1, DefaultEvolveConfig(5))
-	cs2 := Evolve(w2, DefaultEvolveConfig(5))
+	cs1, err1 := Evolve(w1, DefaultEvolveConfig(5))
+	cs2, err2 := Evolve(w2, DefaultEvolveConfig(5))
+	if err1 != nil || err2 != nil {
+		t.Fatalf("evolve: %v / %v", err1, err2)
+	}
 	if cs1.Total() != cs2.Total() {
 		t.Fatalf("change counts differ: %d vs %d", cs1.Total(), cs2.Total())
 	}
@@ -33,7 +36,9 @@ func TestEvolvePreservesInvariants(t *testing.T) {
 	w := smallWorld(t, 22)
 	clique := w.CliqueSet()
 	for m := 0; m < 5; m++ {
-		Evolve(w, DefaultEvolveConfig(int64(100+m)))
+		if _, err := Evolve(w, DefaultEvolveConfig(int64(100+m))); err != nil {
+			t.Fatalf("evolve month %d: %v", m, err)
+		}
 	}
 	// Clique mesh intact and provider-free.
 	for i, a := range w.Clique {

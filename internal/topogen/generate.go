@@ -1,6 +1,7 @@
 package topogen
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -9,11 +10,32 @@ import (
 	"breval/internal/asn"
 	"breval/internal/org"
 	"breval/internal/registry"
+	"breval/internal/resilience"
 )
+
+// setRel records a relationship via the graph's error-returning
+// SetRel, capturing the first failure in b.err so generation degrades
+// into a clean error instead of panicking mid-build.
+func (b *builder) setRel(x, y asn.ASN, r asgraph.Rel) {
+	if b.err != nil {
+		return
+	}
+	if err := b.w.Graph.SetRel(x, y, r); err != nil {
+		b.err = err
+	}
+}
 
 // Generate builds a world from the configuration. Generation is fully
 // deterministic in Config.Seed.
 func Generate(cfg Config) (*World, error) {
+	return GenerateContext(context.Background(), cfg)
+}
+
+// GenerateContext is Generate with cancellation: the context is
+// checked between builder phases (site "topo.generate"), so a
+// deadline or an injected fault aborts generation with an error
+// instead of wasting the rest of the budget.
+func GenerateContext(ctx context.Context, cfg Config) (*World, error) {
 	if cfg.NumASes < 50 {
 		return nil, fmt.Errorf("topogen: NumASes = %d too small (min 50)", cfg.NumASes)
 	}
@@ -33,20 +55,34 @@ func Generate(cfg Config) (*World, error) {
 			Orgs:       org.NewTable(),
 		},
 	}
-	b.allocateASNs()
-	b.assignTypes()
-	b.wireProviders()
-	b.wireClique()
-	b.wireSpecialStubs()
-	b.markPartialTransit()
-	b.buildIXPs()
-	b.wireHypergiantPNI()
-	b.buildSiblings()
-	b.chooseVPs()
-	b.chooseMeasurementRoles()
-	b.markHybridLinks()
-	b.buildFacilitiesAndBehaviour()
-	b.buildRegistryArtifacts()
+	phases := []struct {
+		name string
+		fn   func()
+	}{
+		{"allocate-asns", b.allocateASNs},
+		{"assign-types", b.assignTypes},
+		{"wire-providers", b.wireProviders},
+		{"wire-clique", b.wireClique},
+		{"wire-special-stubs", b.wireSpecialStubs},
+		{"mark-partial-transit", b.markPartialTransit},
+		{"build-ixps", b.buildIXPs},
+		{"wire-hypergiant-pni", b.wireHypergiantPNI},
+		{"build-siblings", b.buildSiblings},
+		{"choose-vps", b.chooseVPs},
+		{"choose-measurement-roles", b.chooseMeasurementRoles},
+		{"mark-hybrid-links", b.markHybridLinks},
+		{"build-facilities", b.buildFacilitiesAndBehaviour},
+		{"build-registry", b.buildRegistryArtifacts},
+	}
+	for _, p := range phases {
+		if err := resilience.Checkpoint(ctx, "topo.generate"); err != nil {
+			return nil, fmt.Errorf("topogen: %s: %w", p.name, err)
+		}
+		p.fn()
+		if b.err != nil {
+			return nil, fmt.Errorf("topogen: %s: %w", p.name, b.err)
+		}
+	}
 	return b.w, nil
 }
 
@@ -54,6 +90,9 @@ type builder struct {
 	cfg Config
 	rng *rand.Rand
 	w   *World
+	// err is the first construction error; once set, the remaining
+	// phase work becomes a no-op and GenerateContext aborts.
+	err error
 
 	byRegion map[registry.Region][]asn.ASN
 	// transfers records ASNs whose current region differs from their
@@ -307,7 +346,7 @@ func (b *builder) wireProviders() {
 		if _, ok := b.w.Graph.Rel(provider, customer); ok {
 			return
 		}
-		b.w.Graph.MustSetRel(provider, customer, asgraph.P2CRel(provider))
+		b.setRel(provider, customer, asgraph.P2CRel(provider))
 	}
 
 	nProviders := func(min, max int) int {
@@ -371,7 +410,7 @@ func (b *builder) wireProviders() {
 					continue
 				}
 				if _, ok := b.w.Graph.Rel(t1, lt); !ok {
-					b.w.Graph.MustSetRel(t1, lt, asgraph.P2PRel())
+					b.setRel(t1, lt, asgraph.P2PRel())
 				}
 			}
 		}
@@ -381,7 +420,7 @@ func (b *builder) wireProviders() {
 func (b *builder) wireClique() {
 	for i, a := range b.w.Clique {
 		for _, c := range b.w.Clique[i+1:] {
-			b.w.Graph.MustSetRel(a, c, asgraph.P2PRel())
+			b.setRel(a, c, asgraph.P2PRel())
 		}
 	}
 }
@@ -405,7 +444,7 @@ func (b *builder) wireSpecialStubs() {
 		for i := 0; i < b.cfg.SpecialStubT1Peers && i < len(b.w.Clique); i++ {
 			t1 := b.w.Clique[b.rng.Intn(len(b.w.Clique))]
 			if _, ok := b.w.Graph.Rel(a, t1); !ok {
-				b.w.Graph.MustSetRel(a, t1, asgraph.P2PRel())
+				b.setRel(a, t1, asgraph.P2PRel())
 			}
 		}
 	}
@@ -463,7 +502,7 @@ func (b *builder) markPartialTransit() {
 			if b.rng.Float64() < prob {
 				r, _ := b.w.Graph.Rel(t1, c)
 				r.PartialTransit = true
-				b.w.Graph.MustSetRel(t1, c, r)
+				b.setRel(t1, c, r)
 			}
 		}
 	}
@@ -555,7 +594,7 @@ func (b *builder) buildIXPs() {
 				if _, ok := b.w.Graph.Rel(a, c); ok {
 					continue // keep existing (e.g. transit) relationship
 				}
-				b.w.Graph.MustSetRel(a, c, asgraph.P2PRel())
+				b.setRel(a, c, asgraph.P2PRel())
 			}
 		}
 	}
@@ -586,7 +625,7 @@ func (b *builder) wireHypergiantPNI() {
 				continue
 			}
 			if _, ok := b.w.Graph.Rel(h, t1); !ok {
-				b.w.Graph.MustSetRel(h, t1, asgraph.P2PRel())
+				b.setRel(h, t1, asgraph.P2PRel())
 			}
 		}
 		for _, tr := range transits {
@@ -594,7 +633,7 @@ func (b *builder) wireHypergiantPNI() {
 				continue
 			}
 			if _, ok := b.w.Graph.Rel(h, tr); !ok {
-				b.w.Graph.MustSetRel(h, tr, asgraph.P2PRel())
+				b.setRel(h, tr, asgraph.P2PRel())
 			}
 		}
 	}
@@ -636,7 +675,7 @@ func (b *builder) buildSiblings() {
 		for x := 0; x < len(members); x++ {
 			for y := x + 1; y < len(members); y++ {
 				if _, ok := b.w.Graph.Rel(members[x], members[y]); !ok {
-					b.w.Graph.MustSetRel(members[x], members[y], asgraph.S2SRel())
+					b.setRel(members[x], members[y], asgraph.S2SRel())
 				}
 			}
 		}
@@ -680,7 +719,7 @@ func (b *builder) markHybridLinks() {
 		candidates = append(candidates[:idx], candidates[idx+1:]...)
 		r, _ := b.w.Graph.RelOn(l)
 		r.Hybrid = true
-		b.w.Graph.MustSetRel(l.A, l.B, r)
+		b.setRel(l.A, l.B, r)
 	}
 }
 
@@ -851,7 +890,10 @@ func (b *builder) buildRegistryArtifacts() {
 	}
 	iana, err := asn.NewRegistry(blocks)
 	if err != nil {
-		panic(fmt.Sprintf("topogen: building IANA registry: %v", err))
+		if b.err == nil {
+			b.err = fmt.Errorf("building IANA registry: %w", err)
+		}
+		return
 	}
 	b.w.IANA = iana
 

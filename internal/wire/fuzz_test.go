@@ -60,6 +60,16 @@ func FuzzRIBReader(f *testing.F) {
 	_ = rw.Flush()
 	f.Add(buf.Bytes())
 	f.Add([]byte{})
+	// Truncated MRT headers: cut mid-timestamp and mid-length so the
+	// reader exercises its short-header path, plus a header whose
+	// declared body length exceeds the remaining stream.
+	f.Add(buf.Bytes()[:3])
+	f.Add(buf.Bytes()[:7])
+	f.Add(buf.Bytes()[:11])
+	f.Add(buf.Bytes()[:13])
+	oversize := append([]byte(nil), buf.Bytes()[:12]...)
+	oversize[8], oversize[9], oversize[10], oversize[11] = 0xff, 0xff, 0xff, 0xff
+	f.Add(oversize)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewRIBReader(bytes.NewReader(data))

@@ -19,6 +19,11 @@ import (
 const (
 	mrtType       = 13 // TABLE_DUMP_V2
 	mrtSubtypeRIB = 2  // RIB_IPV4_UNICAST (simplified body)
+
+	// maxRIBBody bounds a record body: 1+4 prefix bytes, 1 path-length
+	// byte and a 255-hop path need 262; 4096 leaves headroom without
+	// letting corrupt framing drive a multi-gigabyte allocation.
+	maxRIBBody = 4096
 )
 
 // RIBEntry is one (vantage point, origin prefix, AS path) row of a
@@ -112,7 +117,7 @@ func (rr *RIBReader) Read() (RIBEntry, error) {
 	var hdr [12]byte
 	if _, err := io.ReadFull(rr.r, hdr[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return RIBEntry{}, errTruncated
+			return RIBEntry{}, ErrTruncated
 		}
 		return RIBEntry{}, err
 	}
@@ -122,12 +127,15 @@ func (rr *RIBReader) Read() (RIBEntry, error) {
 		return RIBEntry{}, fmt.Errorf("wire: unexpected record type %d/%d", typ, sub)
 	}
 	bodyLen := binary.BigEndian.Uint32(hdr[8:12])
-	if bodyLen < 2 || bodyLen > 4096 {
-		return RIBEntry{}, fmt.Errorf("wire: bad record length %d", bodyLen)
+	if bodyLen > maxRIBBody {
+		return RIBEntry{}, fmt.Errorf("wire: bad record length %d: %w", bodyLen, ErrOversize)
+	}
+	if bodyLen < 2 {
+		return RIBEntry{}, fmt.Errorf("wire: bad record length %d: %w", bodyLen, ErrTruncated)
 	}
 	body := make([]byte, bodyLen)
 	if _, err := io.ReadFull(rr.r, body); err != nil {
-		return RIBEntry{}, errTruncated
+		return RIBEntry{}, ErrTruncated
 	}
 	var e RIBEntry
 	p, n, err := readPrefix(body)
@@ -137,7 +145,7 @@ func (rr *RIBReader) Read() (RIBEntry, error) {
 	e.Prefix = p
 	body = body[n:]
 	if len(body) < 1 {
-		return RIBEntry{}, errTruncated
+		return RIBEntry{}, ErrTruncated
 	}
 	hops := int(body[0])
 	body = body[1:]

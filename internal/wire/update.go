@@ -94,8 +94,16 @@ type Update struct {
 	NLRI             []Prefix
 }
 
-// errTruncated reports short input.
-var errTruncated = errors.New("wire: truncated message")
+// ErrTruncated reports input that ends before its framing says it
+// should: a short header, a body shorter than its declared length, or
+// an attribute cut mid-value. Callers use errors.Is to distinguish a
+// damaged transfer from malformed-but-complete data.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrOversize reports a declared length exceeding the format's bounds
+// (maxMessageLen for BGP messages, maxRIBBody for MRT record bodies):
+// corrupt framing, or hostile input trying to force a huge allocation.
+var ErrOversize = errors.New("wire: oversized message")
 
 // Marshal encodes the update with RFC 4271 framing (all-ones marker,
 // length, type) and 4-byte AS numbers in AS_PATH.
@@ -197,7 +205,7 @@ func writePrefix(w *bytes.Buffer, p Prefix) {
 // parsed update and the number of bytes consumed.
 func UnmarshalUpdate(b []byte) (*Update, int, error) {
 	if len(b) < headerLen {
-		return nil, 0, errTruncated
+		return nil, 0, ErrTruncated
 	}
 	for i := 0; i < markerLen; i++ {
 		if b[i] != 0xff {
@@ -205,11 +213,14 @@ func UnmarshalUpdate(b []byte) (*Update, int, error) {
 		}
 	}
 	total := int(binary.BigEndian.Uint16(b[16:18]))
-	if total < headerLen || total > maxMessageLen {
+	if total > maxMessageLen {
+		return nil, 0, fmt.Errorf("wire: bad message length %d: %w", total, ErrOversize)
+	}
+	if total < headerLen {
 		return nil, 0, fmt.Errorf("wire: bad message length %d", total)
 	}
 	if len(b) < total {
-		return nil, 0, errTruncated
+		return nil, 0, ErrTruncated
 	}
 	if b[18] != TypeUpdate {
 		return nil, 0, fmt.Errorf("wire: unexpected message type %d", b[18])
@@ -218,12 +229,12 @@ func UnmarshalUpdate(b []byte) (*Update, int, error) {
 	u := &Update{}
 
 	if len(body) < 2 {
-		return nil, 0, errTruncated
+		return nil, 0, ErrTruncated
 	}
 	wdLen := int(binary.BigEndian.Uint16(body[:2]))
 	body = body[2:]
 	if len(body) < wdLen {
-		return nil, 0, errTruncated
+		return nil, 0, ErrTruncated
 	}
 	wd := body[:wdLen]
 	body = body[wdLen:]
@@ -237,24 +248,24 @@ func UnmarshalUpdate(b []byte) (*Update, int, error) {
 	}
 
 	if len(body) < 2 {
-		return nil, 0, errTruncated
+		return nil, 0, ErrTruncated
 	}
 	atLen := int(binary.BigEndian.Uint16(body[:2]))
 	body = body[2:]
 	if len(body) < atLen {
-		return nil, 0, errTruncated
+		return nil, 0, ErrTruncated
 	}
 	attrs := body[:atLen]
 	body = body[atLen:]
 	for len(attrs) > 0 {
 		if len(attrs) < 3 {
-			return nil, 0, errTruncated
+			return nil, 0, ErrTruncated
 		}
 		flags, code := attrs[0], attrs[1]
 		var vlen, off int
 		if flags&flagExtLen != 0 {
 			if len(attrs) < 4 {
-				return nil, 0, errTruncated
+				return nil, 0, ErrTruncated
 			}
 			vlen = int(binary.BigEndian.Uint16(attrs[2:4]))
 			off = 4
@@ -263,7 +274,7 @@ func UnmarshalUpdate(b []byte) (*Update, int, error) {
 			off = 3
 		}
 		if len(attrs) < off+vlen {
-			return nil, 0, errTruncated
+			return nil, 0, ErrTruncated
 		}
 		val := attrs[off : off+vlen]
 		attrs = attrs[off+vlen:]
@@ -310,7 +321,7 @@ func UnmarshalUpdate(b []byte) (*Update, int, error) {
 func parseASPath(val []byte, u *Update) error {
 	for len(val) > 0 {
 		if len(val) < 2 {
-			return errTruncated
+			return ErrTruncated
 		}
 		segType, count := val[0], int(val[1])
 		if segType != segSequence {
@@ -318,7 +329,7 @@ func parseASPath(val []byte, u *Update) error {
 		}
 		need := 2 + count*4
 		if len(val) < need {
-			return errTruncated
+			return ErrTruncated
 		}
 		for i := 0; i < count; i++ {
 			u.ASPath = append(u.ASPath, asn.ASN(binary.BigEndian.Uint32(val[2+i*4:6+i*4])))
@@ -330,7 +341,7 @@ func parseASPath(val []byte, u *Update) error {
 
 func readPrefix(b []byte) (Prefix, int, error) {
 	if len(b) < 1 {
-		return Prefix{}, 0, errTruncated
+		return Prefix{}, 0, ErrTruncated
 	}
 	bits := b[0]
 	if bits > 32 {
@@ -338,7 +349,7 @@ func readPrefix(b []byte) (Prefix, int, error) {
 	}
 	n := int(bits+7) / 8
 	if len(b) < 1+n {
-		return Prefix{}, 0, errTruncated
+		return Prefix{}, 0, ErrTruncated
 	}
 	var p Prefix
 	p.Bits = bits

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math/rand"
 	"testing"
@@ -189,6 +190,64 @@ func TestRIBReaderEOFAndErrors(t *testing.T) {
 	r = NewRIBReader(bytes.NewReader(bad))
 	if _, err := r.Read(); err == nil {
 		t.Error("wrong type accepted")
+	}
+}
+
+func TestRIBReaderTruncatedAndOversize(t *testing.T) {
+	var buf bytes.Buffer
+	rw := NewRIBWriter(&buf, 42)
+	if err := rw.Write(RIBEntry{Prefix: PrefixForAS(3356), Path: asgraph.Path{64500, 3356}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec := buf.Bytes()
+
+	// Header cut short at various points.
+	for _, n := range []int{1, 5, 7, 11} {
+		r := NewRIBReader(bytes.NewReader(rec[:n]))
+		if _, err := r.Read(); !errors.Is(err, ErrTruncated) {
+			t.Errorf("header cut at %d: err = %v, want ErrTruncated", n, err)
+		}
+	}
+	// Body shorter than declared length.
+	r := NewRIBReader(bytes.NewReader(rec[:len(rec)-2]))
+	if _, err := r.Read(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short body: err = %v, want ErrTruncated", err)
+	}
+	// Declared body length over the bound must not allocate or read it.
+	big := append([]byte(nil), rec[:12]...)
+	big[8], big[9], big[10], big[11] = 0xff, 0xff, 0xff, 0xff
+	r = NewRIBReader(bytes.NewReader(big))
+	if _, err := r.Read(); !errors.Is(err, ErrOversize) {
+		t.Errorf("oversize body: err = %v, want ErrOversize", err)
+	}
+	// Declared body length below the 2-byte minimum.
+	small := append([]byte(nil), rec[:12]...)
+	small[8], small[9], small[10], small[11] = 0, 0, 0, 1
+	r = NewRIBReader(bytes.NewReader(small))
+	if _, err := r.Read(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("undersize body: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestUnmarshalUpdateSentinels(t *testing.T) {
+	u := &Update{ASPath: asgraph.Path{64500, 3356}, NLRI: []Prefix{PrefixForAS(3356)}}
+	b, err := u.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := UnmarshalUpdate(b[:10]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short header: err = %v, want ErrTruncated", err)
+	}
+	if _, _, err := UnmarshalUpdate(b[:len(b)-1]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short message: err = %v, want ErrTruncated", err)
+	}
+	big := append([]byte(nil), b...)
+	big[16], big[17] = 0xff, 0xff // declared length 65535 > 4096
+	if _, _, err := UnmarshalUpdate(big); !errors.Is(err, ErrOversize) {
+		t.Errorf("oversize message: err = %v, want ErrOversize", err)
 	}
 }
 

@@ -1,0 +1,24 @@
+#!/bin/sh
+# check.sh — the repo's full verification gate: vet, build, tests with
+# the race detector, and short fuzz smokes over the wire-format
+# decoders. CI and pre-commit both run this.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+# internal/core's full-scale render test runs the whole pipeline and
+# needs well over Go's default 10m package timeout under the race
+# detector.
+go test -race -timeout 40m ./...
+
+echo "== fuzz smoke (5s each)"
+go test ./internal/wire -run '^$' -fuzz '^FuzzUnmarshalUpdate$' -fuzztime 5s
+go test ./internal/wire -run '^$' -fuzz '^FuzzRIBReader$' -fuzztime 5s
+
+echo "check: OK"

@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test check
+.PHONY: build test check bench
 
 build:
 	go build ./...
@@ -10,3 +10,9 @@ test:
 
 check:
 	sh scripts/check.sh
+
+# Full-scale benchmark sweep; writes BENCH_<date>.json (see
+# docs/observability.md for the schema). BENCH/BENCHTIME narrow it:
+#   make bench BENCH=Propagation BENCHTIME=5x
+bench:
+	sh scripts/bench.sh $(or $(BENCH),.) $(or $(BENCHTIME),1x)

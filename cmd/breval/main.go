@@ -9,7 +9,8 @@
 //	       [-only fig1,...,clean,case,hard,sources,reclass,evolve,unari]
 //	       [-algos ASRank,ProbLink,TopoScope,Gao] [-min-links N]
 //	       [-timeout D] [-experiment-timeout D] [-stage-retries N]
-//	       [-report FILE]
+//	       [-report FILE] [-metrics-out FILE]
+//	       [-cpuprofile FILE] [-memprofile FILE]
 //
 // Without -only every experiment is rendered in paper order.
 //
@@ -18,6 +19,14 @@
 // that overruns is abandoned and reported, the rest of the run
 // continues); -stage-retries re-attempts failed retryable stages.
 // -report writes the machine-readable per-stage run report as JSON.
+//
+// -metrics-out enables the observability layer (see
+// docs/observability.md) and writes the run's metrics document —
+// hierarchical stage spans, counters (propagation worker totals,
+// skipped origins/VPs, inference phase counts), histograms and
+// memstats snapshots — as JSON, with the per-stage run report merged
+// in. -cpuprofile and -memprofile write pprof CPU and heap profiles.
+// All three are off by default and add no overhead when unset.
 //
 // Exit codes: 0 when everything succeeded, 1 on fatal errors (bad
 // flags, a fatal pipeline stage, cancellation), 3 on partial success —
@@ -37,6 +46,7 @@ import (
 
 	"breval/internal/core"
 	"breval/internal/hardlinks"
+	"breval/internal/obs"
 	"breval/internal/resilience"
 	"breval/internal/validation"
 )
@@ -74,6 +84,9 @@ func run(args []string) error {
 	expTimeout := fs.Duration("experiment-timeout", 0, "deadline per pipeline stage and per experiment renderer (0 = none)")
 	retries := fs.Int("stage-retries", 0, "re-attempts for failed retryable stages")
 	reportOut := fs.String("report", "", "write the per-stage run report as JSON to this file")
+	metricsOut := fs.String("metrics-out", "", "enable observability and write the metrics document (spans, counters, memstats) as JSON to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,6 +97,29 @@ func run(args []string) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *cpuProfile != "" {
+		stopProf, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stopProf(); err != nil {
+				fmt.Fprintln(os.Stderr, "breval:", err)
+			}
+		}()
+	}
+
+	// The collector rides the context: every resilience stage becomes
+	// a span and the instrumented packages (bgp, inference, render)
+	// find it via obs.From. Without -metrics-out col stays nil and all
+	// instrumentation is a no-op.
+	var col *obs.Collector
+	if *metricsOut != "" {
+		col = obs.NewCollector()
+		ctx = obs.Into(ctx, col)
+		col.SnapshotMemStats("start")
 	}
 
 	s := core.DefaultScenario(*seed)
@@ -126,8 +162,11 @@ func run(args []string) error {
 	}
 	if err != nil {
 		// A fatal pipeline stage: nothing can render. Still emit the
-		// report so the failed stage is machine-readable.
-		return errors.Join(err, finishReport(report, *reportOut))
+		// metrics and the report so the failed stage is
+		// machine-readable.
+		return errors.Join(err,
+			finishObs(col, report, *metricsOut, *memProfile),
+			finishReport(report, *reportOut))
 	}
 
 	if *appcOut != "" {
@@ -161,7 +200,9 @@ func run(args []string) error {
 	if renderRep != nil {
 		report.Merge(renderRep)
 	}
-	werr := finishReport(report, *reportOut)
+	werr := errors.Join(
+		finishObs(col, report, *metricsOut, *memProfile),
+		finishReport(report, *reportOut))
 	if renderErr != nil {
 		return errors.Join(renderErr, werr)
 	}
@@ -170,6 +211,49 @@ func run(args []string) error {
 	}
 	if len(report.Failed()) > 0 || len(art.Degraded) > 0 {
 		return errPartial
+	}
+	return nil
+}
+
+// finishObs finalises the observability outputs: it takes the closing
+// memstats snapshot, cross-embeds the metrics document and the run
+// report (each side carries a copy without the back-reference so
+// neither JSON encoding recurses), writes the document to metricsPath,
+// and writes the heap profile when heapPath is set. A nil col (no
+// -metrics-out) only writes the heap profile. Like finishReport, a
+// failed write is an error: the caller asked for the file.
+func finishObs(col *obs.Collector, report *resilience.RunReport, metricsPath, heapPath string) error {
+	var errs []error
+	if col != nil {
+		col.SnapshotMemStats("end")
+		doc := col.Export()
+		doc.Report = &resilience.RunReport{Stages: report.Stages}
+		inner := *doc
+		inner.Report = nil
+		report.Metrics = &inner
+		if err := writeMetrics(doc, metricsPath); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if heapPath != "" {
+		if err := obs.WriteHeapProfile(heapPath); err != nil {
+			errs = append(errs, fmt.Errorf("write heap profile: %w", err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func writeMetrics(doc *obs.Document, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("write metrics: %w", err)
+	}
+	if err := doc.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write metrics: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("write metrics: %w", err)
 	}
 	return nil
 }

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"breval/internal/obs"
 	"breval/internal/resilience"
 )
 
@@ -59,6 +61,112 @@ func TestRunPartialSuccess(t *testing.T) {
 	if !strings.Contains(string(b), `"infer.Gao"`) ||
 		!strings.Contains(string(b), `"panic"`) {
 		t.Errorf("report does not name the failed stage:\n%s", b)
+	}
+}
+
+// TestRunMetricsOut runs a small world with the observability flags on
+// and checks the acceptance shape of the metrics document: a span per
+// pipeline stage, the bgp worker counters (skipped origins/VPs are zero
+// on a fault-free full graph), memstats snapshots, and the stage report
+// cross-embedded on both sides.
+func TestRunMetricsOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline")
+	}
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	report := filepath.Join(dir, "report.json")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	heap := filepath.Join(dir, "heap.pprof")
+	err := run([]string{"-ases", "600", "-only", "clean", "-algos", "ASRank",
+		"-metrics-out", metrics, "-report", report,
+		"-cpuprofile", cpu, "-memprofile", heap})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	b, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("metrics not written: %v", err)
+	}
+	var doc obs.Document
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("metrics is not valid JSON: %v", err)
+	}
+
+	for _, stage := range []string{
+		"topo.generate", "bgp.propagate", "features.compute",
+		"validation.extract", "validation.clean",
+		"infer.ASRank", "render.clean",
+	} {
+		sp, ok := doc.FindSpan(stage)
+		if !ok {
+			t.Errorf("no span for stage %q", stage)
+			continue
+		}
+		if sp.DurationMS < 0 {
+			t.Errorf("span %q has negative duration %v", stage, sp.DurationMS)
+		}
+	}
+	if _, ok := doc.FindSpan("bgp.propagate.workers"); !ok {
+		t.Error("no bgp.propagate.workers substage span")
+	}
+
+	for name, want := range map[string]int64{
+		"bgp.skipped_origins": 0,
+		"bgp.skipped_vps":     0,
+	} {
+		got, ok := doc.Counters[name]
+		if !ok {
+			t.Errorf("counter %q missing (zero must still be recorded)", name)
+		} else if got != want {
+			t.Errorf("counter %q = %d, want %d", name, got, want)
+		}
+	}
+	for _, name := range []string{
+		"bgp.origins_propagated", "bgp.paths_emitted",
+		"infer.asrank.runs", "render.bytes",
+	} {
+		if doc.Counters[name] <= 0 {
+			t.Errorf("counter %q = %d, want > 0", name, doc.Counters[name])
+		}
+	}
+	if h, ok := doc.Histograms["bgp.frontier_size"]; !ok || h.Count == 0 {
+		t.Error("bgp.frontier_size histogram missing or empty")
+	}
+
+	if len(doc.MemStats) < 3 {
+		t.Fatalf("memstats snapshots = %d, want >= 3", len(doc.MemStats))
+	}
+	labels := make(map[string]bool)
+	for _, m := range doc.MemStats {
+		labels[m.Label] = true
+	}
+	for _, l := range []string{"start", "pipeline.start", "end"} {
+		if !labels[l] {
+			t.Errorf("memstats snapshot %q missing", l)
+		}
+	}
+
+	if doc.Report == nil {
+		t.Error("metrics document does not embed the stage report")
+	}
+	rb, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	if !strings.Contains(string(rb), `"metrics"`) ||
+		!strings.Contains(string(rb), `"bgp.paths_emitted"`) {
+		t.Errorf("run report does not embed the metrics document:\n%.400s", rb)
+	}
+
+	for _, p := range []string{cpu, heap} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile not written: %v", err)
+		} else if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }
 

@@ -236,8 +236,18 @@ func (g *Graph) CustomerCone(a asn.ASN) map[asn.ASN]bool {
 // cone members, excluding the AS itself (a stub has cone size 0).
 func (g *Graph) ConeSizes() map[asn.ASN]int {
 	// Memoised DFS over the provider→customer DAG. Cycles (which can
-	// occur in dirty data) are broken by treating in-progress nodes
-	// as empty cones.
+	// occur in dirty data, and routinely in graphs rebuilt from
+	// *inferred* relationships) are broken by treating in-progress
+	// nodes as empty cones — which makes the result depend on the
+	// visit order. ASes and their customers are therefore visited in
+	// ascending ASN order, so the sizes are identical on every run
+	// even when the graph has P2C cycles.
+	order := make([]asn.ASN, 0, len(g.adj))
+	for a := range g.adj {
+		order = append(order, a)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
 	sizes := make(map[asn.ASN]int, len(g.adj))
 	cones := make(map[asn.ASN]map[asn.ASN]bool, len(g.adj))
 	state := make(map[asn.ASN]int8, len(g.adj)) // 0 new, 1 visiting, 2 done
@@ -250,13 +260,17 @@ func (g *Graph) ConeSizes() map[asn.ASN]int {
 			return cones[a]
 		}
 		state[a] = 1
-		cone := make(map[asn.ASN]bool)
+		customers := make([]asn.ASN, 0, len(g.adj[a]))
 		for _, n := range g.adj[a] {
-			if n.Role != RoleCustomer {
-				continue
+			if n.Role == RoleCustomer {
+				customers = append(customers, n.ASN)
 			}
-			cone[n.ASN] = true
-			for m := range visit(n.ASN) {
+		}
+		sort.Slice(customers, func(i, j int) bool { return customers[i] < customers[j] })
+		cone := make(map[asn.ASN]bool)
+		for _, c := range customers {
+			cone[c] = true
+			for m := range visit(c) {
 				cone[m] = true
 			}
 		}
@@ -265,7 +279,7 @@ func (g *Graph) ConeSizes() map[asn.ASN]int {
 		cones[a] = cone
 		return cone
 	}
-	for a := range g.adj {
+	for _, a := range order {
 		sizes[a] = len(visit(a))
 	}
 	return sizes

@@ -154,6 +154,44 @@ func TestConeSizesSurvivesCycle(t *testing.T) {
 	}
 }
 
+// TestConeSizesDeterministicOnCycles: cycle-breaking must not depend
+// on edge insertion order (graphs rebuilt from inferred relationships
+// are inserted in map order and routinely contain P2C cycles, and the
+// fig7-9 heatmaps bin by these sizes).
+func TestConeSizesDeterministicOnCycles(t *testing.T) {
+	edges := [][2]asn.ASN{
+		// Two interlocking dirty p2c cycles hanging under a provider,
+		// plus a clean tail.
+		{1, 2}, {2, 3}, {3, 1}, {3, 4}, {4, 2},
+		{9, 1}, {4, 5}, {5, 6},
+	}
+	build := func(perm []int) *Graph {
+		g := New()
+		for _, i := range perm {
+			e := edges[i]
+			g.MustSetRel(e[0], e[1], P2CRel(e[0]))
+		}
+		return g
+	}
+	base := build([]int{0, 1, 2, 3, 4, 5, 6, 7}).ConeSizes()
+	for _, perm := range [][]int{
+		{7, 6, 5, 4, 3, 2, 1, 0},
+		{3, 0, 7, 2, 5, 1, 6, 4},
+		{4, 2, 0, 6, 1, 7, 3, 5},
+	} {
+		got := build(perm).ConeSizes()
+		if len(got) != len(base) {
+			t.Fatalf("size maps differ in length: %d vs %d", len(got), len(base))
+		}
+		for a, s := range base {
+			if got[a] != s {
+				t.Errorf("insertion order %v: ConeSizes[%d] = %d, want %d",
+					perm, a, got[a], s)
+			}
+		}
+	}
+}
+
 func TestCloneIsDeep(t *testing.T) {
 	g := testGraph(t)
 	c := g.Clone()

@@ -1,0 +1,148 @@
+package bgp
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"breval/internal/asn"
+	"breval/internal/obs"
+	"breval/internal/topogen"
+)
+
+// propagateWithWorkers runs PropagateContext with GOMAXPROCS pinned to
+// n (restored afterwards) and a fresh collector, returning both.
+func propagateWithWorkers(t *testing.T, sim *Simulator, origins, vps []asn.ASN, n int) (*PathSet, *obs.Collector) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(prev)
+	col := obs.NewCollector()
+	ps, err := sim.PropagateContext(obs.Into(context.Background(), col), origins, vps)
+	if err != nil {
+		t.Fatalf("PropagateContext (workers=%d): %v", n, err)
+	}
+	return ps, col
+}
+
+// TestPropagateDeterministicAcrossWorkerCounts is the
+// determinism-under-parallelism property: a serial run (GOMAXPROCS=1)
+// and a maximally parallel run must produce byte-identical PathSets —
+// same paths in the same order — and identical deterministic metrics,
+// across several seeds. Worker scheduling must never leak into results.
+func TestPropagateDeterministicAcrossWorkerCounts(t *testing.T) {
+	many := runtime.NumCPU()
+	if many < 4 {
+		many = 4
+	}
+	for _, seed := range []int64{1, 23, 47} {
+		cfg := topogen.DefaultConfig(seed).Scaled(450)
+		w, err := topogen.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := NewSimulator(w.Graph)
+		ps1, col1 := propagateWithWorkers(t, sim, w.ASNs, w.VPs, 1)
+		psN, colN := propagateWithWorkers(t, sim, w.ASNs, w.VPs, many)
+
+		if ps1.Len() != psN.Len() {
+			t.Fatalf("seed %d: path counts differ: serial %d vs parallel %d",
+				seed, ps1.Len(), psN.Len())
+		}
+		for i := 0; i < ps1.Len(); i++ {
+			if ps1.At(i).String() != psN.At(i).String() {
+				t.Fatalf("seed %d: path %d differs: %v vs %v",
+					seed, i, ps1.At(i), psN.At(i))
+			}
+		}
+
+		// The aggregate counters and the frontier histogram are sums and
+		// commutative merges, so they must not depend on the schedule
+		// either. (Per-worker distributions like bgp.worker_origins do.)
+		d1, dN := col1.Export(), colN.Export()
+		for _, name := range []string{
+			"bgp.paths_emitted", "bgp.origins_propagated",
+			"bgp.skipped_origins", "bgp.skipped_vps",
+			"bgp.origins_requested", "bgp.vps_requested",
+		} {
+			if d1.Counters[name] != dN.Counters[name] {
+				t.Errorf("seed %d: counter %s differs: serial %d vs parallel %d",
+					seed, name, d1.Counters[name], dN.Counters[name])
+			}
+		}
+		h1, hN := d1.Histograms["bgp.frontier_size"], dN.Histograms["bgp.frontier_size"]
+		if h1.Count != hN.Count || h1.Sum != hN.Sum || h1.Min != hN.Min || h1.Max != hN.Max {
+			t.Errorf("seed %d: frontier histogram differs: serial %+v vs parallel %+v",
+				seed, h1, hN)
+		}
+	}
+}
+
+// TestPropagateSkippedAccounting is the regression test for the silent
+// drop of origins and vantage points absent from the graph: they must
+// be counted on the PathSet and in the obs counters, while the known
+// origins/VPs still propagate normally.
+func TestPropagateSkippedAccounting(t *testing.T) {
+	g := hierarchy()
+	sim := NewSimulator(g)
+	col := obs.NewCollector()
+	ctx := obs.Into(context.Background(), col)
+
+	origins := []asn.ASN{100, 888, 103, 999} // 888, 999 unknown
+	vps := []asn.ASN{1, 777, 102}            // 777 unknown
+	ps, err := sim.PropagateContext(ctx, origins, vps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.SkippedOrigins != 2 || ps.SkippedVPs != 1 {
+		t.Errorf("PathSet skipped = (%d origins, %d vps), want (2, 1)",
+			ps.SkippedOrigins, ps.SkippedVPs)
+	}
+	doc := col.Export()
+	want := map[string]int64{
+		"bgp.skipped_origins":    2,
+		"bgp.skipped_vps":        1,
+		"bgp.origins_requested":  4,
+		"bgp.vps_requested":      3,
+		"bgp.origins_propagated": 2,
+	}
+	for name, v := range want {
+		if got := doc.Counters[name]; got != v {
+			t.Errorf("counter %s = %d, want %d", name, got, v)
+		}
+	}
+	// The known pairs still resolve.
+	if got := pathsBetween(ps, 1, 103); len(got) != 1 {
+		t.Errorf("path 1->103 lost: %v", got)
+	}
+
+	// Fully-known input: the counters must still be registered, at zero
+	// ("measured and zero" is distinguishable from "not measured").
+	col2 := obs.NewCollector()
+	ps2, err := sim.PropagateContext(obs.Into(context.Background(), col2),
+		[]asn.ASN{100, 103}, []asn.ASN{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps2.SkippedOrigins != 0 || ps2.SkippedVPs != 0 {
+		t.Errorf("clean run skipped = (%d, %d), want (0, 0)",
+			ps2.SkippedOrigins, ps2.SkippedVPs)
+	}
+	doc2 := col2.Export()
+	for _, name := range []string{"bgp.skipped_origins", "bgp.skipped_vps"} {
+		got, ok := doc2.Counters[name]
+		if !ok {
+			t.Errorf("counter %s not registered on a clean run", name)
+		} else if got != 0 {
+			t.Errorf("counter %s = %d, want 0", name, got)
+		}
+	}
+
+	// AppendSet must sum the accounting, not drop it.
+	sum := NewPathSet(1, 8)
+	sum.AppendSet(ps)
+	sum.AppendSet(ps2)
+	if sum.SkippedOrigins != 2 || sum.SkippedVPs != 1 {
+		t.Errorf("AppendSet skipped = (%d, %d), want (2, 1)",
+			sum.SkippedOrigins, sum.SkippedVPs)
+	}
+}

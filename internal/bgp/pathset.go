@@ -25,6 +25,14 @@ import (
 type PathSet struct {
 	buf  []asn.ASN
 	offs []uint32
+
+	// SkippedOrigins and SkippedVPs count requested origins and
+	// vantage points the producing propagation dropped because they
+	// were absent from the simulator's graph — coverage the path set
+	// silently lacks. PropagateContext populates them; AppendSet sums
+	// them across merged sets.
+	SkippedOrigins int
+	SkippedVPs     int
 }
 
 // NewPathSet returns an empty path set with capacity hints.
@@ -41,13 +49,16 @@ func (ps *PathSet) Append(p asgraph.Path) {
 	ps.offs = append(ps.offs, uint32(len(ps.buf)))
 }
 
-// AppendSet adds all paths of other to the set.
+// AppendSet adds all paths of other to the set and accumulates its
+// skipped-coverage counts.
 func (ps *PathSet) AppendSet(other *PathSet) {
 	base := uint32(len(ps.buf))
 	ps.buf = append(ps.buf, other.buf...)
 	for _, o := range other.offs[1:] {
 		ps.offs = append(ps.offs, base+o)
 	}
+	ps.SkippedOrigins += other.SkippedOrigins
+	ps.SkippedVPs += other.SkippedVPs
 }
 
 // Len returns the number of paths.

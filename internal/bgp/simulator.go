@@ -1,14 +1,16 @@
 package bgp
 
 import (
+	"cmp"
 	"context"
 	"runtime"
 	"runtime/debug"
-	"sort"
+	"slices"
 	"sync"
 
 	"breval/internal/asgraph"
 	"breval/internal/asn"
+	"breval/internal/obs"
 	"breval/internal/resilience"
 )
 
@@ -72,7 +74,7 @@ func NewSimulator(g *asgraph.Graph) *Simulator {
 			})
 		}
 		// Deterministic adjacency order: ascending neighbor ASN.
-		sort.Slice(row, func(x, y int) bool { return row[x].id < row[y].id })
+		slices.SortFunc(row, func(x, y neighbor) int { return int(x.id) - int(y.id) })
 		nbr[i] = row
 	}
 	return &Simulator{asns: asns, idx: idx, nbr: nbr}
@@ -143,14 +145,21 @@ func (s *Simulator) Propagate(origins, vps []asn.ASN) *PathSet {
 // and the failure surfaces as a *resilience.StageError (stage
 // "bgp.propagate") carrying the recovered stack. Context cancellation
 // is honoured between origins.
+//
+// Origins and vantage points absent from the simulator's graph are
+// skipped, counted on the returned PathSet (SkippedOrigins/SkippedVPs)
+// and in the obs counters bgp.skipped_origins / bgp.skipped_vps, so an
+// experiment that quietly loses coverage is visible in its metrics.
 func (s *Simulator) PropagateContext(ctx context.Context, origins, vps []asn.ASN) (*PathSet, error) {
+	col := obs.From(ctx)
+
 	vpIdx := make([]int32, 0, len(vps))
 	for _, v := range vps {
 		if i, ok := s.idx[v]; ok {
 			vpIdx = append(vpIdx, i)
 		}
 	}
-	sort.Slice(vpIdx, func(a, b int) bool { return vpIdx[a] < vpIdx[b] })
+	slices.Sort(vpIdx)
 
 	type job struct {
 		pos    int
@@ -162,6 +171,14 @@ func (s *Simulator) PropagateContext(ctx context.Context, origins, vps []asn.ASN
 			jobs = append(jobs, job{pos: pos, origin: i})
 		}
 	}
+	skippedOrigins := len(origins) - len(jobs)
+	skippedVPs := len(vps) - len(vpIdx)
+	// Always registered, even at zero: "measured and zero" must be
+	// distinguishable from "not measured" in the metrics document.
+	col.Add("bgp.skipped_origins", int64(skippedOrigins))
+	col.Add("bgp.skipped_vps", int64(skippedVPs))
+	col.Add("bgp.origins_requested", int64(len(origins)))
+	col.Add("bgp.vps_requested", int64(len(vps)))
 
 	nw := runtime.GOMAXPROCS(0)
 	if nw > len(jobs) {
@@ -170,6 +187,7 @@ func (s *Simulator) PropagateContext(ctx context.Context, origins, vps []asn.ASN
 	if nw < 1 {
 		nw = 1
 	}
+	col.SetGauge("bgp.workers", float64(nw))
 
 	// A failing worker cancels its siblings; the first error wins.
 	ctx, cancel := context.WithCancel(ctx)
@@ -185,6 +203,7 @@ func (s *Simulator) PropagateContext(ctx context.Context, origins, vps []asn.ASN
 		cancel()
 	}
 
+	wctx, wspan := obs.StartSpan(ctx, "bgp.propagate.workers")
 	results := make([]*PathSet, len(jobs))
 	var wg sync.WaitGroup
 	ch := make(chan int, len(jobs))
@@ -201,19 +220,27 @@ func (s *Simulator) PropagateContext(ctx context.Context, origins, vps []asn.ASN
 					fail(resilience.NewPanic("bgp.propagate", v, debug.Stack()))
 				}
 			}()
+			// Per-worker stats accumulate locally and flush once at
+			// worker exit, keeping the collector lock off the per-origin
+			// path.
+			var ws workerStats
+			defer ws.flush(col)
 			st := newState(len(s.asns))
 			for j := range ch {
-				if err := resilience.Checkpoint(ctx, "bgp.propagate"); err != nil {
+				if err := resilience.Checkpoint(wctx, "bgp.propagate"); err != nil {
 					fail(err)
 					return
 				}
 				ps := NewPathSet(len(vpIdx), len(vpIdx)*5)
-				s.propagateOne(st, jobs[j].origin, vpIdx, ps)
+				s.propagateOne(st, jobs[j].origin, vpIdx, ps, &ws)
+				ws.origins++
+				ws.paths += int64(ps.Len())
 				results[j] = ps
 			}
 		}()
 	}
 	wg.Wait()
+	wspan.End()
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -221,18 +248,42 @@ func (s *Simulator) PropagateContext(ctx context.Context, origins, vps []asn.ASN
 		return nil, err
 	}
 
+	_, mspan := obs.StartSpan(ctx, "bgp.propagate.merge")
 	total := NewPathSet(len(jobs)*len(vpIdx), len(jobs)*len(vpIdx)*5)
 	for _, ps := range results {
 		if ps != nil {
 			total.AppendSet(ps)
 		}
 	}
+	total.SkippedOrigins = skippedOrigins
+	total.SkippedVPs = skippedVPs
+	mspan.End()
 	return total, nil
 }
 
+// workerStats is one propagation worker's locally-accumulated
+// observability state. flush folds it into the collector exactly once,
+// so hot loops never take the collector lock; the resulting counters
+// are schedule-independent (sums and commutative histogram merges).
+type workerStats struct {
+	origins  int64 // origins this worker propagated
+	paths    int64 // VP paths it emitted
+	frontier obs.Histogram
+}
+
+func (ws *workerStats) flush(col *obs.Collector) {
+	if col == nil {
+		return
+	}
+	col.Add("bgp.origins_propagated", ws.origins)
+	col.Add("bgp.paths_emitted", ws.paths)
+	col.Observe("bgp.worker_origins", ws.origins)
+	col.MergeHistogram("bgp.frontier_size", &ws.frontier)
+}
+
 // propagateOne computes the routing state for a single origin and
-// appends the VP paths to ps.
-func (s *Simulator) propagateOne(st *state, origin int32, vpIdx []int32, ps *PathSet) {
+// appends the VP paths to ps, recording frontier sizes into ws.
+func (s *Simulator) propagateOne(st *state, origin int32, vpIdx []int32, ps *PathSet, ws *workerStats) {
 	st.reset()
 	st.set(origin, clsOrigin, 0, -1, false)
 
@@ -272,7 +323,10 @@ func (s *Simulator) propagateOne(st *state, origin int32, vpIdx []int32, ps *Pat
 			}
 		}
 		st.frontier, st.nextFront = st.nextFront, st.frontier
-		sortInt32(st.frontier)
+		slices.Sort(st.frontier)
+		if len(st.frontier) > 0 {
+			ws.frontier.Observe(int64(len(st.frontier)))
+		}
 	}
 
 	// Phase 2 — one peer hop. Collect announcements from every AS
@@ -304,14 +358,14 @@ func (s *Simulator) propagateOne(st *state, origin int32, vpIdx []int32, ps *Pat
 			offers = append(offers, peerOffer{to: n.id, from: x, dist: d})
 		}
 	}
-	sort.Slice(offers, func(a, b int) bool {
-		if offers[a].to != offers[b].to {
-			return offers[a].to < offers[b].to
+	slices.SortFunc(offers, func(a, b peerOffer) int {
+		if a.to != b.to {
+			return int(a.to) - int(b.to)
 		}
-		if offers[a].dist != offers[b].dist {
-			return offers[a].dist < offers[b].dist
+		if a.dist != b.dist {
+			return int(a.dist) - int(b.dist)
 		}
-		return tiebreak(offers[a].to, offers[a].from) < tiebreak(offers[b].to, offers[b].from)
+		return cmp.Compare(tiebreak(a.to, a.from), tiebreak(b.to, b.from))
 	})
 	for _, o := range offers {
 		if st.has(o.to) {
@@ -348,7 +402,7 @@ func (s *Simulator) propagateOne(st *state, origin int32, vpIdx []int32, ps *Pat
 	}
 	for d := 0; d <= maxd; d++ {
 		layer := st.buckets[d]
-		sortInt32(layer)
+		slices.Sort(layer)
 		for _, x := range layer {
 			if int(st.dist[x]) != d {
 				continue // stale entry
@@ -379,9 +433,6 @@ func (s *Simulator) propagateOne(st *state, origin int32, vpIdx []int32, ps *Pat
 				}
 				st.set(n.id, clsProvider, nd, x, false)
 				push(n.id)
-				if int(nd) > maxd {
-					maxd = int(nd)
-				}
 			}
 		}
 	}
@@ -423,8 +474,4 @@ func (s *Simulator) partialEdge(p, c int32) bool {
 		return row[lo].role == asgraph.RoleCustomer && row[lo].partial
 	}
 	return false
-}
-
-func sortInt32(s []int32) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 }

@@ -24,6 +24,7 @@ import (
 	"breval/internal/inference/gao"
 	"breval/internal/inference/problink"
 	"breval/internal/inference/toposcope"
+	"breval/internal/obs"
 	"breval/internal/resilience"
 	"breval/internal/rpsl"
 	"breval/internal/topogen"
@@ -173,6 +174,12 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 	defer func() { art.Report = runner.Report() }()
 	degrade := func(stage string) { art.Degraded = append(art.Degraded, stage) }
 
+	// Memstats snapshots bracket the memory-heavy stages; with no
+	// collector installed they are free no-ops.
+	col := obs.From(ctx)
+	col.SnapshotMemStats("pipeline.start")
+	defer col.SnapshotMemStats("pipeline.end")
+
 	world, err := resilience.Value(ctx, runner, "topo.generate", pol,
 		func(ctx context.Context) (*topogen.World, error) {
 			return topogen.GenerateContext(ctx, cfg)
@@ -192,6 +199,7 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 		return art, fmt.Errorf("core: propagate: %w", err)
 	}
 	art.Paths = paths
+	col.SnapshotMemStats("after.bgp.propagate")
 
 	fs, err := resilience.Value(ctx, runner, "features.compute", pol,
 		func(ctx context.Context) (*features.Set, error) {
@@ -298,11 +306,12 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 					if err := resilience.Checkpoint(ctx, stage); err != nil {
 						return nil, err
 					}
-					return instances[i].Infer(fs), nil
+					return inference.InferContext(ctx, instances[i], fs), nil
 				})
 		}(i)
 	}
 	wg.Wait()
+	col.SnapshotMemStats("after.infer")
 	results := make(map[string]*inference.Result, len(algos))
 	for i, name := range algos {
 		if errSlice[i] != nil {

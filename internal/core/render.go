@@ -11,6 +11,7 @@ import (
 
 	"breval/internal/bias"
 	"breval/internal/metrics"
+	"breval/internal/obs"
 	"breval/internal/resilience"
 	"breval/internal/sampling"
 	"breval/internal/textplot"
@@ -470,6 +471,7 @@ func (a *Artifacts) RenderAllContext(ctx context.Context, w io.Writer, opts Rend
 			fmt.Fprintf(w, "(experiment %s failed: %v)\n", e.name, err)
 			continue
 		}
+		obs.From(ctx).Add("render.bytes", int64(len(out)))
 		if _, err := w.Write(out); err != nil {
 			return runner.Report(), err
 		}
@@ -503,6 +505,7 @@ func (a *Artifacts) RenderOnlyContext(ctx context.Context, w io.Writer, names []
 			fmt.Fprintln(w)
 			continue
 		}
+		obs.From(ctx).Add("render.bytes", int64(len(out)))
 		if _, err := w.Write(out); err != nil {
 			return runner.Report(), err
 		}

@@ -18,12 +18,14 @@
 package asrank
 
 import (
+	"context"
 	"sort"
 
 	"breval/internal/asgraph"
 	"breval/internal/asn"
 	"breval/internal/inference"
 	"breval/internal/inference/features"
+	"breval/internal/obs"
 )
 
 // Options tunes the algorithm; the zero value uses the published
@@ -163,8 +165,23 @@ func InferClique(fs *features.Set, candidates int) []asn.ASN {
 
 // Infer implements inference.Algorithm.
 func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
+	return a.InferContext(context.Background(), fs)
+}
+
+// InferContext implements inference.ContextAlgorithm: the classifier's
+// phases (clique inference, clique triplets, top-down sweeps, the
+// stub default and the tentative pass) become obs substage spans, and
+// the inferred clique size and sweep counts become metrics. With no
+// collector in ctx it is identical to Infer.
+func (a *Algorithm) InferContext(ctx context.Context, fs *features.Set) *inference.Result {
+	col := obs.From(ctx)
+	col.Add("infer.asrank.runs", 1)
+
 	res := inference.NewResult(a.Name(), len(fs.Links))
+	_, sp := obs.StartSpan(ctx, "asrank.clique")
 	clique := InferClique(fs, a.opts.CliqueCandidates)
+	sp.End()
+	col.Observe("infer.asrank.clique_size", int64(len(clique)))
 	res.Clique = clique
 	cliqueSet := make(map[asn.ASN]bool, len(clique))
 	for _, c := range clique {
@@ -184,6 +201,7 @@ func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
 	// Step 2: clique triplets. A triplet C1|C2|X (or X|C2|C1) with
 	// C1, C2 clique members proves C2 exported X's route to a peer,
 	// so X is C2's customer.
+	_, sp = obs.StartSpan(ctx, "asrank.clique_triplets")
 	fs.Paths.ForEach(func(p asgraph.Path) {
 		p.Triplets(func(left, mid, right asn.ASN) {
 			if !cliqueSet[mid] {
@@ -197,6 +215,7 @@ func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
 			}
 		})
 	})
+	sp.End()
 
 	// Step 3: iterative top-down sweep. When the left link of a
 	// triplet A|X|B makes A X's provider or peer, the route crossing X
@@ -266,11 +285,14 @@ func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
 		})
 		return changed
 	}
+	_, sp = obs.StartSpan(ctx, "asrank.sweep")
 	for iter := 0; iter < a.opts.MaxIterations; iter++ {
+		col.Add("infer.asrank.sweeps", 1)
 		if !sweep(false) {
 			break
 		}
 	}
+	sp.End()
 
 	// Step 4: stub-to-clique default. Links between an observed stub
 	// (transit degree 0) and a clique member default to P2C with the
@@ -303,7 +325,9 @@ func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
 	// routes (yielding provider/peer-left triplets), whereas a stub
 	// peering is only ever seen from inside the neighbor's customer
 	// cone and correctly stays P2P.
+	_, sp = obs.StartSpan(ctx, "asrank.tentative")
 	for iter := 0; iter < a.opts.MaxIterations; iter++ {
+		col.Add("infer.asrank.sweeps", 1)
 		for l := range fs.Links {
 			if _, ok := res.Rel(l); !ok {
 				res.Set(l, asgraph.P2PRel())
@@ -313,6 +337,7 @@ func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
 			break
 		}
 	}
+	sp.End()
 	res.Firm = firm
 	return res
 }
@@ -328,4 +353,4 @@ func setP2C(res *inference.Result, provider, customer asn.ASN) {
 	res.Set(l, asgraph.P2CRel(provider))
 }
 
-var _ inference.Algorithm = (*Algorithm)(nil)
+var _ inference.ContextAlgorithm = (*Algorithm)(nil)

@@ -8,10 +8,13 @@
 package gao
 
 import (
+	"context"
+
 	"breval/internal/asgraph"
 	"breval/internal/asn"
 	"breval/internal/inference"
 	"breval/internal/inference/features"
+	"breval/internal/obs"
 )
 
 // Options tunes the classifier.
@@ -42,10 +45,22 @@ func (a *Algorithm) Name() string { return "Gao" }
 
 // Infer implements inference.Algorithm.
 func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
+	return a.InferContext(context.Background(), fs)
+}
+
+// InferContext implements inference.ContextAlgorithm: the vote
+// accumulation over paths and the per-link classification become obs
+// substage spans, and the balanced links resolved by the degree-ratio
+// fallback become a counter.
+func (a *Algorithm) InferContext(ctx context.Context, fs *features.Set) *inference.Result {
+	col := obs.From(ctx)
+	col.Add("infer.gao.runs", 1)
+
 	res := inference.NewResult(a.Name(), len(fs.Links))
 
 	// votes[link] counts evidence: positive favours A-as-provider,
 	// negative favours B-as-provider (canonical link order).
+	_, sp := obs.StartSpan(ctx, "gao.vote")
 	votes := make(map[asgraph.Link]int, len(fs.Links))
 	degree := func(x asn.ASN) int { return fs.NodeDegree[x] }
 
@@ -81,7 +96,10 @@ func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
 			}
 		}
 	})
+	sp.End()
 
+	_, sp = obs.StartSpan(ctx, "gao.classify")
+	var balanced int64
 	for l, v := range votes {
 		switch {
 		case v > 0:
@@ -91,6 +109,7 @@ func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
 		default:
 			// Balanced evidence: peer if the degrees are comparable,
 			// otherwise the bigger AS is the provider.
+			balanced++
 			da, db := float64(degree(l.A)), float64(degree(l.B))
 			if da == 0 {
 				da = 1
@@ -119,7 +138,9 @@ func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
 			res.Set(l, asgraph.P2PRel())
 		}
 	}
+	sp.End()
+	col.Add("infer.gao.balanced_links", balanced)
 	return res
 }
 
-var _ inference.Algorithm = (*Algorithm)(nil)
+var _ inference.ContextAlgorithm = (*Algorithm)(nil)

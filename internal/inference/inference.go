@@ -7,6 +7,7 @@
 package inference
 
 import (
+	"context"
 	"sort"
 
 	"breval/internal/asgraph"
@@ -38,6 +39,28 @@ type Algorithm interface {
 	Name() string
 	// Infer classifies every link in fs.Links.
 	Infer(fs *features.Set) *Result
+}
+
+// ContextAlgorithm is implemented by algorithms that additionally
+// accept a context, through which they pick up the run's observability
+// collector (obs spans and counters for their internal phases). The
+// context is for instrumentation, not cancellation: inference stays
+// deterministic and runs to completion.
+type ContextAlgorithm interface {
+	Algorithm
+	// InferContext is Infer with the caller's context threaded
+	// through for instrumentation.
+	InferContext(ctx context.Context, fs *features.Set) *Result
+}
+
+// InferContext classifies with a when it implements ContextAlgorithm
+// and falls back to plain Infer otherwise. Pipelines use it so any
+// algorithm — including user-supplied ones — slots in.
+func InferContext(ctx context.Context, a Algorithm, fs *features.Set) *Result {
+	if ca, ok := a.(ContextAlgorithm); ok {
+		return ca.InferContext(ctx, fs)
+	}
+	return a.Infer(fs)
 }
 
 // NewResult allocates an empty result.

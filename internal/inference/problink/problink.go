@@ -16,6 +16,7 @@
 package problink
 
 import (
+	"context"
 	"math"
 
 	"breval/internal/asgraph"
@@ -23,6 +24,7 @@ import (
 	"breval/internal/inference"
 	"breval/internal/inference/asrank"
 	"breval/internal/inference/features"
+	"breval/internal/obs"
 )
 
 // class is the three-way orientation-aware label.
@@ -106,10 +108,28 @@ func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
 	return res
 }
 
+// InferContext implements inference.ContextAlgorithm: the seeding
+// base inference, static feature extraction and the refinement loop
+// become obs substage spans, and the executed refinement rounds become
+// the infer.problink.iterations counter.
+func (a *Algorithm) InferContext(ctx context.Context, fs *features.Set) *inference.Result {
+	res, _ := a.inferWithUncertainty(ctx, fs)
+	return res
+}
+
 // InferWithUncertainty runs the refinement and additionally returns
 // the final naive-Bayes posterior per link.
 func (a *Algorithm) InferWithUncertainty(fs *features.Set) (*inference.Result, map[asgraph.Link]Posterior) {
-	base := a.opts.Base.Infer(fs)
+	return a.inferWithUncertainty(context.Background(), fs)
+}
+
+func (a *Algorithm) inferWithUncertainty(ctx context.Context, fs *features.Set) (*inference.Result, map[asgraph.Link]Posterior) {
+	col := obs.From(ctx)
+	col.Add("infer.problink.runs", 1)
+
+	bctx, sp := obs.StartSpan(ctx, "problink.base")
+	base := inference.InferContext(bctx, a.opts.Base, fs)
+	sp.End()
 	links := base.Links()
 
 	cliqueSet := make(map[asn.ASN]bool, len(base.Clique))
@@ -118,6 +138,7 @@ func (a *Algorithm) InferWithUncertainty(fs *features.Set) (*inference.Result, m
 	}
 
 	// Static features per link.
+	_, sp = obs.StartSpan(ctx, "problink.features")
 	dist := fs.DistanceToSet(base.Clique)
 	static := make([][3]uint8, len(links)) // dist, vp, ratio buckets
 	stub := make([]uint8, len(links))
@@ -136,6 +157,7 @@ func (a *Algorithm) InferWithUncertainty(fs *features.Set) (*inference.Result, m
 		rel, _ := base.Rel(l)
 		labels[i] = toClass(l, rel)
 	}
+	sp.End()
 
 	// Iterative naive-Bayes refinement. Likelihoods are estimated
 	// against the *seed* labelling every round (the seed plays the
@@ -146,7 +168,9 @@ func (a *Algorithm) InferWithUncertainty(fs *features.Set) (*inference.Result, m
 	seed := make([]class, len(labels))
 	copy(seed, labels)
 	scores := make([][numClasses]float64, len(links))
+	_, sp = obs.StartSpan(ctx, "problink.iterate")
 	for iter := 0; iter < a.opts.MaxIterations; iter++ {
+		col.Add("infer.problink.iterations", 1)
 		mixA, mixB := endpointMixes(links, labels, fs)
 
 		var prior [numClasses]float64
@@ -206,6 +230,7 @@ func (a *Algorithm) InferWithUncertainty(fs *features.Set) (*inference.Result, m
 			break
 		}
 	}
+	sp.End()
 
 	res := inference.NewResult(a.Name(), len(links))
 	res.Clique = base.Clique
@@ -351,4 +376,4 @@ func fromClass(l asgraph.Link, c class) asgraph.Rel {
 	return asgraph.P2PRel()
 }
 
-var _ inference.Algorithm = (*Algorithm)(nil)
+var _ inference.ContextAlgorithm = (*Algorithm)(nil)

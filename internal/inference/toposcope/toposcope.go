@@ -12,6 +12,7 @@
 package toposcope
 
 import (
+	"context"
 	"sort"
 
 	"breval/internal/asgraph"
@@ -21,6 +22,7 @@ import (
 	"breval/internal/inference/asrank"
 	"breval/internal/inference/features"
 	"breval/internal/inference/problink"
+	"breval/internal/obs"
 )
 
 // Options tunes the ensemble.
@@ -56,8 +58,22 @@ func (a *Algorithm) Name() string { return "TopoScope" }
 
 // Infer implements inference.Algorithm.
 func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
+	return a.InferContext(context.Background(), fs)
+}
+
+// InferContext implements inference.ContextAlgorithm: the referee
+// inference, the per-group base inferences and the vote reconciliation
+// become obs substage spans (the nested ProbLink/ASRank runs add their
+// own spans below them), and the number of links each reconciliation
+// path decided becomes a counter.
+func (a *Algorithm) InferContext(ctx context.Context, fs *features.Set) *inference.Result {
+	col := obs.From(ctx)
+	col.Add("infer.toposcope.runs", 1)
+
 	// Referee: ProbLink over the full view.
-	referee := problink.New(problink.Options{}).Infer(fs)
+	rctx, sp := obs.StartSpan(ctx, "toposcope.referee")
+	referee := problink.New(problink.Options{}).InferContext(rctx, fs)
+	sp.End()
 
 	// Partition paths by vantage-point group.
 	vps := make(map[asn.ASN]int)
@@ -90,12 +106,15 @@ func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
 		grouped[vps[p.VantagePoint()]].Append(p)
 	})
 
+	col.SetGauge("infer.toposcope.groups", float64(groups))
+
 	// Per-group base inference and voting. Votes are orientation
 	// aware: P2C(A), P2C(B) or P2P.
+	gctx, sp := obs.StartSpan(ctx, "toposcope.groups")
 	votes := make(map[asgraph.Link]*voteRow, len(fs.Links))
 	for g := 0; g < groups; g++ {
 		gfs := features.Compute(grouped[g])
-		gres := asrank.New(asrank.Options{}).Infer(gfs)
+		gres := asrank.New(asrank.Options{}).InferContext(gctx, gfs)
 		for l, rel := range gres.Rels {
 			row := votes[l]
 			if row == nil {
@@ -112,7 +131,10 @@ func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
 			}
 		}
 	}
+	sp.End()
 
+	_, sp = obs.StartSpan(ctx, "toposcope.vote")
+	var byMajority, byReferee int64
 	res := inference.NewResult(a.Name(), len(fs.Links))
 	res.Clique = referee.Clique
 	for l := range fs.Links {
@@ -123,6 +145,7 @@ func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
 			// whose group lost it after cleaning); referee decides.
 			if okRef {
 				res.Set(l, relFromReferee)
+				byReferee++
 			} else {
 				res.Set(l, asgraph.P2PRel())
 			}
@@ -134,12 +157,17 @@ func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
 		// the referee decides.
 		if total >= a.opts.MinVotes && n*3 >= total*2 {
 			res.Set(l, voteRel(l, best))
+			byMajority++
 		} else if okRef {
 			res.Set(l, relFromReferee)
+			byReferee++
 		} else {
 			res.Set(l, voteRel(l, best))
 		}
 	}
+	sp.End()
+	col.Add("infer.toposcope.links_by_majority", byMajority)
+	col.Add("infer.toposcope.links_by_referee", byReferee)
 	return res
 }
 
@@ -168,4 +196,4 @@ func voteRel(l asgraph.Link, vote int) asgraph.Rel {
 	return asgraph.P2PRel()
 }
 
-var _ inference.Algorithm = (*Algorithm)(nil)
+var _ inference.ContextAlgorithm = (*Algorithm)(nil)

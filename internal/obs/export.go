@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Document is the exported metrics JSON (the -metrics-out file).
+// Report carries the pipeline's resilience.RunReport when the caller
+// attaches one; it is declared as any so obs stays dependency-free.
+type Document struct {
+	DurationMS float64                    `json:"duration_ms"`
+	Spans      []SpanRecord               `json:"spans"`
+	Counters   map[string]int64           `json:"counters"`
+	Gauges     map[string]float64         `json:"gauges,omitempty"`
+	Histograms map[string]HistogramRecord `json:"histograms,omitempty"`
+	MemStats   []MemSnapshot              `json:"memstats,omitempty"`
+	Report     any                        `json:"report,omitempty"`
+}
+
+// Export snapshots the collector into a Document. Open spans are
+// stamped with the export time; the collector remains usable.
+func (c *Collector) Export() *Document {
+	if c == nil {
+		return nil
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	doc := &Document{
+		DurationMS: float64(now.Sub(c.start)) / float64(time.Millisecond),
+		Counters:   make(map[string]int64, len(c.counters)),
+	}
+	for _, sp := range c.roots {
+		doc.Spans = append(doc.Spans, sp.record(c.start, now))
+	}
+	for _, name := range c.counterNames() {
+		doc.Counters[name] = c.counters[name]
+	}
+	if len(c.gauges) > 0 {
+		doc.Gauges = make(map[string]float64, len(c.gauges))
+		for n, v := range c.gauges {
+			doc.Gauges[n] = v
+		}
+	}
+	if len(c.hists) > 0 {
+		doc.Histograms = make(map[string]HistogramRecord, len(c.hists))
+		for n, h := range c.hists {
+			doc.Histograms[n] = h.record()
+		}
+	}
+	doc.MemStats = append(doc.MemStats, c.mem...)
+	return doc
+}
+
+// WriteJSON emits the document as indented JSON.
+func (d *Document) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// FindSpan returns the first span named name in depth-first order.
+func (d *Document) FindSpan(name string) (SpanRecord, bool) {
+	var walk func(rs []SpanRecord) (SpanRecord, bool)
+	walk = func(rs []SpanRecord) (SpanRecord, bool) {
+		for _, r := range rs {
+			if r.Name == name {
+				return r, true
+			}
+			if c, ok := walk(r.Children); ok {
+				return c, true
+			}
+		}
+		return SpanRecord{}, false
+	}
+	return walk(d.Spans)
+}

@@ -1,0 +1,95 @@
+package obs
+
+import "math/bits"
+
+// histBuckets is the number of power-of-two buckets: bucket 0 holds
+// values <= 0, bucket i (i >= 1) holds values in [2^(i-1), 2^i - 1],
+// so bucket 63 absorbs everything above 2^62.
+const histBuckets = 64
+
+// Histogram is a fixed-size power-of-two histogram over int64 values,
+// with exact count/sum/min/max. The zero value is ready to use. A
+// Histogram is not internally synchronised: hot paths observe into a
+// private instance and fold it into a Collector with MergeHistogram.
+type Histogram struct {
+	Count   int64
+	Sum     int64
+	Min     int64
+	Max     int64
+	buckets [histBuckets]int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.Count == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.Count == 0 {
+		return
+	}
+	if h.Count == 0 || other.Min < h.Min {
+		h.Min = other.Min
+	}
+	if h.Count == 0 || other.Max > h.Max {
+		h.Max = other.Max
+	}
+	h.Count += other.Count
+	h.Sum += other.Sum
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// HistogramRecord is the exported form of a histogram. Buckets lists
+// only non-empty buckets as {upper-bound, count} pairs; the upper
+// bound of bucket i is 2^i - 1 (0 for the first).
+type HistogramRecord struct {
+	Count   int64      `json:"count"`
+	Sum     int64      `json:"sum"`
+	Min     int64      `json:"min"`
+	Max     int64      `json:"max"`
+	Mean    float64    `json:"mean"`
+	Buckets [][2]int64 `json:"buckets,omitempty"`
+}
+
+// record exports the histogram.
+func (h *Histogram) record() HistogramRecord {
+	r := HistogramRecord{Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max, Mean: h.Mean()}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		ub := int64(0)
+		if i > 0 {
+			ub = 1<<uint(i) - 1
+		}
+		r.Buckets = append(r.Buckets, [2]int64{ub, n})
+	}
+	return r
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// MemSnapshot is one labelled runtime.MemStats reading. Byte figures
+// are raw; the JSON field names carry the unit.
+type MemSnapshot struct {
+	Label          string  `json:"label"`
+	AtMS           float64 `json:"at_ms"` // offset from collector start
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64  `json:"heap_sys_bytes"`
+	HeapObjects    uint64  `json:"heap_objects"`
+	TotalAlloc     uint64  `json:"total_alloc_bytes"`
+	Mallocs        uint64  `json:"mallocs"`
+	NumGC          uint32  `json:"num_gc"`
+	PauseTotalMS   float64 `json:"gc_pause_total_ms"`
+	NumGoroutine   int     `json:"goroutines"`
+}
+
+// SnapshotMemStats records a labelled memstats reading. ReadMemStats
+// stops the world briefly, so snapshots belong at stage boundaries,
+// never inside hot loops.
+func (c *Collector) SnapshotMemStats(label string) {
+	if c == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	snap := MemSnapshot{
+		Label:          label,
+		AtMS:           float64(time.Since(c.start)) / float64(time.Millisecond),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		HeapObjects:    ms.HeapObjects,
+		TotalAlloc:     ms.TotalAlloc,
+		Mallocs:        ms.Mallocs,
+		NumGC:          ms.NumGC,
+		PauseTotalMS:   float64(ms.PauseTotalNs) / float64(time.Millisecond),
+		NumGoroutine:   runtime.NumGoroutine(),
+	}
+	c.mu.Lock()
+	c.mem = append(c.mem, snap)
+	c.mu.Unlock()
+}

@@ -1,0 +1,160 @@
+// Package obs is the pipeline's observability substrate: hierarchical
+// spans (stage → substage wall-clock timers), counters, gauges,
+// power-of-two histograms, runtime memstats snapshots, and pprof
+// profile hooks (profile.go). It is dependency-free (stdlib only) and
+// designed around two constraints of the propagation hot paths:
+//
+//   - Zero cost when off. Every method is safe on a nil *Collector,
+//     and From returns nil when no collector is installed in the
+//     context, so instrumented code calls obs unconditionally and a
+//     flag-off run does no locking, no allocation, and no time reads
+//     beyond a nil check.
+//
+//   - Bounded cost when on. Hot loops never touch the collector
+//     directly: workers accumulate into local ints and local
+//     Histograms and flush once per worker (see internal/bgp), so the
+//     collector mutex is taken O(workers), not O(paths).
+//
+// Metric values are deterministic for a deterministic pipeline:
+// counters are order-independent sums and histogram merges are
+// commutative, so parallel workers produce identical totals regardless
+// of schedule. Only durations and memstats vary run to run.
+//
+// The naming convention is dotted lower-case paths: counters and
+// gauges are "<package>.<what>" (e.g. "bgp.paths_emitted"), spans
+// reuse the pipeline's stage names (e.g. "bgp.propagate") with
+// substages below them ("bgp.propagate.workers"). The full metric
+// inventory is documented in docs/observability.md.
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Collector accumulates spans, counters, gauges, histograms and
+// memstats snapshots for one run. It is safe for concurrent use; the
+// zero value is not usable — construct with NewCollector. A nil
+// *Collector is a valid no-op sink.
+type Collector struct {
+	start time.Time
+
+	mu       sync.Mutex
+	roots    []*Span
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*Histogram
+	mem      []MemSnapshot
+}
+
+// NewCollector returns an empty collector whose span clock starts now.
+func NewCollector() *Collector {
+	return &Collector{
+		start:    time.Now(),
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Add increments the named counter by n. Calling Add(name, 0)
+// registers the counter, so "this was measured and is zero" is
+// distinguishable from "this was never measured" in the export —
+// the skipped-origin accounting relies on that.
+func (c *Collector) Add(name string, n int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.counters[name] += n
+	c.mu.Unlock()
+}
+
+// SetGauge records the named gauge's current value (last write wins).
+func (c *Collector) SetGauge(name string, v float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.gauges[name] = v
+	c.mu.Unlock()
+}
+
+// Observe records one value into the named histogram.
+func (c *Collector) Observe(name string, v int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	h := c.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		c.hists[name] = h
+	}
+	h.Observe(v)
+	c.mu.Unlock()
+}
+
+// MergeHistogram folds a locally-accumulated histogram into the named
+// one. Hot paths observe into a private Histogram and merge once, so
+// the collector lock is not on the per-item path.
+func (c *Collector) MergeHistogram(name string, h *Histogram) {
+	if c == nil || h == nil || h.Count == 0 {
+		return
+	}
+	c.mu.Lock()
+	dst := c.hists[name]
+	if dst == nil {
+		dst = &Histogram{}
+		c.hists[name] = dst
+	}
+	dst.Merge(h)
+	c.mu.Unlock()
+}
+
+// Counter returns the counter's current value (0 if never added).
+func (c *Collector) Counter(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters[name]
+}
+
+// counterNames returns the registered counter names, sorted.
+func (c *Collector) counterNames() []string {
+	names := make([]string, 0, len(c.counters))
+	for n := range c.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ctxKey is the private context-key namespace.
+type ctxKey int
+
+const (
+	collectorKey ctxKey = iota
+	spanKey
+)
+
+// Into returns a context carrying c; instrumented code downstream
+// retrieves it with From. Installing a nil collector is a no-op
+// context (From still returns nil).
+func Into(ctx context.Context, c *Collector) context.Context {
+	if c == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, collectorKey, c)
+}
+
+// From returns the collector installed in ctx, or nil when
+// observability is off. The nil result is a valid no-op sink.
+func From(ctx context.Context) *Collector {
+	c, _ := ctx.Value(collectorKey).(*Collector)
+	return c
+}

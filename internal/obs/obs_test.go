@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// A nil collector and an uninstrumented context must be free no-ops
+// end to end: that is what keeps the flag-off pipeline byte-identical.
+func TestNilCollectorIsNoOp(t *testing.T) {
+	var c *Collector
+	c.Add("x", 1)
+	c.SetGauge("g", 2)
+	c.Observe("h", 3)
+	c.MergeHistogram("h", &Histogram{})
+	c.SnapshotMemStats("s")
+	if c.Counter("x") != 0 {
+		t.Error("nil counter not 0")
+	}
+	if c.Export() != nil {
+		t.Error("nil export not nil")
+	}
+
+	ctx := context.Background()
+	if From(ctx) != nil {
+		t.Error("From on bare context not nil")
+	}
+	if Into(ctx, nil) != ctx {
+		t.Error("Into(nil) must return ctx unchanged")
+	}
+	ctx2, sp := StartSpan(ctx, "stage")
+	if sp != nil || ctx2 != ctx {
+		t.Error("StartSpan without collector must be a no-op")
+	}
+	sp.End() // must not panic
+}
+
+func TestSpansNest(t *testing.T) {
+	col := NewCollector()
+	ctx := Into(context.Background(), col)
+
+	ctx1, root := StartSpan(ctx, "pipeline")
+	ctx2, child := StartSpan(ctx1, "bgp.propagate")
+	_, grand := StartSpan(ctx2, "bgp.propagate.workers")
+	grand.End()
+	child.End()
+	// A sibling from the root context.
+	_, sib := StartSpan(ctx1, "render")
+	sib.End()
+	root.End()
+
+	doc := col.Export()
+	if len(doc.Spans) != 1 || doc.Spans[0].Name != "pipeline" {
+		t.Fatalf("roots = %+v", doc.Spans)
+	}
+	kids := doc.Spans[0].Children
+	if len(kids) != 2 || kids[0].Name != "bgp.propagate" || kids[1].Name != "render" {
+		t.Fatalf("children = %+v", kids)
+	}
+	if len(kids[0].Children) != 1 || kids[0].Children[0].Name != "bgp.propagate.workers" {
+		t.Fatalf("grandchildren = %+v", kids[0].Children)
+	}
+	if _, ok := doc.FindSpan("bgp.propagate.workers"); !ok {
+		t.Error("FindSpan missed a nested span")
+	}
+	if _, ok := doc.FindSpan("nope"); ok {
+		t.Error("FindSpan invented a span")
+	}
+}
+
+// Export must stamp still-open spans rather than dropping them: a
+// metrics document written mid-run stays complete.
+func TestExportStampsOpenSpans(t *testing.T) {
+	col := NewCollector()
+	ctx := Into(context.Background(), col)
+	StartSpan(ctx, "open")
+	doc := col.Export()
+	if len(doc.Spans) != 1 || doc.Spans[0].DurationMS < 0 {
+		t.Fatalf("open span exported as %+v", doc.Spans)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	col := NewCollector()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				col.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := col.Counter("n"); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+}
+
+// Add(name, 0) must register the counter: the skipped-origin
+// accounting distinguishes "measured, zero" from "not measured".
+func TestZeroAddRegistersCounter(t *testing.T) {
+	col := NewCollector()
+	col.Add("bgp.skipped_origins", 0)
+	doc := col.Export()
+	if v, ok := doc.Counters["bgp.skipped_origins"]; !ok || v != 0 {
+		t.Errorf("zero counter missing from export: %v", doc.Counters)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 1, 3, 8, 1000} {
+		h.Observe(v)
+	}
+	if h.Count != 6 || h.Sum != 1013 || h.Min != 0 || h.Max != 1000 {
+		t.Errorf("h = %+v", h)
+	}
+	var other Histogram
+	other.Observe(-5)
+	h.Merge(&other)
+	if h.Count != 7 || h.Min != -5 {
+		t.Errorf("after merge h = %+v", h)
+	}
+	rec := h.record()
+	var total int64
+	for _, b := range rec.Buckets {
+		total += b[1]
+	}
+	if total != 7 {
+		t.Errorf("bucket counts sum to %d, want 7", total)
+	}
+	// Merging an empty histogram must not clobber min/max.
+	h.Merge(&Histogram{})
+	if h.Min != -5 || h.Max != 1000 {
+		t.Errorf("empty merge changed bounds: %+v", h)
+	}
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	for _, tc := range []struct {
+		v    int64
+		want int
+	}{{-1, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1 << 40, 41}} {
+		if got := bucketOf(tc.v); got != tc.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestMemSnapshotAndDocumentJSON(t *testing.T) {
+	col := NewCollector()
+	col.SnapshotMemStats("start")
+	col.Add("c", 7)
+	col.SetGauge("g", 1.5)
+	col.Observe("h", 42)
+	ctx := Into(context.Background(), col)
+	_, sp := StartSpan(ctx, "stage")
+	sp.End()
+	sp.End() // double End keeps the first stamp
+
+	var buf bytes.Buffer
+	if err := col.Export().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("document not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(doc.MemStats) != 1 || doc.MemStats[0].Label != "start" {
+		t.Errorf("memstats = %+v", doc.MemStats)
+	}
+	if doc.MemStats[0].HeapAllocBytes == 0 {
+		t.Error("memstats snapshot is empty")
+	}
+	if doc.Counters["c"] != 7 || doc.Gauges["g"] != 1.5 {
+		t.Errorf("counters/gauges = %v / %v", doc.Counters, doc.Gauges)
+	}
+	if doc.Histograms["h"].Count != 1 {
+		t.Errorf("histograms = %+v", doc.Histograms)
+	}
+}
+
+func TestProfileHooks(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	stop, err := StartCPUProfile(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile is non-trivial.
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
+		t.Errorf("cpu profile missing or empty: %v", err)
+	}
+
+	heap := filepath.Join(dir, "heap.pprof")
+	if err := WriteHeapProfile(heap); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(heap); err != nil || fi.Size() == 0 {
+		t.Errorf("heap profile missing or empty: %v", err)
+	}
+
+	if _, err := StartCPUProfile(filepath.Join(dir, "no/such/dir/x")); err == nil {
+		t.Error("bad cpu profile path accepted")
+	}
+	if err := WriteHeapProfile(filepath.Join(dir, "no/such/dir/x")); err == nil {
+		t.Error("bad heap profile path accepted")
+	}
+}

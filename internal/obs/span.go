@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Span is one node of the hierarchical wall-clock timer tree: a
+// pipeline stage, or a substage nested below it. Spans are created
+// with StartSpan and closed with End; children attach to the span
+// carried by the context they were started from, so the tree mirrors
+// the call structure including goroutine fan-out (each worker starts
+// its span from the parent's context). A nil *Span is a valid no-op,
+// which is what StartSpan returns when no collector is installed.
+type Span struct {
+	name  string
+	start time.Time
+	end   time.Time
+
+	col      *Collector
+	parent   *Span
+	children []*Span
+}
+
+// StartSpan opens a span named name under the span carried by ctx (or
+// as a root span) and returns a context carrying the new span for
+// substages to nest under. When ctx carries no collector it returns
+// (ctx, nil) unchanged — the instrumentation disappears.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	col := From(ctx)
+	if col == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanKey).(*Span)
+	sp := &Span{name: name, start: time.Now(), col: col, parent: parent}
+	col.mu.Lock()
+	if parent != nil {
+		parent.children = append(parent.children, sp)
+	} else {
+		col.roots = append(col.roots, sp)
+	}
+	col.mu.Unlock()
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// End closes the span. Ending a span twice keeps the first end time;
+// ending a nil span is a no-op.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.col.mu.Lock()
+	if sp.end.IsZero() {
+		sp.end = time.Now()
+	}
+	sp.col.mu.Unlock()
+}
+
+// SpanRecord is the exported form of one span. Times are offsets from
+// the collector's start so documents are position-independent.
+type SpanRecord struct {
+	Name       string       `json:"name"`
+	StartMS    float64      `json:"start_ms"`
+	DurationMS float64      `json:"duration_ms"`
+	Children   []SpanRecord `json:"children,omitempty"`
+}
+
+// record exports the span subtree; the caller holds col.mu. A span
+// still open when the document is built is stamped with now.
+func (sp *Span) record(base, now time.Time) SpanRecord {
+	end := sp.end
+	if end.IsZero() {
+		end = now
+	}
+	r := SpanRecord{
+		Name:       sp.name,
+		StartMS:    float64(sp.start.Sub(base)) / float64(time.Millisecond),
+		DurationMS: float64(end.Sub(sp.start)) / float64(time.Millisecond),
+	}
+	for _, c := range sp.children {
+		r.Children = append(r.Children, c.record(base, now))
+	}
+	return r
+}

@@ -32,6 +32,13 @@ type StageReport struct {
 // order (parallel stages interleave).
 type RunReport struct {
 	Stages []StageReport `json:"stages"`
+
+	// Metrics is the run's observability document (spans, counters,
+	// histograms, memstats — an *obs.Document), attached by callers
+	// that ran with a collector so one report file carries both the
+	// stage ledger and the measurements. Declared as any to keep the
+	// report marshalling independent of the obs types.
+	Metrics any `json:"metrics,omitempty"`
 }
 
 // Report returns a snapshot of the runner's ledger so far.

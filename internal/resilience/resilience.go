@@ -18,6 +18,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"breval/internal/obs"
 )
 
 // FailureKind classifies how a stage failed.
@@ -129,6 +131,12 @@ func (r *Runner) Skip(stage, note string) {
 // cannot preempt it); fn must therefore only write state it owns and
 // publish results through its return value — see Value.
 func (r *Runner) Run(ctx context.Context, stage string, pol Policy, fn func(context.Context) error) error {
+	// Every stage is an observability span when a collector is
+	// installed (a flag-off run gets a nil no-op span): the span covers
+	// all attempts, and fn receives the span's context so stage
+	// internals nest as substages.
+	ctx, span := obs.StartSpan(ctx, stage)
+	defer span.End()
 	start := time.Now()
 	backoff := pol.Backoff
 	if backoff <= 0 {

@@ -1,0 +1,56 @@
+#!/bin/sh
+# bench.sh — run the root benchmark suite and record the results as a
+# machine-readable JSON document BENCH_<date>.json (schema documented in
+# docs/observability.md). Standard Go benchmark output is parsed with
+# awk; no tools beyond the Go toolchain and POSIX sh/awk are needed.
+#
+# Usage:
+#
+#	scripts/bench.sh [BENCH_REGEX] [BENCHTIME]
+#
+# BENCH_REGEX defaults to '.' (every benchmark); BENCHTIME defaults to
+# 1x — one iteration per benchmark, which is what the nightly trend
+# wants from the full-scale fixture (each iteration regenerates a
+# complete experiment). Use e.g. `scripts/bench.sh Propagation 5x` to
+# focus.
+set -eu
+cd "$(dirname "$0")/.."
+
+bench_re=${1:-.}
+benchtime=${2:-1x}
+date=$(date -u +%Y-%m-%d)
+out="BENCH_${date}.json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench=$bench_re -benchtime=$benchtime -benchmem" >&2
+go test -run '^$' -bench "$bench_re" -benchtime "$benchtime" -benchmem . | tee "$raw" >&2
+
+awk -v date="$date" -v bench_re="$bench_re" -v benchtime="$benchtime" '
+BEGIN {
+	printf "{\n  \"date\": \"%s\",\n  \"bench\": \"%s\",\n  \"benchtime\": \"%s\",\n", date, bench_re, benchtime
+	n = 0
+}
+/^goos: /    { goos = $2 }
+/^goarch: /  { goarch = $2 }
+/^cpu: /     { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+	# BenchmarkName-P  N  T ns/op  [B B/op  A allocs/op]  [extra unit ...]
+	name = $1; sub(/-[0-9]+$/, "", name)
+	line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, $2)
+	for (i = 3; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/\//, "_per_", unit)
+		gsub(/%/, "pct", unit)
+		line = line sprintf(", \"%s\": %s", unit, $i)
+	}
+	lines[n++] = line "}"
+}
+END {
+	printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n", goos, goarch, cpu
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i + 1 < n ? "," : "")
+	printf "  ]\n}\n"
+}' "$raw" >"$out"
+
+echo "bench: wrote $out ($(grep -c '"name"' "$out") benchmarks)" >&2

@@ -21,4 +21,10 @@ echo "== fuzz smoke (5s each)"
 go test ./internal/wire -run '^$' -fuzz '^FuzzUnmarshalUpdate$' -fuzztime 5s
 go test ./internal/wire -run '^$' -fuzz '^FuzzRIBReader$' -fuzztime 5s
 
+echo "== bench smoke (1 iteration, cheap substrate benchmarks)"
+# One iteration of the substrate benchmarks keeps the suite compiling
+# and runnable without paying for the full-scale fixture; `make bench`
+# runs the whole sweep and records BENCH_<date>.json.
+go test -run '^$' -bench '^(BenchmarkWorldGeneration|BenchmarkRoutePropagation|BenchmarkUpdateMarshal|BenchmarkUpdateUnmarshal)$' -benchtime 1x .
+
 echo "check: OK"

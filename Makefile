@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test check bench
+.PHONY: build test check bench fsck
 
 build:
 	go build ./...
@@ -16,3 +16,10 @@ check:
 #   make bench BENCH=Propagation BENCHTIME=5x
 bench:
 	sh scripts/bench.sh $(or $(BENCH),.) $(or $(BENCHTIME),1x)
+
+# Verify a checkpoint store offline (see docs/checkpointing.md):
+#   make fsck CHECKPOINT_DIR=/path/to/store
+# Exits nonzero when the store holds corrupt or missing artifacts.
+fsck:
+	@test -n "$(CHECKPOINT_DIR)" || { echo "usage: make fsck CHECKPOINT_DIR=<dir>"; exit 2; }
+	go run ./cmd/breval -checkpoint-dir "$(CHECKPOINT_DIR)" -checkpoint-verify

@@ -9,6 +9,8 @@
 //	       [-only fig1,...,clean,case,hard,sources,reclass,evolve,unari]
 //	       [-algos ASRank,ProbLink,TopoScope,Gao] [-min-links N]
 //	       [-timeout D] [-experiment-timeout D] [-stage-retries N]
+//	       [-checkpoint-dir DIR] [-resume] [-checkpoint-verify]
+//	       [-kill-after NAME]
 //	       [-report FILE] [-metrics-out FILE]
 //	       [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -20,6 +22,22 @@
 // continues); -stage-retries re-attempts failed retryable stages.
 // -report writes the machine-readable per-stage run report as JSON.
 //
+// -checkpoint-dir enables the durable artifact store (see
+// docs/checkpointing.md): expensive stage outputs — the propagated
+// path set, both validation snapshots, per-algorithm inference
+// results — are written there with CRC32C trailers under a versioned
+// manifest. With -resume a later run under the same configuration
+// reuses verified artifacts and regenerates anything corrupt
+// (quarantining the bad file) or missing. -checkpoint-verify runs a
+// read-only integrity check (fsck) over the store and exits: 0 when
+// clean, 1 when corrupt or missing artifacts were found.
+//
+// -kill-after NAME is a crash-testing hook: the process exits with
+// code 7 immediately after artifact NAME (world, paths,
+// validation.raw, validation.clean, rel.<algo>) is durably
+// checkpointed, leaving a store a subsequent -resume run must recover
+// from byte-identically.
+//
 // -metrics-out enables the observability layer (see
 // docs/observability.md) and writes the run's metrics document —
 // hierarchical stage spans, counters (propagation worker totals,
@@ -29,9 +47,10 @@
 // All three are off by default and add no overhead when unset.
 //
 // Exit codes: 0 when everything succeeded, 1 on fatal errors (bad
-// flags, a fatal pipeline stage, cancellation), 3 on partial success —
-// some stages failed or degraded but every surviving experiment was
-// rendered.
+// flags, a fatal pipeline stage, cancellation, an unclean
+// -checkpoint-verify), 3 on partial success — some stages failed or
+// degraded but every surviving experiment was rendered — and 7 when a
+// -kill-after crash point fired.
 package main
 
 import (
@@ -44,6 +63,7 @@ import (
 	"strings"
 	"syscall"
 
+	"breval/internal/checkpoint"
 	"breval/internal/core"
 	"breval/internal/hardlinks"
 	"breval/internal/obs"
@@ -83,12 +103,42 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 0, "deadline for the whole run (0 = none)")
 	expTimeout := fs.Duration("experiment-timeout", 0, "deadline per pipeline stage and per experiment renderer (0 = none)")
 	retries := fs.Int("stage-retries", 0, "re-attempts for failed retryable stages")
+	ckptDir := fs.String("checkpoint-dir", "", "durable artifact store directory; stage outputs are checkpointed here")
+	resume := fs.Bool("resume", false, "reuse verified artifacts from -checkpoint-dir instead of recomputing")
+	ckptVerify := fs.Bool("checkpoint-verify", false, "fsck the -checkpoint-dir store and exit (nonzero when corrupt or missing)")
+	killAfter := fs.String("kill-after", "", "crash testing: exit 7 right after artifact NAME is durably checkpointed")
 	reportOut := fs.String("report", "", "write the per-stage run report as JSON to this file")
 	metricsOut := fs.String("metrics-out", "", "enable observability and write the metrics document (spans, counters, memstats) as JSON to this file")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *ckptVerify {
+		if *ckptDir == "" {
+			return fmt.Errorf("-checkpoint-verify requires -checkpoint-dir")
+		}
+		res, err := checkpoint.Fsck(*ckptDir)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		if !res.Clean() {
+			return fmt.Errorf("checkpoint store %s is not clean", *ckptDir)
+		}
+		return nil
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if *killAfter != "" {
+		if *ckptDir == "" {
+			return fmt.Errorf("-kill-after requires -checkpoint-dir (a crash without a store saves nothing to resume from)")
+		}
+		resilience.InjectAt("checkpoint.saved."+*killAfter, resilience.Fault{Kind: resilience.KindCrash})
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -126,6 +176,8 @@ func run(args []string) error {
 	s.NumASes = *ases
 	s.StageTimeout = *expTimeout
 	s.StageRetries = *retries
+	s.CheckpointDir = *ckptDir
+	s.Resume = *resume
 	switch *policy {
 	case "ignore":
 		s.Policy = validation.Ignore

@@ -3,11 +3,15 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"breval/internal/checkpoint"
 	"breval/internal/obs"
 	"breval/internal/resilience"
 )
@@ -184,5 +188,172 @@ func TestRunFatalStageFault(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "bgp.propagate") {
 		t.Errorf("error does not name the stage: %v", err)
+	}
+}
+
+// crashHelperEnv selects the subprocess half of TestKillAfterExitCode:
+// when set, the test binary runs breval with a crash point armed and
+// the real CrashExit, so the process genuinely dies with code 7.
+const crashHelperEnv = "BREVAL_CRASH_HELPER_DIR"
+
+// TestKillAfterExitCode runs breval in a subprocess with
+// -kill-after=paths: the process must die with the documented crash
+// exit code 7 (not 0, not 1), leaving a checkpoint store behind, and a
+// -resume run over that store must then succeed with identical output
+// to a cold run.
+func TestKillAfterExitCode(t *testing.T) {
+	if dir := os.Getenv(crashHelperEnv); dir != "" {
+		// Subprocess: this call must not return — the crash point calls
+		// os.Exit(7) after the path set is durably saved.
+		err := run([]string{"-ases", "600", "-only", "clean", "-algos", "ASRank",
+			"-checkpoint-dir", dir, "-kill-after", "paths"})
+		fmt.Fprintln(os.Stderr, "crash point did not fire:", err)
+		os.Exit(0)
+	}
+	if testing.Short() {
+		t.Skip("runs the pipeline in a subprocess")
+	}
+
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=TestKillAfterExitCode$")
+	cmd.Env = append(os.Environ(), crashHelperEnv+"="+dir)
+	out, err := cmd.CombinedOutput()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != resilience.CrashExitCode {
+		t.Fatalf("subprocess: err = %v, want exit code %d\noutput:\n%s",
+			err, resilience.CrashExitCode, out)
+	}
+
+	// The interrupted store must hold the path set and survive fsck.
+	if _, err := os.Stat(filepath.Join(dir, "paths")); err != nil {
+		t.Fatalf("crashed run left no paths artifact: %v", err)
+	}
+	res, err := checkpoint.Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() {
+		t.Fatalf("store not clean after crash: corrupt=%v missing=%v", res.Corrupt, res.Missing)
+	}
+
+	// Resume and compare against a cold run: stdout must match.
+	cold := captureRun(t, []string{"-ases", "600", "-only", "clean", "-algos", "ASRank"})
+	resumed := captureRun(t, []string{"-ases", "600", "-only", "clean", "-algos", "ASRank",
+		"-checkpoint-dir", dir, "-resume"})
+	if cold != resumed {
+		t.Errorf("resumed output differs from cold run:\ncold:\n%s\nresumed:\n%s", cold, resumed)
+	}
+}
+
+// captureRun invokes run with stdout redirected to a pipe and returns
+// what it printed.
+func captureRun(t *testing.T, args []string) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(args)
+	os.Stdout = old
+	w.Close()
+	b, rerr := io.ReadAll(r)
+	r.Close()
+	if runErr != nil {
+		t.Fatalf("run %v: %v", args, runErr)
+	}
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	return string(b)
+}
+
+// TestCheckpointVerifyFlag: -checkpoint-verify passes on a clean store
+// and fails (nonzero exit via error return) after a byte flip.
+func TestCheckpointVerifyFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-ases", "600", "-only", "clean", "-algos", "ASRank",
+		"-checkpoint-dir", dir}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-checkpoint-dir", dir, "-checkpoint-verify"}); err != nil {
+		t.Fatalf("fsck of clean store failed: %v", err)
+	}
+
+	path := filepath.Join(dir, "paths")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/3] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-checkpoint-dir", dir, "-checkpoint-verify"})
+	if err == nil || !strings.Contains(err.Error(), "not clean") {
+		t.Fatalf("fsck did not flag the corrupted store: %v", err)
+	}
+
+	// A resume run over the corrupted store still succeeds: the bad
+	// artifact is quarantined and regenerated.
+	if err := run([]string{"-ases", "600", "-only", "clean", "-algos", "ASRank",
+		"-checkpoint-dir", dir, "-resume"}); err != nil {
+		t.Fatalf("resume over corrupted store: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine")); err != nil {
+		t.Errorf("no quarantine directory after corrupted resume: %v", err)
+	}
+}
+
+// TestCheckpointFlagValidation: the checkpoint flags guard their
+// preconditions before any expensive work happens.
+func TestCheckpointFlagValidation(t *testing.T) {
+	if err := run([]string{"-resume"}); err == nil {
+		t.Error("-resume without -checkpoint-dir accepted")
+	}
+	if err := run([]string{"-checkpoint-verify"}); err == nil {
+		t.Error("-checkpoint-verify without -checkpoint-dir accepted")
+	}
+	if err := run([]string{"-kill-after", "paths"}); err == nil {
+		t.Error("-kill-after without -checkpoint-dir accepted")
+	}
+	resilience.ClearFaults()
+}
+
+// TestReportEmbedsCheckpointStats: with a checkpoint store active the
+// -report JSON carries the store's hit/miss/quarantine counters.
+func TestReportEmbedsCheckpointStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline")
+	}
+	dir := t.TempDir()
+	report := filepath.Join(t.TempDir(), "report.json")
+	if err := run([]string{"-ases", "600", "-only", "clean", "-algos", "ASRank",
+		"-checkpoint-dir", dir}); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if err := run([]string{"-ases", "600", "-only", "clean", "-algos", "ASRank",
+		"-checkpoint-dir", dir, "-resume", "-report", report}); err != nil {
+		t.Fatalf("resume run: %v", err)
+	}
+	b, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var doc struct {
+		Checkpoint *checkpoint.Stats `json:"checkpoint"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if doc.Checkpoint == nil {
+		t.Fatalf("report carries no checkpoint stats:\n%.400s", b)
+	}
+	if doc.Checkpoint.Hits == 0 {
+		t.Errorf("resume run reports zero checkpoint hits: %+v", doc.Checkpoint)
 	}
 }

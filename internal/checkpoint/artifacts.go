@@ -1,0 +1,329 @@
+package checkpoint
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+	"breval/internal/inference"
+	"breval/internal/topogen"
+	"breval/internal/validation"
+	"breval/internal/wire"
+)
+
+// Artifact names. The world itself is never stored — it regenerates
+// deterministically from the key's config — only its digest is pinned
+// (Manifest.WorldDigest) so code drift invalidates the store.
+const (
+	ArtifactPaths      = "paths"
+	ArtifactValidation = "validation.raw"
+	ArtifactClean      = "validation.clean"
+)
+
+// ArtifactRel returns the artifact name of one algorithm's inferred
+// relationships.
+func ArtifactRel(algo string) string { return "rel." + strings.ToLower(algo) }
+
+// WorldDigestOf computes a deterministic digest of the generated
+// world: the ground-truth graph plus every list and role assignment
+// the checkpointed stages consume. Two worlds digest identically iff
+// the generator produced the same topology, so a resumed run can
+// verify that regeneration still yields the world its cached artifacts
+// were derived from.
+func WorldDigestOf(w *topogen.World) string {
+	h := sha256.New()
+	bw := bufio.NewWriter(h)
+	fmt.Fprintf(bw, "asns %d\n", len(w.ASNs))
+	for _, a := range w.ASNs {
+		fmt.Fprintf(bw, "%d %d %d %v %v %v %v\n", a, w.Region[a], w.Type[a],
+			w.Publishers[a], w.Strippers[a], w.MANRS[a], w.Hijackers[a])
+	}
+	// Links() and RelOn are deterministic (sorted canonical links).
+	_ = asgraph.WriteSerial1(bw, w.Graph)
+	writeASNList(bw, "clique", w.Clique)
+	writeASNList(bw, "hypergiants", w.Hypergiants)
+	writeASNList(bw, "specialstubs", w.SpecialStubs)
+	writeASNList(bw, "partialsellers", w.PartialSellers)
+	writeASNList(bw, "vps", w.VPs)
+	writeASNList(bw, "irr", w.IRRRegistrants)
+	for _, ix := range w.IXPs {
+		fmt.Fprintf(bw, "ixp %d %d", ix.ID, ix.Region)
+		writeASNList(bw, "", ix.Members)
+	}
+	for _, fc := range w.Facilities {
+		fmt.Fprintf(bw, "fac %d %d", fc.ID, fc.Region)
+		writeASNList(bw, "", fc.Members)
+	}
+	bw.Flush()
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeASNList(w io.Writer, label string, s []asn.ASN) {
+	fmt.Fprintf(w, "%s", label)
+	for _, a := range s {
+		fmt.Fprintf(w, " %d", a)
+	}
+	fmt.Fprintln(w)
+}
+
+// PutPaths stores a propagated path set under name. The RIB codec
+// carries the paths; the skipped-coverage counters ride in the
+// manifest metadata (they are bookkeeping, not payload).
+func PutPaths(ctx context.Context, s *Store, name string, ps *bgp.PathSet) error {
+	meta := map[string]string{
+		"skipped_origins": strconv.Itoa(ps.SkippedOrigins),
+		"skipped_vps":     strconv.Itoa(ps.SkippedVPs),
+	}
+	return s.Put(ctx, name, meta, func(w io.Writer) error {
+		return wire.WriteRIB(w, ps, 0)
+	})
+}
+
+// GetPaths loads a path set stored by PutPaths.
+func GetPaths(ctx context.Context, s *Store, name string) (*bgp.PathSet, error) {
+	var ps *bgp.PathSet
+	err := s.Get(ctx, name, func(payload io.Reader, meta map[string]string) error {
+		got, rerr := wire.ReadRIB(payload)
+		if rerr != nil {
+			return rerr
+		}
+		if got.SkippedOrigins, rerr = metaInt(meta, "skipped_origins"); rerr != nil {
+			return rerr
+		}
+		if got.SkippedVPs, rerr = metaInt(meta, "skipped_vps"); rerr != nil {
+			return rerr
+		}
+		ps = got
+		return nil
+	})
+	return ps, err
+}
+
+func metaInt(meta map[string]string, key string) (int, error) {
+	v, err := strconv.Atoi(meta[key])
+	if err != nil {
+		return 0, fmt.Errorf("meta %s=%q: %w", key, meta[key], err)
+	}
+	return v, nil
+}
+
+// PutSnapshot stores a validation snapshot (raw or cleaned) under
+// name; extra metadata (e.g. the cleaning report) rides alongside.
+func PutSnapshot(ctx context.Context, s *Store, name string, snap *validation.Snapshot, meta map[string]string) error {
+	return s.Put(ctx, name, meta, func(w io.Writer) error {
+		_, err := snap.WriteTo(w)
+		return err
+	})
+}
+
+// GetSnapshot loads a snapshot stored by PutSnapshot, returning its
+// metadata alongside.
+func GetSnapshot(ctx context.Context, s *Store, name string) (*validation.Snapshot, map[string]string, error) {
+	var snap *validation.Snapshot
+	var gotMeta map[string]string
+	err := s.Get(ctx, name, func(payload io.Reader, meta map[string]string) error {
+		got, perr := validation.Parse(payload)
+		if perr != nil {
+			return perr
+		}
+		snap = got
+		gotMeta = meta
+		return nil
+	})
+	return snap, gotMeta, err
+}
+
+// Inferred-relationship codec: a CAIDA serial-1 body (one line per
+// link, deterministic link order) preceded by "#!" directive comments
+// carrying the Result fields serial-1 cannot express — the algorithm
+// name, the inferred clique, firm-evidence links, and partial/hybrid
+// attributes. Plain serial-1 consumers skip the directives as
+// comments; the store's decoder round-trips the full Result.
+const (
+	dirName   = "#!name "
+	dirClique = "#!clique "
+	dirFirm   = "#!firm "
+	dirAttr   = "#!attr "
+)
+
+// PutResult stores one algorithm's inference result under
+// ArtifactRel(res.Name).
+func PutResult(ctx context.Context, s *Store, res *inference.Result) error {
+	return s.Put(ctx, ArtifactRel(res.Name), nil, func(w io.Writer) error {
+		return writeResult(w, res)
+	})
+}
+
+// GetResult loads the inference result stored for algo.
+func GetResult(ctx context.Context, s *Store, algo string) (*inference.Result, error) {
+	var res *inference.Result
+	err := s.Get(ctx, ArtifactRel(algo), func(payload io.Reader, _ map[string]string) error {
+		got, perr := readResult(payload)
+		if perr != nil {
+			return perr
+		}
+		res = got
+		return nil
+	})
+	return res, err
+}
+
+func writeResult(w io.Writer, res *inference.Result) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s%s\n", dirName, res.Name)
+	// Clique order is preserved, not normalised: downstream consumers
+	// may be order-sensitive and a resumed run must be byte-identical.
+	for _, a := range res.Clique {
+		fmt.Fprintf(bw, "%s%d\n", dirClique, a)
+	}
+	links := make([]asgraph.Link, 0, len(res.Rels))
+	for l := range res.Rels {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].A != links[j].A {
+			return links[i].A < links[j].A
+		}
+		return links[i].B < links[j].B
+	})
+	for _, l := range links {
+		if res.Firm[l] {
+			fmt.Fprintf(bw, "%s%d|%d\n", dirFirm, l.A, l.B)
+		}
+	}
+	for _, l := range links {
+		r := res.Rels[l]
+		if !r.PartialTransit && !r.Hybrid {
+			continue
+		}
+		fmt.Fprintf(bw, "%s%d|%d|%v|%v\n", dirAttr, l.A, l.B, r.PartialTransit, r.Hybrid)
+	}
+	for _, l := range links {
+		r := res.Rels[l]
+		switch r.Type {
+		case asgraph.P2C:
+			c, ok := l.OtherOK(r.Provider)
+			if !ok {
+				return fmt.Errorf("checkpoint: provider %d not on link %v", r.Provider, l)
+			}
+			fmt.Fprintf(bw, "%d|%d|-1\n", r.Provider, c)
+		case asgraph.P2P:
+			fmt.Fprintf(bw, "%d|%d|0\n", l.A, l.B)
+		case asgraph.S2S:
+			fmt.Fprintf(bw, "%d|%d|1\n", l.A, l.B)
+		default:
+			return fmt.Errorf("checkpoint: unencodable relationship %v on %v", r, l)
+		}
+	}
+	return bw.Flush()
+}
+
+func readResult(r io.Reader) (*inference.Result, error) {
+	res := inference.NewResult("", 1024)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	attrs := map[asgraph.Link][2]bool{}
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, dirName):
+			res.Name = strings.TrimPrefix(line, dirName)
+		case strings.HasPrefix(line, dirClique):
+			a, err := asn.Parse(strings.TrimPrefix(line, dirClique))
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint: rel line %d: %w", lineno, err)
+			}
+			res.Clique = append(res.Clique, a)
+		case strings.HasPrefix(line, dirFirm):
+			l, err := parseLink(strings.TrimPrefix(line, dirFirm))
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint: rel line %d: %w", lineno, err)
+			}
+			if res.Firm == nil {
+				res.Firm = map[asgraph.Link]bool{}
+			}
+			res.Firm[l] = true
+		case strings.HasPrefix(line, dirAttr):
+			fields := strings.Split(strings.TrimPrefix(line, dirAttr), "|")
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("checkpoint: rel line %d: malformed attr %q", lineno, line)
+			}
+			l, err := parseLink(fields[0] + "|" + fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint: rel line %d: %w", lineno, err)
+			}
+			attrs[l] = [2]bool{fields[2] == "true", fields[3] == "true"}
+		case strings.HasPrefix(line, "#"):
+			continue
+		default:
+			fields := strings.Split(line, "|")
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("checkpoint: rel line %d: want 3 fields, got %q", lineno, line)
+			}
+			a, err := asn.Parse(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint: rel line %d: %w", lineno, err)
+			}
+			b, err := asn.Parse(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint: rel line %d: %w", lineno, err)
+			}
+			var rel asgraph.Rel
+			switch fields[2] {
+			case "-1":
+				rel = asgraph.P2CRel(a)
+			case "0":
+				rel = asgraph.P2PRel()
+			case "1":
+				rel = asgraph.S2SRel()
+			default:
+				return nil, fmt.Errorf("checkpoint: rel line %d: unknown relationship %q", lineno, fields[2])
+			}
+			res.Rels[asgraph.NewLink(a, b)] = rel
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("checkpoint: rel: %w", err)
+	}
+	for l, fl := range attrs {
+		r, ok := res.Rels[l]
+		if !ok {
+			return nil, fmt.Errorf("checkpoint: rel: attr for unknown link %v", l)
+		}
+		r.PartialTransit, r.Hybrid = fl[0], fl[1]
+		res.Rels[l] = r
+	}
+	if res.Name == "" {
+		return nil, fmt.Errorf("checkpoint: rel: missing %q directive", strings.TrimSpace(dirName))
+	}
+	return res, nil
+}
+
+func parseLink(s string) (asgraph.Link, error) {
+	a, b, ok := strings.Cut(s, "|")
+	if !ok {
+		return asgraph.Link{}, fmt.Errorf("malformed link %q", s)
+	}
+	an, err := asn.Parse(a)
+	if err != nil {
+		return asgraph.Link{}, err
+	}
+	bn, err := asn.Parse(b)
+	if err != nil {
+		return asgraph.Link{}, err
+	}
+	return asgraph.NewLink(an, bn), nil
+}

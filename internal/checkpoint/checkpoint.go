@@ -1,0 +1,456 @@
+// Package checkpoint is the pipeline's durable artifact store: a
+// crash-safe, checksummed cache of intermediate pipeline products
+// (propagated path sets, inferred relationship files, validation
+// snapshots) that lets a run resume after a crash instead of
+// recomputing everything, while guaranteeing that stale, truncated or
+// bit-flipped artifacts are never silently consumed.
+//
+// Durability and integrity come from three layers:
+//
+//   - Atomic writes. Every artifact is written to a temp file in the
+//     store directory, fsynced, and renamed into place. A crash mid-
+//     write leaves only a *.tmp file, which the store never reads.
+//
+//   - A CRC32C trailer. Every artifact file ends with a fixed trailer
+//     (magic, payload length, CRC32C/Castagnoli of the payload).
+//     Truncation changes the length, bit flips change the checksum;
+//     either way the load fails closed.
+//
+//   - A versioned manifest keyed by a content hash of the full
+//     upstream configuration (seed, topology generator config,
+//     scenario knobs, code schema version). A store written under a
+//     different configuration or an older code schema is treated as
+//     stale, never reused.
+//
+// A failed load — checksum mismatch, truncation, or decode failure —
+// quarantines the artifact (renames it into quarantine/, bumps an obs
+// counter, records a resilience.RunReport entry) and reports a miss,
+// so the pipeline regenerates the data: graceful degradation, never a
+// crash and never silently-bad data. See docs/checkpointing.md.
+package checkpoint
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"breval/internal/obs"
+	"breval/internal/resilience"
+)
+
+// quarantineDir is the sub-directory corrupt artifacts are moved to.
+const quarantineDir = "quarantine"
+
+// Trailer framing: magic | payload length (big endian) | CRC32C.
+const (
+	trailerMagic = "BRC1"
+	trailerLen   = 4 + 8 + 4
+)
+
+// castagnoli is the CRC32C table (iSCSI/ext4 polynomial).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Sentinel errors. Callers match with errors.Is: ErrMiss means the
+// artifact is absent or stale (regenerate, nothing was wrong);
+// ErrCorrupt means the artifact failed integrity or decode checks and
+// has been quarantined (regenerate, and the store kept the evidence).
+var (
+	ErrMiss    = errors.New("checkpoint: artifact missing or stale")
+	ErrCorrupt = errors.New("checkpoint: artifact corrupt (quarantined)")
+)
+
+// Stats are the store's lifetime counters for one process. They are
+// mirrored into obs counters ("checkpoint.*") and embedded in the run
+// report (resilience.RunReport.Checkpoint).
+type Stats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Regenerations int64 `json:"regenerations"`
+	Quarantines   int64 `json:"quarantines"`
+	Invalidations int64 `json:"invalidations"`
+	BytesRead     int64 `json:"bytes_read"`
+	BytesWritten  int64 `json:"bytes_written"`
+}
+
+// Recorder receives store events as stage-report entries; the pipeline
+// passes its resilience.Runner so quarantines and invalidations appear
+// in the per-run ledger.
+type Recorder interface {
+	Record(resilience.StageReport)
+}
+
+// Store is a durable artifact store rooted at one directory. It is
+// safe for concurrent use: parallel inference stages save their
+// artifacts through one store.
+type Store struct {
+	dir string
+	key string
+
+	// Recorder, when set, receives quarantine/invalidation events.
+	// Set it before the store is used from multiple goroutines.
+	Recorder Recorder
+
+	col *obs.Collector
+
+	mu     sync.Mutex
+	man    *Manifest
+	missed map[string]bool
+	stats  Stats
+}
+
+// counterNames lists the obs counters the store maintains; all are
+// registered at Open so "measured and zero" is visible in exports.
+var counterNames = []string{
+	"checkpoint.hits", "checkpoint.misses", "checkpoint.regenerations",
+	"checkpoint.quarantines", "checkpoint.invalidations",
+	"checkpoint.bytes_read", "checkpoint.bytes_written",
+}
+
+// Open opens (creating if needed) the store at dir for the given key.
+// An existing manifest written under a different key or manifest
+// version is treated as stale and replaced with a fresh one; a
+// manifest that fails to decode is quarantined. The context supplies
+// the run's obs collector (if any) for the checkpoint.* counters.
+func Open(ctx context.Context, dir string, key Key) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: open store: %w", err)
+	}
+	s := &Store{
+		dir:    dir,
+		key:    key.Hash(),
+		col:    obs.From(ctx),
+		missed: map[string]bool{},
+	}
+	for _, n := range counterNames {
+		s.col.Add(n, 0)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		s.man = newManifest(s.key)
+	case err != nil:
+		return nil, fmt.Errorf("checkpoint: read manifest: %w", err)
+	default:
+		man, derr := DecodeManifest(raw)
+		if derr != nil {
+			// A corrupt manifest orphans every artifact: quarantine it
+			// and start fresh. The artifact files stay where they are
+			// (fsck can still see them) and are overwritten on save.
+			s.man = newManifest(s.key)
+			s.quarantineFile("manifest", manifestFile, derr)
+		} else if man.Key != s.key {
+			s.man = newManifest(s.key)
+			s.bumpInvalidation("manifest key mismatch (configuration or schema changed)")
+		} else {
+			s.man = man
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// WorldDigest returns the pinned world digest, if any.
+func (s *Store) WorldDigest() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.WorldDigest
+}
+
+// SetWorldDigest pins the world digest in the manifest.
+func (s *Store) SetWorldDigest(digest string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.man.WorldDigest = digest
+	return s.writeManifestLocked()
+}
+
+// InvalidateAll drops every artifact from the manifest (files are left
+// in place and overwritten on the next save). The pipeline calls it
+// when the regenerated world's digest no longer matches the pinned
+// one: every downstream artifact is then untrustworthy.
+func (s *Store) InvalidateAll(reason string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.man.Artifacts = map[string]Entry{}
+	s.man.WorldDigest = ""
+	s.bumpInvalidationLocked(reason)
+	return s.writeManifestLocked()
+}
+
+func (s *Store) bumpInvalidation(reason string) {
+	s.mu.Lock()
+	s.bumpInvalidationLocked(reason)
+	s.mu.Unlock()
+}
+
+func (s *Store) bumpInvalidationLocked(reason string) {
+	s.stats.Invalidations++
+	s.col.Add("checkpoint.invalidations", 1)
+	s.event(resilience.StageReport{
+		Stage: "checkpoint.invalidate", Status: resilience.StatusSkipped, Note: reason,
+	})
+}
+
+// event reports a store event to the Recorder, if one is installed.
+func (s *Store) event(sr resilience.StageReport) {
+	if s.Recorder != nil {
+		s.Recorder.Record(sr)
+	}
+}
+
+// Put writes one artifact atomically: encode streams the payload into
+// a temp file, a CRC32C trailer is appended, the file is fsynced and
+// renamed into place, and the manifest is updated (also atomically).
+// On any failure the temp file is removed — a failed or crashed save
+// never leaves a visible artifact behind.
+//
+// Put honours two fault-injection sites for crash testing (see
+// docs/checkpointing.md): the control site "checkpoint.put.<name>"
+// fires between payload write and rename (a torn write), and the data
+// site "checkpoint.artifact.<name>" receives the final path after
+// rename so tests can truncate or bit-flip the just-written file.
+func (s *Store) Put(ctx context.Context, name string, meta map[string]string, encode func(io.Writer) error) error {
+	if err := validArtifactName(name); err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: put %s: %w", name, err)
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+
+	bw := bufio.NewWriterSize(f, 1<<20)
+	cw := &crcWriter{w: bw}
+	if err := encode(cw); err != nil {
+		return fmt.Errorf("checkpoint: encode %s: %w", name, err)
+	}
+	if err := resilience.Checkpoint(ctx, "checkpoint.put."+name); err != nil {
+		return fmt.Errorf("checkpoint: put %s: %w", name, err)
+	}
+	var tr [trailerLen]byte
+	copy(tr[:4], trailerMagic)
+	binary.BigEndian.PutUint64(tr[4:12], uint64(cw.n))
+	binary.BigEndian.PutUint32(tr[12:16], cw.sum)
+	if _, err := bw.Write(tr[:]); err != nil {
+		return fmt.Errorf("checkpoint: put %s: %w", name, err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("checkpoint: put %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: put %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("checkpoint: put %s: %w", name, err)
+	}
+	final := filepath.Join(s.dir, name)
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("checkpoint: put %s: %w", name, err)
+	}
+	committed = true
+	// Data-fault hook: tests corrupt the durable file through the
+	// registry, simulating damage between process runs.
+	resilience.CorruptAt("checkpoint.artifact."+name, final)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var metaCopy map[string]string
+	if len(meta) > 0 {
+		metaCopy = make(map[string]string, len(meta))
+		for k, v := range meta {
+			metaCopy[k] = v
+		}
+	}
+	s.man.Artifacts[name] = Entry{
+		File: name,
+		Size: cw.n,
+		CRC:  fmt.Sprintf("%08x", cw.sum),
+		Meta: metaCopy,
+	}
+	s.stats.BytesWritten += cw.n
+	s.col.Add("checkpoint.bytes_written", cw.n)
+	if s.missed[name] {
+		delete(s.missed, name)
+		s.stats.Regenerations++
+		s.col.Add("checkpoint.regenerations", 1)
+	}
+	return s.writeManifestLocked()
+}
+
+// Get loads one artifact: it verifies the manifest entry, the trailer
+// (magic, length, CRC32C) and the manifest/trailer agreement, then
+// hands the payload to decode. A missing or stale artifact returns
+// ErrMiss. Any integrity or decode failure quarantines the file and
+// returns an error matching ErrCorrupt; the caller regenerates.
+func (s *Store) Get(ctx context.Context, name string, decode func(payload io.Reader, meta map[string]string) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	e, ok := s.man.Artifacts[name]
+	if !ok {
+		s.missLocked(name)
+		s.mu.Unlock()
+		return fmt.Errorf("checkpoint: get %s: %w", name, ErrMiss)
+	}
+	s.mu.Unlock()
+
+	raw, err := os.ReadFile(filepath.Join(s.dir, e.File))
+	if errors.Is(err, os.ErrNotExist) {
+		s.mu.Lock()
+		delete(s.man.Artifacts, name)
+		s.missLocked(name)
+		_ = s.writeManifestLocked()
+		s.mu.Unlock()
+		return fmt.Errorf("checkpoint: get %s: file vanished: %w", name, ErrMiss)
+	}
+	if err != nil {
+		return fmt.Errorf("checkpoint: get %s: %w", name, err)
+	}
+
+	payload, verr := verifyTrailer(raw, e)
+	if verr != nil {
+		return s.quarantine(name, e, verr)
+	}
+	if err := decode(bytes.NewReader(payload), e.Meta); err != nil {
+		return s.quarantine(name, e, fmt.Errorf("decode: %w", err))
+	}
+
+	s.mu.Lock()
+	s.stats.Hits++
+	s.stats.BytesRead += int64(len(payload))
+	s.mu.Unlock()
+	s.col.Add("checkpoint.hits", 1)
+	s.col.Add("checkpoint.bytes_read", int64(len(payload)))
+	return nil
+}
+
+// missLocked records a cache miss for name. Caller holds mu.
+func (s *Store) missLocked(name string) {
+	s.missed[name] = true
+	s.stats.Misses++
+	s.col.Add("checkpoint.misses", 1)
+}
+
+// verifyTrailer checks a raw artifact file against its trailer and
+// manifest entry, returning the payload on success.
+func verifyTrailer(raw []byte, e Entry) ([]byte, error) {
+	if len(raw) < trailerLen {
+		return nil, fmt.Errorf("file shorter than trailer (%d bytes)", len(raw))
+	}
+	tr := raw[len(raw)-trailerLen:]
+	payload := raw[:len(raw)-trailerLen]
+	if string(tr[:4]) != trailerMagic {
+		return nil, fmt.Errorf("bad trailer magic %q", tr[:4])
+	}
+	wantLen := binary.BigEndian.Uint64(tr[4:12])
+	if wantLen != uint64(len(payload)) {
+		return nil, fmt.Errorf("payload length %d, trailer says %d (truncated?)", len(payload), wantLen)
+	}
+	sum := crc32.Checksum(payload, castagnoli)
+	if sum != binary.BigEndian.Uint32(tr[12:16]) {
+		return nil, fmt.Errorf("crc32c mismatch: file %08x, trailer %08x",
+			sum, binary.BigEndian.Uint32(tr[12:16]))
+	}
+	if e.Size != int64(len(payload)) {
+		return nil, fmt.Errorf("payload length %d, manifest says %d", len(payload), e.Size)
+	}
+	if got := fmt.Sprintf("%08x", sum); got != e.CRC {
+		return nil, fmt.Errorf("crc32c %s, manifest says %s", got, e.CRC)
+	}
+	return payload, nil
+}
+
+// quarantine moves a corrupt artifact into quarantine/, drops its
+// manifest entry, and reports the event. The returned error matches
+// ErrCorrupt.
+func (s *Store) quarantine(name string, e Entry, reason error) error {
+	s.mu.Lock()
+	delete(s.man.Artifacts, name)
+	s.missLocked(name)
+	_ = s.writeManifestLocked()
+	s.mu.Unlock()
+	s.quarantineFile(name, e.File, reason)
+	return fmt.Errorf("checkpoint: get %s: %v: %w", name, reason, ErrCorrupt)
+}
+
+// quarantineFile performs the move + accounting shared by artifact and
+// manifest quarantines.
+func (s *Store) quarantineFile(name, file string, reason error) {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	_ = os.MkdirAll(qdir, 0o755)
+	dst := filepath.Join(qdir, fmt.Sprintf("%s.%d", file, time.Now().UnixNano()))
+	if err := os.Rename(filepath.Join(s.dir, file), dst); err != nil {
+		// The evidence could not be preserved (e.g. the file vanished);
+		// the artifact is still treated as corrupt and regenerated.
+		dst = ""
+	}
+	s.mu.Lock()
+	s.stats.Quarantines++
+	s.mu.Unlock()
+	s.col.Add("checkpoint.quarantines", 1)
+	note := fmt.Sprintf("%v", reason)
+	if dst != "" {
+		note += " (moved to " + filepath.Join(quarantineDir, filepath.Base(dst)) + ")"
+	}
+	s.event(resilience.StageReport{
+		Stage: "checkpoint." + name, Status: resilience.StatusQuarantined, Note: note,
+	})
+}
+
+// writeManifestLocked persists the manifest atomically. Caller holds mu.
+func (s *Store) writeManifestLocked() error {
+	b, err := s.man.encode()
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode manifest: %w", err)
+	}
+	tmp := filepath.Join(s.dir, manifestFile+".tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("checkpoint: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, manifestFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: write manifest: %w", err)
+	}
+	return nil
+}
+
+// crcWriter counts and checksums the payload as it streams out.
+type crcWriter struct {
+	w   io.Writer
+	n   int64
+	sum uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.sum = crc32.Update(c.sum, castagnoli, p[:n])
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,620 @@
+package checkpoint
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+	"breval/internal/inference"
+	"breval/internal/obs"
+	"breval/internal/resilience"
+	"breval/internal/topogen"
+	"breval/internal/validation"
+)
+
+func testKey(seed int64) Key {
+	return Key{Schema: SchemaVersion, Config: topogen.DefaultConfig(seed)}
+}
+
+func openTest(t *testing.T, dir string, key Key) *Store {
+	t.Helper()
+	s, err := Open(context.Background(), dir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func putBytes(t *testing.T, s *Store, name string, data []byte) {
+	t.Helper()
+	err := s.Put(context.Background(), name, nil, func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func getBytes(s *Store, name string) ([]byte, error) {
+	var out []byte
+	err := s.Get(context.Background(), name, func(p io.Reader, _ map[string]string) error {
+		b, rerr := io.ReadAll(p)
+		out = b
+		return rerr
+	})
+	return out, err
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openTest(t, t.TempDir(), testKey(1))
+	want := []byte("hello artifact payload")
+	putBytes(t, s, "blob", want)
+	got, err := getBytes(s, "blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("payload mismatch: %q vs %q", got, want)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.BytesWritten != int64(len(want)) || st.BytesRead != int64(len(want)) {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestReopenSurvivesProcess(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(2)
+	s1 := openTest(t, dir, key)
+	putBytes(t, s1, "blob", []byte("persisted"))
+
+	s2 := openTest(t, dir, key)
+	got, err := getBytes(s2, "blob")
+	if err != nil || string(got) != "persisted" {
+		t.Fatalf("reopen get: %q, %v", got, err)
+	}
+}
+
+func TestKeyMismatchInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openTest(t, dir, testKey(1))
+	putBytes(t, s1, "blob", []byte("old world"))
+
+	s2 := openTest(t, dir, testKey(99))
+	if _, err := getBytes(s2, "blob"); !errors.Is(err, ErrMiss) {
+		t.Fatalf("stale artifact served across key change: %v", err)
+	}
+	if st := s2.Stats(); st.Invalidations != 1 {
+		t.Fatalf("invalidations: %+v", st)
+	}
+}
+
+func TestMissThenRegeneration(t *testing.T) {
+	s := openTest(t, t.TempDir(), testKey(1))
+	if _, err := getBytes(s, "blob"); !errors.Is(err, ErrMiss) {
+		t.Fatalf("want ErrMiss, got %v", err)
+	}
+	putBytes(t, s, "blob", []byte("fresh"))
+	st := s.Stats()
+	if st.Misses != 1 || st.Regenerations != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// A second Put of the same name is an overwrite, not a regeneration.
+	putBytes(t, s, "blob", []byte("fresh2"))
+	if st := s.Stats(); st.Regenerations != 1 {
+		t.Fatalf("overwrite counted as regeneration: %+v", st)
+	}
+}
+
+// recorder captures store events for assertions.
+type recorder struct {
+	mu  sync.Mutex
+	got []resilience.StageReport
+}
+
+func (r *recorder) Record(sr resilience.StageReport) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.got = append(r.got, sr)
+}
+
+func (r *recorder) find(stage string) (resilience.StageReport, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, sr := range r.got {
+		if sr.Stage == stage {
+			return sr, true
+		}
+	}
+	return resilience.StageReport{}, false
+}
+
+func corruptionCases() map[string]func(path string) error {
+	flip := func(path string, off int) error {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		i := off
+		if i < 0 {
+			i += len(b)
+		}
+		b[i] ^= 0x01
+		return os.WriteFile(path, b, 0o644)
+	}
+	return map[string]func(string) error{
+		"truncate-payload": func(p string) error {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(p, b[:len(b)-trailerLen-3], 0o644)
+		},
+		"truncate-trailer": func(p string) error {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(p, b[:len(b)-5], 0o644)
+		},
+		"flip-payload-byte": func(p string) error { return flip(p, 2) },
+		"flip-trailer-byte": func(p string) error { return flip(p, -2) },
+		"empty-file":        func(p string) error { return os.WriteFile(p, nil, 0o644) },
+	}
+}
+
+func TestCorruptionQuarantinesAndRegenerates(t *testing.T) {
+	for name, corrupt := range corruptionCases() {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := openTest(t, dir, testKey(1))
+			rec := &recorder{}
+			s.Recorder = rec
+			putBytes(t, s, "blob", []byte("payload under attack"))
+			if err := corrupt(filepath.Join(dir, "blob")); err != nil {
+				t.Fatal(err)
+			}
+
+			if _, err := getBytes(s, "blob"); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("want ErrCorrupt, got %v", err)
+			}
+			// The damaged file must be quarantined, not visible.
+			if _, err := os.Stat(filepath.Join(dir, "blob")); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("corrupt artifact still visible: %v", err)
+			}
+			q, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+			if err != nil || len(q) != 1 {
+				t.Fatalf("quarantine dir: %v entries, err %v", len(q), err)
+			}
+			sr, ok := rec.find("checkpoint.blob")
+			if !ok || sr.Status != resilience.StatusQuarantined {
+				t.Fatalf("quarantine event missing or wrong: %+v (found %v)", sr, ok)
+			}
+			// Recovery: regenerate and read back.
+			putBytes(t, s, "blob", []byte("payload under attack"))
+			if got, gerr := getBytes(s, "blob"); gerr != nil || string(got) != "payload under attack" {
+				t.Fatalf("post-recovery get: %q, %v", got, gerr)
+			}
+			st := s.Stats()
+			if st.Quarantines != 1 || st.Regenerations != 1 {
+				t.Fatalf("stats: %+v", st)
+			}
+		})
+	}
+}
+
+func TestDecodeFailureQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testKey(1))
+	putBytes(t, s, "blob", []byte("not a rib"))
+	err := s.Get(context.Background(), "blob", func(io.Reader, map[string]string) error {
+		return errors.New("schema says no")
+	})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt on decode failure, got %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "blob")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("artifact with undecodable payload left visible")
+	}
+}
+
+func TestCorruptManifestQuarantinedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(1)
+	s1 := openTest(t, dir, key)
+	putBytes(t, s1, "blob", []byte("x"))
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, key)
+	if _, err := getBytes(s2, "blob"); !errors.Is(err, ErrMiss) {
+		t.Fatalf("orphaned artifact served without manifest: %v", err)
+	}
+	if st := s2.Stats(); st.Quarantines != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	q, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+	if err != nil || len(q) != 1 || !strings.HasPrefix(q[0].Name(), manifestFile) {
+		t.Fatalf("manifest not quarantined: %v, %v", q, err)
+	}
+	// The store must still be fully usable.
+	putBytes(t, s2, "blob", []byte("y"))
+	if got, gerr := getBytes(s2, "blob"); gerr != nil || string(got) != "y" {
+		t.Fatalf("store unusable after manifest quarantine: %q, %v", got, gerr)
+	}
+}
+
+// TestFailedPutLeavesNoVisibleArtifact is the partial-artifact
+// guarantee (run under -race in make check): a stage failing after
+// writing part of an artifact — injected encode error, injected fault
+// at the put site, or an intercepted crash — leaves no visible
+// (non-temp, non-quarantined) file behind.
+func TestFailedPutLeavesNoVisibleArtifact(t *testing.T) {
+	assertNoVisible := func(t *testing.T, dir string) {
+		t.Helper()
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, de := range ents {
+			name := de.Name()
+			if name == manifestFile || name == quarantineDir {
+				continue
+			}
+			t.Errorf("unexpected file after failed put: %s", name)
+		}
+	}
+
+	t.Run("encode-error", func(t *testing.T) {
+		dir := t.TempDir()
+		s := openTest(t, dir, testKey(1))
+		err := s.Put(context.Background(), "blob", nil, func(w io.Writer) error {
+			io.WriteString(w, "half of the pay")
+			return errors.New("encoder died")
+		})
+		if err == nil {
+			t.Fatal("put succeeded despite encode error")
+		}
+		assertNoVisible(t, dir)
+	})
+
+	t.Run("injected-fault-at-put-site", func(t *testing.T) {
+		defer resilience.ClearFaults()
+		resilience.InjectAt("checkpoint.put.blob", resilience.Fault{Kind: resilience.KindError})
+		dir := t.TempDir()
+		s := openTest(t, dir, testKey(1))
+		err := s.Put(context.Background(), "blob", nil, func(w io.Writer) error {
+			_, werr := io.WriteString(w, "payload")
+			return werr
+		})
+		if err == nil {
+			t.Fatal("put succeeded despite injected fault")
+		}
+		assertNoVisible(t, dir)
+		if _, gerr := getBytes(s, "blob"); !errors.Is(gerr, ErrMiss) {
+			t.Fatalf("torn write visible through Get: %v", gerr)
+		}
+	})
+
+	t.Run("intercepted-crash-at-put-site", func(t *testing.T) {
+		defer resilience.ClearFaults()
+		old := resilience.CrashExit
+		defer func() { resilience.CrashExit = old }()
+		resilience.CrashExit = func(int) {}
+		resilience.InjectAt("checkpoint.put.blob", resilience.Fault{Kind: resilience.KindCrash})
+		dir := t.TempDir()
+		s := openTest(t, dir, testKey(1))
+		err := s.Put(context.Background(), "blob", nil, func(w io.Writer) error {
+			_, werr := io.WriteString(w, "payload")
+			return werr
+		})
+		var se *resilience.StageError
+		if !errors.As(err, &se) || se.Kind != resilience.KindCrash {
+			t.Fatalf("want KindCrash StageError, got %v", err)
+		}
+		assertNoVisible(t, dir)
+	})
+}
+
+func TestCorruptAtArtifactSite(t *testing.T) {
+	defer resilience.ClearFaults()
+	resilience.InjectAt("checkpoint.artifact.blob", resilience.Fault{
+		Kind: resilience.KindCorrupt,
+		Corrupt: func(v any) any {
+			path := v.(string)
+			b, _ := os.ReadFile(path)
+			b[len(b)-1] ^= 0xff
+			os.WriteFile(path, b, 0o644)
+			return v
+		},
+	})
+	dir := t.TempDir()
+	s := openTest(t, dir, testKey(1))
+	putBytes(t, s, "blob", []byte("soon to be damaged"))
+	if _, err := getBytes(s, "blob"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("registry-corrupted artifact not detected: %v", err)
+	}
+}
+
+func TestConcurrentPuts(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testKey(1))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("rel.algo%d", i)
+			err := s.Put(context.Background(), name, nil, func(w io.Writer) error {
+				_, werr := fmt.Fprintf(w, "payload %d", i)
+				return werr
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 8; i++ {
+		got, err := getBytes(s, fmt.Sprintf("rel.algo%d", i))
+		if err != nil || string(got) != fmt.Sprintf("payload %d", i) {
+			t.Fatalf("artifact %d: %q, %v", i, got, err)
+		}
+	}
+}
+
+func TestPathsRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	s := openTest(t, t.TempDir(), testKey(1))
+	ps := bgp.NewPathSet(4, 16)
+	ps.Append(asgraph.Path{64500, 3356, 174})
+	ps.Append(asgraph.Path{64501, 1299})
+	ps.SkippedOrigins = 3
+	ps.SkippedVPs = 1
+	if err := PutPaths(ctx, s, ArtifactPaths, ps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := GetPaths(ctx, s, ArtifactPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.SkippedOrigins != 3 || got.SkippedVPs != 1 {
+		t.Fatalf("restored path set: len %d, skipped %d/%d", got.Len(), got.SkippedOrigins, got.SkippedVPs)
+	}
+	for i := 0; i < ps.Len(); i++ {
+		if !reflect.DeepEqual(ps.At(i), got.At(i)) {
+			t.Fatalf("path %d: %v vs %v", i, ps.At(i), got.At(i))
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	s := openTest(t, t.TempDir(), testKey(1))
+	snap := validation.NewSnapshot()
+	l1 := asgraph.NewLink(3356, 174)
+	l2 := asgraph.NewLink(1299, 2914)
+	snap.Add(l1, validation.Label{Type: asgraph.P2C, Provider: 3356})
+	snap.Add(l2, validation.Label{Type: asgraph.P2P})
+	snap.Add(l2, validation.Label{Type: asgraph.P2C, Provider: 1299})
+	meta := map[string]string{"kept": "2"}
+	if err := PutSnapshot(ctx, s, ArtifactValidation, snap, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, gotMeta, err := GetSnapshot(ctx, s, ArtifactValidation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta["kept"] != "2" {
+		t.Fatalf("meta lost: %v", gotMeta)
+	}
+	var a, b bytes.Buffer
+	if _, err := snap.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("snapshot not byte-identical after round trip:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	s := openTest(t, t.TempDir(), testKey(1))
+	res := inference.NewResult("ASRank", 8)
+	l1 := asgraph.NewLink(3356, 174)
+	l2 := asgraph.NewLink(1299, 2914)
+	l3 := asgraph.NewLink(64500, 64501)
+	res.Set(l1, asgraph.P2PRel())
+	res.Set(l2, asgraph.P2CRel(1299))
+	pt := asgraph.P2CRel(64500)
+	pt.PartialTransit = true
+	res.Set(l3, pt)
+	res.Clique = []asn.ASN{2914, 174, 3356} // deliberately unsorted
+	res.Firm = map[asgraph.Link]bool{l1: true}
+
+	if err := PutResult(ctx, s, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := GetResult(ctx, s, "ASRank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "ASRank" {
+		t.Fatalf("name: %q", got.Name)
+	}
+	if !reflect.DeepEqual(got.Clique, res.Clique) {
+		t.Fatalf("clique order not preserved: %v vs %v", got.Clique, res.Clique)
+	}
+	if !reflect.DeepEqual(got.Rels, res.Rels) {
+		t.Fatalf("rels: %v vs %v", got.Rels, res.Rels)
+	}
+	if !reflect.DeepEqual(got.Firm, res.Firm) {
+		t.Fatalf("firm: %v vs %v", got.Firm, res.Firm)
+	}
+	// Determinism: storing the restored result encodes identical bytes.
+	var a, b bytes.Buffer
+	if err := writeResult(&a, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeResult(&b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("result codec not deterministic across a round trip")
+	}
+}
+
+func TestWorldDigestDeterministic(t *testing.T) {
+	cfg := topogen.DefaultConfig(7).Scaled(400)
+	w1, err := topogen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := topogen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if WorldDigestOf(w1) != WorldDigestOf(w2) {
+		t.Fatal("same config digests differently")
+	}
+	w3, err := topogen.Generate(topogen.DefaultConfig(8).Scaled(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if WorldDigestOf(w1) == WorldDigestOf(w3) {
+		t.Fatal("different seeds digest identically")
+	}
+}
+
+func TestObsCounters(t *testing.T) {
+	col := obs.NewCollector()
+	ctx := obs.Into(context.Background(), col)
+	s, err := Open(ctx, t.TempDir(), testKey(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := getBytes(s, "blob"); !errors.Is(err, ErrMiss) {
+		t.Fatal(err)
+	}
+	putBytes(t, s, "blob", []byte("abc"))
+	if _, err := getBytes(s, "blob"); err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]int64{
+		"checkpoint.hits":          1,
+		"checkpoint.misses":        1,
+		"checkpoint.regenerations": 1,
+		"checkpoint.quarantines":   0,
+		"checkpoint.bytes_read":    3,
+		"checkpoint.bytes_written": 3,
+	}
+	for name, want := range checks {
+		if got := col.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestFsck(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testKey(1))
+	putBytes(t, s, "good", []byte("intact"))
+	putBytes(t, s, "bad", []byte("to be flipped"))
+	putBytes(t, s, "gone", []byte("to be deleted"))
+
+	b, err := os.ReadFile(filepath.Join(dir, "bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if err := os.WriteFile(filepath.Join(dir, "bad"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "gone")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stray"), []byte("?"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "half.tmp"), []byte("?"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clean() {
+		t.Fatal("fsck reported a damaged store clean")
+	}
+	if !reflect.DeepEqual(res.OK, []string{"good"}) {
+		t.Errorf("ok: %v", res.OK)
+	}
+	if len(res.Corrupt) != 1 || res.Corrupt[0].Name != "bad" {
+		t.Errorf("corrupt: %v", res.Corrupt)
+	}
+	if !reflect.DeepEqual(res.Missing, []string{"gone"}) {
+		t.Errorf("missing: %v", res.Missing)
+	}
+	if !reflect.DeepEqual(res.Orphans, []string{"stray"}) {
+		t.Errorf("orphans: %v", res.Orphans)
+	}
+	if !reflect.DeepEqual(res.Temps, []string{"half.tmp"}) {
+		t.Errorf("temps: %v", res.Temps)
+	}
+
+	var text, js bytes.Buffer
+	if err := res.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "NOT clean") {
+		t.Errorf("text report: %q", text.String())
+	}
+	if err := res.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean store passes.
+	dir2 := t.TempDir()
+	s2 := openTest(t, dir2, testKey(1))
+	putBytes(t, s2, "only", []byte("fine"))
+	res2, err := Fsck(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Clean() || len(res2.OK) != 1 {
+		t.Fatalf("clean store flagged: %+v", res2)
+	}
+}
+
+func TestValidArtifactName(t *testing.T) {
+	bad := []string{"", ".", "..", ".hidden", "a/b", `a\b`, "quarantine",
+		manifestFile, strings.Repeat("x", 256)}
+	for _, n := range bad {
+		if err := validArtifactName(n); err == nil {
+			t.Errorf("name %q accepted", n)
+		}
+	}
+	good := []string{"paths", "validation.raw", "rel.asrank", "a-b_c.1"}
+	for _, n := range good {
+		if err := validArtifactName(n); err != nil {
+			t.Errorf("name %q rejected: %v", n, err)
+		}
+	}
+}

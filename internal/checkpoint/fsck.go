@@ -1,0 +1,152 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FsckProblem is one integrity finding: an artifact (or the manifest)
+// and what is wrong with it.
+type FsckProblem struct {
+	Name   string `json:"name"`
+	Reason string `json:"reason"`
+}
+
+// FsckResult is a read-only integrity report over a store directory.
+// Fsck never modifies the store: it flags, the next run quarantines.
+type FsckResult struct {
+	// OK lists artifacts whose file, trailer and manifest agree.
+	OK []string `json:"ok"`
+	// Corrupt lists artifacts failing a trailer or manifest check, and
+	// the manifest itself when it does not decode.
+	Corrupt []FsckProblem `json:"corrupt,omitempty"`
+	// Missing lists manifest entries whose file is gone.
+	Missing []string `json:"missing,omitempty"`
+	// Orphans lists artifact-shaped files the manifest does not know.
+	Orphans []string `json:"orphans,omitempty"`
+	// Temps lists leftover *.tmp files (an interrupted write; harmless,
+	// the store never reads them).
+	Temps []string `json:"temps,omitempty"`
+	// Quarantined lists files previously moved into quarantine/.
+	Quarantined []string `json:"quarantined,omitempty"`
+}
+
+// Clean reports whether the store passed: no corruption and no missing
+// artifacts. Orphans, temp files and old quarantine evidence are
+// informational, not failures.
+func (r *FsckResult) Clean() bool {
+	return len(r.Corrupt) == 0 && len(r.Missing) == 0
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *FsckResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText emits a human-readable report.
+func (r *FsckResult) WriteText(w io.Writer) error {
+	for _, n := range r.OK {
+		fmt.Fprintf(w, "ok        %s\n", n)
+	}
+	for _, p := range r.Corrupt {
+		fmt.Fprintf(w, "corrupt   %s: %s\n", p.Name, p.Reason)
+	}
+	for _, n := range r.Missing {
+		fmt.Fprintf(w, "missing   %s\n", n)
+	}
+	for _, n := range r.Orphans {
+		fmt.Fprintf(w, "orphan    %s\n", n)
+	}
+	for _, n := range r.Temps {
+		fmt.Fprintf(w, "tempfile  %s\n", n)
+	}
+	for _, n := range r.Quarantined {
+		fmt.Fprintf(w, "quarantined %s\n", n)
+	}
+	if r.Clean() {
+		_, err := fmt.Fprintf(w, "store clean: %d artifact(s) verified\n", len(r.OK))
+		return err
+	}
+	_, err := fmt.Fprintf(w, "store NOT clean: %d corrupt, %d missing\n",
+		len(r.Corrupt), len(r.Missing))
+	return err
+}
+
+// Fsck verifies a store directory offline: the manifest decodes, every
+// manifest entry's file exists and matches its trailer and manifest
+// integrity fields, and nothing unexpected lives in the directory. It
+// is the implementation behind breval's -checkpoint-verify flag.
+func Fsck(dir string) (*FsckResult, error) {
+	res := &FsckResult{OK: []string{}}
+
+	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: fsck: %w", err)
+	}
+	man, derr := DecodeManifest(raw)
+	if derr != nil {
+		res.Corrupt = append(res.Corrupt, FsckProblem{Name: manifestFile, Reason: derr.Error()})
+		man = newManifest(strings.Repeat("0", 64))
+	}
+
+	names := make([]string, 0, len(man.Artifacts))
+	for n := range man.Artifacts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := man.Artifacts[name]
+		fraw, ferr := os.ReadFile(filepath.Join(dir, e.File))
+		if errors.Is(ferr, os.ErrNotExist) {
+			res.Missing = append(res.Missing, name)
+			continue
+		}
+		if ferr != nil {
+			return nil, fmt.Errorf("checkpoint: fsck %s: %w", name, ferr)
+		}
+		if _, verr := verifyTrailer(fraw, e); verr != nil {
+			res.Corrupt = append(res.Corrupt, FsckProblem{Name: name, Reason: verr.Error()})
+			continue
+		}
+		res.OK = append(res.OK, name)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: fsck: %w", err)
+	}
+	for _, de := range entries {
+		name := de.Name()
+		switch {
+		case name == manifestFile:
+		case name == quarantineDir && de.IsDir():
+			qents, qerr := os.ReadDir(filepath.Join(dir, quarantineDir))
+			if qerr != nil {
+				return nil, fmt.Errorf("checkpoint: fsck: %w", qerr)
+			}
+			for _, qe := range qents {
+				res.Quarantined = append(res.Quarantined, qe.Name())
+			}
+		case strings.HasSuffix(name, ".tmp"):
+			res.Temps = append(res.Temps, name)
+		case de.IsDir():
+			res.Orphans = append(res.Orphans, name+"/")
+		default:
+			if _, ok := man.Artifacts[name]; !ok {
+				res.Orphans = append(res.Orphans, name)
+			}
+		}
+	}
+	sort.Strings(res.Orphans)
+	sort.Strings(res.Temps)
+	sort.Strings(res.Quarantined)
+	return res, nil
+}

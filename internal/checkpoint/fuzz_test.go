@@ -1,0 +1,77 @@
+package checkpoint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeManifest drives arbitrary bytes through the manifest
+// decoder: it must never panic, and any manifest it accepts must be
+// internally safe (valid names, sane integrity fields) and re-encode
+// to a document it accepts again.
+func FuzzDecodeManifest(f *testing.F) {
+	key := testKey(1).Hash()
+	valid, err := newManifest(key).encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	withArtifacts := &Manifest{
+		Version: ManifestVersion,
+		Key:     key,
+		Artifacts: map[string]Entry{
+			"paths":      {File: "paths", Size: 123, CRC: "deadbeef"},
+			"rel.asrank": {File: "rel.asrank", Size: 0, CRC: "00000000", Meta: map[string]string{"k": "v"}},
+		},
+	}
+	wab, err := withArtifacts.encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wab)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"key":"zz","artifacts":{}}`))
+	f.Add([]byte(`{"version":1,"key":"` + key + `","artifacts":{"../evil":{"file":"../evil","size":1,"crc32c":"00000000"}}}`))
+	f.Add([]byte(`{"version":99}`))
+	f.Add([]byte(`{"version":1,"key":"` + key + `","artifacts":{"a":{"file":"a","size":-5,"crc32c":"00000000"}}}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		// Accepted manifests must be safe and re-encodable.
+		if m.Version != ManifestVersion {
+			t.Fatalf("accepted manifest with version %d", m.Version)
+		}
+		for name, e := range m.Artifacts {
+			if verr := validArtifactName(name); verr != nil {
+				t.Fatalf("accepted unsafe artifact name %q: %v", name, verr)
+			}
+			if strings.ContainsAny(e.File, "/\\") {
+				t.Fatalf("accepted path-escaping file %q", e.File)
+			}
+			if e.Size < 0 || len(e.CRC) != 8 {
+				t.Fatalf("accepted bad integrity fields: %+v", e)
+			}
+		}
+		enc, err := m.encode()
+		if err != nil {
+			t.Fatalf("accepted manifest does not re-encode: %v", err)
+		}
+		m2, err := DecodeManifest(enc)
+		if err != nil {
+			t.Fatalf("re-encoded manifest rejected: %v", err)
+		}
+		enc2, err := m2.encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("manifest encoding not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"breval/internal/topogen"
+)
+
+// SchemaVersion is the code schema version baked into every run key.
+// Bump it whenever an artifact codec, a pipeline stage, or anything
+// else that changes artifact bytes changes, so stores written by older
+// code are treated as stale instead of silently reused.
+const SchemaVersion = 1
+
+// ManifestVersion is the manifest file format version.
+const ManifestVersion = 1
+
+// manifestFile is the manifest's file name inside a store directory.
+const manifestFile = "MANIFEST.json"
+
+// Key identifies the full upstream configuration an artifact set was
+// produced under: the code schema version, the complete topology
+// generator configuration (which embeds the seed), and every scenario
+// knob that feeds the checkpointed stages. Two runs share artifacts
+// exactly when their Keys hash identically.
+type Key struct {
+	Schema int            `json:"schema"`
+	Config topogen.Config `json:"config"`
+
+	Policy             string `json:"policy"`
+	StaleDictionaries  int    `json:"stale_dictionaries"`
+	SpuriousTrans      int    `json:"spurious_trans"`
+	SpuriousReserved   int    `json:"spurious_reserved"`
+	InaccurateT1Labels int    `json:"inaccurate_t1_labels"`
+	IncludeRPSL        bool   `json:"include_rpsl"`
+}
+
+// Hash returns the key's content hash: hex SHA-256 over the canonical
+// JSON encoding (encoding/json sorts map keys, so the encoding — and
+// therefore the hash — is deterministic).
+func (k Key) Hash() string {
+	b, err := json.Marshal(k)
+	if err != nil {
+		// Key holds only plain data; Marshal cannot fail on it. Keep a
+		// deterministic fallback anyway rather than panicking.
+		return "unhashable"
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Entry is one artifact's manifest record. Size and CRC describe the
+// payload (the file minus its trailer); the trailer repeats them so a
+// swapped or re-keyed file is caught even when internally consistent.
+type Entry struct {
+	File string `json:"file"`
+	Size int64  `json:"size"`
+	// CRC is the payload's CRC32C (Castagnoli) as 8 hex digits.
+	CRC string `json:"crc32c"`
+	// Meta carries small artifact-side metadata that must survive a
+	// resume but does not belong in the payload codec (e.g. the path
+	// set's skipped-coverage counts, the cleaning report).
+	Meta map[string]string `json:"meta,omitempty"`
+}
+
+// Manifest is the store's versioned index: which artifacts exist,
+// under which key they were produced, and their integrity data.
+type Manifest struct {
+	Version int    `json:"version"`
+	Key     string `json:"key"`
+	// WorldDigest pins the generated world the artifacts derive from;
+	// a resumed run regenerates the world and refuses every artifact
+	// when the digest no longer matches (code drift).
+	WorldDigest string           `json:"world_digest,omitempty"`
+	Artifacts   map[string]Entry `json:"artifacts"`
+}
+
+func newManifest(key string) *Manifest {
+	return &Manifest{Version: ManifestVersion, Key: key, Artifacts: map[string]Entry{}}
+}
+
+// DecodeManifest parses and validates a manifest document. It never
+// panics on arbitrary input (fuzzed in fuzz_test.go) and rejects
+// anything that could make the store misbehave: unknown versions,
+// malformed hashes, artifact file names that escape the store
+// directory, or integrity fields that cannot be real.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("checkpoint: manifest: %w", err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("checkpoint: manifest version %d, want %d", m.Version, ManifestVersion)
+	}
+	if !isHex(m.Key) || len(m.Key) != sha256.Size*2 {
+		return nil, fmt.Errorf("checkpoint: manifest key %q is not a sha256 hex digest", m.Key)
+	}
+	if m.WorldDigest != "" && !isHex(m.WorldDigest) {
+		return nil, fmt.Errorf("checkpoint: world digest %q is not hex", m.WorldDigest)
+	}
+	if m.Artifacts == nil {
+		m.Artifacts = map[string]Entry{}
+	}
+	for name, e := range m.Artifacts {
+		if err := validArtifactName(name); err != nil {
+			return nil, err
+		}
+		if err := validArtifactName(e.File); err != nil {
+			return nil, err
+		}
+		if e.Size < 0 {
+			return nil, fmt.Errorf("checkpoint: artifact %q has negative size %d", name, e.Size)
+		}
+		if len(e.CRC) != 8 || !isHex(e.CRC) {
+			return nil, fmt.Errorf("checkpoint: artifact %q has malformed crc %q", name, e.CRC)
+		}
+	}
+	return &m, nil
+}
+
+// validArtifactName rejects names that are empty, contain path
+// separators or traversal elements, or collide with the store's own
+// files. Artifact names double as file names, so this is the
+// manifest's path-safety boundary.
+func validArtifactName(name string) error {
+	if name == "" || len(name) > 255 {
+		return fmt.Errorf("checkpoint: bad artifact name %q", name)
+	}
+	if strings.ContainsAny(name, "/\\") || name == "." || name == ".." ||
+		strings.HasPrefix(name, ".") {
+		return fmt.Errorf("checkpoint: unsafe artifact name %q", name)
+	}
+	if name == manifestFile || name == quarantineDir {
+		return fmt.Errorf("checkpoint: reserved artifact name %q", name)
+	}
+	return nil
+}
+
+func isHex(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manifest) encode() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"breval/internal/checkpoint"
+	"breval/internal/resilience"
+	"breval/internal/wire"
+)
+
+// checkpointScenario is a small-but-complete scenario for the
+// crash/resume property tests: two algorithms keep the inference cost
+// down while still exercising the per-algorithm artifacts.
+func checkpointScenario(seed int64) Scenario {
+	s := DefaultScenario(seed)
+	s.NumASes = 600
+	s.Algorithms = []string{AlgoASRank, AlgoGao}
+	return s
+}
+
+// fingerprint serialises everything a run produced that resume must
+// reproduce byte-identically: the path set (RIB bytes), both
+// validation snapshots, the cleaning report, each inference result
+// (name, clique, firm set, relationship dump) and the rendered
+// experiment output.
+func fingerprint(t *testing.T, art *Artifacts) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := wire.WriteRIB(&buf, art.Paths, 0); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&buf, "skipped %d %d\n", art.Paths.SkippedOrigins, art.Paths.SkippedVPs)
+	if _, err := art.RawValidation.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := art.Validation.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&buf, "clean %+v\n", art.CleanReport)
+	algos := make([]string, 0, len(art.Results))
+	for name := range art.Results {
+		algos = append(algos, name)
+	}
+	sort.Strings(algos)
+	for _, name := range algos {
+		res := art.Results[name]
+		fmt.Fprintf(&buf, "result %s clique=%v\n", res.Name, res.Clique)
+		firm := make([]string, 0, len(res.Firm))
+		for l, ok := range res.Firm {
+			if ok {
+				firm = append(firm, l.String())
+			}
+		}
+		sort.Strings(firm)
+		fmt.Fprintf(&buf, "firm %v\n", firm)
+		rels := make([]string, 0, len(res.Rels))
+		for l, r := range res.Rels {
+			rels = append(rels, l.String()+"="+r.String())
+		}
+		sort.Strings(rels)
+		for _, r := range rels {
+			fmt.Fprintln(&buf, r)
+		}
+	}
+	cones := make([]string, 0, len(art.ConeSizes))
+	for a, n := range art.ConeSizes {
+		cones = append(cones, fmt.Sprintf("%d=%d", a, n))
+	}
+	sort.Strings(cones)
+	fmt.Fprintf(&buf, "cones %v\n", cones)
+
+	if _, err := art.RenderOnlyContext(context.Background(), &buf,
+		[]string{"clean", "tables"}, RenderOptions{MinLinks: 20}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCrashResumeByteIdentical is the tentpole property test: for
+// three seeds, a run that crashes after propagation and is resumed
+// from its checkpoint store produces byte-identical path sets,
+// validation snapshots, inference results and experiment output
+// compared to an uninterrupted cold run.
+func TestCrashResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full pipeline runs per seed")
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cold, err := Run(checkpointScenario(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fingerprint(t, cold)
+
+			// Crashed run: an injected kill fires right after the path
+			// set is durably saved. CrashExit is intercepted so the test
+			// process survives; the pipeline aborts exactly as if killed
+			// (modulo the in-flight goroutines a real kill would not
+			// wind down).
+			dir := t.TempDir()
+			oldExit := resilience.CrashExit
+			resilience.CrashExit = func(int) {}
+			resilience.InjectAt("checkpoint.saved.paths", resilience.Fault{Kind: resilience.KindCrash})
+			crashed := checkpointScenario(seed)
+			crashed.CheckpointDir = dir
+			_, err = Run(crashed)
+			resilience.ClearFaults()
+			resilience.CrashExit = oldExit
+			var se *resilience.StageError
+			if !errors.As(err, &se) || se.Kind != resilience.KindCrash {
+				t.Fatalf("crashed run: want KindCrash abort, got %v", err)
+			}
+
+			// Resume: the path set must be reused, everything downstream
+			// regenerated, and the outcome byte-identical.
+			resumed := checkpointScenario(seed)
+			resumed.CheckpointDir = dir
+			resumed.Resume = true
+			art, err := Run(resumed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(art.Degraded) != 0 {
+				t.Fatalf("resumed run degraded: %v", art.Degraded)
+			}
+			sr, ok := art.Report.Find("bgp.propagate")
+			if !ok || !strings.Contains(sr.Note, "reused") {
+				t.Fatalf("propagation not resumed from checkpoint: %+v", sr)
+			}
+			if got := fingerprint(t, art); !bytes.Equal(got, want) {
+				t.Fatalf("resumed run differs from cold run (%d vs %d bytes)", len(got), len(want))
+			}
+
+			// Second resume: now everything is cached; still identical,
+			// and the inference stages are also reused.
+			again := checkpointScenario(seed)
+			again.CheckpointDir = dir
+			again.Resume = true
+			art2, err := Run(again)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, stage := range []string{"bgp.propagate", "validation.extract", "validation.clean", "infer.ASRank", "infer.Gao"} {
+				sr, ok := art2.Report.Find(stage)
+				if !ok || !strings.Contains(sr.Note, "reused") {
+					t.Errorf("stage %s not reused on full resume: %+v", stage, sr)
+				}
+			}
+			if got := fingerprint(t, art2); !bytes.Equal(got, want) {
+				t.Fatal("fully-resumed run differs from cold run")
+			}
+			stats, ok := art2.Report.Checkpoint.(checkpoint.Stats)
+			if !ok {
+				t.Fatalf("report carries no checkpoint stats: %T", art2.Report.Checkpoint)
+			}
+			if stats.Hits < 5 || stats.Misses != 0 || stats.Quarantines != 0 {
+				t.Errorf("full-resume stats: %+v", stats)
+			}
+		})
+	}
+}
+
+// TestCorruptedArtifactsQuarantinedAndRegenerated: corrupting any
+// stored artifact — truncation or byte flip — must yield a quarantine
+// plus regeneration with a successful, byte-identical run; never an
+// error, never silently-wrong output.
+func TestCorruptedArtifactsQuarantinedAndRegenerated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple pipeline runs")
+	}
+	seed := int64(4)
+	dir := t.TempDir()
+	warm := checkpointScenario(seed)
+	warm.CheckpointDir = dir
+	cold, err := Run(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(t, cold)
+
+	artifacts := []string{"paths", "validation.raw", "validation.clean", "rel.asrank", "rel.gao"}
+	for i, name := range artifacts {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, name)
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i%2 == 0 {
+				b = b[:len(b)*2/3] // truncate
+			} else {
+				b[len(b)/2] ^= 0x20 // flip a payload byte
+			}
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			resumed := checkpointScenario(seed)
+			resumed.CheckpointDir = dir
+			resumed.Resume = true
+			art, err := Run(resumed)
+			if err != nil {
+				t.Fatalf("corrupted %s broke the run: %v", name, err)
+			}
+			if len(art.Report.Failed()) != 0 || len(art.Degraded) != 0 {
+				t.Fatalf("corrupted %s failed stages: %v / %v", name, art.Report.Failed(), art.Degraded)
+			}
+			sr, ok := art.Report.Find("checkpoint." + name)
+			if !ok || sr.Status != resilience.StatusQuarantined {
+				t.Fatalf("no quarantine entry for %s: %+v (found %v)", name, sr, ok)
+			}
+			stats, _ := art.Report.Checkpoint.(checkpoint.Stats)
+			if stats.Quarantines != 1 || stats.Regenerations < 1 {
+				t.Errorf("stats after corrupting %s: %+v", name, stats)
+			}
+			if got := fingerprint(t, art); !bytes.Equal(got, want) {
+				t.Fatalf("run with corrupted %s differs from cold run", name)
+			}
+		})
+	}
+}
+
+// TestCheckpointKeyChangesInvalidate: a scenario-knob change must not
+// reuse artifacts produced under the old configuration.
+func TestCheckpointKeyChangesInvalidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two pipeline runs")
+	}
+	dir := t.TempDir()
+	first := checkpointScenario(5)
+	first.CheckpointDir = dir
+	if _, err := Run(first); err != nil {
+		t.Fatal(err)
+	}
+
+	second := checkpointScenario(5)
+	second.SpuriousReserved += 7 // any key knob
+	second.CheckpointDir = dir
+	second.Resume = true
+	art, err := Run(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := art.Report.Checkpoint.(checkpoint.Stats)
+	if stats.Hits != 0 {
+		t.Fatalf("stale artifacts reused across a key change: %+v", stats)
+	}
+	if stats.Invalidations < 1 {
+		t.Fatalf("key change not recorded as invalidation: %+v", stats)
+	}
+}

@@ -8,8 +8,11 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
@@ -17,6 +20,7 @@ import (
 	"breval/internal/asn"
 	"breval/internal/bgp"
 	"breval/internal/bias"
+	"breval/internal/checkpoint"
 	"breval/internal/communities"
 	"breval/internal/inference"
 	"breval/internal/inference/asrank"
@@ -77,6 +81,17 @@ type Scenario struct {
 	// stage is re-attempted (panics and cancellations never retry).
 	StageTimeout time.Duration
 	StageRetries int
+	// CheckpointDir, when set, opens a durable artifact store there
+	// (see internal/checkpoint): the propagated path set, validation
+	// snapshots and per-algorithm inference results are saved after
+	// their stages complete, so a later run can resume.
+	CheckpointDir string
+	// Resume additionally loads artifacts from CheckpointDir instead
+	// of recomputing, when they verify against the run's configuration
+	// key and the regenerated world's digest. Missing, stale or
+	// corrupt artifacts are regenerated (corrupt ones after being
+	// quarantined); resume never fails a run.
+	Resume bool
 }
 
 // DefaultScenario returns the calibrated default run.
@@ -171,7 +186,28 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 	runner := resilience.NewRunner()
 	pol := resilience.Policy{Timeout: s.StageTimeout, Retries: s.StageRetries}
 	art := &Artifacts{Scenario: s}
-	defer func() { art.Report = runner.Report() }()
+
+	// Checkpointing is an accelerator, never a dependency: a store
+	// that cannot open degrades to a plain (uncached) run.
+	var store *checkpoint.Store
+	resume := false
+	if s.CheckpointDir != "" {
+		st, serr := checkpoint.Open(ctx, s.CheckpointDir, checkpointKey(s, cfg))
+		if serr != nil {
+			runner.Skip("checkpoint.open", serr.Error())
+		} else {
+			st.Recorder = runner
+			store = st
+			resume = s.Resume
+		}
+	}
+
+	defer func() {
+		art.Report = runner.Report()
+		if store != nil {
+			art.Report.Checkpoint = store.Stats()
+		}
+	}()
 	degrade := func(stage string) { art.Degraded = append(art.Degraded, stage) }
 
 	// Memstats snapshots bracket the memory-heavy stages; with no
@@ -190,15 +226,44 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 	art.World = world
 	art.RegionCls = bias.NewRegionClassifier(world.Mapper())
 
-	paths, err := resilience.Value(ctx, runner, "bgp.propagate", pol,
-		func(ctx context.Context) (*bgp.PathSet, error) {
-			sim := bgp.NewSimulator(world.Graph)
-			return sim.PropagateContext(ctx, world.ASNs, world.VPs)
+	// The world is never stored — it regenerates deterministically
+	// from the configuration — but its digest is pinned so that code
+	// drift in the generator (same config, different world) invalidates
+	// every cached artifact instead of being silently combined with
+	// them.
+	if store != nil {
+		digest := checkpoint.WorldDigestOf(world)
+		if prev := store.WorldDigest(); prev != "" && prev != digest {
+			_ = store.InvalidateAll("world digest changed: regenerated world no longer matches cached artifacts")
+		}
+		if serr := store.SetWorldDigest(digest); serr != nil {
+			runner.Skip("checkpoint.save.world", serr.Error())
+		}
+	}
+	// Crash-injection sites: "kill after stage N" for the crash-resume
+	// tests and the check.sh smoke. Free when no fault is registered.
+	if err := resilience.Checkpoint(ctx, "checkpoint.saved.world"); err != nil {
+		return art, err
+	}
+
+	paths := resumePaths(ctx, store, resume, runner)
+	if paths == nil {
+		paths, err = resilience.Value(ctx, runner, "bgp.propagate", pol,
+			func(ctx context.Context) (*bgp.PathSet, error) {
+				sim := bgp.NewSimulator(world.Graph)
+				return sim.PropagateContext(ctx, world.ASNs, world.VPs)
+			})
+		if err != nil {
+			return art, fmt.Errorf("core: propagate: %w", err)
+		}
+		saveArtifact(runner, store, checkpoint.ArtifactPaths, func() error {
+			return checkpoint.PutPaths(ctx, store, checkpoint.ArtifactPaths, paths)
 		})
-	if err != nil {
-		return art, fmt.Errorf("core: propagate: %w", err)
 	}
 	art.Paths = paths
+	if err := resilience.Checkpoint(ctx, "checkpoint.saved.paths"); err != nil {
+		return art, err
+	}
 	col.SnapshotMemStats("after.bgp.propagate")
 
 	fs, err := resilience.Value(ctx, runner, "features.compute", pol,
@@ -215,20 +280,26 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 	art.InferredLinks = fs.Links
 
 	// Community-based validation extraction with stale dictionaries.
-	raw, err := resilience.Value(ctx, runner, "validation.extract", pol,
-		func(ctx context.Context) (*validation.Snapshot, error) {
-			if err := resilience.Checkpoint(ctx, "validation.extract"); err != nil {
-				return nil, err
-			}
-			stale := pickStale(world, s.StaleDictionaries)
-			ex := communities.NewExtractor(world.Graph, world.Publishers, world.Strippers, stale)
-			snap := ex.Extract(paths)
-			injectSpuriousLabels(snap, world, s)
-			injectInaccurateT1Labels(snap, world, s.InaccurateT1Labels)
-			return resilience.CorruptAt("validation.extract", snap), nil
-		})
-	if err != nil {
-		return art, fmt.Errorf("core: extract validation: %w", err)
+	// The cached artifact is saved after the optional RPSL merge below,
+	// so a resumed raw snapshot needs no re-merge.
+	raw, rawFromCache := resumeSnapshot(ctx, store, resume, runner,
+		checkpoint.ArtifactValidation, "validation.extract")
+	if raw == nil {
+		raw, err = resilience.Value(ctx, runner, "validation.extract", pol,
+			func(ctx context.Context) (*validation.Snapshot, error) {
+				if err := resilience.Checkpoint(ctx, "validation.extract"); err != nil {
+					return nil, err
+				}
+				stale := pickStale(world, s.StaleDictionaries)
+				ex := communities.NewExtractor(world.Graph, world.Publishers, world.Strippers, stale)
+				snap := ex.Extract(paths)
+				injectSpuriousLabels(snap, world, s)
+				injectInaccurateT1Labels(snap, world, s.InaccurateT1Labels)
+				return resilience.CorruptAt("validation.extract", snap), nil
+			})
+		if err != nil {
+			return art, fmt.Errorf("core: extract validation: %w", err)
+		}
 	}
 	art.RawValidation = raw
 
@@ -250,7 +321,10 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 		degrade("rpsl.generate")
 	default:
 		art.RPSL = rpslSnap
-		if s.IncludeRPSL {
+		// A raw snapshot restored from the store already carries the
+		// merge (it was saved post-merge); merging twice would be
+		// harmless for exact duplicates but is skipped for clarity.
+		if s.IncludeRPSL && !rawFromCache {
 			rpslSnap.ForEach(func(l asgraph.Link, lbs []validation.Label) {
 				for _, lb := range lbs {
 					raw.Add(l, lb)
@@ -258,24 +332,45 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 			})
 		}
 	}
+	if !rawFromCache {
+		saveArtifact(runner, store, checkpoint.ArtifactValidation, func() error {
+			return checkpoint.PutSnapshot(ctx, store, checkpoint.ArtifactValidation, raw, nil)
+		})
+	}
+	if err := resilience.Checkpoint(ctx, "checkpoint.saved.validation.raw"); err != nil {
+		return art, err
+	}
 
 	type cleaned struct {
 		snap *validation.Snapshot
 		rep  validation.CleanReport
 	}
-	cl, err := resilience.Value(ctx, runner, "validation.clean", pol,
-		func(ctx context.Context) (cleaned, error) {
-			if err := resilience.Checkpoint(ctx, "validation.clean"); err != nil {
-				return cleaned{}, err
-			}
-			snap, rep := validation.Clean(raw, world.Orgs, s.Policy)
-			return cleaned{snap, rep}, nil
+	cleanSnap, cleanRep, cleanHit := resumeClean(ctx, store, resume, runner)
+	if cleanHit {
+		art.Validation = cleanSnap
+		art.CleanReport = cleanRep
+	} else {
+		cl, err := resilience.Value(ctx, runner, "validation.clean", pol,
+			func(ctx context.Context) (cleaned, error) {
+				if err := resilience.Checkpoint(ctx, "validation.clean"); err != nil {
+					return cleaned{}, err
+				}
+				snap, rep := validation.Clean(raw, world.Orgs, s.Policy)
+				return cleaned{snap, rep}, nil
+			})
+		if err != nil {
+			return art, fmt.Errorf("core: clean validation: %w", err)
+		}
+		art.Validation = cl.snap
+		art.CleanReport = cl.rep
+		saveArtifact(runner, store, checkpoint.ArtifactClean, func() error {
+			return checkpoint.PutSnapshot(ctx, store, checkpoint.ArtifactClean,
+				cl.snap, encodeCleanReport(cl.rep))
 		})
-	if err != nil {
-		return art, fmt.Errorf("core: clean validation: %w", err)
 	}
-	art.Validation = cl.snap
-	art.CleanReport = cl.rep
+	if err := resilience.Checkpoint(ctx, "checkpoint.saved.validation.clean"); err != nil {
+		return art, err
+	}
 
 	// Inference. The algorithms are independent and individually
 	// deterministic, so they run concurrently — each as its own
@@ -301,6 +396,13 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 		go func(i int) {
 			defer wg.Done()
 			stage := "infer." + algos[i]
+			if store != nil && resume {
+				if res, gerr := checkpoint.GetResult(ctx, store, algos[i]); gerr == nil {
+					resSlice[i] = res
+					recordReuse(runner, stage, checkpoint.ArtifactRel(algos[i]))
+					return
+				}
+			}
 			resSlice[i], errSlice[i] = resilience.Value(ctx, runner, stage, pol,
 				func(ctx context.Context) (*inference.Result, error) {
 					if err := resilience.Checkpoint(ctx, stage); err != nil {
@@ -308,6 +410,12 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 					}
 					return inference.InferContext(ctx, instances[i], fs), nil
 				})
+			if errSlice[i] == nil {
+				saveArtifact(runner, store, checkpoint.ArtifactRel(algos[i]), func() error {
+					return checkpoint.PutResult(ctx, store, resSlice[i])
+				})
+				errSlice[i] = resilience.Checkpoint(ctx, "checkpoint.saved."+checkpoint.ArtifactRel(algos[i]))
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -367,6 +475,112 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 		art.TopoCls = cb.cls
 	}
 	return art, nil
+}
+
+// checkpointKey derives the artifact-store key from the resolved
+// topology configuration and every scenario knob that feeds the
+// checkpointed stages. Algorithms are deliberately absent: results are
+// cached per algorithm, so narrowing Scenario.Algorithms must not
+// invalidate the others.
+func checkpointKey(s Scenario, cfg topogen.Config) checkpoint.Key {
+	return checkpoint.Key{
+		Schema:             checkpoint.SchemaVersion,
+		Config:             cfg,
+		Policy:             s.Policy.String(),
+		StaleDictionaries:  s.StaleDictionaries,
+		SpuriousTrans:      s.SpuriousTrans,
+		SpuriousReserved:   s.SpuriousReserved,
+		InaccurateT1Labels: s.InaccurateT1Labels,
+		IncludeRPSL:        s.IncludeRPSL,
+	}
+}
+
+// recordReuse marks a stage satisfied from the checkpoint store. The
+// stage is OK — its output exists and is verified — the note says it
+// was loaded, not computed.
+func recordReuse(r *resilience.Runner, stage, artifact string) {
+	r.Record(resilience.StageReport{Stage: stage, Status: resilience.StatusOK,
+		Note: "checkpoint: reused artifact " + artifact})
+}
+
+// saveArtifact persists one artifact through put. Failures degrade to
+// a recorded note, never a failed run: the artifact is simply not
+// cached and the next run recomputes it.
+func saveArtifact(r *resilience.Runner, store *checkpoint.Store, name string, put func() error) {
+	if store == nil {
+		return
+	}
+	if err := put(); err != nil {
+		r.Skip("checkpoint.save."+name, err.Error())
+	}
+}
+
+// resumePaths loads the cached path set, or nil to recompute. A miss
+// or quarantine was already recorded by the store.
+func resumePaths(ctx context.Context, store *checkpoint.Store, resume bool, r *resilience.Runner) *bgp.PathSet {
+	if store == nil || !resume {
+		return nil
+	}
+	ps, err := checkpoint.GetPaths(ctx, store, checkpoint.ArtifactPaths)
+	if err != nil {
+		return nil
+	}
+	recordReuse(r, "bgp.propagate", checkpoint.ArtifactPaths)
+	return ps
+}
+
+// resumeSnapshot loads a cached validation snapshot, or (nil, false)
+// to recompute.
+func resumeSnapshot(ctx context.Context, store *checkpoint.Store, resume bool, r *resilience.Runner, name, stage string) (*validation.Snapshot, bool) {
+	if store == nil || !resume {
+		return nil, false
+	}
+	snap, _, err := checkpoint.GetSnapshot(ctx, store, name)
+	if err != nil {
+		return nil, false
+	}
+	recordReuse(r, stage, name)
+	return snap, true
+}
+
+// resumeClean loads the cached cleaned snapshot plus its cleaning
+// report (carried as manifest metadata). A snapshot whose metadata
+// does not decode counts as corrupt: the decode callback rejects it,
+// so the store quarantines the artifact.
+func resumeClean(ctx context.Context, store *checkpoint.Store, resume bool, r *resilience.Runner) (*validation.Snapshot, validation.CleanReport, bool) {
+	if store == nil || !resume {
+		return nil, validation.CleanReport{}, false
+	}
+	var snap *validation.Snapshot
+	var rep validation.CleanReport
+	err := store.Get(ctx, checkpoint.ArtifactClean, func(p io.Reader, meta map[string]string) error {
+		got, perr := validation.Parse(p)
+		if perr != nil {
+			return perr
+		}
+		if jerr := json.Unmarshal([]byte(meta["clean_report"]), &rep); jerr != nil {
+			return fmt.Errorf("clean_report meta: %w", jerr)
+		}
+		snap = got
+		return nil
+	})
+	if err != nil {
+		return nil, validation.CleanReport{}, false
+	}
+	recordReuse(r, "validation.clean", checkpoint.ArtifactClean)
+	return snap, rep, true
+}
+
+// encodeCleanReport serialises the cleaning report into artifact
+// metadata.
+func encodeCleanReport(rep validation.CleanReport) map[string]string {
+	b, err := json.Marshal(rep)
+	if err != nil {
+		// CleanReport is plain ints; Marshal cannot fail. Fall back to
+		// a value Unmarshal will reject, so resume recomputes.
+		return map[string]string{"clean_report": strconv.Quote(err.Error())}
+	}
+	return map[string]string{"clean_report": string(b)}
 }
 
 func newAlgorithm(name string) (inference.Algorithm, error) {

@@ -4,10 +4,23 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// CrashExitCode is the process exit code of a KindCrash fault: a
+// deliberately unusual value so crash-injection smokes (see
+// scripts/check.sh) can tell an injected kill from an ordinary
+// failure.
+const CrashExitCode = 7
+
+// CrashExit is what a KindCrash fault calls to kill the process. It
+// defaults to os.Exit so an injected crash behaves like a real one —
+// no deferred cleanup runs, temp files stay behind — and is a variable
+// so in-process tests can intercept it.
+var CrashExit = func(code int) { os.Exit(code) }
 
 // Fault is one injectable failure. Tests register faults at named
 // sites; production code marks those sites with Checkpoint (control
@@ -17,7 +30,8 @@ type Fault struct {
 	// Kind selects the behaviour: KindPanic panics, KindError returns
 	// an error, KindTimeout blocks (Delay, or until the context
 	// expires when Delay is zero), KindCorrupt rewrites data passed
-	// through CorruptAt.
+	// through CorruptAt, KindCrash hard-exits the process via
+	// CrashExit (simulating a kill -9 mid-pipeline).
 	Kind FailureKind
 	// Err is returned for KindError; nil selects a generic error.
 	Err error
@@ -128,6 +142,12 @@ func Checkpoint(ctx context.Context, site string) error {
 			v = "resilience: injected panic at " + site
 		}
 		panic(v)
+	case KindCrash:
+		CrashExit(CrashExitCode)
+		// Only reached when a test swapped CrashExit: surface a typed
+		// error so the run still aborts deterministically.
+		return &StageError{Stage: site, Kind: KindCrash, Attempts: 1,
+			Err: errors.New("injected crash at " + site)}
 	case KindTimeout:
 		if f.Delay <= 0 {
 			<-ctx.Done()

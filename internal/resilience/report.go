@@ -10,11 +10,15 @@ import (
 // Status is the recorded outcome of one stage.
 type Status string
 
-// Stage outcomes.
+// Stage outcomes. StatusQuarantined marks a checkpoint artifact that
+// failed its integrity check and was moved aside (see
+// internal/checkpoint): the run regenerated the data, so the stage is
+// degraded-but-recovered, not failed — it never affects exit codes.
 const (
-	StatusOK      Status = "ok"
-	StatusFailed  Status = "failed"
-	StatusSkipped Status = "skipped"
+	StatusOK          Status = "ok"
+	StatusFailed      Status = "failed"
+	StatusSkipped     Status = "skipped"
+	StatusQuarantined Status = "quarantined"
 )
 
 // StageReport is the machine-readable outcome of one stage.
@@ -39,6 +43,12 @@ type RunReport struct {
 	// stage ledger and the measurements. Declared as any to keep the
 	// report marshalling independent of the obs types.
 	Metrics any `json:"metrics,omitempty"`
+
+	// Checkpoint is the run's artifact-store statistics (a
+	// checkpoint.Stats: hits, misses, regenerations, quarantines,
+	// bytes), attached by pipelines running with a checkpoint store.
+	// Declared as any for the same layering reason as Metrics.
+	Checkpoint any `json:"checkpoint,omitempty"`
 }
 
 // Report returns a snapshot of the runner's ledger so far.

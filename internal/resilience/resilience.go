@@ -25,14 +25,16 @@ import (
 // FailureKind classifies how a stage failed.
 type FailureKind string
 
-// Failure kinds. KindCorrupt never appears in a StageError; it exists
-// only as an injectable fault class (see Fault and CorruptAt).
+// Failure kinds. KindCorrupt and KindCrash never appear in a
+// StageError; they exist only as injectable fault classes (see Fault,
+// CorruptAt and the crash points of docs/checkpointing.md).
 const (
 	KindError    FailureKind = "error"
 	KindPanic    FailureKind = "panic"
 	KindTimeout  FailureKind = "timeout"
 	KindCanceled FailureKind = "canceled"
 	KindCorrupt  FailureKind = "corrupt"
+	KindCrash    FailureKind = "crash"
 )
 
 // StageError is the typed failure of one named stage. It wraps the
@@ -120,6 +122,12 @@ func (r *Runner) record(sr StageReport) {
 func (r *Runner) Skip(stage, note string) {
 	r.record(StageReport{Stage: stage, Status: StatusSkipped, Note: note})
 }
+
+// Record appends an externally-produced stage report entry. Subsystems
+// that are not stages themselves but participate in the run's ledger —
+// the checkpoint store recording a quarantined artifact, for example —
+// use it so one report documents everything that happened.
+func (r *Runner) Record(sr StageReport) { r.record(sr) }
 
 // Run executes fn as one isolated stage: panics are recovered and
 // converted to StageErrors, a Policy.Timeout bounds each attempt, and

@@ -312,3 +312,46 @@ func TestReportRendering(t *testing.T) {
 		t.Error("merge lost stage")
 	}
 }
+
+// TestCrashFault: a KindCrash fault calls CrashExit with the
+// documented code; with CrashExit intercepted (as here) Checkpoint
+// returns a typed crash StageError so the run still aborts.
+func TestCrashFault(t *testing.T) {
+	defer ClearFaults()
+	orig := CrashExit
+	defer func() { CrashExit = orig }()
+	var gotCode int
+	CrashExit = func(code int) { gotCode = code }
+
+	InjectAt("crash.site", Fault{Kind: KindCrash})
+	err := Checkpoint(context.Background(), "crash.site")
+	if gotCode != CrashExitCode {
+		t.Errorf("CrashExit called with %d, want %d", gotCode, CrashExitCode)
+	}
+	var se *StageError
+	if !errors.As(err, &se) || se.Kind != KindCrash {
+		t.Fatalf("err = %v, want KindCrash StageError", err)
+	}
+	if Checkpoint(context.Background(), "other.site") != nil {
+		t.Error("crash fault fired at the wrong site")
+	}
+}
+
+// TestRunnerRecord: externally-produced entries (quarantine reports)
+// join the ledger without counting as failures.
+func TestRunnerRecord(t *testing.T) {
+	r := NewRunner()
+	r.Record(StageReport{Stage: "checkpoint.paths", Status: StatusQuarantined,
+		Note: "crc mismatch"})
+	rep := r.Report()
+	if len(rep.Failed()) != 0 {
+		t.Error("quarantined entry counted as failed")
+	}
+	if len(rep.Degraded()) != 1 {
+		t.Error("quarantined entry missing from degraded listing")
+	}
+	sr, ok := rep.Find("checkpoint.paths")
+	if !ok || sr.Status != StatusQuarantined || sr.Note != "crc mismatch" {
+		t.Errorf("recorded entry = %+v", sr)
+	}
+}

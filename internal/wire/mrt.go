@@ -113,12 +113,18 @@ func NewRIBReader(r io.Reader) *RIBReader {
 }
 
 // Read returns the next entry, or io.EOF at a clean end of stream.
+// Any stream that ends inside a record — mid-header or mid-body —
+// surfaces ErrTruncated, never a bare io.EOF/io.ErrUnexpectedEOF, so
+// callers (checkpoint loads in particular) can distinguish a damaged
+// file from a clean end of stream with errors.Is.
 func (rr *RIBReader) Read() (RIBEntry, error) {
 	var hdr [12]byte
 	if _, err := io.ReadFull(rr.r, hdr[:]); err != nil {
-		if err == io.ErrUnexpectedEOF {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
 			return RIBEntry{}, ErrTruncated
 		}
+		// io.EOF here means zero header bytes were read: the only
+		// clean end of stream. Real I/O errors pass through unchanged.
 		return RIBEntry{}, err
 	}
 	typ := binary.BigEndian.Uint16(hdr[4:6])
@@ -135,7 +141,13 @@ func (rr *RIBReader) Read() (RIBEntry, error) {
 	}
 	body := make([]byte, bodyLen)
 	if _, err := io.ReadFull(rr.r, body); err != nil {
-		return RIBEntry{}, ErrTruncated
+		// The header promised bodyLen bytes: both io.EOF (nothing
+		// followed the header) and io.ErrUnexpectedEOF (the body was
+		// cut short) are truncation. Real I/O errors pass through.
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return RIBEntry{}, ErrTruncated
+		}
+		return RIBEntry{}, err
 	}
 	var e RIBEntry
 	p, n, err := readPrefix(body)
@@ -149,7 +161,13 @@ func (rr *RIBReader) Read() (RIBEntry, error) {
 	}
 	hops := int(body[0])
 	body = body[1:]
-	if len(body) != hops*4 {
+	if len(body) < hops*4 {
+		// The record claims more path hops than its body holds:
+		// truncation-shaped damage inside a complete frame.
+		return RIBEntry{}, fmt.Errorf("wire: path needs %d bytes, body has %d: %w",
+			hops*4, len(body), ErrTruncated)
+	}
+	if len(body) > hops*4 {
 		return RIBEntry{}, errors.New("wire: path length mismatch")
 	}
 	e.Path = make(asgraph.Path, hops)

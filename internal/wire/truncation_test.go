@@ -1,0 +1,157 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"breval/internal/asgraph"
+)
+
+// ribFixture builds a small RIB stream of records with different path
+// lengths and returns the bytes plus the cumulative record boundaries
+// (boundaries[0] == 0, boundaries[len] == len(data)).
+func ribFixture(t *testing.T) (data []byte, boundaries []int) {
+	t.Helper()
+	paths := []asgraph.Path{
+		{64500, 3356, 174},
+		{64501, 1299},
+		{64502, 6939, 3257, 2914, 701},
+	}
+	var buf bytes.Buffer
+	boundaries = append(boundaries, 0)
+	rw := NewRIBWriter(&buf, 42)
+	for _, p := range paths {
+		if err := rw.Write(RIBEntry{Prefix: PrefixForAS(p.Origin()), Path: p}); err != nil {
+			t.Fatal(err)
+		}
+		if err := rw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, buf.Len())
+	}
+	return buf.Bytes(), boundaries
+}
+
+// readAll drains a RIBReader, returning the record count and the final
+// error (io.EOF for a clean end of stream).
+func readAll(data []byte) (int, error) {
+	rr := NewRIBReader(bytes.NewReader(data))
+	n := 0
+	for {
+		_, err := rr.Read()
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// TestRIBReaderCutAtEveryBoundary: a stream cut exactly at a record
+// boundary is a clean end of stream (io.EOF after the surviving
+// records); cut one byte to either side it must surface ErrTruncated —
+// never a bare io.EOF or io.ErrUnexpectedEOF.
+func TestRIBReaderCutAtEveryBoundary(t *testing.T) {
+	data, boundaries := ribFixture(t)
+
+	for i, b := range boundaries {
+		n, err := readAll(data[:b])
+		if n != i || err != io.EOF {
+			t.Errorf("cut at boundary %d (%d bytes): %d records, err %v; want %d records, io.EOF", i, b, n, err, i)
+		}
+
+		for _, cut := range []int{b - 1, b + 1} {
+			if cut < 0 || cut > len(data) {
+				continue
+			}
+			if cut == b || contains(boundaries, cut) {
+				continue // ±1 landed on another exact boundary (not possible here, but safe)
+			}
+			_, err := readAll(data[:cut])
+			if !errors.Is(err, ErrTruncated) {
+				t.Errorf("cut at %d bytes (boundary %d%+d): err %v, want ErrTruncated", cut, i, cut-b, err)
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) || err == io.EOF {
+				t.Errorf("cut at %d bytes leaked a bare EOF: %v", cut, err)
+			}
+		}
+	}
+}
+
+// TestRIBReaderCutEverywhere sweeps every possible cut length: the
+// reader must report io.EOF exactly at record boundaries and
+// ErrTruncated everywhere else.
+func TestRIBReaderCutEverywhere(t *testing.T) {
+	data, boundaries := ribFixture(t)
+	for cut := 0; cut <= len(data); cut++ {
+		_, err := readAll(data[:cut])
+		if contains(boundaries, cut) {
+			if err != io.EOF {
+				t.Errorf("cut at %d: err %v, want io.EOF", cut, err)
+			}
+		} else if !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut at %d: err %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+// TestReadRIBPropagatesTruncation: the whole-dump reader surfaces
+// ErrTruncated for a cut file rather than silently returning the
+// partial path set.
+func TestReadRIBPropagatesTruncation(t *testing.T) {
+	data, boundaries := ribFixture(t)
+	if ps, err := ReadRIB(bytes.NewReader(data)); err != nil || ps.Len() != len(boundaries)-1 {
+		t.Fatalf("intact dump: %v (len %d)", err, ps.Len())
+	}
+	cut := boundaries[len(boundaries)-1] - 1
+	if _, err := ReadRIB(bytes.NewReader(data[:cut])); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated dump: err %v, want ErrTruncated", err)
+	}
+}
+
+// TestRIBReaderHopCountOverrun: a frame whose hop count claims more
+// bytes than its body holds is truncation-shaped damage.
+func TestRIBReaderHopCountOverrun(t *testing.T) {
+	data, boundaries := ribFixture(t)
+	rec := append([]byte(nil), data[:boundaries[1]]...)
+	// Body layout after the 12-byte header: prefixLen(1) + 3 prefix
+	// bytes + hop count. Inflate the hop count past the body.
+	rec[12+1+3] = 0xff
+	_, err := readAll(rec)
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("inflated hop count: err %v, want ErrTruncated", err)
+	}
+}
+
+// TestUnmarshalUpdateEveryPrefixTruncated: every strict prefix of a
+// valid UPDATE message decodes to ErrTruncated.
+func TestUnmarshalUpdateEveryPrefixTruncated(t *testing.T) {
+	u := &Update{
+		ASPath:    asgraph.Path{64500, 3356, 174},
+		NLRI:      []Prefix{PrefixForAS(174)},
+		Withdrawn: []Prefix{{Addr: [4]byte{10, 1, 2, 0}, Bits: 24}},
+	}
+	b, err := u.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := UnmarshalUpdate(b); err != nil {
+		t.Fatalf("intact message: %v", err)
+	}
+	for cut := 0; cut < len(b); cut++ {
+		_, _, err := UnmarshalUpdate(b[:cut])
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut at %d of %d: err %v, want ErrTruncated", cut, len(b), err)
+		}
+	}
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,7 +1,8 @@
 #!/bin/sh
 # check.sh — the repo's full verification gate: vet, build, tests with
-# the race detector, and short fuzz smokes over the wire-format
-# decoders. CI and pre-commit both run this.
+# the race detector, short fuzz smokes over the wire-format and
+# checkpoint-manifest decoders, and a crash/resume drill. CI and
+# pre-commit both run this.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -20,6 +21,33 @@ go test -race -timeout 40m ./...
 echo "== fuzz smoke (5s each)"
 go test ./internal/wire -run '^$' -fuzz '^FuzzUnmarshalUpdate$' -fuzztime 5s
 go test ./internal/wire -run '^$' -fuzz '^FuzzRIBReader$' -fuzztime 5s
+go test ./internal/checkpoint -run '^$' -fuzz '^FuzzDecodeManifest$' -fuzztime 5s
+
+echo "== crash/resume smoke"
+# Kill breval right after the path set is checkpointed (documented
+# exit code 7), then resume from the interrupted store and require
+# byte-identical experiment output to a cold run. See
+# docs/checkpointing.md.
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+go build -o "$SMOKE/breval" ./cmd/breval
+set +e
+"$SMOKE/breval" -ases 600 -only clean -algos ASRank \
+	-checkpoint-dir "$SMOKE/ckpt" -kill-after paths >/dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 7 ]; then
+	echo "crash smoke: expected exit 7, got $code" >&2
+	exit 1
+fi
+"$SMOKE/breval" -checkpoint-dir "$SMOKE/ckpt" -checkpoint-verify >/dev/null
+"$SMOKE/breval" -ases 600 -only clean -algos ASRank 2>/dev/null >"$SMOKE/cold.txt"
+"$SMOKE/breval" -ases 600 -only clean -algos ASRank \
+	-checkpoint-dir "$SMOKE/ckpt" -resume 2>/dev/null >"$SMOKE/resumed.txt"
+cmp "$SMOKE/cold.txt" "$SMOKE/resumed.txt" || {
+	echo "crash smoke: resumed output differs from cold run" >&2
+	exit 1
+}
 
 echo "== bench smoke (1 iteration, cheap substrate benchmarks)"
 # One iteration of the substrate benchmarks keeps the suite compiling

@@ -54,6 +54,7 @@ func fixture(b *testing.B) *core.Artifacts {
 // ---- substrate benchmarks ----
 
 func BenchmarkWorldGeneration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := topogen.Generate(topogen.DefaultConfig(1)); err != nil {
 			b.Fatal(err)
@@ -67,6 +68,7 @@ func BenchmarkRoutePropagation(b *testing.B) {
 		b.Fatal(err)
 	}
 	sim := bgp.NewSimulator(w.Graph)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ps := sim.Propagate(w.ASNs, w.VPs)
@@ -78,6 +80,7 @@ func BenchmarkRoutePropagation(b *testing.B) {
 
 func BenchmarkFeatureExtraction(b *testing.B) {
 	art := fixture(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fs := features.Compute(art.Paths)
@@ -90,6 +93,7 @@ func BenchmarkFeatureExtraction(b *testing.B) {
 func BenchmarkValidationExtraction(b *testing.B) {
 	art := fixture(b)
 	ex := communities.NewExtractor(art.World.Graph, art.World.Publishers, art.World.Strippers, nil)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		snap := ex.Extract(art.Paths)
@@ -104,6 +108,7 @@ func BenchmarkValidationExtraction(b *testing.B) {
 func BenchmarkLabelCleaning(b *testing.B) {
 	art := fixture(b)
 	var rep validation.CleanReport
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, rep = validation.Clean(art.RawValidation, art.World.Orgs, validation.Ignore)
@@ -119,6 +124,7 @@ func BenchmarkLabelCleaning(b *testing.B) {
 func benchInference(b *testing.B, algo inference.Algorithm) *inference.Result {
 	art := fixture(b)
 	var res *inference.Result
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res = algo.Infer(art.Features)

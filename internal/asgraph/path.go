@@ -35,6 +35,19 @@ func (p Path) HasLoop() bool {
 	if len(p) < 2 {
 		return false
 	}
+	// Real AS paths are short; a quadratic scan avoids allocating a
+	// hash set on what is the hottest per-path check in cleaning.
+	if len(p) <= 32 {
+		for i := 1; i < len(p); i++ {
+			a := p[i]
+			for _, b := range p[:i] {
+				if a == b {
+					return true
+				}
+			}
+		}
+		return false
+	}
 	seen := make(map[asn.ASN]bool, len(p))
 	for _, a := range p {
 		if seen[a] {
@@ -59,6 +72,23 @@ func (p Path) CompactPrepending() Path {
 		}
 	}
 	return out
+}
+
+// CompactPrependingInto appends the path with consecutive duplicates
+// collapsed to dst and returns the extended slice. It is the
+// allocation-free form of CompactPrepending for callers that reuse a
+// scratch buffer across paths.
+func (p Path) CompactPrependingInto(dst Path) Path {
+	if len(p) == 0 {
+		return dst
+	}
+	dst = append(dst, p[0])
+	for _, a := range p[1:] {
+		if a != dst[len(dst)-1] {
+			dst = append(dst, a)
+		}
+	}
+	return dst
 }
 
 // Links returns the canonical links the path traverses, in order.

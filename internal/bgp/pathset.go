@@ -15,6 +15,8 @@
 package bgp
 
 import (
+	"slices"
+
 	"breval/internal/asgraph"
 	"breval/internal/asn"
 )
@@ -77,38 +79,79 @@ func (ps *PathSet) ForEach(fn func(asgraph.Path)) {
 	}
 }
 
+// packedLink packs a canonical link into one comparable word, smaller
+// ASN in the high half.
+func packedLink(a, b asn.ASN) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
+}
+
 // Links returns the set of distinct links appearing on any path —
 // the "inferred links" universe of the paper (§4.1: all AS links
-// visible in the snapshot).
+// visible in the snapshot). Links are collected as packed words and
+// sorted-and-deduped before the single map materialisation, avoiding
+// one hash probe per hop.
 func (ps *PathSet) Links() map[asgraph.Link]bool {
-	links := make(map[asgraph.Link]bool)
+	packed := make([]uint64, 0, len(ps.buf))
 	ps.ForEach(func(p asgraph.Path) {
 		for i := 0; i+1 < len(p); i++ {
-			links[asgraph.NewLink(p[i], p[i+1])] = true
+			packed = append(packed, packedLink(p[i], p[i+1]))
 		}
 	})
+	slices.Sort(packed)
+	packed = slices.Compact(packed)
+	links := make(map[asgraph.Link]bool, len(packed))
+	for _, k := range packed {
+		links[asgraph.Link{A: asn.ASN(k >> 32), B: asn.ASN(k)}] = true
+	}
 	return links
 }
 
 // VPLinkCounts returns, per link, the number of distinct vantage
-// points that observed it.
+// points that observed it. Instead of one inner map per link, the
+// (link, vantage point) pairs are collected flat, sorted, and counted
+// in one pass.
 func (ps *PathSet) VPLinkCounts() map[asgraph.Link]int {
-	seen := make(map[asgraph.Link]map[asn.ASN]bool)
+	type pair struct {
+		link uint64
+		vp   asn.ASN
+	}
+	pairs := make([]pair, 0, len(ps.buf))
 	ps.ForEach(func(p asgraph.Path) {
 		vp := p.VantagePoint()
 		for i := 0; i+1 < len(p); i++ {
-			l := asgraph.NewLink(p[i], p[i+1])
-			m := seen[l]
-			if m == nil {
-				m = make(map[asn.ASN]bool, 4)
-				seen[l] = m
-			}
-			m[vp] = true
+			pairs = append(pairs, pair{packedLink(p[i], p[i+1]), vp})
 		}
 	})
-	out := make(map[asgraph.Link]int, len(seen))
-	for l, m := range seen {
-		out[l] = len(m)
+	slices.SortFunc(pairs, func(x, y pair) int {
+		if x.link != y.link {
+			if x.link < y.link {
+				return -1
+			}
+			return 1
+		}
+		if x.vp != y.vp {
+			if x.vp < y.vp {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	out := make(map[asgraph.Link]int)
+	for i := 0; i < len(pairs); {
+		l := pairs[i].link
+		distinct := 0
+		for i < len(pairs) && pairs[i].link == l {
+			vp := pairs[i].vp
+			distinct++
+			for i < len(pairs) && pairs[i].link == l && pairs[i].vp == vp {
+				i++
+			}
+		}
+		out[asgraph.Link{A: asn.ASN(l >> 32), B: asn.ASN(l)}] = distinct
 	}
 	return out
 }

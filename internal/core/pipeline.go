@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -271,7 +272,7 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 			if err := resilience.Checkpoint(ctx, "features.compute"); err != nil {
 				return nil, err
 			}
-			return features.Compute(paths), nil
+			return features.ComputeContext(ctx, paths)
 		})
 	if err != nil {
 		return art, fmt.Errorf("core: compute features: %w", err)
@@ -373,9 +374,13 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 	}
 
 	// Inference. The algorithms are independent and individually
-	// deterministic, so they run concurrently — each as its own
-	// isolated stage, so one algorithm's panic or timeout costs only
-	// that algorithm's result.
+	// deterministic, and the feature set (dense tables included) is
+	// read-only once built, so they run concurrently, bounded by
+	// GOMAXPROCS. Each algorithm is its own isolated stage on a child
+	// runner, so one algorithm's panic or timeout costs only that
+	// algorithm's result — and merging the child ledgers after the wait
+	// keeps the report's stage order deterministic (algorithm order)
+	// regardless of completion order.
 	algos := s.Algorithms
 	if algos == nil {
 		algos = []string{AlgoASRank, AlgoProbLink, AlgoTopoScope, AlgoGao}
@@ -390,20 +395,26 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 	}
 	resSlice := make([]*inference.Result, len(algos))
 	errSlice := make([]error, len(algos))
+	subRunners := make([]*resilience.Runner, len(algos))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
 	for i := range instances {
+		subRunners[i] = resilience.NewRunner()
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sub := subRunners[i]
 			stage := "infer." + algos[i]
 			if store != nil && resume {
 				if res, gerr := checkpoint.GetResult(ctx, store, algos[i]); gerr == nil {
 					resSlice[i] = res
-					recordReuse(runner, stage, checkpoint.ArtifactRel(algos[i]))
+					recordReuse(sub, stage, checkpoint.ArtifactRel(algos[i]))
 					return
 				}
 			}
-			resSlice[i], errSlice[i] = resilience.Value(ctx, runner, stage, pol,
+			resSlice[i], errSlice[i] = resilience.Value(ctx, sub, stage, pol,
 				func(ctx context.Context) (*inference.Result, error) {
 					if err := resilience.Checkpoint(ctx, stage); err != nil {
 						return nil, err
@@ -411,7 +422,7 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 					return inference.InferContext(ctx, instances[i], fs), nil
 				})
 			if errSlice[i] == nil {
-				saveArtifact(runner, store, checkpoint.ArtifactRel(algos[i]), func() error {
+				saveArtifact(sub, store, checkpoint.ArtifactRel(algos[i]), func() error {
 					return checkpoint.PutResult(ctx, store, resSlice[i])
 				})
 				errSlice[i] = resilience.Checkpoint(ctx, "checkpoint.saved."+checkpoint.ArtifactRel(algos[i]))
@@ -419,6 +430,11 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 		}(i)
 	}
 	wg.Wait()
+	for _, sub := range subRunners {
+		for _, sr := range sub.Report().Stages {
+			runner.Record(sr)
+		}
+	}
 	col.SnapshotMemStats("after.infer")
 	results := make(map[string]*inference.Result, len(algos))
 	for i, name := range algos {

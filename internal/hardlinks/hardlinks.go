@@ -22,6 +22,7 @@ import (
 	"breval/internal/asgraph"
 	"breval/internal/asn"
 	"breval/internal/inference/features"
+	"breval/internal/intern"
 )
 
 // Category identifies one of Jin et al.'s hard-link characteristics.
@@ -71,15 +72,18 @@ type Criteria struct {
 // MaxNodeDegree at the 50th percentile of link-max degrees, the VP
 // band between the 25th and 60th percentile of per-link VP counts.
 func DefaultCriteria(fs *features.Set) Criteria {
-	degrees := make([]int, 0, len(fs.Links))
-	vps := make([]int, 0, len(fs.Links))
-	for l := range fs.Links {
-		d := fs.NodeDegree[l.A]
-		if fs.NodeDegree[l.B] > d {
-			d = fs.NodeDegree[l.B]
+	tab := fs.Intern
+	nLinks := tab.NumLinks()
+	degrees := make([]int, 0, nLinks)
+	vps := make([]int, 0, nLinks)
+	for lid := int32(0); lid < int32(nLinks); lid++ {
+		a, b := tab.LinkEnds(lid)
+		d := fs.NodeDeg[a]
+		if fs.NodeDeg[b] > d {
+			d = fs.NodeDeg[b]
 		}
-		degrees = append(degrees, d)
-		vps = append(vps, fs.VPCount[l])
+		degrees = append(degrees, int(d))
+		vps = append(vps, int(fs.VPCnt[lid]))
 	}
 	sort.Ints(degrees)
 	sort.Ints(vps)
@@ -113,22 +117,28 @@ func (s *Set) IsHard(l asgraph.Link) bool { return s.Hard[l] }
 // Categorize computes the five categories over the observed links.
 // clique and vps are the inferred clique and the vantage-point list.
 func Categorize(fs *features.Set, clique, vps []asn.ASN, crit Criteria) *Set {
+	tab, d := fs.Intern, fs.Dense
+	nLinks := tab.NumLinks()
 	s := &Set{
 		Criteria:   crit,
 		ByCategory: make(map[Category]map[asgraph.Link]bool, NumCategories),
 		Hard:       make(map[asgraph.Link]bool),
-		Total:      len(fs.Links),
+		Total:      nLinks,
 	}
 	for c := Category(0); c < NumCategories; c++ {
 		s.ByCategory[c] = make(map[asgraph.Link]bool)
 	}
-	cliqueSet := make(map[asn.ASN]bool, len(clique))
+	inClique := make([]bool, tab.NumAS())
 	for _, a := range clique {
-		cliqueSet[a] = true
+		if id, ok := tab.ASID(a); ok {
+			inClique[id] = true
+		}
 	}
-	vpSet := make(map[asn.ASN]bool, len(vps))
+	isVP := make([]bool, tab.NumAS())
 	for _, v := range vps {
-		vpSet[v] = true
+		if id, ok := tab.ASID(v); ok {
+			isVP[id] = true
+		}
 	}
 
 	add := func(c Category, l asgraph.Link) {
@@ -136,91 +146,86 @@ func Categorize(fs *features.Set, clique, vps []asn.ASN, crit Criteria) *Set {
 		s.Hard[l] = true
 	}
 
-	// (i)-(iii) are per-link lookups.
-	for l := range fs.Links {
-		maxDeg := fs.NodeDegree[l.A]
-		if fs.NodeDegree[l.B] > maxDeg {
-			maxDeg = fs.NodeDegree[l.B]
-		}
-		if maxDeg < crit.MaxNodeDegree {
-			add(CatLowDegree, l)
-		}
-		if n := fs.VPCount[l]; n >= crit.VPLow && n <= crit.VPHigh {
-			add(CatMidVisibility, l)
-		}
-		if !vpSet[l.A] && !vpSet[l.B] && !cliqueSet[l.A] && !cliqueSet[l.B] {
-			add(CatRemote, l)
-		}
+	// isStubLink: either endpoint was never seen forwarding.
+	isStubLink := func(lid int32) bool {
+		a, b := tab.LinkEnds(lid)
+		return fs.TransitDeg[a] == 0 || fs.TransitDeg[b] == 0
 	}
 
-	// (iv): stub links whose observing paths never carry two
-	// consecutive clique ASes. First collect, per stub link, whether
-	// ANY observing path has a clique pair.
-	isStubLink := func(l asgraph.Link) bool {
-		return fs.TransitDegree[l.A] == 0 || fs.TransitDegree[l.B] == 0
-	}
-	hasCliquePair := make(map[asgraph.Link]bool)
-	fs.Paths.ForEach(func(p asgraph.Path) {
+	// (iv) evidence: per stub link, whether ANY observing path carries
+	// two consecutive clique ASes.
+	hasCliquePair := intern.NewLinkSet(tab)
+	// (v) evidence: per link, whether the top-down peak rule ever voted
+	// the canonical A endpoint up, resp. down.
+	votedUp := intern.NewLinkSet(tab)
+	votedDown := intern.NewLinkSet(tab)
+	for i, n := 0, d.Len(); i < n; i++ {
+		hops := d.Hops(i)
+		if len(hops) == 0 {
+			continue
+		}
+		// One pass for (iv): does this path carry a clique pair?
 		pair := false
-		for i := 0; i+1 < len(p); i++ {
-			if cliqueSet[p[i]] && cliqueSet[p[i+1]] {
+		for _, h := range hops {
+			from, to := d.HopEnds(h)
+			if inClique[from] && inClique[to] {
 				pair = true
 				break
 			}
 		}
-		if !pair {
-			return
-		}
-		for i := 0; i+1 < len(p); i++ {
-			l := asgraph.NewLink(p[i], p[i+1])
-			if isStubLink(l) {
-				hasCliquePair[l] = true
+		// One pass for (v): peak rule over transit degrees. Node j is
+		// hop j's source; node len(hops) is the final destination.
+		from0, _ := d.HopEnds(hops[0])
+		top, topDeg := 0, fs.TransitDeg[from0]
+		for j := range hops {
+			_, to := d.HopEnds(hops[j])
+			if fs.TransitDeg[to] > topDeg {
+				top, topDeg = j+1, fs.TransitDeg[to]
 			}
 		}
-	})
-	for l := range fs.Links {
-		if isStubLink(l) && !hasCliquePair[l] {
-			add(CatStubNoCliqueTriplet, l)
-		}
-	}
-
-	// (v): top-down conflicts. Classify each path with the simple
-	// peak rule (the highest-transit-degree AS is the top; links
-	// before it point up, links after it point down) and flag links
-	// receiving votes in both directions.
-	type votes struct{ up, down bool }
-	v := make(map[asgraph.Link]*votes, len(fs.Links))
-	fs.Paths.ForEach(func(p asgraph.Path) {
-		if len(p) < 2 {
-			return
-		}
-		top := 0
-		for i := 1; i < len(p); i++ {
-			if fs.TransitDegree[p[i]] > fs.TransitDegree[p[top]] {
-				top = i
-			}
-		}
-		for i := 0; i+1 < len(p); i++ {
-			l := asgraph.NewLink(p[i], p[i+1])
-			row := v[l]
-			if row == nil {
-				row = &votes{}
-				v[l] = row
+		for j, h := range hops {
+			lid, fromA := intern.DecodeHop(h)
+			if pair && isStubLink(lid) {
+				hasCliquePair.Add(lid)
 			}
 			// Before the top the route descends towards the VP, so
 			// the canonical-A side direction depends on orientation;
-			// record whether the higher-index element is the provider
-			// side (up) or customer side (down) w.r.t. canonical A.
-			providerIsFirst := i >= top // after the top: p[i] above p[i+1]
-			if (l.A == p[i]) == providerIsFirst {
-				row.up = true
+			// record whether the first element is the provider side
+			// (up) or customer side (down) w.r.t. canonical A.
+			providerIsFirst := j >= top // after the top: source above destination
+			if fromA == providerIsFirst {
+				votedUp.Add(lid)
 			} else {
-				row.down = true
+				votedDown.Add(lid)
 			}
 		}
-	})
-	for l, row := range v {
-		if row.up && row.down {
+	}
+
+	// Per-link categorisation, in dense link-ID order.
+	for lid := int32(0); lid < int32(nLinks); lid++ {
+		l := tab.Link(lid)
+		a, b := tab.LinkEnds(lid)
+		// (i)-(iii) are per-link lookups.
+		maxDeg := fs.NodeDeg[a]
+		if fs.NodeDeg[b] > maxDeg {
+			maxDeg = fs.NodeDeg[b]
+		}
+		if int(maxDeg) < crit.MaxNodeDegree {
+			add(CatLowDegree, l)
+		}
+		if n := int(fs.VPCnt[lid]); n >= crit.VPLow && n <= crit.VPHigh {
+			add(CatMidVisibility, l)
+		}
+		if !isVP[a] && !isVP[b] && !inClique[a] && !inClique[b] {
+			add(CatRemote, l)
+		}
+		// (iv): stub links whose observing paths never carry two
+		// consecutive clique ASes.
+		if isStubLink(lid) && !hasCliquePair.Has(lid) {
+			add(CatStubNoCliqueTriplet, l)
+		}
+		// (v): top-down conflicts — votes in both directions.
+		if votedUp.Has(lid) && votedDown.Has(lid) {
 			add(CatTopDownConflict, l)
 		}
 	}

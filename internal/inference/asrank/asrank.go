@@ -15,16 +15,23 @@
 //     peerings are (wrongly) classified P2C — the S-T1 pathology of
 //     the paper's Table 1.
 //   - Everything without downward evidence falls back to P2P.
+//
+// The hot loops (triplet scans, the iterative sweeps) run over the
+// dense interned mirror of the path set (features.Set.Dense): labels
+// accumulate in flat per-link arrays indexed by dense link ID and the
+// result maps are materialised once at the end, in link-ID order —
+// which is canonical (A, B) order, so output is byte-identical to the
+// legacy map-driven implementation.
 package asrank
 
 import (
 	"context"
-	"sort"
 
 	"breval/internal/asgraph"
 	"breval/internal/asn"
 	"breval/internal/inference"
 	"breval/internal/inference/features"
+	"breval/internal/intern"
 	"breval/internal/obs"
 )
 
@@ -72,31 +79,31 @@ func (a *Algorithm) Name() string { return "ASRank" }
 // to peers — such a path proves c is m's customer, however large c's
 // transit degree is.
 func InferClique(fs *features.Set, candidates int) []asn.ASN {
-	ranked := fs.ASesByTransitDegree()
+	tab, d := fs.Intern, fs.Dense
+	ranked := fs.ASIDsByTransitDegree()
 	if len(ranked) > candidates {
 		ranked = ranked[:candidates]
 	}
-	cand := make(map[asn.ASN]bool, len(ranked))
-	for _, a := range ranked {
-		cand[a] = true
+	cand := make([]bool, tab.NumAS())
+	for _, id := range ranked {
+		cand[id] = true
 	}
 	// trips records every ordered triplet whose three ASes are all
 	// candidates.
-	trips := make(map[[3]asn.ASN]bool)
-	fs.Paths.ForEach(func(p asgraph.Path) {
-		p.Triplets(func(left, mid, right asn.ASN) {
+	trips := make(map[[3]int32]bool)
+	for i, n := 0, d.Len(); i < n; i++ {
+		hops := d.Hops(i)
+		for j := 0; j+1 < len(hops); j++ {
+			left, mid, right := d.Triplet(hops[j], hops[j+1])
 			if cand[left] && cand[mid] && cand[right] {
-				trips[[3]asn.ASN{left, mid, right}] = true
+				trips[[3]int32{left, mid, right}] = true
 			}
-		})
-	})
-	connected := func(a, b asn.ASN) bool {
-		return fs.Links[asgraph.NewLink(a, b)]
+		}
 	}
 	// customerEvidence reports whether c's routes were seen crossing a
 	// member to reach another member — proof that c is a customer and
 	// must not join the clique.
-	customerEvidence := func(members []asn.ASN, c asn.ASN) bool {
+	customerEvidence := func(members []int32, c int32) bool {
 		for _, m1 := range members {
 			if m1 == c {
 				continue
@@ -105,7 +112,7 @@ func InferClique(fs *features.Set, candidates int) []asn.ASN {
 				if m2 == c || m2 == m1 {
 					continue
 				}
-				if trips[[3]asn.ASN{m1, m2, c}] || trips[[3]asn.ASN{c, m2, m1}] {
+				if trips[[3]int32{m1, m2, c}] || trips[[3]int32{c, m2, m1}] {
 					return true
 				}
 			}
@@ -113,7 +120,7 @@ func InferClique(fs *features.Set, candidates int) []asn.ASN {
 		return false
 	}
 
-	var best []asn.ASN
+	var best []int32
 	// Greedy growth from each of the first few seeds; each grown set
 	// is then re-validated against itself until stable, expelling
 	// members with customer evidence. Keep the largest surviving set.
@@ -122,14 +129,14 @@ func InferClique(fs *features.Set, candidates int) []asn.ASN {
 		seeds = len(ranked)
 	}
 	for s := 0; s < seeds; s++ {
-		clique := []asn.ASN{ranked[s]}
+		clique := []int32{ranked[s]}
 		for _, c := range ranked {
 			if c == ranked[s] {
 				continue
 			}
 			ok := true
 			for _, m := range clique {
-				if !connected(c, m) {
+				if !tab.HasLinkIDs(c, m) {
 					ok = false
 					break
 				}
@@ -159,9 +166,17 @@ func InferClique(fs *features.Set, candidates int) []asn.ASN {
 			best = append(best[:0:0], clique...)
 		}
 	}
-	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
-	return best
+	tab.SortIDsByASN(best)
+	return tab.ASNsOf(best)
 }
+
+// Per-link label states of the dense sweep.
+const (
+	lblNone uint8 = iota
+	lblP2P
+	lblP2CProvA // provider is the link's canonical A endpoint
+	lblP2CProvB
+)
 
 // Infer implements inference.Algorithm.
 func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
@@ -176,24 +191,45 @@ func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
 func (a *Algorithm) InferContext(ctx context.Context, fs *features.Set) *inference.Result {
 	col := obs.From(ctx)
 	col.Add("infer.asrank.runs", 1)
+	tab, d := fs.Intern, fs.Dense
+	nLinks := tab.NumLinks()
 
-	res := inference.NewResult(a.Name(), len(fs.Links))
+	res := inference.NewResult(a.Name(), nLinks)
 	_, sp := obs.StartSpan(ctx, "asrank.clique")
 	clique := InferClique(fs, a.opts.CliqueCandidates)
 	sp.End()
 	col.Observe("infer.asrank.clique_size", int64(len(clique)))
 	res.Clique = clique
-	cliqueSet := make(map[asn.ASN]bool, len(clique))
+	inClique := make([]bool, tab.NumAS())
+	cliqueIDs := make([]int32, 0, len(clique))
 	for _, c := range clique {
-		cliqueSet[c] = true
+		if id, ok := tab.ASID(c); ok {
+			inClique[id] = true
+			cliqueIDs = append(cliqueIDs, id)
+		}
+	}
+
+	labels := make([]uint8, nLinks)
+	firm := intern.NewLinkSet(tab)
+	// setP2C records a provider-to-customer inference unless the link
+	// is already classified (first evidence wins, keeping the pass
+	// deterministic and protecting clique peerings from triplet noise).
+	setP2C := func(lid int32, providerIsA bool) {
+		if labels[lid] != lblNone {
+			return
+		}
+		if providerIsA {
+			labels[lid] = lblP2CProvA
+		} else {
+			labels[lid] = lblP2CProvB
+		}
 	}
 
 	// Step 1: clique members peer with each other.
-	for i, c1 := range clique {
-		for _, c2 := range clique[i+1:] {
-			l := asgraph.NewLink(c1, c2)
-			if fs.Links[l] {
-				res.Set(l, asgraph.P2PRel())
+	for i, c1 := range cliqueIDs {
+		for _, c2 := range cliqueIDs[i+1:] {
+			if lid, ok := tab.LinkIDOfIDs(c1, c2); ok {
+				labels[lid] = lblP2P
 			}
 		}
 	}
@@ -202,19 +238,26 @@ func (a *Algorithm) InferContext(ctx context.Context, fs *features.Set) *inferen
 	// C1, C2 clique members proves C2 exported X's route to a peer,
 	// so X is C2's customer.
 	_, sp = obs.StartSpan(ctx, "asrank.clique_triplets")
-	fs.Paths.ForEach(func(p asgraph.Path) {
-		p.Triplets(func(left, mid, right asn.ASN) {
-			if !cliqueSet[mid] {
-				return
+	for i, n := 0, d.Len(); i < n; i++ {
+		hops := d.Hops(i)
+		for j := 0; j+1 < len(hops); j++ {
+			left, mid, right := d.Triplet(hops[j], hops[j+1])
+			if !inClique[mid] {
+				continue
 			}
-			if cliqueSet[left] && !cliqueSet[right] {
-				setP2C(res, mid, right)
+			if inClique[left] && !inClique[right] {
+				// mid is the provider on the mid→right hop.
+				rl, rFromA := intern.DecodeHop(hops[j+1])
+				setP2C(rl, rFromA)
 			}
-			if cliqueSet[right] && !cliqueSet[left] {
-				setP2C(res, mid, left)
+			if inClique[right] && !inClique[left] {
+				// mid is the provider on the left→mid hop (mid is the
+				// hop's destination).
+				ll, lFromA := intern.DecodeHop(hops[j])
+				setP2C(ll, !lFromA)
 			}
-		})
-	})
+		}
+	}
 	sp.End()
 
 	// Step 3: iterative top-down sweep. When the left link of a
@@ -223,40 +266,43 @@ func (a *Algorithm) InferContext(ctx context.Context, fs *features.Set) *inferen
 	// Ordering by transit degree is implicit in the data (higher tiers
 	// get resolved by step 2 first); iterating to a fixed point
 	// propagates the frontier downwards.
-	firm := make(map[asgraph.Link]bool, len(fs.Links))
-	for l := range res.Rels {
-		firm[l] = true
+	for lid := 0; lid < nLinks; lid++ {
+		if labels[lid] != lblNone {
+			firm.Add(int32(lid))
+		}
 	}
 	// rankIdx orders ASes by transit degree (the published algorithm's
 	// processing order); tentative evidence may only push provider
 	// relationships downwards in this order.
-	rankIdx := make(map[asn.ASN]int, len(fs.Adj))
-	for i, x := range fs.ASesByTransitDegree() {
-		rankIdx[x] = i
+	rankIdx := make([]int32, tab.NumAS())
+	for i, x := range fs.ASIDsByTransitDegree() {
+		rankIdx[x] = int32(i)
 	}
 	sweep := func(useTentative bool) bool {
 		changed := false
-		fs.Paths.ForEach(func(p asgraph.Path) {
-			p.Triplets(func(left, mid, right asn.ASN) {
-				if cliqueSet[right] {
+		for i, n := 0, d.Len(); i < n; i++ {
+			hops := d.Hops(i)
+			for j := 0; j+1 < len(hops); j++ {
+				left, mid, right := d.Triplet(hops[j], hops[j+1])
+				if inClique[right] {
 					// Clique members are provider-free by
 					// definition; never infer one as a customer.
 					// Without this guard a single mislabelled link
 					// below a Tier-1 cascades: the Tier-1 gets
 					// "demoted" and every one of its unresolved
 					// customer links firms up through it.
-					return
+					continue
 				}
-				rl := asgraph.NewLink(mid, right)
-				if firm[rl] {
-					return
+				rl, rFromA := intern.DecodeHop(hops[j+1])
+				if firm.Has(rl) {
+					continue
 				}
-				ll := asgraph.NewLink(left, mid)
-				lrel, ok := res.Rel(ll)
-				if !ok {
-					return
+				ll, lFromA := intern.DecodeHop(hops[j])
+				lbl := labels[ll]
+				if lbl == lblNone {
+					continue
 				}
-				if !firm[ll] {
+				if !firm.Has(ll) {
 					// Tentative P2P labels are weaker evidence: never
 					// trust them around a clique member, where a
 					// single unresolved customer link (e.g. partial
@@ -268,21 +314,28 @@ func (a *Algorithm) InferContext(ctx context.Context, fs *features.Set) *inferen
 					// and only let them push provider relationships
 					// *down* the transit-degree ranking, as the
 					// published top-down processing order does.
-					if !useTentative || cliqueSet[mid] ||
-						fs.TransitDegree[left] == 0 ||
+					if !useTentative || inClique[mid] ||
+						fs.TransitDeg[left] == 0 ||
 						rankIdx[mid] > rankIdx[right] {
-						return
+						continue
 					}
 				}
 				// left is mid's provider or peer => mid exported the
-				// route upward/across => right is mid's customer.
-				if lrel.Type == asgraph.P2P || (lrel.Type == asgraph.P2C && lrel.Provider == left) {
-					res.Set(rl, asgraph.P2CRel(mid))
-					firm[rl] = true
+				// route upward/across => right is mid's customer. The
+				// hop ran left→mid, so left is the link's A endpoint
+				// exactly when the hop was traversed from A.
+				providerIsLeft := (lbl == lblP2CProvA && lFromA) || (lbl == lblP2CProvB && !lFromA)
+				if lbl == lblP2P || providerIsLeft {
+					if rFromA {
+						labels[rl] = lblP2CProvA
+					} else {
+						labels[rl] = lblP2CProvB
+					}
+					firm.Add(rl)
 					changed = true
 				}
-			})
-		})
+			}
+		}
 		return changed
 	}
 	_, sp = obs.StartSpan(ctx, "asrank.sweep")
@@ -297,21 +350,20 @@ func (a *Algorithm) InferContext(ctx context.Context, fs *features.Set) *inferen
 	// Step 4: stub-to-clique default. Links between an observed stub
 	// (transit degree 0) and a clique member default to P2C with the
 	// clique member as provider.
-	for l := range fs.Links {
-		if _, ok := res.Rel(l); ok {
+	for lid := int32(0); lid < int32(nLinks); lid++ {
+		if labels[lid] != lblNone {
 			continue
 		}
-		var rel asgraph.Rel
+		la, lb := tab.LinkEnds(lid)
 		switch {
-		case cliqueSet[l.A] && fs.TransitDegree[l.B] == 0:
-			rel = asgraph.P2CRel(l.A)
-		case cliqueSet[l.B] && fs.TransitDegree[l.A] == 0:
-			rel = asgraph.P2CRel(l.B)
+		case inClique[la] && fs.TransitDeg[lb] == 0:
+			labels[lid] = lblP2CProvA
+		case inClique[lb] && fs.TransitDeg[la] == 0:
+			labels[lid] = lblP2CProvB
 		default:
 			continue
 		}
-		res.Set(l, rel)
-		firm[l] = true
+		firm.Add(lid)
 	}
 
 	// Step 5: tentative peering pass. Links still unclassified get a
@@ -328,9 +380,9 @@ func (a *Algorithm) InferContext(ctx context.Context, fs *features.Set) *inferen
 	_, sp = obs.StartSpan(ctx, "asrank.tentative")
 	for iter := 0; iter < a.opts.MaxIterations; iter++ {
 		col.Add("infer.asrank.sweeps", 1)
-		for l := range fs.Links {
-			if _, ok := res.Rel(l); !ok {
-				res.Set(l, asgraph.P2PRel())
+		for lid := range labels {
+			if labels[lid] == lblNone {
+				labels[lid] = lblP2P
 			}
 		}
 		if !sweep(true) {
@@ -338,19 +390,22 @@ func (a *Algorithm) InferContext(ctx context.Context, fs *features.Set) *inferen
 		}
 	}
 	sp.End()
-	res.Firm = firm
-	return res
-}
 
-// setP2C records a provider-to-customer inference unless the link is
-// already classified (first evidence wins, keeping the pass
-// deterministic and protecting clique peerings from triplet noise).
-func setP2C(res *inference.Result, provider, customer asn.ASN) {
-	l := asgraph.NewLink(provider, customer)
-	if _, ok := res.Rel(l); ok {
-		return
+	// Materialise the dense labels into the legacy result shape, in
+	// link-ID order (canonical (A, B) order).
+	for lid := int32(0); lid < int32(nLinks); lid++ {
+		l := tab.Link(lid)
+		switch labels[lid] {
+		case lblP2P:
+			res.Set(l, asgraph.P2PRel())
+		case lblP2CProvA:
+			res.Set(l, asgraph.P2CRel(l.A))
+		case lblP2CProvB:
+			res.Set(l, asgraph.P2CRel(l.B))
+		}
 	}
-	res.Set(l, asgraph.P2CRel(provider))
+	res.Firm = firm.ToMap(tab)
+	return res
 }
 
 var _ inference.ContextAlgorithm = (*Algorithm)(nil)

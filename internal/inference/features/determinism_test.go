@@ -1,0 +1,167 @@
+package features_test
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"testing"
+
+	"breval/internal/bgp"
+	"breval/internal/inference"
+	"breval/internal/inference/asrank"
+	"breval/internal/inference/features"
+	"breval/internal/inference/gao"
+	"breval/internal/topogen"
+)
+
+// computeWithWorkers runs ComputeContext with GOMAXPROCS pinned to n,
+// so the sharded clean and scan phases run with exactly n workers.
+func computeWithWorkers(t *testing.T, ps *bgp.PathSet, n int) *features.Set {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(prev)
+	fs, err := features.ComputeContext(context.Background(), ps)
+	if err != nil {
+		t.Fatalf("ComputeContext(%d workers): %v", n, err)
+	}
+	return fs
+}
+
+// worldPaths builds a small world and propagates its paths.
+func worldPaths(t *testing.T, seed int64) *bgp.PathSet {
+	t.Helper()
+	cfg := topogen.DefaultConfig(seed).Scaled(300)
+	world, err := topogen.Generate(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return bgp.NewSimulator(world.Graph).Propagate(world.ASNs, world.VPs)
+}
+
+// setDigest folds every observable quantity of a feature set — the
+// cleaned path arena and the dense vectors (from which the legacy maps
+// are materialised) — into one hash.
+func setDigest(fs *features.Set) uint64 {
+	h := fnv.New64a()
+	word := func(v int32) {
+		h.Write([]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+	}
+	for i := 0; i < fs.Paths.Len(); i++ {
+		for _, a := range fs.Paths.At(i) {
+			word(int32(a))
+		}
+		word(-1)
+	}
+	tab := fs.Intern
+	word(int32(tab.NumAS()))
+	word(int32(tab.NumLinks()))
+	word(int32(tab.NumVPs()))
+	for id := 0; id < tab.NumAS(); id++ {
+		word(int32(tab.ASN(int32(id))))
+		word(fs.NodeDeg[id])
+		word(fs.TransitDeg[id])
+	}
+	for lid := 0; lid < tab.NumLinks(); lid++ {
+		a, b := tab.LinkEnds(int32(lid))
+		word(a)
+		word(b)
+		word(fs.VPCnt[lid])
+	}
+	return h.Sum64()
+}
+
+// resultDigest folds an inference result into one hash, in the
+// deterministic Links() order.
+func resultDigest(res *inference.Result) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%v|", res.Name, res.Clique)
+	for _, l := range res.Links() {
+		rel, _ := res.Rel(l)
+		fmt.Fprintf(h, "%d-%d:%d:%d|", l.A, l.B, rel.Type, rel.Provider)
+	}
+	return h.Sum64()
+}
+
+// TestComputeParallelDeterminism is the determinism-under-parallelism
+// property: for every worker count from 1 to GOMAXPROCS (at least 4 —
+// worker counts beyond NumCPU still exercise the shard merge), the
+// feature set contents are identical, and so are the digests of the
+// inference results computed from them.
+func TestComputeParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world propagation in -short mode")
+	}
+	maxWorkers := runtime.GOMAXPROCS(0)
+	if maxWorkers < 4 {
+		maxWorkers = 4
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			paths := worldPaths(t, seed)
+			ref := computeWithWorkers(t, paths, 1)
+			refSet := setDigest(ref)
+			refASRank := resultDigest(asrank.New(asrank.Options{}).Infer(ref))
+			refGao := resultDigest(gao.New(gao.Options{}).Infer(ref))
+			for n := 2; n <= maxWorkers; n++ {
+				fs := computeWithWorkers(t, paths, n)
+				if got := setDigest(fs); got != refSet {
+					t.Fatalf("%d workers: feature set digest %x, serial %x", n, got, refSet)
+				}
+				if got := resultDigest(asrank.New(asrank.Options{}).Infer(fs)); got != refASRank {
+					t.Fatalf("%d workers: ASRank digest diverged", n)
+				}
+				if got := resultDigest(gao.New(gao.Options{}).Infer(fs)); got != refGao {
+					t.Fatalf("%d workers: Gao digest diverged", n)
+				}
+			}
+		})
+	}
+}
+
+// TestComputeMatchesLegacyMaps pins the materialised map shapes to the
+// dense vectors they are derived from.
+func TestComputeMatchesLegacyMaps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world propagation in -short mode")
+	}
+	fs := computeWithWorkers(t, worldPaths(t, 3), 3)
+	tab := fs.Intern
+	if len(fs.Links) != tab.NumLinks() || len(fs.NodeDegree) != tab.NumAS() {
+		t.Fatalf("map sizes: links %d/%d, degrees %d/%d",
+			len(fs.Links), tab.NumLinks(), len(fs.NodeDegree), tab.NumAS())
+	}
+	for id := 0; id < tab.NumAS(); id++ {
+		a := tab.ASN(int32(id))
+		if fs.NodeDegree[a] != int(fs.NodeDeg[id]) {
+			t.Fatalf("NodeDegree[%d] = %d, dense %d", a, fs.NodeDegree[a], fs.NodeDeg[id])
+		}
+		if fs.TransitDegree[a] != int(fs.TransitDeg[id]) {
+			t.Fatalf("TransitDegree[%d] = %d, dense %d", a, fs.TransitDegree[a], fs.TransitDeg[id])
+		}
+	}
+	nonZero := 0
+	for _, v := range fs.TransitDeg {
+		if v != 0 {
+			nonZero++
+		}
+	}
+	if len(fs.TransitDegree) != nonZero {
+		t.Fatalf("TransitDegree has %d entries, want %d non-zero", len(fs.TransitDegree), nonZero)
+	}
+	for lid := 0; lid < tab.NumLinks(); lid++ {
+		l := tab.Link(int32(lid))
+		if fs.VPCount[l] != int(fs.VPCnt[lid]) {
+			t.Fatalf("VPCount[%v] = %d, dense %d", l, fs.VPCount[l], fs.VPCnt[lid])
+		}
+	}
+	// Cross-check against the PathSet's own (sort-and-count) fast paths.
+	if got := fs.Paths.Links(); len(got) != len(fs.Links) {
+		t.Fatalf("PathSet.Links = %d, features %d", len(got), len(fs.Links))
+	}
+	for l, n := range fs.Paths.VPLinkCounts() {
+		if fs.VPCount[l] != n {
+			t.Fatalf("VPLinkCounts[%v] = %d, features %d", l, n, fs.VPCount[l])
+		}
+	}
+}

@@ -6,17 +6,37 @@
 // All quantities are derived from observed paths only — exactly what a
 // real deployment computes from collector RIBs — never from the
 // ground-truth graph.
+//
+// Internally the package is built on the dense interning layer of
+// internal/intern: paths are cleaned, the observed ASes and links are
+// assigned dense int32 IDs, and the per-path scan accumulates into
+// flat per-worker arrays that merge deterministically in shard order.
+// The legacy map-shaped fields remain populated (materialised from the
+// dense form) so un-migrated callers and the checkpoint codecs are
+// untouched; migrated hot paths read the dense fields instead. The
+// determinism-under-parallelism contract is documented in
+// docs/performance.md: any worker count produces an identical Set.
 package features
 
 import (
+	"context"
+	"runtime"
+	"runtime/debug"
 	"sort"
+	"sync"
 
 	"breval/internal/asgraph"
 	"breval/internal/asn"
 	"breval/internal/bgp"
+	"breval/internal/intern"
+	"breval/internal/obs"
+	"breval/internal/resilience"
 )
 
-// Set holds the shared path-derived features.
+// Set holds the shared path-derived features, in both the legacy
+// map shape and the dense interned shape. Every Set produced by
+// Compute/ComputeContext carries both; the dense fields are the hot
+// path, the maps are the compatibility surface.
 type Set struct {
 	// Paths is the cleaned path set (loops removed, prepending
 	// collapsed).
@@ -33,145 +53,377 @@ type Set struct {
 	VPCount map[asgraph.Link]int
 	// Adj is the observed adjacency (sorted neighbor lists).
 	Adj map[asn.ASN][]asn.ASN
+
+	// Intern is the dense-ID universe of the cleaned paths; Dense is
+	// their per-hop dense mirror. Both are immutable and safe for
+	// concurrent readers.
+	Intern *intern.Table
+	Dense  *intern.DensePaths
+	// NodeDeg, TransitDeg and VPCnt are the dense counterparts of
+	// NodeDegree, TransitDegree and VPCount, indexed by dense ID.
+	NodeDeg    intern.ASCounts
+	TransitDeg intern.ASCounts
+	VPCnt      intern.LinkCounts
 }
 
 // Compute cleans ps (dropping looped paths, collapsing prepending)
-// and derives the feature set.
+// and derives the feature set. It is the convenience form of
+// ComputeContext for callers running without cancellation or fault
+// injection; under those conditions ComputeContext cannot fail, so
+// Compute panics on the impossible error.
 func Compute(ps *bgp.PathSet) *Set {
-	clean := bgp.NewPathSet(ps.Len(), ps.Len()*4)
-	ps.ForEach(func(p asgraph.Path) {
-		c := p.CompactPrepending()
-		if c.HasLoop() || len(c) == 0 {
-			return
-		}
-		clean.Append(c)
-	})
-
-	s := &Set{
-		Paths:         clean,
-		Links:         make(map[asgraph.Link]bool),
-		NodeDegree:    make(map[asn.ASN]int),
-		TransitDegree: make(map[asn.ASN]int),
-		VPCount:       make(map[asgraph.Link]int),
-		Adj:           make(map[asn.ASN][]asn.ASN),
-	}
-
-	nbrs := make(map[asn.ASN]map[asn.ASN]bool)
-	transit := make(map[asn.ASN]map[asn.ASN]bool)
-	vpSeen := make(map[asgraph.Link]map[asn.ASN]bool)
-
-	addNbr := func(a, b asn.ASN) {
-		m := nbrs[a]
-		if m == nil {
-			m = make(map[asn.ASN]bool, 4)
-			nbrs[a] = m
-		}
-		m[b] = true
-	}
-	addTransit := func(mid, side asn.ASN) {
-		m := transit[mid]
-		if m == nil {
-			m = make(map[asn.ASN]bool, 4)
-			transit[mid] = m
-		}
-		m[side] = true
-	}
-
-	clean.ForEach(func(p asgraph.Path) {
-		vp := p.VantagePoint()
-		for i := 0; i+1 < len(p); i++ {
-			a, b := p[i], p[i+1]
-			l := asgraph.NewLink(a, b)
-			s.Links[l] = true
-			addNbr(a, b)
-			addNbr(b, a)
-			m := vpSeen[l]
-			if m == nil {
-				m = make(map[asn.ASN]bool, 4)
-				vpSeen[l] = m
-			}
-			m[vp] = true
-		}
-		p.Triplets(func(left, mid, right asn.ASN) {
-			addTransit(mid, left)
-			addTransit(mid, right)
-		})
-	})
-
-	for a, m := range nbrs {
-		s.NodeDegree[a] = len(m)
-		lst := make([]asn.ASN, 0, len(m))
-		for b := range m {
-			lst = append(lst, b)
-		}
-		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
-		s.Adj[a] = lst
-	}
-	for a, m := range transit {
-		s.TransitDegree[a] = len(m)
-	}
-	for l, m := range vpSeen {
-		s.VPCount[l] = len(m)
+	s, err := ComputeContext(context.Background(), ps)
+	if err != nil {
+		panic(err)
 	}
 	return s
 }
 
-// ASesByTransitDegree returns all observed ASes sorted by descending
-// transit degree, breaking ties by descending node degree, then
-// ascending ASN (deterministic).
-func (s *Set) ASesByTransitDegree() []asn.ASN {
-	out := make([]asn.ASN, 0, len(s.Adj))
-	for a := range s.Adj {
-		out = append(out, a)
+// maxVPMatrixBits bounds the per-worker links×VPs visibility bitset
+// (32 MiB of bits). Worlds whose product exceeds it fall back to
+// hash-set accumulation, trading speed for bounded memory.
+const maxVPMatrixBits = 1 << 28
+
+// ComputeContext is Compute with parallelism, observability and fault
+// containment: the clean and scan phases shard the paths across
+// GOMAXPROCS workers whose panics surface as typed
+// *resilience.StageError values instead of crashing the caller, each
+// phase is an obs span, and cancellation is honoured between shards.
+// The result is bit-for-bit independent of the worker count: partial
+// results merge in shard order and all dense IDs are assigned in
+// sorted order (see internal/intern).
+func ComputeContext(ctx context.Context, ps *bgp.PathSet) (*Set, error) {
+	col := obs.From(ctx)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > ps.Len() {
+		workers = ps.Len()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	col.SetGauge("features.workers", float64(workers))
+
+	// Phase 1: clean per shard, merge in shard order. The merged arena
+	// is byte-identical to a serial clean because shard boundaries
+	// preserve path order.
+	cctx, span := obs.StartSpan(ctx, "features.clean")
+	shards := make([]*bgp.PathSet, workers)
+	n := ps.Len()
+	err := runContained(cctx, "features.compute.worker", workers, workers, func(ctx context.Context, w int) error {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		out := bgp.NewPathSet(hi-lo, (hi-lo)*4)
+		scratch := make(asgraph.Path, 0, 64)
+		for i := lo; i < hi; i++ {
+			if i%4096 == 0 {
+				if err := resilience.Checkpoint(ctx, "features.compute.worker"); err != nil {
+					return err
+				}
+			}
+			c := ps.At(i).CompactPrependingInto(scratch[:0])
+			if c.HasLoop() || len(c) == 0 {
+				continue
+			}
+			out.Append(c)
+			scratch = c
+		}
+		shards[w] = out
+		return nil
+	})
+	span.End()
+	if err != nil {
+		return nil, err
+	}
+	clean := bgp.NewPathSet(ps.Len(), ps.Len()*4)
+	for _, sh := range shards {
+		clean.AppendSet(sh)
+	}
+	col.Add("features.paths_scanned", int64(ps.Len()))
+	col.Add("features.paths_dropped", int64(ps.Len()-clean.Len()))
+
+	// Phase 2: intern the cleaned universe and densify the paths.
+	_, span = obs.StartSpan(ctx, "features.intern")
+	tab := intern.Build(clean)
+	dense := tab.Densify(clean)
+	span.End()
+	col.SetGauge("features.intern.ases", float64(tab.NumAS()))
+	col.SetGauge("features.intern.links", float64(tab.NumLinks()))
+	col.SetGauge("features.intern.vps", float64(tab.NumVPs()))
+
+	s := &Set{Paths: clean, Intern: tab, Dense: dense}
+
+	// Phase 3: sharded scan into per-worker dense partials.
+	sctx, span := obs.StartSpan(ctx, "features.scan")
+	serr := s.scan(sctx, workers)
+	span.End()
+	if serr != nil {
+		return nil, serr
+	}
+
+	// Phase 4: materialise the legacy map shapes from the dense form.
+	mctx, span := obs.StartSpan(ctx, "features.materialize")
+	merr := s.materialize(mctx, workers)
+	span.End()
+	if merr != nil {
+		return nil, merr
+	}
+	return s, nil
+}
+
+// scan accumulates transit-degree and VP-visibility evidence over the
+// dense paths, sharded across workers, and derives the dense count
+// vectors. Per-worker partials are bitsets whose merge (bitwise or) is
+// commutative, so the result is schedule-independent.
+func (s *Set) scan(ctx context.Context, workers int) error {
+	tab, d := s.Intern, s.Dense
+	nLinks, nVPs := tab.NumLinks(), tab.NumVPs()
+	vpBits := int64(nLinks) * int64(nVPs)
+	useMatrix := vpBits <= maxVPMatrixBits
+
+	transit := make([]intern.Bitset, workers)
+	vpMatrix := make([]intern.Bitset, workers)
+	vpPairs := make([]map[int64]struct{}, workers)
+	nPaths := d.Len()
+	err := runContained(ctx, "features.compute.worker", workers, workers, func(ctx context.Context, w int) error {
+		tr := intern.NewBitset(tab.NumEdges())
+		transit[w] = tr
+		var vm intern.Bitset
+		var pairs map[int64]struct{}
+		if useMatrix {
+			vm = intern.NewBitset(int(vpBits))
+			vpMatrix[w] = vm
+		} else {
+			pairs = make(map[int64]struct{}, 1024)
+			vpPairs[w] = pairs
+		}
+		lo, hi := nPaths*w/workers, nPaths*(w+1)/workers
+		for i := lo; i < hi; i++ {
+			if i%4096 == 0 {
+				if err := resilience.Checkpoint(ctx, "features.compute.worker"); err != nil {
+					return err
+				}
+			}
+			hops := d.Hops(i)
+			if len(hops) == 0 {
+				continue
+			}
+			vp := int64(d.VP(i))
+			for _, h := range hops {
+				lid, _ := intern.DecodeHop(h)
+				if useMatrix {
+					vm.Set(int32(int64(lid)*int64(nVPs) + vp))
+				} else {
+					pairs[int64(lid)<<32|vp] = struct{}{}
+				}
+			}
+			// Triplets: consecutive hop pairs share the mid AS; mark
+			// the two directed half-edges mid→left and mid→right.
+			for j := 0; j+1 < len(hops); j++ {
+				ll, lFromA := intern.DecodeHop(hops[j])
+				rl, rFromA := intern.DecodeHop(hops[j+1])
+				// mid is the second AS of hop j (the A endpoint of ll
+				// iff the hop ran B→A), and the first AS of hop j+1.
+				tr.Set(tab.EdgeEntry(ll, !lFromA))
+				tr.Set(tab.EdgeEntry(rl, rFromA))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Merge partials and derive the dense vectors. Node degree is the
+	// CSR row length — every distinct neighbor is a distinct link.
+	for w := 1; w < workers; w++ {
+		transit[0].Or(transit[w])
+		if useMatrix {
+			vpMatrix[0].Or(vpMatrix[w])
+		}
+	}
+	s.NodeDeg = intern.NewASCounts(tab)
+	s.TransitDeg = intern.NewASCounts(tab)
+	for id := 0; id < tab.NumAS(); id++ {
+		s.NodeDeg[id] = tab.Degree(int32(id))
+		lo, hi := tab.RowRange(int32(id))
+		s.TransitDeg[id] = int32(transit[0].CountRange(lo, hi))
+	}
+	s.VPCnt = intern.NewLinkCounts(tab)
+	if useMatrix {
+		for lid := 0; lid < nLinks; lid++ {
+			lo := int32(int64(lid) * int64(nVPs))
+			s.VPCnt[lid] = int32(vpMatrix[0].CountRange(lo, lo+int32(nVPs)))
+		}
+	} else {
+		// Different workers may have seen the same (link, VP) pair;
+		// dedupe through a union set before counting.
+		union := make(map[int64]struct{}, 1024)
+		for _, pairs := range vpPairs {
+			for k := range pairs {
+				union[k] = struct{}{}
+			}
+		}
+		for k := range union {
+			s.VPCnt[k>>32]++
+		}
+	}
+	return nil
+}
+
+// materialize fills the legacy map fields from the dense form. The
+// five maps build concurrently (they are independent), each contained
+// like any other worker.
+func (s *Set) materialize(ctx context.Context, workers int) error {
+	tab := s.Intern
+	fill := []func(){
+		func() { s.Links = tab.LinksMap() },
+		func() { s.Adj = tab.AdjMap() },
+		func() { s.NodeDegree = s.NodeDeg.ToMap(tab, false) },
+		// TransitDegree historically only holds ASes observed mid-path,
+		// so zero entries are skipped.
+		func() { s.TransitDegree = s.TransitDeg.ToMap(tab, true) },
+		func() { s.VPCount = s.VPCnt.ToMap(tab, false) },
+	}
+	return runContained(ctx, "features.compute.worker", workers, len(fill), func(_ context.Context, i int) error {
+		fill[i]()
+		return nil
+	})
+}
+
+// runContained runs fn(i) for i in [0, n) across at most workers
+// goroutines, recovering panics into typed *resilience.StageError
+// values; the first failure cancels the siblings and wins.
+func runContained(ctx context.Context, stage string, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					fail(resilience.NewPanic(stage, v, debug.Stack()))
+				}
+			}()
+			for i := range ch {
+				if ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// ASIDsByTransitDegree returns all observed dense AS IDs sorted by
+// descending transit degree, breaking ties by descending node degree,
+// then ascending ASN (deterministic — ascending ID is ascending ASN).
+func (s *Set) ASIDsByTransitDegree() []int32 {
+	out := make([]int32, s.Intern.NumAS())
+	for i := range out {
+		out[i] = int32(i)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
-		if s.TransitDegree[a] != s.TransitDegree[b] {
-			return s.TransitDegree[a] > s.TransitDegree[b]
+		if s.TransitDeg[a] != s.TransitDeg[b] {
+			return s.TransitDeg[a] > s.TransitDeg[b]
 		}
-		if s.NodeDegree[a] != s.NodeDegree[b] {
-			return s.NodeDegree[a] > s.NodeDegree[b]
+		if s.NodeDeg[a] != s.NodeDeg[b] {
+			return s.NodeDeg[a] > s.NodeDeg[b]
 		}
 		return a < b
 	})
 	return out
 }
 
-// DistanceToSet returns, per AS, the minimum hop distance in the
-// observed adjacency to any AS in seeds. Unreachable ASes are absent
-// from the result.
-func (s *Set) DistanceToSet(seeds []asn.ASN) map[asn.ASN]int {
-	dist := make(map[asn.ASN]int, len(s.Adj))
-	queue := make([]asn.ASN, 0, len(seeds))
+// ASesByTransitDegree returns all observed ASes sorted by descending
+// transit degree, breaking ties by descending node degree, then
+// ascending ASN (deterministic).
+func (s *Set) ASesByTransitDegree() []asn.ASN {
+	return s.Intern.ASNsOf(s.ASIDsByTransitDegree())
+}
+
+// DistanceIDs returns, per dense AS ID, the minimum hop distance in
+// the observed adjacency to any AS in seeds, or -1 when unreachable.
+func (s *Set) DistanceIDs(seeds []asn.ASN) []int32 {
+	tab := s.Intern
+	dist := make([]int32, tab.NumAS())
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int32, 0, len(seeds))
 	for _, a := range seeds {
-		if _, ok := s.Adj[a]; !ok {
+		id, ok := tab.ASID(a)
+		if !ok || dist[id] >= 0 {
 			continue
 		}
-		if _, ok := dist[a]; !ok {
-			dist[a] = 0
-			queue = append(queue, a)
-		}
+		dist[id] = 0
+		queue = append(queue, id)
 	}
 	for len(queue) > 0 {
 		x := queue[0]
 		queue = queue[1:]
-		for _, n := range s.Adj[x] {
-			if _, ok := dist[n]; !ok {
-				dist[n] = dist[x] + 1
-				queue = append(queue, n)
+		nbrs, _ := tab.Row(x)
+		for _, nb := range nbrs {
+			if dist[nb] < 0 {
+				dist[nb] = dist[x] + 1
+				queue = append(queue, nb)
 			}
 		}
 	}
 	return dist
 }
 
+// DistanceToSet returns, per AS, the minimum hop distance in the
+// observed adjacency to any AS in seeds. Unreachable ASes are absent
+// from the result.
+func (s *Set) DistanceToSet(seeds []asn.ASN) map[asn.ASN]int {
+	ids := s.DistanceIDs(seeds)
+	out := make(map[asn.ASN]int, len(ids))
+	for id, d := range ids {
+		if d >= 0 {
+			out[s.Intern.ASN(int32(id))] = int(d)
+		}
+	}
+	return out
+}
+
 // ObservedStubs returns the ASes with transit degree zero — ASes never
 // seen forwarding, the "stubs" of the observed topology.
 func (s *Set) ObservedStubs() map[asn.ASN]bool {
 	out := make(map[asn.ASN]bool)
-	for a := range s.Adj {
-		if s.TransitDegree[a] == 0 {
-			out[a] = true
+	for id, td := range s.TransitDeg {
+		if td == 0 {
+			out[s.Intern.ASN(int32(id))] = true
 		}
 	}
 	return out

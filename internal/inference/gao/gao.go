@@ -11,9 +11,9 @@ import (
 	"context"
 
 	"breval/internal/asgraph"
-	"breval/internal/asn"
 	"breval/internal/inference"
 	"breval/internal/inference/features"
+	"breval/internal/intern"
 	"breval/internal/obs"
 )
 
@@ -56,52 +56,54 @@ func (a *Algorithm) InferContext(ctx context.Context, fs *features.Set) *inferen
 	col := obs.From(ctx)
 	col.Add("infer.gao.runs", 1)
 
-	res := inference.NewResult(a.Name(), len(fs.Links))
+	tab, d := fs.Intern, fs.Dense
+	nLinks := tab.NumLinks()
+	res := inference.NewResult(a.Name(), nLinks)
 
-	// votes[link] counts evidence: positive favours A-as-provider,
-	// negative favours B-as-provider (canonical link order).
+	// votes[lid] counts evidence: positive favours A-as-provider,
+	// negative favours B-as-provider (canonical link order). The scan
+	// runs over the dense hop mirror: the per-hop direction bit gives
+	// each vote's orientation without re-canonicalising links.
 	_, sp := obs.StartSpan(ctx, "gao.vote")
-	votes := make(map[asgraph.Link]int, len(fs.Links))
-	degree := func(x asn.ASN) int { return fs.NodeDegree[x] }
+	votes := make([]int32, nLinks)
 
-	fs.Paths.ForEach(func(p asgraph.Path) {
-		if len(p) < 2 {
-			return
+	for i, n := 0, d.Len(); i < n; i++ {
+		hops := d.Hops(i)
+		if len(hops) == 0 {
+			continue
 		}
 		// Find the top: the AS with the maximum node degree. Paths are
 		// stored VP→origin, so positions before the top walk downhill
 		// (VP side received the route), positions after walk uphill.
-		top := 0
-		for i := 1; i < len(p); i++ {
-			if degree(p[i]) > degree(p[top]) {
-				top = i
+		// Node j of the path is hop j's source (node len(hops) is the
+		// final destination).
+		from0, _ := d.HopEnds(hops[0])
+		top, topDeg := 0, fs.NodeDeg[from0]
+		for j := range hops {
+			_, to := d.HopEnds(hops[j])
+			if fs.NodeDeg[to] > topDeg {
+				top, topDeg = j+1, fs.NodeDeg[to]
 			}
 		}
-		for i := 0; i+1 < len(p); i++ {
-			var provider, customer asn.ASN
-			if i < top {
-				// Downhill seen from the VP: p[i] learned the route
-				// from p[i+1]... no: the route travelled origin→VP, so
-				// between VP and top the flow is top→VP: p[i+1] is the
-				// provider of p[i].
-				provider, customer = p[i+1], p[i]
+		for j, h := range hops {
+			lid, fromA := intern.DecodeHop(h)
+			// Before the top the route flowed top→VP, so the hop's
+			// destination is the provider; after it, the source.
+			providerIsA := fromA == (j >= top)
+			if providerIsA {
+				votes[lid]++
 			} else {
-				provider, customer = p[i], p[i+1]
-			}
-			l := asgraph.NewLink(provider, customer)
-			if l.A == provider {
-				votes[l]++
-			} else {
-				votes[l]--
+				votes[lid]--
 			}
 		}
-	})
+	}
 	sp.End()
 
 	_, sp = obs.StartSpan(ctx, "gao.classify")
 	var balanced int64
-	for l, v := range votes {
-		switch {
+	for lid := int32(0); lid < int32(nLinks); lid++ {
+		l := tab.Link(lid)
+		switch v := votes[lid]; {
 		case v > 0:
 			res.Set(l, asgraph.P2CRel(l.A))
 		case v < 0:
@@ -110,7 +112,8 @@ func (a *Algorithm) InferContext(ctx context.Context, fs *features.Set) *inferen
 			// Balanced evidence: peer if the degrees are comparable,
 			// otherwise the bigger AS is the provider.
 			balanced++
-			da, db := float64(degree(l.A)), float64(degree(l.B))
+			ia, ib := tab.LinkEnds(lid)
+			da, db := float64(fs.NodeDeg[ia]), float64(fs.NodeDeg[ib])
 			if da == 0 {
 				da = 1
 			}
@@ -128,14 +131,6 @@ func (a *Algorithm) InferContext(ctx context.Context, fs *features.Set) *inferen
 			} else {
 				res.Set(l, asgraph.P2CRel(l.B))
 			}
-		}
-	}
-
-	// Links observed but never voted on (single-AS paths cannot
-	// produce them, so this is defensive only).
-	for l := range fs.Links {
-		if _, ok := res.Rel(l); !ok {
-			res.Set(l, asgraph.P2PRel())
 		}
 	}
 	sp.End()

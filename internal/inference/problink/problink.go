@@ -20,7 +20,6 @@ import (
 	"math"
 
 	"breval/internal/asgraph"
-	"breval/internal/asn"
 	"breval/internal/inference"
 	"breval/internal/inference/asrank"
 	"breval/internal/inference/features"
@@ -131,29 +130,42 @@ func (a *Algorithm) inferWithUncertainty(ctx context.Context, fs *features.Set) 
 	base := inference.InferContext(bctx, a.opts.Base, fs)
 	sp.End()
 	links := base.Links()
+	tab := fs.Intern
 
-	cliqueSet := make(map[asn.ASN]bool, len(base.Clique))
+	inClique := make([]bool, tab.NumAS())
 	for _, c := range base.Clique {
-		cliqueSet[c] = true
+		if id, ok := tab.ASID(c); ok {
+			inClique[id] = true
+		}
 	}
 
-	// Static features per link.
+	// Static features per link. Dense link/endpoint IDs are resolved
+	// once here; every per-round quantity below is then pure array
+	// indexing. links is sorted canonically, so when the base labels the
+	// full observed universe (ASRank does) lids[i] == i.
 	_, sp = obs.StartSpan(ctx, "problink.features")
-	dist := fs.DistanceToSet(base.Clique)
+	dist := fs.DistanceIDs(base.Clique)
+	lids := make([]int32, len(links))
+	endA := make([]int32, len(links))
+	endB := make([]int32, len(links))
 	static := make([][3]uint8, len(links)) // dist, vp, ratio buckets
 	stub := make([]uint8, len(links))
 	evid := make([]uint8, len(links)) // triplet-evidence stand-in
 	fixed := make([]bool, len(links)) // clique-clique links stay P2P
 	labels := make([]class, len(links))
 	for i, l := range links {
-		static[i][0] = distBucket(dist, l)
-		static[i][1] = vpBucket(fs.VPCount[l])
-		static[i][2] = ratioBucket(fs.TransitDegree[l.A], fs.TransitDegree[l.B])
-		stub[i] = stubCombo(fs.TransitDegree[l.A], fs.TransitDegree[l.B])
+		lid, _ := tab.LinkID(l)
+		lids[i] = lid
+		endA[i], endB[i] = tab.LinkEnds(lid)
+		ta, tb := int(fs.TransitDeg[endA[i]]), int(fs.TransitDeg[endB[i]])
+		static[i][0] = distBucket(dist, endA[i], endB[i])
+		static[i][1] = vpBucket(int(fs.VPCnt[lid]))
+		static[i][2] = ratioBucket(ta, tb)
+		stub[i] = stubCombo(ta, tb)
 		if base.Firm != nil && base.Firm[l] {
 			evid[i] = 1
 		}
-		fixed[i] = cliqueSet[l.A] && cliqueSet[l.B]
+		fixed[i] = inClique[endA[i]] && inClique[endB[i]]
 		rel, _ := base.Rel(l)
 		labels[i] = toClass(l, rel)
 	}
@@ -171,7 +183,7 @@ func (a *Algorithm) inferWithUncertainty(ctx context.Context, fs *features.Set) 
 	_, sp = obs.StartSpan(ctx, "problink.iterate")
 	for iter := 0; iter < a.opts.MaxIterations; iter++ {
 		col.Add("infer.problink.iterations", 1)
-		mixA, mixB := endpointMixes(links, labels, fs)
+		mixA, mixB := endpointMixes(endA, endB, labels, tab.NumAS())
 
 		var prior [numClasses]float64
 		var cond [numFeatures][][numClasses]float64
@@ -260,23 +272,25 @@ func softmax(row [numClasses]float64) Posterior {
 
 // endpointMixes computes, per link, the bucketized share of each
 // endpoint's *other* links on which that endpoint acts as provider —
-// the label-mix stand-in for ProbLink's triplet feature.
-func endpointMixes(links []asgraph.Link, labels []class, fs *features.Set) (mixA, mixB []uint8) {
-	providerCount := make(map[asn.ASN]int, len(fs.Adj))
-	totalCount := make(map[asn.ASN]int, len(fs.Adj))
-	for i, l := range links {
-		totalCount[l.A]++
-		totalCount[l.B]++
+// the label-mix stand-in for ProbLink's triplet feature. Counters are
+// flat per-AS arrays indexed by dense ID; this runs every refinement
+// round.
+func endpointMixes(endA, endB []int32, labels []class, nAS int) (mixA, mixB []uint8) {
+	providerCount := make([]int32, nAS)
+	totalCount := make([]int32, nAS)
+	for i := range labels {
+		totalCount[endA[i]]++
+		totalCount[endB[i]]++
 		switch labels[i] {
 		case clsP2CA:
-			providerCount[l.A]++
+			providerCount[endA[i]]++
 		case clsP2CB:
-			providerCount[l.B]++
+			providerCount[endB[i]]++
 		}
 	}
-	mixA = make([]uint8, len(links))
-	mixB = make([]uint8, len(links))
-	bucket := func(a asn.ASN) uint8 {
+	mixA = make([]uint8, len(labels))
+	mixB = make([]uint8, len(labels))
+	bucket := func(a int32) uint8 {
 		t := totalCount[a]
 		if t == 0 {
 			return 0
@@ -288,9 +302,9 @@ func endpointMixes(links []asgraph.Link, labels []class, fs *features.Set) (mixA
 		}
 		return b
 	}
-	for i, l := range links {
-		mixA[i] = bucket(l.A)
-		mixB[i] = bucket(l.B)
+	for i := range labels {
+		mixA[i] = bucket(endA[i])
+		mixB[i] = bucket(endB[i])
 	}
 	return mixA, mixB
 }
@@ -314,12 +328,12 @@ func logNormalize(prior [numClasses]float64, cond [numFeatures][][numClasses]flo
 	return logPrior, cond
 }
 
-func distBucket(dist map[asn.ASN]int, l asgraph.Link) uint8 {
-	d, ok := dist[l.A]
-	if db, ok2 := dist[l.B]; ok2 && (!ok || db < d) {
-		d, ok = db, true
+func distBucket(dist []int32, a, b int32) uint8 {
+	d := dist[a]
+	if db := dist[b]; db >= 0 && (d < 0 || db < d) {
+		d = db
 	}
-	if !ok || d >= nDistBuckets {
+	if d < 0 || d >= nDistBuckets {
 		return nDistBuckets - 1
 	}
 	return uint8(d)

@@ -109,18 +109,26 @@ func (a *Algorithm) InferContext(ctx context.Context, fs *features.Set) *inferen
 	col.SetGauge("infer.toposcope.groups", float64(groups))
 
 	// Per-group base inference and voting. Votes are orientation
-	// aware: P2C(A), P2C(B) or P2P.
+	// aware: P2C(A), P2C(B) or P2P, accumulated in a flat row array
+	// indexed by the full view's dense link IDs — the per-link row
+	// allocations of the map-of-pointers version are gone.
+	tab := fs.Intern
 	gctx, sp := obs.StartSpan(ctx, "toposcope.groups")
-	votes := make(map[asgraph.Link]*voteRow, len(fs.Links))
+	votes := make([]voteRow, tab.NumLinks())
 	for g := 0; g < groups; g++ {
 		gfs := features.Compute(grouped[g])
 		gres := asrank.New(asrank.Options{}).InferContext(gctx, gfs)
-		for l, rel := range gres.Rels {
-			row := votes[l]
-			if row == nil {
-				row = &voteRow{}
-				votes[l] = row
+		gtab := gfs.Intern
+		// Iterate the group's own dense universe; every group link is
+		// interned in the full view (group paths are a subset).
+		for glid := int32(0); glid < int32(gtab.NumLinks()); glid++ {
+			l := gtab.Link(glid)
+			rel, ok := gres.Rel(l)
+			if !ok {
+				continue
 			}
+			lid, _ := tab.LinkID(l)
+			row := &votes[lid]
 			switch {
 			case rel.Type == asgraph.P2C && rel.Provider == l.A:
 				row.p2cA++
@@ -135,12 +143,14 @@ func (a *Algorithm) InferContext(ctx context.Context, fs *features.Set) *inferen
 
 	_, sp = obs.StartSpan(ctx, "toposcope.vote")
 	var byMajority, byReferee int64
-	res := inference.NewResult(a.Name(), len(fs.Links))
+	res := inference.NewResult(a.Name(), tab.NumLinks())
 	res.Clique = referee.Clique
-	for l := range fs.Links {
-		row := votes[l]
+	for lid := int32(0); lid < int32(tab.NumLinks()); lid++ {
+		l := tab.Link(lid)
+		row := &votes[lid]
+		total := row.p2cA + row.p2cB + row.p2p
 		relFromReferee, okRef := referee.Rel(l)
-		if row == nil {
+		if total == 0 {
 			// Never classified by any group (observed only in paths
 			// whose group lost it after cleaning); referee decides.
 			if okRef {
@@ -151,7 +161,6 @@ func (a *Algorithm) InferContext(ctx context.Context, fs *features.Set) *inferen
 			}
 			continue
 		}
-		total := row.p2cA + row.p2cB + row.p2p
 		best, n := bestVote(row)
 		// A two-thirds majority from enough groups stands; otherwise
 		// the referee decides.

@@ -1,0 +1,200 @@
+package intern
+
+import (
+	"math/bits"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+)
+
+// ASCounts is a per-AS counter vector indexed by dense AS ID.
+type ASCounts []int32
+
+// NewASCounts returns a zeroed counter vector for t.
+func NewASCounts(t *Table) ASCounts { return make(ASCounts, t.NumAS()) }
+
+// ToMap materialises the counts as the legacy map shape. Zero entries
+// are skipped when skipZero is set, matching maps that were only ever
+// written for observed keys (e.g. TransitDegree).
+func (c ASCounts) ToMap(t *Table, skipZero bool) map[asn.ASN]int {
+	m := make(map[asn.ASN]int, len(c))
+	for id, v := range c {
+		if skipZero && v == 0 {
+			continue
+		}
+		m[t.ASN(int32(id))] = int(v)
+	}
+	return m
+}
+
+// LinkCounts is a per-link counter vector indexed by dense link ID.
+type LinkCounts []int32
+
+// NewLinkCounts returns a zeroed counter vector for t.
+func NewLinkCounts(t *Table) LinkCounts { return make(LinkCounts, t.NumLinks()) }
+
+// ToMap materialises the counts as the legacy map shape.
+func (c LinkCounts) ToMap(t *Table, skipZero bool) map[asgraph.Link]int {
+	m := make(map[asgraph.Link]int, len(c))
+	for lid, v := range c {
+		if skipZero && v == 0 {
+			continue
+		}
+		m[t.Link(int32(lid))] = int(v)
+	}
+	return m
+}
+
+// Bitset is a fixed-size bit vector. The zero value of NewBitset(n) is
+// all-clear; Or merges another set of the same size.
+type Bitset []uint64
+
+// NewBitset returns an all-clear bitset holding n bits.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Set sets bit i.
+func (b Bitset) Set(i int32) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Get reports bit i.
+func (b Bitset) Get(i int32) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Or folds other into b; the sizes must match.
+func (b Bitset) Or(other Bitset) {
+	for i, w := range other {
+		b[i] |= w
+	}
+}
+
+// CountRange returns the number of set bits in [lo, hi).
+func (b Bitset) CountRange(lo, hi int32) int {
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - (uint(hi-1) & 63))
+	if loW == hiW {
+		return bits.OnesCount64(b[loW] & loMask & hiMask)
+	}
+	n := bits.OnesCount64(b[loW] & loMask)
+	for w := loW + 1; w < hiW; w++ {
+		n += bits.OnesCount64(b[w])
+	}
+	return n + bits.OnesCount64(b[hiW]&hiMask)
+}
+
+// LinkSet is a dense set of links: a bitset indexed by link ID.
+type LinkSet Bitset
+
+// NewLinkSet returns an empty link set for t.
+func NewLinkSet(t *Table) LinkSet { return LinkSet(NewBitset(t.NumLinks())) }
+
+// Add inserts link lid.
+func (s LinkSet) Add(lid int32) { Bitset(s).Set(lid) }
+
+// Has reports membership of lid.
+func (s LinkSet) Has(lid int32) bool { return Bitset(s).Get(lid) }
+
+// ToMap materialises the set as the legacy map shape.
+func (s LinkSet) ToMap(t *Table) map[asgraph.Link]bool {
+	m := make(map[asgraph.Link]bool)
+	for lid := 0; lid < t.NumLinks(); lid++ {
+		if s.Has(int32(lid)) {
+			m[t.Link(int32(lid))] = true
+		}
+	}
+	return m
+}
+
+// DensePaths is the dense mirror of a path set: per hop, the link ID
+// plus the traversal direction, and per path the vantage-point index.
+// It is what the triplet-driven scans (feature extraction, ASRank's
+// sweeps, Gao's votes, the hard-link categorizer) iterate instead of
+// re-resolving map[Link] keys on every pass.
+type DensePaths struct {
+	Tab *Table
+
+	// offs[i]..offs[i+1] is the hop range of path i in hops.
+	offs []uint32
+	// hops packs lid<<1 | dir, where dir=1 means the hop was traversed
+	// A→B (the hop's first AS is the link's canonical A endpoint).
+	hops []uint32
+	// vp is the per-path vantage-point index, -1 for hopless paths.
+	vp []int32
+}
+
+// Densify mirrors ps through the table. Every AS and link of ps must
+// already be interned (i.e. t was built from the same path set).
+func (t *Table) Densify(ps PathSource) *DensePaths {
+	n := ps.Len()
+	d := &DensePaths{
+		Tab:  t,
+		offs: make([]uint32, 1, n+1),
+		vp:   make([]int32, 0, n),
+	}
+	nHops := 0
+	for i := 0; i < n; i++ {
+		if l := len(ps.At(i)); l > 1 {
+			nHops += l - 1
+		}
+	}
+	d.hops = make([]uint32, 0, nHops)
+	for i := 0; i < n; i++ {
+		p := ps.At(i)
+		if len(p) < 2 {
+			d.vp = append(d.vp, -1)
+			d.offs = append(d.offs, uint32(len(d.hops)))
+			continue
+		}
+		prev, _ := t.ASID(p[0])
+		d.vp = append(d.vp, t.VPIndex(prev))
+		for _, a := range p[1:] {
+			cur, _ := t.ASID(a)
+			lid, _ := t.LinkIDOfIDs(prev, cur)
+			// The canonical A endpoint is always the smaller dense ID
+			// (packLink), so the traversal direction needs no lookup.
+			dir := uint32(0)
+			if prev < cur {
+				dir = 1
+			}
+			d.hops = append(d.hops, uint32(lid)<<1|dir)
+			prev = cur
+		}
+		d.offs = append(d.offs, uint32(len(d.hops)))
+	}
+	return d
+}
+
+// Len returns the number of paths.
+func (d *DensePaths) Len() int { return len(d.offs) - 1 }
+
+// Hops returns path i's packed hops; decode with DecodeHop.
+func (d *DensePaths) Hops(i int) []uint32 { return d.hops[d.offs[i]:d.offs[i+1]] }
+
+// VP returns path i's vantage-point index, -1 when the path has no
+// hops.
+func (d *DensePaths) VP(i int) int32 { return d.vp[i] }
+
+// DecodeHop unpacks a hop into its link ID and whether it was
+// traversed from the link's canonical A endpoint towards B.
+func DecodeHop(h uint32) (lid int32, fromA bool) {
+	return int32(h >> 1), h&1 == 1
+}
+
+// HopEnds returns the (from, to) dense AS IDs of a packed hop.
+func (d *DensePaths) HopEnds(h uint32) (from, to int32) {
+	lid, fromA := DecodeHop(h)
+	a, b := d.Tab.LinkEnds(lid)
+	if fromA {
+		return a, b
+	}
+	return b, a
+}
+
+// Triplet decodes two consecutive hops of one path into the dense AS
+// IDs (left, mid, right) of the corresponding path triplet.
+func (d *DensePaths) Triplet(h1, h2 uint32) (left, mid, right int32) {
+	left, mid = d.HopEnds(h1)
+	_, right = d.HopEnds(h2)
+	return left, mid, right
+}

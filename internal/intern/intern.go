@@ -1,0 +1,357 @@
+// Package intern assigns dense int32 identities to the ASNs and links
+// observed in a path set, so the analysis hot paths — feature
+// extraction, the four relationship classifiers, the hard-link
+// categorizer — can replace map[asgraph.Link] / map[asn.ASN] hash
+// lookups with array indexing.
+//
+// A Table is built once from a path source and is immutable afterwards:
+// concurrent readers need no synchronisation. IDs are deterministic
+// regardless of build parallelism or map iteration order: AS IDs are
+// assigned in ascending ASN order and link IDs in ascending
+// (A, B) endpoint order, so the same path set always produces the same
+// table. Because AS IDs are ASN-ordered, iterating links by ID visits
+// them in exactly the order of inference.Result.Links() — dense loops
+// and the legacy sorted-map loops agree on processing order for free.
+//
+// The companion containers (ASCounts, LinkCounts, Bitset, DensePaths
+// in dense.go) hold per-AS / per-link quantities as flat slices with
+// conversion shims back to the map-shaped legacy APIs, so downstream
+// callers migrate incrementally.
+package intern
+
+import (
+	"slices"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+)
+
+// PathSource is the minimal path-iteration surface a Table is built
+// from; *bgp.PathSet satisfies it.
+type PathSource interface {
+	// Len returns the number of paths.
+	Len() int
+	// At returns the i-th path as a read-only view.
+	At(i int) asgraph.Path
+}
+
+// Table is the immutable dense-ID universe of one path set: every
+// observed AS (an AS appearing as a link endpoint) and every observed
+// link, plus a CSR adjacency over them and the vantage-point index.
+type Table struct {
+	// asns maps dense AS ID → ASN, ascending; asID is the inverse.
+	asns []asn.ASN
+	asID map[asn.ASN]int32
+
+	// links maps dense link ID → endpoint AS IDs with A < B, sorted
+	// lexicographically by (A, B). Since AS IDs are ASN-ordered this
+	// equals the canonical (Link.A, Link.B) sort order.
+	links []DenseLink
+
+	// CSR adjacency: the neighbors of AS a are nbr[rowStart[a]:
+	// rowStart[a+1]], ascending; nbrLink carries the link ID of each
+	// adjacency entry. entA/entB give, per link, the adjacency-entry
+	// index of that link in its A endpoint's row and B endpoint's row —
+	// the two directed half-edges — so scans can mark "AS a was seen
+	// forwarding over link l" without searching the row.
+	rowStart []int32
+	nbr      []int32
+	nbrLink  []int32
+	entA     []int32
+	entB     []int32
+
+	// vps lists the AS IDs observed as vantage points (the first AS of
+	// a path with at least one hop), ascending; vpIdx maps AS ID → VP
+	// index or -1.
+	vps   []int32
+	vpIdx []int32
+}
+
+// DenseLink is a link in dense-ID space, A < B.
+type DenseLink struct{ A, B int32 }
+
+// Build constructs the table for ps: two passes over the paths (AS
+// collection, link collection) plus sorts over the distinct ASes and
+// links. Paths are taken as-is — callers that clean first intern the
+// cleaned set.
+func Build(ps PathSource) *Table {
+	t := &Table{asID: make(map[asn.ASN]int32)}
+
+	// Pass 1: distinct ASNs among link endpoints. Single-AS paths
+	// contribute no links and therefore no table entries, matching the
+	// legacy feature maps which only cover link-incident ASes. The
+	// dedup sets stay small (the distinct universe, not the hop
+	// count), so cache-resident map probes beat sorting the raw hops.
+	seen := make(map[asn.ASN]struct{}, 1024)
+	n := ps.Len()
+	for i := 0; i < n; i++ {
+		p := ps.At(i)
+		if len(p) < 2 {
+			continue
+		}
+		for _, a := range p {
+			seen[a] = struct{}{}
+		}
+	}
+	t.asns = make([]asn.ASN, 0, len(seen))
+	for a := range seen {
+		t.asns = append(t.asns, a)
+	}
+	slices.Sort(t.asns)
+	for id, a := range t.asns {
+		t.asID[a] = int32(id)
+	}
+
+	// Pass 2: distinct links as packed (aid, bid) keys, plus the VP
+	// set.
+	linkSet := make(map[uint64]struct{}, 1024)
+	vpSeen := make([]bool, len(t.asns))
+	for i := 0; i < n; i++ {
+		p := ps.At(i)
+		if len(p) < 2 {
+			continue
+		}
+		prev := t.asID[p[0]]
+		vpSeen[prev] = true
+		for _, a := range p[1:] {
+			cur := t.asID[a]
+			linkSet[packLink(prev, cur)] = struct{}{}
+			prev = cur
+		}
+	}
+	keys := make([]uint64, 0, len(linkSet))
+	for k := range linkSet {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	t.links = make([]DenseLink, len(keys))
+	for i, k := range keys {
+		t.links[i] = DenseLink{A: int32(k >> 32), B: int32(k & 0xffffffff)}
+	}
+
+	t.buildCSR()
+	t.buildVPs(vpSeen)
+	return t
+}
+
+// packLink packs the unordered dense pair (a, b) with the smaller ID
+// in the high word, so ascending uint64 order is lexicographic (A, B)
+// order.
+func packLink(a, b int32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// buildCSR fills the adjacency arrays from the sorted link list.
+func (t *Table) buildCSR() {
+	nAS := len(t.asns)
+	t.rowStart = make([]int32, nAS+1)
+	deg := make([]int32, nAS)
+	for _, l := range t.links {
+		deg[l.A]++
+		deg[l.B]++
+	}
+	for i := 0; i < nAS; i++ {
+		t.rowStart[i+1] = t.rowStart[i] + deg[i]
+	}
+	nEdges := int(t.rowStart[nAS])
+	t.nbr = make([]int32, nEdges)
+	t.nbrLink = make([]int32, nEdges)
+	t.entA = make([]int32, len(t.links))
+	t.entB = make([]int32, len(t.links))
+
+	// Two fills in ascending-neighbor order: a row's neighbors split
+	// into "larger than me" (I am the A endpoint) and "smaller than me"
+	// (I am the B endpoint). Filling the smaller ones first — links in
+	// ID order visit B rows with ascending A — then the larger ones —
+	// links in ID order visit A rows with ascending B — leaves every
+	// row ascending.
+	next := make([]int32, nAS)
+	copy(next, t.rowStart[:nAS])
+	for lid, l := range t.links {
+		pos := next[l.B]
+		next[l.B]++
+		t.nbr[pos] = l.A
+		t.nbrLink[pos] = int32(lid)
+		t.entB[lid] = pos
+	}
+	for lid, l := range t.links {
+		pos := next[l.A]
+		next[l.A]++
+		t.nbr[pos] = l.B
+		t.nbrLink[pos] = int32(lid)
+		t.entA[lid] = pos
+	}
+}
+
+// buildVPs materialises the vantage-point index.
+func (t *Table) buildVPs(vpSeen []bool) {
+	t.vpIdx = make([]int32, len(t.asns))
+	for i := range t.vpIdx {
+		t.vpIdx[i] = -1
+	}
+	for id, ok := range vpSeen {
+		if ok {
+			t.vpIdx[id] = int32(len(t.vps))
+			t.vps = append(t.vps, int32(id))
+		}
+	}
+}
+
+// NumAS returns the number of interned ASes.
+func (t *Table) NumAS() int { return len(t.asns) }
+
+// NumLinks returns the number of interned links.
+func (t *Table) NumLinks() int { return len(t.links) }
+
+// NumEdges returns the number of directed half-edges (2×NumLinks),
+// the index space of edge-entry bitsets.
+func (t *Table) NumEdges() int { return len(t.nbr) }
+
+// NumVPs returns the number of observed vantage points.
+func (t *Table) NumVPs() int { return len(t.vps) }
+
+// ASN returns the ASN of dense ID id.
+func (t *Table) ASN(id int32) asn.ASN { return t.asns[id] }
+
+// ASID returns the dense ID of a, with ok=false when a was never
+// observed as a link endpoint.
+func (t *Table) ASID(a asn.ASN) (int32, bool) {
+	id, ok := t.asID[a]
+	return id, ok
+}
+
+// LinkEnds returns the dense endpoint IDs of link lid, A < B.
+func (t *Table) LinkEnds(lid int32) (int32, int32) {
+	l := t.links[lid]
+	return l.A, l.B
+}
+
+// Link converts a dense link ID back to its canonical asgraph.Link.
+func (t *Table) Link(lid int32) asgraph.Link {
+	l := t.links[lid]
+	return asgraph.Link{A: t.asns[l.A], B: t.asns[l.B]}
+}
+
+// LinkID returns the dense ID of l, with ok=false when l was never
+// observed.
+func (t *Table) LinkID(l asgraph.Link) (int32, bool) {
+	a, ok := t.asID[l.A]
+	if !ok {
+		return 0, false
+	}
+	b, ok := t.asID[l.B]
+	if !ok {
+		return 0, false
+	}
+	return t.LinkIDOfIDs(a, b)
+}
+
+// LinkIDOfIDs returns the dense link ID between the dense AS IDs a and
+// b, by binary search over the (ascending) CSR row of the lower-degree
+// endpoint.
+func (t *Table) LinkIDOfIDs(a, b int32) (int32, bool) {
+	if t.Degree(b) < t.Degree(a) {
+		a, b = b, a
+	}
+	lo, hi := t.rowStart[a], t.rowStart[a+1]
+	row := t.nbr[lo:hi]
+	// Most rows are short (stubs and small ASes dominate, and the
+	// search always picks the lower-degree endpoint); a linear scan
+	// beats binary search there.
+	if len(row) <= 16 {
+		for i, nb := range row {
+			if nb == b {
+				return t.nbrLink[lo+int32(i)], true
+			}
+		}
+		return 0, false
+	}
+	i, ok := slices.BinarySearch(row, b)
+	if !ok {
+		return 0, false
+	}
+	return t.nbrLink[lo+int32(i)], true
+}
+
+// HasLinkIDs reports whether the dense AS IDs a and b are adjacent.
+func (t *Table) HasLinkIDs(a, b int32) bool {
+	_, ok := t.LinkIDOfIDs(a, b)
+	return ok
+}
+
+// Degree returns the observed degree (row length) of AS id — equal to
+// the legacy NodeDegree, since every distinct neighbor is a distinct
+// link.
+func (t *Table) Degree(id int32) int32 { return t.rowStart[id+1] - t.rowStart[id] }
+
+// Row returns the CSR row of AS id: its neighbor IDs (ascending) and
+// the link ID of each adjacency entry. The views are read-only.
+func (t *Table) Row(id int32) (nbrs, links []int32) {
+	lo, hi := t.rowStart[id], t.rowStart[id+1]
+	return t.nbr[lo:hi], t.nbrLink[lo:hi]
+}
+
+// RowRange returns the half-open edge-entry index range of AS id's CSR
+// row, for use with edge-entry bitsets.
+func (t *Table) RowRange(id int32) (int32, int32) {
+	return t.rowStart[id], t.rowStart[id+1]
+}
+
+// EdgeEntry returns the edge-entry index of the directed half-edge
+// from→other of link lid, where from must be one of the link's
+// endpoint IDs (the A side when fromA is true).
+func (t *Table) EdgeEntry(lid int32, fromA bool) int32 {
+	if fromA {
+		return t.entA[lid]
+	}
+	return t.entB[lid]
+}
+
+// VPIndex returns the vantage-point index of AS id, or -1 when the AS
+// was never observed as a VP.
+func (t *Table) VPIndex(id int32) int32 { return t.vpIdx[id] }
+
+// VPAS returns the dense AS ID of vantage point vi.
+func (t *Table) VPAS(vi int32) int32 { return t.vps[vi] }
+
+// SortIDsByASN is a convenience for deterministic output: it sorts a
+// slice of dense AS IDs so the corresponding ASNs ascend (which, by
+// construction, is plain ascending ID order).
+func (t *Table) SortIDsByASN(ids []int32) { slices.Sort(ids) }
+
+// ASNsOf converts dense AS IDs to their ASNs, preserving order.
+func (t *Table) ASNsOf(ids []int32) []asn.ASN {
+	out := make([]asn.ASN, len(ids))
+	for i, id := range ids {
+		out[i] = t.asns[id]
+	}
+	return out
+}
+
+// Links materialises the interned link universe as the legacy map
+// shape.
+func (t *Table) LinksMap() map[asgraph.Link]bool {
+	m := make(map[asgraph.Link]bool, len(t.links))
+	for lid := range t.links {
+		m[t.Link(int32(lid))] = true
+	}
+	return m
+}
+
+// AdjMap materialises the adjacency as the legacy sorted-neighbor-list
+// map shape.
+func (t *Table) AdjMap() map[asn.ASN][]asn.ASN {
+	m := make(map[asn.ASN][]asn.ASN, len(t.asns))
+	for id := range t.asns {
+		nbrs, _ := t.Row(int32(id))
+		lst := make([]asn.ASN, len(nbrs))
+		for i, nb := range nbrs {
+			lst[i] = t.asns[nb]
+		}
+		m[t.asns[id]] = lst
+	}
+	return m
+}

@@ -1,0 +1,195 @@
+package intern
+
+import (
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+)
+
+func pathSet(paths ...asgraph.Path) *bgp.PathSet {
+	ps := bgp.NewPathSet(len(paths), 32)
+	for _, p := range paths {
+		ps.Append(p)
+	}
+	return ps
+}
+
+func TestBuildAssignsSortedIDs(t *testing.T) {
+	tab := Build(pathSet(
+		asgraph.Path{30, 10, 20},
+		asgraph.Path{30, 10, 40},
+	))
+	if tab.NumAS() != 4 {
+		t.Fatalf("NumAS = %d, want 4", tab.NumAS())
+	}
+	for i := int32(0); i < int32(tab.NumAS()-1); i++ {
+		if tab.ASN(i) >= tab.ASN(i+1) {
+			t.Fatalf("AS IDs not ASN-ascending: %v vs %v", tab.ASN(i), tab.ASN(i+1))
+		}
+	}
+	if tab.NumLinks() != 3 { // 10-30, 10-20, 10-40
+		t.Fatalf("NumLinks = %d, want 3", tab.NumLinks())
+	}
+	// Link IDs ascend in canonical (A, B) order.
+	prev := asgraph.Link{}
+	for lid := int32(0); lid < int32(tab.NumLinks()); lid++ {
+		l := tab.Link(lid)
+		if lid > 0 && (l.A < prev.A || (l.A == prev.A && l.B <= prev.B)) {
+			t.Fatalf("link IDs not (A,B)-ascending: %v after %v", l, prev)
+		}
+		prev = l
+		if got, ok := tab.LinkID(l); !ok || got != lid {
+			t.Fatalf("LinkID(%v) = %d,%v want %d", l, got, ok, lid)
+		}
+	}
+}
+
+func TestLookupsAndCSR(t *testing.T) {
+	tab := Build(pathSet(asgraph.Path{3, 1, 2}, asgraph.Path{4, 1, 2}))
+	id1, ok := tab.ASID(1)
+	if !ok {
+		t.Fatal("AS 1 not interned")
+	}
+	if got := tab.Degree(id1); got != 3 {
+		t.Fatalf("Degree(1) = %d, want 3", got)
+	}
+	nbrs, links := tab.Row(id1)
+	if len(nbrs) != 3 || len(links) != 3 {
+		t.Fatalf("Row(1) = %v, %v", nbrs, links)
+	}
+	for i := 1; i < len(nbrs); i++ {
+		if nbrs[i-1] >= nbrs[i] {
+			t.Fatal("row not ascending")
+		}
+	}
+	if _, ok := tab.LinkID(asgraph.NewLink(3, 4)); ok {
+		t.Error("absent link resolved")
+	}
+	if _, ok := tab.ASID(99); ok {
+		t.Error("absent AS resolved")
+	}
+	// Edge entries point back at the right row and neighbor.
+	lid, _ := tab.LinkID(asgraph.NewLink(1, 2))
+	a, b := tab.LinkEnds(lid)
+	entA := tab.EdgeEntry(lid, true)
+	lo, hi := tab.RowRange(a)
+	if entA < lo || entA >= hi {
+		t.Fatalf("entA %d outside row [%d,%d)", entA, lo, hi)
+	}
+	entB := tab.EdgeEntry(lid, false)
+	lo, hi = tab.RowRange(b)
+	if entB < lo || entB >= hi {
+		t.Fatalf("entB %d outside row [%d,%d)", entB, lo, hi)
+	}
+}
+
+func TestVPIndex(t *testing.T) {
+	tab := Build(pathSet(
+		asgraph.Path{3, 1, 2},
+		asgraph.Path{5, 1},
+		asgraph.Path{9}, // hopless: not interned at all
+	))
+	if tab.NumVPs() != 2 {
+		t.Fatalf("NumVPs = %d, want 2 (3 and 5)", tab.NumVPs())
+	}
+	for _, want := range []asn.ASN{3, 5} {
+		id, ok := tab.ASID(want)
+		if !ok || tab.VPIndex(id) < 0 {
+			t.Errorf("AS %d not a VP", want)
+		}
+	}
+	id2, _ := tab.ASID(2)
+	if tab.VPIndex(id2) != -1 {
+		t.Error("AS 2 wrongly a VP")
+	}
+	if _, ok := tab.ASID(9); ok {
+		t.Error("hopless path interned")
+	}
+}
+
+func TestDensify(t *testing.T) {
+	ps := pathSet(
+		asgraph.Path{3, 1, 2},
+		asgraph.Path{7},
+		asgraph.Path{2, 1, 3},
+	)
+	tab := Build(ps)
+	d := tab.Densify(ps)
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if len(d.Hops(1)) != 0 || d.VP(1) != -1 {
+		t.Error("hopless path has hops or a VP")
+	}
+	// Path 0 and path 2 traverse the same links in opposite directions.
+	h0, h2 := d.Hops(0), d.Hops(2)
+	if len(h0) != 2 || len(h2) != 2 {
+		t.Fatalf("hop counts: %d, %d", len(h0), len(h2))
+	}
+	l00, _ := DecodeHop(h0[0])
+	l21, _ := DecodeHop(h2[1])
+	if l00 != l21 {
+		t.Error("same link got different IDs")
+	}
+	from, to := d.HopEnds(h0[0])
+	if tab.ASN(from) != 3 || tab.ASN(to) != 1 {
+		t.Errorf("HopEnds = %v→%v, want 3→1", tab.ASN(from), tab.ASN(to))
+	}
+	left, mid, right := d.Triplet(h0[0], h0[1])
+	if tab.ASN(left) != 3 || tab.ASN(mid) != 1 || tab.ASN(right) != 2 {
+		t.Errorf("Triplet = %v|%v|%v, want 3|1|2", tab.ASN(left), tab.ASN(mid), tab.ASN(right))
+	}
+}
+
+func TestBitsetCountRange(t *testing.T) {
+	b := NewBitset(300)
+	for _, i := range []int32{0, 63, 64, 127, 128, 200, 299} {
+		b.Set(i)
+	}
+	cases := []struct {
+		lo, hi int32
+		want   int
+	}{
+		{0, 300, 7}, {0, 64, 2}, {64, 128, 2}, {63, 65, 2},
+		{129, 200, 0}, {200, 201, 1}, {5, 5, 0}, {299, 300, 1},
+	}
+	for _, c := range cases {
+		if got := b.CountRange(c.lo, c.hi); got != c.want {
+			t.Errorf("CountRange(%d,%d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+	other := NewBitset(300)
+	other.Set(10)
+	b.Or(other)
+	if !b.Get(10) || b.CountRange(0, 300) != 8 {
+		t.Error("Or failed")
+	}
+}
+
+func TestCountsToMap(t *testing.T) {
+	tab := Build(pathSet(asgraph.Path{3, 1, 2}))
+	ac := NewASCounts(tab)
+	id1, _ := tab.ASID(1)
+	ac[id1] = 5
+	m := ac.ToMap(tab, true)
+	if len(m) != 1 || m[1] != 5 {
+		t.Errorf("ToMap skipZero = %v", m)
+	}
+	if m := ac.ToMap(tab, false); len(m) != 3 {
+		t.Errorf("ToMap full = %v", m)
+	}
+	lc := NewLinkCounts(tab)
+	lid, _ := tab.LinkID(asgraph.NewLink(1, 2))
+	lc[lid] = 2
+	lm := lc.ToMap(tab, true)
+	if len(lm) != 1 || lm[asgraph.NewLink(1, 2)] != 2 {
+		t.Errorf("LinkCounts.ToMap = %v", lm)
+	}
+	ls := NewLinkSet(tab)
+	ls.Add(lid)
+	if !ls.Has(lid) || len(ls.ToMap(tab)) != 1 {
+		t.Error("LinkSet wrong")
+	}
+}

@@ -6,15 +6,31 @@
 #
 # Usage:
 #
-#	scripts/bench.sh [BENCH_REGEX] [BENCHTIME]
+#	scripts/bench.sh [-against BASELINE.json] [BENCH_REGEX] [BENCHTIME]
 #
 # BENCH_REGEX defaults to '.' (every benchmark); BENCHTIME defaults to
 # 1x — one iteration per benchmark, which is what the nightly trend
 # wants from the full-scale fixture (each iteration regenerates a
 # complete experiment). Use e.g. `scripts/bench.sh Propagation 5x` to
 # focus.
+#
+# With -against, the freshly recorded document is additionally compared
+# to a previously committed baseline: the gate benchmarks (route
+# propagation, feature extraction, and every inference algorithm) must
+# not regress by more than MAX_REGRESS_PCT percent ns/op (default 15),
+# or the script exits non-zero. This is the regression gate future perf
+# changes are measured against:
+#
+#	scripts/bench.sh -against BENCH_2026-08-06.json 'RoutePropagation|FeatureExtraction|Inference' 2x
 set -eu
 cd "$(dirname "$0")/.."
+
+against=""
+if [ "${1:-}" = "-against" ]; then
+	against=${2:?usage: bench.sh -against BASELINE.json [BENCH_REGEX] [BENCHTIME]}
+	[ -r "$against" ] || { echo "bench: baseline $against not readable" >&2; exit 2; }
+	shift 2
+fi
 
 bench_re=${1:-.}
 benchtime=${2:-1x}
@@ -54,3 +70,34 @@ END {
 }' "$raw" >"$out"
 
 echo "bench: wrote $out ($(grep -c '"name"' "$out") benchmarks)" >&2
+
+[ -n "$against" ] || exit 0
+
+# Regression gate: compare ns/op of the gate benchmarks against the
+# baseline. Both files use the schema written above (one benchmark
+# object per line), so a line-oriented awk parse suffices.
+echo "== comparing against $against (max +${MAX_REGRESS_PCT:-15}% ns/op)" >&2
+awk -v max_pct="${MAX_REGRESS_PCT:-15}" '
+function val(line, key,    s) {
+	s = line
+	if (!sub(".*\"" key "\": ", "", s)) return ""
+	sub("[,}].*", "", s)
+	gsub(/"/, "", s)
+	return s
+}
+/"name": "Benchmark/ {
+	name = val($0, "name")
+	ns = val($0, "ns_per_op")
+	if (name == "" || ns == "") next
+	if (name !~ /^Benchmark(RoutePropagation|FeatureExtraction|Inference)/) next
+	if (NR == FNR) { base[name] = ns; next }
+	if (!(name in base)) { printf "  %-32s new (no baseline)\n", name; next }
+	pct = (ns / base[name] - 1) * 100
+	printf "  %-32s %14.0f -> %14.0f ns/op  %+6.1f%%\n", name, base[name], ns, pct
+	if (pct > max_pct) { bad = bad name " "; failed = 1 }
+}
+END {
+	if (NR == FNR) exit 0
+	if (failed) { printf "bench: REGRESSION over %s%%: %s\n", max_pct, bad; exit 1 }
+	print "bench: gate passed"
+}' "$against" "$out" >&2

@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test check bench fsck
+.PHONY: build test check bench fsck soak
 
 build:
 	go build ./...
@@ -16,6 +16,14 @@ check:
 #   make bench BENCH=Propagation BENCHTIME=5x
 bench:
 	sh scripts/bench.sh $(or $(BENCH),.) $(or $(BENCHTIME),1x)
+
+# Seeded chaos soak through the real binary: SOAK_RUNS storms of
+# injected crashes/panics/errors/memory pressure, each recovered via
+# restart+resume and required byte-identical to a fault-free baseline
+# (see docs/resilience.md). Also runs under `CHECK_SOAK=1 make check`.
+soak:
+	go run ./cmd/breval -soak $(or $(SOAK_RUNS),5) -chaos-seed $(or $(CHAOS_SEED),42) \
+		-ases 450 -algos ASRank,Gao
 
 # Verify a checkpoint store offline (see docs/checkpointing.md):
 #   make fsck CHECKPOINT_DIR=/path/to/store

@@ -11,6 +11,9 @@
 //	       [-timeout D] [-experiment-timeout D] [-stage-retries N]
 //	       [-checkpoint-dir DIR] [-resume] [-checkpoint-verify]
 //	       [-kill-after NAME]
+//	       [-mem-soft-mb N] [-mem-hard-mb N] [-stall-timeout D]
+//	       [-inject-pressure soft|hard]
+//	       [-soak N] [-chaos-seed N]
 //	       [-report FILE] [-metrics-out FILE]
 //	       [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -38,6 +41,24 @@
 // checkpointed, leaving a store a subsequent -resume run must recover
 // from byte-identically.
 //
+// -mem-soft-mb and -mem-hard-mb enable the resource governor (see
+// docs/resilience.md): heap use crossing the soft watermark shrinks
+// the shared worker-permit pool (adaptive backpressure), crossing the
+// hard watermark sheds load — the run completes in single-worker mode
+// and exits 8 instead of dying on OOM. -stall-timeout arms the
+// heartbeat watchdog: supervised workers silent past the deadline are
+// cancelled and their stage retried. -inject-pressure is a testing
+// hook that inflates every governor memory sample past the named
+// watermark, forcing the corresponding reaction deterministically.
+//
+// -soak N runs the deterministic chaos harness instead of a normal
+// run: a fault-free baseline, then N seeded fault storms (crashes at
+// checkpoint boundaries, stage panics, transient errors, injected
+// memory pressure), each driven through a restart-with-resume loop
+// until it completes, asserting the recovered artifacts are
+// byte-identical to the baseline. -chaos-seed selects the storm
+// sequence; the same seed reproduces the same storms exactly.
+//
 // -metrics-out enables the observability layer (see
 // docs/observability.md) and writes the run's metrics document —
 // hierarchical stage spans, counters (propagation worker totals,
@@ -49,12 +70,16 @@
 // Exit codes: 0 when everything succeeded, 1 on fatal errors (bad
 // flags, a fatal pipeline stage, cancellation, an unclean
 // -checkpoint-verify), 3 on partial success — some stages failed or
-// degraded but every surviving experiment was rendered — and 7 when a
-// -kill-after crash point fired.
+// degraded but every surviving experiment was rendered — 7 when a
+// -kill-after crash point fired, and 8 when the governor shed load at
+// the hard memory watermark (the run completed, results are valid,
+// but the process ran degraded). The codes never alias: shed beats
+// partial when both apply, and a fatal error beats both.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -65,6 +90,8 @@ import (
 
 	"breval/internal/checkpoint"
 	"breval/internal/core"
+	"breval/internal/govern"
+	"breval/internal/govern/chaos"
 	"breval/internal/hardlinks"
 	"breval/internal/obs"
 	"breval/internal/resilience"
@@ -75,9 +102,19 @@ import (
 // surviving experiments were rendered; main maps it to exitPartial.
 var errPartial = errors.New("partial success: some stages failed, surviving experiments rendered")
 
-// exitPartial is the documented partial-success exit code (see
-// docs/resilience.md).
-const exitPartial = 3
+// errShed marks a run that completed under hard-watermark load-shed;
+// main maps it to exitShed. It takes precedence over errPartial: a
+// shed run may also be partial, but the operator signal that matters
+// is "this host was too small", not "a stage degraded".
+var errShed = errors.New("load shed: hard memory watermark crossed, run completed in single-worker mode")
+
+// exitPartial and exitShed are the documented non-fatal exit codes
+// (see docs/resilience.md). resilience.CrashExitCode (7) is the
+// injected-crash code; the four never alias.
+const (
+	exitPartial = 3
+	exitShed    = 8
+)
 
 func main() {
 	err := run(os.Args[1:])
@@ -85,10 +122,23 @@ func main() {
 		return
 	}
 	fmt.Fprintln(os.Stderr, "breval:", err)
-	if errors.Is(err, errPartial) {
-		os.Exit(exitPartial)
+	os.Exit(exitCode(err))
+}
+
+// exitCode maps run's error to the documented exit-code table. Shed
+// beats partial: a run can be both, and "this host was too small" is
+// the actionable signal. (Exit 7 never reaches here — an injected
+// crash exits inside resilience.CrashExit.)
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, errShed):
+		return exitShed
+	case errors.Is(err, errPartial):
+		return exitPartial
 	}
-	os.Exit(1)
+	return 1
 }
 
 func run(args []string) error {
@@ -107,6 +157,12 @@ func run(args []string) error {
 	resume := fs.Bool("resume", false, "reuse verified artifacts from -checkpoint-dir instead of recomputing")
 	ckptVerify := fs.Bool("checkpoint-verify", false, "fsck the -checkpoint-dir store and exit (nonzero when corrupt or missing)")
 	killAfter := fs.String("kill-after", "", "crash testing: exit 7 right after artifact NAME is durably checkpointed")
+	memSoftMB := fs.Int64("mem-soft-mb", 0, "soft memory watermark in MiB: heap use above it shrinks worker concurrency (0 = off)")
+	memHardMB := fs.Int64("mem-hard-mb", 0, "hard memory watermark in MiB: heap use above it sheds load to single-worker mode and exits 8 (0 = off)")
+	stallTimeout := fs.Duration("stall-timeout", 0, "watchdog heartbeat deadline for supervised workers; stalled workers are cancelled and the stage retried (0 = off)")
+	injectPressure := fs.String("inject-pressure", "", "pressure testing: inflate every governor memory sample past the soft or hard watermark")
+	soakRuns := fs.Int("soak", 0, "run the chaos/soak harness for N seeded fault storms instead of a normal run")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the -soak fault-storm sequence")
 	reportOut := fs.String("report", "", "write the per-stage run report as JSON to this file")
 	metricsOut := fs.String("metrics-out", "", "enable observability and write the metrics document (spans, counters, memstats) as JSON to this file")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
@@ -194,6 +250,32 @@ func run(args []string) error {
 	if *retries < 0 {
 		return fmt.Errorf("-stage-retries must be non-negative (got %d)", *retries)
 	}
+	if *memSoftMB < 0 || *memHardMB < 0 {
+		return fmt.Errorf("memory watermarks must be non-negative")
+	}
+	if *memSoftMB > 0 && *memHardMB > 0 && *memHardMB <= *memSoftMB {
+		return fmt.Errorf("-mem-hard-mb (%d) must exceed -mem-soft-mb (%d)", *memHardMB, *memSoftMB)
+	}
+	s.Govern = govern.Config{
+		SoftBytes:    *memSoftMB << 20,
+		HardBytes:    *memHardMB << 20,
+		StallTimeout: *stallTimeout,
+	}
+	switch *injectPressure {
+	case "":
+	case "soft":
+		if s.Govern.SoftBytes <= 0 {
+			return fmt.Errorf("-inject-pressure soft requires -mem-soft-mb")
+		}
+		armPressure(s.Govern.SoftBytes)
+	case "hard":
+		if s.Govern.HardBytes <= 0 {
+			return fmt.Errorf("-inject-pressure hard requires -mem-hard-mb")
+		}
+		armPressure(s.Govern.HardBytes)
+	default:
+		return fmt.Errorf("-inject-pressure must be soft or hard (got %q)", *injectPressure)
+	}
 	var names []string
 	if *only != "" {
 		for _, exp := range strings.Split(*only, ",") {
@@ -203,6 +285,10 @@ func run(args []string) error {
 			}
 			names = append(names, name)
 		}
+	}
+
+	if *soakRuns > 0 {
+		return runSoak(ctx, s, *chaosSeed, *soakRuns, *ckptDir, *reportOut)
 	}
 
 	fmt.Fprintf(os.Stderr, "breval: generating world (%d ASes, seed %d) and running the pipeline...\n",
@@ -261,8 +347,92 @@ func run(args []string) error {
 	if werr != nil {
 		return werr
 	}
+	if shedIn(report) {
+		return errShed
+	}
 	if len(report.Failed()) > 0 || len(art.Degraded) > 0 {
 		return errPartial
+	}
+	return nil
+}
+
+// shedIn reports whether the run crossed the hard memory watermark
+// (the governor recorded a StatusShed ledger entry).
+func shedIn(report *resilience.RunReport) bool {
+	for _, st := range report.Stages {
+		if st.Status == resilience.StatusShed {
+			return true
+		}
+	}
+	return false
+}
+
+// armPressure installs the -inject-pressure testing fault: every
+// governor memory sample is inflated by delta bytes, so the sampled
+// heap crosses the corresponding watermark no matter how small the
+// real heap is.
+func armPressure(delta int64) {
+	resilience.InjectAt(govern.PressureSite, resilience.Fault{
+		Kind:    resilience.KindCorrupt,
+		Corrupt: func(v any) any { return v.(int64) + delta },
+	})
+}
+
+// runSoak is the -soak mode: hand the scenario to the chaos harness
+// and render its verdict. The per-storm checkpoint stores live under
+// dir when -checkpoint-dir was given, else under a temp directory
+// removed afterwards. With -report the full soak report is written
+// there as JSON.
+func runSoak(ctx context.Context, s core.Scenario, seed int64, runs int, dir, reportOut string) error {
+	if dir == "" {
+		td, err := os.MkdirTemp("", "breval-soak-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(td)
+		dir = td
+	}
+	// The harness manages stores and resume itself, one per storm.
+	s.CheckpointDir = ""
+	s.Resume = false
+	fmt.Fprintf(os.Stderr, "breval: chaos soak: %d storm(s), seed %d, %d ASes\n", runs, seed, s.NumASes)
+	rep, err := chaos.Soak(ctx, chaos.Config{
+		Seed:     seed,
+		Runs:     runs,
+		Scenario: s,
+		Dir:      dir,
+		Log:      os.Stderr,
+	})
+	if rep != nil && reportOut != "" {
+		if werr := writeSoakReport(rep, reportOut); werr != nil {
+			err = errors.Join(err, werr)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	for _, rr := range rep.Runs {
+		fmt.Printf("storm %d: attempts=%d crashes=%d shed=%v match=%v\n",
+			rr.Run, rr.Attempts, rr.Crashes, rr.Shed, rr.Match)
+	}
+	fmt.Printf("soak ok: %d/%d storms recovered byte-identical artifacts (baseline %s)\n",
+		len(rep.Runs), runs, rep.BaselineDigest[:16])
+	return nil
+}
+
+func writeSoakReport(rep *chaos.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("write soak report: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return fmt.Errorf("write soak report: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("write soak report: %w", err)
 	}
 	return nil
 }

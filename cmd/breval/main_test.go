@@ -357,3 +357,112 @@ func TestReportEmbedsCheckpointStats(t *testing.T) {
 		t.Errorf("resume run reports zero checkpoint hits: %+v", doc.Checkpoint)
 	}
 }
+
+// TestExitCodeTable pins the documented exit-code contract: the four
+// codes never alias, shed beats partial when both apply, and a fatal
+// error beats both.
+func TestExitCodeTable(t *testing.T) {
+	codes := map[string]int{
+		"ok":      exitCode(nil),
+		"fatal":   exitCode(errors.New("boom")),
+		"partial": exitCode(errPartial),
+		"shed":    exitCode(errShed),
+		"crash":   resilience.CrashExitCode,
+	}
+	want := map[string]int{"ok": 0, "fatal": 1, "partial": 3, "shed": 8, "crash": 7}
+	seen := map[int]string{}
+	for name, code := range codes {
+		if code != want[name] {
+			t.Errorf("exit code for %s = %d, want %d", name, code, want[name])
+		}
+		if prev, dup := seen[code]; dup {
+			t.Errorf("exit codes alias: %s and %s both map to %d", prev, name, code)
+		}
+		seen[code] = name
+	}
+	// Precedence: a run that is both shed and partial exits 8, and
+	// wrapping never loses the sentinel.
+	if got := exitCode(errors.Join(errShed, errPartial)); got != exitShed {
+		t.Errorf("shed+partial = %d, want %d (shed wins)", got, exitShed)
+	}
+	if got := exitCode(fmt.Errorf("context: %w", errPartial)); got != exitPartial {
+		t.Errorf("wrapped partial = %d, want %d", got, exitPartial)
+	}
+}
+
+// TestGovernFlagValidation: the governor flags guard their
+// preconditions before any expensive work happens.
+func TestGovernFlagValidation(t *testing.T) {
+	defer resilience.ClearFaults()
+	if err := run([]string{"-mem-soft-mb", "-1"}); err == nil {
+		t.Error("negative watermark accepted")
+	}
+	if err := run([]string{"-mem-soft-mb", "512", "-mem-hard-mb", "256"}); err == nil {
+		t.Error("hard watermark below soft accepted")
+	}
+	if err := run([]string{"-inject-pressure", "hard"}); err == nil {
+		t.Error("-inject-pressure hard without -mem-hard-mb accepted")
+	}
+	if err := run([]string{"-inject-pressure", "soft"}); err == nil {
+		t.Error("-inject-pressure soft without -mem-soft-mb accepted")
+	}
+	if err := run([]string{"-mem-soft-mb", "512", "-mem-hard-mb", "1024",
+		"-inject-pressure", "sideways"}); err == nil {
+		t.Error("unknown -inject-pressure mode accepted")
+	}
+}
+
+// TestInjectPressureHardSheds: an injected hard-watermark crossing
+// must complete the run (no OOM, no lost artifacts), record the shed
+// in the report, and surface the dedicated exit-8 sentinel — never
+// the partial-success one.
+func TestInjectPressureHardSheds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline")
+	}
+	defer resilience.ClearFaults()
+	report := filepath.Join(t.TempDir(), "report.json")
+	err := run([]string{"-ases", "600", "-only", "clean", "-algos", "ASRank",
+		"-mem-soft-mb", "4096", "-mem-hard-mb", "8192",
+		"-inject-pressure", "hard", "-report", report})
+	if !errors.Is(err, errShed) {
+		t.Fatalf("err = %v, want errShed", err)
+	}
+	if errors.Is(err, errPartial) {
+		t.Fatal("shed run also carries the partial sentinel; codes would alias")
+	}
+	b, rerr := os.ReadFile(report)
+	if rerr != nil {
+		t.Fatalf("report not written: %v", rerr)
+	}
+	if !strings.Contains(string(b), `"govern.shed"`) || !strings.Contains(string(b), `"shed"`) {
+		t.Errorf("report does not record the shed:\n%.400s", b)
+	}
+}
+
+// TestInjectPressureSoftStaysOK: soft pressure throttles but never
+// changes the exit code — the run is a full success.
+func TestInjectPressureSoftStaysOK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline")
+	}
+	defer resilience.ClearFaults()
+	if err := run([]string{"-ases", "600", "-only", "clean", "-algos", "ASRank",
+		"-mem-soft-mb", "4096", "-inject-pressure", "soft"}); err != nil {
+		t.Fatalf("soft pressure changed the outcome: %v", err)
+	}
+}
+
+// TestSoakFlag: a tiny in-process soak through the CLI path. The
+// heavy multi-storm coverage lives in internal/govern/chaos; this
+// pins the flag plumbing and the success summary.
+func TestSoakFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline several times")
+	}
+	out := captureRun(t, []string{"-ases", "450", "-algos", "ASRank,Gao",
+		"-soak", "1", "-chaos-seed", "42"})
+	if !strings.Contains(out, "soak ok: 1/1 storms") {
+		t.Errorf("soak summary missing:\n%s", out)
+	}
+}

@@ -1,6 +1,7 @@
 package asgraph
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -233,8 +234,22 @@ func (g *Graph) CustomerCone(a asn.ASN) map[asn.ASN]bool {
 }
 
 // ConeSizes computes customer cone sizes for all ASes. The size counts
-// cone members, excluding the AS itself (a stub has cone size 0).
+// cone members, excluding the AS itself (a stub has cone size 0). It
+// is the uncancellable convenience form of ConeSizesContext.
 func (g *Graph) ConeSizes() map[asn.ASN]int {
+	sizes, err := g.ConeSizesContext(context.Background())
+	if err != nil {
+		// Impossible: the background context never cancels.
+		panic(err)
+	}
+	return sizes
+}
+
+// ConeSizesContext is ConeSizes with cooperative cancellation: the
+// cone walk is a long CPU-bound pure loop that would otherwise ignore
+// a watchdog or deadline cancel, so it polls ctx periodically and
+// returns the context's error with a nil map when cancelled.
+func (g *Graph) ConeSizesContext(ctx context.Context) (map[asn.ASN]int, error) {
 	// Memoised DFS over the provider→customer DAG. Cycles (which can
 	// occur in dirty data, and routinely in graphs rebuilt from
 	// *inferred* relationships) are broken by treating in-progress
@@ -251,8 +266,23 @@ func (g *Graph) ConeSizes() map[asn.ASN]int {
 	sizes := make(map[asn.ASN]int, len(g.adj))
 	cones := make(map[asn.ASN]map[asn.ASN]bool, len(g.adj))
 	state := make(map[asn.ASN]int8, len(g.adj)) // 0 new, 1 visiting, 2 done
+	visits := 0
+	var ctxErr error
 	var visit func(a asn.ASN) map[asn.ASN]bool
 	visit = func(a asn.ASN) map[asn.ASN]bool {
+		if ctxErr != nil {
+			return nil
+		}
+		// Poll cancellation every few hundred nodes: cheap against the
+		// per-node map work, frequent enough that a cancel lands within
+		// microseconds, not after the whole graph.
+		visits++
+		if visits%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				return nil
+			}
+		}
 		switch state[a] {
 		case 1:
 			return nil
@@ -281,8 +311,11 @@ func (g *Graph) ConeSizes() map[asn.ASN]int {
 	}
 	for _, a := range order {
 		sizes[a] = len(visit(a))
+		if ctxErr != nil {
+			return nil, ctxErr
+		}
 	}
-	return sizes
+	return sizes, nil
 }
 
 // IsStub reports whether a has an empty customer cone (no AS below it).

@@ -10,6 +10,7 @@ import (
 
 	"breval/internal/asgraph"
 	"breval/internal/asn"
+	"breval/internal/govern"
 	"breval/internal/obs"
 	"breval/internal/resilience"
 )
@@ -153,6 +154,15 @@ func (s *Simulator) Propagate(origins, vps []asn.ASN) *PathSet {
 func (s *Simulator) PropagateContext(ctx context.Context, origins, vps []asn.ASN) (*PathSet, error) {
 	col := obs.From(ctx)
 
+	// Under a governor the stage is supervised: every worker beats the
+	// heartbeat once per origin (through the resilience.Checkpoint
+	// hook), and per-origin permits from the shared limiter make the
+	// effective fan-out track memory pressure. Without a governor both
+	// are nil and free.
+	ctx, hb := govern.Supervise(ctx, "bgp.propagate", 0)
+	defer hb.Stop()
+	lim := govern.From(ctx).Limiter()
+
 	vpIdx := make([]int32, 0, len(vps))
 	for _, v := range vps {
 		if i, ok := s.idx[v]; ok {
@@ -231,8 +241,19 @@ func (s *Simulator) PropagateContext(ctx context.Context, origins, vps []asn.ASN
 					fail(err)
 					return
 				}
+				if err := lim.Acquire(wctx); err != nil {
+					fail(err)
+					return
+				}
 				ps := NewPathSet(len(vpIdx), len(vpIdx)*5)
-				s.propagateOne(st, jobs[j].origin, vpIdx, ps, &ws)
+				func() {
+					// The permit must survive a panicking origin: the
+					// worker's recover converts the panic to a typed
+					// error, and a leaked permit would shrink capacity
+					// for the stage retry.
+					defer lim.Release()
+					s.propagateOne(st, jobs[j].origin, vpIdx, ps, &ws)
+				}()
 				ws.origins++
 				ws.paths += int64(ps.Len())
 				results[j] = ps
@@ -242,10 +263,10 @@ func (s *Simulator) PropagateContext(ctx context.Context, origins, vps []asn.ASN
 	wg.Wait()
 	wspan.End()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, hb.Resolve(firstErr)
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, hb.Resolve(err)
 	}
 
 	_, mspan := obs.StartSpan(ctx, "bgp.propagate.merge")

@@ -155,6 +155,12 @@ const (
 	dirAttr   = "#!attr "
 )
 
+// EncodeResult writes res in the store's deterministic
+// inferred-relationship codec. Exported for consumers that need a
+// canonical byte form outside a store — the chaos harness digests
+// artifacts with it to assert byte-identical recovery.
+func EncodeResult(w io.Writer, res *inference.Result) error { return writeResult(w, res) }
+
 // PutResult stores one algorithm's inference result under
 // ArtifactRel(res.Name).
 func PutResult(ctx context.Context, s *Store, res *inference.Result) error {

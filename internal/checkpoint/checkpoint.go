@@ -102,6 +102,7 @@ type Store struct {
 	col *obs.Collector
 
 	mu     sync.Mutex
+	lock   *os.File // exclusive owner flock, released by Close
 	man    *Manifest
 	missed map[string]bool
 	stats  Stats
@@ -115,19 +116,28 @@ var counterNames = []string{
 	"checkpoint.bytes_read", "checkpoint.bytes_written",
 }
 
-// Open opens (creating if needed) the store at dir for the given key.
-// An existing manifest written under a different key or manifest
+// Open opens (creating if needed) the store at dir for the given key,
+// taking an exclusive owner lock: a second live process pointing at
+// the same directory fails to open (and should degrade to an uncached
+// run) rather than corrupt the manifest with interleaved writes. An
+// existing manifest written under a different key or manifest
 // version is treated as stale and replaced with a fresh one; a
 // manifest that fails to decode is quarantined. The context supplies
 // the run's obs collector (if any) for the checkpoint.* counters.
+// Callers release the lock with Close.
 func Open(ctx context.Context, dir string, key Key) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: open store: %w", err)
+	}
+	lock, err := acquireLock(dir)
+	if err != nil {
+		return nil, err
 	}
 	s := &Store{
 		dir:    dir,
 		key:    key.Hash(),
 		col:    obs.From(ctx),
+		lock:   lock,
 		missed: map[string]bool{},
 	}
 	for _, n := range counterNames {
@@ -139,6 +149,7 @@ func Open(ctx context.Context, dir string, key Key) (*Store, error) {
 	case errors.Is(err, os.ErrNotExist):
 		s.man = newManifest(s.key)
 	case err != nil:
+		s.Close()
 		return nil, fmt.Errorf("checkpoint: read manifest: %w", err)
 	default:
 		man, derr := DecodeManifest(raw)

@@ -79,6 +79,9 @@ func TestReopenSurvivesProcess(t *testing.T) {
 	key := testKey(2)
 	s1 := openTest(t, dir, key)
 	putBytes(t, s1, "blob", []byte("persisted"))
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	s2 := openTest(t, dir, key)
 	got, err := getBytes(s2, "blob")
@@ -91,6 +94,9 @@ func TestKeyMismatchInvalidates(t *testing.T) {
 	dir := t.TempDir()
 	s1 := openTest(t, dir, testKey(1))
 	putBytes(t, s1, "blob", []byte("old world"))
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	s2 := openTest(t, dir, testKey(99))
 	if _, err := getBytes(s2, "blob"); !errors.Is(err, ErrMiss) {
@@ -235,6 +241,9 @@ func TestCorruptManifestQuarantinedOnOpen(t *testing.T) {
 	key := testKey(1)
 	s1 := openTest(t, dir, key)
 	putBytes(t, s1, "blob", []byte("x"))
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
 	if err := os.WriteFile(filepath.Join(dir, manifestFile), []byte("{nope"), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +280,7 @@ func TestFailedPutLeavesNoVisibleArtifact(t *testing.T) {
 		}
 		for _, de := range ents {
 			name := de.Name()
-			if name == manifestFile || name == quarantineDir {
+			if name == manifestFile || name == quarantineDir || name == lockFile {
 				continue
 			}
 			t.Errorf("unexpected file after failed put: %s", name)

@@ -127,6 +127,10 @@ func Fsck(dir string) (*FsckResult, error) {
 		name := de.Name()
 		switch {
 		case name == manifestFile:
+		case name == lockFile:
+			// The owner lock is store infrastructure, not an artifact;
+			// a leftover LOCK after a crash is inert (flocks die with
+			// their process).
 		case name == quarantineDir && de.IsDir():
 			qents, qerr := os.ReadDir(filepath.Join(dir, quarantineDir))
 			if qerr != nil {

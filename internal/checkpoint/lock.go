@@ -1,0 +1,57 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+)
+
+// lockFile is the store's owner lock. Open takes an exclusive flock
+// on it and writes the owner pid; a second process pointing at the
+// same -checkpoint-dir fails to open and degrades to an uncached run
+// instead of interleaving manifest writes with the first (two
+// last-writer-wins manifests would silently drop each other's
+// artifact entries). The kernel releases the lock when the owning
+// process exits — including a crash — so a stale LOCK file is
+// harmless and never blocks a later run.
+const lockFile = "LOCK"
+
+// acquireLock takes the store's exclusive owner lock, returning the
+// open lock file (held until Close) or an error naming the current
+// owner when another live process holds it.
+func acquireLock(dir string) (*os.File, error) {
+	path := filepath.Join(dir, lockFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: open lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		owner, _ := os.ReadFile(path)
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: store %s is owned by another live process (pid %s): %w",
+			dir, strings.TrimSpace(string(owner)), err)
+	}
+	// Best-effort owner stamp for diagnostics; the flock, not the
+	// content, is the guard.
+	if err := f.Truncate(0); err == nil {
+		_, _ = f.WriteAt([]byte(fmt.Sprintf("%d\n", os.Getpid())), 0)
+	}
+	return f, nil
+}
+
+// Close releases the store's owner lock. The store must not be used
+// afterwards; calling Close more than once (or on a store whose Open
+// failed) is safe.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lock == nil {
+		return nil
+	}
+	lf := s.lock
+	s.lock = nil
+	_ = syscall.Flock(int(lf.Fd()), syscall.LOCK_UN)
+	return lf.Close()
+}

@@ -1,0 +1,78 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestStoreOwnerLock is the concurrent-resume regression test: two
+// stores over the same directory would interleave last-writer-wins
+// manifest writes and silently drop each other's artifacts, so the
+// second Open must fail while the first owner lives, and succeed
+// again once the owner closes.
+func TestStoreOwnerLock(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(1)
+
+	s1 := openTest(t, dir, key)
+	putBytes(t, s1, "blob", []byte("owned"))
+
+	// Second open while the lock is held: refused, naming the owner.
+	_, err := Open(t.Context(), dir, key)
+	if err == nil {
+		t.Fatal("second Open of a live store succeeded")
+	}
+	if !strings.Contains(err.Error(), "owned by another live process") ||
+		!strings.Contains(err.Error(), strconv.Itoa(os.Getpid())) {
+		t.Fatalf("lock error does not name the owner: %v", err)
+	}
+
+	// The owner stamp is diagnostics, not the guard: check it anyway.
+	b, rerr := os.ReadFile(filepath.Join(dir, lockFile))
+	if rerr != nil || strings.TrimSpace(string(b)) != strconv.Itoa(os.Getpid()) {
+		t.Fatalf("LOCK stamp = %q, %v; want this pid", b, rerr)
+	}
+
+	// Close releases ownership; a successor opens and sees the data.
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	s2 := openTest(t, dir, key)
+	defer s2.Close()
+	if got, gerr := getBytes(s2, "blob"); gerr != nil || string(got) != "owned" {
+		t.Fatalf("successor store get: %q, %v", got, gerr)
+	}
+}
+
+// TestFsckIgnoresLockFile: the owner lock is store infrastructure; a
+// leftover LOCK (flocks die with their process) must not show up as
+// an orphan or fail fsck.
+func TestFsckIgnoresLockFile(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testKey(1))
+	putBytes(t, s, "blob", []byte("x"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, lockFile)); err != nil {
+		t.Fatalf("no LOCK file after open/close: %v", err)
+	}
+	res, err := Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() {
+		t.Fatalf("store with LOCK not clean: %+v", res)
+	}
+	for _, o := range res.Orphans {
+		if o == lockFile {
+			t.Fatal("LOCK reported as orphan")
+		}
+	}
+}

@@ -259,3 +259,45 @@ func TestCheckpointKeyChangesInvalidate(t *testing.T) {
 		t.Fatalf("key change not recorded as invalidation: %+v", stats)
 	}
 }
+
+// TestLockedStoreDegradesToUncachedRun: when another live process
+// owns the checkpoint directory, the pipeline must not fail — it
+// degrades to an uncached run, records the skip in the ledger, and
+// still produces the full artifact set.
+func TestLockedStoreDegradesToUncachedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	dir := t.TempDir()
+	// Any key works: the owner lock is taken before key validation,
+	// so the second opener is refused regardless of what it asks for.
+	owner, err := checkpoint.Open(context.Background(), dir, checkpoint.Key{
+		Schema: checkpoint.SchemaVersion,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer owner.Close()
+
+	locked := checkpointScenario(1)
+	locked.CheckpointDir = dir
+	art, err := Run(locked)
+	if err != nil {
+		t.Fatalf("run against a locked store failed instead of degrading: %v", err)
+	}
+	if art.Paths == nil || art.Validation == nil || len(art.Results) != 2 {
+		t.Fatal("degraded run is missing artifacts")
+	}
+	found := false
+	for _, sr := range art.Report.Stages {
+		if sr.Stage == "checkpoint.open" && sr.Status == resilience.StatusSkipped {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no checkpoint.open skip in the ledger: %+v", art.Report.Stages)
+	}
+	if art.Report.Failed() != nil {
+		t.Fatalf("degraded run reports failures: %+v", art.Report.Failed())
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"breval/internal/bias"
 	"breval/internal/checkpoint"
 	"breval/internal/communities"
+	"breval/internal/govern"
 	"breval/internal/inference"
 	"breval/internal/inference/asrank"
 	"breval/internal/inference/features"
@@ -93,6 +94,11 @@ type Scenario struct {
 	// corrupt artifacts are regenerated (corrupt ones after being
 	// quarantined); resume never fails a run.
 	Resume bool
+	// Govern configures the resource governor (see internal/govern):
+	// memory watermarks driving adaptive worker backpressure and
+	// load-shed, plus the heartbeat watchdog. The zero value disables
+	// governance entirely; outputs are bit-identical either way.
+	Govern govern.Config
 }
 
 // DefaultScenario returns the calibrated default run.
@@ -188,8 +194,28 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 	pol := resilience.Policy{Timeout: s.StageTimeout, Retries: s.StageRetries}
 	art := &Artifacts{Scenario: s}
 
+	// Resource governance: when configured, a governor polls the heap
+	// against the scenario's watermarks and supervises worker
+	// heartbeats. Crossing the hard watermark records a StatusShed
+	// ledger entry — the run completes in single-worker mode instead
+	// of dying on OOM — which cmd/breval maps to exit code 8.
+	var gov *govern.Governor
+	if s.Govern.Enabled() {
+		gov = govern.New(s.Govern)
+		gov.OnShed(func() {
+			runner.Record(resilience.StageReport{
+				Stage:  "govern.shed",
+				Status: resilience.StatusShed,
+				Note:   "hard memory watermark crossed: load shed to single-worker mode",
+			})
+		})
+		gov.Start(ctx)
+		ctx = govern.Into(ctx, gov)
+	}
+
 	// Checkpointing is an accelerator, never a dependency: a store
-	// that cannot open degrades to a plain (uncached) run.
+	// that cannot open (including one another live process holds the
+	// owner lock on) degrades to a plain (uncached) run.
 	var store *checkpoint.Store
 	resume := false
 	if s.CheckpointDir != "" {
@@ -200,10 +226,15 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 			st.Recorder = runner
 			store = st
 			resume = s.Resume
+			defer st.Close()
 		}
 	}
 
 	defer func() {
+		// Stop before snapshotting: Stop takes the governor's final
+		// watermark decision, so a shed fired at the last possible
+		// moment still lands in this run's ledger.
+		gov.Stop()
 		art.Report = runner.Report()
 		if store != nil {
 			art.Report.Checkpoint = store.Stats()
@@ -396,15 +427,26 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 	resSlice := make([]*inference.Result, len(algos))
 	errSlice := make([]error, len(algos))
 	subRunners := make([]*resilience.Runner, len(algos))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	// The per-algorithm fan-out takes its permits from the governor's
+	// shared limiter when one is active, so memory pressure thins the
+	// concurrent algorithms exactly like the propagation and feature
+	// workers; without a governor a fixed GOMAXPROCS-sized limiter
+	// preserves the old bound.
+	lim := govern.From(ctx).Limiter()
+	if lim == nil {
+		lim = govern.NewLimiter(runtime.GOMAXPROCS(0))
+	}
 	var wg sync.WaitGroup
 	for i := range instances {
 		subRunners[i] = resilience.NewRunner()
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			if err := lim.Acquire(ctx); err != nil {
+				errSlice[i] = err
+				return
+			}
+			defer lim.Release()
 			sub := subRunners[i]
 			stage := "infer." + algos[i]
 			if store != nil && resume {
@@ -478,7 +520,12 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 				return cones{}, nil
 			}
 			g := graphFromResult(coneSrc)
-			sizes := g.ConeSizes()
+			// Context-aware: the cone walk is a long pure loop; a
+			// watchdog or deadline cancel must be able to stop it.
+			sizes, err := g.ConeSizesContext(ctx)
+			if err != nil {
+				return cones{}, err
+			}
 			return cones{sizes, bias.NewTopoClassifier(sizes, world.Clique, world.Hypergiants)}, nil
 		})
 	switch {

@@ -1,0 +1,426 @@
+// Package chaos is the deterministic chaos/soak harness: it composes
+// the pipeline's existing fault-injection sites (crash-exit at
+// checkpoint boundaries, panics and transient errors inside stages,
+// memory-pressure inflation at the governor's sampling site) into
+// seeded, reproducible fault storms, runs the pipeline through each
+// storm with a supervisor-style restart loop, and asserts that the
+// final artifacts are byte-identical to a fault-free run.
+//
+// The determinism contract it verifies is the repo's strongest
+// invariant: crashes, retries, degraded attempts, load-shed and any
+// permit level may change *pacing* and *which attempt* produced an
+// artifact, but never a single byte of the artifacts themselves.
+package chaos
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"breval/internal/checkpoint"
+	"breval/internal/core"
+	"breval/internal/govern"
+	"breval/internal/resilience"
+	"breval/internal/wire"
+)
+
+// Kind is the behaviour of one scheduled fault event.
+type Kind string
+
+// Event kinds. Crash simulates a kill -9 at a checkpoint boundary
+// (the run aborts, durable artifacts survive); panic and error hit a
+// stage or worker site once; the pressure kinds inflate the
+// governor's memory sample past the soft/hard watermark, driving
+// backpressure and load-shed without allocating anything.
+const (
+	KindCrash        Kind = "crash"
+	KindPanic        Kind = "panic"
+	KindError        Kind = "error"
+	KindPressureSoft Kind = "pressure-soft"
+	KindPressureHard Kind = "pressure-hard"
+)
+
+// Event is one scheduled fault: a kind at a site, skipping the first
+// After hits and firing at most Times times.
+type Event struct {
+	Site  string `json:"site"`
+	Kind  Kind   `json:"kind"`
+	After int    `json:"after,omitempty"`
+	Times int    `json:"times"`
+}
+
+// String renders the event compactly for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("%s@%s(after=%d,times=%d)", e.Kind, e.Site, e.After, e.Times)
+}
+
+// Schedule is one seeded fault storm: the events a single soak run
+// installs before its first attempt. The same seed always generates
+// the same schedule, so a failing storm reproduces exactly.
+type Schedule struct {
+	Seed   int64   `json:"seed"`
+	Events []Event `json:"events"`
+}
+
+// String renders the schedule compactly for logs.
+func (s Schedule) String() string {
+	out := fmt.Sprintf("seed=%d", s.Seed)
+	for _, e := range s.Events {
+		out += " " + e.String()
+	}
+	return out
+}
+
+// rng is splitmix64 — the same generator resilience.PickSite uses, so
+// schedules are reproducible across platforms and Go versions (unlike
+// math/rand, whose stream is not part of the compatibility promise).
+type rng uint64
+
+func (r *rng) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// sitePools returns the crash-site pool (checkpoint boundaries, where
+// a kill leaves durable artifacts behind) and the stage/worker-site
+// pool (where panics and transient errors exercise retry, restart and
+// degradation paths), for a run over the given algorithms.
+func sitePools(algos []string) (crash, stage []string) {
+	crash = []string{
+		"checkpoint.saved.world",
+		"checkpoint.saved.paths",
+		"checkpoint.saved.validation.raw",
+		"checkpoint.saved.validation.clean",
+	}
+	stage = []string{
+		"bgp.propagate",
+		"features.compute",
+		"features.compute.worker",
+		"validation.extract",
+		"validation.clean",
+		"rpsl.generate",
+		"cones.build",
+	}
+	for _, a := range algos {
+		crash = append(crash, "checkpoint.saved."+checkpoint.ArtifactRel(a))
+		stage = append(stage, "infer."+a)
+	}
+	return crash, stage
+}
+
+// Generate derives a fault schedule from a seed: 2–4 events drawn
+// from the crash/stage site pools plus at most one pressure event at
+// the governor's sampling site. Each site carries at most one fault
+// (the injection registry replaces, it does not stack).
+func Generate(seed int64, algos []string) Schedule {
+	r := rng(seed)
+	crashSites, stageSites := sitePools(algos)
+	sc := Schedule{Seed: seed}
+	used := map[string]bool{}
+	want := 2 + r.intn(3)
+	for tries := 0; len(sc.Events) < want && tries < 64; tries++ {
+		var e Event
+		switch roll := r.intn(100); {
+		case roll < 30:
+			e = Event{Site: crashSites[r.intn(len(crashSites))], Kind: KindCrash, Times: 1}
+		case roll < 50:
+			e = Event{Site: stageSites[r.intn(len(stageSites))], Kind: KindPanic,
+				After: r.intn(3), Times: 1}
+		case roll < 75:
+			e = Event{Site: stageSites[r.intn(len(stageSites))], Kind: KindError,
+				After: r.intn(3), Times: 1}
+		case roll < 90:
+			e = Event{Site: govern.PressureSite, Kind: KindPressureSoft,
+				After: r.intn(2), Times: 2 + r.intn(3)}
+		default:
+			e = Event{Site: govern.PressureSite, Kind: KindPressureHard,
+				After: r.intn(2), Times: 1}
+		}
+		if used[e.Site] {
+			continue
+		}
+		used[e.Site] = true
+		sc.Events = append(sc.Events, e)
+	}
+	return sc
+}
+
+// Install registers the schedule's events with the fault registry.
+// Pressure events inflate the governor's memory sample by the
+// corresponding watermark from gc, so they cross it regardless of the
+// real heap size. The caller owns clearing previous faults.
+func (s Schedule) Install(gc govern.Config) {
+	for _, e := range s.Events {
+		switch e.Kind {
+		case KindCrash:
+			resilience.InjectAt(e.Site, resilience.Fault{
+				Kind: resilience.KindCrash, After: e.After, Times: e.Times})
+		case KindPanic:
+			resilience.InjectAt(e.Site, resilience.Fault{
+				Kind: resilience.KindPanic, After: e.After, Times: e.Times,
+				Panic: fmt.Sprintf("chaos: injected panic (seed %d)", s.Seed)})
+		case KindError:
+			resilience.InjectAt(e.Site, resilience.Fault{
+				Kind: resilience.KindError, After: e.After, Times: e.Times,
+				Err: fmt.Errorf("chaos: injected error (seed %d)", s.Seed)})
+		case KindPressureSoft:
+			d := gc.SoftBytes
+			resilience.InjectAt(e.Site, resilience.Fault{
+				Kind: resilience.KindCorrupt, After: e.After, Times: e.Times,
+				Corrupt: func(v any) any { return v.(int64) + d }})
+		case KindPressureHard:
+			d := gc.HardBytes
+			resilience.InjectAt(e.Site, resilience.Fault{
+				Kind: resilience.KindCorrupt, After: e.After, Times: e.Times,
+				Corrupt: func(v any) any { return v.(int64) + d }})
+		}
+	}
+}
+
+// DigestArtifacts hashes a run's durable artifacts — the propagated
+// path set, both validation snapshots and every inference result, in
+// deterministic order, through the same codecs the checkpoint store
+// persists them with — into one hex digest. Two runs produced the
+// same results iff their digests match.
+func DigestArtifacts(art *core.Artifacts) (string, error) {
+	if art == nil || art.Paths == nil || art.RawValidation == nil || art.Validation == nil {
+		return "", errors.New("chaos: digest: artifacts incomplete")
+	}
+	h := sha256.New()
+	w := bufio.NewWriter(h)
+	section := func(name string) { _, _ = io.WriteString(w, name+"\n") }
+	section("paths")
+	if err := wire.WriteRIB(w, art.Paths, 0); err != nil {
+		return "", fmt.Errorf("chaos: digest paths: %w", err)
+	}
+	section("validation.raw")
+	if _, err := art.RawValidation.WriteTo(w); err != nil {
+		return "", fmt.Errorf("chaos: digest raw snapshot: %w", err)
+	}
+	section("validation.clean")
+	if _, err := art.Validation.WriteTo(w); err != nil {
+		return "", fmt.Errorf("chaos: digest clean snapshot: %w", err)
+	}
+	names := make([]string, 0, len(art.Results))
+	for n := range art.Results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		section("rel." + n)
+		if err := checkpoint.EncodeResult(w, art.Results[n]); err != nil {
+			return "", fmt.Errorf("chaos: digest %s: %w", n, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Config configures a soak.
+type Config struct {
+	// Seed drives schedule generation; run i uses Seed+i, so a soak is
+	// Runs distinct but individually reproducible storms.
+	Seed int64
+	// Runs is how many storms to run.
+	Runs int
+	// MaxRestarts bounds the supervisor restart loop per storm; 0
+	// selects 8 (a schedule holds at most 4 single-shot events, each
+	// costing at most one attempt).
+	MaxRestarts int
+	// Scenario is the run under test. CheckpointDir/Resume are managed
+	// by the soak; StageRetries is raised to at least 1 so transient
+	// errors exercise the retry path; a disabled Govern gets huge
+	// watermarks (only injected pressure can cross them) and a fast
+	// poll so pressure events land within short runs.
+	Scenario core.Scenario
+	// Dir is the base directory for the per-storm checkpoint stores.
+	Dir string
+	// Log, when set, receives per-attempt progress lines.
+	Log io.Writer
+}
+
+// RunResult is one storm's outcome.
+type RunResult struct {
+	Run      int      `json:"run"`
+	Seed     int64    `json:"seed"`
+	Schedule Schedule `json:"schedule"`
+	// Attempts is how many pipeline runs the restart loop needed
+	// (1 = the storm never forced a restart).
+	Attempts int `json:"attempts"`
+	// Crashes counts injected crash-exits intercepted during the storm.
+	Crashes int `json:"crashes"`
+	// Shed reports whether any attempt crossed the hard watermark.
+	Shed   bool   `json:"shed"`
+	Digest string `json:"digest"`
+	// Match is the verdict: the recovered digest equals the baseline.
+	Match bool `json:"match"`
+}
+
+// Report is a full soak outcome.
+type Report struct {
+	BaselineDigest string      `json:"baseline_digest"`
+	Runs           []RunResult `json:"runs"`
+}
+
+// OK reports whether every storm recovered to the baseline digest.
+func (r *Report) OK() bool {
+	for _, rr := range r.Runs {
+		if !rr.Match {
+			return false
+		}
+	}
+	return len(r.Runs) > 0
+}
+
+// Soak runs the scenario once fault-free to establish the baseline
+// digest, then Runs times under generated fault storms. Each storm is
+// driven like a process supervisor would: install the schedule, run;
+// when the attempt crashes, fails or degrades, restart with
+// Resume=true over the same checkpoint store until the run completes
+// clean (or MaxRestarts is exhausted, which fails the soak). The
+// recovered artifacts are digested and compared to the baseline.
+//
+// Crash faults are intercepted in-process: resilience.CrashExit is
+// swapped for a recorder for the duration, so an injected kill aborts
+// the run through the typed StageError path — leaving durable
+// checkpoint state behind exactly like a real kill — without taking
+// the soak process down. Soak owns the fault registry and the
+// CrashExit hook while it runs; it must not race other injection
+// users.
+func Soak(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.Runs <= 0 {
+		return nil, errors.New("chaos: soak needs Runs > 0")
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("chaos: soak needs a checkpoint base dir")
+	}
+	if cfg.MaxRestarts <= 0 {
+		cfg.MaxRestarts = 8
+	}
+	sc := cfg.Scenario
+	if sc.StageRetries < 1 {
+		sc.StageRetries = 1
+	}
+	if !sc.Govern.Enabled() {
+		sc.Govern = govern.Config{
+			SoftBytes: 1 << 40,
+			HardBytes: 1 << 42,
+			Poll:      time.Millisecond,
+		}
+	}
+	logf := func(format string, args ...any) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, format+"\n", args...)
+		}
+	}
+
+	// Intercept injected crash-exits for the whole soak.
+	var crashCount atomic.Int64
+	prevExit := resilience.CrashExit
+	resilience.CrashExit = func(int) { crashCount.Add(1) }
+	defer func() { resilience.CrashExit = prevExit }()
+	resilience.ClearFaults()
+	defer resilience.ClearFaults()
+
+	base := sc
+	base.CheckpointDir = ""
+	base.Resume = false
+	art, err := core.RunContext(ctx, base)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: baseline run failed: %w", err)
+	}
+	if len(art.Degraded) > 0 {
+		return nil, fmt.Errorf("chaos: baseline run degraded: %v", art.Degraded)
+	}
+	baseline, err := DigestArtifacts(art)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{BaselineDigest: baseline}
+	logf("chaos: baseline digest %s", baseline[:16])
+
+	for i := 0; i < cfg.Runs; i++ {
+		seed := cfg.Seed + int64(i)
+		storm := Generate(seed, algosOf(sc))
+		rr := RunResult{Run: i, Seed: seed, Schedule: storm}
+		dir := filepath.Join(cfg.Dir, fmt.Sprintf("run%03d", i))
+		before := crashCount.Load()
+		logf("chaos: run %d: %s", i, storm)
+
+		resilience.ClearFaults()
+		storm.Install(sc.Govern)
+		for a := 0; a < cfg.MaxRestarts; a++ {
+			rr.Attempts++
+			run := sc
+			run.CheckpointDir = dir
+			run.Resume = a > 0
+			art, rerr := core.RunContext(ctx, run)
+			if ctx.Err() != nil {
+				return rep, ctx.Err()
+			}
+			if art != nil && art.Report != nil {
+				for _, st := range art.Report.Stages {
+					if st.Status == resilience.StatusShed {
+						rr.Shed = true
+					}
+				}
+			}
+			if rerr == nil && len(art.Degraded) == 0 {
+				d, derr := DigestArtifacts(art)
+				if derr != nil {
+					return rep, fmt.Errorf("chaos: run %d: %w", i, derr)
+				}
+				rr.Digest = d
+				break
+			}
+			logf("chaos: run %d attempt %d: err=%v degraded=%v", i, rr.Attempts, rerr, degradedOf(art))
+		}
+		resilience.ClearFaults()
+		rr.Crashes = int(crashCount.Load() - before)
+		if rr.Digest == "" {
+			return rep, fmt.Errorf("chaos: run %d did not recover within %d attempts (%s)",
+				i, cfg.MaxRestarts, storm)
+		}
+		rr.Match = rr.Digest == rep.BaselineDigest
+		rep.Runs = append(rep.Runs, rr)
+		logf("chaos: run %d recovered in %d attempt(s), crashes=%d shed=%v match=%v",
+			i, rr.Attempts, rr.Crashes, rr.Shed, rr.Match)
+		if !rr.Match {
+			return rep, fmt.Errorf("chaos: run %d digest %s != baseline %s (%s)",
+				i, rr.Digest[:16], rep.BaselineDigest[:16], storm)
+		}
+	}
+	return rep, nil
+}
+
+// algosOf resolves the scenario's algorithm list (nil = all four).
+func algosOf(sc core.Scenario) []string {
+	if sc.Algorithms != nil {
+		return sc.Algorithms
+	}
+	return []string{core.AlgoASRank, core.AlgoProbLink, core.AlgoTopoScope, core.AlgoGao}
+}
+
+// degradedOf is a nil-safe accessor for logging.
+func degradedOf(art *core.Artifacts) []string {
+	if art == nil {
+		return nil
+	}
+	return art.Degraded
+}

@@ -1,0 +1,321 @@
+// Package govern is the pipeline's resource-governance layer: a
+// memory governor with soft/hard watermarks driving an adaptive
+// concurrency limiter, and a heartbeat watchdog supervising worker
+// pools.
+//
+// The governor polls the heap in a background loop. Crossing the
+// *soft* watermark signals backpressure: the shared Limiter's permit
+// count shrinks (halving per decision, floor 1), so the propagation
+// workers, feature-extraction shards and concurrent inference stages
+// — all of which acquire one permit per unit of work — thin out
+// without restarting. Dropping back under the soft watermark (with
+// hysteresis) grows the limit back one permit per decision. Crossing
+// the *hard* watermark triggers graceful load-shed: the limiter
+// collapses to a single permit for the rest of the run, the OS is
+// asked to reclaim free heap, and the pipeline records a
+// resilience.StatusShed entry — the run completes degraded instead of
+// dying on OOM. Every output is bit-identical at any permit level
+// (the parallel stages merge deterministically), so governor
+// decisions can never change results, only pacing.
+//
+// The watchdog half supervises heartbeats (see watchdog.go): every
+// resilience.Checkpoint site inside supervised work doubles as a
+// beat, and a worker silent past its deadline has its context
+// cancelled with ErrStalled so the resilience bounded-retry policy
+// re-attempts the stage.
+//
+// All entry points are nil-safe: with no governor in the context the
+// instrumented code paths pay a nil check and nothing else. The
+// deterministic chaos/soak harness composing fault injection with
+// pressure events lives in the chaos subpackage; the watermark state
+// machine is documented in docs/resilience.md.
+package govern
+
+import (
+	"context"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"breval/internal/obs"
+	"breval/internal/resilience"
+)
+
+// PressureSite is the data-fault injection site the governor passes
+// every memory sample through: tests and the chaos harness register a
+// KindCorrupt fault there to inflate the observed heap size and force
+// watermark crossings deterministically, without allocating anything.
+const PressureSite = "govern.pressure.sample"
+
+// State is the governor's watermark state.
+type State int32
+
+// Watermark states. Transitions: Nominal ↔ Pressure (soft watermark,
+// with hysteresis) and Nominal/Pressure → Shed (hard watermark,
+// sticky for the rest of the run).
+const (
+	StateNominal State = iota
+	StatePressure
+	StateShed
+)
+
+// String names the state for reports and counters.
+func (s State) String() string {
+	switch s {
+	case StatePressure:
+		return "pressure"
+	case StateShed:
+		return "shed"
+	default:
+		return "nominal"
+	}
+}
+
+// Config configures a Governor. The zero value disables everything.
+type Config struct {
+	// SoftBytes is the backpressure watermark: heap use at or above it
+	// shrinks the limiter. 0 disables pressure adaptation.
+	SoftBytes int64
+	// HardBytes is the load-shed watermark: heap use at or above it
+	// collapses the limiter to one permit for the rest of the run and
+	// fires the shed callback. 0 disables shedding. When set it is
+	// also wired into debug.SetMemoryLimit so the Go runtime GC
+	// defends the same ceiling.
+	HardBytes int64
+	// Poll is the sampling interval; 0 selects 100ms.
+	Poll time.Duration
+	// MaxWorkers is the limiter ceiling; 0 selects GOMAXPROCS.
+	MaxWorkers int
+	// StallTimeout is the default heartbeat deadline for supervised
+	// work; 0 disables the watchdog (Supervise becomes a no-op unless
+	// given an explicit deadline).
+	StallTimeout time.Duration
+	// Sample overrides the memory reading, for tests; nil reads
+	// runtime.ReadMemStats().HeapAlloc. Either way the sample then
+	// passes through the PressureSite data fault.
+	Sample func() int64
+}
+
+// Enabled reports whether the config asks for any governance.
+func (c Config) Enabled() bool {
+	return c.SoftBytes > 0 || c.HardBytes > 0 || c.StallTimeout > 0
+}
+
+// Governor owns the limiter, the watermark state machine and the
+// watchdog monitor, and runs the polling loop.
+type Governor struct {
+	cfg Config
+	lim *Limiter
+	mon *monitor
+	col *obs.Collector
+
+	state    atomic.Int32
+	decision atomic.Int64 // total watermark decisions, for tests
+
+	onShed   func()
+	shedOnce sync.Once
+
+	stop     chan struct{}
+	done     chan struct{}
+	prevMem  int64
+	stopOnce sync.Once
+}
+
+// New builds a governor from cfg. Start must be called to launch the
+// polling loop.
+func New(cfg Config) *Governor {
+	if cfg.Poll <= 0 {
+		cfg.Poll = 100 * time.Millisecond
+	}
+	if cfg.MaxWorkers <= 0 {
+		cfg.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Sample == nil {
+		cfg.Sample = heapSample
+	}
+	return &Governor{
+		cfg:  cfg,
+		lim:  NewLimiter(cfg.MaxWorkers),
+		mon:  newMonitor(),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+func heapSample() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// Limiter returns the shared permit pool; nil on a nil governor, which
+// Limiter methods treat as "no limit".
+func (g *Governor) Limiter() *Limiter {
+	if g == nil {
+		return nil
+	}
+	return g.lim
+}
+
+// State returns the current watermark state.
+func (g *Governor) State() State {
+	if g == nil {
+		return StateNominal
+	}
+	return State(g.state.Load())
+}
+
+// Shed reports whether the hard watermark fired.
+func (g *Governor) Shed() bool { return g.State() == StateShed }
+
+// Decisions returns the number of watermark decisions taken so far.
+func (g *Governor) Decisions() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.decision.Load()
+}
+
+// OnShed registers fn to run exactly once when the hard watermark
+// fires. Must be set before Start.
+func (g *Governor) OnShed(fn func()) { g.onShed = fn }
+
+// Start launches the polling loop. The collector (for the govern.*
+// counters) is taken from ctx. When HardBytes is set the Go runtime's
+// own soft memory limit is raised to it, so the GC defends the same
+// ceiling the governor sheds at; Stop restores the previous limit.
+func (g *Governor) Start(ctx context.Context) {
+	if g == nil {
+		return
+	}
+	g.col = obs.From(ctx)
+	g.col.SetGauge("govern.limit", float64(g.lim.Limit()))
+	if g.cfg.HardBytes > 0 {
+		g.prevMem = debug.SetMemoryLimit(g.cfg.HardBytes)
+	}
+	go func() {
+		defer close(g.done)
+		t := time.NewTicker(g.cfg.Poll)
+		defer t.Stop()
+		for {
+			select {
+			case <-g.stop:
+				return
+			case <-t.C:
+				g.step(time.Now())
+			}
+		}
+	}()
+}
+
+// Stop terminates the polling loop, takes one final governance
+// decision, and restores the runtime memory limit. Safe to call more
+// than once and on a nil governor.
+//
+// The final step guarantees every governed run makes at least one
+// watermark decision before its ledger closes: a short CPU-saturated
+// run can starve the polling goroutine so badly that the first tick
+// lands only as the run ends, and an injected hard-watermark crossing
+// (tests, -inject-pressure, the chaos harness) must still surface
+// deterministically as a StatusShed entry rather than depending on
+// scheduler luck. Callers therefore Stop the governor before they
+// snapshot the run report.
+func (g *Governor) Stop() {
+	if g == nil {
+		return
+	}
+	g.stopOnce.Do(func() {
+		close(g.stop)
+		<-g.done
+		g.step(time.Now())
+		if g.cfg.HardBytes > 0 {
+			debug.SetMemoryLimit(g.prevMem)
+		}
+	})
+}
+
+// recoverFactor is the hysteresis band: the limit only grows back once
+// heap use drops below 90% of the soft watermark, so a heap hovering
+// at the watermark does not make the limit oscillate every poll.
+const recoverFactor = 0.9
+
+// step takes one governance decision from one memory sample. Split
+// out (and driven directly by tests) so the state machine is
+// verifiable without timing.
+func (g *Governor) step(now time.Time) {
+	// A stalled worker's cancellation surfaces in the RunReport through
+	// the failing stage itself (ErrStalled); the counter records the
+	// governor's side of the decision.
+	for range g.mon.scan(now) {
+		g.col.Add("govern.watchdog.stalls", 1)
+	}
+
+	sample := resilience.CorruptAt(PressureSite, g.cfg.Sample())
+	g.col.SetGauge("govern.heap_bytes", float64(sample))
+
+	switch {
+	case g.cfg.HardBytes > 0 && sample >= g.cfg.HardBytes:
+		g.decision.Add(1)
+		g.shed()
+	case g.cfg.SoftBytes > 0 && sample >= g.cfg.SoftBytes:
+		g.decision.Add(1)
+		if g.State() == StateShed {
+			return
+		}
+		g.state.Store(int32(StatePressure))
+		old := g.lim.Limit()
+		g.lim.SetLimit(old / 2)
+		if cur := g.lim.Limit(); cur != old {
+			g.col.Add("govern.soft_watermark", 1)
+			g.col.SetGauge("govern.limit", float64(cur))
+		}
+	case g.cfg.SoftBytes > 0 && g.State() == StatePressure &&
+		float64(sample) < float64(g.cfg.SoftBytes)*recoverFactor:
+		g.decision.Add(1)
+		old := g.lim.Limit()
+		g.lim.SetLimit(old + 1)
+		cur := g.lim.Limit()
+		if cur != old {
+			g.col.Add("govern.recover", 1)
+			g.col.SetGauge("govern.limit", float64(cur))
+		}
+		if cur == g.lim.Max() {
+			g.state.Store(int32(StateNominal))
+		}
+	}
+}
+
+// shed is the hard-watermark action: single-permit mode for the rest
+// of the run, an attempt to hand free heap back to the OS, and the
+// one-shot shed callback (the pipeline uses it to checkpoint its
+// ledger entry). Sticky: once shed, the governor never grows the
+// limit again — a run that hit the hard watermark stays conservative.
+func (g *Governor) shed() {
+	g.state.Store(int32(StateShed))
+	g.lim.SetLimit(1)
+	g.col.SetGauge("govern.limit", 1)
+	g.shedOnce.Do(func() {
+		g.col.Add("govern.hard_watermark", 1)
+		debug.FreeOSMemory()
+		if g.onShed != nil {
+			g.onShed()
+		}
+	})
+}
+
+// ctxKey carries the governor in a context.
+type ctxKey struct{}
+
+// Into returns a context carrying g.
+func Into(ctx context.Context, g *Governor) context.Context {
+	return context.WithValue(ctx, ctxKey{}, g)
+}
+
+// From returns the context's governor, or nil. All Governor and
+// Limiter methods are nil-safe, so callers never branch.
+func From(ctx context.Context) *Governor {
+	g, _ := ctx.Value(ctxKey{}).(*Governor)
+	return g
+}

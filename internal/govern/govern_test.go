@@ -1,0 +1,391 @@
+package govern
+
+import (
+	"context"
+	"errors"
+	"runtime/debug"
+	"sync"
+	"testing"
+	"time"
+
+	"breval/internal/resilience"
+)
+
+func TestLimiterBasics(t *testing.T) {
+	l := NewLimiter(2)
+	if l.Limit() != 2 || l.Max() != 2 || l.InUse() != 0 {
+		t.Fatalf("fresh limiter: limit=%d max=%d inUse=%d", l.Limit(), l.Max(), l.InUse())
+	}
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !l.TryAcquire() {
+		t.Fatal("second permit refused below the limit")
+	}
+	if l.TryAcquire() {
+		t.Fatal("third permit granted above the limit")
+	}
+	l.Release()
+	if !l.TryAcquire() {
+		t.Fatal("released permit not reusable")
+	}
+	l.Release()
+	l.Release()
+	if l.InUse() != 0 {
+		t.Fatalf("inUse = %d after releasing everything", l.InUse())
+	}
+}
+
+func TestLimiterNilIsUnlimited(t *testing.T) {
+	var l *Limiter
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !l.TryAcquire() {
+		t.Fatal("nil limiter refused a permit")
+	}
+	l.Release()
+	l.SetLimit(1)
+	if l.Limit() != 0 || l.Max() != 0 || l.InUse() != 0 {
+		t.Fatal("nil limiter reports non-zero stats")
+	}
+}
+
+func TestLimiterOverReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire did not panic")
+		}
+	}()
+	NewLimiter(1).Release()
+}
+
+func TestLimiterAcquireHonoursCancel(t *testing.T) {
+	l := NewLimiter(1)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := l.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestLimiterRaiseWakesWaiters: a blocked Acquire proceeds as soon as
+// SetLimit raises the limit, without any Release happening.
+func TestLimiterRaiseWakesWaiters(t *testing.T) {
+	l := NewLimiter(2)
+	l.SetLimit(1)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		got <- l.Acquire(context.Background())
+	}()
+	// The goroutine must be blocked: limit is 1 and the permit is held.
+	select {
+	case err := <-got:
+		t.Fatalf("Acquire returned (%v) while at the limit", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.SetLimit(2)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("raising the limit did not wake the blocked Acquire")
+	}
+	wg.Wait()
+}
+
+// TestLimiterSetLimitClamps: the limit never leaves [1, max].
+func TestLimiterSetLimitClamps(t *testing.T) {
+	l := NewLimiter(4)
+	l.SetLimit(0)
+	if l.Limit() != 1 {
+		t.Fatalf("limit = %d, want floor 1", l.Limit())
+	}
+	l.SetLimit(99)
+	if l.Limit() != 4 {
+		t.Fatalf("limit = %d, want ceiling 4", l.Limit())
+	}
+}
+
+// governorAt builds an un-started governor whose memory sample is the
+// test's to control; step is driven directly so the state machine is
+// tested without timing.
+func governorAt(sample *int64, soft, hard int64, workers int) *Governor {
+	return New(Config{
+		SoftBytes:  soft,
+		HardBytes:  hard,
+		MaxWorkers: workers,
+		Sample:     func() int64 { return *sample },
+	})
+}
+
+// TestGovernorBackpressureProperty is the governor property test:
+// under sustained pressure the limit shrinks monotonically to the
+// floor; after release it grows monotonically back to the ceiling and
+// the state returns to nominal.
+func TestGovernorBackpressureProperty(t *testing.T) {
+	sample := int64(50)
+	g := governorAt(&sample, 100, 0, 8)
+	now := time.Now()
+
+	g.step(now)
+	if g.State() != StateNominal || g.lim.Limit() != 8 {
+		t.Fatalf("below watermark: state=%v limit=%d", g.State(), g.lim.Limit())
+	}
+
+	sample = 150
+	prev := g.lim.Limit()
+	for i := 0; i < 10; i++ {
+		g.step(now)
+		cur := g.lim.Limit()
+		if cur > prev {
+			t.Fatalf("limit grew under pressure: %d -> %d", prev, cur)
+		}
+		prev = cur
+	}
+	if g.State() != StatePressure {
+		t.Fatalf("state = %v under pressure, want pressure", g.State())
+	}
+	if prev != 1 {
+		t.Fatalf("limit = %d after sustained pressure, want floor 1", prev)
+	}
+
+	// Recovery needs the sample below the hysteresis band (90% of soft).
+	sample = 95
+	g.step(now)
+	if g.lim.Limit() != 1 {
+		t.Fatalf("limit grew inside the hysteresis band: %d", g.lim.Limit())
+	}
+	sample = 50
+	for i := 0; i < 20; i++ {
+		g.step(now)
+		cur := g.lim.Limit()
+		if cur < prev {
+			t.Fatalf("limit shrank during recovery: %d -> %d", prev, cur)
+		}
+		prev = cur
+	}
+	if prev != 8 || g.State() != StateNominal {
+		t.Fatalf("after recovery: limit=%d state=%v, want 8/nominal", prev, g.State())
+	}
+	if g.Decisions() == 0 {
+		t.Fatal("no decisions counted")
+	}
+}
+
+// TestGovernorPressureInjection drives the watermark machine through
+// the PressureSite data fault, the same mechanism the chaos harness
+// and breval's -inject-pressure use: the real sample is tiny, the
+// injected inflation crosses the watermark.
+func TestGovernorPressureInjection(t *testing.T) {
+	defer resilience.ClearFaults()
+	sample := int64(10)
+	g := governorAt(&sample, 1000, 0, 4)
+	resilience.InjectAt(PressureSite, resilience.Fault{
+		Kind:    resilience.KindCorrupt,
+		Times:   1,
+		Corrupt: func(v any) any { return v.(int64) + 2000 },
+	})
+	now := time.Now()
+	g.step(now)
+	if g.State() != StatePressure || g.lim.Limit() != 2 {
+		t.Fatalf("injected pressure: state=%v limit=%d, want pressure/2", g.State(), g.lim.Limit())
+	}
+	// Fault exhausted (Times: 1): the next sample is honest and far
+	// below the hysteresis band, so the limit recovers.
+	g.step(now)
+	if g.lim.Limit() != 3 {
+		t.Fatalf("limit = %d after pressure released, want 3", g.lim.Limit())
+	}
+}
+
+// TestGovernorShedSticky: the hard watermark collapses the limit to
+// one permit, fires the shed callback exactly once, and never grows
+// the limit again — even after the pressure disappears.
+func TestGovernorShedSticky(t *testing.T) {
+	sample := int64(50)
+	g := governorAt(&sample, 100, 200, 8)
+	sheds := 0
+	g.OnShed(func() { sheds++ })
+	now := time.Now()
+
+	sample = 250
+	g.step(now)
+	g.step(now)
+	if g.State() != StateShed || !g.Shed() {
+		t.Fatalf("state = %v after hard watermark, want shed", g.State())
+	}
+	if g.lim.Limit() != 1 {
+		t.Fatalf("limit = %d after shed, want 1", g.lim.Limit())
+	}
+	if sheds != 1 {
+		t.Fatalf("shed callback fired %d times, want exactly 1", sheds)
+	}
+	sample = 10
+	for i := 0; i < 5; i++ {
+		g.step(now)
+	}
+	if g.lim.Limit() != 1 || g.State() != StateShed {
+		t.Fatalf("shed not sticky: limit=%d state=%v", g.lim.Limit(), g.State())
+	}
+}
+
+// TestGovernorRuntimeMemoryLimit: Start wires the hard watermark into
+// the Go runtime's soft memory limit and Stop restores the previous
+// value.
+func TestGovernorRuntimeMemoryLimit(t *testing.T) {
+	before := debug.SetMemoryLimit(-1)
+	defer debug.SetMemoryLimit(before)
+	g := New(Config{HardBytes: 1 << 42, Poll: time.Hour})
+	g.Start(context.Background())
+	if got := debug.SetMemoryLimit(-1); got != 1<<42 {
+		t.Fatalf("runtime memory limit = %d during run, want %d", got, int64(1)<<42)
+	}
+	g.Stop()
+	g.Stop() // idempotent
+	if got := debug.SetMemoryLimit(-1); got != before {
+		t.Fatalf("runtime memory limit = %d after Stop, want restored %d", got, before)
+	}
+}
+
+func TestNilGovernorIsInert(t *testing.T) {
+	var g *Governor
+	g.Start(context.Background())
+	g.Stop()
+	if g.Limiter() != nil || g.State() != StateNominal || g.Shed() || g.Decisions() != 0 {
+		t.Fatal("nil governor is not inert")
+	}
+	if got := From(context.Background()); got != nil {
+		t.Fatalf("From(empty ctx) = %v, want nil", got)
+	}
+}
+
+// TestSuperviseStall: a supervised worker that stops beating has its
+// context cancelled with ErrStalled, and Resolve maps the
+// cancellation-shaped error the worker observed into a retryable
+// ErrStalled wrapper.
+func TestSuperviseStall(t *testing.T) {
+	g := New(Config{StallTimeout: time.Millisecond})
+	ctx := Into(context.Background(), g)
+	sctx, hb := Supervise(ctx, "worker", 0)
+	if hb == nil {
+		t.Fatal("Supervise returned no heartbeat despite StallTimeout")
+	}
+	defer hb.Stop()
+
+	// Scan from one hour in the future: the deadline has long passed.
+	stalled := g.mon.scan(time.Now().Add(time.Hour))
+	if len(stalled) != 1 || stalled[0] != "worker" {
+		t.Fatalf("scan = %v, want [worker]", stalled)
+	}
+	if sctx.Err() == nil {
+		t.Fatal("stalled context not cancelled")
+	}
+	if cause := context.Cause(sctx); !errors.Is(cause, ErrStalled) {
+		t.Fatalf("cause = %v, want ErrStalled", cause)
+	}
+	if !hb.Stalled() {
+		t.Fatal("heartbeat does not report the stall")
+	}
+	resolved := hb.Resolve(sctx.Err())
+	if !errors.Is(resolved, ErrStalled) {
+		t.Fatalf("Resolve = %v, want ErrStalled wrapper", resolved)
+	}
+	if errors.Is(resolved, context.Canceled) {
+		t.Fatal("resolved error still looks like a caller cancel: the retry policy would not re-attempt it")
+	}
+	// One stall is one decision: the heartbeat was deregistered.
+	if again := g.mon.scan(time.Now().Add(2 * time.Hour)); len(again) != 0 {
+		t.Fatalf("second scan re-reported the stall: %v", again)
+	}
+}
+
+// TestSuperviseBeatsKeepWorkerAlive: a beating heartbeat survives the
+// scan, and every resilience.Checkpoint call counts as a beat via the
+// BeatFunc hook.
+func TestSuperviseBeatsKeepWorkerAlive(t *testing.T) {
+	g := New(Config{StallTimeout: time.Hour})
+	ctx := Into(context.Background(), g)
+	sctx, hb := Supervise(ctx, "worker", 0)
+	defer hb.Stop()
+
+	before := hb.last.Load()
+	time.Sleep(time.Millisecond)
+	if err := resilience.Checkpoint(sctx, "some.site"); err != nil {
+		t.Fatal(err)
+	}
+	if hb.last.Load() <= before {
+		t.Fatal("Checkpoint did not beat the supervised heartbeat")
+	}
+	if stalled := g.mon.scan(time.Now()); len(stalled) != 0 {
+		t.Fatalf("live worker reported stalled: %v", stalled)
+	}
+	if sctx.Err() != nil {
+		t.Fatal("live worker's context cancelled")
+	}
+}
+
+// TestSuperviseNoGovernor: without a governor (or with the watchdog
+// disabled) Supervise is a transparent no-op and the nil heartbeat's
+// methods are safe.
+func TestSuperviseNoGovernor(t *testing.T) {
+	ctx := context.Background()
+	sctx, hb := Supervise(ctx, "worker", 0)
+	if sctx != ctx || hb != nil {
+		t.Fatal("Supervise without a governor is not a no-op")
+	}
+	hb.Beat()
+	hb.Stop()
+	if hb.Stalled() {
+		t.Fatal("nil heartbeat stalled")
+	}
+	if err := hb.Resolve(context.Canceled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("nil Resolve rewrote the error: %v", err)
+	}
+
+	g := New(Config{SoftBytes: 100}) // watchdog disabled
+	gctx := Into(ctx, g)
+	if sctx, hb := Supervise(gctx, "worker", 0); sctx != gctx || hb != nil {
+		t.Fatal("Supervise with watchdog disabled is not a no-op")
+	}
+	// An explicit deadline opts in even without a configured timeout.
+	if _, hb := Supervise(gctx, "worker", time.Minute); hb == nil {
+		t.Fatal("explicit deadline did not arm supervision")
+	} else {
+		hb.Stop()
+	}
+}
+
+// BenchmarkLimiterNil measures the ungoverned hot path: worker loops
+// pay one nil check per item when no governor is installed.
+func BenchmarkLimiterNil(b *testing.B) {
+	var l *Limiter
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		_ = l.Acquire(ctx)
+		l.Release()
+	}
+}
+
+// BenchmarkLimiterUncontended measures the governed-but-idle hot
+// path: acquire/release with permits to spare.
+func BenchmarkLimiterUncontended(b *testing.B) {
+	l := NewLimiter(8)
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		_ = l.Acquire(ctx)
+		l.Release()
+	}
+}

@@ -1,0 +1,146 @@
+package govern
+
+import (
+	"context"
+	"sync"
+)
+
+// Limiter is a dynamic concurrency permit pool: a counting semaphore
+// whose capacity can shrink and grow while permits are outstanding.
+// The governor lowers the limit under memory pressure and restores it
+// on recovery; worker pools acquire one permit per unit of work, so
+// their effective fan-out tracks the limit without restarting any
+// worker.
+//
+// Shrinking never revokes an outstanding permit — workers past the new
+// limit simply find Acquire blocking once they release — so a limit
+// change is always safe mid-stage. A nil *Limiter admits immediately:
+// code paths running without a governor pay only the nil check.
+type Limiter struct {
+	mu    sync.Mutex
+	max   int
+	limit int
+	inUse int
+	// wait is closed and replaced whenever a permit frees up or the
+	// limit rises, waking every blocked Acquire to re-check.
+	wait chan struct{}
+}
+
+// NewLimiter returns a limiter admitting up to max concurrent holders
+// (min 1).
+func NewLimiter(max int) *Limiter {
+	if max < 1 {
+		max = 1
+	}
+	return &Limiter{max: max, limit: max, wait: make(chan struct{})}
+}
+
+// Acquire blocks until a permit is free or ctx is done. A nil limiter
+// admits immediately.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	if l == nil {
+		return nil
+	}
+	for {
+		l.mu.Lock()
+		if l.inUse < l.limit {
+			l.inUse++
+			l.mu.Unlock()
+			return nil
+		}
+		ch := l.wait
+		l.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// TryAcquire takes a permit without blocking, reporting whether it
+// got one. A nil limiter admits immediately.
+func (l *Limiter) TryAcquire() bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inUse < l.limit {
+		l.inUse++
+		return true
+	}
+	return false
+}
+
+// Release returns a permit. It is a no-op on a nil limiter; releasing
+// more than was acquired panics.
+func (l *Limiter) Release() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inUse <= 0 {
+		panic("govern: Limiter.Release without Acquire")
+	}
+	l.inUse--
+	l.notifyLocked()
+}
+
+// SetLimit changes the concurrency limit, clamped to [1, max]. Raising
+// it wakes blocked acquirers; lowering it lets outstanding holders
+// drain naturally.
+func (l *Limiter) SetLimit(n int) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	if n > l.max {
+		n = l.max
+	}
+	raised := n > l.limit
+	l.limit = n
+	if raised {
+		l.notifyLocked()
+	}
+}
+
+// Limit returns the current concurrency limit; a nil limiter reports
+// 0 (unlimited).
+func (l *Limiter) Limit() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.limit
+}
+
+// Max returns the limiter's ceiling; 0 for a nil limiter.
+func (l *Limiter) Max() int {
+	if l == nil {
+		return 0
+	}
+	return l.max
+}
+
+// InUse returns the number of outstanding permits.
+func (l *Limiter) InUse() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inUse
+}
+
+// notifyLocked wakes every blocked Acquire. Caller holds mu.
+func (l *Limiter) notifyLocked() {
+	close(l.wait)
+	l.wait = make(chan struct{})
+}

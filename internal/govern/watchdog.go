@@ -1,0 +1,152 @@
+package govern
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"breval/internal/resilience"
+)
+
+// ErrStalled is the cancellation cause the watchdog uses when a
+// supervised worker misses its heartbeat deadline. It deliberately
+// does not wrap context.Canceled: the resilience retry policy treats
+// cancellation as "the caller asked us to stop" and never retries it,
+// whereas a stall is a transient wedge the bounded-retry policy should
+// re-attempt.
+var ErrStalled = errors.New("govern: worker stalled past heartbeat deadline")
+
+// Heartbeat is one supervised unit of work. Workers call Beat inside
+// their loops (every resilience.Checkpoint site beats automatically,
+// see the BeatFunc hook in govern.go); the governor's watchdog cancels
+// the supervised context when beats stop arriving for longer than the
+// deadline. All methods are nil-safe no-ops.
+type Heartbeat struct {
+	name     string
+	deadline time.Duration
+	last     atomic.Int64 // unix nanos of the most recent beat
+	stalled  atomic.Bool
+	cancel   context.CancelCauseFunc
+	mon      *monitor
+}
+
+// Beat records liveness. Safe for concurrent use from many workers.
+func (h *Heartbeat) Beat() {
+	if h == nil {
+		return
+	}
+	h.last.Store(time.Now().UnixNano())
+}
+
+// Stop deregisters the heartbeat from the watchdog. Always call it
+// when the supervised work ends, typically via defer.
+func (h *Heartbeat) Stop() {
+	if h == nil {
+		return
+	}
+	if h.mon != nil {
+		h.mon.remove(h)
+	}
+}
+
+// Stalled reports whether the watchdog cancelled this heartbeat's
+// context for missing its deadline.
+func (h *Heartbeat) Stalled() bool { return h != nil && h.stalled.Load() }
+
+// Resolve maps a supervised stage's error: when the watchdog stalled
+// the work, the cancellation-shaped error the workers observed is
+// replaced with an ErrStalled wrapper so the resilience retry policy
+// re-attempts the stage instead of treating it as a caller cancel.
+func (h *Heartbeat) Resolve(err error) error {
+	if h == nil || err == nil || !h.Stalled() {
+		return err
+	}
+	return fmt.Errorf("%s: %w", h.name, ErrStalled)
+}
+
+// hbKey carries the innermost heartbeat in a context so that every
+// resilience.Checkpoint site inside supervised work beats it.
+type hbKey struct{}
+
+// heartbeatFrom returns the context's heartbeat, or nil.
+func heartbeatFrom(ctx context.Context) *Heartbeat {
+	h, _ := ctx.Value(hbKey{}).(*Heartbeat)
+	return h
+}
+
+// monitor is the watchdog registry: the governor's poll loop scans it
+// and cancels heartbeats whose last beat is older than their deadline.
+type monitor struct {
+	mu  sync.Mutex
+	set map[*Heartbeat]struct{}
+}
+
+func newMonitor() *monitor { return &monitor{set: map[*Heartbeat]struct{}{}} }
+
+func (m *monitor) add(h *Heartbeat) {
+	m.mu.Lock()
+	m.set[h] = struct{}{}
+	m.mu.Unlock()
+}
+
+func (m *monitor) remove(h *Heartbeat) {
+	m.mu.Lock()
+	delete(m.set, h)
+	m.mu.Unlock()
+}
+
+// scan cancels every registered heartbeat whose deadline has passed,
+// returning the names of the stalled ones. A cancelled heartbeat is
+// deregistered: one stall is one decision.
+func (m *monitor) scan(now time.Time) []string {
+	m.mu.Lock()
+	var stalled []*Heartbeat
+	for h := range m.set {
+		if now.UnixNano()-h.last.Load() > int64(h.deadline) {
+			stalled = append(stalled, h)
+			delete(m.set, h)
+		}
+	}
+	m.mu.Unlock()
+	names := make([]string, 0, len(stalled))
+	for _, h := range stalled {
+		h.stalled.Store(true)
+		h.cancel(ErrStalled)
+		names = append(names, h.name)
+	}
+	return names
+}
+
+// Supervise registers a heartbeat named name with the context's
+// governor and returns a derived context the watchdog can cancel. The
+// returned heartbeat must be Stopped when the work completes. With no
+// governor in ctx (or watchdog supervision disabled) it returns ctx
+// unchanged and a nil heartbeat, both safe to use.
+//
+// deadline 0 selects the governor's configured stall timeout.
+func Supervise(ctx context.Context, name string, deadline time.Duration) (context.Context, *Heartbeat) {
+	g := From(ctx)
+	if g == nil || g.cfg.StallTimeout <= 0 && deadline <= 0 {
+		return ctx, nil
+	}
+	if deadline <= 0 {
+		deadline = g.cfg.StallTimeout
+	}
+	cctx, cancel := context.WithCancelCause(ctx)
+	h := &Heartbeat{name: name, deadline: deadline, cancel: cancel, mon: g.mon}
+	h.Beat()
+	g.mon.add(h)
+	return context.WithValue(cctx, hbKey{}, h), h
+}
+
+// init installs the heartbeat hook: every resilience.Checkpoint call
+// inside supervised work doubles as a beat, so stage runners and
+// worker loops publish liveness with no extra call sites.
+func init() {
+	resilience.BeatFunc = func(ctx context.Context) {
+		heartbeatFrom(ctx).Beat()
+	}
+}

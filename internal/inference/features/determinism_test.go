@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"breval/internal/bgp"
+	"breval/internal/govern"
 	"breval/internal/inference"
 	"breval/internal/inference/asrank"
 	"breval/internal/inference/features"
@@ -162,6 +163,32 @@ func TestComputeMatchesLegacyMaps(t *testing.T) {
 	for l, n := range fs.Paths.VPLinkCounts() {
 		if fs.VPCount[l] != n {
 			t.Fatalf("VPLinkCounts[%v] = %d, features %d", l, n, fs.VPCount[l])
+		}
+	}
+}
+
+// TestComputeGovernedPermitLevels is the governor half of the
+// determinism property: a shared govern.Limiter at any permit level —
+// including the single-permit load-shed floor — throttles the feature
+// workers without changing a byte of the output.
+func TestComputeGovernedPermitLevels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world propagation in -short mode")
+	}
+	paths := worldPaths(t, 7)
+	ref := setDigest(computeWithWorkers(t, paths, 4))
+	for _, permits := range []int{1, 2, 3} {
+		g := govern.New(govern.Config{SoftBytes: 1 << 40, MaxWorkers: permits})
+		ctx := govern.Into(context.Background(), g)
+		fs, err := features.ComputeContext(ctx, paths)
+		if err != nil {
+			t.Fatalf("%d permits: %v", permits, err)
+		}
+		if g.Limiter().InUse() != 0 {
+			t.Fatalf("%d permits: %d still held after compute", permits, g.Limiter().InUse())
+		}
+		if got := setDigest(fs); got != ref {
+			t.Fatalf("%d permits: digest %x, ungoverned %x", permits, got, ref)
 		}
 	}
 }

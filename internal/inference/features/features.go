@@ -28,6 +28,7 @@ import (
 	"breval/internal/asgraph"
 	"breval/internal/asn"
 	"breval/internal/bgp"
+	"breval/internal/govern"
 	"breval/internal/intern"
 	"breval/internal/obs"
 	"breval/internal/resilience"
@@ -299,6 +300,14 @@ func runContained(ctx context.Context, stage string, workers, n int, fn func(ctx
 	if workers < 1 {
 		workers = 1
 	}
+	// Governed execution: the stage is supervised (the periodic
+	// resilience.Checkpoint calls inside fn double as heartbeats) and
+	// every work item holds one permit from the shared limiter, so the
+	// shard fan-out adapts to memory pressure. Both are nil no-ops
+	// without a governor.
+	ctx, hb := govern.Supervise(ctx, stage, 0)
+	defer hb.Stop()
+	lim := govern.From(ctx).Limiter()
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var mu sync.Mutex
@@ -330,7 +339,19 @@ func runContained(ctx context.Context, stage string, workers, n int, fn func(ctx
 				if ctx.Err() != nil {
 					return
 				}
-				if err := fn(ctx, i); err != nil {
+				if err := lim.Acquire(ctx); err != nil {
+					fail(err)
+					return
+				}
+				err := func() error {
+					// Release survives a panicking item (the recover
+					// above fires during unwinding, after this defer):
+					// a leaked permit would shrink capacity for the
+					// stage retry.
+					defer lim.Release()
+					return fn(ctx, i)
+				}()
+				if err != nil {
 					fail(err)
 					return
 				}
@@ -339,9 +360,9 @@ func runContained(ctx context.Context, stage string, workers, n int, fn func(ctx
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return firstErr
+		return hb.Resolve(firstErr)
 	}
-	return ctx.Err()
+	return hb.Resolve(ctx.Err())
 }
 
 // ASIDsByTransitDegree returns all observed dense AS IDs sorted by

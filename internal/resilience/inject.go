@@ -120,6 +120,13 @@ func fire(site string, wantCorrupt bool) *Fault {
 	return &f
 }
 
+// BeatFunc, when non-nil, is invoked with the context of every
+// Checkpoint call, making each injection/cancellation site double as
+// a liveness signal. internal/govern installs its heartbeat hook here
+// at init (resilience cannot import govern — that would cycle);
+// nothing else may write it after program start.
+var BeatFunc func(ctx context.Context)
+
 // Checkpoint is a named cancellation and fault-injection point.
 // Production code calls it at stage boundaries and inside worker
 // loops; it returns the context's error when the context is done,
@@ -127,6 +134,9 @@ func fire(site string, wantCorrupt bool) *Fault {
 func Checkpoint(ctx context.Context, site string) error {
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if f := BeatFunc; f != nil {
+		f(ctx)
 	}
 	if activeFaults.Load() == 0 {
 		return nil

@@ -14,11 +14,16 @@ type Status string
 // failed its integrity check and was moved aside (see
 // internal/checkpoint): the run regenerated the data, so the stage is
 // degraded-but-recovered, not failed — it never affects exit codes.
+// StatusShed marks a run the memory governor dropped to single-worker
+// mode after the hard watermark (see internal/govern): every artifact
+// still computes, so no stage failed, but the run was degraded —
+// cmd/breval maps its presence to the dedicated exit code 8.
 const (
 	StatusOK          Status = "ok"
 	StatusFailed      Status = "failed"
 	StatusSkipped     Status = "skipped"
 	StatusQuarantined Status = "quarantined"
+	StatusShed        Status = "shed"
 )
 
 // StageReport is the machine-readable outcome of one stage.

@@ -49,6 +49,16 @@ cmp "$SMOKE/cold.txt" "$SMOKE/resumed.txt" || {
 	exit 1
 }
 
+if [ "${CHECK_SOAK:-0}" = "1" ]; then
+	echo "== chaos soak (5 seeded storms, time-boxed)"
+	# Opt-in: the soak replays seeded fault storms (crashes, panics,
+	# transient errors, memory pressure) through the real binary and
+	# requires byte-identical recovery. `timeout` boxes it so a hung
+	# storm fails the gate instead of wedging CI.
+	timeout 300 "$SMOKE/breval" -soak 5 -chaos-seed 42 \
+		-ases 450 -algos ASRank,Gao >/dev/null
+fi
+
 echo "== bench smoke (1 iteration, cheap substrate benchmarks)"
 # One iteration of the substrate benchmarks keeps the suite compiling
 # and runnable without paying for the full-scale fixture; `make bench`

@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test check bench fsck soak
+.PHONY: build test check bench fsck soak serve
 
 build:
 	go build ./...
@@ -24,6 +24,15 @@ bench:
 soak:
 	go run ./cmd/breval -soak $(or $(SOAK_RUNS),5) -chaos-seed $(or $(CHAOS_SEED),42) \
 		-ases 450 -algos ASRank,Gao
+
+# Run the bias-analysis daemon (see docs/service.md). Override with
+#   make serve ADDR=0.0.0.0:9000 DATA_DIR=/var/lib/brevald MAX_RUNS=4
+# DATA_DIR enables the durable result cache and crash/resume; SIGTERM
+# (Ctrl-C) drains cleanly.
+serve:
+	go run ./cmd/brevald -addr $(or $(ADDR),127.0.0.1:8478) \
+		-data-dir $(or $(DATA_DIR),.brevald-data) \
+		-max-runs $(or $(MAX_RUNS),2)
 
 # Verify a checkpoint store offline (see docs/checkpointing.md):
 #   make fsck CHECKPOINT_DIR=/path/to/store

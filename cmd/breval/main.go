@@ -15,7 +15,13 @@
 //	       [-inject-pressure soft|hard]
 //	       [-soak N] [-chaos-seed N]
 //	       [-report FILE] [-metrics-out FILE]
-//	       [-cpuprofile FILE] [-memprofile FILE]
+//	       [-cpuprofile FILE] [-memprofile FILE] [-version]
+//
+// Run configuration (seed, scale, policy, experiment and algorithm
+// selection, timeouts, checkpointing, memory watermarks) is the shared
+// runconfig surface: cmd/brevald resolves its JSON request bodies
+// through the same package, so equivalent flag and JSON spellings
+// produce identical checkpoint keys and identical output bytes.
 //
 // Without -only every experiment is rendered in paper order.
 //
@@ -85,9 +91,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
+	"time"
 
+	"breval/internal/buildinfo"
 	"breval/internal/checkpoint"
 	"breval/internal/core"
 	"breval/internal/govern"
@@ -95,7 +102,7 @@ import (
 	"breval/internal/hardlinks"
 	"breval/internal/obs"
 	"breval/internal/resilience"
-	"breval/internal/validation"
+	"breval/internal/runconfig"
 )
 
 // errPartial marks a run in which some stages failed but the
@@ -143,23 +150,16 @@ func exitCode(err error) int {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("breval", flag.ContinueOnError)
-	seed := fs.Int64("seed", 1, "world seed")
-	ases := fs.Int("ases", 8000, "number of ASes")
-	policy := fs.String("policy", "ignore", "ambiguous-label policy: ignore, p2p-if-first or always-p2c")
-	only := fs.String("only", "", "comma-separated experiments (fig1,fig2,fig3,tables,fig4-6,fig7-9,clean,case,hard,sources,reclass,evolve,unari,vps,complex); empty = all")
-	algos := fs.String("algos", "", "comma-separated algorithms; empty = all four")
-	minLinks := fs.Int("min-links", 100, "minimum validated links for a table row")
+	// Everything a run's identity or execution depends on lives in the
+	// shared runconfig surface — the same one cmd/brevald resolves JSON
+	// requests through — so equivalent flag and JSON spellings hash to
+	// the same checkpoint key. Only breval-specific modes and output
+	// destinations are declared here.
+	cfg := runconfig.Default()
+	cfg.RegisterFlags(fs)
 	appcOut := fs.String("appendix-c", "", "write the Appendix-C per-link feature vectors (validated links) to this TSV file")
-	timeout := fs.Duration("timeout", 0, "deadline for the whole run (0 = none)")
-	expTimeout := fs.Duration("experiment-timeout", 0, "deadline per pipeline stage and per experiment renderer (0 = none)")
-	retries := fs.Int("stage-retries", 0, "re-attempts for failed retryable stages")
-	ckptDir := fs.String("checkpoint-dir", "", "durable artifact store directory; stage outputs are checkpointed here")
-	resume := fs.Bool("resume", false, "reuse verified artifacts from -checkpoint-dir instead of recomputing")
 	ckptVerify := fs.Bool("checkpoint-verify", false, "fsck the -checkpoint-dir store and exit (nonzero when corrupt or missing)")
 	killAfter := fs.String("kill-after", "", "crash testing: exit 7 right after artifact NAME is durably checkpointed")
-	memSoftMB := fs.Int64("mem-soft-mb", 0, "soft memory watermark in MiB: heap use above it shrinks worker concurrency (0 = off)")
-	memHardMB := fs.Int64("mem-hard-mb", 0, "hard memory watermark in MiB: heap use above it sheds load to single-worker mode and exits 8 (0 = off)")
-	stallTimeout := fs.Duration("stall-timeout", 0, "watchdog heartbeat deadline for supervised workers; stalled workers are cancelled and the stage retried (0 = off)")
 	injectPressure := fs.String("inject-pressure", "", "pressure testing: inflate every governor memory sample past the soft or hard watermark")
 	soakRuns := fs.Int("soak", 0, "run the chaos/soak harness for N seeded fault storms instead of a normal run")
 	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the -soak fault-storm sequence")
@@ -167,15 +167,24 @@ func run(args []string) error {
 	metricsOut := fs.String("metrics-out", "", "enable observability and write the metrics document (spans, counters, memstats) as JSON to this file")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return nil
+	}
+	cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
 		return err
 	}
 
 	if *ckptVerify {
-		if *ckptDir == "" {
+		if cfg.CheckpointDir == "" {
 			return fmt.Errorf("-checkpoint-verify requires -checkpoint-dir")
 		}
-		res, err := checkpoint.Fsck(*ckptDir)
+		res, err := checkpoint.Fsck(cfg.CheckpointDir)
 		if err != nil {
 			return err
 		}
@@ -183,15 +192,12 @@ func run(args []string) error {
 			return err
 		}
 		if !res.Clean() {
-			return fmt.Errorf("checkpoint store %s is not clean", *ckptDir)
+			return fmt.Errorf("checkpoint store %s is not clean", cfg.CheckpointDir)
 		}
 		return nil
 	}
-	if *resume && *ckptDir == "" {
-		return fmt.Errorf("-resume requires -checkpoint-dir")
-	}
 	if *killAfter != "" {
-		if *ckptDir == "" {
+		if cfg.CheckpointDir == "" {
 			return fmt.Errorf("-kill-after requires -checkpoint-dir (a crash without a store saves nothing to resume from)")
 		}
 		resilience.InjectAt("checkpoint.saved."+*killAfter, resilience.Fault{Kind: resilience.KindCrash})
@@ -199,9 +205,9 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if *timeout > 0 {
+	if cfg.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(cfg.Timeout))
 		defer cancel()
 	}
 
@@ -228,39 +234,7 @@ func run(args []string) error {
 		col.SnapshotMemStats("start")
 	}
 
-	s := core.DefaultScenario(*seed)
-	s.NumASes = *ases
-	s.StageTimeout = *expTimeout
-	s.StageRetries = *retries
-	s.CheckpointDir = *ckptDir
-	s.Resume = *resume
-	switch *policy {
-	case "ignore":
-		s.Policy = validation.Ignore
-	case "p2p-if-first":
-		s.Policy = validation.P2PIfFirst
-	case "always-p2c":
-		s.Policy = validation.AlwaysP2C
-	default:
-		return fmt.Errorf("unknown policy %q", *policy)
-	}
-	if *algos != "" {
-		s.Algorithms = strings.Split(*algos, ",")
-	}
-	if *retries < 0 {
-		return fmt.Errorf("-stage-retries must be non-negative (got %d)", *retries)
-	}
-	if *memSoftMB < 0 || *memHardMB < 0 {
-		return fmt.Errorf("memory watermarks must be non-negative")
-	}
-	if *memSoftMB > 0 && *memHardMB > 0 && *memHardMB <= *memSoftMB {
-		return fmt.Errorf("-mem-hard-mb (%d) must exceed -mem-soft-mb (%d)", *memHardMB, *memSoftMB)
-	}
-	s.Govern = govern.Config{
-		SoftBytes:    *memSoftMB << 20,
-		HardBytes:    *memHardMB << 20,
-		StallTimeout: *stallTimeout,
-	}
+	s := cfg.Scenario()
 	switch *injectPressure {
 	case "":
 	case "soft":
@@ -276,19 +250,10 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("-inject-pressure must be soft or hard (got %q)", *injectPressure)
 	}
-	var names []string
-	if *only != "" {
-		for _, exp := range strings.Split(*only, ",") {
-			name := strings.TrimSpace(exp)
-			if !core.KnownExperiment(name) {
-				return fmt.Errorf("unknown experiment %q", name)
-			}
-			names = append(names, name)
-		}
-	}
+	names := cfg.Only
 
 	if *soakRuns > 0 {
-		return runSoak(ctx, s, *chaosSeed, *soakRuns, *ckptDir, *reportOut)
+		return runSoak(ctx, s, *chaosSeed, *soakRuns, cfg.CheckpointDir, *reportOut)
 	}
 
 	fmt.Fprintf(os.Stderr, "breval: generating world (%d ASes, seed %d) and running the pipeline...\n",
@@ -322,17 +287,15 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "breval: wrote Appendix-C features to %s\n", *appcOut)
 	}
 
-	opts := core.RenderOptions{
-		MinLinks:     *minLinks,
-		StageTimeout: *expTimeout,
-		StageRetries: *retries,
-	}
+	// The EvolveMonths=6 rule for named selections lives inside
+	// RenderOptions so the server renders the same bytes for the same
+	// config.
+	opts := cfg.RenderOptions()
 	var renderRep *resilience.RunReport
 	var renderErr error
 	if len(names) == 0 {
 		renderRep, renderErr = art.RenderAllContext(ctx, os.Stdout, opts)
 	} else {
-		opts.EvolveMonths = 6
 		renderRep, renderErr = art.RenderOnlyContext(ctx, os.Stdout, names, opts)
 	}
 	if renderRep != nil {

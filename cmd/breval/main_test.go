@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -14,6 +15,7 @@ import (
 	"breval/internal/checkpoint"
 	"breval/internal/obs"
 	"breval/internal/resilience"
+	"breval/internal/runconfig"
 )
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -464,5 +466,34 @@ func TestSoakFlag(t *testing.T) {
 		"-soak", "1", "-chaos-seed", "42"})
 	if !strings.Contains(out, "soak ok: 1/1 storms") {
 		t.Errorf("soak summary missing:\n%s", out)
+	}
+}
+
+// TestVersionFlag: -version prints the build's identity and runs
+// nothing else.
+func TestVersionFlag(t *testing.T) {
+	out := captureRun(t, []string{"-version"})
+	if !strings.Contains(out, "breval") {
+		t.Errorf("-version output does not name the module: %q", out)
+	}
+}
+
+// TestFlagConfigSharesServerIdentity: the CLI's flag surface resolves
+// through runconfig, so a flag spelling and its JSON equivalent agree
+// on the run's semantic identity (and therefore its checkpoint key).
+func TestFlagConfigSharesServerIdentity(t *testing.T) {
+	fs := flag.NewFlagSet("breval", flag.ContinueOnError)
+	cfg := runconfig.Default()
+	cfg.RegisterFlags(fs)
+	if err := fs.Parse([]string{"-seed", "7", "-ases", "600", "-only", "clean", "-algos", "asrank"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Normalize()
+	jcfg, err := runconfig.ParseJSON([]byte(`{"seed":7,"ases":600,"only":["clean"],"algos":["ASRank"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Hash() != jcfg.Hash() {
+		t.Errorf("flag and JSON spellings disagree on identity:\n  %s\n  %s", cfg.Hash(), jcfg.Hash())
 	}
 }

@@ -1,0 +1,207 @@
+// Command brevald is the bias-analysis daemon: a crash-only HTTP/JSON
+// front end over the same pipeline cmd/breval runs in batch, built for
+// many concurrent, retried, partially-failing queries against one
+// shared memory budget.
+//
+// Usage:
+//
+//	brevald [-addr HOST:PORT] [-data-dir DIR] [-max-runs N]
+//	        [-request-timeout D] [-drain-timeout D]
+//	        [-mem-soft-mb N] [-mem-hard-mb N] [-stall-timeout D]
+//	        [-metrics-out FILE] [-kill-after NAME] [-version]
+//
+// API (see docs/service.md for the full contract):
+//
+//	POST /run      — execute a run described by a JSON runconfig;
+//	                 responds 200 with the rendered output, 429 when
+//	                 admission or the memory governor sheds the
+//	                 request (Retry-After set), 504 with the partial
+//	                 stage report when the deadline expires, 400 on a
+//	                 bad config, 503 while draining.
+//	GET  /healthz  — liveness: 200 while the process serves.
+//	GET  /readyz   — readiness: 503 while draining or shedding.
+//	GET  /metrics  — the server's obs metrics document as JSON.
+//	GET  /version  — module version, VCS revision, go toolchain.
+//
+// Requests are admission-controlled (-max-runs concurrent runs; every
+// run's workers draw from one shared governor permit pool) and
+// deadline-bounded (the smaller of the request's own timeout and
+// -request-timeout). With -data-dir each run checkpoints into a store
+// keyed by its configuration and rendered outputs are cached by config
+// hash, so an identical request — including one replayed after a
+// kill -9 mid-run and restart — is served byte-identically, resuming
+// whatever stage artifacts the killed run saved. Identical in-flight
+// requests coalesce onto one pipeline execution.
+//
+// On SIGTERM/SIGINT the daemon drains: it stops admitting (readyz
+// 503, new runs 503), lets in-flight runs finish — they have been
+// checkpointing at every stage boundary all along — flushes the
+// metrics document (-metrics-out), and exits 0. A drain that outlives
+// -drain-timeout force-cancels the remaining runs and exits 9.
+//
+// Exit codes: 0 clean drain, 1 fatal (bad flags, listen failure), 9
+// drain-timeout (see the server table in docs/resilience.md).
+// -kill-after is the same crash-testing hook as cmd/breval's: the
+// process dies with code 7 as soon as the named artifact is durably
+// checkpointed, standing in for kill -9.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"breval/internal/buildinfo"
+	"breval/internal/govern"
+	"breval/internal/resilience"
+)
+
+// Server exit codes (documented in docs/resilience.md). exitDrainTimeout
+// never aliases the run-mode codes (3, 7, 8): a supervisor reading 9
+// knows in-flight work was abandoned mid-drain, not failed.
+const (
+	exitFatal        = 1
+	exitDrainTimeout = 9
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the daemon lifecycle: flags, listen, serve, drain. Split from
+// main (and signature-stable with the tests) so the exit-code contract
+// is testable without a subprocess for everything.
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("brevald", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8478", "listen address")
+	dataDir := fs.String("data-dir", "", "checkpoint/cache root; empty disables the durable result cache")
+	maxRuns := fs.Int("max-runs", 2, "maximum concurrently admitted runs; excess requests get 429")
+	reqTimeout := fs.Duration("request-timeout", 15*time.Minute, "server-side ceiling on a run's deadline (0 = none)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight runs before force-cancelling and exiting 9")
+	memSoftMB := fs.Int64("mem-soft-mb", 0, "soft memory watermark in MiB shared across all runs (0 = off)")
+	memHardMB := fs.Int64("mem-hard-mb", 0, "hard memory watermark in MiB: crossing sheds new runs with 429 until pressure clears (0 = off)")
+	stallTimeout := fs.Duration("stall-timeout", 0, "watchdog heartbeat deadline for supervised workers (0 = off)")
+	metricsOut := fs.String("metrics-out", "", "write the server's final metrics document as JSON here on drain")
+	killAfter := fs.String("kill-after", "", "crash testing: exit 7 right after artifact NAME is durably checkpointed")
+	version := fs.Bool("version", false, "print version and exit")
+	if err := fs.Parse(args); err != nil {
+		return exitFatal
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.Get())
+		return 0
+	}
+	if *maxRuns < 1 {
+		fmt.Fprintln(stderr, "brevald: -max-runs must be at least 1")
+		return exitFatal
+	}
+	if *memSoftMB < 0 || *memHardMB < 0 {
+		fmt.Fprintln(stderr, "brevald: memory watermarks must be non-negative")
+		return exitFatal
+	}
+	if *memSoftMB > 0 && *memHardMB > 0 && *memHardMB <= *memSoftMB {
+		fmt.Fprintf(stderr, "brevald: -mem-hard-mb (%d) must exceed -mem-soft-mb (%d)\n", *memHardMB, *memSoftMB)
+		return exitFatal
+	}
+	if *killAfter != "" {
+		if *dataDir == "" {
+			fmt.Fprintln(stderr, "brevald: -kill-after requires -data-dir (a crash without a store saves nothing to resume from)")
+			return exitFatal
+		}
+		resilience.InjectAt("checkpoint.saved."+*killAfter, resilience.Fault{Kind: resilience.KindCrash})
+	}
+
+	gcfg := govern.Config{
+		SoftBytes:    *memSoftMB << 20,
+		HardBytes:    *memHardMB << 20,
+		StallTimeout: *stallTimeout,
+	}
+	// Shed recovery needs a soft watermark as its threshold; a
+	// hard-only configuration recovers at half the hard watermark.
+	if gcfg.HardBytes > 0 && gcfg.SoftBytes == 0 {
+		gcfg.SoftBytes = gcfg.HardBytes / 2
+	}
+
+	srv := newServer(serverConfig{
+		dataDir:        *dataDir,
+		maxRuns:        *maxRuns,
+		requestTimeout: *reqTimeout,
+		govern:         gcfg,
+	})
+
+	// Register for drain signals before announcing the listener:
+	// a supervisor that SIGTERMs the instant it sees the address must
+	// hit the drain path, never the default kill action.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "brevald:", err)
+		return exitFatal
+	}
+	httpSrv := &http.Server{Handler: srv.routes()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stderr, "brevald: listening on %s (max-runs %d, data-dir %q)\n",
+		ln.Addr(), *maxRuns, *dataDir)
+	select {
+	case got := <-sig:
+		fmt.Fprintf(stderr, "brevald: %v: draining (stop admitting, finish in-flight runs)\n", got)
+	case err := <-serveErr:
+		// The listener died without a signal: fatal.
+		fmt.Fprintln(stderr, "brevald:", err)
+		srv.stop()
+		return exitFatal
+	}
+
+	// Drain sequence: stop admitting, bound the wait for in-flight
+	// handlers, flush observability, and exit by the documented table.
+	srv.beginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(ctx)
+
+	flushMetrics(srv, *metricsOut, stderr)
+	if shutdownErr != nil {
+		// In-flight runs outlived the drain window: force-cancel them
+		// (their checkpoints up to the last completed stage are already
+		// durable) and report the unclean drain.
+		fmt.Fprintln(stderr, "brevald: drain timeout: force-cancelling in-flight runs")
+		srv.stop()
+		httpSrv.Close()
+		return exitDrainTimeout
+	}
+	srv.stop()
+	fmt.Fprintln(stderr, "brevald: drained cleanly")
+	return 0
+}
+
+// flushMetrics writes the server's final metrics document during
+// drain, if asked for. Best-effort by design: a failed flush must not
+// turn a clean drain into an unclean exit, so it only logs.
+func flushMetrics(srv *server, path string, stderr *os.File) {
+	srv.col.SnapshotMemStats("drain")
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "brevald: flush metrics:", err)
+		return
+	}
+	werr := srv.col.Export().WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintln(stderr, "brevald: flush metrics:", werr)
+	}
+}

@@ -1,0 +1,472 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"breval/internal/buildinfo"
+	"breval/internal/checkpoint"
+	"breval/internal/core"
+	"breval/internal/govern"
+	"breval/internal/obs"
+	"breval/internal/resilience"
+	"breval/internal/runconfig"
+)
+
+// maxRequestBody bounds a /run request body; a config is a few hundred
+// bytes, so anything near the limit is garbage.
+const maxRequestBody = 1 << 20
+
+// serverConfig is brevald's startup configuration (flags only — never
+// request-controlled).
+type serverConfig struct {
+	dataDir        string
+	maxRuns        int
+	requestTimeout time.Duration
+	govern         govern.Config
+}
+
+// server is the bias-analysis daemon: admission control in front of
+// core.RunContext, one shared governor (memory budget + worker-permit
+// pool) across all concurrent runs, a checkpoint-backed result cache
+// keyed by config hash, and coalescing of identical in-flight
+// requests.
+type server struct {
+	cfg serverConfig
+
+	// gov is the single shared governor: injected into every run's
+	// context so all pipelines draw inner-worker permits from one pool
+	// and shed against one memory budget.
+	gov *govern.Governor
+	// admit is the run-admission semaphore. Deliberately a separate
+	// Limiter from the governor's: an admitted run holds an admission
+	// permit for its whole lifetime while its workers acquire and
+	// release governor permits underneath — sharing one pool would
+	// let N admitted runs starve their own workers into deadlock.
+	admit *govern.Limiter
+	// col is the server-lifetime metrics aggregate; per-request
+	// collectors fold into it at request end (see obs.Collector.Fold).
+	col *obs.Collector
+
+	// baseCtx outlives any single request, so a coalesced run is never
+	// killed by its leader's client disconnecting; cancelRuns fires it
+	// only when a drain deadline expires.
+	baseCtx    context.Context
+	cancelRuns context.CancelFunc
+
+	draining atomic.Bool
+
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// flight is one in-progress run, shared by every request whose config
+// hashes the same. The leader computes res then closes done.
+type flight struct {
+	done chan struct{}
+	res  *runResult
+}
+
+// runResult is a finished (or refused) flight: the HTTP status and the
+// response body every rider of the flight replays.
+type runResult struct {
+	code int
+	resp runResponse
+}
+
+// runResponse is the /run response body.
+type runResponse struct {
+	ConfigHash   string                `json:"config_hash,omitempty"`
+	Cached       bool                  `json:"cached,omitempty"`
+	Coalesced    bool                  `json:"coalesced,omitempty"`
+	Shed         bool                  `json:"shed,omitempty"`
+	ElapsedMS    float64               `json:"elapsed_ms,omitempty"`
+	Degraded     []string              `json:"degraded,omitempty"`
+	FailedStages []string              `json:"failed_stages,omitempty"`
+	Output       string                `json:"output,omitempty"`
+	Error        string                `json:"error,omitempty"`
+	Report       *resilience.RunReport `json:"report,omitempty"`
+}
+
+func newServer(cfg serverConfig) *server {
+	if cfg.maxRuns < 1 {
+		cfg.maxRuns = 2
+	}
+	if cfg.govern.MaxWorkers <= 0 {
+		cfg.govern.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	// A server governor must leave the shed state once pressure clears;
+	// sticky shed would turn one bad request into a permanent 429.
+	cfg.govern.ShedRecover = true
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &server{
+		cfg:        cfg,
+		gov:        govern.New(cfg.govern),
+		admit:      govern.NewLimiter(cfg.maxRuns),
+		col:        obs.NewCollector(),
+		baseCtx:    ctx,
+		cancelRuns: cancel,
+		flights:    make(map[string]*flight),
+	}
+	// The governor is created even with no watermarks configured: its
+	// limiter is still the single worker-permit pool every concurrent
+	// run draws from, which is what keeps N admitted runs from running
+	// N × GOMAXPROCS workers.
+	s.gov.Start(obs.Into(ctx, s.col))
+	return s
+}
+
+// routes builds the daemon's handler table.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/version", s.handleVersion)
+	return mux
+}
+
+// beginDrain flips the server to draining: /readyz goes 503 and new
+// /run requests are refused. In-flight runs are untouched — the HTTP
+// shutdown in main waits for them.
+func (s *server) beginDrain() { s.draining.Store(true) }
+
+// stop releases the server's background resources after the listener
+// is down: the governor poll loop and (via baseCtx) any run the drain
+// deadline abandoned.
+func (s *server) stop() {
+	s.cancelRuns()
+	s.gov.Stop()
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	// Liveness only: a draining or shedding server is still alive.
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case s.gov.Shed():
+		http.Error(w, "shedding: hard memory watermark crossed", http.StatusServiceUnavailable)
+	default:
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ready\n")
+	}
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.col.SetGauge("server.admitted_in_use", float64(s.admit.InUse()))
+	s.col.SetGauge("server.worker_limit", float64(s.gov.Limiter().Limit()))
+	doc := s.col.Export()
+	w.Header().Set("Content-Type", "application/json")
+	doc.WriteJSON(w)
+}
+
+func (s *server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(buildinfo.Get())
+}
+
+// handleRun is POST /run: parse → cache → coalesce → admit → execute.
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.col.Add("server.requests", 1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	cfg, err := runconfig.ParseJSON(body)
+	if err != nil {
+		s.col.Add("server.bad_requests", 1)
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	hash := cfg.Hash()
+
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	// Cache first: a finished run's bytes are served even while
+	// shedding or at capacity — reads are cheap and shared.
+	if out, ok := s.cacheGet(r.Context(), cfg, hash); ok {
+		s.col.Add("server.cache_hits", 1)
+		s.writeResult(w, &runResult{code: http.StatusOK, resp: runResponse{
+			ConfigHash: hash, Cached: true, Output: out,
+		}})
+		return
+	}
+
+	// Coalesce: one flight per config hash; riders replay the leader's
+	// result instead of re-running (or re-refusing) the work.
+	s.mu.Lock()
+	if f, ok := s.flights[hash]; ok {
+		s.mu.Unlock()
+		s.col.Add("server.coalesced", 1)
+		select {
+		case <-f.done:
+			res := *f.res
+			res.resp.Coalesced = true
+			s.writeResult(w, &res)
+		case <-r.Context().Done():
+			s.writeError(w, http.StatusGatewayTimeout,
+				"client deadline expired while awaiting a coalesced run")
+		}
+		return
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[hash] = f
+	s.mu.Unlock()
+
+	f.res = s.lead(cfg, hash)
+	s.mu.Lock()
+	delete(s.flights, hash)
+	s.mu.Unlock()
+	close(f.done)
+	s.writeResult(w, f.res)
+}
+
+// lead admits and executes one flight as its leader.
+func (s *server) lead(cfg runconfig.Config, hash string) *runResult {
+	if s.gov.Shed() {
+		s.col.Add("server.shed_refused", 1)
+		return refused(hash, "load shed: hard memory watermark crossed, retry later", "5")
+	}
+	if !s.admit.TryAcquire() {
+		s.col.Add("server.admission_refused", 1)
+		return refused(hash, fmt.Sprintf("server at capacity (%d runs in flight), retry later", s.cfg.maxRuns), "1")
+	}
+	defer s.admit.Release()
+	s.col.Add("server.admitted", 1)
+	return s.execute(cfg, hash)
+}
+
+// refused builds the 429 result; the Retry-After hint rides in the
+// response struct via writeResult.
+func refused(hash, msg, retryAfter string) *runResult {
+	return &runResult{
+		code: http.StatusTooManyRequests,
+		resp: runResponse{ConfigHash: hash, Error: msg + " (retry-after: " + retryAfter + "s)"},
+	}
+}
+
+// execute runs the pipeline and renders the requested experiments.
+// The run context descends from the server's base context — not any
+// request's — with the effective deadline: the smaller of the
+// request's own timeout and the server's -request-timeout ceiling.
+func (s *server) execute(cfg runconfig.Config, hash string) *runResult {
+	start := time.Now()
+	ctx := s.baseCtx
+	if d := effectiveTimeout(time.Duration(cfg.Timeout), s.cfg.requestTimeout); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	// Per-request collector: concurrent runs never interleave span
+	// trees, and the numeric metrics fold into the server aggregate.
+	reqCol := obs.NewCollector()
+	defer s.col.Fold(reqCol)
+	ctx = obs.Into(ctx, reqCol)
+	// The shared governor rides the context; the scenario's own Govern
+	// config stays zero (requests cannot set watermarks), so the
+	// pipeline adopts this one instead of building its own.
+	ctx = govern.Into(ctx, s.gov)
+
+	scen := cfg.Scenario()
+	dir, withStore := s.storePath(scen)
+	if withStore {
+		scen.CheckpointDir = dir
+		scen.Resume = true
+	}
+
+	art, err := core.RunContext(ctx, scen)
+	report := &resilience.RunReport{}
+	if art != nil && art.Report != nil {
+		report = art.Report
+	}
+	if err != nil {
+		return s.failure(ctx, hash, err, report, start)
+	}
+
+	var buf bytes.Buffer
+	opts := cfg.RenderOptions()
+	var renderRep *resilience.RunReport
+	var renderErr error
+	if len(cfg.Only) == 0 {
+		renderRep, renderErr = art.RenderAllContext(ctx, &buf, opts)
+	} else {
+		renderRep, renderErr = art.RenderOnlyContext(ctx, &buf, cfg.Only, opts)
+	}
+	if renderRep != nil {
+		report.Merge(renderRep)
+	}
+	if renderErr != nil {
+		return s.failure(ctx, hash, renderErr, report, start)
+	}
+
+	resp := runResponse{
+		ConfigHash: hash,
+		Shed:       shedIn(report),
+		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
+		Output:     buf.String(),
+	}
+	for _, st := range report.Failed() {
+		resp.FailedStages = append(resp.FailedStages, st.Stage)
+	}
+	if art != nil {
+		resp.Degraded = append(resp.Degraded, art.Degraded...)
+	}
+	s.col.Add("server.completed", 1)
+	s.col.Observe("server.run_ms", int64(time.Since(start)/time.Millisecond))
+	// Cache only clean outputs: a partially-failed render served from
+	// cache would replay a transient failure forever.
+	if withStore && len(resp.FailedStages) == 0 && len(resp.Degraded) == 0 {
+		s.cachePut(hash, scen, buf.Bytes())
+	}
+	return &runResult{code: http.StatusOK, resp: resp}
+}
+
+// failure classifies a failed run: 504 with the partial report on
+// deadline, 503 when the drain deadline abandoned the run, 500
+// otherwise.
+func (s *server) failure(ctx context.Context, hash string, err error, report *resilience.RunReport, start time.Time) *runResult {
+	resp := runResponse{
+		ConfigHash: hash,
+		Error:      err.Error(),
+		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
+		Report:     report,
+	}
+	switch {
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		s.col.Add("server.timeouts", 1)
+		resp.Error = "deadline exceeded: " + resp.Error
+		return &runResult{code: http.StatusGatewayTimeout, resp: resp}
+	case s.baseCtx.Err() != nil:
+		return &runResult{code: http.StatusServiceUnavailable, resp: resp}
+	}
+	s.col.Add("server.failures", 1)
+	return &runResult{code: http.StatusInternalServerError, resp: resp}
+}
+
+// effectiveTimeout returns the smaller nonzero of the two.
+func effectiveTimeout(request, ceiling time.Duration) time.Duration {
+	switch {
+	case request <= 0:
+		return ceiling
+	case ceiling <= 0:
+		return request
+	case request < ceiling:
+		return request
+	}
+	return ceiling
+}
+
+// storePath places a scenario's checkpoint store under the data dir,
+// keyed by the pipeline's own checkpoint identity — so requests that
+// differ only in what they render (only/min-links) share one store of
+// stage artifacts, while different worlds never collide.
+func (s *server) storePath(scen core.Scenario) (string, bool) {
+	if s.cfg.dataDir == "" {
+		return "", false
+	}
+	return filepath.Join(s.cfg.dataDir, "store", core.CheckpointKey(scen).Hash()[:16]), true
+}
+
+// outputArtifact names the rendered-output artifact for a config hash
+// inside the scenario's store.
+func outputArtifact(hash string) string { return "output." + hash[:16] }
+
+// cacheGet serves a previously rendered output byte-identically. It
+// opens the store shared (read-only), so any number of concurrent
+// cache reads coexist; a store currently owned by a writing pipeline
+// simply misses.
+func (s *server) cacheGet(ctx context.Context, cfg runconfig.Config, hash string) (string, bool) {
+	scen := cfg.Scenario()
+	dir, ok := s.storePath(scen)
+	if !ok {
+		return "", false
+	}
+	st, err := checkpoint.OpenShared(ctx, dir, core.CheckpointKey(scen))
+	if err != nil {
+		return "", false
+	}
+	defer st.Close()
+	var out bytes.Buffer
+	err = st.Get(ctx, outputArtifact(hash), func(payload io.Reader, _ map[string]string) error {
+		_, cerr := io.Copy(&out, payload)
+		return cerr
+	})
+	if err != nil {
+		return "", false
+	}
+	return out.String(), true
+}
+
+// cachePut persists a rendered output into the scenario's store,
+// best-effort: the pipeline has closed its own exclusive handle by
+// now, but another request's pipeline may hold the store — then the
+// result simply is not cached this time.
+func (s *server) cachePut(hash string, scen core.Scenario, output []byte) {
+	ctx, cancel := context.WithTimeout(s.baseCtx, 30*time.Second)
+	defer cancel()
+	st, err := checkpoint.Open(ctx, scen.CheckpointDir, core.CheckpointKey(scen))
+	if err != nil {
+		s.col.Add("server.cache_put_skipped", 1)
+		return
+	}
+	defer st.Close()
+	err = st.Put(ctx, outputArtifact(hash), map[string]string{"config": hash},
+		func(w io.Writer) error {
+			_, werr := w.Write(output)
+			return werr
+		})
+	if err != nil {
+		s.col.Add("server.cache_put_skipped", 1)
+		return
+	}
+	s.col.Add("server.cache_puts", 1)
+}
+
+// shedIn reports whether the run crossed the hard memory watermark.
+func shedIn(report *resilience.RunReport) bool {
+	for _, st := range report.Stages {
+		if st.Status == resilience.StatusShed {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *server) writeResult(w http.ResponseWriter, res *runResult) {
+	if res.code == http.StatusTooManyRequests || res.code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.code)
+	json.NewEncoder(w).Encode(res.resp)
+}
+
+func (s *server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.writeResult(w, &runResult{code: code, resp: runResponse{Error: msg}})
+}

@@ -1,0 +1,484 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"breval/internal/buildinfo"
+	"breval/internal/govern"
+	"breval/internal/obs"
+	"breval/internal/resilience"
+)
+
+// smallBody is the cheap end-to-end request every pipeline-running
+// test uses: the smallest world the suite runs elsewhere, one cheap
+// experiment, one algorithm.
+const smallBody = `{"seed":5,"ases":600,"only":["clean"],"algos":["ASRank"]}`
+
+func newTestServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(cfg)
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(func() {
+		ts.Close()
+		s.stop()
+	})
+	return s, ts
+}
+
+func postRun(t *testing.T, url, body string) (int, runResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /run: %v", err)
+	}
+	defer resp.Body.Close()
+	var rr runResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatalf("decode /run response: %v", err)
+	}
+	return resp.StatusCode, rr
+}
+
+// TestRunEndpointCacheAndRestart is the tentpole property in miniature:
+// a run computes once, an identical request is served byte-identically
+// from cache, and a fresh server over the same data dir — a restart —
+// still serves the same bytes without recomputing.
+func TestRunEndpointCacheAndRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline")
+	}
+	dir := t.TempDir()
+	_, ts := newTestServer(t, serverConfig{dataDir: dir, maxRuns: 2})
+
+	code, first := postRun(t, ts.URL, smallBody)
+	if code != http.StatusOK {
+		t.Fatalf("first run: %d %+v", code, first)
+	}
+	if first.Cached || first.Output == "" || first.ConfigHash == "" {
+		t.Fatalf("first run: cached=%v output=%dB hash=%q", first.Cached, len(first.Output), first.ConfigHash)
+	}
+
+	code, second := postRun(t, ts.URL, smallBody)
+	if code != http.StatusOK || !second.Cached {
+		t.Fatalf("second run not served from cache: %d cached=%v", code, second.Cached)
+	}
+	if second.Output != first.Output {
+		t.Fatal("cached output differs from computed output")
+	}
+
+	// Restart: a new server instance over the same data dir.
+	_, ts2 := newTestServer(t, serverConfig{dataDir: dir, maxRuns: 2})
+	code, third := postRun(t, ts2.URL, smallBody)
+	if code != http.StatusOK || !third.Cached || third.Output != first.Output {
+		t.Fatalf("restarted server: %d cached=%v identical=%v",
+			code, third.Cached, third.Output == first.Output)
+	}
+
+	// A semantically different request must not hit the same cache
+	// entry.
+	code, other := postRun(t, ts2.URL, `{"seed":6,"ases":600,"only":["clean"],"algos":["ASRank"]}`)
+	if code != http.StatusOK || other.Cached {
+		t.Fatalf("different config served from cache: %d cached=%v", code, other.Cached)
+	}
+	if other.Output == first.Output {
+		t.Error("different seed produced identical output")
+	}
+}
+
+// TestConcurrentClientsCoalesce: N concurrent identical requests,
+// capacity 1. Coalescing must hand every client the one run's result —
+// all 200, byte-identical — while the pipeline executes once.
+func TestConcurrentClientsCoalesce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline")
+	}
+	s, ts := newTestServer(t, serverConfig{dataDir: t.TempDir(), maxRuns: 1})
+
+	const clients = 6
+	var wg sync.WaitGroup
+	outputs := make([]string, clients)
+	codes := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(smallBody))
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			var rr runResponse
+			if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+				t.Errorf("client %d: decode: %v", i, err)
+				return
+			}
+			codes[i] = resp.StatusCode
+			outputs[i] = rr.Output
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < clients; i++ {
+		if codes[i] != http.StatusOK {
+			t.Errorf("client %d: status %d", i, codes[i])
+		}
+		if outputs[i] == "" || outputs[i] != outputs[0] {
+			t.Errorf("client %d: output differs (len %d vs %d)", i, len(outputs[i]), len(outputs[0]))
+		}
+	}
+	if s.col.Counter("server.coalesced")+s.col.Counter("server.cache_hits") == 0 {
+		t.Error("no request coalesced or cache-hit; every client ran the pipeline")
+	}
+	if got := s.col.Counter("server.admitted"); got > 2 {
+		t.Errorf("admitted %d pipeline runs for %d identical clients", got, clients)
+	}
+}
+
+// TestAdmissionRefusal: with the admission semaphore full, a new run
+// is refused 429 + Retry-After without touching the pipeline.
+func TestAdmissionRefusal(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{maxRuns: 1})
+	if !s.admit.TryAcquire() {
+		t.Fatal("could not occupy the admission permit")
+	}
+	defer s.admit.Release()
+
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(smallBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var rr runResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rr.Error, "capacity") {
+		t.Errorf("refusal body: %+v", rr)
+	}
+	if got := s.col.Counter("server.admission_refused"); got != 1 {
+		t.Errorf("admission_refused counter = %d, want 1", got)
+	}
+}
+
+// TestShedRefusal drives the shared governor over its hard watermark
+// with a controlled memory sample: new runs get 429, readiness goes
+// 503, and — because server governors recover — admission returns once
+// the pressure clears.
+func TestShedRefusal(t *testing.T) {
+	sample := int64(10)
+	sampleMu := sync.Mutex{}
+	read := func() int64 { sampleMu.Lock(); defer sampleMu.Unlock(); return sample }
+	set := func(v int64) { sampleMu.Lock(); defer sampleMu.Unlock(); sample = v }
+
+	s, ts := newTestServer(t, serverConfig{maxRuns: 1, govern: govern.Config{
+		SoftBytes: 100,
+		HardBytes: 200,
+		Poll:      time.Millisecond,
+		Sample:    read,
+	}})
+
+	set(500)
+	waitFor(t, "governor shed", func() bool { return s.gov.Shed() })
+
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(smallBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("run while shedding: %d, want 429", resp.StatusCode)
+	}
+	if r2, err := http.Get(ts.URL + "/readyz"); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, r2.Body)
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("readyz while shedding: %d, want 503", r2.StatusCode)
+		}
+	}
+	// Liveness is unaffected.
+	if r3, err := http.Get(ts.URL + "/healthz"); err != nil || r3.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while shedding: %v %v", err, r3)
+	} else {
+		io.Copy(io.Discard, r3.Body)
+		r3.Body.Close()
+	}
+
+	// Pressure clears; the server governor leaves shed and admits again.
+	set(10)
+	waitFor(t, "governor recovery", func() bool { return !s.gov.Shed() })
+	if r4, err := http.Get(ts.URL + "/readyz"); err != nil || r4.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after recovery: %v %v", err, r4)
+	} else {
+		io.Copy(io.Discard, r4.Body)
+		r4.Body.Close()
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestRequestTimeout504: an unmeetable deadline yields 504 carrying
+// the partial stage report, not a hung request or a bare 500.
+func TestRequestTimeout504(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{maxRuns: 1})
+	code, rr := postRun(t, ts.URL, `{"ases":600,"only":["clean"],"algos":["ASRank"],"timeout":"1ns"}`)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (%+v)", code, rr)
+	}
+	if !strings.Contains(rr.Error, "deadline") {
+		t.Errorf("error does not name the deadline: %q", rr.Error)
+	}
+	if rr.Report == nil {
+		t.Error("504 without the partial run report")
+	}
+}
+
+// TestDrainRefusesNewWork: draining flips readiness and refuses new
+// runs 503 while liveness stays green.
+func TestDrainRefusesNewWork(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{maxRuns: 1})
+	s.beginDrain()
+
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(smallBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("run while draining: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	for path, want := range map[string]int{"/healthz": 200, "/readyz": 503} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != want {
+			t.Errorf("%s while draining: %d, want %d", path, r.StatusCode, want)
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{maxRuns: 1})
+	for name, body := range map[string]string{
+		"malformed":     `{"seed":`,
+		"unknown field": `{"sedd":1}`,
+		"bad policy":    `{"policy":"maybe"}`,
+		"host field":    `{"checkpoint_dir":"/etc"}`,
+	} {
+		code, rr := postRun(t, ts.URL, body)
+		if code != http.StatusBadRequest || rr.Error == "" {
+			t.Errorf("%s: %d %+v, want 400 with error", name, code, rr)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /run: %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestVersionEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{maxRuns: 1})
+	resp, err := http.Get(ts.URL + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info buildinfo.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("version is not JSON: %v", err)
+	}
+	if info.GoVersion == "" || info.Module == "" {
+		t.Errorf("incomplete version info: %+v", info)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{maxRuns: 1})
+	// Produce at least one counted request (a cheap 400).
+	code, _ := postRun(t, ts.URL, `{"policy":"maybe"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("setup request: %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc obs.Document
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("metrics is not JSON: %v", err)
+	}
+	if doc.Counters["server.requests"] < 1 || doc.Counters["server.bad_requests"] < 1 {
+		t.Errorf("request counters missing: %v", doc.Counters)
+	}
+	if _, ok := doc.Gauges["server.worker_limit"]; !ok {
+		t.Errorf("worker-limit gauge missing: %v", doc.Gauges)
+	}
+}
+
+// helperEnv carries the daemon argv into the re-exec'd test binary:
+// when set, the test functions below become the daemon process itself
+// (the cmd/breval crash-test pattern).
+const helperEnv = "BREVALD_HELPER_ARGS"
+
+func runHelper(t *testing.T, testName string, args ...string) (*exec.Cmd, string, *bufio.Scanner) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run="+testName+"$")
+	cmd.Env = append(os.Environ(), helperEnv+"="+strings.Join(args, " "))
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The daemon prints its bound address once the listener is up.
+	sc := bufio.NewScanner(stderr)
+	re := regexp.MustCompile(`listening on (\S+)`)
+	for sc.Scan() {
+		if m := re.FindStringSubmatch(sc.Text()); m != nil {
+			return cmd, m[1], sc
+		}
+	}
+	out, _ := cmd.CombinedOutput()
+	t.Fatalf("daemon never reported its listen address (%v)\n%s", cmd.Wait(), out)
+	return nil, "", nil
+}
+
+// TestSIGTERMDrainExitsZero: the documented drain contract end to end
+// over a real process — SIGTERM, stop admitting, exit 0.
+func TestSIGTERMDrainExitsZero(t *testing.T) {
+	if args := os.Getenv(helperEnv); args != "" {
+		os.Exit(run(strings.Fields(args), os.Stdout, os.Stderr))
+	}
+	cmd, _, sc := runHelper(t, "TestSIGTERMDrainExitsZero", "-addr", "127.0.0.1:0")
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	drained := false
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), "drained cleanly") {
+			drained = true
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("drain exit: %v, want 0", err)
+	}
+	if !drained {
+		t.Error("daemon exited 0 without reporting a clean drain")
+	}
+}
+
+// TestCrashRestartByteIdentical is the crash-only acceptance property
+// over HTTP: kill the daemon (exit 7 via the crash hook — a stand-in
+// for kill -9) mid-request right after the path set checkpoints, then
+// restart over the same data dir and require the replayed request to
+// produce bytes identical to a never-crashed server's.
+func TestCrashRestartByteIdentical(t *testing.T) {
+	if args := os.Getenv(helperEnv); args != "" {
+		os.Exit(run(strings.Fields(args), os.Stdout, os.Stderr))
+	}
+	if testing.Short() {
+		t.Skip("runs the pipeline in subprocesses")
+	}
+	dir := t.TempDir()
+
+	cmd, addr, _ := runHelper(t, "TestCrashRestartByteIdentical",
+		"-addr", "127.0.0.1:0", "-data-dir", dir, "-kill-after", "paths")
+	// The daemon dies mid-request; the POST fails at the transport
+	// level, which is the point.
+	resp, postErr := http.Post("http://"+addr+"/run", "application/json", strings.NewReader(smallBody))
+	if postErr == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	var ee *exec.ExitError
+	if err := cmd.Wait(); !errors.As(err, &ee) || ee.ExitCode() != resilience.CrashExitCode {
+		t.Fatalf("crashed daemon exit: %v, want code %d", err, resilience.CrashExitCode)
+	}
+
+	// Restart over the same data dir (in-process this time) and replay.
+	_, ts := newTestServer(t, serverConfig{dataDir: dir, maxRuns: 1})
+	code, resumed := postRun(t, ts.URL, smallBody)
+	if code != http.StatusOK || resumed.Output == "" {
+		t.Fatalf("replayed request after restart: %d %+v", code, resumed)
+	}
+
+	// A server that never crashed must produce the same bytes.
+	_, tsCold := newTestServer(t, serverConfig{dataDir: t.TempDir(), maxRuns: 1})
+	codeCold, cold := postRun(t, tsCold.URL, smallBody)
+	if codeCold != http.StatusOK {
+		t.Fatalf("cold run: %d", codeCold)
+	}
+	if resumed.Output != cold.Output {
+		t.Errorf("resumed output differs from cold run (%d vs %d bytes)",
+			len(resumed.Output), len(cold.Output))
+	}
+
+	// And the replay is now cached: a third identical request is a hit.
+	code, again := postRun(t, ts.URL, smallBody)
+	if code != http.StatusOK || !again.Cached || again.Output != cold.Output {
+		t.Fatalf("post-resume cache: %d cached=%v identical=%v",
+			code, again.Cached, again.Output == cold.Output)
+	}
+}
+
+// TestEffectiveTimeout pins the deadline-clamping rule.
+func TestEffectiveTimeout(t *testing.T) {
+	cases := []struct{ req, ceil, want time.Duration }{
+		{0, 0, 0},
+		{0, time.Minute, time.Minute},
+		{time.Second, 0, time.Second},
+		{time.Second, time.Minute, time.Second},
+		{time.Hour, time.Minute, time.Minute},
+	}
+	for _, c := range cases {
+		if got := effectiveTimeout(c.req, c.ceil); got != c.want {
+			t.Errorf("effectiveTimeout(%v, %v) = %v, want %v", c.req, c.ceil, got, c.want)
+		}
+	}
+}

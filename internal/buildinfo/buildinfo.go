@@ -1,0 +1,65 @@
+// Package buildinfo reports what binary is running: module version,
+// VCS revision and go toolchain, read from the build metadata the Go
+// linker embeds (debug.ReadBuildInfo). Both cmd/breval (-version) and
+// cmd/brevald (-version, GET /version) serve it, so an operator can
+// always answer "which build produced this output" — which matters
+// here because checkpoint artifacts are only byte-stable within one
+// build.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Info describes the running binary.
+type Info struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	Revision  string `json:"revision,omitempty"`
+	Dirty     bool   `json:"dirty,omitempty"`
+	GoVersion string `json:"go_version"`
+}
+
+// Get reads the binary's embedded build metadata. Binaries built
+// without module support (or test binaries) degrade to "unknown"
+// fields rather than failing.
+func Get() Info {
+	info := Info{Module: "breval", Version: "(devel)", GoVersion: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.GoVersion = bi.GoVersion
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the one-line -version output.
+func (i Info) String() string {
+	out := fmt.Sprintf("%s %s", i.Module, i.Version)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		out += " rev " + rev
+		if i.Dirty {
+			out += " (dirty)"
+		}
+	}
+	return out + " " + i.GoVersion
+}

@@ -1,0 +1,32 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGet(t *testing.T) {
+	i := Get()
+	if i.Module == "" || i.Version == "" || i.GoVersion == "" {
+		t.Fatalf("incomplete info: %+v", i)
+	}
+	// Test binaries carry build info with the module path.
+	if !strings.Contains(i.Module, "breval") {
+		t.Errorf("module = %q, want the breval module", i.Module)
+	}
+	s := i.String()
+	if !strings.Contains(s, i.Module) || !strings.Contains(s, i.Version) {
+		t.Errorf("String() = %q does not carry module and version", s)
+	}
+}
+
+func TestStringTruncatesRevision(t *testing.T) {
+	i := Info{Module: "m", Version: "v1", Revision: "abcdef0123456789abcdef", Dirty: true, GoVersion: "go1.22"}
+	s := i.String()
+	if !strings.Contains(s, "abcdef012345") || strings.Contains(s, "abcdef0123456") {
+		t.Errorf("revision not truncated to 12: %q", s)
+	}
+	if !strings.Contains(s, "(dirty)") {
+		t.Errorf("dirty marker missing: %q", s)
+	}
+}

@@ -66,6 +66,8 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 var (
 	ErrMiss    = errors.New("checkpoint: artifact missing or stale")
 	ErrCorrupt = errors.New("checkpoint: artifact corrupt (quarantined)")
+	// ErrReadOnly rejects writes through a store opened with OpenShared.
+	ErrReadOnly = errors.New("checkpoint: store is read-only (opened shared)")
 )
 
 // Stats are the store's lifetime counters for one process. They are
@@ -101,8 +103,17 @@ type Store struct {
 
 	col *obs.Collector
 
+	// readOnly marks a store opened with OpenShared: it holds the
+	// shared flock, serves Gets, and rejects every mutation with
+	// ErrReadOnly (including quarantine side effects — a reader never
+	// moves a writer's files).
+	readOnly bool
+	// reclaimed records that acquiring the lock unlinked a stale LOCK
+	// file left by a dead owner.
+	reclaimed bool
+
 	mu     sync.Mutex
-	lock   *os.File // exclusive owner flock, released by Close
+	lock   *os.File // owner flock (exclusive or shared), released by Close
 	man    *Manifest
 	missed map[string]bool
 	stats  Stats
@@ -114,34 +125,60 @@ var counterNames = []string{
 	"checkpoint.hits", "checkpoint.misses", "checkpoint.regenerations",
 	"checkpoint.quarantines", "checkpoint.invalidations",
 	"checkpoint.bytes_read", "checkpoint.bytes_written",
+	"checkpoint.lock_reclaims",
 }
 
 // Open opens (creating if needed) the store at dir for the given key,
 // taking an exclusive owner lock: a second live process pointing at
 // the same directory fails to open (and should degrade to an uncached
-// run) rather than corrupt the manifest with interleaved writes. An
-// existing manifest written under a different key or manifest
-// version is treated as stale and replaced with a fresh one; a
-// manifest that fails to decode is quarantined. The context supplies
-// the run's obs collector (if any) for the checkpoint.* counters.
-// Callers release the lock with Close.
+// run) rather than corrupt the manifest with interleaved writes. A
+// stale LOCK file whose stamped owner is dead is reclaimed instead of
+// refusing forever (see lock.go). An existing manifest written under
+// a different key or manifest version is treated as stale and
+// replaced with a fresh one; a manifest that fails to decode is
+// quarantined. The context supplies the run's obs collector (if any)
+// for the checkpoint.* counters. Callers release the lock with Close.
 func Open(ctx context.Context, dir string, key Key) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: open store: %w", err)
 	}
-	lock, err := acquireLock(dir)
+	return open(ctx, dir, key, false)
+}
+
+// OpenShared opens an existing store read-only under a shared lock:
+// any number of OpenShared readers coexist (with each other, never
+// with an exclusive writer), so a server's read-mostly result cache
+// can serve concurrent requests from one store. A read-only store
+// serves Get and rejects every mutation with ErrReadOnly; integrity
+// failures return errors matching ErrCorrupt but quarantine nothing —
+// a reader never moves a writer's files. A manifest keyed for a
+// different configuration reads as empty (every Get misses).
+func OpenShared(ctx context.Context, dir string, key Key) (*Store, error) {
+	if _, err := os.Stat(dir); err != nil {
+		return nil, fmt.Errorf("checkpoint: open shared store: %w", err)
+	}
+	return open(ctx, dir, key, true)
+}
+
+func open(ctx context.Context, dir string, key Key, shared bool) (*Store, error) {
+	lock, reclaimed, err := acquireLock(dir, shared)
 	if err != nil {
 		return nil, err
 	}
 	s := &Store{
-		dir:    dir,
-		key:    key.Hash(),
-		col:    obs.From(ctx),
-		lock:   lock,
-		missed: map[string]bool{},
+		dir:       dir,
+		key:       key.Hash(),
+		col:       obs.From(ctx),
+		readOnly:  shared,
+		reclaimed: reclaimed,
+		lock:      lock,
+		missed:    map[string]bool{},
 	}
 	for _, n := range counterNames {
 		s.col.Add(n, 0)
+	}
+	if reclaimed {
+		s.col.Add("checkpoint.lock_reclaims", 1)
 	}
 
 	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
@@ -153,21 +190,34 @@ func Open(ctx context.Context, dir string, key Key) (*Store, error) {
 		return nil, fmt.Errorf("checkpoint: read manifest: %w", err)
 	default:
 		man, derr := DecodeManifest(raw)
-		if derr != nil {
+		switch {
+		case derr != nil && s.readOnly:
+			// A reader cannot quarantine; it just sees an empty store.
+			s.man = newManifest(s.key)
+		case derr != nil:
 			// A corrupt manifest orphans every artifact: quarantine it
 			// and start fresh. The artifact files stay where they are
 			// (fsck can still see them) and are overwritten on save.
 			s.man = newManifest(s.key)
 			s.quarantineFile("manifest", manifestFile, derr)
-		} else if man.Key != s.key {
+		case man.Key != s.key:
 			s.man = newManifest(s.key)
-			s.bumpInvalidation("manifest key mismatch (configuration or schema changed)")
-		} else {
+			if !s.readOnly {
+				s.bumpInvalidation("manifest key mismatch (configuration or schema changed)")
+			}
+		default:
 			s.man = man
 		}
 	}
 	return s, nil
 }
+
+// ReadOnly reports whether the store was opened with OpenShared.
+func (s *Store) ReadOnly() bool { return s.readOnly }
+
+// LockReclaimed reports whether opening the store unlinked a stale
+// LOCK file stamped by a dead owner.
+func (s *Store) LockReclaimed() bool { return s.reclaimed }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
@@ -188,6 +238,9 @@ func (s *Store) WorldDigest() string {
 
 // SetWorldDigest pins the world digest in the manifest.
 func (s *Store) SetWorldDigest(digest string) error {
+	if s.readOnly {
+		return ErrReadOnly
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.man.WorldDigest = digest
@@ -199,6 +252,9 @@ func (s *Store) SetWorldDigest(digest string) error {
 // when the regenerated world's digest no longer matches the pinned
 // one: every downstream artifact is then untrustworthy.
 func (s *Store) InvalidateAll(reason string) error {
+	if s.readOnly {
+		return ErrReadOnly
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.man.Artifacts = map[string]Entry{}
@@ -240,6 +296,9 @@ func (s *Store) event(sr resilience.StageReport) {
 // site "checkpoint.artifact.<name>" receives the final path after
 // rename so tests can truncate or bit-flip the just-written file.
 func (s *Store) Put(ctx context.Context, name string, meta map[string]string, encode func(io.Writer) error) error {
+	if s.readOnly {
+		return ErrReadOnly
+	}
 	if err := validArtifactName(name); err != nil {
 		return err
 	}
@@ -337,7 +396,9 @@ func (s *Store) Get(ctx context.Context, name string, decode func(payload io.Rea
 		s.mu.Lock()
 		delete(s.man.Artifacts, name)
 		s.missLocked(name)
-		_ = s.writeManifestLocked()
+		if !s.readOnly {
+			_ = s.writeManifestLocked()
+		}
 		s.mu.Unlock()
 		return fmt.Errorf("checkpoint: get %s: file vanished: %w", name, ErrMiss)
 	}
@@ -400,14 +461,19 @@ func verifyTrailer(raw []byte, e Entry) ([]byte, error) {
 
 // quarantine moves a corrupt artifact into quarantine/, drops its
 // manifest entry, and reports the event. The returned error matches
-// ErrCorrupt.
+// ErrCorrupt. A read-only store only drops its in-memory entry —
+// evidence preservation is the writing owner's job.
 func (s *Store) quarantine(name string, e Entry, reason error) error {
 	s.mu.Lock()
 	delete(s.man.Artifacts, name)
 	s.missLocked(name)
-	_ = s.writeManifestLocked()
+	if !s.readOnly {
+		_ = s.writeManifestLocked()
+	}
 	s.mu.Unlock()
-	s.quarantineFile(name, e.File, reason)
+	if !s.readOnly {
+		s.quarantineFile(name, e.File, reason)
+	}
 	return fmt.Errorf("checkpoint: get %s: %v: %w", name, reason, ErrCorrupt)
 }
 

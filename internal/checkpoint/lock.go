@@ -1,44 +1,152 @@
 package checkpoint
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
+	"time"
 )
 
-// lockFile is the store's owner lock. Open takes an exclusive flock
-// on it and writes the owner pid; a second process pointing at the
-// same -checkpoint-dir fails to open and degrades to an uncached run
-// instead of interleaving manifest writes with the first (two
-// last-writer-wins manifests would silently drop each other's
-// artifact entries). The kernel releases the lock when the owning
-// process exits — including a crash — so a stale LOCK file is
-// harmless and never blocks a later run.
+// lockFile is the store's owner lock. A writing store (Open) takes an
+// exclusive flock on it and stamps the owner pid; a reading store
+// (OpenShared) takes a shared flock, so any number of concurrent
+// readers coexist with each other but never with a writer. A process
+// that cannot acquire its lock degrades to an uncached run instead of
+// interleaving manifest writes with the owner (two last-writer-wins
+// manifests would silently drop each other's artifact entries).
+//
+// The kernel releases a flock when the owning process exits —
+// including a crash — so on a healthy host a stale LOCK file never
+// blocks a later run. A LOCK whose exclusive flock somehow outlives
+// its stamped owner (a store directory restored from another host, a
+// filesystem whose flocks persist, a container whose pid namespace
+// rolled over) is reclaimed: when acquisition fails and the stamped
+// owner pid is provably dead, the LOCK file is unlinked — orphaning
+// whatever inode the stale flock lives on — and acquisition retries
+// against a fresh file. Reclaim never fires while live readers hold
+// the lock: a shared probe distinguishes "blocked by readers" from
+// "blocked by a dead exclusive owner".
 const lockFile = "LOCK"
 
-// acquireLock takes the store's exclusive owner lock, returning the
-// open lock file (held until Close) or an error naming the current
-// owner when another live process holds it.
-func acquireLock(dir string) (*os.File, error) {
+// errLockHeld marks an acquisition refused because a live owner holds
+// the lock. Callers degrade; tests match with errors.Is.
+var errLockHeld = errors.New("checkpoint: store lock held by a live owner")
+
+// lockRetries bounds the reclaim loop: each pass either acquires,
+// refuses (live owner), or unlinks a provably-stale LOCK and retries.
+const lockRetries = 3
+
+// acquireLock takes the store's owner lock — exclusive for writers,
+// shared for readers — returning the open lock file (held until
+// Close) and whether a stale LOCK was reclaimed along the way. On
+// contention it classifies the holder: a live stamped owner or a
+// shared-reader population is a hard refusal (errLockHeld); an
+// exclusive holder whose stamped pid is dead marks the LOCK stale and
+// it is reclaimed by unlink-and-retry.
+func acquireLock(dir string, shared bool) (*os.File, bool, error) {
 	path := filepath.Join(dir, lockFile)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("checkpoint: open lock: %w", err)
+	how := syscall.LOCK_EX
+	if shared {
+		how = syscall.LOCK_SH
 	}
-	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		owner, _ := os.ReadFile(path)
+	reclaimed := false
+	for attempt := 0; attempt < lockRetries; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, reclaimed, fmt.Errorf("checkpoint: open lock: %w", err)
+		}
+		if flock(f, how) == nil {
+			// Guard against racing with a concurrent reclaim: if the path
+			// no longer names the inode we locked, our flock is on an
+			// orphaned file and protects nothing — retry on the new one.
+			if !sameFile(f, path) {
+				f.Close()
+				continue
+			}
+			if !shared {
+				// Best-effort owner stamp for diagnostics and staleness
+				// detection; the flock, not the content, is the guard.
+				if terr := f.Truncate(0); terr == nil {
+					_, _ = f.WriteAt([]byte(fmt.Sprintf("%d\n", os.Getpid())), 0)
+				}
+			}
+			return f, reclaimed, nil
+		}
+
+		// Contended. An exclusive request that a shared probe satisfies
+		// is blocked only by live readers (their flocks die with their
+		// processes), never by a stale owner: refuse, do not reclaim.
+		if !shared && flock(f, syscall.LOCK_SH) == nil {
+			_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+			f.Close()
+			return nil, reclaimed, fmt.Errorf("checkpoint: store %s is held by concurrent readers: %w",
+				dir, errLockHeld)
+		}
+
+		owner, stamped := readOwner(path)
 		f.Close()
-		return nil, fmt.Errorf("checkpoint: store %s is owned by another live process (pid %s): %w",
-			dir, strings.TrimSpace(string(owner)), err)
+		if !stamped || pidAlive(owner) {
+			// A live owner, or an exclusive holder mid-acquire that has
+			// not stamped yet: refuse. (The unstamped window is a few
+			// instructions wide; treating it as live is the safe side.)
+			who := "pid unknown"
+			if stamped {
+				who = fmt.Sprintf("pid %d", owner)
+			}
+			return nil, reclaimed, fmt.Errorf("checkpoint: store %s is owned by another live process (%s): %w",
+				dir, who, errLockHeld)
+		}
+		// Exclusive holder whose stamped owner is dead: a stale lock.
+		// Unlink so the stale flock keeps only the orphaned inode, and
+		// retry against a fresh LOCK file.
+		_ = os.Remove(path)
+		reclaimed = true
+		time.Sleep(10 * time.Millisecond)
 	}
-	// Best-effort owner stamp for diagnostics; the flock, not the
-	// content, is the guard.
-	if err := f.Truncate(0); err == nil {
-		_, _ = f.WriteAt([]byte(fmt.Sprintf("%d\n", os.Getpid())), 0)
+	return nil, reclaimed, fmt.Errorf("checkpoint: store %s lock still contended after %d reclaim attempts: %w",
+		dir, lockRetries, errLockHeld)
+}
+
+func flock(f *os.File, how int) error {
+	return syscall.Flock(int(f.Fd()), how|syscall.LOCK_NB)
+}
+
+// readOwner parses the stamped owner pid out of the LOCK file.
+func readOwner(path string) (int, bool) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false
 	}
-	return f, nil
+	pid, perr := strconv.Atoi(strings.TrimSpace(string(b)))
+	if perr != nil || pid <= 0 {
+		return 0, false
+	}
+	return pid, true
+}
+
+// pidAlive reports whether a process with the given pid exists.
+// Signal 0 performs every check but delivers nothing; EPERM still
+// means the process is there.
+func pidAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return err == nil || errors.Is(err, syscall.EPERM)
+}
+
+// sameFile reports whether the open file f still is what path names.
+func sameFile(f *os.File, path string) bool {
+	fi, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	pi, err := os.Stat(path)
+	if err != nil {
+		return false
+	}
+	return os.SameFile(fi, pi)
 }
 
 // Close releases the store's owner lock. The store must not be used

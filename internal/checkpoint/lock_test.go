@@ -1,10 +1,15 @@
 package checkpoint
 
 import (
+	"errors"
+	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -74,5 +79,155 @@ func TestFsckIgnoresLockFile(t *testing.T) {
 		if o == lockFile {
 			t.Fatal("LOCK reported as orphan")
 		}
+	}
+}
+
+// TestOpenSharedReaders: the shared-read/exclusive-write relaxation.
+// Concurrent readers coexist and see the writer's data, reject every
+// mutation, and exclude (and are excluded by) a live writer.
+func TestOpenSharedReaders(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(1)
+
+	w := openTest(t, dir, key)
+	putBytes(t, w, "blob", []byte("shared"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r1, err := OpenShared(t.Context(), dir, key)
+	if err != nil {
+		t.Fatalf("first shared open: %v", err)
+	}
+	defer r1.Close()
+	r2, err := OpenShared(t.Context(), dir, key)
+	if err != nil {
+		t.Fatalf("second concurrent shared open: %v", err)
+	}
+	defer r2.Close()
+	for i, r := range []*Store{r1, r2} {
+		if !r.ReadOnly() {
+			t.Errorf("reader %d not marked read-only", i+1)
+		}
+		if got, gerr := getBytes(r, "blob"); gerr != nil || string(got) != "shared" {
+			t.Errorf("reader %d get: %q, %v", i+1, got, gerr)
+		}
+	}
+
+	// Mutations through a reader are rejected, not silently dropped.
+	if err := r1.Put(t.Context(), "x", nil, func(w2 io.Writer) error {
+		_, werr := w2.Write([]byte("y"))
+		return werr
+	}); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("Put on reader: %v, want ErrReadOnly", err)
+	}
+	if err := r1.SetWorldDigest("00"); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("SetWorldDigest on reader: %v, want ErrReadOnly", err)
+	}
+	if err := r1.InvalidateAll("nope"); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("InvalidateAll on reader: %v, want ErrReadOnly", err)
+	}
+
+	// A writer cannot open while readers hold the lock...
+	if _, werr := Open(t.Context(), dir, key); !errors.Is(werr, errLockHeld) {
+		t.Fatalf("writer open under live readers: %v, want errLockHeld", werr)
+	}
+	// ...and once the readers close, it can, and readers are then
+	// excluded by the live writer.
+	r1.Close()
+	r2.Close()
+	w2 := openTest(t, dir, key)
+	defer w2.Close()
+	if _, rerr := OpenShared(t.Context(), dir, key); !errors.Is(rerr, errLockHeld) {
+		t.Fatalf("shared open under live writer: %v, want errLockHeld", rerr)
+	}
+}
+
+// TestOpenSharedMissingStore: a reader of a store that does not exist
+// fails fast instead of creating an empty directory.
+func TestOpenSharedMissingStore(t *testing.T) {
+	if _, err := OpenShared(t.Context(), filepath.Join(t.TempDir(), "nope"), testKey(1)); err == nil {
+		t.Fatal("shared open of a missing store succeeded")
+	}
+}
+
+// deadPID returns a pid that provably belonged to an exited process.
+func deadPID(t *testing.T) int {
+	t.Helper()
+	cmd := exec.Command("true")
+	if err := cmd.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pid := cmd.Process.Pid
+	if pidAlive(pid) {
+		t.Skipf("pid %d still alive after reap", pid)
+	}
+	return pid
+}
+
+// TestStaleLockReclaim is the stale-lock regression test: a LOCK file
+// whose exclusive flock outlived its stamped (now dead) owner used to
+// be refused forever, degrading every later run to uncached. Open
+// must detect the dead owner, reclaim the lock, and serve the cached
+// data.
+func TestStaleLockReclaim(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(1)
+
+	s := openTest(t, dir, key)
+	putBytes(t, s, "blob", []byte("survives"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fake the stale state: hold an exclusive flock on LOCK from a
+	// separate descriptor (standing in for a holder whose flock
+	// persisted) while the stamp names a dead pid.
+	path := filepath.Join(dir, lockFile)
+	stale, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stale.Close()
+	if err := syscall.Flock(int(stale.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(fmt.Sprintf("%d\n", deadPID(t))), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(t.Context(), dir, key)
+	if err != nil {
+		t.Fatalf("open over stale lock: %v (want reclaim)", err)
+	}
+	defer s2.Close()
+	if !s2.LockReclaimed() {
+		t.Error("store does not report the lock reclaim")
+	}
+	if got, gerr := getBytes(s2, "blob"); gerr != nil || string(got) != "survives" {
+		t.Fatalf("cached data after reclaim: %q, %v", got, gerr)
+	}
+
+	// A live stamped owner is still a hard refusal: restamp with our
+	// own (live) pid while holding the flock.
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stale2, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		syscall.Flock(int(stale2.Fd()), syscall.LOCK_UN)
+		stale2.Close()
+	}()
+	if err := syscall.Flock(int(stale2.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(strconv.Itoa(os.Getpid())+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(t.Context(), dir, key); !errors.Is(err, errLockHeld) {
+		t.Fatalf("open under live owner: %v, want errLockHeld", err)
 	}
 }

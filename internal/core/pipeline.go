@@ -180,15 +180,7 @@ func Run(s Scenario) (*Artifacts, error) {
 // run abort, since no experiment can render without at least one
 // result.
 func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
-	if s.NumASes == 0 {
-		s.NumASes = 8000
-	}
-	cfg := topogen.DefaultConfig(s.Seed)
-	if s.TopoConfig != nil {
-		cfg = *s.TopoConfig
-	} else if s.NumASes != cfg.NumASes {
-		cfg = cfg.Scaled(s.NumASes)
-	}
+	s, cfg := resolveTopo(s)
 
 	runner := resilience.NewRunner()
 	pol := resilience.Policy{Timeout: s.StageTimeout, Retries: s.StageRetries}
@@ -538,6 +530,33 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 		art.TopoCls = cb.cls
 	}
 	return art, nil
+}
+
+// resolveTopo fills the scenario's topology defaults and resolves the
+// generator configuration exactly as RunContext will use it: an
+// explicit TopoConfig wins, otherwise the seed's default config scaled
+// to NumASes (defaulting to the paper-scale 8000).
+func resolveTopo(s Scenario) (Scenario, topogen.Config) {
+	if s.NumASes == 0 {
+		s.NumASes = 8000
+	}
+	cfg := topogen.DefaultConfig(s.Seed)
+	if s.TopoConfig != nil {
+		cfg = *s.TopoConfig
+	} else if s.NumASes != cfg.NumASes {
+		cfg = cfg.Scaled(s.NumASes)
+	}
+	return s, cfg
+}
+
+// CheckpointKey returns the artifact-store key RunContext would derive
+// for the scenario — the identity under which its runs cache and
+// resume. Two scenarios with equal keys share checkpoint artifacts;
+// callers (the server's result cache, tooling) must use this instead
+// of re-deriving the key so the mapping cannot drift.
+func CheckpointKey(s Scenario) checkpoint.Key {
+	s, cfg := resolveTopo(s)
+	return checkpointKey(s, cfg)
 }
 
 // checkpointKey derives the artifact-store key from the resolved

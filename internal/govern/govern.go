@@ -92,6 +92,14 @@ type Config struct {
 	// work; 0 disables the watchdog (Supervise becomes a no-op unless
 	// given an explicit deadline).
 	StallTimeout time.Duration
+	// ShedRecover lets the governor leave the shed state once heap use
+	// drops back under the soft watermark's hysteresis band (requires
+	// SoftBytes). Batch runs keep the sticky default — a run that hit
+	// the hard watermark stays conservative to its end — but a
+	// long-lived server must be able to admit work again after the
+	// requests that caused the pressure finish and their memory is
+	// collected.
+	ShedRecover bool
 	// Sample overrides the memory reading, for tests; nil reads
 	// runtime.ReadMemStats().HeapAlloc. Either way the sample then
 	// passes through the PressureSite data fault.
@@ -271,9 +279,18 @@ func (g *Governor) step(now time.Time) {
 			g.col.Add("govern.soft_watermark", 1)
 			g.col.SetGauge("govern.limit", float64(cur))
 		}
-	case g.cfg.SoftBytes > 0 && g.State() == StatePressure &&
+	case g.cfg.SoftBytes > 0 &&
+		(g.State() == StatePressure || (g.State() == StateShed && g.cfg.ShedRecover)) &&
 		float64(sample) < float64(g.cfg.SoftBytes)*recoverFactor:
 		g.decision.Add(1)
+		if g.State() == StateShed {
+			// Leaving shed: re-arm the one-shot callback so a later
+			// crossing fires it (and its ledger entry) again. step runs
+			// on a single goroutine, so replacing the Once is safe.
+			g.state.Store(int32(StatePressure))
+			g.shedOnce = sync.Once{}
+			g.col.Add("govern.shed_recover", 1)
+		}
 		old := g.lim.Limit()
 		g.lim.SetLimit(old + 1)
 		cur := g.lim.Limit()

@@ -389,3 +389,59 @@ func BenchmarkLimiterUncontended(b *testing.B) {
 		l.Release()
 	}
 }
+
+// TestShedRecover: with ShedRecover set (the long-lived-server mode),
+// a shed governor returns to admitting work once the heap falls below
+// the hysteresis band, and a later hard crossing fires the one-shot
+// shed callback again. Without the flag, shed stays sticky.
+func TestShedRecover(t *testing.T) {
+	sample := int64(50)
+	sheds := 0
+	g := New(Config{
+		SoftBytes:   100,
+		HardBytes:   200,
+		MaxWorkers:  4,
+		ShedRecover: true,
+		Sample:      func() int64 { return sample },
+	})
+	g.OnShed(func() { sheds++ })
+	now := time.Now()
+
+	sample = 250
+	g.step(now)
+	if g.State() != StateShed || g.lim.Limit() != 1 || sheds != 1 {
+		t.Fatalf("after hard crossing: state=%v limit=%d sheds=%d", g.State(), g.lim.Limit(), sheds)
+	}
+	// Inside the hysteresis band nothing recovers.
+	sample = 95
+	g.step(now)
+	if g.State() != StateShed {
+		t.Fatalf("recovered inside hysteresis band: %v", g.State())
+	}
+	// Below the band the governor leaves shed and grows the limit back.
+	sample = 50
+	for i := 0; i < 10; i++ {
+		g.step(now)
+	}
+	if g.State() != StateNominal || g.lim.Limit() != 4 {
+		t.Fatalf("after recovery: state=%v limit=%d, want nominal/4", g.State(), g.lim.Limit())
+	}
+	// A second episode fires the callback again.
+	sample = 250
+	g.step(now)
+	if g.State() != StateShed || sheds != 2 {
+		t.Fatalf("second episode: state=%v sheds=%d, want shed/2", g.State(), sheds)
+	}
+
+	// Sticky default: no recovery no matter how low the heap falls.
+	sample = 250
+	sticky := governorAt(&sample, 100, 200, 4)
+	sticky.step(now)
+	sample = 10
+	for i := 0; i < 10; i++ {
+		sticky.step(now)
+	}
+	if sticky.State() != StateShed || sticky.lim.Limit() != 1 {
+		t.Fatalf("sticky governor recovered: state=%v limit=%d", sticky.State(), sticky.lim.Limit())
+	}
+}

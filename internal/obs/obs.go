@@ -114,6 +114,54 @@ func (c *Collector) MergeHistogram(name string, h *Histogram) {
 	c.mu.Unlock()
 }
 
+// Fold accumulates another collector's counters, gauges and
+// histograms into c and drops src's spans and memstats. This is the
+// long-lived server's aggregation path: each request gets a private
+// collector (so concurrent runs never interleave span trees), and at
+// request end the numeric metrics fold into the server's collector,
+// whose memory therefore stays bounded by the metric-name inventory
+// instead of growing a span forest per request. Gauges are last-write-
+// wins, matching SetGauge. Both sides may be nil; src remains usable.
+func (c *Collector) Fold(src *Collector) {
+	if c == nil || src == nil || c == src {
+		return
+	}
+	// Snapshot src under its own lock, then fold under ours: never
+	// hold both (lock-order safety if two servers ever cross-fold).
+	src.mu.Lock()
+	counters := make(map[string]int64, len(src.counters))
+	for n, v := range src.counters {
+		counters[n] = v
+	}
+	gauges := make(map[string]float64, len(src.gauges))
+	for n, v := range src.gauges {
+		gauges[n] = v
+	}
+	hists := make(map[string]*Histogram, len(src.hists))
+	for n, h := range src.hists {
+		cp := *h
+		hists[n] = &cp
+	}
+	src.mu.Unlock()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for n, v := range counters {
+		c.counters[n] += v
+	}
+	for n, v := range gauges {
+		c.gauges[n] = v
+	}
+	for n, h := range hists {
+		dst := c.hists[n]
+		if dst == nil {
+			dst = &Histogram{}
+			c.hists[n] = dst
+		}
+		dst.Merge(h)
+	}
+}
+
 // Counter returns the counter's current value (0 if never added).
 func (c *Collector) Counter(name string) int64 {
 	if c == nil {

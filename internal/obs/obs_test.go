@@ -222,3 +222,46 @@ func TestProfileHooks(t *testing.T) {
 		t.Error("bad heap profile path accepted")
 	}
 }
+
+func TestFold(t *testing.T) {
+	server := NewCollector()
+	server.Add("runs", 1)
+	server.Observe("latency", 10)
+
+	req := NewCollector()
+	req.Add("runs", 2)
+	req.Add("only.here", 5)
+	req.SetGauge("workers", 3)
+	req.Observe("latency", 100)
+	_, sp := StartSpan(Into(context.Background(), req), "req.span")
+	sp.End()
+
+	server.Fold(req)
+	if got := server.Counter("runs"); got != 3 {
+		t.Errorf("runs = %d, want 3", got)
+	}
+	if got := server.Counter("only.here"); got != 5 {
+		t.Errorf("only.here = %d, want 5", got)
+	}
+	doc := server.Export()
+	if doc.Gauges["workers"] != 3 {
+		t.Errorf("gauges = %v", doc.Gauges)
+	}
+	h := doc.Histograms["latency"]
+	if h.Count != 2 || h.Max != 100 {
+		t.Errorf("latency hist = %+v", h)
+	}
+	// Spans do not cross the fold: the server's span forest stays
+	// bounded no matter how many requests fold in.
+	if len(doc.Spans) != 0 {
+		t.Errorf("folded spans leaked: %+v", doc.Spans)
+	}
+
+	// Nil and self folds are no-ops.
+	server.Fold(nil)
+	(*Collector)(nil).Fold(req)
+	server.Fold(server)
+	if got := server.Counter("runs"); got != 3 {
+		t.Errorf("after no-op folds runs = %d, want 3", got)
+	}
+}

@@ -1,0 +1,360 @@
+// Package runconfig is the single canonical configuration surface for
+// a bias-analysis run. cmd/breval's CLI flags and cmd/brevald's JSON
+// request bodies both resolve into the same Config, pass through the
+// same Normalize/Validate pair, and derive the same hash-stable
+// identity — so equivalent settings share checkpoint artifacts no
+// matter which front end asked for them.
+//
+// A Config splits into two kinds of fields:
+//
+//   - Semantic fields (Seed, ASes, Policy, Algos, Only, MinLinks)
+//     select what is computed and rendered. They feed Hash and are
+//     exposed over JSON.
+//   - Operational fields (timeouts, retries, checkpoint placement,
+//     governor watermarks) select how the run executes. They never
+//     feed Hash: retrying harder or moving the store must not change
+//     a run's identity. Placement and watermark fields are
+//     deliberately absent from JSON — a network client must not pick
+//     server filesystem paths or resize the server's memory budget.
+package runconfig
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"breval/internal/core"
+	"breval/internal/govern"
+	"breval/internal/validation"
+)
+
+// Duration is a time.Duration that travels through JSON as a Go
+// duration string ("90s", "1h30m"); plain numbers are accepted as
+// nanoseconds so a marshalled time.Duration round-trips too.
+type Duration time.Duration
+
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	switch x := v.(type) {
+	case string:
+		td, err := time.ParseDuration(x)
+		if err != nil {
+			return fmt.Errorf("runconfig: bad duration %q: %w", x, err)
+		}
+		*d = Duration(td)
+	case float64:
+		*d = Duration(time.Duration(x))
+	default:
+		return fmt.Errorf("runconfig: duration must be a string like \"90s\" (got %T)", v)
+	}
+	return nil
+}
+
+// Config is one run's complete configuration. The zero value is not
+// usable directly; start from Default so unset fields carry the
+// calibrated defaults before Normalize/Validate.
+type Config struct {
+	// Semantic fields: what to compute. These feed Hash.
+	Seed     int64    `json:"seed"`
+	ASes     int      `json:"ases"`
+	Policy   string   `json:"policy"`
+	Algos    []string `json:"algos,omitempty"`
+	Only     []string `json:"only,omitempty"`
+	MinLinks int      `json:"min_links"`
+
+	// Operational fields: how to execute. Never hashed. Timeout bounds
+	// the whole run (the server clamps it to its own request ceiling),
+	// StageTimeout each pipeline stage and experiment renderer.
+	Timeout      Duration `json:"timeout,omitempty"`
+	StageTimeout Duration `json:"stage_timeout,omitempty"`
+	StageRetries int      `json:"stage_retries,omitempty"`
+
+	// Host-controlled operational fields, set by CLI flags or server
+	// startup configuration only — never by a JSON request.
+	CheckpointDir string   `json:"-"`
+	Resume        bool     `json:"-"`
+	MemSoftMB     int64    `json:"-"`
+	MemHardMB     int64    `json:"-"`
+	StallTimeout  Duration `json:"-"`
+}
+
+// Default returns the calibrated paper-scale defaults, matching what
+// cmd/breval has always run with no flags.
+func Default() Config {
+	return Config{
+		Seed:     1,
+		ASes:     8000,
+		Policy:   "ignore",
+		MinLinks: 100,
+	}
+}
+
+// canonicalAlgos maps case-insensitive spellings to the canonical
+// algorithm names used as map keys throughout internal/core.
+var canonicalAlgos = map[string]string{
+	"asrank":    core.AlgoASRank,
+	"problink":  core.AlgoProbLink,
+	"toposcope": core.AlgoTopoScope,
+	"gao":       core.AlgoGao,
+}
+
+// RegisterFlags wires the config's fields onto fs under cmd/breval's
+// historical flag names, so extracting this package changed no CLI
+// surface. Current field values become the flag defaults — call on a
+// Default() config.
+func (c *Config) RegisterFlags(fs *flag.FlagSet) {
+	fs.Int64Var(&c.Seed, "seed", c.Seed, "world seed")
+	fs.IntVar(&c.ASes, "ases", c.ASes, "number of ASes")
+	fs.StringVar(&c.Policy, "policy", c.Policy, "ambiguous-label policy: ignore, p2p-if-first or always-p2c")
+	fs.Var(csvFlag{&c.Only}, "only", "comma-separated experiments (fig1,fig2,fig3,tables,fig4-6,fig7-9,clean,case,hard,sources,reclass,evolve,unari,vps,complex); empty = all")
+	fs.Var(csvFlag{&c.Algos}, "algos", "comma-separated algorithms; empty = all four")
+	fs.IntVar(&c.MinLinks, "min-links", c.MinLinks, "minimum validated links for a table row")
+	fs.Var(durationFlag{&c.Timeout}, "timeout", "deadline for the whole run (0 = none)")
+	fs.Var(durationFlag{&c.StageTimeout}, "experiment-timeout", "deadline per pipeline stage and per experiment renderer (0 = none)")
+	fs.IntVar(&c.StageRetries, "stage-retries", c.StageRetries, "re-attempts for failed retryable stages")
+	fs.StringVar(&c.CheckpointDir, "checkpoint-dir", c.CheckpointDir, "durable artifact store directory; stage outputs are checkpointed here")
+	fs.BoolVar(&c.Resume, "resume", c.Resume, "reuse verified artifacts from -checkpoint-dir instead of recomputing")
+	fs.Int64Var(&c.MemSoftMB, "mem-soft-mb", c.MemSoftMB, "soft memory watermark in MiB: heap use above it shrinks worker concurrency (0 = off)")
+	fs.Int64Var(&c.MemHardMB, "mem-hard-mb", c.MemHardMB, "hard memory watermark in MiB: heap use above it sheds load to single-worker mode and exits 8 (0 = off)")
+	fs.Var(durationFlag{&c.StallTimeout}, "stall-timeout", "watchdog heartbeat deadline for supervised workers; stalled workers are cancelled and the stage retried (0 = off)")
+}
+
+// ParseJSON decodes a server request body into a Config layered over
+// the defaults, then normalizes and validates it. Unknown fields are
+// rejected so a typoed knob fails loudly instead of silently running
+// the default.
+func ParseJSON(data []byte) (Config, error) {
+	c := Default()
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("runconfig: %w", err)
+	}
+	if dec.More() {
+		return Config{}, fmt.Errorf("runconfig: trailing data after config object")
+	}
+	c.Normalize()
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// Normalize rewrites the config into its canonical spelling: policy
+// lowercased, algorithm names mapped to their canonical casing,
+// whitespace trimmed, empty slices nil, and zero-valued semantic
+// fields replaced by the defaults they resolve to (ASes 0 means the
+// paper-scale world, MinLinks 0 the paper's row threshold). Hash
+// normalizes a copy itself, so two configs that differ only in
+// spelling share an identity.
+func (c *Config) Normalize() {
+	c.Policy = strings.ToLower(strings.TrimSpace(c.Policy))
+	c.Algos = normalizeList(c.Algos, func(s string) string {
+		if canon, ok := canonicalAlgos[strings.ToLower(s)]; ok {
+			return canon
+		}
+		return s
+	})
+	c.Only = normalizeList(c.Only, func(s string) string { return s })
+	if c.ASes == 0 {
+		c.ASes = 8000
+	}
+	if c.MinLinks == 0 {
+		c.MinLinks = 100
+	}
+}
+
+func normalizeList(in []string, canon func(string) string) []string {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]string, len(in))
+	for i, s := range in {
+		out[i] = canon(strings.TrimSpace(s))
+	}
+	return out
+}
+
+// Validate rejects configurations no run should start with. Call
+// after Normalize.
+func (c Config) Validate() error {
+	switch c.Policy {
+	case "ignore", "p2p-if-first", "always-p2c":
+	default:
+		return fmt.Errorf("unknown policy %q", c.Policy)
+	}
+	for _, a := range c.Algos {
+		if _, ok := canonicalAlgos[strings.ToLower(a)]; !ok {
+			return fmt.Errorf("unknown algorithm %q", a)
+		}
+	}
+	for _, exp := range c.Only {
+		if !core.KnownExperiment(exp) {
+			return fmt.Errorf("unknown experiment %q", exp)
+		}
+	}
+	if c.ASes < 0 {
+		return fmt.Errorf("ases must be non-negative (got %d)", c.ASes)
+	}
+	if c.MinLinks < 0 {
+		return fmt.Errorf("min-links must be non-negative (got %d)", c.MinLinks)
+	}
+	if c.StageRetries < 0 {
+		return fmt.Errorf("-stage-retries must be non-negative (got %d)", c.StageRetries)
+	}
+	if c.Timeout < 0 || c.StageTimeout < 0 || c.StallTimeout < 0 {
+		return fmt.Errorf("timeouts must be non-negative")
+	}
+	if c.Resume && c.CheckpointDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if c.MemSoftMB < 0 || c.MemHardMB < 0 {
+		return fmt.Errorf("memory watermarks must be non-negative")
+	}
+	if c.MemSoftMB > 0 && c.MemHardMB > 0 && c.MemHardMB <= c.MemSoftMB {
+		return fmt.Errorf("-mem-hard-mb (%d) must exceed -mem-soft-mb (%d)", c.MemHardMB, c.MemSoftMB)
+	}
+	return nil
+}
+
+// AmbiguousPolicy maps the policy name to its validation-layer value.
+// Call after Validate; unrecognized names fall back to Ignore.
+func (c Config) AmbiguousPolicy() validation.AmbiguousPolicy {
+	switch c.Policy {
+	case "p2p-if-first":
+		return validation.P2PIfFirst
+	case "always-p2c":
+		return validation.AlwaysP2C
+	}
+	return validation.Ignore
+}
+
+// Scenario builds the core pipeline scenario this config describes.
+func (c Config) Scenario() core.Scenario {
+	s := core.DefaultScenario(c.Seed)
+	s.NumASes = c.ASes
+	s.Policy = c.AmbiguousPolicy()
+	if len(c.Algos) > 0 {
+		s.Algorithms = append([]string(nil), c.Algos...)
+	}
+	s.StageTimeout = time.Duration(c.StageTimeout)
+	s.StageRetries = c.StageRetries
+	s.CheckpointDir = c.CheckpointDir
+	s.Resume = c.Resume
+	s.Govern = govern.Config{
+		SoftBytes:    c.MemSoftMB << 20,
+		HardBytes:    c.MemHardMB << 20,
+		StallTimeout: time.Duration(c.StallTimeout),
+	}
+	return s
+}
+
+// RenderOptions builds the experiment-render options this config
+// describes. The EvolveMonths=6 override for named experiment
+// selections lives here so the CLI and the server render the exact
+// same bytes for the same config.
+func (c Config) RenderOptions() core.RenderOptions {
+	opts := core.RenderOptions{
+		MinLinks:     c.MinLinks,
+		StageTimeout: time.Duration(c.StageTimeout),
+		StageRetries: c.StageRetries,
+	}
+	if len(c.Only) > 0 {
+		opts.EvolveMonths = 6
+	}
+	return opts
+}
+
+// hashKey is the canonical serialization Hash digests: exactly the
+// semantic fields, in a fixed order, from a normalized copy. Adding a
+// semantic field to Config without adding it here would alias distinct
+// runs — keep them in lockstep.
+type hashKey struct {
+	Seed     int64    `json:"seed"`
+	ASes     int      `json:"ases"`
+	Policy   string   `json:"policy"`
+	Algos    []string `json:"algos"`
+	Only     []string `json:"only"`
+	MinLinks int      `json:"min_links"`
+}
+
+// Hash returns the hex SHA-256 identity of the config's semantic
+// fields. Two configs with equal hashes compute and render the same
+// bytes (given the same code version) and therefore share checkpoint
+// artifacts; operational fields never contribute.
+func (c Config) Hash() string {
+	n := c
+	n.Normalize()
+	b, err := json.Marshal(hashKey{
+		Seed:     n.Seed,
+		ASes:     n.ASes,
+		Policy:   n.Policy,
+		Algos:    n.Algos,
+		Only:     n.Only,
+		MinLinks: n.MinLinks,
+	})
+	if err != nil {
+		// Marshalling a struct of ints and strings cannot fail.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// csvFlag parses a comma-separated flag value into a string slice,
+// trimming whitespace around each element. An empty value clears the
+// slice (meaning "all").
+type csvFlag struct{ v *[]string }
+
+func (f csvFlag) String() string {
+	if f.v == nil {
+		return ""
+	}
+	return strings.Join(*f.v, ",")
+}
+
+func (f csvFlag) Set(s string) error {
+	if s == "" {
+		*f.v = nil
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, len(parts))
+	for i, p := range parts {
+		out[i] = strings.TrimSpace(p)
+	}
+	*f.v = out
+	return nil
+}
+
+// durationFlag adapts Duration to flag.Value so -timeout keeps its Go
+// duration syntax.
+type durationFlag struct{ d *Duration }
+
+func (f durationFlag) String() string {
+	if f.d == nil {
+		return "0s"
+	}
+	return time.Duration(*f.d).String()
+}
+
+func (f durationFlag) Set(s string) error {
+	td, err := time.ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	*f.d = Duration(td)
+	return nil
+}

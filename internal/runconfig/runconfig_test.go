@@ -1,0 +1,294 @@
+package runconfig
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"breval/internal/core"
+)
+
+// fromFlags builds a config the way cmd/breval does: defaults,
+// RegisterFlags, Parse, Normalize, Validate.
+func fromFlags(t *testing.T, args ...string) Config {
+	t.Helper()
+	c := Default()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	c.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse flags %v: %v", args, err)
+	}
+	c.Normalize()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("validate flags %v: %v", args, err)
+	}
+	return c
+}
+
+func fromJSON(t *testing.T, body string) Config {
+	t.Helper()
+	c, err := ParseJSON([]byte(body))
+	if err != nil {
+		t.Fatalf("ParseJSON(%s): %v", body, err)
+	}
+	return c
+}
+
+// TestFlagJSONParity is the config-parity property over hand-picked
+// equivalent pairs: a config built from CLI flags and one built from
+// the equivalent JSON request must produce identical config hashes AND
+// identical checkpoint keys — the two front ends must share artifacts.
+func TestFlagJSONParity(t *testing.T) {
+	cases := []struct {
+		name  string
+		flags []string
+		json  string
+	}{
+		{"defaults", nil, `{}`},
+		{"defaults explicit",
+			[]string{"-seed", "1", "-ases", "8000", "-policy", "ignore", "-min-links", "100"},
+			`{"seed":1,"ases":8000,"policy":"ignore","min_links":100}`},
+		{"scaled world",
+			[]string{"-seed", "7", "-ases", "600"},
+			`{"seed":7,"ases":600}`},
+		{"policy and experiments",
+			[]string{"-policy", "always-p2c", "-only", "clean,case"},
+			`{"policy":"always-p2c","only":["clean","case"]}`},
+		{"algos with csv spaces vs json casing",
+			[]string{"-algos", "asrank, gao"},
+			`{"algos":["ASRank","Gao"]}`},
+		{"policy casing",
+			[]string{"-policy", "IGNORE"},
+			`{"policy":"ignore"}`},
+		{"min-links zero means default",
+			[]string{"-min-links", "0"},
+			`{"min_links":100}`},
+		{"operational fields do not matter",
+			[]string{"-timeout", "90s", "-experiment-timeout", "10s", "-stage-retries", "2"},
+			`{"timeout":"1h","stage_retries":0}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cf := fromFlags(t, tc.flags...)
+			cj := fromJSON(t, tc.json)
+			if cf.Hash() != cj.Hash() {
+				t.Errorf("hash mismatch:\n flags %v -> %s\n json  %s -> %s",
+					tc.flags, cf.Hash(), tc.json, cj.Hash())
+			}
+			kf := core.CheckpointKey(cf.Scenario()).Hash()
+			kj := core.CheckpointKey(cj.Scenario()).Hash()
+			if kf != kj {
+				t.Errorf("checkpoint key mismatch: flags %s vs json %s", kf, kj)
+			}
+		})
+	}
+}
+
+// TestFlagJSONParityProperty generates random configurations with a
+// seeded rand, renders each both as a flag line and as a JSON body,
+// and requires the two parses to agree on hash and checkpoint key.
+func TestFlagJSONParityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	policies := []string{"ignore", "p2p-if-first", "always-p2c"}
+	algoSpellings := [][2]string{ // CLI spelling, JSON spelling
+		{"asrank", "ASRank"}, {"ProbLink", "problink"},
+		{"TOPOSCOPE", "TopoScope"}, {"gao", "Gao"},
+	}
+	experiments := []string{"clean", "case", "hard", "sources", "tables"}
+
+	for i := 0; i < 100; i++ {
+		seed := rng.Int63n(1000)
+		ases := 100 * (1 + rng.Intn(100))
+		policy := policies[rng.Intn(len(policies))]
+		minLinks := 1 + rng.Intn(500)
+
+		var flagAlgos, jsonAlgos []string
+		for _, sp := range algoSpellings {
+			if rng.Intn(2) == 0 {
+				flagAlgos = append(flagAlgos, sp[0])
+				jsonAlgos = append(jsonAlgos, sp[1])
+			}
+		}
+		var only []string
+		for _, exp := range experiments {
+			if rng.Intn(3) == 0 {
+				only = append(only, exp)
+			}
+		}
+
+		args := []string{
+			"-seed", fmt.Sprint(seed),
+			"-ases", fmt.Sprint(ases),
+			"-policy", strings.ToUpper(policy),
+			"-min-links", fmt.Sprint(minLinks),
+		}
+		if len(flagAlgos) > 0 {
+			args = append(args, "-algos", strings.Join(flagAlgos, " , "))
+		}
+		if len(only) > 0 {
+			args = append(args, "-only", strings.Join(only, ","))
+		}
+		// Random operational noise on the flag side only: it must not
+		// move the hash.
+		if rng.Intn(2) == 0 {
+			args = append(args, "-timeout", fmt.Sprintf("%ds", 1+rng.Intn(300)))
+		}
+		if rng.Intn(2) == 0 {
+			args = append(args, "-stage-retries", fmt.Sprint(rng.Intn(3)))
+		}
+
+		req := map[string]any{
+			"seed": seed, "ases": ases, "policy": policy, "min_links": minLinks,
+		}
+		if len(jsonAlgos) > 0 {
+			req["algos"] = jsonAlgos
+		}
+		if len(only) > 0 {
+			req["only"] = only
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cf := fromFlags(t, args...)
+		cj := fromJSON(t, string(body))
+		if cf.Hash() != cj.Hash() {
+			t.Fatalf("iteration %d: hash mismatch\n flags %v\n json  %s", i, args, body)
+		}
+		if core.CheckpointKey(cf.Scenario()).Hash() != core.CheckpointKey(cj.Scenario()).Hash() {
+			t.Fatalf("iteration %d: checkpoint key mismatch\n flags %v\n json  %s", i, args, body)
+		}
+	}
+}
+
+// TestHashIgnoresOperational: execution knobs must never move a run's
+// identity — otherwise retrying harder would orphan its own cache.
+func TestHashIgnoresOperational(t *testing.T) {
+	base := Default()
+	mod := base
+	mod.Timeout = Duration(time.Hour)
+	mod.StageTimeout = Duration(10 * time.Second)
+	mod.StageRetries = 5
+	mod.CheckpointDir = "/somewhere/else"
+	mod.Resume = true
+	mod.MemSoftMB = 100
+	mod.MemHardMB = 200
+	mod.StallTimeout = Duration(time.Minute)
+	if base.Hash() != mod.Hash() {
+		t.Error("operational fields changed the config hash")
+	}
+}
+
+func TestHashSeparatesSemantic(t *testing.T) {
+	base := Default()
+	for name, mutate := range map[string]func(*Config){
+		"seed":      func(c *Config) { c.Seed = 2 },
+		"ases":      func(c *Config) { c.ASes = 4000 },
+		"policy":    func(c *Config) { c.Policy = "always-p2c" },
+		"algos":     func(c *Config) { c.Algos = []string{"ASRank"} },
+		"only":      func(c *Config) { c.Only = []string{"clean"} },
+		"min-links": func(c *Config) { c.MinLinks = 50 },
+	} {
+		mod := base
+		mutate(&mod)
+		if base.Hash() == mod.Hash() {
+			t.Errorf("changing %s did not change the hash", name)
+		}
+	}
+}
+
+func TestParseJSONRejects(t *testing.T) {
+	for name, body := range map[string]string{
+		"unknown field":         `{"sed":1}`,
+		"host-controlled field": `{"checkpoint_dir":"/tmp/x"}`,
+		"unknown policy":        `{"policy":"maybe"}`,
+		"unknown algorithm":     `{"algos":["PageRank"]}`,
+		"unknown experiment":    `{"only":["fig99"]}`,
+		"negative retries":      `{"stage_retries":-1}`,
+		"negative timeout":      `{"timeout":"-5s"}`,
+		"malformed duration":    `{"timeout":"fast"}`,
+		"trailing garbage":      `{} {}`,
+		"negative ases":         `{"ases":-5}`,
+	} {
+		if _, err := ParseJSON([]byte(body)); err == nil {
+			t.Errorf("%s: ParseJSON(%s) succeeded", name, body)
+		}
+	}
+}
+
+func TestValidateWatermarks(t *testing.T) {
+	c := Default()
+	c.MemSoftMB = 200
+	c.MemHardMB = 100
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "must exceed") {
+		t.Errorf("inverted watermarks: %v", err)
+	}
+	c.MemSoftMB, c.MemHardMB = -1, 0
+	if err := c.Validate(); err == nil {
+		t.Error("negative watermark accepted")
+	}
+}
+
+func TestDurationJSONRoundTrip(t *testing.T) {
+	for _, d := range []Duration{0, Duration(90 * time.Second), Duration(time.Hour + time.Minute)} {
+		b, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Duration
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != d {
+			t.Errorf("round trip: %v -> %s -> %v", d, b, back)
+		}
+	}
+	// Numbers decode as nanoseconds, matching a marshalled
+	// time.Duration.
+	var n Duration
+	if err := json.Unmarshal([]byte("1000000000"), &n); err != nil || n != Duration(time.Second) {
+		t.Errorf("numeric duration: %v, %v", n, err)
+	}
+}
+
+// TestScenarioMatchesBreval pins the flag-to-scenario mapping that
+// moved here out of cmd/breval.
+func TestScenarioMatchesBreval(t *testing.T) {
+	c := fromFlags(t,
+		"-seed", "3", "-ases", "600", "-policy", "p2p-if-first",
+		"-algos", "ASRank,Gao", "-experiment-timeout", "10s",
+		"-stage-retries", "2", "-checkpoint-dir", "/tmp/ck", "-resume",
+		"-mem-soft-mb", "64", "-mem-hard-mb", "128", "-stall-timeout", "30s")
+	s := c.Scenario()
+	if s.Seed != 3 || s.NumASes != 600 {
+		t.Errorf("world: %+v", s)
+	}
+	if got := fmt.Sprint(s.Algorithms); got != "[ASRank Gao]" {
+		t.Errorf("algorithms: %v", s.Algorithms)
+	}
+	if s.StageTimeout != 10*time.Second || s.StageRetries != 2 {
+		t.Errorf("stage policy: %v/%d", s.StageTimeout, s.StageRetries)
+	}
+	if s.CheckpointDir != "/tmp/ck" || !s.Resume {
+		t.Errorf("checkpointing: %q/%v", s.CheckpointDir, s.Resume)
+	}
+	if s.Govern.SoftBytes != 64<<20 || s.Govern.HardBytes != 128<<20 ||
+		s.Govern.StallTimeout != 30*time.Second {
+		t.Errorf("govern: %+v", s.Govern)
+	}
+	opts := c.RenderOptions()
+	if opts.MinLinks != 100 || opts.StageTimeout != 10*time.Second || opts.EvolveMonths != 0 {
+		t.Errorf("render options: %+v", opts)
+	}
+	c.Only = []string{"evolve"}
+	if got := c.RenderOptions().EvolveMonths; got != 6 {
+		t.Errorf("EvolveMonths with -only: %d", got)
+	}
+}

@@ -22,14 +22,46 @@
 # changes are measured against:
 #
 #	scripts/bench.sh -against BENCH_2026-08-06.json 'RoutePropagation|FeatureExtraction|Inference' 2x
+#
+# Every document is stamped with the go toolchain version and
+# GOMAXPROCS it was recorded under, and -against refuses a baseline
+# from a different environment: comparing ns/op across toolchains or
+# core counts measures the environment, not the code.
 set -eu
 cd "$(dirname "$0")/.."
+
+go_version=$(go env GOVERSION)
+gomaxprocs=${GOMAXPROCS:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)}
+
+# json_field FILE KEY — extract a top-level scalar field from one of
+# our benchmark documents (string or number).
+json_field() {
+	sed -n 's/^  "'"$2"'": "\{0,1\}\([^",]*\)"\{0,1\},\{0,1\}$/\1/p' "$1" | head -n 1
+}
 
 against=""
 if [ "${1:-}" = "-against" ]; then
 	against=${2:?usage: bench.sh -against BASELINE.json [BENCH_REGEX] [BENCHTIME]}
 	[ -r "$against" ] || { echo "bench: baseline $against not readable" >&2; exit 2; }
 	shift 2
+	# Refuse cross-environment comparisons before paying for the run.
+	base_gov=$(json_field "$against" go_version)
+	base_gmp=$(json_field "$against" gomaxprocs)
+	if [ -z "$base_gov" ] || [ -z "$base_gmp" ]; then
+		echo "bench: baseline $against has no go_version/gomaxprocs stamp;" >&2
+		echo "bench: re-record it with this script before gating against it" >&2
+		exit 2
+	fi
+	if [ "$base_gov" != "$go_version" ]; then
+		echo "bench: baseline $against was recorded with $base_gov but this is $go_version;" >&2
+		echo "bench: ns/op across toolchains measures the toolchain, not the code — re-record the baseline" >&2
+		exit 2
+	fi
+	if [ "$base_gmp" != "$gomaxprocs" ]; then
+		echo "bench: baseline $against was recorded with GOMAXPROCS=$base_gmp but this run has $gomaxprocs;" >&2
+		echo "bench: parallel benchmarks do not compare across core counts — re-record the baseline" >&2
+		exit 2
+	fi
 fi
 
 bench_re=${1:-.}
@@ -42,9 +74,11 @@ trap 'rm -f "$raw"' EXIT
 echo "== go test -bench=$bench_re -benchtime=$benchtime -benchmem" >&2
 go test -run '^$' -bench "$bench_re" -benchtime "$benchtime" -benchmem . | tee "$raw" >&2
 
-awk -v date="$date" -v bench_re="$bench_re" -v benchtime="$benchtime" '
+awk -v date="$date" -v bench_re="$bench_re" -v benchtime="$benchtime" \
+	-v go_version="$go_version" -v gomaxprocs="$gomaxprocs" '
 BEGIN {
 	printf "{\n  \"date\": \"%s\",\n  \"bench\": \"%s\",\n  \"benchtime\": \"%s\",\n", date, bench_re, benchtime
+	printf "  \"go_version\": \"%s\",\n  \"gomaxprocs\": %d,\n", go_version, gomaxprocs
 	n = 0
 }
 /^goos: /    { goos = $2 }

@@ -49,6 +49,53 @@ cmp "$SMOKE/cold.txt" "$SMOKE/resumed.txt" || {
 	exit 1
 }
 
+echo "== brevald serve/drain smoke (time-boxed)"
+# Start the daemon on an ephemeral port, run one request through the
+# full pipeline, check liveness, SIGTERM it, and require a clean drain
+# (exit 0). See docs/service.md.
+go build -o "$SMOKE/brevald" ./cmd/brevald
+"$SMOKE/brevald" -addr 127.0.0.1:0 -data-dir "$SMOKE/brevald-data" \
+	2>"$SMOKE/brevald.log" &
+BREVALD_PID=$!
+addr=""
+for _ in $(seq 1 50); do
+	addr=$(sed -n 's/.*listening on \([^ ]*\).*/\1/p' "$SMOKE/brevald.log")
+	[ -n "$addr" ] && break
+	kill -0 "$BREVALD_PID" 2>/dev/null || {
+		echo "brevald smoke: daemon died at startup" >&2
+		cat "$SMOKE/brevald.log" >&2
+		exit 1
+	}
+	sleep 0.1
+done
+[ -n "$addr" ] || { echo "brevald smoke: no listen address after 5s" >&2; exit 1; }
+curl -sf --max-time 120 -X POST -d '{"ases":600,"only":["clean"],"algos":["ASRank"]}' \
+	"http://$addr/run" >"$SMOKE/served.json" || {
+	echo "brevald smoke: /run failed" >&2
+	cat "$SMOKE/brevald.log" >&2
+	exit 1
+}
+grep -q '"output"' "$SMOKE/served.json" || {
+	echo "brevald smoke: /run response carries no output" >&2
+	exit 1
+}
+curl -sf --max-time 10 "http://$addr/healthz" >/dev/null || {
+	echo "brevald smoke: /healthz failed" >&2
+	exit 1
+}
+kill -TERM "$BREVALD_PID"
+drain_code=0
+wait "$BREVALD_PID" || drain_code=$?
+if [ "$drain_code" -ne 0 ]; then
+	echo "brevald smoke: drain exited $drain_code, want 0" >&2
+	cat "$SMOKE/brevald.log" >&2
+	exit 1
+fi
+grep -q "drained cleanly" "$SMOKE/brevald.log" || {
+	echo "brevald smoke: no clean-drain message in the log" >&2
+	exit 1
+}
+
 if [ "${CHECK_SOAK:-0}" = "1" ]; then
 	echo "== chaos soak (5 seeded storms, time-boxed)"
 	# Opt-in: the soak replays seeded fault storms (crashes, panics,

@@ -84,7 +84,7 @@ func BenchmarkFeatureExtraction(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fs := features.Compute(art.Paths)
-		if len(fs.Links) == 0 {
+		if fs.NumLinks() == 0 {
 			b.Fatal("no links")
 		}
 	}
@@ -357,14 +357,14 @@ func BenchmarkAblationPublisherBias(b *testing.B) {
 		snap := ex.Extract(art.Paths)
 		clean, _ := validation.Clean(snap, art.World.Orgs, validation.Ignore)
 		inL, valL := 0, 0
-		for l := range art.InferredLinks {
+		art.ForEachInferredLink(func(l asgraph.Link) {
 			if cls, ok := art.RegionCls.Class(l); ok && cls == "L°" {
 				inL++
 				if clean.Has(l) {
 					valL++
 				}
 			}
-		}
+		})
 		if inL > 0 {
 			lCov = float64(valL) / float64(inL)
 		}

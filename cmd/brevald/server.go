@@ -78,10 +78,12 @@ type flight struct {
 }
 
 // runResult is a finished (or refused) flight: the HTTP status and the
-// response body every rider of the flight replays.
+// response body every rider of the flight replays. retryAfter is the
+// Retry-After hint in seconds for refusals (0 = derive at write time).
 type runResult struct {
-	code int
-	resp runResponse
+	code       int
+	retryAfter int
+	resp       runResponse
 }
 
 // runResponse is the /run response body.
@@ -203,8 +205,10 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	hash := cfg.Hash()
 
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "1")
-		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		s.writeResult(w, &runResult{
+			code: http.StatusServiceUnavailable,
+			resp: runResponse{Error: "server is draining"},
+		})
 		return
 	}
 
@@ -251,23 +255,48 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 func (s *server) lead(cfg runconfig.Config, hash string) *runResult {
 	if s.gov.Shed() {
 		s.col.Add("server.shed_refused", 1)
-		return refused(hash, "load shed: hard memory watermark crossed, retry later", "5")
+		return refused(hash, "load shed: hard memory watermark crossed, retry later", s.retryAfterSecs())
 	}
 	if !s.admit.TryAcquire() {
 		s.col.Add("server.admission_refused", 1)
-		return refused(hash, fmt.Sprintf("server at capacity (%d runs in flight), retry later", s.cfg.maxRuns), "1")
+		return refused(hash, fmt.Sprintf("server at capacity (%d runs in flight), retry later", s.cfg.maxRuns), s.retryAfterSecs())
 	}
 	defer s.admit.Release()
 	s.col.Add("server.admitted", 1)
 	return s.execute(cfg, hash)
 }
 
+// retryAfterSecs derives the Retry-After hint from live pressure
+// instead of a constant: the base is one second per admitted run
+// (queued work drains roughly serially behind the shared worker
+// pool), doubled under memory pressure, and at least 10s while
+// shedding — retrying into a shed server only deepens the pressure
+// that caused the shed. Capped at 60s so a refused client never backs
+// off longer than a typical run.
+func (s *server) retryAfterSecs() int {
+	secs := 1 + s.admit.InUse()
+	switch s.gov.State() {
+	case govern.StatePressure:
+		secs *= 2
+	case govern.StateShed:
+		secs *= 5
+		if secs < 10 {
+			secs = 10
+		}
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
 // refused builds the 429 result; the Retry-After hint rides in the
-// response struct via writeResult.
-func refused(hash, msg, retryAfter string) *runResult {
+// result struct so the header and the embedded hint always agree.
+func refused(hash, msg string, retryAfter int) *runResult {
 	return &runResult{
-		code: http.StatusTooManyRequests,
-		resp: runResponse{ConfigHash: hash, Error: msg + " (retry-after: " + retryAfter + "s)"},
+		code:       http.StatusTooManyRequests,
+		retryAfter: retryAfter,
+		resp:       runResponse{ConfigHash: hash, Error: fmt.Sprintf("%s (retry-after: %ds)", msg, retryAfter)},
 	}
 }
 
@@ -460,7 +489,11 @@ func shedIn(report *resilience.RunReport) bool {
 
 func (s *server) writeResult(w http.ResponseWriter, res *runResult) {
 	if res.code == http.StatusTooManyRequests || res.code == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		secs := res.retryAfter
+		if secs <= 0 {
+			secs = s.retryAfterSecs()
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(res.code)

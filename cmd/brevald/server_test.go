@@ -482,3 +482,57 @@ func TestEffectiveTimeout(t *testing.T) {
 		}
 	}
 }
+
+// TestRetryAfterTracksPressure pins the derived Retry-After hint: it
+// grows with the number of admitted runs, scales with governor state,
+// has a 10s floor while shedding, and never exceeds the 60s cap.
+func TestRetryAfterTracksPressure(t *testing.T) {
+	s := newServer(serverConfig{maxRuns: 4})
+	t.Cleanup(s.stop)
+
+	if got := s.retryAfterSecs(); got != 1 {
+		t.Errorf("idle retryAfterSecs = %d, want 1", got)
+	}
+	if !s.admit.TryAcquire() || !s.admit.TryAcquire() {
+		t.Fatal("could not occupy admission permits")
+	}
+	defer s.admit.Release()
+	defer s.admit.Release()
+	if got := s.retryAfterSecs(); got != 3 {
+		t.Errorf("retryAfterSecs with 2 in flight = %d, want 3", got)
+	}
+
+	// A refusal's header must carry the same hint it embeds in the body.
+	res := refused("h", "server at capacity", s.retryAfterSecs())
+	rec := httptest.NewRecorder()
+	s.writeResult(rec, res)
+	if got := rec.Header().Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After header = %q, want \"3\"", got)
+	}
+	if !strings.Contains(res.resp.Error, "retry-after: 3s") {
+		t.Errorf("embedded hint missing: %q", res.resp.Error)
+	}
+}
+
+// TestRetryAfterShedFloor drives a governor into shed and checks the
+// 10-second floor applies.
+func TestRetryAfterShedFloor(t *testing.T) {
+	sample := int64(500)
+	s := newServer(serverConfig{maxRuns: 1, govern: govern.Config{
+		SoftBytes: 100,
+		HardBytes: 200,
+		Poll:      time.Millisecond,
+		Sample:    func() int64 { return sample },
+	}})
+	t.Cleanup(s.stop)
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.gov.Shed() {
+		if time.Now().After(deadline) {
+			t.Fatal("governor never shed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.retryAfterSecs(); got < 10 || got > 60 {
+		t.Errorf("shed retryAfterSecs = %d, want in [10, 60]", got)
+	}
+}

@@ -24,10 +24,10 @@ func main() {
 	fmt.Printf("world:      %d ASes, %d ground-truth links\n",
 		len(art.World.ASNs), art.World.Graph.NumLinks())
 	fmt.Printf("observed:   %d paths from %d vantage points -> %d visible links\n",
-		art.Paths.Len(), len(art.World.VPs), len(art.InferredLinks))
+		art.Paths.Len(), len(art.World.VPs), art.InferredLinkCount())
 	fmt.Printf("validation: %d raw community-derived entries, %d after §4.2 cleaning (%.1f%% of visible links)\n\n",
 		art.RawValidation.Len(), art.Validation.Len(),
-		100*float64(art.Validation.Len())/float64(len(art.InferredLinks)))
+		100*float64(art.Validation.Len())/float64(art.InferredLinkCount()))
 
 	for _, algo := range []string{core.AlgoASRank, core.AlgoProbLink, core.AlgoTopoScope} {
 		tab, err := art.TableFor(algo, 50)

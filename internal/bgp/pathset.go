@@ -15,18 +15,42 @@
 package bgp
 
 import (
-	"slices"
+	"errors"
+	"fmt"
 
 	"breval/internal/asgraph"
 	"breval/internal/asn"
 )
 
-// PathSet is a compact arena of AS paths. Paths are stored
-// back-to-back in one buffer to avoid per-path allocations; At returns
-// views into the arena.
+// ErrArenaOverflow is the typed error a PathSet append panics with
+// when the hop arena would exceed the addressable limit. At xl scale
+// the arena can pass what 32-bit offsets could index; offsets are
+// 64-bit now, but the guard keeps a corrupted or adversarial append
+// sequence from silently exhausting memory. Stage runners recover the
+// panic into a *resilience.StageError, so pipelines see it as an
+// ordinary stage failure satisfying errors.Is(err, ErrArenaOverflow).
+var ErrArenaOverflow = errors.New("bgp: path arena exceeds addressable hop capacity")
+
+// maxArenaHops bounds the hop column of one PathSet. A var, not a
+// const, so the overflow guard is testable without allocating
+// terabytes. 2^42 hops ≈ 17 TiB of column — far above any world this
+// pipeline targets, far below where uint64 offsets would wrap.
+var maxArenaHops = uint64(1) << 42
+
+// PathSet is a packed columnar arena of AS paths. The three columns
+// are the hop buffer (all paths back-to-back, 32-bit ASNs), the
+// 64-bit offset column delimiting paths, and an explicit per-path
+// vantage-point column (the collector-side first hop, kept separately
+// so VP lookups never touch the hop column). At returns views into
+// the arena; no per-path allocation ever happens.
+//
+// The zero value is an empty, usable set: decoders may start from
+// &PathSet{} and Append into it. Len on a zero-value set is 0, not -1
+// (the offset column is normalised lazily on first append).
 type PathSet struct {
-	buf  []asn.ASN
-	offs []uint32
+	hops []asn.ASN
+	offs []uint64 // empty, or Len()+1 entries with a leading 0
+	vps  []asn.ASN
 
 	// SkippedOrigins and SkippedVPs count requested origins and
 	// vantage points the producing propagation dropped because they
@@ -40,118 +64,78 @@ type PathSet struct {
 // NewPathSet returns an empty path set with capacity hints.
 func NewPathSet(nPaths, nHops int) *PathSet {
 	return &PathSet{
-		buf:  make([]asn.ASN, 0, nHops),
-		offs: append(make([]uint32, 0, nPaths+1), 0),
+		hops: make([]asn.ASN, 0, nHops),
+		offs: append(make([]uint64, 0, nPaths+1), 0),
+		vps:  make([]asn.ASN, 0, nPaths),
+	}
+}
+
+// ensure normalises a zero-value set so the offset column carries its
+// leading 0 before the first append.
+func (ps *PathSet) ensure() {
+	if len(ps.offs) == 0 {
+		ps.offs = append(ps.offs, 0)
+	}
+}
+
+// guard panics with ErrArenaOverflow when adding n hops would push the
+// arena past the addressable limit.
+func (ps *PathSet) guard(n int) {
+	if uint64(len(ps.hops))+uint64(n) > maxArenaHops {
+		panic(fmt.Errorf("%w: %d hops + %d", ErrArenaOverflow, len(ps.hops), n))
 	}
 }
 
 // Append adds a copy of p to the set.
 func (ps *PathSet) Append(p asgraph.Path) {
-	ps.buf = append(ps.buf, p...)
-	ps.offs = append(ps.offs, uint32(len(ps.buf)))
+	ps.ensure()
+	ps.guard(len(p))
+	ps.hops = append(ps.hops, p...)
+	ps.offs = append(ps.offs, uint64(len(ps.hops)))
+	ps.vps = append(ps.vps, p.VantagePoint())
 }
 
 // AppendSet adds all paths of other to the set and accumulates its
 // skipped-coverage counts.
 func (ps *PathSet) AppendSet(other *PathSet) {
-	base := uint32(len(ps.buf))
-	ps.buf = append(ps.buf, other.buf...)
-	for _, o := range other.offs[1:] {
-		ps.offs = append(ps.offs, base+o)
+	ps.ensure()
+	ps.guard(len(other.hops))
+	base := uint64(len(ps.hops))
+	ps.hops = append(ps.hops, other.hops...)
+	if len(other.offs) > 0 {
+		for _, o := range other.offs[1:] {
+			ps.offs = append(ps.offs, base+o)
+		}
 	}
+	ps.vps = append(ps.vps, other.vps...)
 	ps.SkippedOrigins += other.SkippedOrigins
 	ps.SkippedVPs += other.SkippedVPs
 }
 
-// Len returns the number of paths.
-func (ps *PathSet) Len() int { return len(ps.offs) - 1 }
+// Len returns the number of paths. A zero-value set has length 0.
+func (ps *PathSet) Len() int {
+	if len(ps.offs) == 0 {
+		return 0
+	}
+	return len(ps.offs) - 1
+}
+
+// NumHops returns the total size of the hop column.
+func (ps *PathSet) NumHops() int { return len(ps.hops) }
 
 // At returns the i-th path as a view into the arena; the caller must
 // not modify it.
 func (ps *PathSet) At(i int) asgraph.Path {
-	return asgraph.Path(ps.buf[ps.offs[i]:ps.offs[i+1]])
+	return asgraph.Path(ps.hops[ps.offs[i]:ps.offs[i+1]])
 }
+
+// VantagePoint returns the vantage point (first hop) of the i-th path
+// from the VP column, without touching the hop column.
+func (ps *PathSet) VantagePoint(i int) asn.ASN { return ps.vps[i] }
 
 // ForEach calls fn for every path in insertion order.
 func (ps *PathSet) ForEach(fn func(asgraph.Path)) {
 	for i := 0; i < ps.Len(); i++ {
 		fn(ps.At(i))
 	}
-}
-
-// packedLink packs a canonical link into one comparable word, smaller
-// ASN in the high half.
-func packedLink(a, b asn.ASN) uint64 {
-	if a > b {
-		a, b = b, a
-	}
-	return uint64(a)<<32 | uint64(b)
-}
-
-// Links returns the set of distinct links appearing on any path —
-// the "inferred links" universe of the paper (§4.1: all AS links
-// visible in the snapshot). Links are collected as packed words and
-// sorted-and-deduped before the single map materialisation, avoiding
-// one hash probe per hop.
-func (ps *PathSet) Links() map[asgraph.Link]bool {
-	packed := make([]uint64, 0, len(ps.buf))
-	ps.ForEach(func(p asgraph.Path) {
-		for i := 0; i+1 < len(p); i++ {
-			packed = append(packed, packedLink(p[i], p[i+1]))
-		}
-	})
-	slices.Sort(packed)
-	packed = slices.Compact(packed)
-	links := make(map[asgraph.Link]bool, len(packed))
-	for _, k := range packed {
-		links[asgraph.Link{A: asn.ASN(k >> 32), B: asn.ASN(k)}] = true
-	}
-	return links
-}
-
-// VPLinkCounts returns, per link, the number of distinct vantage
-// points that observed it. Instead of one inner map per link, the
-// (link, vantage point) pairs are collected flat, sorted, and counted
-// in one pass.
-func (ps *PathSet) VPLinkCounts() map[asgraph.Link]int {
-	type pair struct {
-		link uint64
-		vp   asn.ASN
-	}
-	pairs := make([]pair, 0, len(ps.buf))
-	ps.ForEach(func(p asgraph.Path) {
-		vp := p.VantagePoint()
-		for i := 0; i+1 < len(p); i++ {
-			pairs = append(pairs, pair{packedLink(p[i], p[i+1]), vp})
-		}
-	})
-	slices.SortFunc(pairs, func(x, y pair) int {
-		if x.link != y.link {
-			if x.link < y.link {
-				return -1
-			}
-			return 1
-		}
-		if x.vp != y.vp {
-			if x.vp < y.vp {
-				return -1
-			}
-			return 1
-		}
-		return 0
-	})
-	out := make(map[asgraph.Link]int)
-	for i := 0; i < len(pairs); {
-		l := pairs[i].link
-		distinct := 0
-		for i < len(pairs) && pairs[i].link == l {
-			vp := pairs[i].vp
-			distinct++
-			for i < len(pairs) && pairs[i].link == l && pairs[i].vp == vp {
-				i++
-			}
-		}
-		out[asgraph.Link{A: asn.ASN(l >> 32), B: asn.ASN(l)}] = distinct
-	}
-	return out
 }

@@ -1,0 +1,304 @@
+package bgp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/govern"
+)
+
+// pathLinks rebuilds the distinct-link universe of a path set. The
+// production pipeline gets this from intern.Build; tests keep this
+// independent map-based recomputation as an oracle.
+func pathLinks(ps *PathSet) map[asgraph.Link]bool {
+	links := make(map[asgraph.Link]bool)
+	ps.ForEach(func(p asgraph.Path) {
+		for i := 0; i+1 < len(p); i++ {
+			links[asgraph.NewLink(p[i], p[i+1])] = true
+		}
+	})
+	return links
+}
+
+// pathVPLinkCounts rebuilds per-link distinct-vantage-point counts —
+// the map oracle for the dense VPCnt column.
+func pathVPLinkCounts(ps *PathSet) map[asgraph.Link]int {
+	seen := make(map[asgraph.Link]map[asn.ASN]bool)
+	ps.ForEach(func(p asgraph.Path) {
+		vp := p.VantagePoint()
+		for i := 0; i+1 < len(p); i++ {
+			l := asgraph.NewLink(p[i], p[i+1])
+			if seen[l] == nil {
+				seen[l] = make(map[asn.ASN]bool)
+			}
+			seen[l][vp] = true
+		}
+	})
+	out := make(map[asgraph.Link]int, len(seen))
+	for l, vps := range seen {
+		out[l] = len(vps)
+	}
+	return out
+}
+
+// TestPathSetZeroValue: a decoder-constructed &PathSet{} must behave
+// like an empty set — Len 0 (not -1) — and accept appends.
+func TestPathSetZeroValue(t *testing.T) {
+	var ps PathSet
+	if got := ps.Len(); got != 0 {
+		t.Fatalf("zero-value Len = %d, want 0", got)
+	}
+	if got := ps.NumHops(); got != 0 {
+		t.Fatalf("zero-value NumHops = %d, want 0", got)
+	}
+	ps.ForEach(func(asgraph.Path) { t.Fatal("ForEach on empty set") })
+
+	ps.Append(asgraph.Path{10, 20, 30})
+	if ps.Len() != 1 || !pathEq(ps.At(0), 10, 20, 30) {
+		t.Fatalf("append into zero value: Len=%d At(0)=%v", ps.Len(), ps.At(0))
+	}
+	if ps.VantagePoint(0) != 10 {
+		t.Fatalf("VantagePoint(0) = %d, want 10", ps.VantagePoint(0))
+	}
+
+	// AppendSet into and from zero-value sets.
+	var dst PathSet
+	dst.AppendSet(&ps)
+	var empty PathSet
+	dst.AppendSet(&empty)
+	if dst.Len() != 1 || !pathEq(dst.At(0), 10, 20, 30) {
+		t.Fatalf("AppendSet zero-value round trip: Len=%d", dst.Len())
+	}
+}
+
+// TestPathSetVPColumn: the vantage-point column tracks the first hop
+// through Append and AppendSet.
+func TestPathSetVPColumn(t *testing.T) {
+	a := NewPathSet(2, 8)
+	a.Append(asgraph.Path{100, 1, 2})
+	a.Append(asgraph.Path{200, 2, 3, 4})
+	b := NewPathSet(1, 4)
+	b.Append(asgraph.Path{300, 9})
+	a.AppendSet(b)
+	want := []asn.ASN{100, 200, 300}
+	for i, w := range want {
+		if got := a.VantagePoint(i); got != w {
+			t.Errorf("VantagePoint(%d) = %d, want %d", i, got, w)
+		}
+		if got := a.At(i).VantagePoint(); got != w {
+			t.Errorf("At(%d).VantagePoint() = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestPathSetArenaOverflow: appends past the arena hop limit must
+// fail loudly with the typed error, not wrap offsets silently.
+func TestPathSetArenaOverflow(t *testing.T) {
+	old := maxArenaHops
+	maxArenaHops = 8
+	defer func() { maxArenaHops = old }()
+
+	recovered := func(fn func()) (err error) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			e, ok := v.(error)
+			if !ok {
+				t.Fatalf("panic value %v is not an error", v)
+			}
+			err = e
+		}()
+		fn()
+		return nil
+	}
+
+	ps := NewPathSet(4, 8)
+	ps.Append(asgraph.Path{1, 2, 3, 4, 5, 6})
+	if err := recovered(func() { ps.Append(asgraph.Path{7, 8, 9}) }); !errors.Is(err, ErrArenaOverflow) {
+		t.Fatalf("Append past limit: err = %v, want ErrArenaOverflow", err)
+	}
+	// The failed append must not have corrupted the set.
+	if ps.Len() != 1 || !pathEq(ps.At(0), 1, 2, 3, 4, 5, 6) {
+		t.Fatalf("set corrupted after rejected append: Len=%d", ps.Len())
+	}
+
+	other := NewPathSet(1, 4)
+	other.Append(asgraph.Path{7, 8, 9})
+	if err := recovered(func() { ps.AppendSet(other) }); !errors.Is(err, ErrArenaOverflow) {
+		t.Fatalf("AppendSet past limit: err = %v, want ErrArenaOverflow", err)
+	}
+	// Exactly at the limit is fine.
+	ps.Append(asgraph.Path{7, 8})
+	if ps.Len() != 2 {
+		t.Fatalf("Len = %d after append at limit", ps.Len())
+	}
+}
+
+// digestPathSet folds every path (with its VP column) into an
+// order-sensitive FNV digest, so two sets are byte-identical iff the
+// digests match.
+func digestPathSet(ps *PathSet) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(ps.Len()))
+	for i := 0; i < ps.Len(); i++ {
+		mix(uint64(ps.VantagePoint(i)))
+		p := ps.At(i)
+		mix(uint64(len(p)))
+		for _, a := range p {
+			mix(uint64(a))
+		}
+	}
+	mix(uint64(ps.SkippedOrigins)<<32 | uint64(ps.SkippedVPs))
+	return h
+}
+
+// TestPropagateBlocksParity: the block stream, concatenated, is
+// byte-identical to the monolithic PropagateContext result — across
+// worker counts and governor permit levels — and blocks arrive in
+// origin order, one per propagated origin.
+func TestPropagateBlocksParity(t *testing.T) {
+	g := hierarchy()
+	sim := NewSimulator(g)
+	origins := allASNs(g)
+	vps := []asn.ASN{100, 103}
+
+	want := sim.Propagate(origins, vps)
+	wantDigest := digestPathSet(want)
+
+	maxProcs := runtime.GOMAXPROCS(0)
+	if maxProcs < 4 {
+		maxProcs = 4
+	}
+	for _, workers := range []int{1, 2, maxProcs} {
+		for _, permits := range []int{0, 1, 2} { // 0 = no governor
+			name := fmt.Sprintf("workers=%d/permits=%d", workers, permits)
+			t.Run(name, func(t *testing.T) {
+				prev := runtime.GOMAXPROCS(workers)
+				defer runtime.GOMAXPROCS(prev)
+				ctx := context.Background()
+				if permits > 0 {
+					gov := govern.New(govern.Config{SoftBytes: 1 << 50, MaxWorkers: permits})
+					ctx = govern.Into(ctx, gov)
+				}
+				got := &PathSet{}
+				blocks := 0
+				so, sv, err := sim.PropagateBlocks(ctx, origins, vps, func(blk *PathSet) error {
+					blocks++
+					got.AppendSet(blk)
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("PropagateBlocks: %v", err)
+				}
+				got.SkippedOrigins, got.SkippedVPs = so, sv
+				if blocks != len(origins) {
+					t.Errorf("got %d blocks, want %d (one per origin)", blocks, len(origins))
+				}
+				if d := digestPathSet(got); d != wantDigest {
+					t.Errorf("stream digest %x != monolithic %x", d, wantDigest)
+				}
+			})
+		}
+	}
+}
+
+// TestPropagateBlocksSkippedAccounting: origins and VPs absent from
+// the graph are counted identically by the streaming and monolithic
+// paths, regardless of how many blocks the stream produced.
+func TestPropagateBlocksSkippedAccounting(t *testing.T) {
+	g := hierarchy()
+	sim := NewSimulator(g)
+	origins := append(allASNs(g), 7777, 8888, 9999)
+	vps := []asn.ASN{100, 103, 424242}
+
+	mono, err := sim.PropagateContext(context.Background(), origins, vps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono.SkippedOrigins != 3 || mono.SkippedVPs != 1 {
+		t.Fatalf("monolithic skips = (%d,%d), want (3,1)", mono.SkippedOrigins, mono.SkippedVPs)
+	}
+
+	stream := &PathSet{}
+	so, sv, err := sim.PropagateBlocks(context.Background(), origins, vps, func(blk *PathSet) error {
+		if blk.SkippedOrigins != 0 || blk.SkippedVPs != 0 {
+			t.Errorf("per-origin block carries skip counts (%d,%d)", blk.SkippedOrigins, blk.SkippedVPs)
+		}
+		stream.AppendSet(blk)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.SkippedOrigins, stream.SkippedVPs = so, sv
+	if so != mono.SkippedOrigins || sv != mono.SkippedVPs {
+		t.Errorf("stream skips = (%d,%d), monolithic = (%d,%d)", so, sv, mono.SkippedOrigins, mono.SkippedVPs)
+	}
+	if digestPathSet(stream) != digestPathSet(mono) {
+		t.Error("stream and monolithic sets differ")
+	}
+}
+
+// TestPropagateBlocksSinkError: a sink error cancels the remaining
+// workers and surfaces from PropagateBlocks.
+func TestPropagateBlocksSinkError(t *testing.T) {
+	g := hierarchy()
+	sim := NewSimulator(g)
+	sentinel := errors.New("sink boom")
+	calls := 0
+	_, _, err := sim.PropagateBlocks(context.Background(), allASNs(g), []asn.ASN{100}, func(blk *PathSet) error {
+		calls++
+		if calls == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sink error", err)
+	}
+}
+
+// TestPropagateBlocksOrderUnderLoad: blocks must arrive in strictly
+// ascending origin order even when worker completion order is
+// scrambled by scheduling.
+func TestPropagateBlocksOrderUnderLoad(t *testing.T) {
+	g := hierarchy()
+	sim := NewSimulator(g)
+	origins := allASNs(g)
+	// Shuffle the request order; delivery must follow it exactly.
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(origins), func(i, j int) { origins[i], origins[j] = origins[j], origins[i] })
+
+	var seenOrigins []asn.ASN
+	_, _, err := sim.PropagateBlocks(context.Background(), origins, []asn.ASN{100, 103}, func(blk *PathSet) error {
+		if blk.Len() > 0 {
+			seenOrigins = append(seenOrigins, blk.At(0).Origin())
+		} else {
+			seenOrigins = append(seenOrigins, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seenOrigins) != len(origins) {
+		t.Fatalf("got %d blocks, want %d", len(seenOrigins), len(origins))
+	}
+	for i, o := range origins {
+		if seenOrigins[i] != 0 && seenOrigins[i] != o {
+			t.Fatalf("block %d is origin %d, want %d (request order)", i, seenOrigins[i], o)
+		}
+	}
+}

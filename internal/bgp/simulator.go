@@ -151,7 +151,39 @@ func (s *Simulator) Propagate(origins, vps []asn.ASN) *PathSet {
 // skipped, counted on the returned PathSet (SkippedOrigins/SkippedVPs)
 // and in the obs counters bgp.skipped_origins / bgp.skipped_vps, so an
 // experiment that quietly loses coverage is visible in its metrics.
+//
+// PropagateContext is the monolithic convenience over
+// PropagateBlocks: it merges every per-origin block into one arena.
+// Callers that can consume paths incrementally (the streaming feature
+// extractor) should use PropagateBlocks directly and avoid holding
+// two copies of the path universe.
 func (s *Simulator) PropagateContext(ctx context.Context, origins, vps []asn.ASN) (*PathSet, error) {
+	total := NewPathSet(len(origins)*len(vps), len(origins)*len(vps)*5)
+	so, sv, err := s.PropagateBlocks(ctx, origins, vps, func(blk *PathSet) error {
+		total.AppendSet(blk)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total.SkippedOrigins = so
+	total.SkippedVPs = sv
+	return total, nil
+}
+
+// PropagateBlocks streams propagation results: for every origin
+// present in the graph, the vantage-point paths of that origin are
+// emitted as one PathSet block to sink, strictly in origin (request)
+// order, on the caller's goroutine. Workers run ahead under a bounded
+// reorder window — at most a few blocks per worker exist at once — so
+// downstream consumers see the exact byte order of the monolithic
+// PropagateContext merge while peak memory stays proportional to the
+// window, not the world.
+//
+// A sink error cancels the remaining workers and is returned after
+// the pool drains. The returned counts are the requested origins and
+// vantage points skipped because they are absent from the graph.
+func (s *Simulator) PropagateBlocks(ctx context.Context, origins, vps []asn.ASN, sink func(*PathSet) error) (skippedOrigins, skippedVPs int, err error) {
 	col := obs.From(ctx)
 
 	// Under a governor the stage is supervised: every worker beats the
@@ -181,8 +213,8 @@ func (s *Simulator) PropagateContext(ctx context.Context, origins, vps []asn.ASN
 			jobs = append(jobs, job{pos: pos, origin: i})
 		}
 	}
-	skippedOrigins := len(origins) - len(jobs)
-	skippedVPs := len(vps) - len(vpIdx)
+	skippedOrigins = len(origins) - len(jobs)
+	skippedVPs = len(vps) - len(vpIdx)
 	// Always registered, even at zero: "measured and zero" must be
 	// distinguishable from "not measured" in the metrics document.
 	col.Add("bgp.skipped_origins", int64(skippedOrigins))
@@ -212,9 +244,33 @@ func (s *Simulator) PropagateContext(ctx context.Context, origins, vps []asn.ASN
 		errMu.Unlock()
 		cancel()
 	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
 
 	wctx, wspan := obs.StartSpan(ctx, "bgp.propagate.workers")
-	results := make([]*PathSet, len(jobs))
+
+	// The reorder window bounds how far workers may run ahead of the
+	// in-order delivery point: each in-flight block holds one slot from
+	// acquisition until the sink has consumed it. A few blocks per
+	// worker keeps everyone busy across uneven origin costs while peak
+	// retained memory stays O(window), not O(world).
+	window := 4 * nw
+	if window < 8 {
+		window = 8
+	}
+	slots := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		slots <- struct{}{}
+	}
+	type block struct {
+		idx int
+		ps  *PathSet
+	}
+	resCh := make(chan block, window)
+
 	var wg sync.WaitGroup
 	ch := make(chan int, len(jobs))
 	for j := range jobs {
@@ -241,6 +297,12 @@ func (s *Simulator) PropagateContext(ctx context.Context, origins, vps []asn.ASN
 					fail(err)
 					return
 				}
+				select {
+				case <-slots:
+				case <-wctx.Done():
+					fail(wctx.Err())
+					return
+				}
 				if err := lim.Acquire(wctx); err != nil {
 					fail(err)
 					return
@@ -256,30 +318,50 @@ func (s *Simulator) PropagateContext(ctx context.Context, origins, vps []asn.ASN
 				}()
 				ws.origins++
 				ws.paths += int64(ps.Len())
-				results[j] = ps
+				select {
+				case resCh <- block{idx: j, ps: ps}:
+				case <-wctx.Done():
+					fail(wctx.Err())
+					return
+				}
 			}
 		}()
 	}
-	wg.Wait()
-	wspan.End()
-	if firstErr != nil {
-		return nil, hb.Resolve(firstErr)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, hb.Resolve(err)
-	}
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
 
-	_, mspan := obs.StartSpan(ctx, "bgp.propagate.merge")
-	total := NewPathSet(len(jobs)*len(vpIdx), len(jobs)*len(vpIdx)*5)
-	for _, ps := range results {
-		if ps != nil {
-			total.AppendSet(ps)
+	// In-order delivery on the caller's goroutine. Blocks arriving out
+	// of order park in pending until their turn; slots free only after
+	// delivery, which is what bounds worker run-ahead.
+	pending := make(map[int]*PathSet, window)
+	next := 0
+	for b := range resCh {
+		pending[b.idx] = b.ps
+		for {
+			ps, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if !failed() && ctx.Err() == nil {
+				if serr := sink(ps); serr != nil {
+					fail(serr)
+				}
+			}
+			slots <- struct{}{}
 		}
 	}
-	total.SkippedOrigins = skippedOrigins
-	total.SkippedVPs = skippedVPs
-	mspan.End()
-	return total, nil
+	wspan.End()
+	if firstErr != nil {
+		return skippedOrigins, skippedVPs, hb.Resolve(firstErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return skippedOrigins, skippedVPs, hb.Resolve(err)
+	}
+	return skippedOrigins, skippedVPs, nil
 }
 
 // workerStats is one propagation worker's locally-accumulated

@@ -207,7 +207,7 @@ func TestPropagateSyntheticWorldInvariants(t *testing.T) {
 	}
 	// Visibility sanity: the observed link universe is a subset of
 	// ground truth and contains every clique link.
-	links := ps.Links()
+	links := pathLinks(ps)
 	for l := range links {
 		if _, ok := w.Graph.RelOn(l); !ok {
 			t.Errorf("observed link %v not in ground truth", l)
@@ -226,7 +226,7 @@ func TestVPLinkCounts(t *testing.T) {
 	g := hierarchy()
 	sim := NewSimulator(g)
 	ps := sim.Propagate(allASNs(g), []asn.ASN{100, 103})
-	counts := ps.VPLinkCounts()
+	counts := pathVPLinkCounts(ps)
 	// The 1-2 clique link is crossed by both VPs.
 	if got := counts[asgraph.NewLink(1, 2)]; got != 2 {
 		t.Errorf("VP count for 1-2 = %d, want 2", got)
@@ -254,7 +254,7 @@ func TestPathSetArena(t *testing.T) {
 	if ps.Len() != 3 || !pathEq(ps.At(2), 7, 8, 9) {
 		t.Errorf("AppendSet: %v", ps.At(2))
 	}
-	links := ps.Links()
+	links := pathLinks(ps)
 	if !links[asgraph.NewLink(1, 2)] || !links[asgraph.NewLink(8, 9)] || len(links) != 5 {
 		t.Errorf("Links = %v", links)
 	}

@@ -10,6 +10,7 @@ import (
 
 	"breval/internal/asgraph"
 	"breval/internal/asn"
+	"breval/internal/intern"
 	"breval/internal/registry"
 	"breval/internal/validation"
 )
@@ -142,15 +143,18 @@ type ClassStat struct {
 	Coverage  float64
 }
 
-// Imbalance computes per-class link shares and validation coverage for
-// the inferred link set, sorted by descending share (the paper's bar
-// order). Snapshot entries count as validated whatever their label
-// multiplicity, matching "fraction of links for which we have
-// validation labels".
-func Imbalance(links map[asgraph.Link]bool, snap *validation.Snapshot, cls LinkClassifier) []ClassStat {
+// Imbalance computes per-class link shares and validation coverage
+// for the inferred link universe — the links interned in tab — sorted
+// by descending share (the paper's bar order). Snapshot entries count
+// as validated whatever their label multiplicity, matching "fraction
+// of links for which we have validation labels". The iteration is
+// over dense link IDs (ascending canonical link order), so the result
+// is deterministic without any sorting of inputs.
+func Imbalance(tab *intern.Table, snap *validation.Snapshot, cls LinkClassifier) []ClassStat {
 	byClass := make(map[string]*ClassStat)
 	total := 0
-	for l := range links {
+	for lid := int32(0); lid < int32(tab.NumLinks()); lid++ {
+		l := tab.Link(lid)
 		name, ok := cls.Class(l)
 		if !ok {
 			continue

@@ -8,9 +8,21 @@ import (
 
 	"breval/internal/asgraph"
 	"breval/internal/asn"
+	"breval/internal/bgp"
+	"breval/internal/intern"
 	"breval/internal/registry"
 	"breval/internal/validation"
 )
+
+// tableOf interns the given links (each becomes a one-hop path), so
+// Imbalance iterates exactly that universe.
+func tableOf(links ...asgraph.Link) *intern.Table {
+	ps := bgp.NewPathSet(len(links), 2*len(links))
+	for _, l := range links {
+		ps.Append(asgraph.Path{l.A, l.B})
+	}
+	return intern.Build(ps)
+}
 
 func regionMapper(t *testing.T) *registry.Mapper {
 	t.Helper()
@@ -86,14 +98,14 @@ func TestTopoClass(t *testing.T) {
 
 func TestImbalance(t *testing.T) {
 	rc := NewRegionClassifier(regionMapper(t))
-	links := map[asgraph.Link]bool{
-		asgraph.NewLink(1, 2):     true, // AR°
-		asgraph.NewLink(3, 4):     true, // AR°
-		asgraph.NewLink(5, 6):     true, // AR°
-		asgraph.NewLink(150, 151): true, // R°
-		asgraph.NewLink(250, 251): true, // L°
-		asgraph.NewLink(1, 9999):  true, // discarded
-	}
+	links := tableOf(
+		asgraph.NewLink(1, 2),     // AR°
+		asgraph.NewLink(3, 4),     // AR°
+		asgraph.NewLink(5, 6),     // AR°
+		asgraph.NewLink(150, 151), // R°
+		asgraph.NewLink(250, 251), // L°
+		asgraph.NewLink(1, 9999),  // discarded
+	)
 	snap := validation.NewSnapshot()
 	snap.Add(asgraph.NewLink(1, 2), validation.Label{Type: asgraph.P2P})
 	snap.Add(asgraph.NewLink(3, 4), validation.Label{Type: asgraph.P2P})
@@ -141,7 +153,7 @@ func TestBuildHeatmap(t *testing.T) {
 		5: 500, 6: 200, // larger 500 -> x=5, smaller 200 >= 150 -> y catch-all
 		7: 9999, 8: 9999, // both catch-all
 	}
-	h := BuildHeatmap(links, metric, TransitDegreeSpec())
+	h := BuildHeatmap(links, func(a asn.ASN) int { return metric[a] }, TransitDegreeSpec())
 	if h.Total != 4 {
 		t.Fatalf("Total = %d", h.Total)
 	}
@@ -175,7 +187,7 @@ func TestBuildHeatmap(t *testing.T) {
 }
 
 func TestBuildHeatmapEmpty(t *testing.T) {
-	h := BuildHeatmap(nil, nil, ConeSpec())
+	h := BuildHeatmap(nil, func(asn.ASN) int { return 0 }, ConeSpec())
 	if h.Total != 0 {
 		t.Error("empty heatmap total wrong")
 	}
@@ -185,7 +197,7 @@ func TestBuildHeatmapEmpty(t *testing.T) {
 }
 
 func TestMissingMetricDefaultsToZero(t *testing.T) {
-	h := BuildHeatmap([]asgraph.Link{asgraph.NewLink(1, 2)}, map[asn.ASN]int{}, NodeDegreeSpec())
+	h := BuildHeatmap([]asgraph.Link{asgraph.NewLink(1, 2)}, func(asn.ASN) int { return 0 }, NodeDegreeSpec())
 	if h.Frac[0][0] != 1 {
 		t.Errorf("missing metric: %v", h.Frac[0][0])
 	}
@@ -213,8 +225,9 @@ func TestHeatmapMassProperty(t *testing.T) {
 		if len(links) == 0 {
 			return true
 		}
-		spec := SpecFromData(links, metric, 10)
-		h := BuildHeatmap(links, metric, spec)
+		mf := func(a asn.ASN) int { return metric[a] }
+		spec := SpecFromData(links, mf, 10)
+		h := BuildHeatmap(links, mf, spec)
 		sum := 0.0
 		for _, row := range h.Frac {
 			for _, v := range row {
@@ -229,5 +242,26 @@ func TestHeatmapMassProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Regression: with 9 equal-weight links the cell fractions sum to
+// 1+2e-16, and a corner holding none of them used to yield a negative
+// CornerMass (found by TestHeatmapMassProperty, seed
+// -3029643043785975827).
+func TestCornerMassNeverNegative(t *testing.T) {
+	links := make([]asgraph.Link, 0, 9)
+	metric := map[asn.ASN]int{}
+	for i := 0; i < 9; i++ {
+		a, b := asn.ASN(2*i+1), asn.ASN(2*i+2)
+		links = append(links, asgraph.NewLink(a, b))
+		// Every endpoint far above half the axis caps, so the lower-left
+		// corner is empty.
+		metric[a], metric[b] = 4000+i, 4500+i
+	}
+	mf := func(a asn.ASN) int { return metric[a] }
+	h := BuildHeatmap(links, mf, SpecFromData(links, mf, 10))
+	if cm := h.CornerMass(0.5, 0.5); cm < 0 || cm > 1 {
+		t.Errorf("CornerMass = %v, want within [0, 1]", cm)
 	}
 }

@@ -52,15 +52,17 @@ func NodeDegreeSpec() HeatmapSpec {
 // magnitude below the 2018 Internet's: the caps sit near the 98th
 // percentile of the larger/smaller endpoint metrics (keeping the
 // paper's catch-all top row and right column), with bins bins per
-// axis.
-func SpecFromData(links []asgraph.Link, metric map[asn.ASN]int, bins int) HeatmapSpec {
+// axis. The metric is a function (dense consumers pass fs accessors;
+// map-backed callers wrap a lookup); ASes without a metric value must
+// yield 0.
+func SpecFromData(links []asgraph.Link, metric func(asn.ASN) int, bins int) HeatmapSpec {
 	if bins < 2 {
 		bins = 15
 	}
 	larger := make([]int, 0, len(links))
 	smaller := make([]int, 0, len(links))
 	for _, l := range links {
-		ma, mb := metric[l.A], metric[l.B]
+		ma, mb := metric(l.A), metric(l.B)
 		if ma < mb {
 			ma, mb = mb, ma
 		}
@@ -95,9 +97,9 @@ func quantileInt(vals []int, q float64) int {
 }
 
 // BuildHeatmap bins the given links by the per-AS size metric.
-// Links whose endpoints lack a metric value use zero, like the paper's
-// treatment of ASes missing from the size data.
-func BuildHeatmap(links []asgraph.Link, metric map[asn.ASN]int, spec HeatmapSpec) *Heatmap {
+// Links whose endpoints lack a metric value must yield zero, like the
+// paper's treatment of ASes missing from the size data.
+func BuildHeatmap(links []asgraph.Link, metric func(asn.ASN) int, spec HeatmapSpec) *Heatmap {
 	nx := spec.XCap/spec.XBinWidth + 1
 	ny := spec.YCap/spec.YBinWidth + 1
 	h := &Heatmap{
@@ -109,7 +111,7 @@ func BuildHeatmap(links []asgraph.Link, metric map[asn.ASN]int, spec HeatmapSpec
 		h.Frac[y] = make([]float64, nx)
 	}
 	for _, l := range links {
-		ma, mb := metric[l.A], metric[l.B]
+		ma, mb := metric(l.A), metric(l.B)
 		if ma < mb {
 			ma, mb = mb, ma
 		}
@@ -161,5 +163,15 @@ func (h *Heatmap) CornerMass(fx, fy float64) float64 {
 	}
 	qx := int(fx * float64(len(h.Frac[0])))
 	qy := int(fy * float64(len(h.Frac)))
-	return 1 - h.MassAbove(qx, qy)
+	cm := 1 - h.MassAbove(qx, qy)
+	// The per-cell fractions are count/Total, so their float sum can
+	// land a few ulps either side of 1; when every link is outside the
+	// corner that residue would surface as a negative fraction.
+	if cm < 0 {
+		return 0
+	}
+	if cm > 1 {
+		return 1
+	}
+	return cm
 }

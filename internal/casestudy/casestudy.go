@@ -23,6 +23,7 @@ import (
 	"breval/internal/asn"
 	"breval/internal/inference"
 	"breval/internal/inference/features"
+	"breval/internal/intern"
 	"breval/internal/validation"
 )
 
@@ -124,7 +125,7 @@ func Analyze(res *inference.Result, truth *validation.Snapshot, fs *features.Set
 			return
 		}
 		// Transit counterpart only (the T1-TR class).
-		if fs.TransitDegree[l.Other(t1)] == 0 {
+		if fs.TransitDegreeOf(l.Other(t1)) == 0 {
 			return
 		}
 		p, ok := res.Rel(l)
@@ -154,24 +155,45 @@ func Analyze(res *inference.Result, truth *validation.Snapshot, fs *features.Set
 		}
 		return targets[i].B < targets[j].B
 	})
-	hasTriplet := make(map[asgraph.Link]bool, len(targets))
-	targetSet := make(map[asgraph.Link]bool, len(targets))
+	// The triplet search runs over the dense hop encoding: link
+	// membership tests become bitset probes on interned link IDs.
+	tab, d := fs.Intern, fs.Dense
+	targetSet := intern.NewLinkSet(tab)
 	for _, l := range targets {
-		targetSet[l] = true
+		if lid, ok := tab.LinkID(l); ok {
+			targetSet.Add(lid)
+		}
 	}
-	fs.Paths.ForEach(func(p asgraph.Path) {
-		p.Triplets(func(left, mid, right asn.ASN) {
-			if mid != rep.Focus {
-				return
+	inClique := make([]bool, tab.NumAS())
+	for _, c := range res.Clique {
+		if id, ok := tab.ASID(c); ok {
+			inClique[id] = true
+		}
+	}
+	hasTriplet := intern.NewLinkSet(tab)
+	if fid, ok := tab.ASID(rep.Focus); ok {
+		for i, n := 0, d.Len(); i < n; i++ {
+			hops := d.Hops(i)
+			for j := 0; j+1 < len(hops); j++ {
+				left, mid, right := d.Triplet(hops[j], hops[j+1])
+				if mid != fid {
+					continue
+				}
+				lid1, _ := intern.DecodeHop(hops[j])   // link mid-left
+				lid2, _ := intern.DecodeHop(hops[j+1]) // link mid-right
+				if inClique[left] && targetSet.Has(lid2) {
+					hasTriplet.Add(lid2)
+				}
+				if inClique[right] && targetSet.Has(lid1) {
+					hasTriplet.Add(lid1)
+				}
 			}
-			if cliqueSet[left] && targetSet[asgraph.NewLink(mid, right)] {
-				hasTriplet[asgraph.NewLink(mid, right)] = true
-			}
-			if cliqueSet[right] && targetSet[asgraph.NewLink(mid, left)] {
-				hasTriplet[asgraph.NewLink(mid, left)] = true
-			}
-		})
-	})
+		}
+	}
+	withTriplet := func(l asgraph.Link) bool {
+		lid, ok := tab.LinkID(l)
+		return ok && hasTriplet.Has(lid)
+	}
 
 	// Step 3: looking-glass diagnosis, for the focus AS's targets and
 	// for every other clique member's wrong links.
@@ -189,7 +211,7 @@ func Analyze(res *inference.Result, truth *validation.Snapshot, fs *features.Set
 		return t
 	}
 	for _, l := range targets {
-		t := diagnose(rep.Focus, l, hasTriplet[l])
+		t := diagnose(rep.Focus, l, withTriplet(l))
 		rep.ByCause[t.Cause]++
 		rep.Targets = append(rep.Targets, t)
 	}
@@ -207,7 +229,7 @@ func Analyze(res *inference.Result, truth *validation.Snapshot, fs *features.Set
 			return links[i].B < links[j].B
 		})
 		for _, l := range links {
-			rep.AllTargets = append(rep.AllTargets, diagnose(t1, l, hasTriplet[l]))
+			rep.AllTargets = append(rep.AllTargets, diagnose(t1, l, withTriplet(l)))
 		}
 	}
 	return rep

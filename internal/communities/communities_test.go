@@ -228,7 +228,12 @@ func TestExtractOnSyntheticWorld(t *testing.T) {
 		t.Errorf("%d single-label entries disagree with ground truth", wrong)
 	}
 	// Coverage must be partial: publishers are a biased subset.
-	visible := ps.Links()
+	visible := make(map[asgraph.Link]bool)
+	ps.ForEach(func(p asgraph.Path) {
+		for i := 0; i+1 < len(p); i++ {
+			visible[asgraph.NewLink(p[i], p[i+1])] = true
+		}
+	})
 	if snap.Len() >= len(visible) {
 		t.Errorf("validation covers %d of %d visible links; expected partial coverage",
 			snap.Len(), len(visible))

@@ -23,7 +23,7 @@ func TestCalibrationDiagnostic(t *testing.T) {
 	t.Logf("world: ASes=%d links=%d VPs=%d publishers=%d", len(art.World.ASNs),
 		art.World.Graph.NumLinks(), len(art.World.VPs), len(art.World.Publishers))
 	t.Logf("paths=%d inferredLinks=%d rawVal=%d cleanVal=%d", art.Paths.Len(),
-		len(art.InferredLinks), art.RawValidation.Len(), art.Validation.Len())
+		art.InferredLinkCount(), art.RawValidation.Len(), art.Validation.Len())
 	t.Logf("clean report: %+v", art.CleanReport)
 
 	t.Log("Figure 1 paper shares:   R°.39 AR°.15 L°.14 AP°.08 AR-R.08 AP-R.06 AP-AR.03 AF-R.02 AR-L.02 AF°.01 L-R.01")

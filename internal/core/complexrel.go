@@ -58,7 +58,7 @@ func (a *Artifacts) ComplexRelationships() ComplexRelReport {
 		}
 	})
 	a.World.Graph.ForEachRel(func(l asgraph.Link, r asgraph.Rel) {
-		if r.Hybrid && a.InferredLinks[l] {
+		if r.Hybrid && a.LinkObserved(l) {
 			rep.TrueHybrids++
 		}
 	})

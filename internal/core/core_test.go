@@ -41,10 +41,10 @@ func TestRunProducesAllArtifacts(t *testing.T) {
 	if len(art.Results) != 4 {
 		t.Fatalf("got %d results", len(art.Results))
 	}
-	if art.Validation.Len() == 0 || len(art.InferredLinks) == 0 {
+	if art.Validation.Len() == 0 || art.InferredLinkCount() == 0 {
 		t.Fatal("empty data")
 	}
-	if art.Validation.Len() >= len(art.InferredLinks) {
+	if art.Validation.Len() >= art.InferredLinkCount() {
 		t.Error("validation must cover a strict subset of inferred links")
 	}
 }

@@ -103,11 +103,15 @@ func (a *Artifacts) RunEvolutionContext(ctx context.Context, months int) (Evolut
 		step := EvolutionStep{
 			Month:     month,
 			Changes:   changes,
-			Visible:   len(fs.Links),
+			Visible:   fs.NumLinks(),
 			Validated: clean.Len(),
 		}
-		for l := range fs.Links {
-			res.VisibilityOverTime[l]++
+		// VisibilityOverTime spans snapshots with distinct dense-ID
+		// spaces, so the cross-snapshot accumulator stays link-keyed;
+		// each snapshot contributes its links in dense-ID order.
+		tab := fs.Intern
+		for lid := int32(0); lid < int32(tab.NumLinks()); lid++ {
+			res.VisibilityOverTime[tab.Link(lid)]++
 		}
 		curLabels := make(map[asgraph.Link]validation.Label, clean.Len())
 		for _, l := range clean.Links() {

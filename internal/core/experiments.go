@@ -22,7 +22,7 @@ var errNoTopoCls = errors.New("core: no topological classifier (cones.build stag
 // link class, the share of inferred links and the validation
 // coverage.
 func (a *Artifacts) Figure1() []bias.ClassStat {
-	return bias.Imbalance(a.InferredLinks, a.Validation, a.RegionCls)
+	return bias.Imbalance(a.Features.Intern, a.Validation, a.RegionCls)
 }
 
 // Figure2 computes the topological imbalance of Figure 2. It returns
@@ -31,7 +31,7 @@ func (a *Artifacts) Figure2() []bias.ClassStat {
 	if a.TopoCls == nil {
 		return nil
 	}
-	return bias.Imbalance(a.InferredLinks, a.Validation, a.TopoCls)
+	return bias.Imbalance(a.Features.Intern, a.Validation, a.TopoCls)
 }
 
 // trLinks returns the TR° links of the inferred universe and the
@@ -41,16 +41,16 @@ func (a *Artifacts) trLinks() (inferred, validated []asgraph.Link) {
 	if a.TopoCls == nil {
 		return nil, nil
 	}
-	for l := range a.InferredLinks {
+	// Dense-ID iteration is already ascending canonical link order, so
+	// the slices come out sorted without an explicit sort.
+	a.ForEachInferredLink(func(l asgraph.Link) {
 		if name, ok := a.TopoCls.Class(l); ok && name == "TR°" {
 			inferred = append(inferred, l)
 			if a.Validation.Has(l) {
 				validated = append(validated, l)
 			}
 		}
-	}
-	sortLinks(inferred)
-	sortLinks(validated)
+	})
 	return inferred, validated
 }
 
@@ -68,11 +68,11 @@ type HeatmapPair struct {
 // paper's fixed 150/1500 caps assume 2018-Internet degrees.
 func (a *Artifacts) Figure3() HeatmapPair {
 	inf, val := a.trLinks()
-	spec := bias.SpecFromData(inf, a.Features.TransitDegree, 15)
+	spec := bias.SpecFromData(inf, a.Features.TransitDegreeOf, 15)
 	return HeatmapPair{
 		Name:      "transit degree",
-		Inferred:  bias.BuildHeatmap(inf, a.Features.TransitDegree, spec),
-		Validated: bias.BuildHeatmap(val, a.Features.TransitDegree, spec),
+		Inferred:  bias.BuildHeatmap(inf, a.Features.TransitDegreeOf, spec),
+		Validated: bias.BuildHeatmap(val, a.Features.TransitDegreeOf, spec),
 	}
 }
 
@@ -96,23 +96,24 @@ func (a *Artifacts) Figures7to9() []HeatmapPair {
 		return out
 	}
 
-	cone := bias.SpecFromData(inf, a.ConeSizes, 15)
-	deg := bias.SpecFromData(inf, a.Features.NodeDegree, 15)
+	coneOf := func(x asn.ASN) int { return a.ConeSizes[x] }
+	cone := bias.SpecFromData(inf, coneOf, 15)
+	deg := bias.SpecFromData(inf, a.Features.NodeDegreeOf, 15)
 	return []HeatmapPair{
 		{
 			Name:      "customer cone size (PPDC)",
-			Inferred:  bias.BuildHeatmap(inf, a.ConeSizes, cone),
-			Validated: bias.BuildHeatmap(val, a.ConeSizes, cone),
+			Inferred:  bias.BuildHeatmap(inf, coneOf, cone),
+			Validated: bias.BuildHeatmap(val, coneOf, cone),
 		},
 		{
 			Name:      "customer cone size, no VP-incident links",
-			Inferred:  bias.BuildHeatmap(noVP(inf), a.ConeSizes, cone),
-			Validated: bias.BuildHeatmap(noVP(val), a.ConeSizes, cone),
+			Inferred:  bias.BuildHeatmap(noVP(inf), coneOf, cone),
+			Validated: bias.BuildHeatmap(noVP(val), coneOf, cone),
 		},
 		{
 			Name:      "node degree",
-			Inferred:  bias.BuildHeatmap(inf, a.Features.NodeDegree, deg),
-			Validated: bias.BuildHeatmap(val, a.Features.NodeDegree, deg),
+			Inferred:  bias.BuildHeatmap(inf, a.Features.NodeDegreeOf, deg),
+			Validated: bias.BuildHeatmap(val, a.Features.NodeDegreeOf, deg),
 		},
 	}
 }
@@ -244,13 +245,4 @@ func (w worldGlass) PartialTransit(t1, x asn.ASN) bool {
 func (w worldGlass) TrueRelType(a, b asn.ASN) (asgraph.RelType, bool) {
 	rel, ok := w.a.World.Graph.Rel(a, b)
 	return rel.Type, ok
-}
-
-func sortLinks(s []asgraph.Link) {
-	sort.Slice(s, func(i, j int) bool {
-		if s[i].A != s[j].A {
-			return s[i].A < s[j].A
-		}
-		return s[i].B < s[j].B
-	})
 }

@@ -78,10 +78,10 @@ func TestRenderSourceComparison(t *testing.T) {
 func TestHardLinksSkew(t *testing.T) {
 	art := midArtifacts(t)
 	set, skew := art.HardLinks()
-	if set.Total != len(art.InferredLinks) {
-		t.Errorf("categorised %d of %d links", set.Total, len(art.InferredLinks))
+	if set.Total != art.InferredLinkCount() {
+		t.Errorf("categorised %d of %d links", set.Total, art.InferredLinkCount())
 	}
-	if len(set.Hard) == 0 {
+	if set.HardCount() == 0 {
 		t.Fatal("no hard links found")
 	}
 	if skew.AllHard <= 0 || skew.AllHard > 1 {

@@ -19,7 +19,7 @@ func (a *Artifacts) HardLinks() (*hardlinks.Set, hardlinks.Skew) {
 	clique := a.inferredClique()
 	set := hardlinks.Categorize(a.Features, clique, a.World.VPs,
 		hardlinks.DefaultCriteria(a.Features))
-	skew := set.ComputeSkew(a.Validation.Has, a.InferredLinks)
+	skew := set.ComputeSkew(a.Validation.Has)
 	return set, skew
 }
 
@@ -86,7 +86,7 @@ hard links among validated links:    %.1f%%
 		pc := skew.PerCategory[c]
 		rows = append(rows, []string{
 			c.String(),
-			fmt.Sprintf("%d", len(set.ByCategory[c])),
+			fmt.Sprintf("%d", set.CategoryCount(c)),
 			fmt.Sprintf("%.3f", pc[0]),
 			fmt.Sprintf("%.3f", pc[1]),
 		})

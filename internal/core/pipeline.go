@@ -141,10 +141,6 @@ type Artifacts struct {
 	TopoCls   *bias.TopoClassifier
 	ConeSizes map[asn.ASN]int
 
-	// InferredLinks is the observed link universe after path
-	// cleaning.
-	InferredLinks map[asgraph.Link]bool
-
 	// Report records per-stage outcomes (status, attempts, duration,
 	// failure kind). It is populated on every return, including fatal
 	// ones, so callers can see which stage broke a partial run.
@@ -154,6 +150,38 @@ type Artifacts struct {
 	// artifacts (an algorithm's result, the RPSL snapshot, the cone
 	// classifier) are missing and downstream consumers degrade.
 	Degraded []string
+}
+
+// InferredLinkCount returns the size of the observed link universe
+// after path cleaning (0 before the features stage ran).
+func (a *Artifacts) InferredLinkCount() int {
+	if a.Features == nil {
+		return 0
+	}
+	return a.Features.NumLinks()
+}
+
+// LinkObserved reports whether l is part of the observed link
+// universe.
+func (a *Artifacts) LinkObserved(l asgraph.Link) bool {
+	if a.Features == nil {
+		return false
+	}
+	_, ok := a.Features.Intern.LinkID(l)
+	return ok
+}
+
+// ForEachInferredLink calls fn for every observed link in ascending
+// canonical order (the dense link-ID order), so iteration is
+// deterministic without sorting.
+func (a *Artifacts) ForEachInferredLink(fn func(asgraph.Link)) {
+	if a.Features == nil {
+		return
+	}
+	tab := a.Features.Intern
+	for lid := int32(0); lid < int32(tab.NumLinks()); lid++ {
+		fn(tab.Link(lid))
+	}
 }
 
 // Run executes the scenario without external cancellation. It is the
@@ -270,12 +298,33 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 		return art, err
 	}
 
+	// Propagation streams per-origin path blocks. Each block is teed
+	// into the raw path set (still needed by the community extractor
+	// and the checkpoint store) and into a feature stream collector,
+	// which cleans it shard-by-shard under a governor permit — the full
+	// raw and cleaned universes never coexist inside the features
+	// stage. The collector survives the stage closure so the features
+	// stage can finish it; a retried or resumed features stage falls
+	// back to the monolithic ComputeContext, which is byte-identical.
+	var sc *features.StreamCollector
 	paths := resumePaths(ctx, store, resume, runner)
 	if paths == nil {
 		paths, err = resilience.Value(ctx, runner, "bgp.propagate", pol,
 			func(ctx context.Context) (*bgp.PathSet, error) {
 				sim := bgp.NewSimulator(world.Graph)
-				return sim.PropagateContext(ctx, world.ASNs, world.VPs)
+				collector := features.NewStreamCollector()
+				total := bgp.NewPathSet(len(world.ASNs)*len(world.VPs), len(world.ASNs)*len(world.VPs)*5)
+				so, sv, perr := sim.PropagateBlocks(ctx, world.ASNs, world.VPs, func(blk *bgp.PathSet) error {
+					total.AppendSet(blk)
+					return collector.Feed(ctx, blk)
+				})
+				if perr != nil {
+					return nil, perr
+				}
+				total.SkippedOrigins = so
+				total.SkippedVPs = sv
+				sc = collector
+				return total, nil
 			})
 		if err != nil {
 			return art, fmt.Errorf("core: propagate: %w", err)
@@ -295,13 +344,17 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 			if err := resilience.Checkpoint(ctx, "features.compute"); err != nil {
 				return nil, err
 			}
+			if sc != nil {
+				collector := sc
+				sc = nil // a retry recomputes from the raw paths instead
+				return collector.Finish(ctx)
+			}
 			return features.ComputeContext(ctx, paths)
 		})
 	if err != nil {
 		return art, fmt.Errorf("core: compute features: %w", err)
 	}
 	art.Features = fs
-	art.InferredLinks = fs.Links
 
 	// Community-based validation extraction with stale dictionaries.
 	// The cached artifact is saved after the optional RPSL merge below,

@@ -451,7 +451,7 @@ func (a *Artifacts) RenderAllContext(ctx context.Context, w io.Writer, opts Rend
 	hr := func() { fmt.Fprintln(w, "\n"+strings.Repeat("=", 72)+"\n") }
 	fmt.Fprintf(w, "breval experiments — seed %d, %d ASes, %d links (%d visible), %d VPs\n",
 		a.Scenario.Seed, len(a.World.ASNs), a.World.Graph.NumLinks(),
-		len(a.InferredLinks), len(a.World.VPs))
+		a.InferredLinkCount(), len(a.World.VPs))
 	for _, e := range allExperiments {
 		if err := ctx.Err(); err != nil {
 			return runner.Report(), err

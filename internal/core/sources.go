@@ -45,10 +45,10 @@ func (a *Artifacts) SourceComparison() []SourceStat {
 	for _, src := range sources {
 		st := SourceStat{Name: src.name, Entries: src.snap.Len(), Coverage: map[string]float64{}}
 		counts := map[string][2]int{} // class -> [links, validated]
-		for l := range a.InferredLinks {
+		a.ForEachInferredLink(func(l asgraph.Link) {
 			cls, ok := a.RegionCls.Class(l)
 			if !ok {
-				continue
+				return
 			}
 			c := counts[cls]
 			c[0]++
@@ -56,7 +56,7 @@ func (a *Artifacts) SourceComparison() []SourceStat {
 				c[1]++
 			}
 			counts[cls] = c
-		}
+		})
 		for cls, c := range counts {
 			if c[0] > 0 {
 				st.Coverage[cls] = float64(c[1]) / float64(c[0])

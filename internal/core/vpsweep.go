@@ -56,7 +56,7 @@ func (a *Artifacts) VPSweep(fractions []float64) []VPSweepPoint {
 		out = append(out, VPSweepPoint{
 			Fraction:     f,
 			VPs:          n,
-			VisibleLinks: len(fs.Links),
+			VisibleLinks: fs.NumLinks(),
 			Row:          metrics.Evaluate(res, a.Validation, nil),
 		})
 	}

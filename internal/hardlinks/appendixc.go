@@ -10,6 +10,7 @@ import (
 	"breval/internal/asgraph"
 	"breval/internal/asn"
 	"breval/internal/inference/features"
+	"breval/internal/intern"
 )
 
 // LinkFeatures is the Appendix-C per-link feature vector: the twelve
@@ -72,65 +73,88 @@ func ComputeFeatures(fs *features.Set, links []asgraph.Link, in FeatureInputs) [
 	if in.AddressesPerPrefix == 0 {
 		in.AddressesPerPrefix = 256
 	}
+	// Accumulators live in a dense slot array indexed by interned link
+	// ID; the AS sets are sparse (keyed by dense AS ID) since most
+	// links see few distinct observers. Requested links that were never
+	// observed have no slot and yield zero path-derived features.
 	type accum struct {
-		via       map[asn.ASN]bool
-		observers map[asn.ASN]bool
-		receivers map[asn.ASN]bool
-		origin    map[asn.ASN]bool
+		via       map[int32]bool
+		observers map[int32]bool
+		receivers map[int32]bool
+		origin    map[int32]bool
 	}
-	want := make(map[asgraph.Link]*accum, len(links))
+	tab, d := fs.Intern, fs.Dense
+	want := make([]*accum, tab.NumLinks())
 	for _, l := range links {
-		want[l] = &accum{
-			via:       make(map[asn.ASN]bool),
-			observers: make(map[asn.ASN]bool),
-			receivers: make(map[asn.ASN]bool),
-			origin:    make(map[asn.ASN]bool),
+		if lid, ok := tab.LinkID(l); ok && want[lid] == nil {
+			want[lid] = &accum{
+				via:       make(map[int32]bool),
+				observers: make(map[int32]bool),
+				receivers: make(map[int32]bool),
+				origin:    make(map[int32]bool),
+			}
 		}
 	}
 
-	fs.Paths.ForEach(func(p asgraph.Path) {
-		if len(p) < 2 {
-			return
+	// One pass over the dense paths. nodes[j] is hop j's source AS;
+	// nodes[len(hops)] the final destination (the origin AS).
+	var nodes []int32
+	for i, n := 0, d.Len(); i < n; i++ {
+		hops := d.Hops(i)
+		if len(hops) == 0 {
+			continue
 		}
-		origin := p.Origin()
-		for i := 0; i+1 < len(p); i++ {
-			l := asgraph.NewLink(p[i], p[i+1])
-			acc, ok := want[l]
-			if !ok {
+		nodes = nodes[:0]
+		for _, h := range hops {
+			from, _ := d.HopEnds(h)
+			nodes = append(nodes, from)
+		}
+		_, last := d.HopEnds(hops[len(hops)-1])
+		nodes = append(nodes, last)
+		origin := nodes[len(nodes)-1]
+		for j := range hops {
+			lid, _ := intern.DecodeHop(hops[j])
+			acc := want[lid]
+			if acc == nil {
 				continue
 			}
 			acc.via[origin] = true
-			if i+2 == len(p) {
+			if j == len(hops)-1 {
 				acc.origin[origin] = true
 			}
-			for j := 0; j < i; j++ {
-				acc.observers[p[j]] = true
+			for k := 0; k < j; k++ {
+				acc.observers[nodes[k]] = true
 			}
-			for j := i + 2; j < len(p); j++ {
-				acc.receivers[p[j]] = true
+			for k := j + 2; k < len(nodes); k++ {
+				acc.receivers[nodes[k]] = true
 			}
 		}
-	})
+	}
 
 	ixpIdx := membershipIndex(in.IXPMembers)
 	facIdx := membershipIndex(in.FacilityMembers)
 
 	out := make([]LinkFeatures, 0, len(links))
 	for _, l := range links {
-		acc := want[l]
+		var acc *accum
+		if lid, ok := tab.LinkID(l); ok {
+			acc = want[lid]
+		}
 		f := LinkFeatures{
-			Link:                l,
-			PrefixesVia:         len(acc.via),
-			AddressesVia:        len(acc.via) * in.AddressesPerPrefix,
-			PrefixesOriginated:  len(acc.origin),
-			AddressesOriginated: len(acc.origin) * in.AddressesPerPrefix,
-			Observers:           len(acc.observers),
-			Receivers:           len(acc.receivers),
-			TransitDegreeDiff:   relDiff(fs.TransitDegree[l.A], fs.TransitDegree[l.B]),
-			ConeDiff:            relDiff(in.ConeSizes[l.A], in.ConeSizes[l.B]),
-			CommonIXPs:          commonCount(ixpIdx[l.A], ixpIdx[l.B]),
-			CommonFacilities:    commonCount(facIdx[l.A], facIdx[l.B]),
-			Behaviour:           behaviour(l.A, in) + "|" + behaviour(l.B, in),
+			Link:              l,
+			TransitDegreeDiff: relDiff(fs.TransitDegreeOf(l.A), fs.TransitDegreeOf(l.B)),
+			ConeDiff:          relDiff(in.ConeSizes[l.A], in.ConeSizes[l.B]),
+			CommonIXPs:        commonCount(ixpIdx[l.A], ixpIdx[l.B]),
+			CommonFacilities:  commonCount(facIdx[l.A], facIdx[l.B]),
+			Behaviour:         behaviour(l.A, in) + "|" + behaviour(l.B, in),
+		}
+		if acc != nil {
+			f.PrefixesVia = len(acc.via)
+			f.AddressesVia = len(acc.via) * in.AddressesPerPrefix
+			f.PrefixesOriginated = len(acc.origin)
+			f.AddressesOriginated = len(acc.origin) * in.AddressesPerPrefix
+			f.Observers = len(acc.observers)
+			f.Receivers = len(acc.receivers)
 		}
 		out = append(out, f)
 	}

@@ -100,19 +100,39 @@ func DefaultCriteria(fs *features.Set) Criteria {
 	}
 }
 
-// Set holds the categorisation result.
+// Set holds the categorisation result. Link membership is stored as
+// dense bitsets indexed by the feature set's interned link IDs; Tab is
+// the table that owns that ID space (read-only here — dense IDs are
+// only ever assigned by intern.Build inside the features package).
 type Set struct {
 	Criteria Criteria
-	// ByCategory maps each category to its link set.
-	ByCategory map[Category]map[asgraph.Link]bool
+	// Tab maps between links and the dense IDs the bitsets index.
+	Tab *intern.Table
+	// ByCategory holds each category's link set.
+	ByCategory [NumCategories]intern.LinkSet
 	// Hard is the union of all categories.
-	Hard map[asgraph.Link]bool
+	Hard intern.LinkSet
 	// Total is the number of links examined.
 	Total int
 }
 
 // IsHard reports whether l fell into any category.
-func (s *Set) IsHard(l asgraph.Link) bool { return s.Hard[l] }
+func (s *Set) IsHard(l asgraph.Link) bool {
+	lid, ok := s.Tab.LinkID(l)
+	return ok && s.Hard.Has(lid)
+}
+
+// InCategory reports whether l fell into category c.
+func (s *Set) InCategory(c Category, l asgraph.Link) bool {
+	lid, ok := s.Tab.LinkID(l)
+	return ok && s.ByCategory[c].Has(lid)
+}
+
+// HardCount returns the number of links in the union of all categories.
+func (s *Set) HardCount() int { return s.Hard.Count() }
+
+// CategoryCount returns the number of links in category c.
+func (s *Set) CategoryCount(c Category) int { return s.ByCategory[c].Count() }
 
 // Categorize computes the five categories over the observed links.
 // clique and vps are the inferred clique and the vantage-point list.
@@ -120,13 +140,13 @@ func Categorize(fs *features.Set, clique, vps []asn.ASN, crit Criteria) *Set {
 	tab, d := fs.Intern, fs.Dense
 	nLinks := tab.NumLinks()
 	s := &Set{
-		Criteria:   crit,
-		ByCategory: make(map[Category]map[asgraph.Link]bool, NumCategories),
-		Hard:       make(map[asgraph.Link]bool),
-		Total:      nLinks,
+		Criteria: crit,
+		Tab:      tab,
+		Hard:     intern.NewLinkSet(tab),
+		Total:    nLinks,
 	}
-	for c := Category(0); c < NumCategories; c++ {
-		s.ByCategory[c] = make(map[asgraph.Link]bool)
+	for c := range s.ByCategory {
+		s.ByCategory[c] = intern.NewLinkSet(tab)
 	}
 	inClique := make([]bool, tab.NumAS())
 	for _, a := range clique {
@@ -141,9 +161,9 @@ func Categorize(fs *features.Set, clique, vps []asn.ASN, crit Criteria) *Set {
 		}
 	}
 
-	add := func(c Category, l asgraph.Link) {
-		s.ByCategory[c][l] = true
-		s.Hard[l] = true
+	add := func(c Category, lid int32) {
+		s.ByCategory[c].Add(lid)
+		s.Hard.Add(lid)
 	}
 
 	// isStubLink: either endpoint was never seen forwarding.
@@ -203,7 +223,6 @@ func Categorize(fs *features.Set, clique, vps []asn.ASN, crit Criteria) *Set {
 
 	// Per-link categorisation, in dense link-ID order.
 	for lid := int32(0); lid < int32(nLinks); lid++ {
-		l := tab.Link(lid)
 		a, b := tab.LinkEnds(lid)
 		// (i)-(iii) are per-link lookups.
 		maxDeg := fs.NodeDeg[a]
@@ -211,22 +230,22 @@ func Categorize(fs *features.Set, clique, vps []asn.ASN, crit Criteria) *Set {
 			maxDeg = fs.NodeDeg[b]
 		}
 		if int(maxDeg) < crit.MaxNodeDegree {
-			add(CatLowDegree, l)
+			add(CatLowDegree, lid)
 		}
 		if n := int(fs.VPCnt[lid]); n >= crit.VPLow && n <= crit.VPHigh {
-			add(CatMidVisibility, l)
+			add(CatMidVisibility, lid)
 		}
 		if !isVP[a] && !isVP[b] && !inClique[a] && !inClique[b] {
-			add(CatRemote, l)
+			add(CatRemote, lid)
 		}
 		// (iv): stub links whose observing paths never carry two
 		// consecutive clique ASes.
 		if isStubLink(lid) && !hasCliquePair.Has(lid) {
-			add(CatStubNoCliqueTriplet, l)
+			add(CatStubNoCliqueTriplet, lid)
 		}
 		// (v): top-down conflicts — votes in both directions.
 		if votedUp.Has(lid) && votedDown.Has(lid) {
-			add(CatTopDownConflict, l)
+			add(CatTopDownConflict, lid)
 		}
 	}
 	return s
@@ -244,31 +263,26 @@ type Skew struct {
 	PerCategory map[Category][2]float64
 }
 
-// ComputeSkew evaluates the easy-link skew over the observed links.
-func (s *Set) ComputeSkew(validated func(asgraph.Link) bool, links map[asgraph.Link]bool) Skew {
+// ComputeSkew evaluates the easy-link skew over the categorised link
+// universe (every link interned in s.Tab — i.e. every observed link),
+// iterating dense link IDs in ascending canonical order.
+func (s *Set) ComputeSkew(validated func(asgraph.Link) bool) Skew {
 	sk := Skew{PerCategory: make(map[Category][2]float64, NumCategories)}
-	totalAll, totalVal := 0, 0
-	hardAll, hardVal := 0, 0
-	catAll := make(map[Category]int)
-	catVal := make(map[Category]int)
-	for l := range links {
-		totalAll++
-		isVal := validated(l)
-		if isVal {
-			totalVal++
+	totalAll := s.Tab.NumLinks()
+	totalVal := 0
+	hardAll, hardVal := s.Hard.Count(), 0
+	var catVal [NumCategories]int
+	for lid := int32(0); lid < int32(totalAll); lid++ {
+		if !validated(s.Tab.Link(lid)) {
+			continue
 		}
-		if s.Hard[l] {
-			hardAll++
-			if isVal {
-				hardVal++
-			}
+		totalVal++
+		if s.Hard.Has(lid) {
+			hardVal++
 		}
 		for c := Category(0); c < NumCategories; c++ {
-			if s.ByCategory[c][l] {
-				catAll[c]++
-				if isVal {
-					catVal[c]++
-				}
+			if s.ByCategory[c].Has(lid) {
+				catVal[c]++
 			}
 		}
 	}
@@ -281,7 +295,7 @@ func (s *Set) ComputeSkew(validated func(asgraph.Link) bool, links map[asgraph.L
 	for c := Category(0); c < NumCategories; c++ {
 		var row [2]float64
 		if totalAll > 0 {
-			row[0] = float64(catAll[c]) / float64(totalAll)
+			row[0] = float64(s.ByCategory[c].Count()) / float64(totalAll)
 		}
 		if totalVal > 0 {
 			row[1] = float64(catVal[c]) / float64(totalVal)

@@ -404,7 +404,12 @@ func (a *Algorithm) InferContext(ctx context.Context, fs *features.Set) *inferen
 			res.Set(l, asgraph.P2CRel(l.B))
 		}
 	}
-	res.Firm = firm.ToMap(tab)
+	res.Firm = make(map[asgraph.Link]bool, firm.Count())
+	for lid := int32(0); lid < int32(nLinks); lid++ {
+		if firm.Has(lid) {
+			res.Firm[tab.Link(lid)] = true
+		}
+	}
 	return res
 }
 

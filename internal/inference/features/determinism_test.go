@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"testing"
 
+	"breval/internal/asgraph"
+	"breval/internal/asn"
 	"breval/internal/bgp"
 	"breval/internal/govern"
 	"breval/internal/inference"
@@ -120,50 +122,186 @@ func TestComputeParallelDeterminism(t *testing.T) {
 	}
 }
 
-// TestComputeMatchesLegacyMaps pins the materialised map shapes to the
-// dense vectors they are derived from.
-func TestComputeMatchesLegacyMaps(t *testing.T) {
+// TestComputeMatchesMapOracle pins the dense vectors to an
+// independent map-based recomputation over the cleaned paths — the
+// shape the pre-dense pipeline materialised.
+func TestComputeMatchesMapOracle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("world propagation in -short mode")
 	}
 	fs := computeWithWorkers(t, worldPaths(t, 3), 3)
 	tab := fs.Intern
-	if len(fs.Links) != tab.NumLinks() || len(fs.NodeDegree) != tab.NumAS() {
-		t.Fatalf("map sizes: links %d/%d, degrees %d/%d",
-			len(fs.Links), tab.NumLinks(), len(fs.NodeDegree), tab.NumAS())
-	}
-	for id := 0; id < tab.NumAS(); id++ {
-		a := tab.ASN(int32(id))
-		if fs.NodeDegree[a] != int(fs.NodeDeg[id]) {
-			t.Fatalf("NodeDegree[%d] = %d, dense %d", a, fs.NodeDegree[a], fs.NodeDeg[id])
+
+	// Recompute the link universe and per-link distinct-VP counts from
+	// the cleaned arena with plain maps.
+	links := make(map[asgraph.Link]bool)
+	vpSeen := make(map[asgraph.Link]map[asn.ASN]bool)
+	adj := make(map[asn.ASN]map[asn.ASN]bool)
+	transit := make(map[asn.ASN]map[asn.ASN]bool)
+	fs.Paths.ForEach(func(p asgraph.Path) {
+		vp := p.VantagePoint()
+		for i := 0; i+1 < len(p); i++ {
+			l := asgraph.NewLink(p[i], p[i+1])
+			links[l] = true
+			if vpSeen[l] == nil {
+				vpSeen[l] = make(map[asn.ASN]bool)
+			}
+			vpSeen[l][vp] = true
+			if adj[p[i]] == nil {
+				adj[p[i]] = make(map[asn.ASN]bool)
+			}
+			if adj[p[i+1]] == nil {
+				adj[p[i+1]] = make(map[asn.ASN]bool)
+			}
+			adj[p[i]][p[i+1]] = true
+			adj[p[i+1]][p[i]] = true
 		}
-		if fs.TransitDegree[a] != int(fs.TransitDeg[id]) {
-			t.Fatalf("TransitDegree[%d] = %d, dense %d", a, fs.TransitDegree[a], fs.TransitDeg[id])
+		p.Triplets(func(left, mid, right asn.ASN) {
+			if transit[mid] == nil {
+				transit[mid] = make(map[asn.ASN]bool)
+			}
+			transit[mid][left] = true
+			transit[mid][right] = true
+		})
+	})
+
+	if len(links) != tab.NumLinks() {
+		t.Fatalf("link universe: oracle %d, dense %d", len(links), tab.NumLinks())
+	}
+	if len(adj) != tab.NumAS() {
+		t.Fatalf("AS universe: oracle %d, dense %d", len(adj), tab.NumAS())
+	}
+	for l := range links {
+		if _, ok := tab.LinkID(l); !ok {
+			t.Fatalf("oracle link %v not interned", l)
 		}
 	}
-	nonZero := 0
-	for _, v := range fs.TransitDeg {
-		if v != 0 {
-			nonZero++
+	for a, nbrs := range adj {
+		if got := fs.NodeDegreeOf(a); got != len(nbrs) {
+			t.Fatalf("NodeDegreeOf(%d) = %d, oracle %d", a, got, len(nbrs))
+		}
+		if got := fs.TransitDegreeOf(a); got != len(transit[a]) {
+			t.Fatalf("TransitDegreeOf(%d) = %d, oracle %d", a, got, len(transit[a]))
 		}
 	}
-	if len(fs.TransitDegree) != nonZero {
-		t.Fatalf("TransitDegree has %d entries, want %d non-zero", len(fs.TransitDegree), nonZero)
-	}
-	for lid := 0; lid < tab.NumLinks(); lid++ {
-		l := tab.Link(int32(lid))
-		if fs.VPCount[l] != int(fs.VPCnt[lid]) {
-			t.Fatalf("VPCount[%v] = %d, dense %d", l, fs.VPCount[l], fs.VPCnt[lid])
+	for l, vps := range vpSeen {
+		if got := fs.VPCountOf(l); got != len(vps) {
+			t.Fatalf("VPCountOf(%v) = %d, oracle %d", l, got, len(vps))
 		}
 	}
-	// Cross-check against the PathSet's own (sort-and-count) fast paths.
-	if got := fs.Paths.Links(); len(got) != len(fs.Links) {
-		t.Fatalf("PathSet.Links = %d, features %d", len(got), len(fs.Links))
-	}
-	for l, n := range fs.Paths.VPLinkCounts() {
-		if fs.VPCount[l] != n {
-			t.Fatalf("VPLinkCounts[%v] = %d, features %d", l, n, fs.VPCount[l])
+}
+
+// feedBlocks slices ps into nBlocks contiguous blocks and feeds them
+// through a StreamCollector, as the streaming propagation sink would.
+func feedBlocks(t *testing.T, ctx context.Context, ps *bgp.PathSet, nBlocks int) *features.Set {
+	t.Helper()
+	sc := features.NewStreamCollector()
+	n := ps.Len()
+	for b := 0; b < nBlocks; b++ {
+		lo, hi := n*b/nBlocks, n*(b+1)/nBlocks
+		blk := bgp.NewPathSet(hi-lo, (hi-lo)*4)
+		for i := lo; i < hi; i++ {
+			blk.Append(ps.At(i))
 		}
+		if err := sc.Feed(ctx, blk); err != nil {
+			t.Fatalf("Feed block %d: %v", b, err)
+		}
+	}
+	fs, err := sc.Finish(ctx)
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return fs
+}
+
+// TestStreamCollectorParity extends the determinism property to the
+// streaming path: feeding the same paths through a StreamCollector in
+// any block partitioning, at any worker count and any governor permit
+// level, produces a Set byte-identical to the monolithic
+// ComputeContext.
+func TestStreamCollectorParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world propagation in -short mode")
+	}
+	paths := worldPaths(t, 7)
+	ref := setDigest(computeWithWorkers(t, paths, 1))
+
+	maxWorkers := runtime.GOMAXPROCS(0)
+	if maxWorkers < 4 {
+		maxWorkers = 4
+	}
+	for _, nBlocks := range []int{1, 3, 17, 64} {
+		for _, workers := range []int{1, maxWorkers} {
+			t.Run(fmt.Sprintf("blocks=%d/workers=%d", nBlocks, workers), func(t *testing.T) {
+				prev := runtime.GOMAXPROCS(workers)
+				defer runtime.GOMAXPROCS(prev)
+				fs := feedBlocks(t, context.Background(), paths, nBlocks)
+				if got := setDigest(fs); got != ref {
+					t.Fatalf("stream digest %x, monolithic %x", got, ref)
+				}
+			})
+		}
+	}
+	for _, permits := range []int{1, 2} {
+		t.Run(fmt.Sprintf("permits=%d", permits), func(t *testing.T) {
+			g := govern.New(govern.Config{SoftBytes: 1 << 40, MaxWorkers: permits})
+			ctx := govern.Into(context.Background(), g)
+			fs := feedBlocks(t, ctx, paths, 9)
+			if g.Limiter().InUse() != 0 {
+				t.Fatalf("%d permits still held after streamed compute", g.Limiter().InUse())
+			}
+			if got := setDigest(fs); got != ref {
+				t.Fatalf("governed stream digest %x, monolithic %x", got, ref)
+			}
+		})
+	}
+}
+
+// TestStreamCollectorSkipAccounting: skipped-coverage counts ride the
+// raw path set, not the collector, and survive the streamed pipeline
+// through PropagateBlocks' return values.
+func TestStreamCollectorSkipAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world propagation in -short mode")
+	}
+	cfg := topogen.DefaultConfig(5).Scaled(300)
+	world, err := topogen.Generate(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	origins := append(append([]asn.ASN{}, world.ASNs...), 4000000, 4000001)
+	vps := append(append([]asn.ASN{}, world.VPs...), 4000002)
+	sim := bgp.NewSimulator(world.Graph)
+
+	mono, err := sim.PropagateContext(context.Background(), origins, vps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := features.NewStreamCollector()
+	ctx := context.Background()
+	so, sv, err := sim.PropagateBlocks(ctx, origins, vps, func(blk *bgp.PathSet) error {
+		return sc.Feed(ctx, blk)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if so != mono.SkippedOrigins || sv != mono.SkippedVPs {
+		t.Fatalf("streamed skips (%d,%d) != monolithic (%d,%d)",
+			so, sv, mono.SkippedOrigins, mono.SkippedVPs)
+	}
+	if so != 2 || sv != 1 {
+		t.Fatalf("skips (%d,%d), want (2,1)", so, sv)
+	}
+	fs, err := sc.Finish(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := features.ComputeContext(context.Background(), mono)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setDigest(fs) != setDigest(ref) {
+		t.Fatal("streamed feature set diverged from monolithic")
 	}
 }
 

@@ -11,9 +11,9 @@
 // internal/intern: paths are cleaned, the observed ASes and links are
 // assigned dense int32 IDs, and the per-path scan accumulates into
 // flat per-worker arrays that merge deterministically in shard order.
-// The legacy map-shaped fields remain populated (materialised from the
-// dense form) so un-migrated callers and the checkpoint codecs are
-// untouched; migrated hot paths read the dense fields instead. The
+// The interning step is the single ownership point of the dense ID
+// space: only Build here may assign IDs, every consumer downstream
+// (inference, bias, hardlinks, casestudy, render) is a reader. The
 // determinism-under-parallelism contract is documented in
 // docs/performance.md: any worker count produces an identical Set.
 package features
@@ -34,37 +34,59 @@ import (
 	"breval/internal/resilience"
 )
 
-// Set holds the shared path-derived features, in both the legacy
-// map shape and the dense interned shape. Every Set produced by
-// Compute/ComputeContext carries both; the dense fields are the hot
-// path, the maps are the compatibility surface.
+// Set holds the shared path-derived features in the dense interned
+// shape. The Intern table owns the dense ID space; everything else is
+// indexed by its IDs. All fields are immutable after construction and
+// safe for concurrent readers.
 type Set struct {
 	// Paths is the cleaned path set (loops removed, prepending
 	// collapsed).
 	Paths *bgp.PathSet
-	// Links is the observed ("inferred") link universe.
-	Links map[asgraph.Link]bool
-	// NodeDegree counts distinct observed neighbors per AS.
-	NodeDegree map[asn.ASN]int
-	// TransitDegree counts distinct neighbors an AS was seen
-	// forwarding between (Luckie et al.'s transit degree).
-	TransitDegree map[asn.ASN]int
-	// VPCount is the number of distinct vantage points observing each
-	// link.
-	VPCount map[asgraph.Link]int
-	// Adj is the observed adjacency (sorted neighbor lists).
-	Adj map[asn.ASN][]asn.ASN
 
 	// Intern is the dense-ID universe of the cleaned paths; Dense is
-	// their per-hop dense mirror. Both are immutable and safe for
-	// concurrent readers.
+	// their per-hop dense mirror.
 	Intern *intern.Table
 	Dense  *intern.DensePaths
-	// NodeDeg, TransitDeg and VPCnt are the dense counterparts of
-	// NodeDegree, TransitDegree and VPCount, indexed by dense ID.
+	// NodeDeg counts distinct observed neighbors per AS (by dense AS
+	// ID). TransitDeg counts distinct neighbors an AS was seen
+	// forwarding between (Luckie et al.'s transit degree). VPCnt is
+	// the number of distinct vantage points observing each link (by
+	// dense link ID).
 	NodeDeg    intern.ASCounts
 	TransitDeg intern.ASCounts
 	VPCnt      intern.LinkCounts
+}
+
+// NumLinks returns the size of the observed ("inferred") link
+// universe.
+func (s *Set) NumLinks() int { return s.Intern.NumLinks() }
+
+// NodeDegreeOf returns the node degree of a, 0 when a was never
+// observed.
+func (s *Set) NodeDegreeOf(a asn.ASN) int {
+	if id, ok := s.Intern.ASID(a); ok {
+		return int(s.NodeDeg[id])
+	}
+	return 0
+}
+
+// TransitDegreeOf returns the transit degree of a, 0 when a was never
+// observed forwarding (matching the legacy map, which skipped zero
+// entries).
+func (s *Set) TransitDegreeOf(a asn.ASN) int {
+	if id, ok := s.Intern.ASID(a); ok {
+		return int(s.TransitDeg[id])
+	}
+	return 0
+}
+
+// VPCountOf returns the number of distinct vantage points that
+// observed l, 0 when l was never observed.
+func (s *Set) VPCountOf(l asgraph.Link) int {
+	if lid, ok := s.Intern.LinkID(l); ok {
+		return int(s.VPCnt[lid])
+	}
+	return 0
 }
 
 // Compute cleans ps (dropping looped paths, collapsing prepending)
@@ -141,8 +163,19 @@ func ComputeContext(ctx context.Context, ps *bgp.PathSet) (*Set, error) {
 	col.Add("features.paths_scanned", int64(ps.Len()))
 	col.Add("features.paths_dropped", int64(ps.Len()-clean.Len()))
 
-	// Phase 2: intern the cleaned universe and densify the paths.
-	_, span = obs.StartSpan(ctx, "features.intern")
+	return finishFromClean(ctx, clean, workers)
+}
+
+// finishFromClean runs the intern and scan phases over an
+// already-cleaned path arena. Both ComputeContext and the streaming
+// collector end here, which is what keeps the two construction paths
+// byte-identical: the arena is the only input, and every phase below
+// is schedule-independent.
+func finishFromClean(ctx context.Context, clean *bgp.PathSet, workers int) (*Set, error) {
+	col := obs.From(ctx)
+
+	// Intern the cleaned universe and densify the paths.
+	_, span := obs.StartSpan(ctx, "features.intern")
 	tab := intern.Build(clean)
 	dense := tab.Densify(clean)
 	span.End()
@@ -152,22 +185,74 @@ func ComputeContext(ctx context.Context, ps *bgp.PathSet) (*Set, error) {
 
 	s := &Set{Paths: clean, Intern: tab, Dense: dense}
 
-	// Phase 3: sharded scan into per-worker dense partials.
+	// Sharded scan into per-worker dense partials.
 	sctx, span := obs.StartSpan(ctx, "features.scan")
 	serr := s.scan(sctx, workers)
 	span.End()
 	if serr != nil {
 		return nil, serr
 	}
-
-	// Phase 4: materialise the legacy map shapes from the dense form.
-	mctx, span := obs.StartSpan(ctx, "features.materialize")
-	merr := s.materialize(mctx, workers)
-	span.End()
-	if merr != nil {
-		return nil, merr
-	}
 	return s, nil
+}
+
+// StreamCollector consumes propagation path blocks as they are
+// produced (bgp.(*Simulator).PropagateBlocks) and accumulates the
+// cleaned arena incrementally, so the raw and cleaned path universes
+// never coexist in full. Feed must be called from one goroutine —
+// PropagateBlocks' in-order sink delivery satisfies this — and Finish
+// returns exactly the Set that ComputeContext would have produced
+// from the concatenated blocks.
+type StreamCollector struct {
+	clean   *bgp.PathSet
+	scratch asgraph.Path
+	raw     int
+}
+
+// NewStreamCollector returns an empty collector.
+func NewStreamCollector() *StreamCollector {
+	return &StreamCollector{clean: &bgp.PathSet{}, scratch: make(asgraph.Path, 0, 64)}
+}
+
+// Feed cleans one path block (dropping looped paths, collapsing
+// prepending) and appends the survivors to the collector's arena.
+// Each block is one unit of governed work: it holds a limiter permit
+// while cleaning, so streamed feature extraction thins out under
+// memory pressure exactly like the sharded phases do.
+func (sc *StreamCollector) Feed(ctx context.Context, blk *bgp.PathSet) error {
+	lim := govern.From(ctx).Limiter()
+	if err := lim.Acquire(ctx); err != nil {
+		return err
+	}
+	defer lim.Release()
+	n := blk.Len()
+	sc.raw += n
+	for i := 0; i < n; i++ {
+		c := blk.At(i).CompactPrependingInto(sc.scratch[:0])
+		if c.HasLoop() || len(c) == 0 {
+			continue
+		}
+		sc.clean.Append(c)
+		sc.scratch = c
+	}
+	return nil
+}
+
+// Finish runs the intern and scan phases over the accumulated arena
+// and returns the feature set. The collector must not be reused
+// afterwards.
+func (sc *StreamCollector) Finish(ctx context.Context) (*Set, error) {
+	col := obs.From(ctx)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > sc.clean.Len() {
+		workers = sc.clean.Len()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	col.SetGauge("features.workers", float64(workers))
+	col.Add("features.paths_scanned", int64(sc.raw))
+	col.Add("features.paths_dropped", int64(sc.raw-sc.clean.Len()))
+	return finishFromClean(ctx, sc.clean, workers)
 }
 
 // scan accumulates transit-degree and VP-visibility evidence over the
@@ -268,26 +353,6 @@ func (s *Set) scan(ctx context.Context, workers int) error {
 		}
 	}
 	return nil
-}
-
-// materialize fills the legacy map fields from the dense form. The
-// five maps build concurrently (they are independent), each contained
-// like any other worker.
-func (s *Set) materialize(ctx context.Context, workers int) error {
-	tab := s.Intern
-	fill := []func(){
-		func() { s.Links = tab.LinksMap() },
-		func() { s.Adj = tab.AdjMap() },
-		func() { s.NodeDegree = s.NodeDeg.ToMap(tab, false) },
-		// TransitDegree historically only holds ASes observed mid-path,
-		// so zero entries are skipped.
-		func() { s.TransitDegree = s.TransitDeg.ToMap(tab, true) },
-		func() { s.VPCount = s.VPCnt.ToMap(tab, false) },
-	}
-	return runContained(ctx, "features.compute.worker", workers, len(fill), func(_ context.Context, i int) error {
-		fill[i]()
-		return nil
-	})
 }
 
 // runContained runs fn(i) for i in [0, n) across at most workers

@@ -25,8 +25,11 @@ func TestComputeCleansPaths(t *testing.T) {
 	if fs.Paths.Len() != 2 {
 		t.Fatalf("cleaned paths = %d, want 2", fs.Paths.Len())
 	}
-	if !fs.Links[asgraph.NewLink(2, 3)] || fs.Links[asgraph.NewLink(4, 5)] {
-		t.Error("link universe wrong after cleaning")
+	if _, ok := fs.Intern.LinkID(asgraph.NewLink(2, 3)); !ok {
+		t.Error("link 2-3 missing from universe after cleaning")
+	}
+	if _, ok := fs.Intern.LinkID(asgraph.NewLink(4, 5)); ok {
+		t.Error("link 4-5 from looped path survived cleaning")
 	}
 }
 
@@ -36,30 +39,44 @@ func TestDegreesAndVPCounts(t *testing.T) {
 		asgraph.Path{11, 1, 2},
 		asgraph.Path{10, 1, 3},
 	))
-	if got := fs.NodeDegree[1]; got != 4 { // 10, 11, 2, 3
-		t.Errorf("NodeDegree[1] = %d, want 4", got)
+	if got := fs.NodeDegreeOf(1); got != 4 { // 10, 11, 2, 3
+		t.Errorf("NodeDegreeOf(1) = %d, want 4", got)
 	}
-	if got := fs.TransitDegree[1]; got != 4 { // transits between {10,11,2,3}
-		t.Errorf("TransitDegree[1] = %d, want 4", got)
+	if got := fs.TransitDegreeOf(1); got != 4 { // transits between {10,11,2,3}
+		t.Errorf("TransitDegreeOf(1) = %d, want 4", got)
 	}
-	if got := fs.TransitDegree[10]; got != 0 {
-		t.Errorf("TransitDegree[10] = %d, want 0", got)
+	if got := fs.TransitDegreeOf(10); got != 0 {
+		t.Errorf("TransitDegreeOf(10) = %d, want 0", got)
 	}
-	if got := fs.VPCount[asgraph.NewLink(1, 2)]; got != 2 {
-		t.Errorf("VPCount[1-2] = %d, want 2", got)
+	if got := fs.TransitDegreeOf(999); got != 0 {
+		t.Errorf("TransitDegreeOf(unobserved) = %d, want 0", got)
 	}
-	if got := fs.VPCount[asgraph.NewLink(1, 3)]; got != 1 {
-		t.Errorf("VPCount[1-3] = %d, want 1", got)
+	if got := fs.VPCountOf(asgraph.NewLink(1, 2)); got != 2 {
+		t.Errorf("VPCountOf(1-2) = %d, want 2", got)
+	}
+	if got := fs.VPCountOf(asgraph.NewLink(1, 3)); got != 1 {
+		t.Errorf("VPCountOf(1-3) = %d, want 1", got)
+	}
+	if got := fs.VPCountOf(asgraph.NewLink(998, 999)); got != 0 {
+		t.Errorf("VPCountOf(unobserved) = %d, want 0", got)
 	}
 }
 
 func TestAdjSortedAndSymmetric(t *testing.T) {
 	fs := Compute(pathSet(asgraph.Path{3, 1, 2}))
-	if got := fs.Adj[1]; len(got) != 2 || got[0] != 2 || got[1] != 3 {
-		t.Errorf("Adj[1] = %v", got)
+	adjOf := func(a asn.ASN) []asn.ASN {
+		id, ok := fs.Intern.ASID(a)
+		if !ok {
+			return nil
+		}
+		nbrs, _ := fs.Intern.Row(id)
+		return fs.Intern.ASNsOf(nbrs)
 	}
-	if got := fs.Adj[2]; len(got) != 1 || got[0] != 1 {
-		t.Errorf("Adj[2] = %v", got)
+	if got := adjOf(1); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("adj(1) = %v", got)
+	}
+	if got := adjOf(2); len(got) != 1 || got[0] != 1 {
+		t.Errorf("adj(2) = %v", got)
 	}
 }
 

@@ -66,8 +66,8 @@ func TestASRankCliqueRecovery(t *testing.T) {
 func TestASRankOverallAccuracy(t *testing.T) {
 	w, fs := world800(t, 42)
 	res := asrank.New(asrank.Options{}).Infer(fs)
-	if res.Len() != len(fs.Links) {
-		t.Fatalf("classified %d of %d links", res.Len(), len(fs.Links))
+	if res.Len() != fs.NumLinks() {
+		t.Fatalf("classified %d of %d links", res.Len(), fs.NumLinks())
 	}
 	correct, total := accuracy(w, res)
 	if total == 0 {
@@ -169,8 +169,8 @@ func TestP2CNearPerfectForAllAlgorithms(t *testing.T) {
 func TestProbLinkConvergesAndCoversAllLinks(t *testing.T) {
 	_, fs := world800(t, 46)
 	res := problink.New(problink.Options{MaxIterations: 5}).Infer(fs)
-	if res.Len() != len(fs.Links) {
-		t.Errorf("ProbLink classified %d of %d links", res.Len(), len(fs.Links))
+	if res.Len() != fs.NumLinks() {
+		t.Errorf("ProbLink classified %d of %d links", res.Len(), fs.NumLinks())
 	}
 	if res.CountByType(asgraph.P2C) == 0 || res.CountByType(asgraph.P2P) == 0 {
 		t.Error("degenerate classification")
@@ -180,8 +180,8 @@ func TestProbLinkConvergesAndCoversAllLinks(t *testing.T) {
 func TestTopoScopeCoversAllLinks(t *testing.T) {
 	w, fs := world800(t, 47)
 	res := toposcope.New(toposcope.Options{Groups: 4}).Infer(fs)
-	if res.Len() != len(fs.Links) {
-		t.Errorf("TopoScope classified %d of %d links", res.Len(), len(fs.Links))
+	if res.Len() != fs.NumLinks() {
+		t.Errorf("TopoScope classified %d of %d links", res.Len(), fs.NumLinks())
 	}
 	correct, total := accuracy(w, res)
 	if acc := float64(correct) / float64(total); acc < 0.85 {
@@ -192,8 +192,8 @@ func TestTopoScopeCoversAllLinks(t *testing.T) {
 func TestGaoReasonableAccuracy(t *testing.T) {
 	w, fs := world800(t, 48)
 	res := gao.New(gao.Options{}).Infer(fs)
-	if res.Len() != len(fs.Links) {
-		t.Errorf("Gao classified %d of %d links", res.Len(), len(fs.Links))
+	if res.Len() != fs.NumLinks() {
+		t.Errorf("Gao classified %d of %d links", res.Len(), fs.NumLinks())
 	}
 	correct, total := accuracy(w, res)
 	if acc := float64(correct) / float64(total); acc < 0.65 {

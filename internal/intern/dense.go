@@ -2,9 +2,6 @@ package intern
 
 import (
 	"math/bits"
-
-	"breval/internal/asgraph"
-	"breval/internal/asn"
 )
 
 // ASCounts is a per-AS counter vector indexed by dense AS ID.
@@ -13,37 +10,11 @@ type ASCounts []int32
 // NewASCounts returns a zeroed counter vector for t.
 func NewASCounts(t *Table) ASCounts { return make(ASCounts, t.NumAS()) }
 
-// ToMap materialises the counts as the legacy map shape. Zero entries
-// are skipped when skipZero is set, matching maps that were only ever
-// written for observed keys (e.g. TransitDegree).
-func (c ASCounts) ToMap(t *Table, skipZero bool) map[asn.ASN]int {
-	m := make(map[asn.ASN]int, len(c))
-	for id, v := range c {
-		if skipZero && v == 0 {
-			continue
-		}
-		m[t.ASN(int32(id))] = int(v)
-	}
-	return m
-}
-
 // LinkCounts is a per-link counter vector indexed by dense link ID.
 type LinkCounts []int32
 
 // NewLinkCounts returns a zeroed counter vector for t.
 func NewLinkCounts(t *Table) LinkCounts { return make(LinkCounts, t.NumLinks()) }
-
-// ToMap materialises the counts as the legacy map shape.
-func (c LinkCounts) ToMap(t *Table, skipZero bool) map[asgraph.Link]int {
-	m := make(map[asgraph.Link]int, len(c))
-	for lid, v := range c {
-		if skipZero && v == 0 {
-			continue
-		}
-		m[t.Link(int32(lid))] = int(v)
-	}
-	return m
-}
 
 // Bitset is a fixed-size bit vector. The zero value of NewBitset(n) is
 // all-clear; Or merges another set of the same size.
@@ -95,15 +66,13 @@ func (s LinkSet) Add(lid int32) { Bitset(s).Set(lid) }
 // Has reports membership of lid.
 func (s LinkSet) Has(lid int32) bool { return Bitset(s).Get(lid) }
 
-// ToMap materialises the set as the legacy map shape.
-func (s LinkSet) ToMap(t *Table) map[asgraph.Link]bool {
-	m := make(map[asgraph.Link]bool)
-	for lid := 0; lid < t.NumLinks(); lid++ {
-		if s.Has(int32(lid)) {
-			m[t.Link(int32(lid))] = true
-		}
+// Count returns the number of links in the set.
+func (s LinkSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
 	}
-	return m
+	return n
 }
 
 // DensePaths is the dense mirror of a path set: per hop, the link ID
@@ -114,8 +83,10 @@ func (s LinkSet) ToMap(t *Table) map[asgraph.Link]bool {
 type DensePaths struct {
 	Tab *Table
 
-	// offs[i]..offs[i+1] is the hop range of path i in hops.
-	offs []uint32
+	// offs[i]..offs[i+1] is the hop range of path i in hops. 64-bit
+	// for the same reason as bgp.PathSet offsets: an xl world's hop
+	// column can exceed what 32-bit offsets address.
+	offs []uint64
 	// hops packs lid<<1 | dir, where dir=1 means the hop was traversed
 	// A→B (the hop's first AS is the link's canonical A endpoint).
 	hops []uint32
@@ -129,7 +100,7 @@ func (t *Table) Densify(ps PathSource) *DensePaths {
 	n := ps.Len()
 	d := &DensePaths{
 		Tab:  t,
-		offs: make([]uint32, 1, n+1),
+		offs: make([]uint64, 1, n+1),
 		vp:   make([]int32, 0, n),
 	}
 	nHops := 0
@@ -143,7 +114,7 @@ func (t *Table) Densify(ps PathSource) *DensePaths {
 		p := ps.At(i)
 		if len(p) < 2 {
 			d.vp = append(d.vp, -1)
-			d.offs = append(d.offs, uint32(len(d.hops)))
+			d.offs = append(d.offs, uint64(len(d.hops)))
 			continue
 		}
 		prev, _ := t.ASID(p[0])
@@ -160,7 +131,7 @@ func (t *Table) Densify(ps PathSource) *DensePaths {
 			d.hops = append(d.hops, uint32(lid)<<1|dir)
 			prev = cur
 		}
-		d.offs = append(d.offs, uint32(len(d.hops)))
+		d.offs = append(d.offs, uint64(len(d.hops)))
 	}
 	return d
 }

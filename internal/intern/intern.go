@@ -330,28 +330,3 @@ func (t *Table) ASNsOf(ids []int32) []asn.ASN {
 	}
 	return out
 }
-
-// Links materialises the interned link universe as the legacy map
-// shape.
-func (t *Table) LinksMap() map[asgraph.Link]bool {
-	m := make(map[asgraph.Link]bool, len(t.links))
-	for lid := range t.links {
-		m[t.Link(int32(lid))] = true
-	}
-	return m
-}
-
-// AdjMap materialises the adjacency as the legacy sorted-neighbor-list
-// map shape.
-func (t *Table) AdjMap() map[asn.ASN][]asn.ASN {
-	m := make(map[asn.ASN][]asn.ASN, len(t.asns))
-	for id := range t.asns {
-		nbrs, _ := t.Row(int32(id))
-		lst := make([]asn.ASN, len(nbrs))
-		for i, nb := range nbrs {
-			lst[i] = t.asns[nb]
-		}
-		m[t.asns[id]] = lst
-	}
-	return m
-}

@@ -168,28 +168,29 @@ func TestBitsetCountRange(t *testing.T) {
 	}
 }
 
-func TestCountsToMap(t *testing.T) {
+func TestCountsAndSets(t *testing.T) {
 	tab := Build(pathSet(asgraph.Path{3, 1, 2}))
 	ac := NewASCounts(tab)
+	if len(ac) != tab.NumAS() {
+		t.Errorf("ASCounts len = %d, want %d", len(ac), tab.NumAS())
+	}
 	id1, _ := tab.ASID(1)
 	ac[id1] = 5
-	m := ac.ToMap(tab, true)
-	if len(m) != 1 || m[1] != 5 {
-		t.Errorf("ToMap skipZero = %v", m)
-	}
-	if m := ac.ToMap(tab, false); len(m) != 3 {
-		t.Errorf("ToMap full = %v", m)
+	if ac[id1] != 5 {
+		t.Errorf("ASCounts[%d] = %d", id1, ac[id1])
 	}
 	lc := NewLinkCounts(tab)
 	lid, _ := tab.LinkID(asgraph.NewLink(1, 2))
 	lc[lid] = 2
-	lm := lc.ToMap(tab, true)
-	if len(lm) != 1 || lm[asgraph.NewLink(1, 2)] != 2 {
-		t.Errorf("LinkCounts.ToMap = %v", lm)
+	if lc[lid] != 2 {
+		t.Errorf("LinkCounts[%d] = %d", lid, lc[lid])
 	}
 	ls := NewLinkSet(tab)
+	if ls.Count() != 0 {
+		t.Errorf("empty LinkSet Count = %d", ls.Count())
+	}
 	ls.Add(lid)
-	if !ls.Has(lid) || len(ls.ToMap(tab)) != 1 {
-		t.Error("LinkSet wrong")
+	if !ls.Has(lid) || ls.Count() != 1 {
+		t.Errorf("LinkSet Has=%v Count=%d after Add", ls.Has(lid), ls.Count())
 	}
 }

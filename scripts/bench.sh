@@ -6,7 +6,7 @@
 #
 # Usage:
 #
-#	scripts/bench.sh [-against BASELINE.json] [BENCH_REGEX] [BENCHTIME]
+#	scripts/bench.sh [-size xl] [-against BASELINE.json] [BENCH_REGEX] [BENCHTIME]
 #
 # BENCH_REGEX defaults to '.' (every benchmark); BENCHTIME defaults to
 # 1x — one iteration per benchmark, which is what the nightly trend
@@ -14,9 +14,17 @@
 # complete experiment). Use e.g. `scripts/bench.sh Propagation 5x` to
 # focus.
 #
+# -size xl switches to the xl tier: BREVAL_XL=1 is exported so the
+# otherwise-skipped 100k-AS / 2M-link benchmarks run, the default
+# regex narrows to '^BenchmarkXL', and the document is written as
+# BENCH_XL_<date>.json so the xl baseline never mixes with the
+# default-tier trend. Expect a few minutes per iteration; the recorded
+# peakRSS_MB metric is the memory envelope docs/performance.md cites.
+#
 # With -against, the freshly recorded document is additionally compared
 # to a previously committed baseline: the gate benchmarks (route
-# propagation, feature extraction, and every inference algorithm) must
+# propagation, feature extraction, every inference algorithm, and —
+# when recorded — the xl streaming pipeline) must
 # not regress by more than MAX_REGRESS_PCT percent ns/op (default 15),
 # or the script exits non-zero. This is the regression gate future perf
 # changes are measured against:
@@ -39,9 +47,15 @@ json_field() {
 	sed -n 's/^  "'"$2"'": "\{0,1\}\([^",]*\)"\{0,1\},\{0,1\}$/\1/p' "$1" | head -n 1
 }
 
+size=""
 against=""
+if [ "${1:-}" = "-size" ]; then
+	size=${2:?usage: bench.sh -size xl [-against BASELINE.json] [BENCH_REGEX] [BENCHTIME]}
+	[ "$size" = "xl" ] || { echo "bench: unknown size '$size' (only: xl)" >&2; exit 2; }
+	shift 2
+fi
 if [ "${1:-}" = "-against" ]; then
-	against=${2:?usage: bench.sh -against BASELINE.json [BENCH_REGEX] [BENCHTIME]}
+	against=${2:?usage: bench.sh [-size xl] -against BASELINE.json [BENCH_REGEX] [BENCHTIME]}
 	[ -r "$against" ] || { echo "bench: baseline $against not readable" >&2; exit 2; }
 	shift 2
 	# Refuse cross-environment comparisons before paying for the run.
@@ -64,15 +78,22 @@ if [ "${1:-}" = "-against" ]; then
 	fi
 fi
 
-bench_re=${1:-.}
+if [ "$size" = "xl" ]; then
+	bench_re=${1:-^BenchmarkXL}
+	export BREVAL_XL=1
+	out_prefix="BENCH_XL_"
+else
+	bench_re=${1:-.}
+	out_prefix="BENCH_"
+fi
 benchtime=${2:-1x}
 date=$(date -u +%Y-%m-%d)
-out="BENCH_${date}.json"
+out="${out_prefix}${date}.json"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 echo "== go test -bench=$bench_re -benchtime=$benchtime -benchmem" >&2
-go test -run '^$' -bench "$bench_re" -benchtime "$benchtime" -benchmem . | tee "$raw" >&2
+go test -run '^$' -bench "$bench_re" -benchtime "$benchtime" -benchmem -timeout 60m . | tee "$raw" >&2
 
 awk -v date="$date" -v bench_re="$bench_re" -v benchtime="$benchtime" \
 	-v go_version="$go_version" -v gomaxprocs="$gomaxprocs" '
@@ -123,7 +144,7 @@ function val(line, key,    s) {
 	name = val($0, "name")
 	ns = val($0, "ns_per_op")
 	if (name == "" || ns == "") next
-	if (name !~ /^Benchmark(RoutePropagation|FeatureExtraction|Inference)/) next
+	if (name !~ /^Benchmark(RoutePropagation|FeatureExtraction|Inference|XL)/) next
 	if (NR == FNR) { base[name] = ns; next }
 	if (!(name in base)) { printf "  %-32s new (no baseline)\n", name; next }
 	pct = (ns / base[name] - 1) * 100

@@ -106,6 +106,17 @@ if [ "${CHECK_SOAK:-0}" = "1" ]; then
 		-ases 450 -algos ASRank,Gao >/dev/null
 fi
 
+if [ "${CHECK_XL:-0}" = "1" ]; then
+	echo "== xl smoke (100k-AS streaming world, time-boxed)"
+	# Opt-in (~3 min): the xl acceptance test streams a 100k-AS /
+	# 2M-link world through block propagation and the stream collector,
+	# requires byte-identical digests across worker counts, and asserts
+	# peak RSS stays under the hard watermark (BREVAL_XL_HARD_MB,
+	# default 4096). `timeout` boxes it so a wedged run fails the gate
+	# instead of hanging CI. See docs/performance.md.
+	timeout 900 env BREVAL_XL=1 go test -run '^TestXLWorldStreaming$' -timeout 14m .
+fi
+
 echo "== bench smoke (1 iteration, cheap substrate benchmarks)"
 # One iteration of the substrate benchmarks keeps the suite compiling
 # and runnable without paying for the full-scale fixture; `make bench`

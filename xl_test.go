@@ -1,0 +1,217 @@
+package breval
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"breval/internal/asn"
+	"breval/internal/bgp"
+	"breval/internal/bias"
+	"breval/internal/govern"
+	"breval/internal/inference/asrank"
+	"breval/internal/inference/features"
+	"breval/internal/topogen"
+)
+
+// The xl tier drives a 100k-AS, multi-million-link world through the
+// streaming dense pipeline (block propagation -> shard-by-shard
+// feature cleaning -> inference -> bias report) and asserts two scale
+// properties the default suite cannot see: the output is byte-identical
+// at any worker count, and peak RSS stays under the hard memory
+// watermark. It is opt-in via BREVAL_XL=1 — a full run takes minutes —
+// and scripts/bench.sh -size xl / the check.sh xl smoke set that up.
+//
+// Propagation cost is bounded by a deterministic stride sample of
+// origins (the world, the graph, and every vantage point are still
+// full-scale); the sample is part of the tier's identity, so digests
+// are comparable across runs and machines.
+const (
+	xlNumASes     = 100_000
+	xlSeed        = 1
+	xlOriginCount = 1200
+	// xlMinLinks is the acceptance floor for the world's link count.
+	xlMinLinks = 2_000_000
+	// xlDefaultHardMB is the peak-RSS budget (overridable with
+	// BREVAL_XL_HARD_MB), matching the watermark tier a production
+	// -mem-hard-mb deployment of this world size would configure.
+	xlDefaultHardMB = 4096
+)
+
+var (
+	xlOnce sync.Once
+	xlW    *topogen.World
+	xlErr  error
+)
+
+func xlGate(tb testing.TB) {
+	tb.Helper()
+	if os.Getenv("BREVAL_XL") != "1" {
+		tb.Skip("xl tier disabled; set BREVAL_XL=1 (see scripts/bench.sh -size xl)")
+	}
+}
+
+// xlConfig densifies the calibrated defaults: at 100k ASes the stock
+// knobs yield ~1.35M links, while the xl tier wants a >=2M-link
+// universe (multi-homing and open peering grow superlinearly with AS
+// count on the real Internet, which the linear Scaled() cannot model).
+func xlConfig() topogen.Config {
+	cfg := topogen.DefaultConfig(xlSeed).Scaled(xlNumASes)
+	cfg.StubProviderMin, cfg.StubProviderMax = 2, 3
+	cfg.TransitProviderMin, cfg.TransitProviderMax = 2, 4
+	for t, p := range cfg.PeerProb {
+		cfg.PeerProb[t] = p * 1.3
+	}
+	return cfg
+}
+
+func xlWorld(tb testing.TB) *topogen.World {
+	tb.Helper()
+	xlOnce.Do(func() {
+		start := time.Now()
+		xlW, xlErr = topogen.Generate(xlConfig())
+		if xlErr == nil {
+			fmt.Printf("xl: world ready in %v: %d ASes, %d links, %d VPs\n",
+				time.Since(start).Round(time.Millisecond),
+				len(xlW.ASNs), xlW.Graph.NumLinks(), len(xlW.VPs))
+		}
+	})
+	if xlErr != nil {
+		tb.Fatalf("xl world: %v", xlErr)
+	}
+	return xlW
+}
+
+// xlOrigins samples every len/xlOriginCount-th AS, deterministically.
+func xlOrigins(w *topogen.World) []asn.ASN {
+	if len(w.ASNs) <= xlOriginCount {
+		return w.ASNs
+	}
+	stride := len(w.ASNs) / xlOriginCount
+	out := make([]asn.ASN, 0, xlOriginCount)
+	for i := 0; i < len(w.ASNs) && len(out) < xlOriginCount; i += stride {
+		out = append(out, w.ASNs[i])
+	}
+	return out
+}
+
+func xlHardMB() int64 {
+	if v := os.Getenv("BREVAL_XL_HARD_MB"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 0 {
+			return n
+		}
+	}
+	return xlDefaultHardMB
+}
+
+// peakRSSMB reads the process's high-water resident set (Linux
+// reports ru_maxrss in KiB).
+func peakRSSMB() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss / 1024
+}
+
+// xlRunStreaming is one end-to-end pass: block-streamed propagation
+// feeding the stream collector (the raw universe is never materialised
+// in full), dense feature finish, ASRank inference, and the regional
+// bias report. Returns a digest over every link, relationship, and
+// report row.
+func xlRunStreaming(tb testing.TB, w *topogen.World, origins []asn.ASN, workers int) uint64 {
+	tb.Helper()
+	g := govern.New(govern.Config{SoftBytes: 1 << 50, MaxWorkers: workers})
+	ctx := govern.Into(context.Background(), g)
+
+	sim := bgp.NewSimulator(w.Graph)
+	sc := features.NewStreamCollector()
+	so, sv, err := sim.PropagateBlocks(ctx, origins, w.VPs, func(blk *bgp.PathSet) error {
+		return sc.Feed(ctx, blk)
+	})
+	if err != nil {
+		tb.Fatalf("xl propagate (workers=%d): %v", workers, err)
+	}
+	fs, err := sc.Finish(ctx)
+	if err != nil {
+		tb.Fatalf("xl features (workers=%d): %v", workers, err)
+	}
+	res := asrank.New(asrank.Options{}).Infer(fs)
+	stats := bias.Imbalance(fs.Intern, nil, bias.NewRegionClassifier(w.Mapper()))
+
+	h := fnv.New64a()
+	fmt.Fprintf(h, "links=%d paths=%d skipped=%d/%d\n", fs.NumLinks(), fs.Paths.Len(), so, sv)
+	tab := fs.Intern
+	for lid := int32(0); lid < int32(tab.NumLinks()); lid++ {
+		l := tab.Link(lid)
+		rel, ok := res.Rel(l)
+		fmt.Fprintf(h, "%d-%d vp=%d rel=%v/%d/%d\n", l.A, l.B, fs.VPCountOf(l), ok, rel.Type, rel.Provider)
+	}
+	for _, st := range stats {
+		fmt.Fprintf(h, "%s %d %.9f\n", st.Class, st.Links, st.Share)
+	}
+	return h.Sum64()
+}
+
+// TestXLWorldStreaming is the xl acceptance test: the 100k-AS world
+// clears the 2M-link floor, the streamed pipeline is byte-identical
+// for worker counts {1, 4, GOMAXPROCS}, and peak RSS stays under the
+// hard watermark.
+func TestXLWorldStreaming(t *testing.T) {
+	xlGate(t)
+	w := xlWorld(t)
+	if n := w.Graph.NumLinks(); n < xlMinLinks {
+		t.Fatalf("xl world has %d links, want >= %d", n, xlMinLinks)
+	}
+	origins := xlOrigins(w)
+
+	workers := []int{1, 4, runtime.GOMAXPROCS(0)}
+	digests := make(map[int]uint64)
+	var first uint64
+	for i, nw := range workers {
+		if _, done := digests[nw]; done {
+			continue
+		}
+		start := time.Now()
+		d := xlRunStreaming(t, w, origins, nw)
+		digests[nw] = d
+		t.Logf("workers=%d digest=%016x elapsed=%v peakRSS=%dMB",
+			nw, d, time.Since(start).Round(time.Millisecond), peakRSSMB())
+		if i == 0 {
+			first = d
+		} else if d != first {
+			t.Errorf("digest mismatch: workers=%d got %016x, workers=%d got %016x",
+				nw, d, workers[0], first)
+		}
+	}
+
+	hard := xlHardMB()
+	if peak := peakRSSMB(); peak > hard {
+		t.Errorf("peak RSS %dMB exceeds hard watermark %dMB", peak, hard)
+	}
+}
+
+// BenchmarkXLStreamingPipeline times one full streamed pass at
+// GOMAXPROCS and reports peak RSS alongside ns/op, so the bench.sh xl
+// baseline captures both the time and the memory envelope.
+func BenchmarkXLStreamingPipeline(b *testing.B) {
+	xlGate(b)
+	w := xlWorld(b)
+	origins := xlOrigins(w)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := xlRunStreaming(b, w, origins, runtime.GOMAXPROCS(0)); d == 0 {
+			b.Fatal("zero digest")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(peakRSSMB()), "peakRSS_MB")
+}

@@ -14,6 +14,8 @@
 //	       [-mem-soft-mb N] [-mem-hard-mb N] [-stall-timeout D]
 //	       [-inject-pressure soft|hard]
 //	       [-soak N] [-chaos-seed N]
+//	       [-rib-in FILES] [-ingest-max-bad-frac F]
+//	       [-ingest-quarantine FILE] [-rib-out FILE]
 //	       [-report FILE] [-metrics-out FILE]
 //	       [-cpuprofile FILE] [-memprofile FILE] [-version]
 //
@@ -65,6 +67,21 @@
 // byte-identical to the baseline. -chaos-seed selects the storm
 // sequence; the same seed reproduces the same storms exactly.
 //
+// -rib-in replaces simulated route propagation with real-data
+// ingestion (see docs/ingestion.md): the comma-separated MRT RIB
+// dumps (plain or gzip) are streamed through the hardened ingest
+// front-end in bounded memory and fused directly into dense feature
+// extraction. Malformed records are quarantined — written with a
+// typed error taxonomy to the -ingest-quarantine ledger — instead of
+// aborting the run; when their fraction exceeds
+// -ingest-max-bad-frac (default 0: any bad record is over budget)
+// the run degrades to partial and exits 3, never 0. Runs are keyed
+// by the dumps' content digest, so -resume detects a swapped input
+// file and -checkpoint runs on renamed-but-identical files still
+// hit. -rib-out writes the run's final path set (simulated or
+// ingested) back out in the same MRT framing, closing the loop for
+// round-trip tooling and corruption smoke tests.
+//
 // -metrics-out enables the observability layer (see
 // docs/observability.md) and writes the run's metrics document —
 // hierarchical stage spans, counters (propagation worker totals,
@@ -94,6 +111,7 @@ import (
 	"syscall"
 	"time"
 
+	"breval/internal/bgp"
 	"breval/internal/buildinfo"
 	"breval/internal/checkpoint"
 	"breval/internal/core"
@@ -103,6 +121,7 @@ import (
 	"breval/internal/obs"
 	"breval/internal/resilience"
 	"breval/internal/runconfig"
+	"breval/internal/wire"
 )
 
 // errPartial marks a run in which some stages failed but the
@@ -158,6 +177,7 @@ func run(args []string) error {
 	cfg := runconfig.Default()
 	cfg.RegisterFlags(fs)
 	appcOut := fs.String("appendix-c", "", "write the Appendix-C per-link feature vectors (validated links) to this TSV file")
+	ribOut := fs.String("rib-out", "", "write the run's propagated (or ingested) path set as an MRT RIB dump to this file")
 	ckptVerify := fs.Bool("checkpoint-verify", false, "fsck the -checkpoint-dir store and exit (nonzero when corrupt or missing)")
 	killAfter := fs.String("kill-after", "", "crash testing: exit 7 right after artifact NAME is durably checkpointed")
 	injectPressure := fs.String("inject-pressure", "", "pressure testing: inflate every governor memory sample past the soft or hard watermark")
@@ -177,6 +197,12 @@ func run(args []string) error {
 	}
 	cfg.Normalize()
 	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	// Real-data runs are keyed by what the dump files contain, not
+	// where they live: resolve the content digest up front so the
+	// checkpoint key (and any later resume) pins it.
+	if err := cfg.ResolveRIB(); err != nil {
 		return err
 	}
 
@@ -272,6 +298,14 @@ func run(args []string) error {
 			finishReport(report, *reportOut))
 	}
 
+	if *ribOut != "" {
+		if err := writeRIBDump(*ribOut, art.Paths); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "breval: wrote %d paths as an MRT RIB dump to %s\n",
+			art.Paths.Len(), *ribOut)
+	}
+
 	if *appcOut != "" {
 		f, err := os.Create(*appcOut)
 		if err != nil {
@@ -317,6 +351,21 @@ func run(args []string) error {
 		return errPartial
 	}
 	return nil
+}
+
+// writeRIBDump exports the run's path set in the MRT framing
+// internal/ingest reads back: round-trip tooling for -rib-in and the
+// CHECK_INGEST smoke's dump generator.
+func writeRIBDump(path string, ps *bgp.PathSet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteRIB(f, ps, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // shedIn reports whether the run crossed the hard memory watermark

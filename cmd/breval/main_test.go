@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -12,10 +14,12 @@ import (
 	"strings"
 	"testing"
 
+	"breval/internal/asn"
 	"breval/internal/checkpoint"
 	"breval/internal/obs"
 	"breval/internal/resilience"
 	"breval/internal/runconfig"
+	"breval/internal/wire"
 )
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -495,5 +499,103 @@ func TestFlagConfigSharesServerIdentity(t *testing.T) {
 	}
 	if cfg.Hash() != jcfg.Hash() {
 		t.Errorf("flag and JSON spellings disagree on identity:\n  %s\n  %s", cfg.Hash(), jcfg.Hash())
+	}
+}
+
+// flipEveryNth rewrites every nth record's first AS-path hop to a
+// reserved ASN, returning the damaged dump and the complement (the
+// clean dump minus exactly those records) — the same operation
+// cmd/ribflip performs for the shell smoke.
+func flipEveryNth(t *testing.T, data []byte, n int) (damaged, pruned []byte, hit int) {
+	t.Helper()
+	rr := wire.NewRIBReader(bytes.NewReader(data))
+	for i := 0; ; i++ {
+		if _, err := rr.Read(); err != nil {
+			if err == io.EOF {
+				return damaged, pruned, hit
+			}
+			t.Fatalf("clean dump damaged at record %d: %v", i, err)
+		}
+		frame := rr.LastFrame()
+		if i%n != 0 {
+			damaged = append(damaged, frame...)
+			pruned = append(pruned, frame...)
+			continue
+		}
+		hit++
+		rec := append([]byte(nil), frame...)
+		pfxBytes := (int(rec[12]) + 7) / 8
+		off := 12 + 1 + pfxBytes + 1
+		binary.BigEndian.PutUint32(rec[off:off+4], uint32(asn.Max))
+		damaged = append(damaged, rec...)
+	}
+}
+
+// TestRunIngestExitCodes is the PR's acceptance test at the binary
+// boundary: a dump corrupted within the error budget completes with a
+// quarantine report and output byte-identical to the clean dump minus
+// those records; over budget the run returns errPartial (exit 3),
+// never success.
+func TestRunIngestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline several times")
+	}
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.rib")
+	base := []string{"-ases", "600", "-only", "clean", "-algos", "ASRank"}
+	captureRun(t, append(base, "-rib-out", clean))
+
+	data, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damagedBytes, prunedBytes, hit := flipEveryNth(t, data, 10)
+	if hit == 0 {
+		t.Fatal("fixture dump has no records")
+	}
+	damaged := filepath.Join(dir, "damaged.rib")
+	pruned := filepath.Join(dir, "pruned.rib")
+	if err := os.WriteFile(damaged, damagedBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(pruned, prunedBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Over budget (strict default): partial success, never clean exit.
+	if err := run(append(base, "-rib-in", damaged)); !errors.Is(err, errPartial) {
+		t.Fatalf("over-budget run: err = %v, want errPartial", err)
+	}
+
+	// Within budget: clean exit, a quarantine ledger line per damaged
+	// record, and byte-identical output to the pruned dump's run.
+	ledger := filepath.Join(dir, "quarantine.jsonl")
+	outDamaged := filepath.Join(dir, "out-damaged.rib")
+	outPruned := filepath.Join(dir, "out-pruned.rib")
+	stdoutDamaged := captureRun(t, append(base,
+		"-rib-in", damaged, "-ingest-max-bad-frac", "0.5",
+		"-ingest-quarantine", ledger, "-rib-out", outDamaged))
+	stdoutPruned := captureRun(t, append(base, "-rib-in", pruned, "-rib-out", outPruned))
+
+	raw, err := os.ReadFile(ledger)
+	if err != nil {
+		t.Fatalf("quarantine ledger not written: %v", err)
+	}
+	if lines := strings.Count(string(raw), "\n"); lines != hit {
+		t.Fatalf("%d ledger lines, want %d", lines, hit)
+	}
+	a, err := os.ReadFile(outDamaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(outPruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("damaged-within-budget output differs from clean-minus-quarantined output")
+	}
+	if stdoutDamaged != stdoutPruned {
+		t.Fatal("rendered experiments differ between damaged-within-budget and pruned runs")
 	}
 }

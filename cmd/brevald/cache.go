@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Store-cache eviction: -cache-max-mb bounds the total size of the
+// per-scenario checkpoint stores under <data-dir>/store. The daemon is
+// crash-only, so the cache has no in-memory index to keep consistent —
+// eviction is a sweep over the directory tree, run at startup (to
+// recover a bounded footprint after any previous life) and after each
+// completed run (the only time the cache grows).
+//
+// Eviction order is least-recently-used, approximated by the store
+// directory's modification time: a run touches its store's contents
+// while checkpointing, and a cache hit bumps the directory mtime
+// explicitly (see cacheGet), so the mtime order is the use order. A
+// store currently retained by an in-flight run or cache read is never
+// evicted no matter how old — evicting under a reader would turn a
+// cache hit into a torn artifact.
+
+// retainStore marks a store directory in use; eviction skips it.
+func (s *server) retainStore(dir string) {
+	s.mu.Lock()
+	s.stores[dir]++
+	s.mu.Unlock()
+}
+
+// releaseStore drops one retention on a store directory.
+func (s *server) releaseStore(dir string) {
+	s.mu.Lock()
+	if s.stores[dir]--; s.stores[dir] <= 0 {
+		delete(s.stores, dir)
+	}
+	s.mu.Unlock()
+}
+
+// storeUsage is one store directory as the sweeper sees it.
+type storeUsage struct {
+	dir   string
+	bytes int64
+	used  time.Time // latest mtime under the directory
+}
+
+// sweepCache evicts least-recently-used store directories until the
+// cache fits the configured budget. Best-effort by design: a store
+// that cannot be statted or removed is skipped, never fatal — the
+// next sweep retries it.
+func (s *server) sweepCache() {
+	if s.cfg.cacheMaxBytes <= 0 || s.cfg.dataDir == "" {
+		return
+	}
+	root := filepath.Join(s.cfg.dataDir, "store")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return
+	}
+	var stores []storeUsage
+	var total int64
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		u := measureStore(filepath.Join(root, e.Name()))
+		total += u.bytes
+		stores = append(stores, u)
+	}
+	if total <= s.cfg.cacheMaxBytes {
+		return
+	}
+	sort.Slice(stores, func(i, j int) bool { return stores[i].used.Before(stores[j].used) })
+
+	// Snapshot the in-flight set once; a store retained after this
+	// point belongs to a run that started after the sweep began, and
+	// its bytes were not part of the measured total anyway.
+	s.mu.Lock()
+	inFlight := make(map[string]bool, len(s.stores))
+	for dir := range s.stores {
+		inFlight[dir] = true
+	}
+	s.mu.Unlock()
+
+	for _, u := range stores {
+		if total <= s.cfg.cacheMaxBytes {
+			break
+		}
+		if inFlight[u.dir] {
+			continue
+		}
+		if err := os.RemoveAll(u.dir); err != nil {
+			continue
+		}
+		total -= u.bytes
+		s.col.Add("server.cache_evictions", 1)
+		s.col.Add("server.cache_evicted_bytes", u.bytes)
+	}
+	s.col.SetGauge("server.cache_bytes", float64(total))
+}
+
+// measureStore sizes one store directory and finds its latest mtime.
+func measureStore(dir string) storeUsage {
+	u := storeUsage{dir: dir}
+	if fi, err := os.Stat(dir); err == nil {
+		u.used = fi.ModTime()
+	}
+	filepath.WalkDir(dir, func(_ string, d os.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		if !d.IsDir() {
+			u.bytes += fi.Size()
+		}
+		if fi.ModTime().After(u.used) {
+			u.used = fi.ModTime()
+		}
+		return nil
+	})
+	return u
+}

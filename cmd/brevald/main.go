@@ -6,7 +6,7 @@
 // Usage:
 //
 //	brevald [-addr HOST:PORT] [-data-dir DIR] [-max-runs N]
-//	        [-request-timeout D] [-drain-timeout D]
+//	        [-cache-max-mb N] [-request-timeout D] [-drain-timeout D]
 //	        [-mem-soft-mb N] [-mem-hard-mb N] [-stall-timeout D]
 //	        [-metrics-out FILE] [-kill-after NAME] [-version]
 //
@@ -31,7 +31,16 @@
 // hash, so an identical request — including one replayed after a
 // kill -9 mid-run and restart — is served byte-identically, resuming
 // whatever stage artifacts the killed run saved. Identical in-flight
-// requests coalesce onto one pipeline execution.
+// requests coalesce onto one pipeline execution. -cache-max-mb bounds
+// the total size of those stores: least-recently-used stores are
+// evicted at startup and after each completed run, never while a run
+// or cache read holds them.
+//
+// A request with "rib_in" runs the real-data ingestion front end
+// (docs/ingestion.md) instead of simulated propagation. Such runs are
+// cache-keyed by the dump files' content digest — resolved server-side
+// from the local files, never accepted from the request — so renamed
+// copies hit the cache and swapped contents never alias.
 //
 // On SIGTERM/SIGINT the daemon drains: it stops admitting (readyz
 // 503, new runs 503), lets in-flight runs finish — they have been
@@ -82,6 +91,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:8478", "listen address")
 	dataDir := fs.String("data-dir", "", "checkpoint/cache root; empty disables the durable result cache")
+	cacheMaxMB := fs.Int64("cache-max-mb", 0, "total size budget for the store cache under -data-dir in MiB; least-recently-used stores are evicted at startup and after each run (0 = unbounded)")
 	maxRuns := fs.Int("max-runs", 2, "maximum concurrently admitted runs; excess requests get 429")
 	reqTimeout := fs.Duration("request-timeout", 15*time.Minute, "server-side ceiling on a run's deadline (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight runs before force-cancelling and exiting 9")
@@ -104,6 +114,14 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	if *memSoftMB < 0 || *memHardMB < 0 {
 		fmt.Fprintln(stderr, "brevald: memory watermarks must be non-negative")
+		return exitFatal
+	}
+	if *cacheMaxMB < 0 {
+		fmt.Fprintln(stderr, "brevald: -cache-max-mb must be non-negative")
+		return exitFatal
+	}
+	if *cacheMaxMB > 0 && *dataDir == "" {
+		fmt.Fprintln(stderr, "brevald: -cache-max-mb requires -data-dir (there is no cache to bound without one)")
 		return exitFatal
 	}
 	if *memSoftMB > 0 && *memHardMB > 0 && *memHardMB <= *memSoftMB {
@@ -133,6 +151,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		dataDir:        *dataDir,
 		maxRuns:        *maxRuns,
 		requestTimeout: *reqTimeout,
+		cacheMaxBytes:  *cacheMaxMB << 20,
 		govern:         gcfg,
 	})
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -33,6 +34,7 @@ type serverConfig struct {
 	dataDir        string
 	maxRuns        int
 	requestTimeout time.Duration
+	cacheMaxBytes  int64 // store-cache size budget; 0 = unbounded
 	govern         govern.Config
 }
 
@@ -68,6 +70,9 @@ type server struct {
 
 	mu      sync.Mutex
 	flights map[string]*flight
+	// stores refcounts checkpoint-store directories currently held by a
+	// run or a cache read; sweepCache never evicts a retained store.
+	stores map[string]int
 }
 
 // flight is one in-progress run, shared by every request whose config
@@ -119,7 +124,11 @@ func newServer(cfg serverConfig) *server {
 		baseCtx:    ctx,
 		cancelRuns: cancel,
 		flights:    make(map[string]*flight),
+		stores:     make(map[string]int),
 	}
+	// Startup sweep: recover a bounded cache footprint left by any
+	// previous life of the daemon before admitting work.
+	s.sweepCache()
 	// The governor is created even with no watermarks configured: its
 	// limiter is still the single worker-permit pool every concurrent
 	// run draws from, which is what keeps N admitted runs from running
@@ -198,6 +207,16 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg, err := runconfig.ParseJSON(body)
 	if err != nil {
+		s.col.Add("server.bad_requests", 1)
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Real-data runs are identified by what their dump files contain:
+	// the digest is resolved server-side (the field is not accepted
+	// from the request — a client-supplied digest could poison the
+	// cache), so renamed-but-identical inputs hash alike and swapped
+	// contents never alias.
+	if err := cfg.ResolveRIB(); err != nil {
 		s.col.Add("server.bad_requests", 1)
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -327,6 +346,18 @@ func (s *server) execute(cfg runconfig.Config, hash string) *runResult {
 	if withStore {
 		scen.CheckpointDir = dir
 		scen.Resume = true
+		// The quarantine ledger (host-controlled, never request-set)
+		// lands next to the run's other artifacts.
+		if len(scen.RIBIn) > 0 {
+			scen.IngestQuarantineFile = filepath.Join(dir, "quarantine.jsonl")
+		}
+		// Hold the store for the run's whole lifetime, then rebound the
+		// cache — a finished run is the only event that grows it.
+		s.retainStore(dir)
+		defer func() {
+			s.releaseStore(dir)
+			s.sweepCache()
+		}()
 	}
 
 	art, err := core.RunContext(ctx, scen)
@@ -436,6 +467,10 @@ func (s *server) cacheGet(ctx context.Context, cfg runconfig.Config, hash string
 	if !ok {
 		return "", false
 	}
+	// Retain across the read so a concurrent sweep never evicts the
+	// store out from under it.
+	s.retainStore(dir)
+	defer s.releaseStore(dir)
 	st, err := checkpoint.OpenShared(ctx, dir, core.CheckpointKey(scen))
 	if err != nil {
 		return "", false
@@ -449,6 +484,10 @@ func (s *server) cacheGet(ctx context.Context, cfg runconfig.Config, hash string
 	if err != nil {
 		return "", false
 	}
+	// A hit is a use: bump the directory mtime so the LRU sweep sees
+	// this store as fresh.
+	now := time.Now()
+	os.Chtimes(dir, now, now)
 	return out.String(), true
 }
 

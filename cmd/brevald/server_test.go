@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
@@ -17,9 +19,12 @@ import (
 	"time"
 
 	"breval/internal/buildinfo"
+	"breval/internal/core"
 	"breval/internal/govern"
 	"breval/internal/obs"
 	"breval/internal/resilience"
+	"breval/internal/runconfig"
+	"breval/internal/wire"
 )
 
 // smallBody is the cheap end-to-end request every pipeline-running
@@ -535,4 +540,179 @@ func TestRetryAfterShedFloor(t *testing.T) {
 	if got := s.retryAfterSecs(); got < 10 || got > 60 {
 		t.Errorf("shed retryAfterSecs = %d, want in [10, 60]", got)
 	}
+}
+
+// TestCacheSweepEvictsLRU: sweepCache removes least-recently-used
+// store directories until the cache fits the budget, never touching a
+// retained (in-flight) store.
+func TestCacheSweepEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	root := filepath.Join(dir, "store")
+	mk := func(name string, size int, age time.Duration) string {
+		p := filepath.Join(root, name)
+		if err := os.MkdirAll(p, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		f := filepath.Join(p, "artifact")
+		if err := os.WriteFile(f, make([]byte, size), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		when := time.Now().Add(-age)
+		if err := os.Chtimes(f, when, when); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(p, when, when); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldest := mk("aaa", 1<<20, 3*time.Hour)
+	middle := mk("bbb", 1<<20, 2*time.Hour)
+	newest := mk("ccc", 1<<20, time.Hour)
+
+	// Budget fits two stores: only the oldest goes.
+	s := newServer(serverConfig{dataDir: dir, maxRuns: 1, cacheMaxBytes: 2 << 20})
+	defer s.stop()
+	if _, err := os.Stat(oldest); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("startup sweep kept the oldest store: %v", err)
+	}
+	for _, p := range []string{middle, newest} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("sweep evicted a store within budget: %v", err)
+		}
+	}
+
+	// Shrink the budget to one store, but retain the middle one as an
+	// in-flight run would: only the (older) retained store's eviction
+	// is skipped, so the sweep must take the newest instead... no —
+	// it evicts in LRU order and skips retained: middle survives by
+	// retention, newest survives because evicting middle's bytes was
+	// skipped and newest eviction brings the total under budget.
+	s.cfg.cacheMaxBytes = 1 << 19 // half a store: everything evictable must go
+	s.retainStore(middle)
+	s.sweepCache()
+	if _, err := os.Stat(middle); err != nil {
+		t.Fatalf("sweep evicted a retained store: %v", err)
+	}
+	if _, err := os.Stat(newest); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("sweep kept an unretained store past the budget")
+	}
+	s.releaseStore(middle)
+	s.sweepCache()
+	if _, err := os.Stat(middle); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("released store survived a sweep it no longer fits")
+	}
+}
+
+// TestCacheSweepAfterRun: a bounded server evicts older stores as new
+// runs land, and the store backing the latest run survives to serve
+// its cached output.
+func TestCacheSweepAfterRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline")
+	}
+	dir := t.TempDir()
+	// Pre-seed a large stale store that cannot fit alongside any real
+	// one.
+	stale := filepath.Join(dir, "store", "stalestale0000")
+	if err := os.MkdirAll(stale, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(stale, "blob"), make([]byte, 8<<20), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-24 * time.Hour)
+	os.Chtimes(filepath.Join(stale, "blob"), old, old)
+	os.Chtimes(stale, old, old)
+
+	_, ts := newTestServer(t, serverConfig{dataDir: dir, maxRuns: 1, cacheMaxBytes: 6 << 20})
+	code, first := postRun(t, ts.URL, smallBody)
+	if code != http.StatusOK || first.Cached {
+		t.Fatalf("first run: %d %+v", code, first)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("post-run sweep kept the stale store")
+	}
+	code, second := postRun(t, ts.URL, smallBody)
+	if code != http.StatusOK || !second.Cached || second.Output != first.Output {
+		t.Fatalf("run's own store did not survive the sweep: %d cached=%v", code, second.Cached)
+	}
+}
+
+// TestRunEndpointRIBDigestKeyed: a rib_in request is served and cached
+// by the dump's *content* — a renamed identical copy hits the cache, a
+// client-supplied digest is rejected, a missing dump is a 400.
+func TestRunEndpointRIBDigestKeyed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline")
+	}
+	dir := t.TempDir()
+	// Build a dump by running the simulated scenario first.
+	_, ts := newTestServer(t, serverConfig{dataDir: dir, maxRuns: 1})
+	if code, rr := postRun(t, ts.URL, smallBody); code != http.StatusOK {
+		t.Fatalf("seed run: %d %+v", code, rr)
+	}
+	// Export the path set through the pipeline's own artifacts: easier
+	// to just write a fresh dump with breval's writer via a direct run.
+	scen := mustConfig(t, smallBody).Scenario()
+	art, err := core.RunContext(context.Background(), scen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := filepath.Join(dir, "dump.rib")
+	f, err := os.Create(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteRIB(f, art.Paths, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	body := func(file string) string {
+		b, _ := json.Marshal(map[string]any{
+			"seed": 5, "ases": 600, "only": []string{"clean"}, "algos": []string{"ASRank"},
+			"rib_in": []string{file},
+		})
+		return string(b)
+	}
+	code, first := postRun(t, ts.URL, body(dump))
+	if code != http.StatusOK || first.Cached {
+		t.Fatalf("ingest run: %d %+v", code, first.Error)
+	}
+
+	// Renamed identical copy: same content digest, cache hit.
+	copyPath := filepath.Join(dir, "renamed.rib")
+	data, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(copyPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, second := postRun(t, ts.URL, body(copyPath))
+	if code != http.StatusOK || !second.Cached || second.Output != first.Output {
+		t.Fatalf("renamed copy missed the cache: %d cached=%v", code, second.Cached)
+	}
+
+	// A client-supplied digest must be rejected, and a missing dump is
+	// a 400 at parse time, not a 500 mid-run.
+	if code, _ := postRun(t, ts.URL, `{"rib_in":["x"],"rib_digest":"deadbeef"}`); code != http.StatusBadRequest {
+		t.Fatalf("client-supplied digest: %d, want 400", code)
+	}
+	if code, rr := postRun(t, ts.URL, body(filepath.Join(dir, "missing.rib"))); code != http.StatusBadRequest {
+		t.Fatalf("missing dump: %d %+v, want 400", code, rr.Error)
+	}
+}
+
+// mustConfig parses a JSON runconfig body or fails the test.
+func mustConfig(t *testing.T, body string) runconfig.Config {
+	t.Helper()
+	cfg, err := runconfig.ParseJSON([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
 }

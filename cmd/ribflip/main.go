@@ -1,0 +1,172 @@
+// Command ribflip deterministically damages an MRT RIB dump for
+// ingestion testing. It rewrites every Nth record of a clean dump in
+// a way internal/ingest must quarantine, and can emit the complement
+// dump — the clean stream minus exactly those records — alongside.
+// A run over the damaged dump (with budget headroom) and a run over
+// the complement must then produce byte-identical outputs; the
+// CHECK_INGEST smoke in scripts/check.sh asserts exactly that.
+//
+// Usage:
+//
+//	ribflip -in clean.rib -out damaged.rib [-complement pruned.rib]
+//	        [-every N] [-mode unknown-as|type]
+//
+// Modes:
+//
+//	unknown-as (default) — overwrite the record's first AS-path hop
+//	  with 0xFFFFFFFF (a reserved ASN), which ingest quarantines as
+//	  kind "unknown-as". The frame stays well-formed, so the stream
+//	  never desynchronizes.
+//	type — flip the MRT type field to an unknown code. The wire reader
+//	  consumes the full frame and reports a skippable bad record,
+//	  which ingest quarantines under the in-frame damage kind
+//	  ("bad-path"). The stream stays in sync.
+//
+// The record count and damaged count are printed to stdout as
+// "total=N damaged=M" for scripts to parse. Input must be a plain
+// (not gzip-compressed) dump.
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"breval/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "ribflip: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ribflip", flag.ContinueOnError)
+	in := fs.String("in", "", "clean input RIB dump (required)")
+	out := fs.String("out", "", "damaged output dump (required)")
+	comp := fs.String("complement", "", "optional output dump holding the clean stream minus the damaged records")
+	every := fs.Int("every", 10, "damage every Nth record (records 0, N, 2N, ...)")
+	mode := fs.String("mode", "unknown-as", "damage mode: unknown-as or type")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("-in and -out are required")
+	}
+	if *every < 1 {
+		return fmt.Errorf("-every must be >= 1 (got %d)", *every)
+	}
+	if *mode != "unknown-as" && *mode != "type" {
+		return fmt.Errorf("-mode must be unknown-as or type (got %q)", *mode)
+	}
+
+	src, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+
+	dst, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	dw := bufio.NewWriter(dst)
+	var cw *bufio.Writer
+	var cdst *os.File
+	if *comp != "" {
+		cdst, err = os.Create(*comp)
+		if err != nil {
+			dst.Close()
+			return err
+		}
+		cw = bufio.NewWriter(cdst)
+	}
+
+	total, damaged, err := flip(src, dw, cw, *every, *mode)
+	if err == nil {
+		err = dw.Flush()
+	}
+	if err == nil && cw != nil {
+		err = cw.Flush()
+	}
+	if cerr := dst.Close(); err == nil {
+		err = cerr
+	}
+	if cdst != nil {
+		if cerr := cdst.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("total=%d damaged=%d\n", total, damaged)
+	return nil
+}
+
+// flip streams records from r, damaging every Nth one into dw and
+// writing the untouched remainder to cw (when non-nil).
+func flip(r io.Reader, dw, cw *bufio.Writer, every int, mode string) (total, damaged int, err error) {
+	rr := wire.NewRIBReader(r)
+	for {
+		_, rerr := rr.Read()
+		if rerr == io.EOF {
+			return total, damaged, nil
+		}
+		if rerr != nil {
+			// The input must be clean: any damage here means the caller
+			// fed us an already-corrupt dump and the complement would
+			// be meaningless.
+			return total, damaged, fmt.Errorf("clean input required: %w", rerr)
+		}
+		frame := rr.LastFrame()
+		hit := total%every == 0
+		total++
+		if !hit {
+			dw.Write(frame)
+			if cw != nil {
+				cw.Write(frame)
+			}
+			continue
+		}
+		damaged++
+		buf := make([]byte, len(frame))
+		copy(buf, frame)
+		if err := damage(buf, mode); err != nil {
+			return total, damaged, fmt.Errorf("record %d: %w", total-1, err)
+		}
+		if _, err := dw.Write(buf); err != nil {
+			return total, damaged, err
+		}
+	}
+}
+
+// damage mutates one full frame (header+body) in place.
+func damage(frame []byte, mode string) error {
+	switch mode {
+	case "type":
+		// An unknown MRT type: the reader consumes the frame and
+		// reports a skippable bad record.
+		binary.BigEndian.PutUint16(frame[4:6], 0x4242)
+		return nil
+	case "unknown-as":
+		// Body: prefixBits(1) | prefix bytes | hopCount(1) | 4B hops.
+		body := frame[12:]
+		if len(body) < 2 {
+			return fmt.Errorf("body too short to damage (%d bytes)", len(body))
+		}
+		pfxBytes := (int(body[0]) + 7) / 8
+		hopOff := 1 + pfxBytes + 1
+		if len(body) < hopOff+4 {
+			return fmt.Errorf("record has no path hop to damage")
+		}
+		binary.BigEndian.PutUint32(body[hopOff:hopOff+4], 0xFFFFFFFF)
+		return nil
+	}
+	return fmt.Errorf("unknown mode %q", mode)
+}

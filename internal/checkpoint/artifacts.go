@@ -79,9 +79,20 @@ func writeASNList(w io.Writer, label string, s []asn.ASN) {
 // carries the paths; the skipped-coverage counters ride in the
 // manifest metadata (they are bookkeeping, not payload).
 func PutPaths(ctx context.Context, s *Store, name string, ps *bgp.PathSet) error {
+	return PutPathsMeta(ctx, s, name, ps, nil)
+}
+
+// PutPathsMeta is PutPaths with extra manifest metadata merged in —
+// the ingest front end pins its source digest and quarantine counts
+// alongside the path set, so a resumed run re-verifies provenance and
+// re-applies the error budget without re-reading the dump.
+func PutPathsMeta(ctx context.Context, s *Store, name string, ps *bgp.PathSet, extra map[string]string) error {
 	meta := map[string]string{
 		"skipped_origins": strconv.Itoa(ps.SkippedOrigins),
 		"skipped_vps":     strconv.Itoa(ps.SkippedVPs),
+	}
+	for k, v := range extra {
+		meta[k] = v
 	}
 	return s.Put(ctx, name, meta, func(w io.Writer) error {
 		return wire.WriteRIB(w, ps, 0)
@@ -90,7 +101,14 @@ func PutPaths(ctx context.Context, s *Store, name string, ps *bgp.PathSet) error
 
 // GetPaths loads a path set stored by PutPaths.
 func GetPaths(ctx context.Context, s *Store, name string) (*bgp.PathSet, error) {
+	ps, _, err := GetPathsMeta(ctx, s, name)
+	return ps, err
+}
+
+// GetPathsMeta loads a path set plus its manifest metadata.
+func GetPathsMeta(ctx context.Context, s *Store, name string) (*bgp.PathSet, map[string]string, error) {
 	var ps *bgp.PathSet
+	var gotMeta map[string]string
 	err := s.Get(ctx, name, func(payload io.Reader, meta map[string]string) error {
 		got, rerr := wire.ReadRIB(payload)
 		if rerr != nil {
@@ -103,9 +121,10 @@ func GetPaths(ctx context.Context, s *Store, name string) (*bgp.PathSet, error) 
 			return rerr
 		}
 		ps = got
+		gotMeta = meta
 		return nil
 	})
-	return ps, err
+	return ps, gotMeta, err
 }
 
 func metaInt(meta map[string]string, key string) (int, error) {

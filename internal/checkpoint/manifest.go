@@ -37,6 +37,15 @@ type Key struct {
 	SpuriousReserved   int    `json:"spurious_reserved"`
 	InaccurateT1Labels int    `json:"inaccurate_t1_labels"`
 	IncludeRPSL        bool   `json:"include_rpsl"`
+
+	// RIBDigest is the content digest of the ingested RIB dump set
+	// when the run's paths came from real data instead of the
+	// simulator (ingest.DigestFiles). omitempty keeps simulator-run
+	// keys — and therefore every existing store — hash-stable; for
+	// ingest runs, swapping an input file changes the digest, the key,
+	// and the store directory, so stale artifacts are never resumed
+	// against different data.
+	RIBDigest string `json:"rib_digest,omitempty"`
 }
 
 // Hash returns the key's content hash: hex SHA-256 over the canonical

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"breval/internal/asn"
+	"breval/internal/ingest"
+	"breval/internal/wire"
+)
+
+// ingestScenario builds a small simulated run, dumps its path set as
+// an MRT RIB file, and returns a scenario that ingests that dump plus
+// the simulated artifacts for comparison.
+func ingestScenario(t *testing.T) (Scenario, *Artifacts, string) {
+	t.Helper()
+	s := DefaultScenario(3)
+	s.NumASes = 450
+	s.Algorithms = []string{AlgoASRank}
+	art, err := RunContext(context.Background(), s)
+	if err != nil {
+		t.Fatalf("simulated run: %v", err)
+	}
+	dump := filepath.Join(t.TempDir(), "rib")
+	f, err := os.Create(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteRIB(f, art.Paths, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	in := s
+	in.RIBIn = []string{dump}
+	return in, art, dump
+}
+
+func ribBytes(t *testing.T, art *Artifacts) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := wire.WriteRIB(&buf, art.Paths, 0); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestIngestRoundTripMatchesSimulation: ingesting a dump written from
+// a simulated run reproduces that run's path set byte-identically,
+// and everything derived from it downstream (the clean snapshot).
+func TestIngestRoundTripMatchesSimulation(t *testing.T) {
+	in, simArt, _ := ingestScenario(t)
+	art, err := RunContext(context.Background(), in)
+	if err != nil {
+		t.Fatalf("ingest run: %v", err)
+	}
+	if art.Ingest == nil {
+		t.Fatal("ingest run carries no ingest report")
+	}
+	if art.Ingest.BadTotal() != 0 || art.Ingest.Records != art.Ingest.Ingested {
+		t.Fatalf("clean dump quarantined records: %+v", art.Ingest)
+	}
+	if len(art.Degraded) != 0 {
+		t.Fatalf("clean ingest degraded: %v", art.Degraded)
+	}
+	if !bytes.Equal(ribBytes(t, art), ribBytes(t, simArt)) {
+		t.Fatal("ingested path set differs from the simulated one it was dumped from")
+	}
+	if art.Scenario.RIBDigest == "" {
+		t.Fatal("run did not pin the input digest into its scenario")
+	}
+}
+
+// TestIngestBudgetDegradesRun: a dump damaged past the budget still
+// completes — the surviving experiments render — but the run is
+// degraded and the report carries a failed ingest.budget stage, which
+// is what drives breval's exit 3.
+func TestIngestBudgetDegradesRun(t *testing.T) {
+	in, simArt, dump := ingestScenario(t)
+	raw, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison the first record's first hop (reserved ASN).
+	pfxBytes := (int(raw[12]) + 7) / 8
+	off := 12 + 1 + pfxBytes + 1
+	binary.BigEndian.PutUint32(raw[off:off+4], uint32(asn.Max))
+	if err := os.WriteFile(dump, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict budget: one bad record exceeds it.
+	art, err := RunContext(context.Background(), in)
+	if err != nil {
+		t.Fatalf("over-budget run must still complete: %v", err)
+	}
+	found := false
+	for _, st := range art.Report.Failed() {
+		if st.Stage == "ingest.budget" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no failed ingest.budget stage: %+v", art.Report.Failed())
+	}
+	degraded := false
+	for _, d := range art.Degraded {
+		if d == "ingest.budget" {
+			degraded = true
+		}
+	}
+	if !degraded {
+		t.Fatalf("run not degraded by the budget: %v", art.Degraded)
+	}
+
+	// Generous budget: same dump, clean verdict, and the output equals
+	// the simulated run minus the poisoned record's path.
+	lenient := in
+	lenient.IngestMaxBadFrac = 0.05
+	lart, err := RunContext(context.Background(), lenient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lart.Degraded) != 0 {
+		t.Fatalf("within-budget run degraded: %v", lart.Degraded)
+	}
+	if lart.Ingest.Bad[ingest.KindUnknownAS] != 1 {
+		t.Fatalf("expected one unknown-as quarantine: %+v", lart.Ingest.Bad)
+	}
+	if lart.Paths.Len() != simArt.Paths.Len()-1 {
+		t.Fatalf("paths %d, want %d", lart.Paths.Len(), simArt.Paths.Len()-1)
+	}
+}
+
+// TestIngestCheckpointResume: an ingest run checkpoints its paths
+// with the input digest and full ingest report pinned in the artifact
+// meta; a resume run reuses them byte-identically — including the
+// budget verdict — without re-reading the dump; and a resume against
+// different dump contents lands in a different store (no stale reuse).
+func TestIngestCheckpointResume(t *testing.T) {
+	in, _, dump := ingestScenario(t)
+	in.CheckpointDir = filepath.Join(t.TempDir(), "store")
+	first, err := RunContext(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resume := in
+	resume.Resume = true
+	second, err := RunContext(context.Background(), resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ribBytes(t, first), ribBytes(t, second)) {
+		t.Fatal("resumed ingest differs from the original")
+	}
+	if second.Ingest == nil || second.Ingest.Records != first.Ingest.Records ||
+		second.Ingest.Ingested != first.Ingest.Ingested {
+		t.Fatalf("resume lost the ingest report: %+v vs %+v", second.Ingest, first.Ingest)
+	}
+	reused := false
+	for _, st := range second.Report.Stages {
+		if st.Stage == "ingest.read" && st.Attempts == 0 && strings.Contains(st.Note, "reused") {
+			reused = true
+		}
+	}
+	if !reused {
+		t.Fatalf("resume re-ran the ingest stage: %+v", second.Report.Stages)
+	}
+
+	// Swap the dump contents in place: the digest changes, so the key
+	// changes and the pinned store must not be resumed against.
+	raw, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfxBytes := (int(raw[12]) + 7) / 8
+	off := 12 + 1 + pfxBytes + 1
+	binary.BigEndian.PutUint32(raw[off:off+4], uint32(asn.Max))
+	if err := os.WriteFile(dump, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	swapped := resume
+	swapped.IngestMaxBadFrac = 0.05
+	sart, err := RunContext(context.Background(), swapped)
+	if err != nil {
+		t.Fatalf("swapped-input run: %v", err)
+	}
+	if sart.Ingest.Bad[ingest.KindUnknownAS] != 1 {
+		t.Fatalf("swapped input silently resumed the old artifacts: %+v", sart.Ingest)
+	}
+
+	// A scenario pinned to the *old* digest must refuse the swapped
+	// file outright rather than ingest mismatched data.
+	pinned := resume
+	pinned.RIBDigest = first.Scenario.RIBDigest
+	if _, err := RunContext(context.Background(), pinned); err == nil {
+		t.Fatal("pinned digest accepted changed file contents")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"breval/internal/inference/gao"
 	"breval/internal/inference/problink"
 	"breval/internal/inference/toposcope"
+	"breval/internal/ingest"
 	"breval/internal/obs"
 	"breval/internal/resilience"
 	"breval/internal/rpsl"
@@ -99,6 +100,23 @@ type Scenario struct {
 	// load-shed, plus the heartbeat watchdog. The zero value disables
 	// governance entirely; outputs are bit-identical either way.
 	Govern govern.Config
+	// RIBIn lists MRT RIB dump files (plain or gzip-wrapped) to ingest
+	// as the path source instead of simulating propagation — see
+	// internal/ingest and docs/ingestion.md. The synthetic world is
+	// still generated: ingestion replaces only the propagation stage.
+	RIBIn []string
+	// RIBDigest optionally pins the expected content digest of RIBIn
+	// (ingest.DigestFiles): the run aborts if the files on disk no
+	// longer match. Empty means "computed at run start". Callers that
+	// derive CheckpointKey themselves (the server's result cache) must
+	// resolve the digest first or ingest runs would alias.
+	RIBDigest string
+	// IngestMaxBadFrac is the ingest error budget: the fraction of
+	// records allowed to be quarantined before the run degrades to
+	// partial. IngestQuarantineFile, when set, receives the quarantine
+	// ledger (JSON lines).
+	IngestMaxBadFrac     float64
+	IngestQuarantineFile string
 }
 
 // DefaultScenario returns the calibrated default run.
@@ -140,6 +158,11 @@ type Artifacts struct {
 	RegionCls *bias.RegionClassifier
 	TopoCls   *bias.TopoClassifier
 	ConeSizes map[asn.ASN]int
+
+	// Ingest is the real-data ingestion report: quarantine counts per
+	// error kind, per-file outcomes, and the inputs' bad fraction. Nil
+	// for simulator runs.
+	Ingest *ingest.Report
 
 	// Report records per-stage outcomes (status, attempts, duration,
 	// failure kind). It is populated on every return, including fatal
@@ -233,6 +256,26 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 		ctx = govern.Into(ctx, gov)
 	}
 
+	// Real-data runs resolve their input identity before anything
+	// else: the content digest feeds the checkpoint key, so a swapped
+	// or edited dump lands in a different store instead of resuming
+	// stale artifacts, and a pinned digest that no longer matches the
+	// files on disk is detected here, not discovered mid-analysis.
+	if len(s.RIBIn) > 0 {
+		d, derr := resilience.Value(ctx, runner, "ingest.digest", pol,
+			func(ctx context.Context) (string, error) {
+				return ingest.DigestFiles(s.RIBIn)
+			})
+		if derr != nil {
+			return art, fmt.Errorf("core: digest rib input: %w", derr)
+		}
+		if s.RIBDigest != "" && s.RIBDigest != d {
+			return art, fmt.Errorf("core: rib input changed: files digest to %s, pinned %s", d, s.RIBDigest)
+		}
+		s.RIBDigest = d
+		art.Scenario = s
+	}
+
 	// Checkpointing is an accelerator, never a dependency: a store
 	// that cannot open (including one another live process holds the
 	// owner lock on) degrades to a plain (uncached) run.
@@ -307,37 +350,105 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 	// stage can finish it; a retried or resumed features stage falls
 	// back to the monolithic ComputeContext, which is byte-identical.
 	var sc *features.StreamCollector
-	paths := resumePaths(ctx, store, resume, runner)
-	if paths == nil {
-		paths, err = resilience.Value(ctx, runner, "bgp.propagate", pol,
-			func(ctx context.Context) (*bgp.PathSet, error) {
-				sim := bgp.NewSimulator(world.Graph)
-				collector := features.NewStreamCollector()
-				total := bgp.NewPathSet(len(world.ASNs)*len(world.VPs), len(world.ASNs)*len(world.VPs)*5)
-				so, sv, perr := sim.PropagateBlocks(ctx, world.ASNs, world.VPs, func(blk *bgp.PathSet) error {
-					total.AppendSet(blk)
-					return collector.Feed(ctx, blk)
+	var paths *bgp.PathSet
+	var ingRep *ingest.Report
+	if len(s.RIBIn) > 0 {
+		// Real-data path source: stream the dump(s) through the ingest
+		// front end instead of the simulator, teeing each block into
+		// the total set and the feature collector exactly like
+		// propagation does — the raw and cleaned universes never
+		// coexist either way. A resumed artifact must carry the same
+		// source digest; its pinned ingest report re-applies the error
+		// budget below without re-reading the dump.
+		paths, ingRep = resumeIngested(ctx, store, resume, runner, s.RIBDigest)
+		if paths == nil {
+			type ingested struct {
+				ps  *bgp.PathSet
+				rep *ingest.Report
+			}
+			v, verr := resilience.Value(ctx, runner, "ingest.read", pol,
+				func(ctx context.Context) (ingested, error) {
+					collector := features.NewStreamCollector()
+					total := bgp.NewPathSet(4096, 4096*5)
+					rep, ierr := ingest.Stream(ctx, ingest.Options{
+						MaxBadFrac:     s.IngestMaxBadFrac,
+						QuarantineFile: s.IngestQuarantineFile,
+						ReadRetries:    ingest.DefaultReadRetries,
+					}, s.RIBIn, func(blk *bgp.PathSet) error {
+						total.AppendSet(blk)
+						return collector.Feed(ctx, blk)
+					})
+					if ierr != nil {
+						return ingested{}, ierr
+					}
+					sc = collector
+					return ingested{total, rep}, nil
 				})
-				if perr != nil {
-					return nil, perr
-				}
-				total.SkippedOrigins = so
-				total.SkippedVPs = sv
-				sc = collector
-				return total, nil
+			if verr != nil {
+				return art, fmt.Errorf("core: ingest: %w", verr)
+			}
+			paths, ingRep = v.ps, v.rep
+			saveArtifact(runner, store, checkpoint.ArtifactPaths, func() error {
+				return checkpoint.PutPathsMeta(ctx, store, checkpoint.ArtifactPaths,
+					paths, ingestMeta(s.RIBDigest, ingRep))
 			})
-		if err != nil {
-			return art, fmt.Errorf("core: propagate: %w", err)
 		}
-		saveArtifact(runner, store, checkpoint.ArtifactPaths, func() error {
-			return checkpoint.PutPaths(ctx, store, checkpoint.ArtifactPaths, paths)
-		})
+	} else {
+		paths = resumePaths(ctx, store, resume, runner)
+		if paths == nil {
+			paths, err = resilience.Value(ctx, runner, "bgp.propagate", pol,
+				func(ctx context.Context) (*bgp.PathSet, error) {
+					sim := bgp.NewSimulator(world.Graph)
+					collector := features.NewStreamCollector()
+					total := bgp.NewPathSet(len(world.ASNs)*len(world.VPs), len(world.ASNs)*len(world.VPs)*5)
+					so, sv, perr := sim.PropagateBlocks(ctx, world.ASNs, world.VPs, func(blk *bgp.PathSet) error {
+						total.AppendSet(blk)
+						return collector.Feed(ctx, blk)
+					})
+					if perr != nil {
+						return nil, perr
+					}
+					total.SkippedOrigins = so
+					total.SkippedVPs = sv
+					sc = collector
+					return total, nil
+				})
+			if err != nil {
+				return art, fmt.Errorf("core: propagate: %w", err)
+			}
+			saveArtifact(runner, store, checkpoint.ArtifactPaths, func() error {
+				return checkpoint.PutPaths(ctx, store, checkpoint.ArtifactPaths, paths)
+			})
+		}
 	}
 	art.Paths = paths
+	art.Ingest = ingRep
 	if err := resilience.Checkpoint(ctx, "checkpoint.saved.paths"); err != nil {
 		return art, err
 	}
 	col.SnapshotMemStats("after.bgp.propagate")
+
+	// The error-budget verdict. Over budget the run degrades to
+	// partial — cmd/breval maps a failed ledger stage to exit 3, never
+	// 0 — but still renders: a bias analyst wants to see what the
+	// damaged data says alongside the verdict, not nothing.
+	if ingRep != nil {
+		if ingRep.Exceeded(s.IngestMaxBadFrac) {
+			runner.Record(resilience.StageReport{
+				Stage: "ingest.budget", Status: resilience.StatusFailed,
+				Kind: resilience.KindError,
+				Error: fmt.Sprintf("ingest error budget exceeded: %d of %d records quarantined (frac %.6f > budget %.6f, %d desynced files)",
+					ingRep.BadTotal(), ingRep.Records, ingRep.BadFrac(), s.IngestMaxBadFrac, ingRep.Desyncs),
+			})
+			degrade("ingest.budget")
+		} else if n := ingRep.BadTotal(); n > 0 {
+			runner.Record(resilience.StageReport{
+				Stage: "ingest.budget", Status: resilience.StatusOK,
+				Note: fmt.Sprintf("%d of %d records quarantined (frac %.6f within budget %.6f)",
+					n, ingRep.Records, ingRep.BadFrac(), s.IngestMaxBadFrac),
+			})
+		}
+	}
 
 	fs, err := resilience.Value(ctx, runner, "features.compute", pol,
 		func(ctx context.Context) (*features.Set, error) {
@@ -627,6 +738,7 @@ func checkpointKey(s Scenario, cfg topogen.Config) checkpoint.Key {
 		SpuriousReserved:   s.SpuriousReserved,
 		InaccurateT1Labels: s.InaccurateT1Labels,
 		IncludeRPSL:        s.IncludeRPSL,
+		RIBDigest:          s.RIBDigest,
 	}
 }
 
@@ -662,6 +774,40 @@ func resumePaths(ctx context.Context, store *checkpoint.Store, resume bool, r *r
 	}
 	recordReuse(r, "bgp.propagate", checkpoint.ArtifactPaths)
 	return ps
+}
+
+// ingestMeta pins the ingested artifact's provenance in the manifest:
+// the source digest plus the full ingest report, so a resume can
+// verify and re-apply the budget without touching the dump.
+func ingestMeta(digest string, rep *ingest.Report) map[string]string {
+	b, err := json.Marshal(rep)
+	if err != nil {
+		// Report is plain data; Marshal cannot fail. A non-decodable
+		// value makes resume recompute, which is the safe direction.
+		b = []byte(strconv.Quote(err.Error()))
+	}
+	return map[string]string{"rib_digest": digest, "ingest_report": string(b)}
+}
+
+// resumeIngested loads the cached ingested path set together with its
+// pinned ingest report. Anything off — a missing artifact, a digest
+// that does not match the current inputs (the key already separates
+// digests, so this is belt and braces against a tampered manifest), a
+// report that does not decode — is a miss: (nil, nil) recomputes.
+func resumeIngested(ctx context.Context, store *checkpoint.Store, resume bool, r *resilience.Runner, digest string) (*bgp.PathSet, *ingest.Report) {
+	if store == nil || !resume {
+		return nil, nil
+	}
+	ps, meta, err := checkpoint.GetPathsMeta(ctx, store, checkpoint.ArtifactPaths)
+	if err != nil || meta["rib_digest"] != digest {
+		return nil, nil
+	}
+	rep := &ingest.Report{}
+	if jerr := json.Unmarshal([]byte(meta["ingest_report"]), rep); jerr != nil || rep.Bad == nil {
+		return nil, nil
+	}
+	recordReuse(r, "ingest.read", checkpoint.ArtifactPaths)
+	return ps, rep
 }
 
 // resumeSnapshot loads a cached validation snapshot, or (nil, false)

@@ -28,6 +28,7 @@ import (
 	"breval/internal/checkpoint"
 	"breval/internal/core"
 	"breval/internal/govern"
+	"breval/internal/ingest"
 	"breval/internal/resilience"
 	"breval/internal/wire"
 )
@@ -98,8 +99,12 @@ func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
 // sitePools returns the crash-site pool (checkpoint boundaries, where
 // a kill leaves durable artifacts behind) and the stage/worker-site
 // pool (where panics and transient errors exercise retry, restart and
-// degradation paths), for a run over the given algorithms.
-func sitePools(algos []string) (crash, stage []string) {
+// degradation paths), for a run over the given algorithms. A run that
+// ingests real RIB dumps (ribIn) has no bgp.propagate stage; the
+// ingest stage and its per-record fault sites take its place in the
+// storm mix, so storms exercise mid-stream read failures and
+// quarantine-path failures too.
+func sitePools(algos []string, ribIn bool) (crash, stage []string) {
 	crash = []string{
 		"checkpoint.saved.world",
 		"checkpoint.saved.paths",
@@ -107,13 +112,21 @@ func sitePools(algos []string) (crash, stage []string) {
 		"checkpoint.saved.validation.clean",
 	}
 	stage = []string{
-		"bgp.propagate",
 		"features.compute",
 		"features.compute.worker",
 		"validation.extract",
 		"validation.clean",
 		"rpsl.generate",
 		"cones.build",
+	}
+	if ribIn {
+		stage = append(stage,
+			"ingest.read",
+			ingest.SiteRecordRead,
+			ingest.SiteQuarantine,
+		)
+	} else {
+		stage = append(stage, "bgp.propagate")
 	}
 	for _, a := range algos {
 		crash = append(crash, "checkpoint.saved."+checkpoint.ArtifactRel(a))
@@ -125,10 +138,11 @@ func sitePools(algos []string) (crash, stage []string) {
 // Generate derives a fault schedule from a seed: 2–4 events drawn
 // from the crash/stage site pools plus at most one pressure event at
 // the governor's sampling site. Each site carries at most one fault
-// (the injection registry replaces, it does not stack).
-func Generate(seed int64, algos []string) Schedule {
+// (the injection registry replaces, it does not stack). ribIn selects
+// the ingest-mode site pool (see sitePools).
+func Generate(seed int64, algos []string, ribIn bool) Schedule {
 	r := rng(seed)
-	crashSites, stageSites := sitePools(algos)
+	crashSites, stageSites := sitePools(algos, ribIn)
 	sc := Schedule{Seed: seed}
 	used := map[string]bool{}
 	want := 2 + r.intn(3)
@@ -357,7 +371,7 @@ func Soak(ctx context.Context, cfg Config) (*Report, error) {
 
 	for i := 0; i < cfg.Runs; i++ {
 		seed := cfg.Seed + int64(i)
-		storm := Generate(seed, algosOf(sc))
+		storm := Generate(seed, algosOf(sc), len(sc.RIBIn) > 0)
 		rr := RunResult{Run: i, Seed: seed, Schedule: storm}
 		dir := filepath.Join(cfg.Dir, fmt.Sprintf("run%03d", i))
 		before := crashCount.Load()

@@ -2,12 +2,18 @@ package chaos
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
+	"breval/internal/asgraph"
+	"breval/internal/asn"
 	"breval/internal/core"
 	"breval/internal/govern"
 	"breval/internal/resilience"
+	"breval/internal/wire"
 )
 
 func testAlgos() []string { return []string{core.AlgoASRank, core.AlgoGao} }
@@ -16,8 +22,8 @@ func testAlgos() []string { return []string{core.AlgoASRank, core.AlgoGao} }
 // storm; nearby seeds yield different ones; events are well-formed and
 // never stack two faults on one site.
 func TestGenerateDeterministic(t *testing.T) {
-	a := Generate(42, testAlgos())
-	b := Generate(42, testAlgos())
+	a := Generate(42, testAlgos(), false)
+	b := Generate(42, testAlgos(), false)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("same seed, different storms:\n%s\n%s", a, b)
 	}
@@ -36,7 +42,7 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 	differs := false
 	for seed := int64(1); seed <= 16 && !differs; seed++ {
-		differs = !reflect.DeepEqual(Generate(seed, testAlgos()).Events, a.Events)
+		differs = !reflect.DeepEqual(Generate(seed, testAlgos(), false).Events, a.Events)
 	}
 	if !differs {
 		t.Fatal("16 distinct seeds all generated the same storm")
@@ -49,7 +55,7 @@ func TestGenerateDeterministic(t *testing.T) {
 func TestGenerateCoversKinds(t *testing.T) {
 	seen := map[Kind]bool{}
 	for seed := int64(0); seed < 64; seed++ {
-		for _, e := range Generate(seed, testAlgos()).Events {
+		for _, e := range Generate(seed, testAlgos(), false).Events {
 			seen[e.Kind] = true
 		}
 	}
@@ -130,6 +136,86 @@ func TestSoakFiveStorms(t *testing.T) {
 	// The harness restored the crash hook and cleared its faults.
 	if err := resilience.Checkpoint(context.Background(), "checkpoint.saved.world"); err != nil {
 		t.Fatalf("fault registry not clean after soak: %v", err)
+	}
+}
+
+// TestSoakIngestStorms: the determinism contract holds when the
+// pipeline ingests a RIB dump instead of simulating propagation.
+// The dump carries a few damaged records (reserved first hop) inside
+// the error budget, and the chosen seed's storms are verified to
+// include at least one ingest fault site — so mid-stream read faults
+// and quarantine-path faults are exercised, and every storm still
+// recovers byte-identically to the fault-free ingest baseline.
+func TestSoakIngestStorms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline many times")
+	}
+	s := core.DefaultScenario(1)
+	s.NumASes = 450
+	s.Algorithms = testAlgos()
+	art, err := core.RunContext(context.Background(), s)
+	if err != nil {
+		t.Fatalf("seed run: %v", err)
+	}
+	dir := t.TempDir()
+	dump := filepath.Join(dir, "rib")
+	f, err := os.Create(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteRIB(f, art.Paths, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Append damaged records: a reserved first hop is quarantined as
+	// "unknown-as" without desynchronizing the stream.
+	bw := wire.NewRIBWriter(f, 0)
+	for i := 0; i < 4; i++ {
+		p := asgraph.Path{asn.Max, asn.ASN(10 + i)}
+		if err := bw.Write(wire.RIBEntry{Prefix: wire.PrefixForAS(p.Origin()), Path: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	in := s
+	in.RIBIn = []string{dump}
+	in.IngestMaxBadFrac = 0.05
+
+	// Pick the first seed whose storm sequence includes an ingest-site
+	// event, so the soak deterministically hits the new sites even if
+	// the pool composition shifts.
+	const runs = 3
+	seed := int64(-1)
+	for cand := int64(100); cand < 200 && seed < 0; cand++ {
+		for i := 0; i < runs; i++ {
+			for _, e := range Generate(cand+int64(i), testAlgos(), true).Events {
+				if strings.HasPrefix(e.Site, "ingest.") {
+					seed = cand
+				}
+			}
+		}
+	}
+	if seed < 0 {
+		t.Fatal("no seed in [100,200) generated an ingest-site event")
+	}
+
+	rep, err := Soak(context.Background(), Config{
+		Seed:     seed,
+		Runs:     runs,
+		Scenario: in,
+		Dir:      filepath.Join(dir, "soak"),
+		Log:      &testLog{t},
+	})
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	if !rep.OK() || len(rep.Runs) != runs {
+		t.Fatalf("soak not ok: %+v", rep)
 	}
 }
 

@@ -1,0 +1,36 @@
+package ingest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+)
+
+// DigestFiles returns the hex SHA-256 identity of the input set:
+// every file's bytes in order, length-framed so file boundaries
+// cannot alias. File names deliberately do not contribute — the same
+// dump under a different path is the same input, so runs share
+// checkpoint artifacts and brevald cache entries by content.
+//
+// The digest is pinned in the checkpoint key and the paths artifact's
+// metadata: a swapped or edited input file changes the key, so a
+// resumed run detects the swap and recomputes instead of resuming
+// into a world the files no longer describe.
+func DigestFiles(files []string) (string, error) {
+	h := sha256.New()
+	for _, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			return "", fmt.Errorf("ingest: digest: %w", err)
+		}
+		n, err := io.Copy(h, f)
+		f.Close()
+		if err != nil {
+			return "", fmt.Errorf("ingest: digest %s: %w", name, err)
+		}
+		fmt.Fprintf(h, "|%d", n)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,353 @@
+// Package ingest is the hardened real-data front end of the pipeline:
+// a streaming, bounded-memory, cancellable reader that turns MRT-style
+// RIB dumps (internal/wire framing, plain or gzip-wrapped, one file or
+// many) into propagation path blocks with the same sink contract as
+// bgp.(*Simulator).PropagateBlocks — so core.RunContext can fuse it
+// with features.StreamCollector and the raw and cleaned path universes
+// never coexist.
+//
+// Real collector dumps are hostile input: truncated transfers, flipped
+// bytes, reserved ASNs, duplicated entries. Instead of aborting on the
+// first damaged record, ingest classifies each one into a typed error
+// taxonomy (Kind), skips it, counts it, and samples it into a
+// quarantine ledger for fuzz-corpus seeding. A configurable error
+// budget (Options.MaxBadFrac) decides afterwards whether the surviving
+// path set is trustworthy: over budget, the caller degrades the run to
+// partial (exit 3) rather than silently analysing a biased world.
+// Framing damage that desynchronizes a stream (a cut file, an
+// untrustworthy length field, a corrupt gzip wrapper) abandons the
+// rest of that file — the remainder cannot be attributed to record
+// boundaries — and always exceeds the budget.
+//
+// Transient read errors (EAGAIN-class I/O on pipes and network
+// filesystems) are retried in place with bounded exponential backoff;
+// persistent I/O errors propagate so the enclosing resilience stage
+// can retry the whole ingest with a fresh collector. Two fault
+// -injection sites, "ingest.record.read" and "ingest.quarantine",
+// join the chaos storm mix.
+package ingest
+
+import (
+	"bufio"
+	"compress/flate"
+	"compress/gzip"
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"syscall"
+	"time"
+
+	"breval/internal/bgp"
+	"breval/internal/obs"
+	"breval/internal/resilience"
+	"breval/internal/wire"
+)
+
+// Fault-injection site names (see internal/resilience). The record
+// site fires once per record read, the quarantine site once per
+// quarantined record.
+const (
+	SiteRecordRead = "ingest.record.read"
+	SiteQuarantine = "ingest.quarantine"
+)
+
+// Options configure one streaming ingest.
+type Options struct {
+	// MaxBadFrac is the error budget: the fraction of records allowed
+	// to be bad before the ingested world is declared untrustworthy
+	// (Report.Exceeded). 0 — the strict default — tolerates no damage.
+	MaxBadFrac float64
+
+	// QuarantineFile, when set, receives the quarantine ledger: one
+	// JSON line (Sample) per quarantined record. The file is only
+	// created when something is quarantined.
+	QuarantineFile string
+
+	// SamplePerKind caps how many ledger lines per Kind carry the raw
+	// frame hex (the expensive part, kept small so a rotten dump does
+	// not balloon the ledger). 0 selects DefaultSamplePerKind.
+	SamplePerKind int
+
+	// MaxLedgerRecords caps total ledger lines. 0 selects
+	// DefaultMaxLedgerRecords; beyond the cap records are still
+	// counted, just not written.
+	MaxLedgerRecords int
+
+	// BlockPaths is how many paths accumulate before a block is
+	// flushed to the sink (0 selects DefaultBlockPaths). Block
+	// boundaries carry no meaning downstream — the collector output is
+	// identical for any block size — they only bound working memory.
+	BlockPaths int
+
+	// ReadRetries and ReadBackoff bound the in-place retry of
+	// transient (EAGAIN-class) read errors: up to ReadRetries retries
+	// per read, sleeping ReadBackoff, doubling each attempt. Zero
+	// retries means transient errors surface immediately.
+	ReadRetries int
+	ReadBackoff time.Duration
+}
+
+// Defaults for the zero-valued knobs.
+const (
+	DefaultSamplePerKind    = 16
+	DefaultMaxLedgerRecords = 100000
+	DefaultBlockPaths       = 1024
+	DefaultReadBackoff      = 5 * time.Millisecond
+
+	// DefaultReadRetries is what the pipeline passes for
+	// Options.ReadRetries: in-place retries are cheap and always safe
+	// (a retried read resumes at the same offset), so production runs
+	// keep a few even when stage retries are off. The Options zero
+	// value still means "no retries" so tests see errors immediately.
+	DefaultReadRetries = 4
+)
+
+func (o Options) blockPaths() int {
+	if o.BlockPaths <= 0 {
+		return DefaultBlockPaths
+	}
+	return o.BlockPaths
+}
+
+// Stream ingests files in order, feeding path blocks to sink. It is
+// single-goroutine and in-order, so the concatenated blocks — and
+// therefore everything downstream — are byte-identical for any worker
+// count, permit level, or block size.
+//
+// The returned Report is non-nil whenever ingestion ran at all, even
+// alongside an error. A non-nil error means the ingest itself could
+// not complete (cancellation, an unreadable file, persistent I/O
+// failure, a sink error, an injected fault) and the enclosing stage
+// should retry or abort; damaged records are not errors — they land
+// in the report and the ledger, and the budget verdict is the
+// caller's to apply via Report.Exceeded.
+func Stream(ctx context.Context, opts Options, files []string, sink func(*bgp.PathSet) error) (*Report, error) {
+	if len(files) == 0 {
+		return nil, errors.New("ingest: no input files")
+	}
+	ing := &ingester{
+		opts:  opts,
+		sink:  sink,
+		rep:   newReport(),
+		seen:  make(map[uint64]struct{}, 1024),
+		block: bgp.NewPathSet(opts.blockPaths(), opts.blockPaths()*5),
+	}
+	defer ing.closeLedger()
+	for _, name := range files {
+		if err := ing.file(ctx, name); err != nil {
+			return ing.rep, err
+		}
+	}
+	if err := ing.flush(ctx); err != nil {
+		return ing.rep, err
+	}
+	col := obs.From(ctx)
+	col.Add("ingest.records", ing.rep.Records)
+	col.Add("ingest.ingested", ing.rep.Ingested)
+	col.Add("ingest.bad", ing.rep.BadTotal())
+	col.Add("ingest.retried_reads", ing.rep.RetriedReads)
+	return ing.rep, nil
+}
+
+type ingester struct {
+	opts  Options
+	sink  func(*bgp.PathSet) error
+	rep   *Report
+	seen  map[uint64]struct{} // FNV-1a of record bodies, for duplicate detection
+	block *bgp.PathSet
+
+	ledger *ledger
+}
+
+// file ingests one dump file. Damage is handled inside; only
+// run-fatal conditions (open failure, cancellation, injected faults,
+// persistent I/O errors, sink errors) return non-nil.
+func (ing *ingester) file(ctx context.Context, name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	defer f.Close()
+
+	fr := &FileReport{File: name}
+	ing.rep.Files = append(ing.rep.Files, fr)
+
+	retry := &retryReader{ctx: ctx, r: f,
+		retries: ing.opts.ReadRetries, backoff: ing.opts.ReadBackoff}
+	defer func() { ing.rep.RetriedReads += retry.retried }()
+	br := bufio.NewReaderSize(retry, 1<<16)
+	var src io.Reader = br
+	if magic, _ := br.Peek(2); len(magic) == 2 && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, zerr := gzip.NewReader(br)
+		if zerr != nil {
+			// The magic matched but the header did not parse: damaged
+			// wrapper, nothing attributable inside.
+			ing.countRecord(fr)
+			fr.Aborted = true
+			fr.Err = zerr.Error()
+			return ing.quarantine(ctx, fr, 0, KindTruncatedFrame, zerr, nil)
+		}
+		defer zr.Close()
+		src = zr
+	}
+
+	rr := wire.NewRIBReader(src)
+	for {
+		if err := resilience.Checkpoint(ctx, SiteRecordRead); err != nil {
+			return err
+		}
+		e, err := rr.Read()
+		switch {
+		case err == nil:
+			ing.countRecord(fr)
+			if qerr := ing.record(ctx, fr, rr, e); qerr != nil {
+				return qerr
+			}
+		case errors.Is(err, io.EOF):
+			return nil
+		default:
+			var bad *wire.BadRecordError
+			if errors.As(err, &bad) {
+				// The frame was fully consumed; the stream is still in
+				// sync. Skip the record and keep reading.
+				ing.countRecord(fr)
+				kind := KindBadPath
+				if errors.Is(err, wire.ErrTruncated) {
+					kind = KindTruncatedFrame
+				}
+				if qerr := ing.quarantine(ctx, fr, bad.Index, kind, err, rr.LastFrame()); qerr != nil {
+					return qerr
+				}
+				continue
+			}
+			kind, desync := classifyFraming(err)
+			if !desync {
+				// Persistent I/O failure (transient retries exhausted)
+				// or an injected fault: the enclosing stage retries the
+				// whole ingest with a fresh collector.
+				return fmt.Errorf("ingest: %s: record %d: %w", name, rr.Index(), err)
+			}
+			// Framing damage: the rest of the file cannot be attributed
+			// to record boundaries. Quarantine what was consumed, abandon
+			// the file, continue with the next one. An aborted file
+			// always exceeds the error budget (Report.Exceeded).
+			ing.countRecord(fr)
+			fr.Aborted = true
+			fr.Err = err.Error()
+			return ing.quarantine(ctx, fr, rr.Index(), kind, err, rr.LastFrame())
+		}
+	}
+}
+
+// countRecord tallies one attempted record; Records always equals
+// Ingested plus the quarantine counts.
+func (ing *ingester) countRecord(fr *FileReport) {
+	fr.Records++
+	ing.rep.Records++
+}
+
+// classifyFraming maps a desynchronizing read error to its taxonomy
+// kind; desync is false for real I/O errors, which are run-fatal.
+func classifyFraming(err error) (Kind, bool) {
+	var corrupt flate.CorruptInputError
+	switch {
+	case errors.Is(err, wire.ErrOversize):
+		return KindOversizeBody, true
+	case errors.Is(err, wire.ErrTruncated):
+		return KindTruncatedFrame, true
+	case errors.Is(err, gzip.ErrHeader), errors.Is(err, gzip.ErrChecksum), errors.As(err, &corrupt):
+		// Damage inside the compression wrapper surfaces as reader
+		// errors; it is data corruption, not an I/O failure.
+		return KindTruncatedFrame, true
+	}
+	return "", false
+}
+
+// record admits one successfully parsed record, applying the semantic
+// taxonomy: reserved/unassignable ASNs and duplicate entries are
+// quarantined, everything else flows into the current block.
+func (ing *ingester) record(ctx context.Context, fr *FileReport, rr *wire.RIBReader, e wire.RIBEntry) error {
+	if len(e.Path) == 0 {
+		return ing.quarantine(ctx, fr, rr.Index(), KindBadPath,
+			errors.New("empty AS path"), rr.LastFrame())
+	}
+	for _, a := range e.Path {
+		if a.IsReserved() {
+			return ing.quarantine(ctx, fr, rr.Index(), KindUnknownAS,
+				fmt.Errorf("reserved AS %d in path", a), rr.LastFrame())
+		}
+	}
+	// Duplicate detection hashes the record body (prefix + path); the
+	// header timestamp does not distinguish entries.
+	h := fnv.New64a()
+	h.Write(rr.LastFrame()[12:])
+	key := h.Sum64()
+	if _, dup := ing.seen[key]; dup {
+		return ing.quarantine(ctx, fr, rr.Index(), KindDuplicate,
+			errors.New("duplicate entry"), rr.LastFrame())
+	}
+	ing.seen[key] = struct{}{}
+
+	fr.Ingested++
+	ing.rep.Ingested++
+	ing.block.Append(e.Path)
+	if ing.block.Len() >= ing.opts.blockPaths() {
+		return ing.flush(ctx)
+	}
+	return nil
+}
+
+// flush hands the accumulated block to the sink.
+func (ing *ingester) flush(ctx context.Context) error {
+	if ing.block.Len() == 0 {
+		return nil
+	}
+	if err := ing.sink(ing.block); err != nil {
+		return err
+	}
+	ing.block = bgp.NewPathSet(ing.opts.blockPaths(), ing.opts.blockPaths()*5)
+	return nil
+}
+
+// retryReader retries transient (EAGAIN-class) errors of the
+// underlying reader in place, with bounded exponential backoff, so a
+// hiccup on a pipe or network filesystem does not cost a whole stage
+// retry. It sits below the bufio/gzip layers: those latch the first
+// error they see, so the retry must win before they look.
+type retryReader struct {
+	ctx     context.Context
+	r       io.Reader
+	retries int
+	backoff time.Duration
+	retried int64
+}
+
+func (rr *retryReader) Read(p []byte) (int, error) {
+	backoff := rr.backoff
+	if backoff <= 0 {
+		backoff = DefaultReadBackoff
+	}
+	for attempt := 0; ; attempt++ {
+		n, err := rr.r.Read(p)
+		if n > 0 || err == nil || attempt >= rr.retries || !transient(err) {
+			return n, err
+		}
+		rr.retried++
+		select {
+		case <-rr.ctx.Done():
+			return 0, rr.ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// transient reports whether err is worth retrying in place.
+func transient(err error) bool {
+	return errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.EWOULDBLOCK) ||
+		errors.Is(err, syscall.EINTR)
+}

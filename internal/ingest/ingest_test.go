@@ -1,0 +1,584 @@
+package ingest
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+	"breval/internal/wire"
+)
+
+// fixturePaths is a small, all-valid path universe.
+func fixturePaths() []asgraph.Path {
+	return []asgraph.Path{
+		{64497 - 1000, 3356, 174}, // arbitrary non-reserved ASNs
+		{10001, 1299},
+		{10002, 6939, 3257, 2914, 701},
+		{10003, 3356},
+		{10004, 174, 3356, 1299},
+	}
+}
+
+// writeDump serializes paths into MRT framing, returning the bytes and
+// the cumulative record boundaries (boundaries[0]==0).
+func writeDump(t *testing.T, paths []asgraph.Path) (data []byte, boundaries []int) {
+	t.Helper()
+	var buf bytes.Buffer
+	boundaries = append(boundaries, 0)
+	rw := wire.NewRIBWriter(&buf, 42)
+	for _, p := range paths {
+		if err := rw.Write(wire.RIBEntry{Prefix: wire.PrefixForAS(p.Origin()), Path: p}); err != nil {
+			t.Fatal(err)
+		}
+		if err := rw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, buf.Len())
+	}
+	return buf.Bytes(), boundaries
+}
+
+// dumpFile writes data to a file under t.TempDir.
+func dumpFile(t *testing.T, data []byte) string {
+	t.Helper()
+	name := filepath.Join(t.TempDir(), "dump.rib")
+	if err := os.WriteFile(name, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return name
+}
+
+// ingestAll streams files into one accumulated path set.
+func ingestAll(t *testing.T, opts Options, files ...string) (*Report, *bgp.PathSet, error) {
+	t.Helper()
+	total := bgp.NewPathSet(64, 64*5)
+	rep, err := Stream(context.Background(), opts, files, func(blk *bgp.PathSet) error {
+		total.AppendSet(blk)
+		return nil
+	})
+	return rep, total, err
+}
+
+// checkInvariant asserts the closed-taxonomy accounting: every
+// attempted record is either ingested or counted under exactly one
+// quarantine kind.
+func checkInvariant(t *testing.T, rep *Report) {
+	t.Helper()
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+	if rep.Records != rep.Ingested+rep.BadTotal() {
+		t.Fatalf("accounting broken: records %d != ingested %d + bad %d",
+			rep.Records, rep.Ingested, rep.BadTotal())
+	}
+	var fRecords, fIngested int64
+	for _, fr := range rep.Files {
+		fRecords += fr.Records
+		fIngested += fr.Ingested
+	}
+	if fRecords != rep.Records || fIngested != rep.Ingested {
+		t.Fatalf("per-file totals (%d/%d) disagree with report (%d/%d)",
+			fRecords, fIngested, rep.Records, rep.Ingested)
+	}
+}
+
+// pathsBytes canonicalizes a path set for byte comparison.
+func pathsBytes(t *testing.T, ps *bgp.PathSet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := wire.WriteRIB(&buf, ps, 0); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// mkFrame builds one raw frame with an arbitrary header and body.
+func mkFrame(ts uint32, typ, sub uint16, body []byte) []byte {
+	f := make([]byte, 12+len(body))
+	binary.BigEndian.PutUint32(f[0:4], ts)
+	binary.BigEndian.PutUint16(f[4:6], typ)
+	binary.BigEndian.PutUint16(f[6:8], sub)
+	binary.BigEndian.PutUint32(f[8:12], uint32(len(body)))
+	copy(f[12:], body)
+	return f
+}
+
+func TestStreamCleanDump(t *testing.T) {
+	paths := fixturePaths()
+	data, _ := writeDump(t, paths)
+	rep, got, err := ingestAll(t, Options{}, dumpFile(t, data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariant(t, rep)
+	if rep.Records != int64(len(paths)) || rep.Ingested != int64(len(paths)) || rep.BadTotal() != 0 {
+		t.Fatalf("clean dump: records=%d ingested=%d bad=%d", rep.Records, rep.Ingested, rep.BadTotal())
+	}
+	if rep.Exceeded(0) {
+		t.Fatal("clean dump exceeded a zero budget")
+	}
+	if got.Len() != len(paths) {
+		t.Fatalf("got %d paths, want %d", got.Len(), len(paths))
+	}
+	i := 0
+	got.ForEach(func(p asgraph.Path) {
+		if p.String() != paths[i].String() {
+			t.Fatalf("path %d = %v, want %v (order must be preserved)", i, p, paths[i])
+		}
+		i++
+	})
+}
+
+// TestStreamTruncationAtEveryByteBoundary sweeps every possible cut
+// of a multi-record dump: a cut exactly on a record boundary is a
+// clean (if short) ingest; a cut anywhere else quarantines exactly
+// the damaged tail record, marks the file desynchronized, and always
+// exceeds the budget — but never fails the Stream call itself.
+func TestStreamTruncationAtEveryByteBoundary(t *testing.T) {
+	paths := fixturePaths()
+	data, boundaries := writeDump(t, paths)
+	onBoundary := make(map[int]int) // cut → surviving record count
+	for i, b := range boundaries {
+		onBoundary[b] = i
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		rep, got, err := ingestAll(t, Options{}, dumpFile(t, data[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: stream failed: %v", cut, err)
+		}
+		checkInvariant(t, rep)
+		if n, ok := onBoundary[cut]; ok {
+			if rep.Records != int64(n) || rep.BadTotal() != 0 || rep.Desyncs != 0 {
+				t.Fatalf("boundary cut %d: records=%d bad=%d desyncs=%d, want %d clean records",
+					cut, rep.Records, rep.BadTotal(), rep.Desyncs, n)
+			}
+			if got.Len() != n {
+				t.Fatalf("boundary cut %d: %d paths, want %d", cut, got.Len(), n)
+			}
+			if rep.Exceeded(0) {
+				t.Fatalf("boundary cut %d exceeded a zero budget", cut)
+			}
+			continue
+		}
+		if rep.Desyncs != 1 || rep.Bad[KindTruncatedFrame] != 1 {
+			t.Fatalf("mid-record cut %d: desyncs=%d bad=%v, want one truncated-frame desync",
+				cut, rep.Desyncs, rep.Bad)
+		}
+		if !rep.Files[0].Aborted {
+			t.Fatalf("mid-record cut %d: file not marked aborted", cut)
+		}
+		if !rep.Exceeded(1.0) {
+			t.Fatalf("mid-record cut %d: desync did not exceed even a 100%% budget", cut)
+		}
+	}
+}
+
+// TestStreamOversizeBody: an untrustworthy length field abandons the
+// file (nothing after it is attributable) and the records before it
+// survive.
+func TestStreamOversizeBody(t *testing.T) {
+	paths := fixturePaths()
+	data, boundaries := writeDump(t, paths)
+	evil := append([]byte(nil), data[:boundaries[2]]...)
+	evil = append(evil, mkFrame(0, 13, 2, nil)...)
+	// Rewrite the length field to an absurd value, then append the
+	// remaining real records — they must be abandoned, not misparsed.
+	binary.BigEndian.PutUint32(evil[boundaries[2]+8:boundaries[2]+12], 1<<20)
+	evil = append(evil, data[boundaries[2]:]...)
+
+	rep, got, err := ingestAll(t, Options{}, dumpFile(t, evil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariant(t, rep)
+	if rep.Bad[KindOversizeBody] != 1 || rep.Desyncs != 1 || !rep.Files[0].Aborted {
+		t.Fatalf("oversize: bad=%v desyncs=%d aborted=%v", rep.Bad, rep.Desyncs, rep.Files[0].Aborted)
+	}
+	if rep.Ingested != 2 || got.Len() != 2 {
+		t.Fatalf("oversize: ingested %d paths, want the 2 before the damage", got.Len())
+	}
+	if !rep.Exceeded(1.0) {
+		t.Fatal("oversize desync must exceed any budget")
+	}
+}
+
+// TestStreamSemanticTaxonomy: in-frame damage — flipped type codes,
+// empty paths, reserved ASNs, duplicates — is skipped record by
+// record without desynchronizing, each under its own kind.
+func TestStreamSemanticTaxonomy(t *testing.T) {
+	good := fixturePaths()
+	data, boundaries := writeDump(t, good)
+
+	var evil []byte
+	// Record 0: valid.
+	evil = append(evil, data[:boundaries[1]]...)
+	// A flipped type code (frame intact): bad-path.
+	flipped := append([]byte(nil), data[boundaries[1]:boundaries[2]]...)
+	binary.BigEndian.PutUint16(flipped[4:6], 0x4242)
+	evil = append(evil, flipped...)
+	// An empty AS path (hop count 0, consistent body): bad-path.
+	evil = append(evil, mkFrame(0, 13, 2, []byte{24, 10, 0, 1, 0})...)
+	// A reserved ASN in the path: unknown-as.
+	reserved := make([]byte, 0, 16)
+	reserved = append(reserved, 24, 10, 0, 2) // /24 prefix
+	reserved = append(reserved, 1)            // one hop
+	reserved = binary.BigEndian.AppendUint32(reserved, uint32(asn.Max))
+	evil = append(evil, mkFrame(0, 13, 2, reserved)...)
+	// Records 1..4: valid, then record 1 again under a different
+	// timestamp: duplicate (the header is not part of the identity).
+	evil = append(evil, data[boundaries[1]:]...)
+	dup := append([]byte(nil), data[boundaries[1]:boundaries[2]]...)
+	binary.BigEndian.PutUint32(dup[0:4], 777)
+	evil = append(evil, dup...)
+
+	rep, got, err := ingestAll(t, Options{}, dumpFile(t, evil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariant(t, rep)
+	want := map[Kind]int64{KindBadPath: 2, KindUnknownAS: 1, KindDuplicate: 1}
+	for k, n := range want {
+		if rep.Bad[k] != n {
+			t.Errorf("bad[%s] = %d, want %d (all: %v)", k, rep.Bad[k], n, rep.Bad)
+		}
+	}
+	if rep.Desyncs != 0 || rep.Files[0].Aborted {
+		t.Fatalf("semantic damage desynchronized the stream: %+v", rep.Files[0])
+	}
+	if rep.Ingested != int64(len(good)) || got.Len() != len(good) {
+		t.Fatalf("ingested %d, want all %d valid records", got.Len(), len(good))
+	}
+	// Budget arithmetic: 9 records, 4 bad.
+	if rep.Records != 9 {
+		t.Fatalf("records = %d, want 9", rep.Records)
+	}
+	if !rep.Exceeded(0.4) || rep.Exceeded(0.5) {
+		t.Fatalf("budget verdicts wrong for frac %v", rep.BadFrac())
+	}
+}
+
+// TestStreamCorruptVsPrunedEquality is the PR's core determinism
+// claim at package level: ingesting a damaged dump (within budget)
+// yields byte-identical output to ingesting the same dump with the
+// damaged records removed.
+func TestStreamCorruptVsPrunedEquality(t *testing.T) {
+	paths := fixturePaths()
+	data, boundaries := writeDump(t, paths)
+
+	var damaged, pruned []byte
+	for i := 0; i+1 < len(boundaries); i++ {
+		rec := append([]byte(nil), data[boundaries[i]:boundaries[i+1]]...)
+		if i%2 == 0 {
+			// Poison the first hop: prefixBits at body[0].
+			pfxBytes := (int(rec[12]) + 7) / 8
+			off := 12 + 1 + pfxBytes + 1
+			binary.BigEndian.PutUint32(rec[off:off+4], uint32(asn.Max))
+			damaged = append(damaged, rec...)
+			continue // pruned dump omits it
+		}
+		damaged = append(damaged, rec...)
+		pruned = append(pruned, rec...)
+	}
+
+	repD, gotD, err := ingestAll(t, Options{}, dumpFile(t, damaged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repP, gotP, err := ingestAll(t, Options{}, dumpFile(t, pruned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariant(t, repD)
+	checkInvariant(t, repP)
+	if repD.Bad[KindUnknownAS] == 0 || repP.BadTotal() != 0 {
+		t.Fatalf("fixture broken: damaged bad=%v pruned bad=%v", repD.Bad, repP.Bad)
+	}
+	if !bytes.Equal(pathsBytes(t, gotD), pathsBytes(t, gotP)) {
+		t.Fatal("damaged-within-budget and pruned dumps produced different path sets")
+	}
+}
+
+// TestStreamGzipTransparent: a gzip-wrapped dump ingests identically
+// to its plain form; a corrupted gzip header aborts the file.
+func TestStreamGzipTransparent(t *testing.T) {
+	data, _ := writeDump(t, fixturePaths())
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if _, err := zw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	repPlain, gotPlain, err := ingestAll(t, Options{}, dumpFile(t, data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repZ, gotZ, err := ingestAll(t, Options{}, dumpFile(t, zbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repZ.Ingested != repPlain.Ingested || !bytes.Equal(pathsBytes(t, gotPlain), pathsBytes(t, gotZ)) {
+		t.Fatal("gzip wrapping changed the ingested path set")
+	}
+
+	// Valid magic, garbage header.
+	bad := append([]byte{0x1f, 0x8b}, bytes.Repeat([]byte{0xff}, 64)...)
+	repBad, _, err := ingestAll(t, Options{}, dumpFile(t, bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariant(t, repBad)
+	if repBad.Desyncs != 1 || repBad.Bad[KindTruncatedFrame] != 1 {
+		t.Fatalf("corrupt gzip header: %+v", repBad)
+	}
+
+	// Truncated gzip stream: damage inside the wrapper, also a desync.
+	repCut, _, err := ingestAll(t, Options{}, dumpFile(t, zbuf.Bytes()[:zbuf.Len()/2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariant(t, repCut)
+	if repCut.Desyncs != 1 {
+		t.Fatalf("truncated gzip stream not a desync: %+v", repCut)
+	}
+}
+
+// TestStreamMultiFileAndBlockEquality: splitting a dump across files
+// and varying the block size never changes the concatenated output.
+func TestStreamMultiFileAndBlockEquality(t *testing.T) {
+	data, boundaries := writeDump(t, fixturePaths())
+	one := dumpFile(t, data)
+	a := dumpFile(t, data[:boundaries[2]])
+	b := dumpFile(t, data[boundaries[2]:])
+
+	_, whole, err := ingestAll(t, Options{}, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repSplit, split, err := ingestAll(t, Options{BlockPaths: 1}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repSplit.Files) != 2 {
+		t.Fatalf("want 2 file reports, got %d", len(repSplit.Files))
+	}
+	if !bytes.Equal(pathsBytes(t, whole), pathsBytes(t, split)) {
+		t.Fatal("file split / block size changed the output")
+	}
+}
+
+// TestStreamCrossFileDuplicates: duplicate detection spans files — a
+// record repeated in a later file of the same Stream call is
+// quarantined, keeping multi-file ingests equivalent to their
+// concatenation.
+func TestStreamCrossFileDuplicates(t *testing.T) {
+	data, _ := writeDump(t, fixturePaths())
+	rep, got, err := ingestAll(t, Options{}, dumpFile(t, data), dumpFile(t, data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariant(t, rep)
+	if rep.Bad[KindDuplicate] != int64(len(fixturePaths())) {
+		t.Fatalf("second copy not deduplicated: %v", rep.Bad)
+	}
+	if got.Len() != len(fixturePaths()) {
+		t.Fatalf("got %d paths, want %d", got.Len(), len(fixturePaths()))
+	}
+}
+
+// TestStreamQuarantineLedger: one JSON line per quarantined record,
+// frame hex only on the first SamplePerKind of each kind, no file at
+// all for a clean ingest.
+func TestStreamQuarantineLedger(t *testing.T) {
+	paths := fixturePaths()
+	data, boundaries := writeDump(t, paths)
+	// Duplicate the whole dump: len(paths) duplicates.
+	evil := append(append([]byte(nil), data...), data...)
+	_ = boundaries
+
+	dir := t.TempDir()
+	ledgerPath := filepath.Join(dir, "quarantine.jsonl")
+	rep, _, err := ingestAll(t, Options{QuarantineFile: ledgerPath, SamplePerKind: 2}, dumpFile(t, evil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LedgerErr != "" {
+		t.Fatalf("ledger error: %s", rep.LedgerErr)
+	}
+	raw, err := os.ReadFile(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(raw, []byte("\n")), []byte("\n"))
+	if int64(len(lines)) != rep.BadTotal() {
+		t.Fatalf("%d ledger lines, want %d (one per quarantined record)", len(lines), rep.BadTotal())
+	}
+	withHex := 0
+	for i, ln := range lines {
+		var s Sample
+		if err := json.Unmarshal(ln, &s); err != nil {
+			t.Fatalf("line %d is not a Sample: %v", i, err)
+		}
+		if s.Kind != KindDuplicate || s.File == "" {
+			t.Fatalf("line %d: unexpected sample %+v", i, s)
+		}
+		if s.FrameHex != "" {
+			withHex++
+		}
+	}
+	if withHex != 2 {
+		t.Fatalf("%d lines carry frame hex, want SamplePerKind=2", withHex)
+	}
+
+	// Clean ingest: no ledger file.
+	cleanLedger := filepath.Join(dir, "clean.jsonl")
+	if _, _, err := ingestAll(t, Options{QuarantineFile: cleanLedger}, dumpFile(t, data)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(cleanLedger); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("clean ingest left a ledger file: %v", err)
+	}
+}
+
+// flakyReader yields EAGAIN a fixed number of times before every
+// successful read, simulating a congested pipe.
+type flakyReader struct {
+	r        io.Reader
+	failures int
+	left     int
+}
+
+func (fr *flakyReader) Read(p []byte) (int, error) {
+	if fr.left > 0 {
+		fr.left--
+		return 0, syscall.EAGAIN
+	}
+	fr.left = fr.failures
+	return fr.r.Read(p)
+}
+
+func TestRetryReaderTransient(t *testing.T) {
+	data, _ := writeDump(t, fixturePaths())
+	rr := &retryReader{
+		ctx:     context.Background(),
+		r:       &flakyReader{r: bytes.NewReader(data), failures: 2, left: 2},
+		retries: 4,
+		backoff: time.Nanosecond,
+	}
+	got, err := io.ReadAll(rr)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("retried read failed: err=%v, %d/%d bytes", err, len(got), len(data))
+	}
+	if rr.retried == 0 {
+		t.Fatal("no retries counted")
+	}
+
+	// Retries exhausted: the transient error surfaces.
+	rr = &retryReader{
+		ctx:     context.Background(),
+		r:       &flakyReader{r: bytes.NewReader(data), failures: 10, left: 10},
+		retries: 2,
+		backoff: time.Nanosecond,
+	}
+	if _, err := io.ReadAll(rr); !errors.Is(err, syscall.EAGAIN) {
+		t.Fatalf("exhausted retries: err=%v, want EAGAIN", err)
+	}
+}
+
+// TestStreamPersistentIOErrorIsFatal: an EAGAIN storm outlasting the
+// retry budget fails the Stream call (the enclosing stage retries),
+// it is never misfiled as data damage.
+func TestStreamPersistentIOErrorIsFatal(t *testing.T) {
+	// A FIFO would be the real thing; a plain unreadable file stands in:
+	// open succeeds, first read fails.
+	dir := t.TempDir()
+	name := filepath.Join(dir, "dir-as-dump")
+	if err := os.Mkdir(name, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	rep, _, err := ingestAll(t, Options{}, name)
+	if err == nil {
+		t.Fatalf("reading a directory succeeded: %+v", rep)
+	}
+	if rep == nil || rep.BadTotal() != 0 {
+		t.Fatalf("I/O failure was misfiled as data damage: %+v", rep)
+	}
+}
+
+func TestStreamCancellation(t *testing.T) {
+	data, _ := writeDump(t, fixturePaths())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Stream(ctx, Options{}, []string{dumpFile(t, data)}, func(*bgp.PathSet) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ingest: err=%v, want context.Canceled", err)
+	}
+}
+
+func TestStreamNoFiles(t *testing.T) {
+	if _, err := Stream(context.Background(), Options{}, nil, func(*bgp.PathSet) error { return nil }); err == nil {
+		t.Fatal("empty file list accepted")
+	}
+}
+
+// TestDigestFiles: content-addressed — renaming changes nothing,
+// content changes everything, and concatenation is framed (two files
+// never alias one).
+func TestDigestFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := write("a", "hello")
+	b := write("b", "hello")
+	c := write("c", "hellx")
+	d1, err := DigestFiles([]string{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DigestFiles([]string{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatal("renamed identical content changed the digest")
+	}
+	d3, err := DigestFiles([]string{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Fatal("different content, same digest")
+	}
+	// "he"+"llo" split across two files must not alias one "hello".
+	e := write("e", "he")
+	f := write("f", "llo")
+	d4, err := DigestFiles([]string{e, f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d4 == d1 {
+		t.Fatal("split files alias the concatenated content")
+	}
+	if _, err := DigestFiles([]string{filepath.Join(dir, "missing")}); err == nil {
+		t.Fatal("missing file digested")
+	}
+}

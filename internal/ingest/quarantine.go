@@ -1,0 +1,114 @@
+package ingest
+
+import (
+	"bufio"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+
+	"breval/internal/resilience"
+)
+
+// Sample is one quarantine-ledger line: where the damage was, what
+// kind it is, and (for the first SamplePerKind of each kind) the raw
+// frame bytes — exactly the seed material FuzzIngestReader wants.
+type Sample struct {
+	File     string `json:"file"`
+	Record   int    `json:"record"` // zero-based index within the file
+	Kind     Kind   `json:"kind"`
+	Error    string `json:"error"`
+	FrameHex string `json:"frame_hex,omitempty"`
+}
+
+// ledger appends Samples to the quarantine file as JSON lines. It is
+// created lazily on the first quarantined record, so a clean ingest
+// leaves no file behind.
+type ledger struct {
+	f       *os.File
+	w       *bufio.Writer
+	lines   int
+	sampled map[Kind]int
+	failed  bool
+}
+
+// quarantine counts one damaged record, fires the ingest.quarantine
+// fault site, and writes its ledger line. Ledger write failures are
+// recorded and disable the ledger — losing evidence must not abort an
+// otherwise-tolerable ingest — but injected faults at the site
+// propagate, so chaos storms can force a stage retry here.
+func (ing *ingester) quarantine(ctx context.Context, fr *FileReport, rec int, kind Kind, cause error, frame []byte) error {
+	ing.rep.Bad[kind]++
+	if fr.Aborted {
+		ing.rep.Desyncs++
+	}
+	if err := resilience.Checkpoint(ctx, SiteQuarantine); err != nil {
+		return err
+	}
+	if ing.opts.QuarantineFile == "" || ing.rep.LedgerErr != "" {
+		return nil
+	}
+	if ing.ledger == nil {
+		ing.ledger = &ledger{sampled: make(map[Kind]int, len(Kinds))}
+	}
+	if err := ing.ledger.write(ing.opts, Sample{
+		File:   fr.File,
+		Record: rec,
+		Kind:   kind,
+		Error:  cause.Error(),
+	}, frame); err != nil {
+		ing.rep.LedgerErr = err.Error()
+	}
+	return nil
+}
+
+func (l *ledger) write(opts Options, s Sample, frame []byte) error {
+	maxLines := opts.MaxLedgerRecords
+	if maxLines <= 0 {
+		maxLines = DefaultMaxLedgerRecords
+	}
+	if l.lines >= maxLines {
+		return nil
+	}
+	if l.f == nil {
+		f, err := os.Create(opts.QuarantineFile)
+		if err != nil {
+			return err
+		}
+		l.f = f
+		l.w = bufio.NewWriter(f)
+	}
+	perKind := opts.SamplePerKind
+	if perKind <= 0 {
+		perKind = DefaultSamplePerKind
+	}
+	if len(frame) > 0 && l.sampled[s.Kind] < perKind {
+		l.sampled[s.Kind]++
+		s.FrameHex = hex.EncodeToString(frame)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	if _, err := l.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	l.lines++
+	return nil
+}
+
+// closeLedger flushes and closes the ledger file, recording a failure
+// in the report like any other ledger error.
+func (ing *ingester) closeLedger() {
+	l := ing.ledger
+	if l == nil || l.f == nil {
+		return
+	}
+	if err := l.w.Flush(); err != nil && ing.rep.LedgerErr == "" {
+		ing.rep.LedgerErr = err.Error()
+	}
+	if err := l.f.Close(); err != nil && ing.rep.LedgerErr == "" {
+		ing.rep.LedgerErr = err.Error()
+	}
+	ing.ledger = nil
+}

@@ -1,0 +1,87 @@
+package ingest
+
+// Kind classifies one quarantined record. The taxonomy is closed —
+// every damaged record maps to exactly one kind — so counters, the
+// ledger, and the chaos harness can enumerate it.
+type Kind string
+
+const (
+	// KindTruncatedFrame: the record (or the stream inside it) ends
+	// before its framing says it should — a cut file, a hop count
+	// claiming more bytes than the body holds, a damaged gzip wrapper.
+	KindTruncatedFrame Kind = "truncated-frame"
+	// KindOversizeBody: the declared body length exceeds the format
+	// bound; the length field itself is untrustworthy.
+	KindOversizeBody Kind = "oversize-body"
+	// KindBadPath: the frame is intact but its contents are not a
+	// usable RIB entry — wrong type code, malformed prefix, path
+	// length mismatch, empty path.
+	KindBadPath Kind = "bad-path"
+	// KindUnknownAS: the path names an ASN no real network can hold —
+	// AS0, AS_TRANS, reserved, documentation or private ranges.
+	KindUnknownAS Kind = "unknown-as"
+	// KindDuplicate: an entry with an identical body was already
+	// ingested.
+	KindDuplicate Kind = "duplicate"
+)
+
+// Kinds lists the taxonomy in its canonical order.
+var Kinds = []Kind{KindTruncatedFrame, KindOversizeBody, KindBadPath, KindUnknownAS, KindDuplicate}
+
+// FileReport is one input file's ingest outcome.
+type FileReport struct {
+	File     string `json:"file"`
+	Records  int64  `json:"records"`
+	Ingested int64  `json:"ingested"`
+	// Aborted marks a file whose tail was abandoned after framing
+	// damage desynchronized the stream; Err says why.
+	Aborted bool   `json:"aborted,omitempty"`
+	Err     string `json:"err,omitempty"`
+}
+
+// Report is the full outcome of one Stream call.
+type Report struct {
+	Files    []*FileReport  `json:"files"`
+	Records  int64          `json:"records"`  // records attempted across all files
+	Ingested int64          `json:"ingested"` // records admitted into the path set
+	Bad      map[Kind]int64 `json:"bad"`      // quarantined records per kind
+
+	// Desyncs counts aborted files; any desync exceeds the budget,
+	// because the abandoned tail is unaccountable.
+	Desyncs int `json:"desyncs,omitempty"`
+
+	// RetriedReads counts transient read errors retried in place.
+	RetriedReads int64 `json:"retried_reads,omitempty"`
+
+	// LedgerErr records a quarantine-ledger write failure (the ledger
+	// is then abandoned; ingestion itself continues).
+	LedgerErr string `json:"ledger_err,omitempty"`
+}
+
+func newReport() *Report {
+	return &Report{Bad: make(map[Kind]int64, len(Kinds))}
+}
+
+// BadTotal returns the number of quarantined records.
+func (r *Report) BadTotal() int64 {
+	var n int64
+	for _, c := range r.Bad {
+		n += c
+	}
+	return n
+}
+
+// BadFrac returns the quarantined fraction of attempted records.
+func (r *Report) BadFrac() float64 {
+	if r.Records == 0 {
+		return 0
+	}
+	return float64(r.BadTotal()) / float64(r.Records)
+}
+
+// Exceeded applies the error budget: the ingested world is
+// untrustworthy when the bad fraction exceeds maxBadFrac, or when any
+// file desynchronized (its abandoned tail makes every fraction a lie).
+func (r *Report) Exceeded(maxBadFrac float64) bool {
+	return r.Desyncs > 0 || r.BadFrac() > maxBadFrac
+}

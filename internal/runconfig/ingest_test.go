@@ -1,0 +1,121 @@
+package runconfig
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRIBFlagJSONParity: the flag and JSON spellings of a real-data
+// run agree on hash and scenario, like every other semantic field.
+func TestRIBFlagJSONParity(t *testing.T) {
+	cf := fromFlags(t, "-rib-in", "a.rib, b.rib", "-ingest-max-bad-frac", "0.25")
+	cj := fromJSON(t, `{"rib_in":["a.rib","b.rib"],"ingest_max_bad_frac":0.25}`)
+	if cf.Hash() != cj.Hash() {
+		t.Errorf("hash mismatch: flags %s vs json %s", cf.Hash(), cj.Hash())
+	}
+	sf, sj := cf.Scenario(), cj.Scenario()
+	if len(sf.RIBIn) != 2 || sf.RIBIn[0] != "a.rib" || sf.IngestMaxBadFrac != 0.25 {
+		t.Errorf("flag scenario lost the ingest settings: %+v", sf)
+	}
+	if len(sj.RIBIn) != 2 || sj.IngestMaxBadFrac != 0.25 {
+		t.Errorf("json scenario lost the ingest settings: %+v", sj)
+	}
+}
+
+// TestRIBHashSemantics: adding a RIB source or changing the error
+// budget changes the identity (a lenient-budget verdict must never be
+// served for a strict-budget request), while a config without RIB
+// fields hashes exactly like one that never heard of them.
+func TestRIBHashSemantics(t *testing.T) {
+	base := fromFlags(t)
+	withRIB := fromFlags(t, "-rib-in", "a.rib")
+	if base.Hash() == withRIB.Hash() {
+		t.Error("adding -rib-in did not change the hash")
+	}
+	strict := fromFlags(t, "-rib-in", "a.rib", "-ingest-max-bad-frac", "0")
+	lenient := fromFlags(t, "-rib-in", "a.rib", "-ingest-max-bad-frac", "0.5")
+	if strict.Hash() == lenient.Hash() {
+		t.Error("error budget does not contribute to the hash: lenient and strict verdicts alias")
+	}
+	if strict.Hash() != withRIB.Hash() {
+		t.Error("explicit zero budget hashes differently from the default")
+	}
+}
+
+// TestResolveRIBContentAddressing: after ResolveRIB the identity is
+// the file *contents* — renamed copies hash alike, changed bytes
+// hash apart — and a client cannot inject the digest through JSON.
+func TestResolveRIBContentAddressing(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := write("a.rib", "same bytes")
+	b := write("b.rib", "same bytes")
+	c := write("c.rib", "other bytes")
+
+	mk := func(file string) Config {
+		cfg := fromFlags(t, "-rib-in", file)
+		if err := cfg.ResolveRIB(); err != nil {
+			t.Fatal(err)
+		}
+		return cfg
+	}
+	ca, cb, cc := mk(a), mk(b), mk(c)
+	if ca.Hash() != cb.Hash() {
+		t.Error("renamed identical dumps hash differently")
+	}
+	if ca.Hash() == cc.Hash() {
+		t.Error("different dump contents hash alike")
+	}
+	if ca.Scenario().RIBDigest == "" {
+		t.Error("scenario did not carry the resolved digest")
+	}
+
+	// Unresolved configs fall back to the file list, so Hash stays
+	// pure (no I/O) — but then renamed copies are distinct.
+	ua := fromFlags(t, "-rib-in", a)
+	ub := fromFlags(t, "-rib-in", b)
+	if ua.Hash() == ub.Hash() {
+		t.Error("unresolved fallback ignored the file names")
+	}
+
+	// The digest is host-only: a request cannot supply it.
+	if _, err := ParseJSON([]byte(`{"rib_in":["a.rib"],"rib_digest":"deadbeef"}`)); err == nil {
+		t.Error("client-supplied rib_digest accepted (cache-poisoning vector)")
+	}
+	if _, err := ParseJSON([]byte(`{"rib_in":["a.rib"],"quarantine_file":"/tmp/x"}`)); err == nil {
+		t.Error("client-supplied quarantine file accepted")
+	}
+
+	// ResolveRIB on a missing file fails up front.
+	missing := fromFlags(t, "-rib-in", filepath.Join(dir, "missing.rib"))
+	if err := missing.ResolveRIB(); err == nil {
+		t.Error("ResolveRIB succeeded on a missing file")
+	}
+}
+
+// TestValidateIngestSettings: the ingest knobs are rejected without a
+// RIB source, and malformed values are caught.
+func TestValidateIngestSettings(t *testing.T) {
+	cases := []struct {
+		json string
+		want string
+	}{
+		{`{"ingest_max_bad_frac":0.5}`, "require -rib-in"},
+		{`{"rib_in":["a.rib"],"ingest_max_bad_frac":1.5}`, "must be in [0,1]"},
+		{`{"rib_in":["a.rib"],"ingest_max_bad_frac":-0.1}`, "must be in [0,1]"},
+		{`{"rib_in":["a.rib",""]}`, "empty file name"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseJSON([]byte(tc.json)); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseJSON(%s): err %v, want containing %q", tc.json, err, tc.want)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"breval/internal/core"
 	"breval/internal/govern"
+	"breval/internal/ingest"
 	"breval/internal/validation"
 )
 
@@ -74,6 +75,17 @@ type Config struct {
 	Only     []string `json:"only,omitempty"`
 	MinLinks int      `json:"min_links"`
 
+	// RIBIn switches the path source from the simulator to real MRT
+	// RIB dumps (see internal/ingest). Semantic — but its hash
+	// contribution is the files' *content digest* (RIBDigest, resolved
+	// by ResolveRIB), not the paths, so the same dump under a
+	// different name shares artifacts and cache entries.
+	// IngestMaxBadFrac is the ingest error budget; it feeds the hash
+	// because it decides the run's verdict (within budget vs degraded),
+	// and two verdicts must not alias one cache entry.
+	RIBIn            []string `json:"rib_in,omitempty"`
+	IngestMaxBadFrac float64  `json:"ingest_max_bad_frac,omitempty"`
+
 	// Operational fields: how to execute. Never hashed. Timeout bounds
 	// the whole run (the server clamps it to its own request ceiling),
 	// StageTimeout each pipeline stage and experiment renderer.
@@ -88,6 +100,14 @@ type Config struct {
 	MemSoftMB     int64    `json:"-"`
 	MemHardMB     int64    `json:"-"`
 	StallTimeout  Duration `json:"-"`
+
+	// QuarantineFile receives the ingest quarantine ledger (a server
+	// must not let clients pick its filesystem paths, so this is
+	// host-controlled). RIBDigest is the resolved content digest of
+	// RIBIn — set by ResolveRIB, never by a request: a client-supplied
+	// digest could alias a cache entry onto data it does not match.
+	QuarantineFile string `json:"-"`
+	RIBDigest      string `json:"-"`
 }
 
 // Default returns the calibrated paper-scale defaults, matching what
@@ -121,6 +141,9 @@ func (c *Config) RegisterFlags(fs *flag.FlagSet) {
 	fs.Var(csvFlag{&c.Only}, "only", "comma-separated experiments (fig1,fig2,fig3,tables,fig4-6,fig7-9,clean,case,hard,sources,reclass,evolve,unari,vps,complex); empty = all")
 	fs.Var(csvFlag{&c.Algos}, "algos", "comma-separated algorithms; empty = all four")
 	fs.IntVar(&c.MinLinks, "min-links", c.MinLinks, "minimum validated links for a table row")
+	fs.Var(csvFlag{&c.RIBIn}, "rib-in", "comma-separated MRT RIB dump files (plain or gzip) ingested as the path source instead of simulating propagation")
+	fs.Float64Var(&c.IngestMaxBadFrac, "ingest-max-bad-frac", c.IngestMaxBadFrac, "ingest error budget: fraction of RIB records allowed to be quarantined before the run degrades to partial (exit 3)")
+	fs.StringVar(&c.QuarantineFile, "ingest-quarantine", c.QuarantineFile, "quarantine ledger file for damaged RIB records (JSON lines; created only when something is quarantined)")
 	fs.Var(durationFlag{&c.Timeout}, "timeout", "deadline for the whole run (0 = none)")
 	fs.Var(durationFlag{&c.StageTimeout}, "experiment-timeout", "deadline per pipeline stage and per experiment renderer (0 = none)")
 	fs.IntVar(&c.StageRetries, "stage-retries", c.StageRetries, "re-attempts for failed retryable stages")
@@ -168,6 +191,7 @@ func (c *Config) Normalize() {
 		return s
 	})
 	c.Only = normalizeList(c.Only, func(s string) string { return s })
+	c.RIBIn = normalizeList(c.RIBIn, func(s string) string { return s })
 	if c.ASes == 0 {
 		c.ASes = 8000
 	}
@@ -220,12 +244,42 @@ func (c Config) Validate() error {
 	if c.Resume && c.CheckpointDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint-dir")
 	}
+	for _, f := range c.RIBIn {
+		if f == "" {
+			return fmt.Errorf("-rib-in contains an empty file name")
+		}
+	}
+	if c.IngestMaxBadFrac < 0 || c.IngestMaxBadFrac > 1 {
+		return fmt.Errorf("-ingest-max-bad-frac must be in [0,1] (got %g)", c.IngestMaxBadFrac)
+	}
+	if len(c.RIBIn) == 0 && (c.IngestMaxBadFrac != 0 || c.QuarantineFile != "") {
+		return fmt.Errorf("ingest settings require -rib-in")
+	}
 	if c.MemSoftMB < 0 || c.MemHardMB < 0 {
 		return fmt.Errorf("memory watermarks must be non-negative")
 	}
 	if c.MemSoftMB > 0 && c.MemHardMB > 0 && c.MemHardMB <= c.MemSoftMB {
 		return fmt.Errorf("-mem-hard-mb (%d) must exceed -mem-soft-mb (%d)", c.MemHardMB, c.MemSoftMB)
 	}
+	return nil
+}
+
+// ResolveRIB computes the content digest of the RIBIn files and pins
+// it into RIBDigest, which is what Hash and the checkpoint key use as
+// the run's data identity. Both front ends call it after
+// Normalize/Validate and before hashing: the CLI so a run is keyed by
+// what it actually read, the server so cache lookups and request
+// coalescing are content-addressed (and a request naming unreadable
+// files fails up front). A no-op without RIBIn.
+func (c *Config) ResolveRIB() error {
+	if len(c.RIBIn) == 0 {
+		return nil
+	}
+	d, err := ingest.DigestFiles(c.RIBIn)
+	if err != nil {
+		return err
+	}
+	c.RIBDigest = d
 	return nil
 }
 
@@ -258,6 +312,12 @@ func (c Config) Scenario() core.Scenario {
 		HardBytes:    c.MemHardMB << 20,
 		StallTimeout: time.Duration(c.StallTimeout),
 	}
+	if len(c.RIBIn) > 0 {
+		s.RIBIn = append([]string(nil), c.RIBIn...)
+		s.RIBDigest = c.RIBDigest
+		s.IngestMaxBadFrac = c.IngestMaxBadFrac
+		s.IngestQuarantineFile = c.QuarantineFile
+	}
 	return s
 }
 
@@ -288,6 +348,13 @@ type hashKey struct {
 	Algos    []string `json:"algos"`
 	Only     []string `json:"only"`
 	MinLinks int      `json:"min_links"`
+
+	// RIB is the run's data identity for real-data runs: the resolved
+	// content digest when ResolveRIB ran, else the file list (Hash
+	// must stay pure — it cannot read files itself). omitempty keeps
+	// every simulator-run hash — and brevald's cache — unchanged.
+	RIB              string  `json:"rib,omitempty"`
+	IngestMaxBadFrac float64 `json:"ingest_max_bad_frac,omitempty"`
 }
 
 // Hash returns the hex SHA-256 identity of the config's semantic
@@ -297,13 +364,22 @@ type hashKey struct {
 func (c Config) Hash() string {
 	n := c
 	n.Normalize()
+	rib := ""
+	if len(n.RIBIn) > 0 {
+		rib = n.RIBDigest
+		if rib == "" {
+			rib = "files:" + strings.Join(n.RIBIn, "\x00")
+		}
+	}
 	b, err := json.Marshal(hashKey{
-		Seed:     n.Seed,
-		ASes:     n.ASes,
-		Policy:   n.Policy,
-		Algos:    n.Algos,
-		Only:     n.Only,
-		MinLinks: n.MinLinks,
+		Seed:             n.Seed,
+		ASes:             n.ASes,
+		Policy:           n.Policy,
+		Algos:            n.Algos,
+		Only:             n.Only,
+		MinLinks:         n.MinLinks,
+		RIB:              rib,
+		IngestMaxBadFrac: n.IngestMaxBadFrac,
 	})
 	if err != nil {
 		// Marshalling a struct of ints and strings cannot fail.

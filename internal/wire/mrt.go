@@ -102,9 +102,35 @@ func WriteRIB(w io.Writer, ps *bgp.PathSet, ts uint32) error {
 	return rw.Flush()
 }
 
+// BadRecordError reports a record whose frame was fully consumed but
+// whose contents are unusable: a wrong type code, a malformed prefix
+// or path, or truncation-shaped damage inside a complete frame. The
+// stream is still positioned at the next record boundary, so callers
+// that tolerate damage (internal/ingest) may skip the record and keep
+// reading; callers that don't (checkpoint loads) treat it like any
+// other error. Index is the zero-based position of the record in the
+// stream, and Unwrap preserves errors.Is matching on the cause (in
+// particular ErrTruncated for truncation-shaped damage).
+type BadRecordError struct {
+	Index int
+	Err   error
+}
+
+func (e *BadRecordError) Error() string {
+	return fmt.Sprintf("wire: record %d: %v", e.Index, e.Err)
+}
+
+func (e *BadRecordError) Unwrap() error { return e.Err }
+
 // RIBReader streams RIB entries back.
 type RIBReader struct {
 	r *bufio.Reader
+	// frame is the scratch buffer holding the header+body of the
+	// record most recently read; it is reused across Read calls, so
+	// returned entries copy out of it.
+	frame []byte
+	flen  int
+	n     int // records attempted (headers started)
 }
 
 // NewRIBReader wraps r.
@@ -112,35 +138,60 @@ func NewRIBReader(r io.Reader) *RIBReader {
 	return &RIBReader{r: bufio.NewReader(r)}
 }
 
+// Index reports the zero-based index of the record the last Read call
+// attempted, or -1 before the first call. After an error it names the
+// damaged record, which quarantine ledgers use for attribution.
+func (rr *RIBReader) Index() int { return rr.n - 1 }
+
+// LastFrame returns the raw header+body bytes of the record the last
+// Read call consumed — complete after a nil or *BadRecordError result,
+// partial after a truncation. The slice aliases the reader's scratch
+// buffer and is only valid until the next Read.
+func (rr *RIBReader) LastFrame() []byte { return rr.frame[:rr.flen] }
+
+// bad marks the current record unusable while the stream stays in
+// sync at the next frame boundary.
+func (rr *RIBReader) bad(err error) error {
+	return &BadRecordError{Index: rr.n - 1, Err: err}
+}
+
 // Read returns the next entry, or io.EOF at a clean end of stream.
 // Any stream that ends inside a record — mid-header or mid-body —
 // surfaces ErrTruncated, never a bare io.EOF/io.ErrUnexpectedEOF, so
 // callers (checkpoint loads in particular) can distinguish a damaged
-// file from a clean end of stream with errors.Is.
+// file from a clean end of stream with errors.Is. Errors that consume
+// the whole frame come back as *BadRecordError; truncation and
+// oversize framing desynchronize the stream and end the read loop.
 func (rr *RIBReader) Read() (RIBEntry, error) {
-	var hdr [12]byte
-	if _, err := io.ReadFull(rr.r, hdr[:]); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
+	if rr.frame == nil {
+		rr.frame = make([]byte, 12+maxRIBBody)
+	}
+	rr.flen = 0
+	rr.n++
+	hdr := rr.frame[:12]
+	if n, err := io.ReadFull(rr.r, hdr); err != nil {
+		rr.flen = n
+		if n == 0 && errors.Is(err, io.EOF) {
+			// Zero header bytes read: the only clean end of stream.
+			rr.n--
+			return RIBEntry{}, io.EOF
+		}
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			return RIBEntry{}, ErrTruncated
 		}
-		// io.EOF here means zero header bytes were read: the only
-		// clean end of stream. Real I/O errors pass through unchanged.
+		// Real I/O errors pass through unchanged.
 		return RIBEntry{}, err
 	}
-	typ := binary.BigEndian.Uint16(hdr[4:6])
-	sub := binary.BigEndian.Uint16(hdr[6:8])
-	if typ != mrtType || sub != mrtSubtypeRIB {
-		return RIBEntry{}, fmt.Errorf("wire: unexpected record type %d/%d", typ, sub)
-	}
+	rr.flen = 12
 	bodyLen := binary.BigEndian.Uint32(hdr[8:12])
 	if bodyLen > maxRIBBody {
+		// The length field itself is untrustworthy: consuming bodyLen
+		// bytes could skip anything, so the stream is lost.
 		return RIBEntry{}, fmt.Errorf("wire: bad record length %d: %w", bodyLen, ErrOversize)
 	}
-	if bodyLen < 2 {
-		return RIBEntry{}, fmt.Errorf("wire: bad record length %d: %w", bodyLen, ErrTruncated)
-	}
-	body := make([]byte, bodyLen)
-	if _, err := io.ReadFull(rr.r, body); err != nil {
+	body := rr.frame[12 : 12+bodyLen]
+	if n, err := io.ReadFull(rr.r, body); err != nil {
+		rr.flen += n
 		// The header promised bodyLen bytes: both io.EOF (nothing
 		// followed the header) and io.ErrUnexpectedEOF (the body was
 		// cut short) are truncation. Real I/O errors pass through.
@@ -149,26 +200,38 @@ func (rr *RIBReader) Read() (RIBEntry, error) {
 		}
 		return RIBEntry{}, err
 	}
+	rr.flen += int(bodyLen)
+
+	// The frame is fully consumed: every failure below leaves the
+	// stream in sync and is reported as a skippable BadRecordError.
+	typ := binary.BigEndian.Uint16(hdr[4:6])
+	sub := binary.BigEndian.Uint16(hdr[6:8])
+	if typ != mrtType || sub != mrtSubtypeRIB {
+		return RIBEntry{}, rr.bad(fmt.Errorf("unexpected record type %d/%d", typ, sub))
+	}
+	if bodyLen < 2 {
+		return RIBEntry{}, rr.bad(fmt.Errorf("bad record length %d: %w", bodyLen, ErrTruncated))
+	}
 	var e RIBEntry
 	p, n, err := readPrefix(body)
 	if err != nil {
-		return RIBEntry{}, err
+		return RIBEntry{}, rr.bad(err)
 	}
 	e.Prefix = p
 	body = body[n:]
 	if len(body) < 1 {
-		return RIBEntry{}, ErrTruncated
+		return RIBEntry{}, rr.bad(ErrTruncated)
 	}
 	hops := int(body[0])
 	body = body[1:]
 	if len(body) < hops*4 {
 		// The record claims more path hops than its body holds:
 		// truncation-shaped damage inside a complete frame.
-		return RIBEntry{}, fmt.Errorf("wire: path needs %d bytes, body has %d: %w",
-			hops*4, len(body), ErrTruncated)
+		return RIBEntry{}, rr.bad(fmt.Errorf("path needs %d bytes, body has %d: %w",
+			hops*4, len(body), ErrTruncated))
 	}
 	if len(body) > hops*4 {
-		return RIBEntry{}, errors.New("wire: path length mismatch")
+		return RIBEntry{}, rr.bad(errors.New("path length mismatch"))
 	}
 	e.Path = make(asgraph.Path, hops)
 	for i := 0; i < hops; i++ {
@@ -177,7 +240,9 @@ func (rr *RIBReader) Read() (RIBEntry, error) {
 	return e, nil
 }
 
-// ReadRIB reads a whole dump into a path set.
+// ReadRIB reads a whole dump into a path set. It is strict — any
+// damaged record fails the load — and every error names the record
+// index it occurred at, for quarantine attribution.
 func ReadRIB(r io.Reader) (*bgp.PathSet, error) {
 	rr := NewRIBReader(r)
 	ps := bgp.NewPathSet(1024, 4096)
@@ -187,7 +252,11 @@ func ReadRIB(r io.Reader) (*bgp.PathSet, error) {
 			return ps, nil
 		}
 		if err != nil {
-			return nil, err
+			var bad *BadRecordError
+			if errors.As(err, &bad) {
+				return nil, err // already names its record index
+			}
+			return nil, fmt.Errorf("wire: record %d: %w", rr.Index(), err)
 		}
 		ps.Append(e.Path)
 	}

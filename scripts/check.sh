@@ -22,6 +22,7 @@ echo "== fuzz smoke (5s each)"
 go test ./internal/wire -run '^$' -fuzz '^FuzzUnmarshalUpdate$' -fuzztime 5s
 go test ./internal/wire -run '^$' -fuzz '^FuzzRIBReader$' -fuzztime 5s
 go test ./internal/checkpoint -run '^$' -fuzz '^FuzzDecodeManifest$' -fuzztime 5s
+go test ./internal/ingest -run '^$' -fuzz '^FuzzIngestReader$' -fuzztime 5s
 
 echo "== crash/resume smoke"
 # Kill breval right after the path set is checkpointed (documented
@@ -95,6 +96,52 @@ grep -q "drained cleanly" "$SMOKE/brevald.log" || {
 	echo "brevald smoke: no clean-drain message in the log" >&2
 	exit 1
 }
+
+if [ "${CHECK_INGEST:-0}" = "1" ]; then
+	echo "== ingest corrupt-a-fraction smoke"
+	# Opt-in: dump a run's path set as an MRT RIB, flip bytes in a
+	# fraction of its records with ribflip, and require the hardened
+	# front-end contract end to end: over budget the run degrades to
+	# exit 3 (never 0); within budget the damaged dump yields one
+	# quarantine-ledger entry per damaged record and output
+	# byte-identical to ingesting the clean dump with those records
+	# pruned. See docs/ingestion.md.
+	go build -o "$SMOKE/ribflip" ./cmd/ribflip
+	"$SMOKE/breval" -ases 600 -only clean -algos ASRank \
+		-rib-out "$SMOKE/clean.rib" >/dev/null 2>&1
+	flip=$("$SMOKE/ribflip" -in "$SMOKE/clean.rib" -out "$SMOKE/damaged.rib" \
+		-complement "$SMOKE/pruned.rib" -every 10)
+	damaged=${flip##*damaged=}
+	set +e
+	"$SMOKE/breval" -ases 600 -only clean -algos ASRank \
+		-rib-in "$SMOKE/damaged.rib" >/dev/null 2>&1
+	code=$?
+	set -e
+	if [ "$code" -ne 3 ]; then
+		echo "ingest smoke: over-budget run exited $code, want 3" >&2
+		exit 1
+	fi
+	"$SMOKE/breval" -ases 600 -only clean -algos ASRank \
+		-rib-in "$SMOKE/damaged.rib" -ingest-max-bad-frac 0.5 \
+		-ingest-quarantine "$SMOKE/quarantine.jsonl" \
+		-rib-out "$SMOKE/damaged-out.rib" 2>/dev/null >"$SMOKE/damaged.txt"
+	"$SMOKE/breval" -ases 600 -only clean -algos ASRank \
+		-rib-in "$SMOKE/pruned.rib" \
+		-rib-out "$SMOKE/pruned-out.rib" 2>/dev/null >"$SMOKE/pruned.txt"
+	lines=$(wc -l <"$SMOKE/quarantine.jsonl")
+	if [ "$lines" -ne "$damaged" ]; then
+		echo "ingest smoke: quarantine ledger has $lines entries, want $damaged" >&2
+		exit 1
+	fi
+	cmp "$SMOKE/damaged-out.rib" "$SMOKE/pruned-out.rib" || {
+		echo "ingest smoke: damaged-within-budget path set differs from clean-minus-quarantined" >&2
+		exit 1
+	}
+	cmp "$SMOKE/damaged.txt" "$SMOKE/pruned.txt" || {
+		echo "ingest smoke: experiment output differs from clean-minus-quarantined run" >&2
+		exit 1
+	}
+fi
 
 if [ "${CHECK_SOAK:-0}" = "1" ]; then
 	echo "== chaos soak (5 seeded storms, time-boxed)"

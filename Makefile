@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test check bench fsck soak serve
+.PHONY: build test check bench bench-xl fsck soak serve
 
 build:
 	go build ./...
@@ -16,6 +16,14 @@ check:
 #   make bench BENCH=Propagation BENCHTIME=5x
 bench:
 	sh scripts/bench.sh $(or $(BENCH),.) $(or $(BENCHTIME),1x)
+
+# The xl memory-envelope tier (~minutes per iteration): records
+# BENCH_XL_<date>.json with the peakRSS_MB metric docs/performance.md
+# cites, gated against a committed baseline when AGAINST is set:
+#   make bench-xl AGAINST=BENCH_XL_2026-08-08.json
+bench-xl:
+	sh scripts/bench.sh -size xl $(if $(AGAINST),-against $(AGAINST)) \
+		$(or $(BENCH),^BenchmarkXL) $(or $(BENCHTIME),1x)
 
 # Seeded chaos soak through the real binary: SOAK_RUNS storms of
 # injected crashes/panics/errors/memory pressure, each recovered via

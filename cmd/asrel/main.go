@@ -68,7 +68,7 @@ func run(args []string) error {
 
 	fset := features.Compute(ps)
 	fmt.Fprintf(os.Stderr, "asrel: %d paths, %d links, running %s\n",
-		fset.Paths.Len(), fset.NumLinks(), algo.Name())
+		fset.PathCount, fset.NumLinks(), algo.Name())
 
 	// Run the inference as an isolated stage: a panic on pathological
 	// input surfaces as an error with the algorithm's name and stack

@@ -19,6 +19,7 @@ import (
 	"breval/internal/checkpoint"
 	"breval/internal/core"
 	"breval/internal/govern"
+	"breval/internal/ingest"
 	"breval/internal/obs"
 	"breval/internal/resilience"
 	"breval/internal/runconfig"
@@ -103,6 +104,49 @@ type runResponse struct {
 	Output       string                `json:"output,omitempty"`
 	Error        string                `json:"error,omitempty"`
 	Report       *resilience.RunReport `json:"report,omitempty"`
+	Ingest       *ingestSummary        `json:"ingest,omitempty"`
+}
+
+// ingestSummary is the /run response's view of the quarantine ledger:
+// the record counters, the per-kind quarantine breakdown, and the
+// error-budget verdict. Present only for rib_in runs that actually
+// read the dumps — simulator runs and cache hits carry no ledger.
+type ingestSummary struct {
+	Records     int64            `json:"records"`
+	Ingested    int64            `json:"ingested"`
+	Quarantined int64            `json:"quarantined"`
+	BadFrac     float64          `json:"bad_frac"`
+	Kinds       map[string]int64 `json:"kinds,omitempty"`
+	Desyncs     int              `json:"desyncs,omitempty"`
+	BudgetFrac  float64          `json:"budget_frac"`
+	// BudgetVerdict is "within" or "exceeded" — the same verdict that
+	// degrades the run's ingest.budget stage.
+	BudgetVerdict string `json:"budget_verdict"`
+}
+
+// summarizeIngest folds an ingest report into the response summary.
+func summarizeIngest(rep *ingest.Report, budget float64) *ingestSummary {
+	sum := &ingestSummary{
+		Records:       rep.Records,
+		Ingested:      rep.Ingested,
+		Quarantined:   rep.BadTotal(),
+		BadFrac:       rep.BadFrac(),
+		Desyncs:       rep.Desyncs,
+		BudgetFrac:    budget,
+		BudgetVerdict: "within",
+	}
+	if rep.Exceeded(budget) {
+		sum.BudgetVerdict = "exceeded"
+	}
+	for _, k := range ingest.Kinds {
+		if n := rep.Bad[k]; n > 0 {
+			if sum.Kinds == nil {
+				sum.Kinds = make(map[string]int64)
+			}
+			sum.Kinds[string(k)] = n
+		}
+	}
+	return sum
 }
 
 func newServer(cfg serverConfig) *server {
@@ -396,6 +440,9 @@ func (s *server) execute(cfg runconfig.Config, hash string) *runResult {
 	}
 	if art != nil {
 		resp.Degraded = append(resp.Degraded, art.Degraded...)
+		if art.Ingest != nil {
+			resp.Ingest = summarizeIngest(art.Ingest, scen.IngestMaxBadFrac)
+		}
 	}
 	s.col.Add("server.completed", 1)
 	s.col.Observe("server.run_ms", int64(time.Since(start)/time.Millisecond))

@@ -651,6 +651,8 @@ func TestRunEndpointRIBDigestKeyed(t *testing.T) {
 	_, ts := newTestServer(t, serverConfig{dataDir: dir, maxRuns: 1})
 	if code, rr := postRun(t, ts.URL, smallBody); code != http.StatusOK {
 		t.Fatalf("seed run: %d %+v", code, rr)
+	} else if rr.Ingest != nil {
+		t.Fatalf("simulator run response carries an ingest summary: %+v", rr.Ingest)
 	}
 	// Export the path set through the pipeline's own artifacts: easier
 	// to just write a fresh dump with breval's writer via a direct run.
@@ -681,6 +683,15 @@ func TestRunEndpointRIBDigestKeyed(t *testing.T) {
 	code, first := postRun(t, ts.URL, body(dump))
 	if code != http.StatusOK || first.Cached {
 		t.Fatalf("ingest run: %d %+v", code, first.Error)
+	}
+	// The response surfaces the quarantine ledger: a clean dump is all
+	// ingested, zero quarantined, within budget.
+	if first.Ingest == nil {
+		t.Fatal("ingest run response carries no ingest summary")
+	}
+	if first.Ingest.Records == 0 || first.Ingest.Ingested != first.Ingest.Records ||
+		first.Ingest.Quarantined != 0 || first.Ingest.BudgetVerdict != "within" {
+		t.Fatalf("ingest summary for a clean dump: %+v", first.Ingest)
 	}
 
 	// Renamed identical copy: same content digest, cache hit.

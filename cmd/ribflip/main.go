@@ -22,9 +22,10 @@
 //	  which ingest quarantines under the in-frame damage kind
 //	  ("bad-path"). The stream stays in sync.
 //
-// The record count and damaged count are printed to stdout as
-// "total=N damaged=M" for scripts to parse. Input must be a plain
-// (not gzip-compressed) dump.
+// The record count and damaged count are printed to stderr as
+// "total=N damaged=M" for scripts to parse, keeping stdout free for a
+// future pipe mode (`-out -`). Input must be a plain (not
+// gzip-compressed) dump.
 package main
 
 import (
@@ -105,7 +106,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("total=%d damaged=%d\n", total, damaged)
+	fmt.Fprintf(os.Stderr, "total=%d damaged=%d\n", total, damaged)
 	return nil
 }
 

@@ -17,6 +17,8 @@
 package casestudy
 
 import (
+	"context"
+	"runtime"
 	"sort"
 
 	"breval/internal/asgraph"
@@ -170,22 +172,51 @@ func Analyze(res *inference.Result, truth *validation.Snapshot, fs *features.Set
 			inClique[id] = true
 		}
 	}
+	// The scan streams the dense paths block by block into per-worker
+	// link bitsets; bitwise-or merging is commutative, so the union is
+	// schedule-independent. A failed streamed scan (a worker panic)
+	// falls back to one serial pass.
 	hasTriplet := intern.NewLinkSet(tab)
 	if fid, ok := tab.ASID(rep.Focus); ok {
-		for i, n := 0, d.Len(); i < n; i++ {
-			hops := d.Hops(i)
-			for j := 0; j+1 < len(hops); j++ {
-				left, mid, right := d.Triplet(hops[j], hops[j+1])
-				if mid != fid {
-					continue
+		scanBlock := func(out intern.LinkSet, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hops := d.Hops(i)
+				for j := 0; j+1 < len(hops); j++ {
+					left, mid, right := d.Triplet(hops[j], hops[j+1])
+					if mid != fid {
+						continue
+					}
+					lid1, _ := intern.DecodeHop(hops[j])   // link mid-left
+					lid2, _ := intern.DecodeHop(hops[j+1]) // link mid-right
+					if inClique[left] && targetSet.Has(lid2) {
+						out.Add(lid2)
+					}
+					if inClique[right] && targetSet.Has(lid1) {
+						out.Add(lid1)
+					}
 				}
-				lid1, _ := intern.DecodeHop(hops[j])   // link mid-left
-				lid2, _ := intern.DecodeHop(hops[j+1]) // link mid-right
-				if inClique[left] && targetSet.Has(lid2) {
-					hasTriplet.Add(lid2)
+			}
+		}
+		workers := runtime.GOMAXPROCS(0)
+		blockPaths := d.Len() / (workers * 4)
+		if blockPaths < 4096 {
+			blockPaths = 4096
+		}
+		shards := make([]intern.LinkSet, workers)
+		err := fs.ScanBlocks(context.Background(), "casestudy.triplets.scan",
+			workers, blockPaths, func(_ context.Context, w, _, lo, hi int) error {
+				if shards[w] == nil {
+					shards[w] = intern.NewLinkSet(tab)
 				}
-				if inClique[right] && targetSet.Has(lid1) {
-					hasTriplet.Add(lid1)
+				scanBlock(shards[w], lo, hi)
+				return nil
+			})
+		if err != nil {
+			scanBlock(hasTriplet, 0, d.Len())
+		} else {
+			for _, sh := range shards {
+				if sh != nil {
+					intern.Bitset(hasTriplet).Or(intern.Bitset(sh))
 				}
 			}
 		}

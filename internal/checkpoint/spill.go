@@ -1,0 +1,98 @@
+package checkpoint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"breval/internal/bgp"
+	"breval/internal/wire"
+)
+
+// Arena spill: a scratch-file sibling of the artifact store. When the
+// pipeline keeps a checkpointed total path arena around only so a
+// later stage can re-read it, SpillPaths parks the arena on disk in
+// the store's wire codec — with the same BRC1/CRC32C trailer every
+// durable artifact carries, so bit rot between spill and reload fails
+// closed instead of feeding a silently damaged universe to validation.
+// A spill file is not an artifact: it has no manifest entry, lives
+// only for one run, and the caller removes it when done.
+
+// SpillPaths writes ps to a new scratch file under dir (the system
+// temp directory when dir is empty) and returns its path. The file is
+// complete and fsynced on return.
+func SpillPaths(dir string, ps *bgp.PathSet) (string, error) {
+	f, err := os.CreateTemp(dir, "breval-paths-*.spill")
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: spill: %w", err)
+	}
+	name := f.Name()
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+			os.Remove(name)
+		}
+	}()
+
+	bw := bufio.NewWriterSize(f, 1<<20)
+	cw := &crcWriter{w: bw}
+	if err := wire.WriteRIB(cw, ps, 0); err != nil {
+		return "", fmt.Errorf("checkpoint: spill: %w", err)
+	}
+	var tr [trailerLen]byte
+	copy(tr[:4], trailerMagic)
+	binary.BigEndian.PutUint64(tr[4:12], uint64(cw.n))
+	binary.BigEndian.PutUint32(tr[12:16], cw.sum)
+	if _, err := bw.Write(tr[:]); err != nil {
+		return "", fmt.Errorf("checkpoint: spill: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return "", fmt.Errorf("checkpoint: spill: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return "", fmt.Errorf("checkpoint: spill: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("checkpoint: spill: %w", err)
+	}
+	ok = true
+	return name, nil
+}
+
+// LoadSpilledPaths reads a file written by SpillPaths, verifying its
+// trailer (magic, length, CRC32C) before decoding. The skipped-
+// coverage counters are not part of the wire payload — callers that
+// need them keep them in memory across the spill, exactly like the
+// artifact store keeps them in manifest metadata.
+func LoadSpilledPaths(path string) (*bgp.PathSet, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: spill %s: %w", filepath.Base(path), err)
+	}
+	if len(raw) < trailerLen {
+		return nil, fmt.Errorf("checkpoint: spill %s: file shorter than trailer (%d bytes)", filepath.Base(path), len(raw))
+	}
+	tr := raw[len(raw)-trailerLen:]
+	payload := raw[:len(raw)-trailerLen]
+	if string(tr[:4]) != trailerMagic {
+		return nil, fmt.Errorf("checkpoint: spill %s: bad trailer magic %q", filepath.Base(path), tr[:4])
+	}
+	if wantLen := binary.BigEndian.Uint64(tr[4:12]); wantLen != uint64(len(payload)) {
+		return nil, fmt.Errorf("checkpoint: spill %s: payload length %d, trailer says %d (truncated?)",
+			filepath.Base(path), len(payload), wantLen)
+	}
+	if sum := crc32.Checksum(payload, castagnoli); sum != binary.BigEndian.Uint32(tr[12:16]) {
+		return nil, fmt.Errorf("checkpoint: spill %s: crc32c mismatch: file %08x, trailer %08x",
+			filepath.Base(path), sum, binary.BigEndian.Uint32(tr[12:16]))
+	}
+	ps, err := wire.ReadRIB(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: spill %s: %w", filepath.Base(path), err)
+	}
+	return ps, nil
+}

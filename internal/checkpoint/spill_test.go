@@ -1,0 +1,91 @@
+package checkpoint
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/bgp"
+)
+
+func spillFixture() *bgp.PathSet {
+	ps := bgp.NewPathSet(8, 32)
+	ps.Append(asgraph.Path{64500, 3356, 174})
+	ps.Append(asgraph.Path{64501, 1299})
+	ps.Append(asgraph.Path{64502, 6939, 2914, 701})
+	return ps
+}
+
+func TestSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ps := spillFixture()
+	name, err := SpillPaths(dir, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.Remove(name)
+	if !strings.HasPrefix(name, dir) {
+		t.Fatalf("spill landed outside the requested dir: %s", name)
+	}
+	got, err := LoadSpilledPaths(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ps.Len() {
+		t.Fatalf("restored %d paths, want %d", got.Len(), ps.Len())
+	}
+	for i := 0; i < ps.Len(); i++ {
+		if !reflect.DeepEqual(ps.At(i), got.At(i)) {
+			t.Fatalf("path %d: %v vs %v", i, ps.At(i), got.At(i))
+		}
+	}
+}
+
+func TestSpillDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	name, err := SpillPaths(dir, spillFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.Remove(name)
+	raw, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A payload bit flip must fail the CRC, and a truncated file must
+	// fail the length check — the spill is fail-closed like every
+	// durable artifact.
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x40
+	if err := os.WriteFile(name, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpilledPaths(name); err == nil {
+		t.Fatal("bit-flipped spill loaded cleanly")
+	}
+
+	if err := os.WriteFile(name, raw[:len(raw)-trailerLen-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpilledPaths(name); err == nil {
+		t.Fatal("truncated spill loaded cleanly")
+	}
+}
+
+func TestSpillFailureLeavesNoScratchFile(t *testing.T) {
+	dir := t.TempDir()
+	sub := dir + "/missing"
+	if _, err := SpillPaths(sub, spillFixture()); err == nil {
+		t.Fatal("spilling into a missing directory succeeded")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("failed spill left debris: %v", ents)
+	}
+}

@@ -77,10 +77,20 @@ func (e *Extractor) ingressRole(x, neighbor, vp asn.ASN) (asgraph.Role, bool) {
 // path set.
 func (e *Extractor) Extract(ps *bgp.PathSet) *validation.Snapshot {
 	snap := validation.NewSnapshot()
-	ps.ForEach(func(p asgraph.Path) {
+	e.ExtractInto(ps, snap)
+	return snap
+}
+
+// ExtractInto is Extract's streaming form: it accumulates one path
+// block's evidence into snap. Extraction is per-path, so feeding every
+// propagation block in emission order yields exactly the snapshot
+// Extract would build from the merged arena — callers sitting on
+// bgp.(*Simulator).PropagateBlocks never need to materialise the full
+// raw path universe.
+func (e *Extractor) ExtractInto(blk *bgp.PathSet, snap *validation.Snapshot) {
+	blk.ForEach(func(p asgraph.Path) {
 		e.extractPath(p, snap)
 	})
-	return snap
 }
 
 func (e *Extractor) extractPath(p asgraph.Path, snap *validation.Snapshot) {

@@ -90,14 +90,27 @@ func (a *Artifacts) RunEvolutionContext(ctx context.Context, months int) (Evolut
 	prevLabels := make(map[asgraph.Link]validation.Label)
 
 	snapshot := func(month, changes int) error {
+		// Stream each propagation block into the feature collector and
+		// the community extractor simultaneously: both consume paths
+		// one at a time, so the monthly raw path universe never exists
+		// as a whole — only the cleaned arena and the growing snapshot
+		// do. Block order equals the monolithic merge order, so the
+		// snapshot and features are byte-identical to the old
+		// PropagateContext + Compute + Extract sequence.
 		sim := bgp.NewSimulator(w.Graph)
-		paths, err := sim.PropagateContext(ctx, w.ASNs, w.VPs)
+		collector := features.NewStreamCollector()
+		ex := communities.NewExtractor(w.Graph, w.Publishers, w.Strippers, nil)
+		raw := validation.NewSnapshot()
+		if _, _, err := sim.PropagateBlocks(ctx, w.ASNs, w.VPs, func(blk *bgp.PathSet) error {
+			ex.ExtractInto(blk, raw)
+			return collector.Feed(ctx, blk)
+		}); err != nil {
+			return fmt.Errorf("core: evolution month %d: %w", month, err)
+		}
+		fs, err := collector.Finish(ctx)
 		if err != nil {
 			return fmt.Errorf("core: evolution month %d: %w", month, err)
 		}
-		fs := features.Compute(paths)
-		ex := communities.NewExtractor(w.Graph, w.Publishers, w.Strippers, nil)
-		raw := ex.Extract(paths)
 		clean, _ := validation.Clean(raw, w.Orgs, a.Scenario.Policy)
 
 		step := EvolutionStep{

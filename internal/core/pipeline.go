@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
@@ -117,6 +118,12 @@ type Scenario struct {
 	// ledger (JSON lines).
 	IngestMaxBadFrac     float64
 	IngestQuarantineFile string
+	// IngestFileWorkers is how many RIB dump files are read and parsed
+	// concurrently (0 or 1 keeps the single-goroutine reader). Purely
+	// operational — the parallel reader's deterministic merge keeps
+	// every counter, ledger line and downstream byte identical — so it
+	// deliberately stays out of the checkpoint key.
+	IngestFileWorkers int
 }
 
 // DefaultScenario returns the calibrated default run.
@@ -374,6 +381,7 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 						MaxBadFrac:     s.IngestMaxBadFrac,
 						QuarantineFile: s.IngestQuarantineFile,
 						ReadRetries:    ingest.DefaultReadRetries,
+						FileWorkers:    s.IngestFileWorkers,
 					}, s.RIBIn, func(blk *bgp.PathSet) error {
 						total.AppendSet(blk)
 						return collector.Feed(ctx, blk)
@@ -428,6 +436,50 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 	}
 	col.SnapshotMemStats("after.bgp.propagate")
 
+	// Arena spill. When the feature collector consumed the path stream
+	// (fresh run, not a resume), the raw arena has only two remaining
+	// in-pipeline readers — the features retry fallback and the
+	// community extractor — plus the Artifacts contract that Paths is
+	// populated on return. Parking the arena in a CRC-trailed scratch
+	// file for those gaps means the dense feature build and the triplet
+	// inference fan-out, the two memory peaks of the run, never share
+	// RAM with the raw path universe. A failed spill degrades to the
+	// old keep-in-RAM behaviour; a corrupt reload fails the stage that
+	// needed it rather than feeding damaged paths onward.
+	var spillFile string
+	var spillSO, spillSV int
+	arena := func() (*bgp.PathSet, error) {
+		if paths != nil {
+			return paths, nil
+		}
+		ps, lerr := checkpoint.LoadSpilledPaths(spillFile)
+		if lerr != nil {
+			return nil, lerr
+		}
+		ps.SkippedOrigins, ps.SkippedVPs = spillSO, spillSV
+		paths = ps
+		return ps, nil
+	}
+	if sc != nil && !s.Resume {
+		if sp, serr := checkpoint.SpillPaths("", paths); serr != nil {
+			runner.Skip("arena.spill", serr.Error())
+		} else {
+			spillFile = sp
+			spillSO, spillSV = paths.SkippedOrigins, paths.SkippedVPs
+			paths = nil
+			art.Paths = nil
+			defer func() {
+				// Restore the Artifacts contract on every return path,
+				// then drop the scratch file. If the extractor already
+				// reloaded the arena this is free.
+				if ps, lerr := arena(); lerr == nil {
+					art.Paths = ps
+				}
+				os.Remove(spillFile)
+			}()
+		}
+	}
+
 	// The error-budget verdict. Over budget the run degrades to
 	// partial — cmd/breval maps a failed ledger stage to exit 3, never
 	// 0 — but still renders: a bias analyst wants to see what the
@@ -460,7 +512,11 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 				sc = nil // a retry recomputes from the raw paths instead
 				return collector.Finish(ctx)
 			}
-			return features.ComputeContext(ctx, paths)
+			ps, aerr := arena()
+			if aerr != nil {
+				return nil, aerr
+			}
+			return features.ComputeContext(ctx, ps)
 		})
 	if err != nil {
 		return art, fmt.Errorf("core: compute features: %w", err)
@@ -480,7 +536,11 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 				}
 				stale := pickStale(world, s.StaleDictionaries)
 				ex := communities.NewExtractor(world.Graph, world.Publishers, world.Strippers, stale)
-				snap := ex.Extract(paths)
+				ps, aerr := arena()
+				if aerr != nil {
+					return nil, aerr
+				}
+				snap := ex.Extract(ps)
 				injectSpuriousLabels(snap, world, s)
 				injectInaccurateT1Labels(snap, world, s.InaccurateT1Labels)
 				return resilience.CorruptAt("validation.extract", snap), nil
@@ -490,6 +550,12 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 		}
 	}
 	art.RawValidation = raw
+	if spillFile != "" {
+		// The extractor was the last in-pipeline arena reader; park it
+		// again so the inference fan-out runs beside the dense tables
+		// alone. The deferred restore brings it back for the Artifacts.
+		paths = nil
+	}
 
 	// Source (ii): relationships from IRR routing policies. Non-fatal:
 	// the paper's main line uses communities alone, so a broken IRR
@@ -579,6 +645,21 @@ func RunContext(ctx context.Context, s Scenario) (*Artifacts, error) {
 			return art, err
 		}
 		instances[i] = a
+	}
+	// The cleaned ASN-typed arena duplicates what the dense mirror
+	// already carries; only algorithms that declare themselves
+	// (TopoScope's VP-group partition) still walk it. When none of the
+	// selected ones do, drop it before the fan-out so the triplet
+	// passes run beside the dense tables alone.
+	releasePaths := true
+	for _, inst := range instances {
+		if inference.NeedsPaths(inst) {
+			releasePaths = false
+			break
+		}
+	}
+	if releasePaths {
+		fs.ReleasePaths()
 	}
 	resSlice := make([]*inference.Result, len(algos))
 	errSlice := make([]error, len(algos))

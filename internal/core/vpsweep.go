@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -45,13 +46,40 @@ func (a *Artifacts) VPSweep(fractions []float64) []VPSweepPoint {
 		for _, v := range a.World.VPs[:n] {
 			keep[v] = true
 		}
-		sub := bgp.NewPathSet(a.Paths.Len(), a.Paths.Len()*4)
+		// Stream the kept paths into the feature collector in small
+		// blocks instead of materialising a filtered copy of the whole
+		// arena: each block is cleaned on arrival, so the sweep's peak
+		// is one block plus the cleaned universe. Feed order equals
+		// arena order, which keeps the result identical to a filtered
+		// features.Compute. With a background context the collector
+		// cannot fail, so errors get Compute's impossible-panic
+		// treatment.
+		ctx := context.Background()
+		collector := features.NewStreamCollector()
+		const blockPaths = 4096
+		blk := bgp.NewPathSet(blockPaths, blockPaths*5)
+		feed := func() {
+			if blk.Len() == 0 {
+				return
+			}
+			if err := collector.Feed(ctx, blk); err != nil {
+				panic(err)
+			}
+			blk = bgp.NewPathSet(blockPaths, blockPaths*5)
+		}
 		a.Paths.ForEach(func(p asgraph.Path) {
 			if keep[p.VantagePoint()] {
-				sub.Append(p)
+				blk.Append(p)
+				if blk.Len() >= blockPaths {
+					feed()
+				}
 			}
 		})
-		fs := features.Compute(sub)
+		feed()
+		fs, err := collector.Finish(ctx)
+		if err != nil {
+			panic(err)
+		}
 		res := asrank.New(asrank.Options{}).Infer(fs)
 		out = append(out, VPSweepPoint{
 			Fraction:     f,

@@ -17,6 +17,8 @@
 package hardlinks
 
 import (
+	"context"
+	"runtime"
 	"sort"
 
 	"breval/internal/asgraph"
@@ -179,45 +181,84 @@ func Categorize(fs *features.Set, clique, vps []asn.ASN, crit Criteria) *Set {
 	// the canonical A endpoint up, resp. down.
 	votedUp := intern.NewLinkSet(tab)
 	votedDown := intern.NewLinkSet(tab)
-	for i, n := 0, d.Len(); i < n; i++ {
-		hops := d.Hops(i)
-		if len(hops) == 0 {
-			continue
-		}
-		// One pass for (iv): does this path carry a clique pair?
-		pair := false
-		for _, h := range hops {
-			from, to := d.HopEnds(h)
-			if inClique[from] && inClique[to] {
-				pair = true
-				break
+	// Every path votes independently into Add-only bitsets, so the
+	// scan streams the dense paths block by block into per-worker sets
+	// whose bitwise-or merge is schedule-independent; a failed
+	// streamed scan (a worker panic) falls back to one serial pass.
+	scanVotes := func(cliquePair, up, down intern.LinkSet, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hops := d.Hops(i)
+			if len(hops) == 0 {
+				continue
+			}
+			// One pass for (iv): does this path carry a clique pair?
+			pair := false
+			for _, h := range hops {
+				from, to := d.HopEnds(h)
+				if inClique[from] && inClique[to] {
+					pair = true
+					break
+				}
+			}
+			// One pass for (v): peak rule over transit degrees. Node j is
+			// hop j's source; node len(hops) is the final destination.
+			from0, _ := d.HopEnds(hops[0])
+			top, topDeg := 0, fs.TransitDeg[from0]
+			for j := range hops {
+				_, to := d.HopEnds(hops[j])
+				if fs.TransitDeg[to] > topDeg {
+					top, topDeg = j+1, fs.TransitDeg[to]
+				}
+			}
+			for j, h := range hops {
+				lid, fromA := intern.DecodeHop(h)
+				if pair && isStubLink(lid) {
+					cliquePair.Add(lid)
+				}
+				// Before the top the route descends towards the VP, so
+				// the canonical-A side direction depends on orientation;
+				// record whether the first element is the provider side
+				// (up) or customer side (down) w.r.t. canonical A.
+				providerIsFirst := j >= top // after the top: source above destination
+				if fromA == providerIsFirst {
+					up.Add(lid)
+				} else {
+					down.Add(lid)
+				}
 			}
 		}
-		// One pass for (v): peak rule over transit degrees. Node j is
-		// hop j's source; node len(hops) is the final destination.
-		from0, _ := d.HopEnds(hops[0])
-		top, topDeg := 0, fs.TransitDeg[from0]
-		for j := range hops {
-			_, to := d.HopEnds(hops[j])
-			if fs.TransitDeg[to] > topDeg {
-				top, topDeg = j+1, fs.TransitDeg[to]
+	}
+	workers := runtime.GOMAXPROCS(0)
+	blockPaths := d.Len() / (workers * 4)
+	if blockPaths < 4096 {
+		blockPaths = 4096
+	}
+	type voteShard struct{ pair, up, down intern.LinkSet }
+	shards := make([]*voteShard, workers)
+	err := fs.ScanBlocks(context.Background(), "hardlinks.scan", workers, blockPaths,
+		func(_ context.Context, w, _, lo, hi int) error {
+			sh := shards[w]
+			if sh == nil {
+				sh = &voteShard{
+					pair: intern.NewLinkSet(tab),
+					up:   intern.NewLinkSet(tab),
+					down: intern.NewLinkSet(tab),
+				}
+				shards[w] = sh
 			}
-		}
-		for j, h := range hops {
-			lid, fromA := intern.DecodeHop(h)
-			if pair && isStubLink(lid) {
-				hasCliquePair.Add(lid)
+			scanVotes(sh.pair, sh.up, sh.down, lo, hi)
+			return nil
+		})
+	if err != nil {
+		scanVotes(hasCliquePair, votedUp, votedDown, 0, d.Len())
+	} else {
+		for _, sh := range shards {
+			if sh == nil {
+				continue
 			}
-			// Before the top the route descends towards the VP, so
-			// the canonical-A side direction depends on orientation;
-			// record whether the first element is the provider side
-			// (up) or customer side (down) w.r.t. canonical A.
-			providerIsFirst := j >= top // after the top: source above destination
-			if fromA == providerIsFirst {
-				votedUp.Add(lid)
-			} else {
-				votedDown.Add(lid)
-			}
+			intern.Bitset(hasCliquePair).Or(intern.Bitset(sh.pair))
+			intern.Bitset(votedUp).Or(intern.Bitset(sh.up))
+			intern.Bitset(votedDown).Or(intern.Bitset(sh.down))
 		}
 	}
 

@@ -26,6 +26,7 @@ package asrank
 
 import (
 	"context"
+	"runtime"
 
 	"breval/internal/asgraph"
 	"breval/internal/asn"
@@ -33,6 +34,7 @@ import (
 	"breval/internal/inference/features"
 	"breval/internal/intern"
 	"breval/internal/obs"
+	"breval/internal/resilience"
 )
 
 // Options tunes the algorithm; the zero value uses the published
@@ -43,6 +45,33 @@ type Options struct {
 	CliqueCandidates int
 	// MaxIterations bounds the top-down sweeps (default 4).
 	MaxIterations int
+	// ScanWorkers bounds the goroutines of the streamed triplet scans
+	// (0 = GOMAXPROCS) and ScanBlockPaths their block size in paths
+	// (0 = an adaptive default). Both are operational knobs: any
+	// setting yields byte-identical results — per-block evidence is
+	// merged in block order, which reproduces the sequential pass
+	// exactly.
+	ScanWorkers    int
+	ScanBlockPaths int
+}
+
+// scanGrain resolves the scan worker count and block size against the
+// arena length. The default block size targets a few blocks per
+// worker so the fan-out balances without flooding the pool with
+// per-block bookkeeping.
+func (o Options) scanGrain(n int) (workers, blockPaths int) {
+	workers = o.ScanWorkers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	blockPaths = o.ScanBlockPaths
+	if blockPaths < 1 {
+		blockPaths = n / (workers * 4)
+		if blockPaths < 4096 {
+			blockPaths = 4096
+		}
+	}
+	return workers, blockPaths
 }
 
 func (o Options) withDefaults() Options {
@@ -79,7 +108,65 @@ func (a *Algorithm) Name() string { return "ASRank" }
 // to peers — such a path proves c is m's customer, however large c's
 // transit degree is.
 func InferClique(fs *features.Set, candidates int) []asn.ASN {
-	tab, d := fs.Intern, fs.Dense
+	return inferClique(context.Background(), fs, candidates, Options{})
+}
+
+// candidateTriplets collects every ordered triplet whose three ASes
+// are all candidates, consuming the dense paths block by block across
+// opts' scan grain. Set union is commutative, so per-worker partial
+// maps merge into the same set for any schedule; a failed streamed
+// scan (cancellation mid-flight) falls back to one serial pass, which
+// keeps the no-error contract of the enclosing inference.
+func candidateTriplets(ctx context.Context, fs *features.Set, cand []bool, opts Options) map[[3]int32]bool {
+	d := fs.Dense
+	workers, blockPaths := opts.scanGrain(d.Len())
+	shard := make([]map[[3]int32]bool, workers)
+	err := fs.ScanBlocks(ctx, "asrank.clique.scan", workers, blockPaths,
+		func(ctx context.Context, w, _, lo, hi int) error {
+			m := shard[w]
+			if m == nil {
+				m = make(map[[3]int32]bool)
+				shard[w] = m
+			}
+			for i := lo; i < hi; i++ {
+				if (i-lo)%4096 == 0 {
+					if err := resilience.Checkpoint(ctx, "asrank.clique.scan"); err != nil {
+						return err
+					}
+				}
+				hops := d.Hops(i)
+				for j := 0; j+1 < len(hops); j++ {
+					left, mid, right := d.Triplet(hops[j], hops[j+1])
+					if cand[left] && cand[mid] && cand[right] {
+						m[[3]int32{left, mid, right}] = true
+					}
+				}
+			}
+			return nil
+		})
+	trips := make(map[[3]int32]bool)
+	if err != nil {
+		for i, n := 0, d.Len(); i < n; i++ {
+			hops := d.Hops(i)
+			for j := 0; j+1 < len(hops); j++ {
+				left, mid, right := d.Triplet(hops[j], hops[j+1])
+				if cand[left] && cand[mid] && cand[right] {
+					trips[[3]int32{left, mid, right}] = true
+				}
+			}
+		}
+		return trips
+	}
+	for _, m := range shard {
+		for k := range m {
+			trips[k] = true
+		}
+	}
+	return trips
+}
+
+func inferClique(ctx context.Context, fs *features.Set, candidates int, opts Options) []asn.ASN {
+	tab := fs.Intern
 	ranked := fs.ASIDsByTransitDegree()
 	if len(ranked) > candidates {
 		ranked = ranked[:candidates]
@@ -88,18 +175,7 @@ func InferClique(fs *features.Set, candidates int) []asn.ASN {
 	for _, id := range ranked {
 		cand[id] = true
 	}
-	// trips records every ordered triplet whose three ASes are all
-	// candidates.
-	trips := make(map[[3]int32]bool)
-	for i, n := 0, d.Len(); i < n; i++ {
-		hops := d.Hops(i)
-		for j := 0; j+1 < len(hops); j++ {
-			left, mid, right := d.Triplet(hops[j], hops[j+1])
-			if cand[left] && cand[mid] && cand[right] {
-				trips[[3]int32{left, mid, right}] = true
-			}
-		}
-	}
+	trips := candidateTriplets(ctx, fs, cand, opts)
 	// customerEvidence reports whether c's routes were seen crossing a
 	// member to reach another member — proof that c is a customer and
 	// must not join the clique.
@@ -196,7 +272,7 @@ func (a *Algorithm) InferContext(ctx context.Context, fs *features.Set) *inferen
 
 	res := inference.NewResult(a.Name(), nLinks)
 	_, sp := obs.StartSpan(ctx, "asrank.clique")
-	clique := InferClique(fs, a.opts.CliqueCandidates)
+	clique := inferClique(ctx, fs, a.opts.CliqueCandidates, a.opts)
 	sp.End()
 	col.Observe("infer.asrank.clique_size", int64(len(clique)))
 	res.Clique = clique
@@ -236,25 +312,97 @@ func (a *Algorithm) InferContext(ctx context.Context, fs *features.Set) *inferen
 
 	// Step 2: clique triplets. A triplet C1|C2|X (or X|C2|C1) with
 	// C1, C2 clique members proves C2 exported X's route to a peer,
-	// so X is C2's customer.
+	// so X is C2's customer. The scan streams the dense paths block by
+	// block: each block records its own first touch per link (labels
+	// stay read-only during the scan), and replaying the per-block
+	// touch lists in block order afterwards applies exactly the first
+	// evidence in global path order — byte-identical to the sequential
+	// pass for any worker count or block size.
 	_, sp = obs.StartSpan(ctx, "asrank.clique_triplets")
-	for i, n := 0, d.Len(); i < n; i++ {
-		hops := d.Hops(i)
-		for j := 0; j+1 < len(hops); j++ {
-			left, mid, right := d.Triplet(hops[j], hops[j+1])
-			if !inClique[mid] {
-				continue
+	type touch struct {
+		lid int32
+		lbl uint8
+	}
+	workers, blockPaths := a.opts.scanGrain(d.Len())
+	blockEv := make([][]touch, features.NumBlocks(d.Len(), blockPaths))
+	scratch := make([][]uint8, workers)
+	serr := fs.ScanBlocks(ctx, "asrank.triplets.scan", workers, blockPaths,
+		func(ctx context.Context, w, b, lo, hi int) error {
+			seen := scratch[w]
+			if seen == nil {
+				seen = make([]uint8, nLinks)
+				scratch[w] = seen
 			}
-			if inClique[left] && !inClique[right] {
-				// mid is the provider on the mid→right hop.
-				rl, rFromA := intern.DecodeHop(hops[j+1])
-				setP2C(rl, rFromA)
+			var evs []touch
+			var touched []int32
+			record := func(lid int32, providerIsA bool) {
+				if labels[lid] != lblNone || seen[lid] != 0 {
+					return
+				}
+				lbl := lblP2CProvB
+				if providerIsA {
+					lbl = lblP2CProvA
+				}
+				seen[lid] = lbl
+				touched = append(touched, lid)
+				evs = append(evs, touch{lid, lbl})
 			}
-			if inClique[right] && !inClique[left] {
-				// mid is the provider on the left→mid hop (mid is the
-				// hop's destination).
-				ll, lFromA := intern.DecodeHop(hops[j])
-				setP2C(ll, !lFromA)
+			for i := lo; i < hi; i++ {
+				if (i-lo)%4096 == 0 {
+					if err := resilience.Checkpoint(ctx, "asrank.triplets.scan"); err != nil {
+						return err
+					}
+				}
+				hops := d.Hops(i)
+				for j := 0; j+1 < len(hops); j++ {
+					left, mid, right := d.Triplet(hops[j], hops[j+1])
+					if !inClique[mid] {
+						continue
+					}
+					if inClique[left] && !inClique[right] {
+						// mid is the provider on the mid→right hop.
+						rl, rFromA := intern.DecodeHop(hops[j+1])
+						record(rl, rFromA)
+					}
+					if inClique[right] && !inClique[left] {
+						// mid is the provider on the left→mid hop (mid
+						// is the hop's destination).
+						ll, lFromA := intern.DecodeHop(hops[j])
+						record(ll, !lFromA)
+					}
+				}
+			}
+			for _, lid := range touched {
+				seen[lid] = 0
+			}
+			blockEv[b] = evs
+			return nil
+		})
+	if serr != nil {
+		// Serial fallback keeps the no-error inference contract when
+		// the streamed scan was cancelled or a worker panicked: redo
+		// the pass sequentially from the untouched labels.
+		for i, n := 0, d.Len(); i < n; i++ {
+			hops := d.Hops(i)
+			for j := 0; j+1 < len(hops); j++ {
+				left, mid, right := d.Triplet(hops[j], hops[j+1])
+				if !inClique[mid] {
+					continue
+				}
+				if inClique[left] && !inClique[right] {
+					rl, rFromA := intern.DecodeHop(hops[j+1])
+					setP2C(rl, rFromA)
+				}
+				if inClique[right] && !inClique[left] {
+					ll, lFromA := intern.DecodeHop(hops[j])
+					setP2C(ll, !lFromA)
+				}
+			}
+		}
+	} else {
+		for _, evs := range blockEv {
+			for _, t := range evs {
+				setP2C(t.lid, t.lbl == lblP2CProvA)
 			}
 		}
 	}

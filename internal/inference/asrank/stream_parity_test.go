@@ -1,0 +1,91 @@
+package asrank
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+	"breval/internal/inference"
+	"breval/internal/inference/features"
+)
+
+// randomWorld builds a deterministic pseudo-random path arena: nPaths
+// walks of 2–6 distinct ASes over a nASes universe. It is not
+// valley-free — the parity claim is about scan scheduling, and hostile
+// topologies exercise more of the triplet machinery than tidy ones.
+func randomWorld(seed int64, nASes, nPaths int) *features.Set {
+	rng := rand.New(rand.NewSource(seed))
+	ps := bgp.NewPathSet(nPaths, nPaths*4)
+	hops := make(asgraph.Path, 0, 6)
+	for i := 0; i < nPaths; i++ {
+		n := 2 + rng.Intn(5)
+		perm := rng.Perm(nASes)
+		hops = hops[:0]
+		for _, a := range perm[:n] {
+			hops = append(hops, asn.ASN(1000+a))
+		}
+		ps.Append(hops)
+	}
+	return features.Compute(ps)
+}
+
+// resultDigest canonicalizes a result: dense-link-ordered labels with
+// the firm marks, then the clique. Byte-equal digests mean identical
+// inferences.
+func resultDigest(fs *features.Set, res *inference.Result) uint64 {
+	h := fnv.New64a()
+	tab := fs.Intern
+	for lid := int32(0); lid < int32(tab.NumLinks()); lid++ {
+		l := tab.Link(lid)
+		rel, ok := res.Rel(l)
+		fmt.Fprintf(h, "%d %v %v %v\n", lid, rel, ok, res.Firm[l])
+	}
+	fmt.Fprintf(h, "clique=%v\n", res.Clique)
+	return h.Sum64()
+}
+
+// TestStreamedScanParity is the streamed triplet inference's core
+// claim: for any scan worker count and any block size — including
+// one-path blocks and a single block holding the whole arena — the
+// inference is identical to the default grain, across several worlds.
+func TestStreamedScanParity(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		fs := randomWorld(seed, 300, 3000)
+		want := resultDigest(fs, New(Options{}).Infer(fs))
+		for _, workers := range []int{1, 2, 4} {
+			for _, block := range []int{1, 7, 64, 1 << 20} {
+				res := New(Options{ScanWorkers: workers, ScanBlockPaths: block}).Infer(fs)
+				if got := resultDigest(fs, res); got != want {
+					t.Errorf("seed=%d workers=%d block=%d: digest %016x, want %016x",
+						seed, workers, block, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamedScanParityWithoutArena repeats the sweep after the
+// cleaned ASN-typed arena is dropped, the way the pipeline runs
+// dense-only selections: the scans must neither touch fs.Paths nor
+// change a single label because it is gone.
+func TestStreamedScanParityWithoutArena(t *testing.T) {
+	fs := randomWorld(7, 200, 1500)
+	want := resultDigest(fs, New(Options{}).Infer(fs))
+	fs.ReleasePaths()
+	if fs.Paths != nil {
+		t.Fatal("ReleasePaths kept the arena")
+	}
+	for _, workers := range []int{1, 4} {
+		for _, block := range []int{1, 1 << 20} {
+			res := New(Options{ScanWorkers: workers, ScanBlockPaths: block}).Infer(fs)
+			if got := resultDigest(fs, res); got != want {
+				t.Errorf("released arena: workers=%d block=%d: digest %016x, want %016x",
+					workers, block, got, want)
+			}
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"context"
 	"runtime"
 	"runtime/debug"
+	"slices"
 	"sort"
 	"sync"
 
@@ -40,8 +41,15 @@ import (
 // safe for concurrent readers.
 type Set struct {
 	// Paths is the cleaned path set (loops removed, prepending
-	// collapsed).
+	// collapsed). It may be nil after ReleasePaths: the dense mirror
+	// carries everything inference needs, and holding the ASN-typed
+	// arena beside it doubles the path footprint for nothing.
 	Paths *bgp.PathSet
+
+	// PathCount is the number of cleaned paths. It survives
+	// ReleasePaths, so consumers that only report the count (digests,
+	// summaries) need not keep the arena alive.
+	PathCount int
 
 	// Intern is the dense-ID universe of the cleaned paths; Dense is
 	// their per-hop dense mirror.
@@ -60,6 +68,13 @@ type Set struct {
 // NumLinks returns the size of the observed ("inferred") link
 // universe.
 func (s *Set) NumLinks() int { return s.Intern.NumLinks() }
+
+// ReleasePaths drops the cleaned ASN-typed path arena, keeping the
+// dense mirror, the intern table and the count vectors. Call once no
+// remaining consumer walks s.Paths (inference algorithms that still
+// need it implement inference.PathsConsumer); PathCount keeps
+// reporting the arena's length afterwards.
+func (s *Set) ReleasePaths() { s.Paths = nil }
 
 // NodeDegreeOf returns the node degree of a, 0 when a was never
 // observed.
@@ -132,7 +147,7 @@ func ComputeContext(ctx context.Context, ps *bgp.PathSet) (*Set, error) {
 	cctx, span := obs.StartSpan(ctx, "features.clean")
 	shards := make([]*bgp.PathSet, workers)
 	n := ps.Len()
-	err := runContained(cctx, "features.compute.worker", workers, workers, func(ctx context.Context, w int) error {
+	err := runContained(cctx, "features.compute.worker", workers, workers, func(ctx context.Context, _, w int) error {
 		lo, hi := n*w/workers, n*(w+1)/workers
 		out := bgp.NewPathSet(hi-lo, (hi-lo)*4)
 		scratch := make(asgraph.Path, 0, 64)
@@ -183,7 +198,7 @@ func finishFromClean(ctx context.Context, clean *bgp.PathSet, workers int) (*Set
 	col.SetGauge("features.intern.links", float64(tab.NumLinks()))
 	col.SetGauge("features.intern.vps", float64(tab.NumVPs()))
 
-	s := &Set{Paths: clean, Intern: tab, Dense: dense}
+	s := &Set{Paths: clean, PathCount: clean.Len(), Intern: tab, Dense: dense}
 
 	// Sharded scan into per-worker dense partials.
 	sctx, span := obs.StartSpan(ctx, "features.scan")
@@ -267,21 +282,23 @@ func (s *Set) scan(ctx context.Context, workers int) error {
 
 	transit := make([]intern.Bitset, workers)
 	vpMatrix := make([]intern.Bitset, workers)
-	vpPairs := make([]map[int64]struct{}, workers)
+	vpPairs := make([][]uint64, workers)
 	nPaths := d.Len()
-	err := runContained(ctx, "features.compute.worker", workers, workers, func(ctx context.Context, w int) error {
+	err := runContained(ctx, "features.compute.worker", workers, workers, func(ctx context.Context, _, w int) error {
 		tr := intern.NewBitset(tab.NumEdges())
 		transit[w] = tr
 		var vm intern.Bitset
-		var pairs map[int64]struct{}
+		var pairs []uint64
+		lo, hi := nPaths*w/workers, nPaths*(w+1)/workers
 		if useMatrix {
 			vm = intern.NewBitset(int(vpBits))
 			vpMatrix[w] = vm
 		} else {
-			pairs = make(map[int64]struct{}, 1024)
-			vpPairs[w] = pairs
+			// One entry per hop in the shard, known up front: presizing
+			// exactly avoids append-doubling overshoot on what is the
+			// scan's largest transient at xl scale.
+			pairs = make([]uint64, 0, d.HopSpan(lo, hi))
 		}
-		lo, hi := nPaths*w/workers, nPaths*(w+1)/workers
 		for i := lo; i < hi; i++ {
 			if i%4096 == 0 {
 				if err := resilience.Checkpoint(ctx, "features.compute.worker"); err != nil {
@@ -292,13 +309,13 @@ func (s *Set) scan(ctx context.Context, workers int) error {
 			if len(hops) == 0 {
 				continue
 			}
-			vp := int64(d.VP(i))
+			vp := uint64(uint32(d.VP(i)))
 			for _, h := range hops {
 				lid, _ := intern.DecodeHop(h)
 				if useMatrix {
-					vm.Set(int32(int64(lid)*int64(nVPs) + vp))
+					vm.Set(int32(int64(lid)*int64(nVPs) + int64(vp)))
 				} else {
-					pairs[int64(lid)<<32|vp] = struct{}{}
+					pairs = append(pairs, uint64(uint32(lid))<<32|vp)
 				}
 			}
 			// Triplets: consecutive hop pairs share the mid AS; mark
@@ -311,6 +328,14 @@ func (s *Set) scan(ctx context.Context, workers int) error {
 				tr.Set(tab.EdgeEntry(ll, !lFromA))
 				tr.Set(tab.EdgeEntry(rl, rFromA))
 			}
+		}
+		if !useMatrix {
+			// Dedupe the shard's raw (link, VP) occurrences before the
+			// merge: sorted unique slices keep the fallback's footprint
+			// proportional to the distinct pairs, not the hop count, and
+			// cost a fraction of what per-key hashing did.
+			slices.Sort(pairs)
+			vpPairs[w] = slices.Compact(pairs)
 		}
 		return nil
 	})
@@ -341,38 +366,113 @@ func (s *Set) scan(ctx context.Context, workers int) error {
 		}
 	} else {
 		// Different workers may have seen the same (link, VP) pair;
-		// dedupe through a union set before counting.
-		union := make(map[int64]struct{}, 1024)
-		for _, pairs := range vpPairs {
-			for k := range pairs {
-				union[k] = struct{}{}
+		// concatenate the sorted shard slices, sort once more and count
+		// each distinct pair exactly once. Workers' slices are released
+		// as they are absorbed so the peak is one copy of the union
+		// plus the largest shard.
+		var all []uint64
+		if workers == 1 {
+			// A single shard is already sorted and deduped; adopt it
+			// instead of copying a quarter-gigabyte at xl scale.
+			all, vpPairs[0] = vpPairs[0], nil
+		} else {
+			total := 0
+			for _, p := range vpPairs {
+				total += len(p)
 			}
+			all = make([]uint64, 0, total)
+			for w := range vpPairs {
+				all = append(all, vpPairs[w]...)
+				vpPairs[w] = nil
+			}
+			slices.Sort(all)
 		}
-		for k := range union {
-			s.VPCnt[k>>32]++
+		var prev uint64
+		for i, k := range all {
+			if i == 0 || k != prev {
+				s.VPCnt[k>>32]++
+				prev = k
+			}
 		}
 	}
 	return nil
 }
 
-// runContained runs fn(i) for i in [0, n) across at most workers
-// goroutines, recovering panics into typed *resilience.StageError
-// values; the first failure cancels the siblings and wins.
-func runContained(ctx context.Context, stage string, workers, n int, fn func(ctx context.Context, i int) error) error {
+// NumBlocks returns how many blockPaths-sized blocks cover n paths
+// (0 for an empty set). It is the block count ScanBlocks iterates
+// with the same arguments.
+func NumBlocks(n, blockPaths int) int {
+	if n <= 0 {
+		return 0
+	}
+	if blockPaths < 1 {
+		blockPaths = n
+	}
+	return (n + blockPaths - 1) / blockPaths
+}
+
+// ScanBlocks runs fn over consecutive blockPaths-sized blocks of the
+// dense paths, sharded across at most workers goroutines with the
+// same supervised, panic-contained execution as the feature scan
+// itself. Blocks partition [0, Dense.Len()) in order: block b covers
+// rows [lo, hi). fn additionally receives the executing worker's
+// index in [0, workers), so callers can accumulate into per-worker
+// scratch without locking; any cross-block state that is
+// order-sensitive must be kept per block and merged in block order by
+// the caller — block-to-worker assignment is scheduling-dependent.
+//
+// Unlike the feature scan, blocks take no permits from the shared
+// governor limiter: the inference fan-out already holds one permit
+// per running algorithm for its whole lifetime, and re-acquiring
+// underneath it would self-deadlock at limit 1. Cancellation is still
+// honoured between blocks and through fn's own Checkpoint calls.
+func (s *Set) ScanBlocks(ctx context.Context, stage string, workers, blockPaths int, fn func(ctx context.Context, worker, block, lo, hi int) error) error {
+	n := s.Dense.Len()
+	if n == 0 {
+		return nil
+	}
+	if blockPaths < 1 {
+		blockPaths = n
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nb := NumBlocks(n, blockPaths)
+	return runPool(ctx, stage, workers, nb, nil, func(ctx context.Context, worker, b int) error {
+		lo := b * blockPaths
+		hi := lo + blockPaths
+		if hi > n {
+			hi = n
+		}
+		return fn(ctx, worker, b, lo, hi)
+	})
+}
+
+// runContained runs fn(worker, i) for i in [0, n) across at most
+// workers goroutines, recovering panics into typed
+// *resilience.StageError values; the first failure cancels the
+// siblings and wins. Every work item holds one permit from the shared
+// governor limiter, so the fan-out adapts to memory pressure.
+func runContained(ctx context.Context, stage string, workers, n int, fn func(ctx context.Context, worker, i int) error) error {
+	return runPool(ctx, stage, workers, n, govern.From(ctx).Limiter(), fn)
+}
+
+// runPool is the contained worker pool under runContained and
+// ScanBlocks: supervised (the periodic resilience.Checkpoint calls
+// inside fn double as heartbeats), panic-contained, first failure
+// cancels the siblings and wins. lim may be nil for callers that
+// already hold a permit for the whole scan. The worker index
+// identifies the executing goroutine so fn can use per-worker
+// scratch; which worker handles which item is scheduling-dependent.
+func runPool(ctx context.Context, stage string, workers, n int, lim *govern.Limiter, fn func(ctx context.Context, worker, i int) error) error {
 	if workers > n {
 		workers = n
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	// Governed execution: the stage is supervised (the periodic
-	// resilience.Checkpoint calls inside fn double as heartbeats) and
-	// every work item holds one permit from the shared limiter, so the
-	// shard fan-out adapts to memory pressure. Both are nil no-ops
-	// without a governor.
 	ctx, hb := govern.Supervise(ctx, stage, 0)
 	defer hb.Stop()
-	lim := govern.From(ctx).Limiter()
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var mu sync.Mutex
@@ -393,7 +493,7 @@ func runContained(ctx context.Context, stage string, workers, n int, fn func(ctx
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			defer func() {
 				if v := recover(); v != nil {
@@ -414,14 +514,14 @@ func runContained(ctx context.Context, stage string, workers, n int, fn func(ctx
 					// a leaked permit would shrink capacity for the
 					// stage retry.
 					defer lim.Release()
-					return fn(ctx, i)
+					return fn(ctx, w, i)
 				}()
 				if err != nil {
 					fail(err)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if firstErr != nil {

@@ -63,6 +63,27 @@ func InferContext(ctx context.Context, a Algorithm, fs *features.Set) *Result {
 	return a.Infer(fs)
 }
 
+// PathsConsumer is implemented by algorithms that still walk the
+// cleaned ASN-typed path arena (features.Set.Paths) rather than the
+// dense mirror. Pipelines check it before releasing the arena ahead
+// of inference: features.(*Set).ReleasePaths may only run when no
+// selected algorithm needs the paths.
+type PathsConsumer interface {
+	// NeedsPaths reports whether Infer reads fs.Paths.
+	NeedsPaths() bool
+}
+
+// NeedsPaths reports whether a still requires the cleaned path arena.
+// Algorithms that do not declare themselves are assumed dense-only:
+// every in-tree algorithm reads features.Set.Dense, and an external
+// one that walks fs.Paths opts in by implementing PathsConsumer.
+func NeedsPaths(a Algorithm) bool {
+	if pc, ok := a.(PathsConsumer); ok {
+		return pc.NeedsPaths()
+	}
+	return false
+}
+
 // NewResult allocates an empty result.
 func NewResult(name string, capacity int) *Result {
 	return &Result{Name: name, Rels: make(map[asgraph.Link]asgraph.Rel, capacity)}

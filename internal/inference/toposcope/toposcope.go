@@ -56,6 +56,11 @@ func New(opts Options) *Algorithm { return &Algorithm{opts: opts.withDefaults()}
 // Name implements inference.Algorithm.
 func (a *Algorithm) Name() string { return "TopoScope" }
 
+// NeedsPaths implements inference.PathsConsumer: the VP-group
+// partition below walks the cleaned ASN-typed arena, so the pipeline
+// must not release fs.Paths ahead of a TopoScope run.
+func (a *Algorithm) NeedsPaths() bool { return true }
+
 // Infer implements inference.Algorithm.
 func (a *Algorithm) Infer(fs *features.Set) *inference.Result {
 	return a.InferContext(context.Background(), fs)

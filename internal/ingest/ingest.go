@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"breval/internal/asgraph"
 	"breval/internal/bgp"
 	"breval/internal/obs"
 	"breval/internal/resilience"
@@ -88,6 +89,15 @@ type Options struct {
 	// retries means transient errors surface immediately.
 	ReadRetries int
 	ReadBackoff time.Duration
+
+	// FileWorkers is how many input files are read and parsed
+	// concurrently (0 or 1 keeps the single-goroutine reader). The
+	// knob is purely operational: workers emit per-file event streams
+	// that the caller's goroutine replays in file-argument order
+	// through a bounded reorder window, so every counter, ledger line,
+	// fault-site firing and sink block is byte-identical to a serial
+	// run regardless of which file finishes first.
+	FileWorkers int
 }
 
 // Defaults for the zero-valued knobs.
@@ -136,9 +146,15 @@ func Stream(ctx context.Context, opts Options, files []string, sink func(*bgp.Pa
 		block: bgp.NewPathSet(opts.blockPaths(), opts.blockPaths()*5),
 	}
 	defer ing.closeLedger()
-	for _, name := range files {
-		if err := ing.file(ctx, name); err != nil {
+	if opts.FileWorkers > 1 && len(files) > 1 {
+		if err := ing.parallel(ctx, files); err != nil {
 			return ing.rep, err
+		}
+	} else {
+		for _, name := range files {
+			if err := ing.file(ctx, name); err != nil {
+				return ing.rep, err
+			}
 		}
 	}
 	if err := ing.flush(ctx); err != nil {
@@ -203,7 +219,7 @@ func (ing *ingester) file(ctx context.Context, name string) error {
 		switch {
 		case err == nil:
 			ing.countRecord(fr)
-			if qerr := ing.record(ctx, fr, rr, e); qerr != nil {
+			if qerr := ing.record(ctx, fr, rr.Index(), e.Path, rr.LastFrame()); qerr != nil {
 				return qerr
 			}
 		case errors.Is(err, io.EOF):
@@ -268,32 +284,34 @@ func classifyFraming(err error) (Kind, bool) {
 
 // record admits one successfully parsed record, applying the semantic
 // taxonomy: reserved/unassignable ASNs and duplicate entries are
-// quarantined, everything else flows into the current block.
-func (ing *ingester) record(ctx context.Context, fr *FileReport, rr *wire.RIBReader, e wire.RIBEntry) error {
-	if len(e.Path) == 0 {
-		return ing.quarantine(ctx, fr, rr.Index(), KindBadPath,
-			errors.New("empty AS path"), rr.LastFrame())
+// quarantined, everything else flows into the current block. It is
+// shared by the serial reader and the parallel replay, which is what
+// keeps their admission semantics identical by construction.
+func (ing *ingester) record(ctx context.Context, fr *FileReport, index int, path asgraph.Path, frame []byte) error {
+	if len(path) == 0 {
+		return ing.quarantine(ctx, fr, index, KindBadPath,
+			errors.New("empty AS path"), frame)
 	}
-	for _, a := range e.Path {
+	for _, a := range path {
 		if a.IsReserved() {
-			return ing.quarantine(ctx, fr, rr.Index(), KindUnknownAS,
-				fmt.Errorf("reserved AS %d in path", a), rr.LastFrame())
+			return ing.quarantine(ctx, fr, index, KindUnknownAS,
+				fmt.Errorf("reserved AS %d in path", a), frame)
 		}
 	}
 	// Duplicate detection hashes the record body (prefix + path); the
 	// header timestamp does not distinguish entries.
 	h := fnv.New64a()
-	h.Write(rr.LastFrame()[12:])
+	h.Write(frame[12:])
 	key := h.Sum64()
 	if _, dup := ing.seen[key]; dup {
-		return ing.quarantine(ctx, fr, rr.Index(), KindDuplicate,
-			errors.New("duplicate entry"), rr.LastFrame())
+		return ing.quarantine(ctx, fr, index, KindDuplicate,
+			errors.New("duplicate entry"), frame)
 	}
 	ing.seen[key] = struct{}{}
 
 	fr.Ingested++
 	ing.rep.Ingested++
-	ing.block.Append(e.Path)
+	ing.block.Append(path)
 	if ing.block.Len() >= ing.opts.blockPaths() {
 		return ing.flush(ctx)
 	}

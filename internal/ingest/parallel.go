@@ -1,0 +1,251 @@
+package ingest
+
+import (
+	"bufio"
+	"compress/gzip"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"breval/internal/asgraph"
+	"breval/internal/resilience"
+	"breval/internal/wire"
+)
+
+// Parallel ingest splits Stream's single loop into two halves. Workers
+// (one goroutine per in-flight file, Options.FileWorkers at a time)
+// do the expensive part — open, decompress, frame, parse — and emit a
+// side-effect-free event stream per file. The caller's goroutine then
+// replays those streams strictly in file-argument order, performing
+// every side effect the serial reader would: attempt/ingest counters,
+// the global duplicate check, quarantine ledger lines, block flushes
+// to the sink, and the resilience fault-site firings. The per-file
+// channels are the reorder window: a file that finishes early parks at
+// most reorderWindow parsed events, so memory stays bounded while the
+// merged output is byte-identical to a serial run for any worker count
+// and any file completion order.
+
+// reorderWindow bounds how many parsed events a finished-early file
+// may buffer ahead of the merge cursor (per file; each event holds one
+// copied frame of at most ~4KiB).
+const reorderWindow = 128
+
+// evKind discriminates fileEvent. The terminal kinds end a file's
+// stream: every worker emits exactly one of them last.
+type evKind uint8
+
+const (
+	evRecord  evKind = iota // a fully parsed entry (path + frame copy)
+	evBad                   // skippable in-sync damage (*wire.BadRecordError)
+	evEOF                   // clean end of file (terminal)
+	evAbort                 // desynchronizing framing damage (terminal)
+	evGzipBad               // damaged gzip wrapper before any record (terminal)
+	evOpenErr               // the file could not be opened (terminal)
+	evFatal                 // run-fatal mid-stream error (terminal)
+)
+
+// fileEvent is one record-granularity observation from a worker. Paths
+// come straight from the wire reader (allocated per record, safe to
+// retain); frames are copied out of the reader's scratch buffer.
+type fileEvent struct {
+	kind    evKind
+	path    asgraph.Path
+	frame   []byte
+	index   int    // record index within the file, for ledger attribution
+	badKind Kind   // evBad/evAbort: taxonomy kind
+	errStr  string // evBad/evAbort/evGzipBad: cause, as the serial reader stringifies it
+	err     error  // evOpenErr/evFatal: the error Stream must return
+	retried int64  // terminal events: the file's transient-read retry count
+}
+
+// parallel ingests files with FileWorkers concurrent readers and a
+// strictly ordered replay. Workers are launched in file-argument order
+// as semaphore slots free up, which guarantees the file the merge
+// cursor is waiting on is always among the running ones.
+func (ing *ingester) parallel(ctx context.Context, files []string) error {
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := ing.opts.FileWorkers
+	if workers > len(files) {
+		workers = len(files)
+	}
+	chans := make([]chan fileEvent, len(files))
+	for i := range chans {
+		chans[i] = make(chan fileEvent, reorderWindow)
+	}
+	sem := make(chan struct{}, workers)
+	go func() {
+		for i, name := range files {
+			select {
+			case sem <- struct{}{}:
+			case <-wctx.Done():
+				// Channels whose worker never launched still need a
+				// closer so the merge loop cannot hang on them.
+				for ; i < len(files); i++ {
+					close(chans[i])
+				}
+				return
+			}
+			go func(ch chan fileEvent, name string) {
+				defer func() { <-sem }()
+				readFileEvents(wctx, ing.opts, name, ch)
+			}(chans[i], name)
+		}
+	}()
+
+	for i, name := range files {
+		if err := ing.replayFile(ctx, name, chans[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFileEvents is the worker half: it mirrors (*ingester).file's
+// control flow exactly but touches no shared state and fires no fault
+// sites — both belong to the replay. It always closes out, and always
+// ends the stream with a terminal event unless the context is gone.
+func readFileEvents(ctx context.Context, opts Options, name string, out chan<- fileEvent) {
+	defer close(out)
+	send := func(e fileEvent) bool {
+		select {
+		case out <- e:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	copyFrame := func(rr *wire.RIBReader) []byte {
+		return append([]byte(nil), rr.LastFrame()...)
+	}
+
+	f, err := os.Open(name)
+	if err != nil {
+		send(fileEvent{kind: evOpenErr, err: fmt.Errorf("ingest: %w", err)})
+		return
+	}
+	defer f.Close()
+
+	retry := &retryReader{ctx: ctx, r: f,
+		retries: opts.ReadRetries, backoff: opts.ReadBackoff}
+	br := bufio.NewReaderSize(retry, 1<<16)
+	var src io.Reader = br
+	if magic, _ := br.Peek(2); len(magic) == 2 && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, zerr := gzip.NewReader(br)
+		if zerr != nil {
+			send(fileEvent{kind: evGzipBad, errStr: zerr.Error(), retried: retry.retried})
+			return
+		}
+		defer zr.Close()
+		src = zr
+	}
+
+	rr := wire.NewRIBReader(src)
+	for {
+		e, err := rr.Read()
+		switch {
+		case err == nil:
+			if !send(fileEvent{kind: evRecord, path: e.Path,
+				frame: copyFrame(rr), index: rr.Index()}) {
+				return
+			}
+		case errors.Is(err, io.EOF):
+			send(fileEvent{kind: evEOF, retried: retry.retried})
+			return
+		default:
+			var bad *wire.BadRecordError
+			if errors.As(err, &bad) {
+				kind := KindBadPath
+				if errors.Is(err, wire.ErrTruncated) {
+					kind = KindTruncatedFrame
+				}
+				if !send(fileEvent{kind: evBad, index: bad.Index, badKind: kind,
+					errStr: err.Error(), frame: copyFrame(rr)}) {
+					return
+				}
+				continue
+			}
+			kind, desync := classifyFraming(err)
+			if !desync {
+				send(fileEvent{kind: evFatal,
+					err:     fmt.Errorf("ingest: %s: record %d: %w", name, rr.Index(), err),
+					retried: retry.retried})
+				return
+			}
+			send(fileEvent{kind: evAbort, index: rr.Index(), badKind: kind,
+				errStr: err.Error(), frame: copyFrame(rr), retried: retry.retried})
+			return
+		}
+	}
+}
+
+// replayFile is the merge half: it consumes one file's event stream
+// and applies the exact side-effect sequence (*ingester).file would
+// have produced — the ingest.record.read site fires once per record
+// read (never for a damaged gzip wrapper, which the serial reader also
+// quarantines without a read), FileReports appear only for files that
+// opened, and admission goes through the same record method.
+func (ing *ingester) replayFile(ctx context.Context, name string, events <-chan fileEvent) error {
+	var fr *FileReport
+	for ev := range events {
+		if fr == nil {
+			if ev.kind == evOpenErr {
+				return ev.err
+			}
+			fr = &FileReport{File: name}
+			ing.rep.Files = append(ing.rep.Files, fr)
+		}
+		switch ev.kind {
+		case evGzipBad:
+			ing.rep.RetriedReads += ev.retried
+			ing.countRecord(fr)
+			fr.Aborted = true
+			fr.Err = ev.errStr
+			return ing.quarantine(ctx, fr, 0, KindTruncatedFrame, errors.New(ev.errStr), nil)
+		case evEOF:
+			ing.rep.RetriedReads += ev.retried
+			return resilience.Checkpoint(ctx, SiteRecordRead)
+		case evRecord:
+			if err := resilience.Checkpoint(ctx, SiteRecordRead); err != nil {
+				return err
+			}
+			ing.countRecord(fr)
+			if err := ing.record(ctx, fr, ev.index, ev.path, ev.frame); err != nil {
+				return err
+			}
+		case evBad:
+			if err := resilience.Checkpoint(ctx, SiteRecordRead); err != nil {
+				return err
+			}
+			ing.countRecord(fr)
+			if err := ing.quarantine(ctx, fr, ev.index, ev.badKind, errors.New(ev.errStr), ev.frame); err != nil {
+				return err
+			}
+		case evAbort:
+			ing.rep.RetriedReads += ev.retried
+			if err := resilience.Checkpoint(ctx, SiteRecordRead); err != nil {
+				return err
+			}
+			ing.countRecord(fr)
+			fr.Aborted = true
+			fr.Err = ev.errStr
+			return ing.quarantine(ctx, fr, ev.index, ev.badKind, errors.New(ev.errStr), ev.frame)
+		case evFatal:
+			ing.rep.RetriedReads += ev.retried
+			if err := resilience.Checkpoint(ctx, SiteRecordRead); err != nil {
+				return err
+			}
+			return ev.err
+		}
+	}
+	// The worker exited without a terminal event: only cancellation
+	// does that, and the context error is what the serial reader's
+	// next checkpoint would have surfaced.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("ingest: %s: event stream ended without a terminal event", name)
+}

@@ -1,0 +1,275 @@
+package ingest
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+	"breval/internal/resilience"
+	"breval/internal/wire"
+)
+
+// mixedFixtureFiles builds a hostile multi-file corpus whose files
+// finish parsing in a very different order than they are argued:
+// a large clean file first, then tiny files carrying every damage
+// class the serial reader distinguishes — semantic damage, cross-file
+// duplicates, a gzip wrapper, and a desynchronizing truncation.
+func mixedFixtureFiles(t *testing.T) []string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name string, data []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// File 0: 4000 distinct valid records — by far the slowest parse,
+	// so every later file completes first and parks in its window.
+	// (The origin range starts above AS_TRANS and the documentation
+	// blocks so every record is admissible.)
+	var big bytes.Buffer
+	rw := wire.NewRIBWriter(&big, 1)
+	for i := 0; i < 4000; i++ {
+		p := asgraph.Path{asn.ASN(100000 + i), 3356, 174}
+		if err := rw.Write(wire.RIBEntry{Prefix: wire.PrefixForAS(p.Origin()), Path: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// File 1: semantic damage — an empty path and a reserved ASN
+	// between valid records, plus a duplicate of a file-0 record (the
+	// cross-file dedupe must see file 0 first even when this file
+	// finishes long before it).
+	small, _ := writeDump(t, fixturePaths())
+	var evil []byte
+	evil = append(evil, small...)
+	evil = append(evil, mkFrame(0, 13, 2, []byte{24, 10, 0, 1, 0})...) // empty path
+	reserved := []byte{24, 10, 0, 2, 1}
+	reserved = binary.BigEndian.AppendUint32(reserved, uint32(asn.Max))
+	evil = append(evil, mkFrame(0, 13, 2, reserved)...)
+	var dup bytes.Buffer
+	dw := wire.NewRIBWriter(&dup, 99) // different timestamp, same body identity
+	dupPath := asgraph.Path{100000, 3356, 174}
+	if err := dw.Write(wire.RIBEntry{
+		Prefix: wire.PrefixForAS(dupPath.Origin()),
+		Path:   dupPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evil = append(evil, dup.Bytes()...)
+
+	// File 2: gzip-wrapped valid records.
+	more, _ := writeDump(t, []asgraph.Path{
+		{30001, 6939, 2914},
+		{30002, 1299, 701},
+	})
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if _, err := zw.Write(more); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// File 3: truncated mid-record — a desync that abandons its tail
+	// but must not stop file 4 from ingesting.
+	cut, bounds := writeDump(t, []asgraph.Path{
+		{40001, 3257},
+		{40002, 3257, 2914},
+	})
+
+	// File 4: a last clean file after the desync.
+	tail, _ := writeDump(t, []asgraph.Path{{50001, 174, 1299}})
+
+	return []string{
+		write("0-big.rib", big.Bytes()),
+		write("1-evil.rib", evil),
+		write("2-wrapped.rib.gz", zbuf.Bytes()),
+		write("3-cut.rib", cut[:bounds[1]+7]),
+		write("4-tail.rib", tail),
+	}
+}
+
+// runIngest streams files with opts into one path set and a ledger
+// file, returning the report, the canonical output bytes, the ledger
+// bytes, and the Stream error.
+func runIngest(t *testing.T, opts Options, files []string) (*Report, []byte, []byte, error) {
+	t.Helper()
+	opts.QuarantineFile = filepath.Join(t.TempDir(), "quarantine.jsonl")
+	total := bgp.NewPathSet(64, 64*5)
+	rep, err := Stream(context.Background(), opts, files, func(blk *bgp.PathSet) error {
+		total.AppendSet(blk)
+		return nil
+	})
+	ledger, rerr := os.ReadFile(opts.QuarantineFile)
+	if rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+		t.Fatal(rerr)
+	}
+	return rep, pathsBytes(t, total), ledger, err
+}
+
+// reportJSON canonicalizes a report for byte comparison.
+func reportJSON(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestParallelMatchesSerial is the parallel reader's core claim: for
+// any worker count and any block size, a parallel ingest of a hostile
+// multi-file corpus is byte-identical to the serial one — the output
+// path set, the full report (counters, per-file outcomes, desyncs) and
+// every quarantine ledger line.
+func TestParallelMatchesSerial(t *testing.T) {
+	files := mixedFixtureFiles(t)
+	repS, pathsS, ledgerS, errS := runIngest(t, Options{}, files)
+	if errS != nil {
+		t.Fatal(errS)
+	}
+	checkInvariant(t, repS)
+	if repS.Desyncs != 1 || repS.Bad[KindDuplicate] == 0 {
+		t.Fatalf("fixture lost its damage classes: %+v", repS)
+	}
+
+	for _, workers := range []int{2, 3, 5, 16} {
+		for _, block := range []int{0, 1, 7} {
+			rep, paths, ledger, err := runIngest(t,
+				Options{FileWorkers: workers, BlockPaths: block}, files)
+			if err != nil {
+				t.Fatalf("workers=%d block=%d: %v", workers, block, err)
+			}
+			checkInvariant(t, rep)
+			if !bytes.Equal(paths, pathsS) {
+				t.Errorf("workers=%d block=%d: path set differs from serial", workers, block)
+			}
+			if got, want := reportJSON(t, rep), reportJSON(t, repS); !bytes.Equal(got, want) {
+				t.Errorf("workers=%d block=%d: report differs:\n got %s\nwant %s", workers, block, got, want)
+			}
+			if !bytes.Equal(ledger, ledgerS) {
+				t.Errorf("workers=%d block=%d: quarantine ledger differs from serial", workers, block)
+			}
+		}
+	}
+}
+
+// TestParallelShuffledCompletionOrder forces completion orders serial
+// argument order never sees — the file list reversed and rotated so
+// the merge cursor's file is routinely the last to start parsing —
+// and checks each permutation against its own serial run.
+func TestParallelShuffledCompletionOrder(t *testing.T) {
+	base := mixedFixtureFiles(t)
+	perms := [][]string{
+		{base[4], base[3], base[2], base[1], base[0]},
+		{base[2], base[0], base[4], base[1], base[3]},
+		{base[1], base[2], base[3], base[4], base[0]},
+	}
+	for i, files := range perms {
+		repS, pathsS, ledgerS, errS := runIngest(t, Options{}, files)
+		if errS != nil {
+			t.Fatalf("perm %d serial: %v", i, errS)
+		}
+		rep, paths, ledger, err := runIngest(t, Options{FileWorkers: 4}, files)
+		if err != nil {
+			t.Fatalf("perm %d parallel: %v", i, err)
+		}
+		checkInvariant(t, rep)
+		if !bytes.Equal(paths, pathsS) || !bytes.Equal(ledger, ledgerS) ||
+			!bytes.Equal(reportJSON(t, rep), reportJSON(t, repS)) {
+			t.Errorf("perm %d: parallel ingest diverged from serial", i)
+		}
+	}
+}
+
+// TestParallelFatalStopsAtSerialPoint: a run-fatal condition (an
+// unreadable path in the middle of the list) must surface at the same
+// point with the same partial report as the serial reader, even though
+// parallel workers have already read the later files.
+func TestParallelFatalStopsAtSerialPoint(t *testing.T) {
+	files := mixedFixtureFiles(t)
+	badDir := filepath.Join(t.TempDir(), "not-a-file")
+	if err := os.Mkdir(badDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	withBad := []string{files[0], files[1], badDir, files[2], files[4]}
+
+	repS, pathsS, _, errS := runIngest(t, Options{}, withBad)
+	if errS == nil {
+		t.Fatal("serial: reading a directory succeeded")
+	}
+	rep, paths, _, err := runIngest(t, Options{FileWorkers: 4}, withBad)
+	if err == nil {
+		t.Fatal("parallel: reading a directory succeeded")
+	}
+	if err.Error() != errS.Error() {
+		t.Errorf("errors differ:\n got %v\nwant %v", err, errS)
+	}
+	if !bytes.Equal(reportJSON(t, rep), reportJSON(t, repS)) || !bytes.Equal(paths, pathsS) {
+		t.Error("partial state at the fatal point differs from serial")
+	}
+	// Opening a directory succeeds on Linux; the EISDIR surfaces on the
+	// first read, so the bad entry gets a FileReport — but the files
+	// after it, which parallel workers have fully parsed, must not.
+	if len(rep.Files) != 3 {
+		t.Errorf("files after the fatal one leaked into the report: %d reports", len(rep.Files))
+	}
+}
+
+// TestParallelInjectedFaultDeterminism: a fault injected at the
+// ingest.record.read site fires at the same global record ordinal in
+// parallel mode as in serial mode — workers never touch the site, the
+// ordered replay does — so chaos storms see one deterministic ingest
+// regardless of worker count.
+func TestParallelInjectedFaultDeterminism(t *testing.T) {
+	files := mixedFixtureFiles(t)
+	boom := errors.New("injected record fault")
+	run := func(workers int) (*Report, []byte, error) {
+		// Hit 4005 is mid-file-1: file 0 accounts for 4001 site hits
+		// (4000 records plus the EOF read), so the fault lands while
+		// later files' workers are already done parsing.
+		resilience.InjectAt(SiteRecordRead, resilience.Fault{
+			Kind: resilience.KindError, Err: boom, After: 4004, Times: 1,
+		})
+		defer resilience.ClearFaults()
+		total := bgp.NewPathSet(64, 64*5)
+		rep, err := Stream(context.Background(), Options{FileWorkers: workers}, files,
+			func(blk *bgp.PathSet) error {
+				total.AppendSet(blk)
+				return nil
+			})
+		return rep, pathsBytes(t, total), err
+	}
+
+	repS, pathsS, errS := run(0)
+	if !errors.Is(errS, boom) {
+		t.Fatalf("serial: err=%v, want the injected fault", errS)
+	}
+	for _, workers := range []int{2, 4} {
+		rep, paths, err := run(workers)
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err=%v, want the injected fault", workers, err)
+		}
+		if !bytes.Equal(reportJSON(t, rep), reportJSON(t, repS)) || !bytes.Equal(paths, pathsS) {
+			t.Errorf("workers=%d: fault-point state differs from serial", workers)
+		}
+	}
+}

@@ -139,6 +139,15 @@ func (t *Table) Densify(ps PathSource) *DensePaths {
 // Len returns the number of paths.
 func (d *DensePaths) Len() int { return len(d.offs) - 1 }
 
+// NumHops returns the total size of the packed hop column.
+func (d *DensePaths) NumHops() int { return len(d.hops) }
+
+// HopSpan returns the number of packed hops covered by paths
+// [lo, hi), letting sharded scans presize per-shard buffers exactly.
+func (d *DensePaths) HopSpan(lo, hi int) int {
+	return int(d.offs[hi] - d.offs[lo])
+}
+
 // Hops returns path i's packed hops; decode with DecodeHop.
 func (d *DensePaths) Hops(i int) []uint32 { return d.hops[d.offs[i]:d.offs[i+1]] }
 

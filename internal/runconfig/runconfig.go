@@ -89,9 +89,13 @@ type Config struct {
 	// Operational fields: how to execute. Never hashed. Timeout bounds
 	// the whole run (the server clamps it to its own request ceiling),
 	// StageTimeout each pipeline stage and experiment renderer.
-	Timeout      Duration `json:"timeout,omitempty"`
-	StageTimeout Duration `json:"stage_timeout,omitempty"`
-	StageRetries int      `json:"stage_retries,omitempty"`
+	// IngestFileWorkers reads that many RIB dump files concurrently
+	// (0 or 1 = serial); the parallel reader's ordered merge keeps the
+	// output byte-identical, which is why the knob is operational.
+	Timeout           Duration `json:"timeout,omitempty"`
+	StageTimeout      Duration `json:"stage_timeout,omitempty"`
+	StageRetries      int      `json:"stage_retries,omitempty"`
+	IngestFileWorkers int      `json:"ingest_file_workers,omitempty"`
 
 	// Host-controlled operational fields, set by CLI flags or server
 	// startup configuration only — never by a JSON request.
@@ -144,6 +148,7 @@ func (c *Config) RegisterFlags(fs *flag.FlagSet) {
 	fs.Var(csvFlag{&c.RIBIn}, "rib-in", "comma-separated MRT RIB dump files (plain or gzip) ingested as the path source instead of simulating propagation")
 	fs.Float64Var(&c.IngestMaxBadFrac, "ingest-max-bad-frac", c.IngestMaxBadFrac, "ingest error budget: fraction of RIB records allowed to be quarantined before the run degrades to partial (exit 3)")
 	fs.StringVar(&c.QuarantineFile, "ingest-quarantine", c.QuarantineFile, "quarantine ledger file for damaged RIB records (JSON lines; created only when something is quarantined)")
+	fs.IntVar(&c.IngestFileWorkers, "ingest-file-workers", c.IngestFileWorkers, "RIB dump files read concurrently (0 or 1 = serial; output is byte-identical either way)")
 	fs.Var(durationFlag{&c.Timeout}, "timeout", "deadline for the whole run (0 = none)")
 	fs.Var(durationFlag{&c.StageTimeout}, "experiment-timeout", "deadline per pipeline stage and per experiment renderer (0 = none)")
 	fs.IntVar(&c.StageRetries, "stage-retries", c.StageRetries, "re-attempts for failed retryable stages")
@@ -252,7 +257,10 @@ func (c Config) Validate() error {
 	if c.IngestMaxBadFrac < 0 || c.IngestMaxBadFrac > 1 {
 		return fmt.Errorf("-ingest-max-bad-frac must be in [0,1] (got %g)", c.IngestMaxBadFrac)
 	}
-	if len(c.RIBIn) == 0 && (c.IngestMaxBadFrac != 0 || c.QuarantineFile != "") {
+	if c.IngestFileWorkers < 0 {
+		return fmt.Errorf("-ingest-file-workers must be non-negative (got %d)", c.IngestFileWorkers)
+	}
+	if len(c.RIBIn) == 0 && (c.IngestMaxBadFrac != 0 || c.QuarantineFile != "" || c.IngestFileWorkers != 0) {
 		return fmt.Errorf("ingest settings require -rib-in")
 	}
 	if c.MemSoftMB < 0 || c.MemHardMB < 0 {
@@ -317,6 +325,7 @@ func (c Config) Scenario() core.Scenario {
 		s.RIBDigest = c.RIBDigest
 		s.IngestMaxBadFrac = c.IngestMaxBadFrac
 		s.IngestQuarantineFile = c.QuarantineFile
+		s.IngestFileWorkers = c.IngestFileWorkers
 	}
 	return s
 }

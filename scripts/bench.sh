@@ -26,8 +26,12 @@
 # propagation, feature extraction, every inference algorithm, and —
 # when recorded — the xl streaming pipeline) must
 # not regress by more than MAX_REGRESS_PCT percent ns/op (default 15),
-# or the script exits non-zero. This is the regression gate future perf
-# changes are measured against:
+# or the script exits non-zero. Benchmarks that record a peakRSS_MB
+# metric in both documents (the xl tier does) are additionally gated on
+# memory: peak RSS growing past the same threshold fails the gate too,
+# so a speedup paid for with an unbounded envelope cannot land
+# silently. This is the regression gate future perf changes are
+# measured against:
 #
 #	scripts/bench.sh -against BENCH_2026-08-06.json 'RoutePropagation|FeatureExtraction|Inference' 2x
 #
@@ -131,7 +135,7 @@ echo "bench: wrote $out ($(grep -c '"name"' "$out") benchmarks)" >&2
 # Regression gate: compare ns/op of the gate benchmarks against the
 # baseline. Both files use the schema written above (one benchmark
 # object per line), so a line-oriented awk parse suffices.
-echo "== comparing against $against (max +${MAX_REGRESS_PCT:-15}% ns/op)" >&2
+echo "== comparing against $against (max +${MAX_REGRESS_PCT:-15}% ns/op and peakRSS_MB)" >&2
 awk -v max_pct="${MAX_REGRESS_PCT:-15}" '
 function val(line, key,    s) {
 	s = line
@@ -143,13 +147,21 @@ function val(line, key,    s) {
 /"name": "Benchmark/ {
 	name = val($0, "name")
 	ns = val($0, "ns_per_op")
+	rss = val($0, "peakRSS_MB")
 	if (name == "" || ns == "") next
 	if (name !~ /^Benchmark(RoutePropagation|FeatureExtraction|Inference|XL)/) next
-	if (NR == FNR) { base[name] = ns; next }
+	if (NR == FNR) { base[name] = ns; base_rss[name] = rss; next }
 	if (!(name in base)) { printf "  %-32s new (no baseline)\n", name; next }
 	pct = (ns / base[name] - 1) * 100
 	printf "  %-32s %14.0f -> %14.0f ns/op  %+6.1f%%\n", name, base[name], ns, pct
 	if (pct > max_pct) { bad = bad name " "; failed = 1 }
+	# The memory envelope gates alongside speed wherever both documents
+	# recorded it (the xl tier always does).
+	if (rss != "" && base_rss[name] != "") {
+		rpct = (rss / base_rss[name] - 1) * 100
+		printf "  %-32s %14.0f -> %14.0f peakRSS_MB  %+6.1f%%\n", name, base_rss[name], rss, rpct
+		if (rpct > max_pct) { bad = bad name "(peakRSS) "; failed = 1 }
+	}
 }
 END {
 	if (NR == FNR) exit 0

@@ -109,8 +109,10 @@ if [ "${CHECK_INGEST:-0}" = "1" ]; then
 	go build -o "$SMOKE/ribflip" ./cmd/ribflip
 	"$SMOKE/breval" -ases 600 -only clean -algos ASRank \
 		-rib-out "$SMOKE/clean.rib" >/dev/null 2>&1
+	# ribflip reports its summary on stderr (stdout is reserved for a
+	# future pipe mode).
 	flip=$("$SMOKE/ribflip" -in "$SMOKE/clean.rib" -out "$SMOKE/damaged.rib" \
-		-complement "$SMOKE/pruned.rib" -every 10)
+		-complement "$SMOKE/pruned.rib" -every 10 2>&1)
 	damaged=${flip##*damaged=}
 	set +e
 	"$SMOKE/breval" -ases 600 -only clean -algos ASRank \
@@ -139,6 +141,71 @@ if [ "${CHECK_INGEST:-0}" = "1" ]; then
 	}
 	cmp "$SMOKE/damaged.txt" "$SMOKE/pruned.txt" || {
 		echo "ingest smoke: experiment output differs from clean-minus-quarantined run" >&2
+		exit 1
+	}
+
+	echo "== ingest multi-file parallel smoke"
+	# Three dumps from three different worlds, the middle one damaged.
+	# The parallel reader (3 file workers) must degrade over budget with
+	# the same exit code as serial, and within budget must produce a
+	# ledger and outputs byte-identical to both the serial reader and a
+	# run over the pruned complement of the damaged file.
+	"$SMOKE/breval" -ases 600 -seed 2 -only clean -algos ASRank \
+		-rib-out "$SMOKE/clean2.rib" >/dev/null 2>&1
+	"$SMOKE/breval" -ases 600 -seed 3 -only clean -algos ASRank \
+		-rib-out "$SMOKE/clean3.rib" >/dev/null 2>&1
+	flip2=$("$SMOKE/ribflip" -in "$SMOKE/clean2.rib" -out "$SMOKE/damaged2.rib" \
+		-complement "$SMOKE/pruned2.rib" -every 10 2>&1)
+	damaged2=${flip2##*damaged=}
+	multi="$SMOKE/clean.rib,$SMOKE/damaged2.rib,$SMOKE/clean3.rib"
+	set +e
+	"$SMOKE/breval" -ases 600 -only clean -algos ASRank \
+		-rib-in "$multi" -ingest-file-workers 3 >/dev/null 2>&1
+	code=$?
+	set -e
+	if [ "$code" -ne 3 ]; then
+		echo "ingest multi smoke: over-budget parallel run exited $code, want 3" >&2
+		exit 1
+	fi
+	"$SMOKE/breval" -ases 600 -only clean -algos ASRank \
+		-rib-in "$multi" -ingest-file-workers 3 -ingest-max-bad-frac 0.5 \
+		-ingest-quarantine "$SMOKE/multi-par.jsonl" \
+		-rib-out "$SMOKE/multi-par-out.rib" 2>/dev/null >"$SMOKE/multi-par.txt"
+	"$SMOKE/breval" -ases 600 -only clean -algos ASRank \
+		-rib-in "$multi" -ingest-max-bad-frac 0.5 \
+		-ingest-quarantine "$SMOKE/multi-ser.jsonl" \
+		-rib-out "$SMOKE/multi-ser-out.rib" 2>/dev/null >"$SMOKE/multi-ser.txt"
+	cmp "$SMOKE/multi-par.jsonl" "$SMOKE/multi-ser.jsonl" || {
+		echo "ingest multi smoke: parallel quarantine ledger differs from serial" >&2
+		exit 1
+	}
+	cmp "$SMOKE/multi-par-out.rib" "$SMOKE/multi-ser-out.rib" || {
+		echo "ingest multi smoke: parallel path set differs from serial" >&2
+		exit 1
+	}
+	cmp "$SMOKE/multi-par.txt" "$SMOKE/multi-ser.txt" || {
+		echo "ingest multi smoke: parallel experiment output differs from serial" >&2
+		exit 1
+	}
+	# Cross-world dumps can collide on individual records (quarantined
+	# as duplicates), so count only the flipped-record kind.
+	flips=$(grep -c '"unknown-as"' "$SMOKE/multi-par.jsonl")
+	if [ "$flips" -ne "$damaged2" ]; then
+		echo "ingest multi smoke: ledger has $flips unknown-as entries, want $damaged2" >&2
+		exit 1
+	fi
+	# Cross-world dumps collide on some records (duplicates are bad
+	# records too), so the pruned run needs the same budget.
+	"$SMOKE/breval" -ases 600 -only clean -algos ASRank \
+		-rib-in "$SMOKE/clean.rib,$SMOKE/pruned2.rib,$SMOKE/clean3.rib" \
+		-ingest-file-workers 3 -ingest-max-bad-frac 0.5 \
+		-rib-out "$SMOKE/multi-pruned-out.rib" 2>/dev/null >"$SMOKE/multi-pruned.txt"
+	cmp "$SMOKE/multi-par-out.rib" "$SMOKE/multi-pruned-out.rib" || {
+		echo "ingest multi smoke: damaged-within-budget path set differs from pruned complement" >&2
+		exit 1
+	}
+	cmp "$SMOKE/multi-par.txt" "$SMOKE/multi-pruned.txt" || {
+		echo "ingest multi smoke: experiment output differs from pruned-complement run" >&2
 		exit 1
 	}
 fi

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	brevald [-addr HOST:PORT] [-data-dir DIR] [-max-runs N]
-//	        [-cache-max-mb N] [-request-timeout D] [-drain-timeout D]
+//	        [-cache-max-mb N] [-client-rps R] [-client-burst N]
+//	        [-request-timeout D] [-drain-timeout D]
 //	        [-mem-soft-mb N] [-mem-hard-mb N] [-stall-timeout D]
 //	        [-metrics-out FILE] [-kill-after NAME] [-version]
 //
@@ -14,6 +15,7 @@
 //
 //	POST /run      — execute a run described by a JSON runconfig;
 //	                 responds 200 with the rendered output, 429 when
+//	                 the caller's -client-rps budget is spent or when
 //	                 admission or the memory governor sheds the
 //	                 request (Retry-After set), 504 with the partial
 //	                 stage report when the deadline expires, 400 on a
@@ -93,6 +95,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	dataDir := fs.String("data-dir", "", "checkpoint/cache root; empty disables the durable result cache")
 	cacheMaxMB := fs.Int64("cache-max-mb", 0, "total size budget for the store cache under -data-dir in MiB; least-recently-used stores are evicted at startup and after each run (0 = unbounded)")
 	maxRuns := fs.Int("max-runs", 2, "maximum concurrently admitted runs; excess requests get 429")
+	clientRPS := fs.Float64("client-rps", 0, "per-client /run rate limit in requests per second, keyed by X-Client-Id or remote address; excess requests get 429 before admission (0 = off)")
+	clientBurst := fs.Int("client-burst", 5, "per-client burst allowance above -client-rps (token-bucket capacity)")
 	reqTimeout := fs.Duration("request-timeout", 15*time.Minute, "server-side ceiling on a run's deadline (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight runs before force-cancelling and exiting 9")
 	memSoftMB := fs.Int64("mem-soft-mb", 0, "soft memory watermark in MiB shared across all runs (0 = off)")
@@ -114,6 +118,10 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	if *memSoftMB < 0 || *memHardMB < 0 {
 		fmt.Fprintln(stderr, "brevald: memory watermarks must be non-negative")
+		return exitFatal
+	}
+	if *clientRPS < 0 || *clientBurst < 0 {
+		fmt.Fprintln(stderr, "brevald: -client-rps and -client-burst must be non-negative")
 		return exitFatal
 	}
 	if *cacheMaxMB < 0 {
@@ -152,6 +160,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		maxRuns:        *maxRuns,
 		requestTimeout: *reqTimeout,
 		cacheMaxBytes:  *cacheMaxMB << 20,
+		clientRPS:      *clientRPS,
+		clientBurst:    *clientBurst,
 		govern:         gcfg,
 	})
 

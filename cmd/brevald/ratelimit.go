@@ -1,0 +1,127 @@
+package main
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Per-client rate limiting sits in front of the global admission
+// semaphore: admission bounds how much work the server does in total,
+// while the per-client token buckets bound how much of that capacity
+// any one caller can claim. Without them a single retry-looping client
+// consumes every admission slot and the 429s it provokes starve the
+// well-behaved callers behind it.
+
+// maxRateBuckets bounds the bucket map so an attacker rotating client
+// identities cannot grow server memory without bound. When full, the
+// stalest bucket (oldest refill time) is evicted — a stale bucket is
+// one that has had the longest time to refill, so evicting it forgives
+// the least debt.
+const maxRateBuckets = 4096
+
+// rateBucket is one client's token bucket. Tokens refill continuously
+// at the limiter's rate up to burst; each admitted request spends one.
+type rateBucket struct {
+	tokens float64
+	last   time.Time // when tokens was last brought current
+}
+
+// rateLimiter is a mutex-guarded token-bucket table keyed by client
+// identity. The clock is injectable so tests can drive refill
+// deterministically.
+type rateLimiter struct {
+	rps   float64 // tokens added per second
+	burst float64 // bucket capacity (also a new client's opening balance)
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*rateBucket
+}
+
+func newRateLimiter(rps float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rps:     rps,
+		burst:   float64(burst),
+		now:     time.Now,
+		buckets: make(map[string]*rateBucket),
+	}
+}
+
+// allow spends one token from key's bucket. When the bucket is empty
+// it refuses and returns the whole-second wait after which one token
+// will have refilled — the Retry-After hint (at least 1, capped at 60
+// like the admission path's hint).
+func (rl *rateLimiter) allow(key string) (ok bool, retryAfter int) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	now := rl.now()
+	b := rl.buckets[key]
+	if b == nil {
+		rl.evictLocked()
+		b = &rateBucket{tokens: rl.burst, last: now}
+		rl.buckets[key] = b
+	} else {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens = math.Min(rl.burst, b.tokens+dt*rl.rps)
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	secs := int(math.Ceil((1 - b.tokens) / rl.rps))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return false, secs
+}
+
+// evictLocked makes room for one new bucket when the table is full by
+// dropping the bucket with the oldest refill time.
+func (rl *rateLimiter) evictLocked() {
+	if len(rl.buckets) < maxRateBuckets {
+		return
+	}
+	var oldestKey string
+	var oldest time.Time
+	first := true
+	for k, b := range rl.buckets {
+		if first || b.last.Before(oldest) {
+			oldestKey, oldest, first = k, b.last, false
+		}
+	}
+	delete(rl.buckets, oldestKey)
+}
+
+// size reports the live bucket count (the /metrics gauge).
+func (rl *rateLimiter) size() int {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return len(rl.buckets)
+}
+
+// clientKey identifies the caller for rate-limiting purposes: the
+// X-Client-Id header when present (lets callers behind one proxy be
+// told apart, and cooperating fleets share a budget), otherwise the
+// remote address with the ephemeral port stripped so one host's
+// connections share a bucket.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-Id"); id != "" {
+		return "id:" + id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return "addr:" + r.RemoteAddr
+	}
+	return "addr:" + host
+}

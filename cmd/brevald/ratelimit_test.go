@@ -1,0 +1,190 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a rateLimiter deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestLimiter(rps float64, burst int) (*rateLimiter, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	rl := newRateLimiter(rps, burst)
+	rl.now = clk.now
+	return rl, clk
+}
+
+func TestRateLimiterBurstThenRefuse(t *testing.T) {
+	rl, _ := newTestLimiter(1, 3)
+	for i := 0; i < 3; i++ {
+		if ok, _ := rl.allow("a"); !ok {
+			t.Fatalf("request %d within burst refused", i)
+		}
+	}
+	ok, retry := rl.allow("a")
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	if retry < 1 {
+		t.Fatalf("retry hint %d, want >= 1", retry)
+	}
+}
+
+func TestRateLimiterRefills(t *testing.T) {
+	rl, clk := newTestLimiter(2, 1) // 2 tokens/sec, capacity 1
+	if ok, _ := rl.allow("a"); !ok {
+		t.Fatal("first request refused")
+	}
+	if ok, _ := rl.allow("a"); ok {
+		t.Fatal("empty bucket admitted")
+	}
+	clk.advance(500 * time.Millisecond) // refills exactly one token
+	if ok, _ := rl.allow("a"); !ok {
+		t.Fatal("request after refill refused")
+	}
+	// Refill never exceeds capacity: a long idle stretch buys one
+	// token, not an unbounded backlog.
+	clk.advance(time.Hour)
+	if ok, _ := rl.allow("a"); !ok {
+		t.Fatal("request after idle refused")
+	}
+	if ok, _ := rl.allow("a"); ok {
+		t.Fatal("idle time accumulated beyond burst capacity")
+	}
+}
+
+func TestRateLimiterKeysAreIndependent(t *testing.T) {
+	rl, _ := newTestLimiter(1, 1)
+	if ok, _ := rl.allow("a"); !ok {
+		t.Fatal("first client refused")
+	}
+	if ok, _ := rl.allow("a"); ok {
+		t.Fatal("exhausted client admitted")
+	}
+	if ok, _ := rl.allow("b"); !ok {
+		t.Fatal("fresh client penalized for another's spend")
+	}
+}
+
+func TestRateLimiterRetryAfterScalesWithRate(t *testing.T) {
+	rl, _ := newTestLimiter(0.1, 1) // one token every 10s
+	rl.allow("a")
+	_, retry := rl.allow("a")
+	if retry != 10 {
+		t.Fatalf("retry hint %d, want 10", retry)
+	}
+	slow, _ := newTestLimiter(0.001, 1) // one token every 1000s: capped
+	slow.allow("a")
+	_, retry = slow.allow("a")
+	if retry != 60 {
+		t.Fatalf("retry hint %d, want capped at 60", retry)
+	}
+}
+
+func TestRateLimiterEviction(t *testing.T) {
+	rl, clk := newTestLimiter(1, 1)
+	// Fill the table; key 0 is stalest after the loop advances time.
+	for i := 0; i < maxRateBuckets; i++ {
+		rl.allow(fmt.Sprintf("k%d", i))
+		clk.advance(time.Millisecond)
+	}
+	if got := rl.size(); got != maxRateBuckets {
+		t.Fatalf("bucket count %d, want %d", got, maxRateBuckets)
+	}
+	rl.allow("newcomer")
+	if got := rl.size(); got != maxRateBuckets {
+		t.Fatalf("bucket count after eviction %d, want %d", got, maxRateBuckets)
+	}
+	rl.mu.Lock()
+	_, stalest := rl.buckets["k0"]
+	_, fresh := rl.buckets["newcomer"]
+	rl.mu.Unlock()
+	if stalest {
+		t.Fatal("stalest bucket survived eviction")
+	}
+	if !fresh {
+		t.Fatal("newcomer bucket missing after eviction")
+	}
+}
+
+// TestClientRateLimit429 exercises the full handler path: a client
+// that spends its burst gets 429 with a Retry-After header before the
+// request body is even parsed, a different client is untouched, and
+// the refusals are counted.
+func TestClientRateLimit429(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{maxRuns: 2, clientRPS: 1, clientBurst: 2})
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	s.rl.now = clk.now
+
+	post := func(client string) *http.Response {
+		t.Helper()
+		// A deliberately bad body: the limiter must act before parsing,
+		// so these cost a token but never run the pipeline.
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/run", nil)
+		req.Header.Set("X-Client-Id", client)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("POST /run: %v", err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	for i := 0; i < 2; i++ {
+		if resp := post("hog"); resp.StatusCode == http.StatusTooManyRequests {
+			t.Fatalf("request %d within burst got 429", i)
+		}
+	}
+	resp := post("hog")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("request beyond burst: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without a Retry-After header")
+	}
+	if resp := post("polite"); resp.StatusCode == http.StatusTooManyRequests {
+		t.Error("fresh client rate-limited by another's spend")
+	}
+	clk.advance(time.Second) // one token refills for the hog
+	if resp := post("hog"); resp.StatusCode == http.StatusTooManyRequests {
+		t.Error("request after refill still 429")
+	}
+
+	doc := s.col.Export()
+	if got := doc.Counters["server.rate_limited"]; got != 1 {
+		t.Errorf("server.rate_limited = %d, want 1", got)
+	}
+}
+
+func TestClientKey(t *testing.T) {
+	req := func(remote, id string) *http.Request {
+		r, _ := http.NewRequest(http.MethodPost, "/run", nil)
+		r.RemoteAddr = remote
+		if id != "" {
+			r.Header.Set("X-Client-Id", id)
+		}
+		return r
+	}
+	cases := []struct {
+		r    *http.Request
+		want string
+	}{
+		{req("10.0.0.1:51234", ""), "addr:10.0.0.1"},
+		{req("10.0.0.1:51235", ""), "addr:10.0.0.1"}, // port stripped: one host, one bucket
+		{req("[::1]:8080", ""), "addr:::1"},
+		{req("nonsense", ""), "addr:nonsense"},
+		{req("10.0.0.1:51234", "fleet-7"), "id:fleet-7"}, // header wins over address
+	}
+	for _, c := range cases {
+		if got := clientKey(c.r); got != c.want {
+			t.Errorf("clientKey(%q, id=%q) = %q, want %q",
+				c.r.RemoteAddr, c.r.Header.Get("X-Client-Id"), got, c.want)
+		}
+	}
+}

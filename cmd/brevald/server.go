@@ -35,7 +35,9 @@ type serverConfig struct {
 	dataDir        string
 	maxRuns        int
 	requestTimeout time.Duration
-	cacheMaxBytes  int64 // store-cache size budget; 0 = unbounded
+	cacheMaxBytes  int64   // store-cache size budget; 0 = unbounded
+	clientRPS      float64 // per-client token refill rate; 0 disables
+	clientBurst    int     // per-client bucket capacity
 	govern         govern.Config
 }
 
@@ -60,6 +62,9 @@ type server struct {
 	// col is the server-lifetime metrics aggregate; per-request
 	// collectors fold into it at request end (see obs.Collector.Fold).
 	col *obs.Collector
+	// rl is the per-client token-bucket table in front of admission;
+	// nil when -client-rps is 0 (disabled).
+	rl *rateLimiter
 
 	// baseCtx outlives any single request, so a coalesced run is never
 	// killed by its leader's client disconnecting; cancelRuns fires it
@@ -170,6 +175,9 @@ func newServer(cfg serverConfig) *server {
 		flights:    make(map[string]*flight),
 		stores:     make(map[string]int),
 	}
+	if cfg.clientRPS > 0 {
+		s.rl = newRateLimiter(cfg.clientRPS, cfg.clientBurst)
+	}
 	// Startup sweep: recover a bounded cache footprint left by any
 	// previous life of the daemon before admitting work.
 	s.sweepCache()
@@ -226,6 +234,9 @@ func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.col.SetGauge("server.admitted_in_use", float64(s.admit.InUse()))
 	s.col.SetGauge("server.worker_limit", float64(s.gov.Limiter().Limit()))
+	if s.rl != nil {
+		s.col.SetGauge("server.rate_buckets", float64(s.rl.size()))
+	}
 	doc := s.col.Export()
 	w.Header().Set("Content-Type", "application/json")
 	doc.WriteJSON(w)
@@ -244,6 +255,21 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.col.Add("server.requests", 1)
+	// Per-client limit first: it is the cheapest check and refusing
+	// here keeps one hot client from even parsing its way toward the
+	// shared cache, coalescing, and admission machinery.
+	if s.rl != nil {
+		if ok, retry := s.rl.allow(clientKey(r)); !ok {
+			s.col.Add("server.rate_limited", 1)
+			s.writeResult(w, &runResult{
+				code:       http.StatusTooManyRequests,
+				retryAfter: retry,
+				resp: runResponse{Error: fmt.Sprintf(
+					"client rate limit exceeded (retry-after: %ds)", retry)},
+			})
+			return
+		}
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))

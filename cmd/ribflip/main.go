@@ -1,17 +1,20 @@
 // Command ribflip deterministically damages an MRT RIB dump for
-// ingestion testing. It rewrites every Nth record of a clean dump in
-// a way internal/ingest must quarantine, and can emit the complement
-// dump — the clean stream minus exactly those records — alongside.
-// A run over the damaged dump (with budget headroom) and a run over
-// the complement must then produce byte-identical outputs; the
-// CHECK_INGEST smoke in scripts/check.sh asserts exactly that.
+// ingestion testing, and converts the repo's internal framing into
+// real RFC 6396 TABLE_DUMP_V2 so the drills cover both formats. It
+// rewrites every Nth record of a clean dump in a way internal/ingest
+// must quarantine, and can emit the complement dump — the clean stream
+// minus exactly those records — alongside. A run over the damaged dump
+// (with budget headroom) and a run over the complement must then
+// produce byte-identical outputs; the CHECK_INGEST smoke in
+// scripts/check.sh asserts exactly that.
 //
 // Usage:
 //
 //	ribflip -in clean.rib -out damaged.rib [-complement pruned.rib]
-//	        [-every N] [-mode unknown-as|type]
+//	        [-every N] [-mode unknown-as|type|attr-flags|attr-len|peer-index]
+//	ribflip -in clean.rib -out clean.v2.rib -to-v2
 //
-// Modes:
+// Modes over internal framing:
 //
 //	unknown-as (default) — overwrite the record's first AS-path hop
 //	  with 0xFFFFFFFF (a reserved ASN), which ingest quarantines as
@@ -22,15 +25,33 @@
 //	  which ingest quarantines under the in-frame damage kind
 //	  ("bad-path"). The stream stays in sync.
 //
+// Modes over TABLE_DUMP_V2:
+//
+//	attr-flags — flip the extended-length bit on the entry's first
+//	  path attribute, so its length field is reinterpreted and the TLV
+//	  walk overruns ("bad-attribute", in sync).
+//	attr-len — overwrite the first attribute's length with 0xFF so the
+//	  value overruns the attribute block ("bad-attribute", in sync).
+//	peer-index — increment the PEER_INDEX_TABLE's peer count so the
+//	  table walks past its body. The whole file desynchronizes
+//	  ("bad-peer-index"), so -every is ignored and the complement
+//	  keeps the intact table.
+//
+// -to-v2 converts a clean internal dump into TABLE_DUMP_V2 (one peer
+// per vantage point, one single-entry RIB record per path, community
+// attributes attached), which is how the v2 fixtures for the modes
+// above are made in the first place.
+//
 // The record count and damaged count are printed to stderr as
 // "total=N damaged=M" for scripts to parse, keeping stdout free for a
 // future pipe mode (`-out -`). Input must be a plain (not
-// gzip-compressed) dump.
+// gzip-compressed) dump; -mode picks the input format implicitly.
 package main
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -46,13 +67,18 @@ func main() {
 	}
 }
 
+// v2Modes maps each TABLE_DUMP_V2 damage mode to true; the remaining
+// modes operate on internal framing.
+var v2Modes = map[string]bool{"attr-flags": true, "attr-len": true, "peer-index": true}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("ribflip", flag.ContinueOnError)
 	in := fs.String("in", "", "clean input RIB dump (required)")
-	out := fs.String("out", "", "damaged output dump (required)")
+	out := fs.String("out", "", "damaged (or converted) output dump (required)")
 	comp := fs.String("complement", "", "optional output dump holding the clean stream minus the damaged records")
 	every := fs.Int("every", 10, "damage every Nth record (records 0, N, 2N, ...)")
-	mode := fs.String("mode", "unknown-as", "damage mode: unknown-as or type")
+	mode := fs.String("mode", "unknown-as", "damage mode: unknown-as, type, attr-flags, attr-len or peer-index")
+	toV2 := fs.Bool("to-v2", false, "convert the internal-framing input to RFC 6396 TABLE_DUMP_V2 instead of damaging it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,8 +88,11 @@ func run(args []string) error {
 	if *every < 1 {
 		return fmt.Errorf("-every must be >= 1 (got %d)", *every)
 	}
-	if *mode != "unknown-as" && *mode != "type" {
-		return fmt.Errorf("-mode must be unknown-as or type (got %q)", *mode)
+	if !*toV2 && *mode != "unknown-as" && *mode != "type" && !v2Modes[*mode] {
+		return fmt.Errorf("-mode must be unknown-as, type, attr-flags, attr-len or peer-index (got %q)", *mode)
+	}
+	if *toV2 && *comp != "" {
+		return fmt.Errorf("-to-v2 converts, it does not damage; -complement makes no sense")
 	}
 
 	src, err := os.Open(*in)
@@ -88,7 +117,15 @@ func run(args []string) error {
 		cw = bufio.NewWriter(cdst)
 	}
 
-	total, damaged, err := flip(src, dw, cw, *every, *mode)
+	var total, damaged int
+	switch {
+	case *toV2:
+		total, err = convert(src, dw)
+	case v2Modes[*mode]:
+		total, damaged, err = flipV2(src, dw, cw, *every, *mode)
+	default:
+		total, damaged, err = flip(src, dw, cw, *every, *mode)
+	}
 	if err == nil {
 		err = dw.Flush()
 	}
@@ -110,8 +147,20 @@ func run(args []string) error {
 	return nil
 }
 
-// flip streams records from r, damaging every Nth one into dw and
-// writing the untouched remainder to cw (when non-nil).
+// convert renders a clean internal-framing dump as TABLE_DUMP_V2.
+func convert(r io.Reader, dw *bufio.Writer) (total int, err error) {
+	ps, err := wire.ReadRIB(r)
+	if err != nil {
+		return 0, fmt.Errorf("clean input required: %w", err)
+	}
+	if err := wire.WriteTableDumpV2(dw, ps, 1); err != nil {
+		return 0, err
+	}
+	return ps.Len(), nil
+}
+
+// flip streams internal-framing records from r, damaging every Nth one
+// into dw and writing the untouched remainder to cw (when non-nil).
 func flip(r io.Reader, dw, cw *bufio.Writer, every int, mode string) (total, damaged int, err error) {
 	rr := wire.NewRIBReader(r)
 	for {
@@ -147,7 +196,8 @@ func flip(r io.Reader, dw, cw *bufio.Writer, every int, mode string) (total, dam
 	}
 }
 
-// damage mutates one full frame (header+body) in place.
+// damage mutates one full internal-framing frame (header+body) in
+// place.
 func damage(frame []byte, mode string) error {
 	switch mode {
 	case "type":
@@ -167,6 +217,145 @@ func damage(frame []byte, mode string) error {
 			return fmt.Errorf("record has no path hop to damage")
 		}
 		binary.BigEndian.PutUint32(body[hopOff:hopOff+4], 0xFFFFFFFF)
+		return nil
+	}
+	return fmt.Errorf("unknown mode %q", mode)
+}
+
+// maxV2Body mirrors the decoder's TABLE_DUMP_V2 body bound; a clean
+// fixture never approaches it.
+const maxV2Body = 1 << 20
+
+// flipV2 streams raw TABLE_DUMP_V2 frames from r, damaging every Nth
+// RIB record (or, for peer-index mode, the leading table) into dw and
+// writing the untouched remainder to cw. The complement always keeps
+// the intact peer-index table: it is infrastructure, not a record.
+func flipV2(r io.Reader, dw, cw *bufio.Writer, every int, mode string) (total, damaged int, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	for index := 0; ; index++ {
+		frame, rerr := readV2Frame(br)
+		if rerr == io.EOF {
+			if mode == "peer-index" && damaged == 0 {
+				return total, damaged, errors.New("no PEER_INDEX_TABLE to damage")
+			}
+			return total, damaged, nil
+		}
+		if rerr != nil {
+			return total, damaged, fmt.Errorf("clean input required: frame %d: %w", index, rerr)
+		}
+		typ := binary.BigEndian.Uint16(frame[4:6])
+		sub := binary.BigEndian.Uint16(frame[6:8])
+		if typ != 13 {
+			return total, damaged, fmt.Errorf("clean input required: frame %d has MRT type %d", index, typ)
+		}
+		switch sub {
+		case 1: // PEER_INDEX_TABLE
+			if mode == "peer-index" && damaged == 0 {
+				buf := append([]byte(nil), frame...)
+				if derr := damagePeerTable(buf); derr != nil {
+					return total, damaged, derr
+				}
+				damaged++
+				dw.Write(buf)
+				if cw != nil {
+					cw.Write(frame) // the complement keeps the intact table
+				}
+				continue
+			}
+			dw.Write(frame)
+			if cw != nil {
+				cw.Write(frame)
+			}
+		case 2, 4, 8, 10: // unicast RIB records (plus ADDPATH)
+			hit := mode != "peer-index" && total%every == 0
+			total++
+			if !hit {
+				dw.Write(frame)
+				if cw != nil {
+					cw.Write(frame)
+				}
+				continue
+			}
+			damaged++
+			buf := append([]byte(nil), frame...)
+			if derr := damageV2Record(buf, sub, mode); derr != nil {
+				return total, damaged, fmt.Errorf("record %d: %w", total-1, derr)
+			}
+			dw.Write(buf)
+		default:
+			return total, damaged, fmt.Errorf("clean input required: frame %d has subtype %d", index, sub)
+		}
+	}
+}
+
+// readV2Frame reads one raw MRT frame (header+body).
+func readV2Frame(br *bufio.Reader) ([]byte, error) {
+	var hdr [12]byte
+	if n, err := io.ReadFull(br, hdr[:]); err != nil {
+		if n == 0 && errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("truncated header: %w", err)
+	}
+	blen := binary.BigEndian.Uint32(hdr[8:12])
+	if blen > maxV2Body {
+		return nil, fmt.Errorf("oversize body (%d bytes)", blen)
+	}
+	frame := make([]byte, 12+blen)
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(br, frame[12:]); err != nil {
+		return nil, fmt.Errorf("truncated body: %w", err)
+	}
+	return frame, nil
+}
+
+// damagePeerTable bumps the peer count so the table walk runs past the
+// body: a whole-file desync once ingested.
+func damagePeerTable(frame []byte) error {
+	body := frame[12:]
+	if len(body) < 8 {
+		return errors.New("peer table too short to damage")
+	}
+	viewLen := int(binary.BigEndian.Uint16(body[4:6]))
+	off := 6 + viewLen
+	if off+2 > len(body) {
+		return errors.New("peer table too short to damage")
+	}
+	count := binary.BigEndian.Uint16(body[off : off+2])
+	binary.BigEndian.PutUint16(body[off:off+2], count+1)
+	return nil
+}
+
+// damageV2Record corrupts the first path attribute of a single-entry
+// RIB record. The complement drops whole records, so multi-entry
+// records cannot be damaged coherently and are refused.
+func damageV2Record(frame []byte, sub uint16, mode string) error {
+	body := frame[12:]
+	if len(body) < 7 {
+		return errors.New("record too short to damage")
+	}
+	pb := (int(body[4]) + 7) / 8
+	off := 5 + pb
+	if off+2 > len(body) {
+		return errors.New("record too short to damage")
+	}
+	if count := binary.BigEndian.Uint16(body[off : off+2]); count != 1 {
+		return fmt.Errorf("record holds %d entries; the complement needs single-entry records", count)
+	}
+	entryHdr := 8
+	if sub == 8 || sub == 10 {
+		entryHdr = 12
+	}
+	a0 := off + 2 + entryHdr
+	if a0+3 > len(body) {
+		return errors.New("record has no attribute to damage")
+	}
+	switch mode {
+	case "attr-flags":
+		body[a0] ^= 0x10 // flip the extended-length flag
+		return nil
+	case "attr-len":
+		body[a0+2] = 0xFF // value now overruns the attribute block
 		return nil
 	}
 	return fmt.Errorf("unknown mode %q", mode)

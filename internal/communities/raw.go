@@ -1,0 +1,91 @@
+package communities
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"breval/internal/asn"
+)
+
+// Raw attribute codecs for the two community attributes real BGP
+// speakers put on the wire: RFC 1997 classic communities (4 bytes
+// each) and RFC 8092 large communities (12 bytes each). They live in
+// this package — not internal/wire — so every decoder that meets
+// community bytes (UPDATE messages, TABLE_DUMP_V2 path attributes)
+// feeds the same types the extraction model consumes.
+
+// Large is an RFC 8092 large community: a 4-byte global administrator
+// (the tagging ASN, which may be 32-bit) and two 4-byte local data
+// fields.
+type Large struct {
+	Global       asn.ASN
+	Data1, Data2 uint32
+}
+
+// String implements fmt.Stringer.
+func (c Large) String() string {
+	return fmt.Sprintf("%d:%d:%d", c.Global, c.Data1, c.Data2)
+}
+
+// ErrBadLength reports a community attribute whose value length is not
+// a multiple of the element size; per RFC 7606 such an attribute is
+// discarded whole rather than decoded partially.
+var ErrBadLength = errors.New("communities: attribute length not a multiple of element size")
+
+// DecodeClassic parses an RFC 1997 COMMUNITIES attribute value.
+func DecodeClassic(val []byte) ([]Community, error) {
+	if len(val)%4 != 0 {
+		return nil, fmt.Errorf("%w (classic, %d bytes)", ErrBadLength, len(val))
+	}
+	if len(val) == 0 {
+		return nil, nil
+	}
+	out := make([]Community, 0, len(val)/4)
+	for i := 0; i < len(val); i += 4 {
+		out = append(out, Community{
+			ASN:   asn.ASN(binary.BigEndian.Uint16(val[i : i+2])),
+			Value: binary.BigEndian.Uint16(val[i+2 : i+4]),
+		})
+	}
+	return out, nil
+}
+
+// DecodeLarge parses an RFC 8092 LARGE_COMMUNITIES attribute value.
+func DecodeLarge(val []byte) ([]Large, error) {
+	if len(val)%12 != 0 {
+		return nil, fmt.Errorf("%w (large, %d bytes)", ErrBadLength, len(val))
+	}
+	if len(val) == 0 {
+		return nil, nil
+	}
+	out := make([]Large, 0, len(val)/12)
+	for i := 0; i < len(val); i += 12 {
+		out = append(out, Large{
+			Global: asn.ASN(binary.BigEndian.Uint32(val[i : i+4])),
+			Data1:  binary.BigEndian.Uint32(val[i+4 : i+8]),
+			Data2:  binary.BigEndian.Uint32(val[i+8 : i+12]),
+		})
+	}
+	return out, nil
+}
+
+// AppendClassic appends the attribute-value encoding of cs to dst. The
+// caller must have checked every ASN fits 16 bits (asn.ASN.Is16Bit).
+func AppendClassic(dst []byte, cs []Community) []byte {
+	for _, c := range cs {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(c.ASN))
+		dst = binary.BigEndian.AppendUint16(dst, c.Value)
+	}
+	return dst
+}
+
+// AppendLarge appends the attribute-value encoding of cs to dst.
+func AppendLarge(dst []byte, cs []Large) []byte {
+	for _, c := range cs {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(c.Global))
+		dst = binary.BigEndian.AppendUint32(dst, c.Data1)
+		dst = binary.BigEndian.AppendUint32(dst, c.Data2)
+	}
+	return dst
+}

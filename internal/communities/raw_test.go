@@ -1,0 +1,59 @@
+package communities
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestClassicCodecRoundTrip(t *testing.T) {
+	cs := []Community{{ASN: 3356, Value: 666}, {ASN: 174, Value: 990}, {ASN: 0, Value: 0}}
+	got, err := DecodeClassic(AppendClassic(nil, cs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cs) {
+		t.Errorf("round trip = %v, want %v", got, cs)
+	}
+}
+
+func TestLargeCodecRoundTrip(t *testing.T) {
+	cs := []Large{
+		{Global: 4200000001, Data1: 1, Data2: 990},
+		{Global: 3356, Data1: 0, Data2: 0xffffffff},
+	}
+	got, err := DecodeLarge(AppendLarge(nil, cs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cs) {
+		t.Errorf("round trip = %v, want %v", got, cs)
+	}
+	if cs[0].String() != "4200000001:1:990" {
+		t.Errorf("String = %q", cs[0].String())
+	}
+}
+
+func TestDecodeEmptyIsNil(t *testing.T) {
+	if cs, err := DecodeClassic(nil); err != nil || cs != nil {
+		t.Errorf("classic empty: %v, %v", cs, err)
+	}
+	if cs, err := DecodeLarge(nil); err != nil || cs != nil {
+		t.Errorf("large empty: %v, %v", cs, err)
+	}
+}
+
+// TestDecodeBadLength: per RFC 7606 a misaligned attribute is refused
+// whole — no partial decode of the aligned head.
+func TestDecodeBadLength(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 7} {
+		if _, err := DecodeClassic(make([]byte, n)); !errors.Is(err, ErrBadLength) {
+			t.Errorf("classic %d bytes: err = %v, want ErrBadLength", n, err)
+		}
+	}
+	for _, n := range []int{1, 4, 11, 13, 25} {
+		if _, err := DecodeLarge(make([]byte, n)); !errors.Is(err, ErrBadLength) {
+			t.Errorf("large %d bytes: err = %v, want ErrBadLength", n, err)
+		}
+	}
+}

@@ -1,10 +1,11 @@
 // Package ingest is the hardened real-data front end of the pipeline:
-// a streaming, bounded-memory, cancellable reader that turns MRT-style
-// RIB dumps (internal/wire framing, plain or gzip-wrapped, one file or
-// many) into propagation path blocks with the same sink contract as
-// bgp.(*Simulator).PropagateBlocks — so core.RunContext can fuse it
-// with features.StreamCollector and the raw and cleaned path universes
-// never coexist.
+// a streaming, bounded-memory, cancellable reader that turns MRT RIB
+// dumps — real RFC 6396 TABLE_DUMP_V2 as RouteViews/RIPE RIS publish
+// it, or the repo's internal wire framing, plain or gzip-wrapped, one
+// file or many, auto-detected per file — into propagation path blocks
+// with the same sink contract as bgp.(*Simulator).PropagateBlocks, so
+// core.RunContext can fuse it with features.StreamCollector and the
+// raw and cleaned path universes never coexist.
 //
 // Real collector dumps are hostile input: truncated transfers, flipped
 // bytes, reserved ASNs, duplicated entries. Instead of aborting on the
@@ -32,6 +33,7 @@ import (
 	"compress/flate"
 	"compress/gzip"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -165,6 +167,8 @@ func Stream(ctx context.Context, opts Options, files []string, sink func(*bgp.Pa
 	col.Add("ingest.ingested", ing.rep.Ingested)
 	col.Add("ingest.bad", ing.rep.BadTotal())
 	col.Add("ingest.retried_reads", ing.rep.RetriedReads)
+	col.Add("ingest.communities", ing.rep.Communities)
+	col.Add("ingest.large_communities", ing.rep.LargeCommunities)
 	return ing.rep, nil
 }
 
@@ -210,7 +214,17 @@ func (ing *ingester) file(ctx context.Context, name string) error {
 		src = zr
 	}
 
-	rr := wire.NewRIBReader(src)
+	rr, format, ferr := wire.NewAutoReader(src)
+	if ferr != nil {
+		// The leading record parses as both dump formats: choosing one
+		// would silently misread every record behind it, so — like a
+		// damaged gzip wrapper — nothing inside is attributable.
+		ing.countRecord(fr)
+		fr.Aborted = true
+		fr.Err = ferr.Error()
+		return ing.quarantine(ctx, fr, 0, KindUnknownFormat, ferr, nil)
+	}
+	fr.Format = format.String()
 	for {
 		if err := resilience.Checkpoint(ctx, SiteRecordRead); err != nil {
 			return err
@@ -219,7 +233,7 @@ func (ing *ingester) file(ctx context.Context, name string) error {
 		switch {
 		case err == nil:
 			ing.countRecord(fr)
-			if qerr := ing.record(ctx, fr, rr.Index(), e.Path, rr.LastFrame()); qerr != nil {
+			if qerr := ing.record(ctx, fr, rr.Index(), dataFor(&e), rr.LastFrame()); qerr != nil {
 				return qerr
 			}
 		case errors.Is(err, io.EOF):
@@ -230,11 +244,7 @@ func (ing *ingester) file(ctx context.Context, name string) error {
 				// The frame was fully consumed; the stream is still in
 				// sync. Skip the record and keep reading.
 				ing.countRecord(fr)
-				kind := KindBadPath
-				if errors.Is(err, wire.ErrTruncated) {
-					kind = KindTruncatedFrame
-				}
-				if qerr := ing.quarantine(ctx, fr, bad.Index, kind, err, rr.LastFrame()); qerr != nil {
+				if qerr := ing.quarantine(ctx, fr, bad.Index, kindForRecordError(err), err, rr.LastFrame()); qerr != nil {
 					return qerr
 				}
 				continue
@@ -272,6 +282,13 @@ func classifyFraming(err error) (Kind, bool) {
 	switch {
 	case errors.Is(err, wire.ErrOversize):
 		return KindOversizeBody, true
+	case errors.Is(err, wire.ErrBadPeerIndex):
+		// A corrupt PEER_INDEX_TABLE (or a RIB record arriving before
+		// any table): no later entry can be attributed to a vantage
+		// point, so the file is lost. In-sync peer damage — one entry
+		// referencing a slot beyond the table — surfaces as a
+		// BadRecordError and never reaches here.
+		return KindBadPeerIndex, true
 	case errors.Is(err, wire.ErrTruncated):
 		return KindTruncatedFrame, true
 	case errors.Is(err, gzip.ErrHeader), errors.Is(err, gzip.ErrChecksum), errors.As(err, &corrupt):
@@ -282,27 +299,83 @@ func classifyFraming(err error) (Kind, bool) {
 	return "", false
 }
 
+// kindForRecordError maps an in-sync *BadRecordError cause to its
+// taxonomy kind. The same sentinel can mean skip or desync depending
+// on where it surfaced; this is the skip side.
+func kindForRecordError(err error) Kind {
+	switch {
+	case errors.Is(err, wire.ErrTruncated):
+		return KindTruncatedFrame
+	case errors.Is(err, wire.ErrBadPeerIndex):
+		return KindBadPeerIndex
+	case errors.Is(err, wire.ErrUnsupportedSubtype):
+		return KindUnsupportedSubtype
+	case errors.Is(err, wire.ErrBadAttribute):
+		return KindBadAttribute
+	}
+	return KindBadPath
+}
+
+// recordData is the slice of a parsed wire.RIBEntry admission needs.
+// Parallel workers ship it in fileEvents instead of whole entries, so
+// the replay path feeds record() exactly what the serial path does.
+type recordData struct {
+	path   asgraph.Path
+	prefix wire.Prefix
+	asSets int
+	comms  int
+	lcomms int
+}
+
+func dataFor(e *wire.RIBEntry) recordData {
+	return recordData{path: e.Path, prefix: e.Prefix, asSets: e.ASSets,
+		comms: len(e.Communities), lcomms: len(e.LargeCommunities)}
+}
+
+// entryKey is the duplicate-detection identity: prefix plus path.
+// Timestamps, ADDPATH path identifiers and community attributes do not
+// distinguish entries — a re-announced route carries no new link
+// evidence — and the key is format-canonical, so an internal-framing
+// record and its TABLE_DUMP_V2 rendition collide as the duplicates
+// they are.
+func entryKey(rec recordData) uint64 {
+	h := fnv.New64a()
+	pfx := [2]byte{rec.prefix.Bits, 0}
+	if rec.prefix.V6 {
+		pfx[1] = 1
+	}
+	h.Write(pfx[:])
+	h.Write(rec.prefix.Addr[:(int(rec.prefix.Bits)+7)/8])
+	var hop [4]byte
+	for _, a := range rec.path {
+		binary.BigEndian.PutUint32(hop[:], uint32(a))
+		h.Write(hop[:])
+	}
+	return h.Sum64()
+}
+
 // record admits one successfully parsed record, applying the semantic
-// taxonomy: reserved/unassignable ASNs and duplicate entries are
-// quarantined, everything else flows into the current block. It is
-// shared by the serial reader and the parallel replay, which is what
-// keeps their admission semantics identical by construction.
-func (ing *ingester) record(ctx context.Context, fr *FileReport, index int, path asgraph.Path, frame []byte) error {
-	if len(path) == 0 {
+// taxonomy: AS_SET aggregation, reserved/unassignable ASNs and
+// duplicate entries are quarantined, everything else flows into the
+// current block. It is shared by the serial reader and the parallel
+// replay, which is what keeps their admission semantics identical by
+// construction.
+func (ing *ingester) record(ctx context.Context, fr *FileReport, index int, rec recordData, frame []byte) error {
+	if len(rec.path) == 0 {
 		return ing.quarantine(ctx, fr, index, KindBadPath,
 			errors.New("empty AS path"), frame)
 	}
-	for _, a := range path {
+	if rec.asSets > 0 {
+		return ing.quarantine(ctx, fr, index, KindBadAttribute,
+			fmt.Errorf("%d multi-member AS_SET segment(s): aggregated paths are not link evidence", rec.asSets), frame)
+	}
+	for _, a := range rec.path {
 		if a.IsReserved() {
 			return ing.quarantine(ctx, fr, index, KindUnknownAS,
 				fmt.Errorf("reserved AS %d in path", a), frame)
 		}
 	}
-	// Duplicate detection hashes the record body (prefix + path); the
-	// header timestamp does not distinguish entries.
-	h := fnv.New64a()
-	h.Write(frame[12:])
-	key := h.Sum64()
+	key := entryKey(rec)
 	if _, dup := ing.seen[key]; dup {
 		return ing.quarantine(ctx, fr, index, KindDuplicate,
 			errors.New("duplicate entry"), frame)
@@ -311,7 +384,9 @@ func (ing *ingester) record(ctx context.Context, fr *FileReport, index int, path
 
 	fr.Ingested++
 	ing.rep.Ingested++
-	ing.block.Append(path)
+	ing.rep.Communities += int64(rec.comms)
+	ing.rep.LargeCommunities += int64(rec.lcomms)
+	ing.block.Append(rec.path)
 	if ing.block.Len() >= ing.opts.blockPaths() {
 		return ing.flush(ctx)
 	}

@@ -9,7 +9,6 @@ import (
 	"io"
 	"os"
 
-	"breval/internal/asgraph"
 	"breval/internal/resilience"
 	"breval/internal/wire"
 )
@@ -29,7 +28,7 @@ import (
 
 // reorderWindow bounds how many parsed events a finished-early file
 // may buffer ahead of the merge cursor (per file; each event holds one
-// copied frame of at most ~4KiB).
+// copied frame capped at frameSampleCap bytes).
 const reorderWindow = 128
 
 // evKind discriminates fileEvent. The terminal kinds end a file's
@@ -37,13 +36,13 @@ const reorderWindow = 128
 type evKind uint8
 
 const (
-	evRecord  evKind = iota // a fully parsed entry (path + frame copy)
-	evBad                   // skippable in-sync damage (*wire.BadRecordError)
-	evEOF                   // clean end of file (terminal)
-	evAbort                 // desynchronizing framing damage (terminal)
-	evGzipBad               // damaged gzip wrapper before any record (terminal)
-	evOpenErr               // the file could not be opened (terminal)
-	evFatal                 // run-fatal mid-stream error (terminal)
+	evRecord   evKind = iota // a fully parsed entry (recordData + frame copy)
+	evBad                    // skippable in-sync damage (*wire.BadRecordError)
+	evEOF                    // clean end of file (terminal)
+	evAbort                  // desynchronizing framing damage (terminal)
+	evPreAbort               // damage before any record read: a bad gzip wrapper or an ambiguous format (terminal)
+	evOpenErr                // the file could not be opened (terminal)
+	evFatal                  // run-fatal mid-stream error (terminal)
 )
 
 // fileEvent is one record-granularity observation from a worker. Paths
@@ -51,11 +50,12 @@ const (
 // retain); frames are copied out of the reader's scratch buffer.
 type fileEvent struct {
 	kind    evKind
-	path    asgraph.Path
+	rec     recordData
 	frame   []byte
 	index   int    // record index within the file, for ledger attribution
-	badKind Kind   // evBad/evAbort: taxonomy kind
-	errStr  string // evBad/evAbort/evGzipBad: cause, as the serial reader stringifies it
+	format  string // detected dump format ("" before detection)
+	badKind Kind   // evBad/evAbort/evPreAbort: taxonomy kind
+	errStr  string // evBad/evAbort/evPreAbort: cause, as the serial reader stringifies it
 	err     error  // evOpenErr/evFatal: the error Stream must return
 	retried int64  // terminal events: the file's transient-read retry count
 }
@@ -118,8 +118,12 @@ func readFileEvents(ctx context.Context, opts Options, name string, out chan<- f
 			return false
 		}
 	}
-	copyFrame := func(rr *wire.RIBReader) []byte {
-		return append([]byte(nil), rr.LastFrame()...)
+	copyFrame := func(rr wire.RecordReader) []byte {
+		frame := rr.LastFrame()
+		if len(frame) > frameSampleCap {
+			frame = frame[:frameSampleCap]
+		}
+		return append([]byte(nil), frame...)
 	}
 
 	f, err := os.Open(name)
@@ -136,46 +140,49 @@ func readFileEvents(ctx context.Context, opts Options, name string, out chan<- f
 	if magic, _ := br.Peek(2); len(magic) == 2 && magic[0] == 0x1f && magic[1] == 0x8b {
 		zr, zerr := gzip.NewReader(br)
 		if zerr != nil {
-			send(fileEvent{kind: evGzipBad, errStr: zerr.Error(), retried: retry.retried})
+			send(fileEvent{kind: evPreAbort, badKind: KindTruncatedFrame,
+				errStr: zerr.Error(), retried: retry.retried})
 			return
 		}
 		defer zr.Close()
 		src = zr
 	}
 
-	rr := wire.NewRIBReader(src)
+	rr, format, ferr := wire.NewAutoReader(src)
+	if ferr != nil {
+		send(fileEvent{kind: evPreAbort, badKind: KindUnknownFormat,
+			errStr: ferr.Error(), retried: retry.retried})
+		return
+	}
+	fname := format.String()
 	for {
 		e, err := rr.Read()
 		switch {
 		case err == nil:
-			if !send(fileEvent{kind: evRecord, path: e.Path,
+			if !send(fileEvent{kind: evRecord, rec: dataFor(&e), format: fname,
 				frame: copyFrame(rr), index: rr.Index()}) {
 				return
 			}
 		case errors.Is(err, io.EOF):
-			send(fileEvent{kind: evEOF, retried: retry.retried})
+			send(fileEvent{kind: evEOF, format: fname, retried: retry.retried})
 			return
 		default:
 			var bad *wire.BadRecordError
 			if errors.As(err, &bad) {
-				kind := KindBadPath
-				if errors.Is(err, wire.ErrTruncated) {
-					kind = KindTruncatedFrame
-				}
-				if !send(fileEvent{kind: evBad, index: bad.Index, badKind: kind,
-					errStr: err.Error(), frame: copyFrame(rr)}) {
+				if !send(fileEvent{kind: evBad, index: bad.Index, badKind: kindForRecordError(err),
+					format: fname, errStr: err.Error(), frame: copyFrame(rr)}) {
 					return
 				}
 				continue
 			}
 			kind, desync := classifyFraming(err)
 			if !desync {
-				send(fileEvent{kind: evFatal,
+				send(fileEvent{kind: evFatal, format: fname,
 					err:     fmt.Errorf("ingest: %s: record %d: %w", name, rr.Index(), err),
 					retried: retry.retried})
 				return
 			}
-			send(fileEvent{kind: evAbort, index: rr.Index(), badKind: kind,
+			send(fileEvent{kind: evAbort, index: rr.Index(), badKind: kind, format: fname,
 				errStr: err.Error(), frame: copyFrame(rr), retried: retry.retried})
 			return
 		}
@@ -198,13 +205,16 @@ func (ing *ingester) replayFile(ctx context.Context, name string, events <-chan 
 			fr = &FileReport{File: name}
 			ing.rep.Files = append(ing.rep.Files, fr)
 		}
+		if fr.Format == "" && ev.format != "" {
+			fr.Format = ev.format
+		}
 		switch ev.kind {
-		case evGzipBad:
+		case evPreAbort:
 			ing.rep.RetriedReads += ev.retried
 			ing.countRecord(fr)
 			fr.Aborted = true
 			fr.Err = ev.errStr
-			return ing.quarantine(ctx, fr, 0, KindTruncatedFrame, errors.New(ev.errStr), nil)
+			return ing.quarantine(ctx, fr, 0, ev.badKind, errors.New(ev.errStr), nil)
 		case evEOF:
 			ing.rep.RetriedReads += ev.retried
 			return resilience.Checkpoint(ctx, SiteRecordRead)
@@ -213,7 +223,7 @@ func (ing *ingester) replayFile(ctx context.Context, name string, events <-chan 
 				return err
 			}
 			ing.countRecord(fr)
-			if err := ing.record(ctx, fr, ev.index, ev.path, ev.frame); err != nil {
+			if err := ing.record(ctx, fr, ev.index, ev.rec, ev.frame); err != nil {
 				return err
 			}
 		case evBad:

@@ -10,6 +10,13 @@ import (
 	"breval/internal/resilience"
 )
 
+// frameSampleCap bounds how many raw frame bytes a ledger line (and a
+// parallel worker's copied frame) may carry. Internal-framing frames
+// are at most 12+4096 bytes and are never cut; real TABLE_DUMP_V2
+// records run to a mebibyte, and a fuzz seed does not need more than
+// the frame's head to reproduce the parse.
+const frameSampleCap = 8192
+
 // Sample is one quarantine-ledger line: where the damage was, what
 // kind it is, and (for the first SamplePerKind of each kind) the raw
 // frame bytes — exactly the seed material FuzzIngestReader wants.
@@ -84,6 +91,9 @@ func (l *ledger) write(opts Options, s Sample, frame []byte) error {
 	}
 	if len(frame) > 0 && l.sampled[s.Kind] < perKind {
 		l.sampled[s.Kind]++
+		if len(frame) > frameSampleCap {
+			frame = frame[:frameSampleCap]
+		}
 		s.FrameHex = hex.EncodeToString(frame)
 	}
 	b, err := json.Marshal(s)

@@ -23,16 +23,39 @@ const (
 	// KindDuplicate: an entry with an identical body was already
 	// ingested.
 	KindDuplicate Kind = "duplicate"
+	// KindBadAttribute: a TABLE_DUMP_V2 entry whose BGP path-attribute
+	// block is malformed — a TLV overrunning its region, a bad AS_PATH
+	// segment, community values of the wrong granularity — or a path
+	// carrying multi-member AS_SET aggregation (not link evidence).
+	// The frame is intact; only the one entry is lost.
+	KindBadAttribute Kind = "bad-attribute"
+	// KindBadPeerIndex: peer-index damage. In-sync when one entry
+	// references a slot beyond the peer table; a desync when the
+	// PEER_INDEX_TABLE itself is corrupt or missing, because no later
+	// entry can be attributed to a vantage point.
+	KindBadPeerIndex Kind = "bad-peer-index"
+	// KindUnsupportedSubtype: a well-framed MRT record whose
+	// type/subtype the pipeline does not consume (multicast RIBs,
+	// RIB_GENERIC, BGP4MP, geo peer tables). Skipped in sync.
+	KindUnsupportedSubtype Kind = "unsupported-subtype"
+	// KindUnknownFormat: the file's leading bytes parse as both dump
+	// formats (wire.ErrAmbiguousFormat); guessing would misread every
+	// record, so the file is abandoned whole. Always a desync.
+	KindUnknownFormat Kind = "unknown-format"
 )
 
 // Kinds lists the taxonomy in its canonical order.
-var Kinds = []Kind{KindTruncatedFrame, KindOversizeBody, KindBadPath, KindUnknownAS, KindDuplicate}
+var Kinds = []Kind{KindTruncatedFrame, KindOversizeBody, KindBadPath, KindUnknownAS,
+	KindDuplicate, KindBadAttribute, KindBadPeerIndex, KindUnsupportedSubtype, KindUnknownFormat}
 
 // FileReport is one input file's ingest outcome.
 type FileReport struct {
 	File     string `json:"file"`
 	Records  int64  `json:"records"`
 	Ingested int64  `json:"ingested"`
+	// Format is the auto-detected dump format ("internal" or
+	// "tabledumpv2"); empty when the file died before detection.
+	Format string `json:"format,omitempty"`
 	// Aborted marks a file whose tail was abandoned after framing
 	// damage desynchronized the stream; Err says why.
 	Aborted bool   `json:"aborted,omitempty"`
@@ -45,6 +68,12 @@ type Report struct {
 	Records  int64          `json:"records"`  // records attempted across all files
 	Ingested int64          `json:"ingested"` // records admitted into the path set
 	Bad      map[Kind]int64 `json:"bad"`      // quarantined records per kind
+
+	// Communities and LargeCommunities count the community attributes
+	// carried by admitted records — the raw material for
+	// internal/communities-based validation.
+	Communities      int64 `json:"communities,omitempty"`
+	LargeCommunities int64 `json:"large_communities,omitempty"`
 
 	// Desyncs counts aborted files; any desync exceeds the budget,
 	// because the abandoned tail is unaccountable.

@@ -1,0 +1,380 @@
+package ingest
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/bgp"
+	"breval/internal/wire"
+)
+
+// --- raw RFC 6396 fixture helpers (damage the wire writer refuses) ---
+
+// v2PeerBody builds a PEER_INDEX_TABLE body of IPv4/AS4 peers.
+func v2PeerBody(peers ...uint32) []byte {
+	body := binary.BigEndian.AppendUint32(nil, 0x0a000001)
+	body = binary.BigEndian.AppendUint16(body, 4)
+	body = append(body, "view"...)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(peers)))
+	for i, a := range peers {
+		body = append(body, 0x02)
+		body = binary.BigEndian.AppendUint32(body, uint32(i+1))
+		body = binary.BigEndian.AppendUint32(body, uint32(i+1))
+		body = binary.BigEndian.AppendUint32(body, a)
+	}
+	return body
+}
+
+// v2PathAttrs builds a minimal attribute block: ORIGIN + a 4-byte
+// AS_SEQUENCE.
+func v2PathAttrs(hops ...uint32) []byte {
+	ab := []byte{0x40, 1, 1, 0} // ORIGIN, IGP
+	seg := []byte{2, byte(len(hops))}
+	for _, h := range hops {
+		seg = binary.BigEndian.AppendUint32(seg, h)
+	}
+	ab = append(ab, 0x40, 2, byte(len(seg)))
+	return append(ab, seg...)
+}
+
+// v2Entry builds one RIB entry with the given peer slot and attributes.
+func v2Entry(peerIdx uint16, attrs []byte) []byte {
+	b := binary.BigEndian.AppendUint16(nil, peerIdx)
+	b = binary.BigEndian.AppendUint32(b, 42)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(attrs)))
+	return append(b, attrs...)
+}
+
+// v2RIB builds a RIB_IPV4_UNICAST body.
+func v2RIB(bits uint8, prefix []byte, entries ...[]byte) []byte {
+	body := binary.BigEndian.AppendUint32(nil, 7)
+	body = append(body, bits)
+	body = append(body, prefix...)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(entries)))
+	for _, e := range entries {
+		body = append(body, e...)
+	}
+	return body
+}
+
+// v2Dump renders paths as a real TABLE_DUMP_V2 dump.
+func v2Dump(t *testing.T, paths []asgraph.Path) []byte {
+	t.Helper()
+	ps := bgp.NewPathSet(len(paths), len(paths)*4)
+	for _, p := range paths {
+		ps.Append(p)
+	}
+	var buf bytes.Buffer
+	if err := wire.WriteTableDumpV2(&buf, ps, 42); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// ambiguousDump is the one overlapping code point: a type-13/subtype-2
+// record whose body walks as both formats.
+func ambiguousDump() []byte {
+	body := make([]byte, 37)
+	body[0], body[4], body[7], body[15] = 24, 8, 1, 21
+	return mkFrame(42, 13, 2, body)
+}
+
+func TestStreamTableDumpV2Clean(t *testing.T) {
+	paths := fixturePaths()
+	rep, got, err := ingestAll(t, Options{}, dumpFile(t, v2Dump(t, paths)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariant(t, rep)
+	if rep.Ingested != int64(len(paths)) || rep.BadTotal() != 0 {
+		t.Fatalf("clean v2 dump: ingested=%d bad=%d", rep.Ingested, rep.BadTotal())
+	}
+	if rep.Files[0].Format != "tabledumpv2" {
+		t.Errorf("format = %q, want tabledumpv2", rep.Files[0].Format)
+	}
+	// WriteTableDumpV2 attaches one large community per entry and one
+	// classic community per 16-bit vantage point (all of them here).
+	if rep.LargeCommunities != int64(len(paths)) || rep.Communities != int64(len(paths)) {
+		t.Errorf("communities=%d large=%d, want %d each",
+			rep.Communities, rep.LargeCommunities, len(paths))
+	}
+	i := 0
+	got.ForEach(func(p asgraph.Path) {
+		if p.String() != paths[i].String() {
+			t.Fatalf("path %d = %v, want %v", i, p, paths[i])
+		}
+		i++
+	})
+}
+
+// TestStreamCrossFormatParity: the same path universe ingests to
+// byte-identical sink output whether it arrives as internal framing,
+// real TABLE_DUMP_V2, gzip of the latter, or through parallel workers.
+func TestStreamCrossFormatParity(t *testing.T) {
+	paths := fixturePaths()
+	internal, _ := writeDump(t, paths)
+	v2 := v2Dump(t, paths)
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if _, err := zw.Write(v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, wantPS, err := ingestAll(t, Options{}, dumpFile(t, internal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pathsBytes(t, wantPS)
+
+	for name, data := range map[string][]byte{
+		"tabledumpv2":      v2,
+		"tabledumpv2.gzip": zbuf.Bytes(),
+	} {
+		for _, workers := range []int{0, 2, 4} {
+			rep, got, err := ingestAll(t, Options{FileWorkers: workers}, dumpFile(t, data))
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			checkInvariant(t, rep)
+			if !bytes.Equal(pathsBytes(t, got), want) {
+				t.Errorf("%s workers=%d: output differs from internal-format ingest", name, workers)
+			}
+		}
+	}
+}
+
+// TestStreamCrossFormatDuplicates: the dedup identity is format-
+// canonical, so a v2 rendition of an already-ingested internal dump is
+// all duplicates.
+func TestStreamCrossFormatDuplicates(t *testing.T) {
+	paths := fixturePaths()
+	internal, _ := writeDump(t, paths)
+	rep, _, err := ingestAll(t, Options{MaxBadFrac: 1},
+		dumpFile(t, internal), dumpFile(t, v2Dump(t, paths)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariant(t, rep)
+	if rep.Ingested != int64(len(paths)) || rep.Bad[KindDuplicate] != int64(len(paths)) {
+		t.Fatalf("ingested=%d duplicates=%d, want %d/%d",
+			rep.Ingested, rep.Bad[KindDuplicate], len(paths), len(paths))
+	}
+}
+
+// TestStreamV2Taxonomy routes each new damage class through ingest:
+// unsupported subtypes, malformed attributes, out-of-range peer
+// references and AS_SET aggregation are all skippable; none desyncs.
+func TestStreamV2Taxonomy(t *testing.T) {
+	asSet := []byte{0x40, 1, 1, 0} // ORIGIN
+	seg := []byte{2, 2}            // AS_SEQUENCE 100, 10
+	seg = binary.BigEndian.AppendUint32(seg, 100)
+	seg = binary.BigEndian.AppendUint32(seg, 10)
+	seg = append(seg, 1, 2) // AS_SET of 2 members
+	seg = binary.BigEndian.AppendUint32(seg, 7)
+	seg = binary.BigEndian.AppendUint32(seg, 8)
+	asSet = append(asSet, 0x40, 2, byte(len(seg)))
+	asSet = append(asSet, seg...)
+
+	var dump []byte
+	dump = append(dump, mkFrame(42, 13, 1, v2PeerBody(100, 200))...)
+	dump = append(dump, mkFrame(42, 13, 6, []byte{1, 2, 3})...) // RIB_GENERIC
+	dump = append(dump, mkFrame(42, 16, 4, []byte{9})...)       // BGP4MP
+	dump = append(dump, mkFrame(42, 13, 2, v2RIB(24, []byte{10, 0, 0},
+		v2Entry(0, []byte{0x40, 1, 1}),           // truncated ORIGIN TLV: bad attribute
+		v2Entry(9, v2PathAttrs(100, 10, 1)),      // peer slot 9 of 2: bad peer index
+		v2Entry(0, asSet),                        // multi-member AS_SET: not link evidence
+		v2Entry(1, v2PathAttrs(200, 20, 2))))...) // clean
+	dump = append(dump, mkFrame(42, 13, 2, v2RIB(24, []byte{10, 0, 1},
+		v2Entry(0, v2PathAttrs(100, 30, 3))))...) // clean
+
+	rep, got, err := ingestAll(t, Options{MaxBadFrac: 1}, dumpFile(t, dump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariant(t, rep)
+	want := map[Kind]int64{
+		KindUnsupportedSubtype: 2,
+		KindBadAttribute:       2, // one malformed TLV, one AS_SET path
+		KindBadPeerIndex:       1,
+	}
+	for k, n := range want {
+		if rep.Bad[k] != n {
+			t.Errorf("Bad[%s] = %d, want %d", k, rep.Bad[k], n)
+		}
+	}
+	if rep.Desyncs != 0 || rep.Files[0].Aborted {
+		t.Errorf("in-sync damage desynchronized the file: %+v", rep.Files[0])
+	}
+	if rep.Ingested != 2 || got.Len() != 2 {
+		t.Errorf("ingested = %d, want the 2 clean entries", rep.Ingested)
+	}
+}
+
+// TestStreamV2CorruptPeerTableDesyncs: a peer table that cannot be
+// trusted abandons the whole file — and, like any desync, blows the
+// error budget — but later files still ingest.
+func TestStreamV2CorruptPeerTableDesyncs(t *testing.T) {
+	body := v2PeerBody(100)
+	body[4+2+4] = 9 // declared peer count 9, body holds 1
+	var dump []byte
+	dump = append(dump, mkFrame(42, 13, 1, body)...)
+	dump = append(dump, mkFrame(42, 13, 2, v2RIB(8, []byte{10},
+		v2Entry(0, v2PathAttrs(100, 10, 1))))...)
+	tail, _ := writeDump(t, []asgraph.Path{{50001, 174, 1299}})
+
+	rep, got, err := ingestAll(t, Options{MaxBadFrac: 1},
+		dumpFile(t, dump), dumpFile(t, tail))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariant(t, rep)
+	if rep.Desyncs != 1 || !rep.Files[0].Aborted {
+		t.Fatalf("corrupt peer table did not desync: %+v", rep.Files[0])
+	}
+	if rep.Bad[KindBadPeerIndex] != 1 {
+		t.Errorf("Bad[bad-peer-index] = %d, want 1", rep.Bad[KindBadPeerIndex])
+	}
+	if !rep.Exceeded(1) {
+		t.Error("a desync must exceed any budget")
+	}
+	if got.Len() != 1 {
+		t.Errorf("the clean tail file did not ingest: %d paths", got.Len())
+	}
+}
+
+// TestStreamAmbiguousFormat: a file whose leading record parses as
+// both formats is abandoned whole under unknown-format — a quarantined
+// abort, never a Stream failure — and later files still ingest.
+func TestStreamAmbiguousFormat(t *testing.T) {
+	tail, _ := writeDump(t, []asgraph.Path{{50001, 174, 1299}})
+	files := []string{dumpFile(t, ambiguousDump()), dumpFile(t, tail)}
+
+	repS, pathsS, ledgerS, errS := runIngest(t, Options{MaxBadFrac: 1}, files)
+	if errS != nil {
+		t.Fatal(errS)
+	}
+	checkInvariant(t, repS)
+	if repS.Bad[KindUnknownFormat] != 1 || repS.Desyncs != 1 {
+		t.Fatalf("unknown-format=%d desyncs=%d, want 1/1",
+			repS.Bad[KindUnknownFormat], repS.Desyncs)
+	}
+	if !repS.Files[0].Aborted || repS.Files[0].Format != "" {
+		t.Errorf("ambiguous file report: %+v", repS.Files[0])
+	}
+	if repS.Files[1].Ingested != 1 {
+		t.Error("file after the ambiguous one did not ingest")
+	}
+
+	// Parallel replay produces the identical outcome.
+	rep, paths, ledger, err := runIngest(t, Options{MaxBadFrac: 1, FileWorkers: 2}, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reportJSON(t, rep), reportJSON(t, repS)) ||
+		!bytes.Equal(paths, pathsS) || !bytes.Equal(ledger, ledgerS) {
+		t.Error("parallel ambiguous-format handling diverged from serial")
+	}
+}
+
+// TestStreamMultistreamGzip: concatenated gzip members decompress into
+// one stream (each member carries its own peer table; the decoder
+// adopts the newest).
+func TestStreamMultistreamGzip(t *testing.T) {
+	a := v2Dump(t, []asgraph.Path{{30001, 6939, 2914}})
+	b := v2Dump(t, []asgraph.Path{{30002, 1299, 701}})
+	var zbuf bytes.Buffer
+	for _, member := range [][]byte{a, b} {
+		zw := gzip.NewWriter(&zbuf)
+		if _, err := zw.Write(member); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, got, err := ingestAll(t, Options{}, dumpFile(t, zbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariant(t, rep)
+	if rep.Ingested != 2 || got.Len() != 2 {
+		t.Fatalf("ingested %d of 2 multistream members", rep.Ingested)
+	}
+	if rep.Files[0].Format != "tabledumpv2" {
+		t.Errorf("format = %q", rep.Files[0].Format)
+	}
+}
+
+// TestStreamV2ParallelMatchesSerial extends the determinism contract
+// to a corpus mixing both formats and every v2 damage class.
+func TestStreamV2ParallelMatchesSerial(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, data []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	var evil []byte
+	evil = append(evil, mkFrame(42, 13, 1, v2PeerBody(100, 200))...)
+	evil = append(evil, mkFrame(42, 13, 6, []byte{1})...)
+	evil = append(evil, mkFrame(42, 13, 2, v2RIB(24, []byte{10, 0, 0},
+		v2Entry(0, []byte{0x40, 1, 1}),
+		v2Entry(9, v2PathAttrs(100, 10, 1)),
+		v2Entry(1, v2PathAttrs(200, 20, 2))))...)
+
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if _, err := zw.Write(v2Dump(t, []asgraph.Path{{30001, 6939, 2914}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	internal, _ := writeDump(t, fixturePaths())
+
+	files := []string{
+		write("0-clean.mrt", v2Dump(t, fixturePaths()[:3])),
+		write("1-evil.mrt", evil),
+		write("2-wrapped.mrt.gz", zbuf.Bytes()),
+		write("3-ambiguous.mrt", ambiguousDump()),
+		write("4-internal.rib", internal),
+	}
+
+	repS, pathsS, ledgerS, errS := runIngest(t, Options{MaxBadFrac: 1}, files)
+	if errS != nil {
+		t.Fatal(errS)
+	}
+	checkInvariant(t, repS)
+	if repS.Bad[KindUnknownFormat] != 1 || repS.Bad[KindBadPeerIndex] != 1 ||
+		repS.Bad[KindBadAttribute] != 1 || repS.Bad[KindUnsupportedSubtype] != 1 ||
+		repS.Bad[KindDuplicate] != 3 {
+		t.Fatalf("fixture lost its damage classes: %+v", repS.Bad)
+	}
+	for _, workers := range []int{2, 3, 5} {
+		rep, paths, ledger, err := runIngest(t, Options{MaxBadFrac: 1, FileWorkers: workers}, files)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		checkInvariant(t, rep)
+		if !bytes.Equal(paths, pathsS) {
+			t.Errorf("workers=%d: path set differs from serial", workers)
+		}
+		if got, want := reportJSON(t, rep), reportJSON(t, repS); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: report differs:\n got %s\nwant %s", workers, got, want)
+		}
+		if !bytes.Equal(ledger, ledgerS) {
+			t.Errorf("workers=%d: quarantine ledger differs from serial", workers)
+		}
+	}
+}

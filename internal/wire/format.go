@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Per-file dump-format auto-detection. Both formats the pipeline reads
+// share the 12-byte MRT common header, so the signature is the leading
+// header plus — in the one overlapping case — the shape of the first
+// record body. Detection is a pure function over peeked bytes: it
+// never consumes input, so the chosen reader sees the stream from
+// byte zero.
+
+// Format identifies the framing a dump file carries.
+type Format uint8
+
+const (
+	// FormatInternal is the repo's simplified internal framing
+	// (RIBReader): type 13 / subtype 2 with a prefix|hopcount|hops
+	// body.
+	FormatInternal Format = iota
+	// FormatTableDumpV2 is real RFC 6396 TABLE_DUMP_V2
+	// (TableDumpReader).
+	FormatTableDumpV2
+)
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	if f == FormatTableDumpV2 {
+		return "tabledumpv2"
+	}
+	return "internal"
+}
+
+// ErrAmbiguousFormat reports a leading record that parses as both
+// formats. Guessing would silently misread every record behind it, so
+// the caller must abandon the file (or be told which format it is).
+var ErrAmbiguousFormat = errors.New("wire: dump format is ambiguous")
+
+// Other MRT record types (RFC 6396 §4) that mark a file as a real MRT
+// dump even though the pipeline cannot consume their records.
+const (
+	mrtTypeOSPFv2    = 11
+	mrtTypeTableDump = 12
+	mrtTypeBGP4MP    = 16
+	mrtTypeBGP4MPET  = 17
+)
+
+// DetectFormat classifies a dump from its leading bytes (pass as much
+// as is peekable; 12+maxRIBBody covers every case). Short or
+// unrecognizable prefixes resolve to FormatInternal, whose reader
+// already classifies them (truncation, unknown type) with the right
+// taxonomy.
+func DetectFormat(peek []byte) (Format, error) {
+	if len(peek) < 12 {
+		return FormatInternal, nil
+	}
+	typ := binary.BigEndian.Uint16(peek[4:6])
+	sub := binary.BigEndian.Uint16(peek[6:8])
+	if typ != mrtType {
+		switch typ {
+		case mrtTypeOSPFv2, mrtTypeTableDump, mrtTypeBGP4MP, mrtTypeBGP4MPET:
+			// A real MRT dump led by a non-TABLE_DUMP_V2 record: route
+			// it to the real decoder, which skips such records with
+			// attribution (unsupported-subtype) instead of calling
+			// them bad paths.
+			return FormatTableDumpV2, nil
+		}
+		return FormatInternal, nil
+	}
+	switch sub {
+	case subRIBIPv4Unicast:
+		// The one code point both formats use. Real dumps lead with a
+		// PEER_INDEX_TABLE, so this is almost always internal framing —
+		// but "almost" is not a parser, so disambiguate by body shape.
+		blen := binary.BigEndian.Uint32(peek[8:12])
+		if blen > maxRIBBody || len(peek) < 12+int(blen) {
+			// Oversize or cut short: internal's reader classifies it.
+			return FormatInternal, nil
+		}
+		body := peek[12 : 12+blen]
+		in, rfc := internalBodyShape(body), ribV4BodyShape(body)
+		switch {
+		case in && rfc:
+			return 0, fmt.Errorf(
+				"leading record parses as both internal framing and TABLE_DUMP_V2: %w",
+				ErrAmbiguousFormat)
+		case rfc:
+			return FormatTableDumpV2, nil
+		default:
+			return FormatInternal, nil
+		}
+	case subPeerIndexTable, subRIBIPv4Multicast, subRIBIPv6Unicast,
+		subRIBIPv6Multicast, subRIBGeneric, subGeoPeerTable,
+		subRIBIPv4UnicastAddPath, subRIBIPv4MulticastAddPath,
+		subRIBIPv6UnicastAddPath, subRIBIPv6MulticastAddPath:
+		return FormatTableDumpV2, nil
+	}
+	return FormatInternal, nil
+}
+
+// internalBodyShape reports whether body is exactly an internal-framing
+// RIB body: prefixBits(1) | prefix | hopCount(1) | 4-byte hops.
+func internalBodyShape(body []byte) bool {
+	if len(body) < 2 {
+		return false
+	}
+	bits := body[0]
+	if bits > 32 {
+		return false
+	}
+	pb := (int(bits) + 7) / 8
+	if len(body) < 1+pb+1 {
+		return false
+	}
+	hops := int(body[1+pb])
+	return len(body) == 1+pb+1+4*hops
+}
+
+// ribV4BodyShape reports whether body walks exactly as an RFC 6396
+// RIB_IPV4_UNICAST body: sequence(4) | prefixLen(1) | prefix |
+// entryCount(2) | entries, each peerIdx(2)+origTime(4)+attrLen(2)+
+// attrs. Attribute contents are not validated — only the framing walk.
+func ribV4BodyShape(body []byte) bool {
+	if len(body) < 7 {
+		return false
+	}
+	bits := body[4]
+	if bits > 32 {
+		return false
+	}
+	off := 5 + (int(bits)+7)/8
+	if off+2 > len(body) {
+		return false
+	}
+	count := int(binary.BigEndian.Uint16(body[off : off+2]))
+	off += 2
+	if count == 0 {
+		return false // a real dump's RIB record announces entries
+	}
+	for i := 0; i < count; i++ {
+		if off+8 > len(body) {
+			return false
+		}
+		attrLen := int(binary.BigEndian.Uint16(body[off+6 : off+8]))
+		off += 8 + attrLen
+		if off > len(body) {
+			return false
+		}
+	}
+	return off == len(body)
+}
+
+// NewAutoReader sniffs r's format and returns the matching record
+// reader positioned at byte zero, plus what it detected. The only
+// error is ErrAmbiguousFormat (wrapped); truncation, unknown types and
+// I/O failures are left for the chosen reader to classify.
+func NewAutoReader(r io.Reader) (RecordReader, Format, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok || br.Size() < 12+maxRIBBody {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	peek, _ := br.Peek(12 + maxRIBBody)
+	f, err := DetectFormat(peek)
+	if err != nil {
+		return nil, 0, err
+	}
+	if f == FormatTableDumpV2 {
+		return NewTableDumpReader(br), f, nil
+	}
+	return NewRIBReader(br), f, nil
+}

@@ -2,9 +2,12 @@ package wire
 
 import (
 	"bytes"
+	"encoding/hex"
+	"errors"
 	"testing"
 
 	"breval/internal/asgraph"
+	"breval/internal/bgp"
 	"breval/internal/communities"
 )
 
@@ -17,7 +20,7 @@ func FuzzUnmarshalUpdate(f *testing.F) {
 		Communities:      []communities.Community{{ASN: 3356, Value: 666}},
 		LargeCommunities: []LargeCommunity{{Global: 4200000001, Data1: 1, Data2: 990}},
 		NLRI:             []Prefix{PrefixForAS(174)},
-		Withdrawn:        []Prefix{{Addr: [4]byte{10, 1, 2, 0}, Bits: 24}},
+		Withdrawn:        []Prefix{{Addr: [16]byte{10, 1, 2, 0}, Bits: 24}},
 	}
 	b, err := seed.Marshal()
 	if err != nil {
@@ -78,5 +81,69 @@ func FuzzRIBReader(f *testing.F) {
 				return
 			}
 		}
+	})
+}
+
+// FuzzTableDumpV2 feeds arbitrary streams to the RFC 6396 decoder: it
+// must never panic, every error must obey the RecordReader contract
+// (EOF, skippable *BadRecordError, or a desynchronizing sentinel), and
+// in-sync damage must never prevent the reader from terminating.
+func FuzzTableDumpV2(f *testing.F) {
+	ps := bgp.NewPathSet(2, 8)
+	ps.Append(asgraph.Path{100, 10, 1})
+	ps.Append(asgraph.Path{200, 20, 90000000})
+	var buf bytes.Buffer
+	if err := WriteTableDumpV2(&buf, ps, 42); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	// Truncations at interesting boundaries.
+	f.Add(valid[:7])
+	f.Add(valid[:12])
+	f.Add(valid[:len(valid)-3])
+	// A flipped attribute flag inside the first RIB record.
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped)
+	// A corrupt peer count in the index table (offset 6+len("breval")).
+	badPeers := append([]byte(nil), valid...)
+	badPeers[12+6+6+1] ^= 0xff
+	f.Add(badPeers)
+	// An oversize declared body length.
+	oversize := append([]byte(nil), valid[:12]...)
+	oversize[8], oversize[9], oversize[10], oversize[11] = 0xff, 0xff, 0xff, 0xff
+	f.Add(oversize)
+	// Quarantine-ledger frame_hex seeds: damaged RIB frames exactly as
+	// the ingest ledger samples them (Sample.FrameHex), so real
+	// quarantined frames can be pasted in as new seeds verbatim.
+	for _, frameHex := range []string{
+		// bad-attribute: extended-length flag flipped on ORIGIN
+		"0000002a000d00020000003d00000000180a0001000100000000002a002b5001010040020e0203000000640000000a00000001c0080400640064c0200c000000640000000100000001",
+		// bad-peer-index: entry references slot 99 of a 2-peer table
+		"0000002a000d00020000003d00000000180a0001000100630000002a002b4001010040020e0203000000640000000a00000001c0080400640064c0200c000000640000000100000001",
+	} {
+		frame, err := hex.DecodeString(frameHex)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := NewTableDumpReader(bytes.NewReader(data))
+		for i := 0; i < 10000; i++ {
+			_, err := tr.Read()
+			if err == nil {
+				continue
+			}
+			var bad *BadRecordError
+			if errors.As(err, &bad) {
+				continue // in sync: keep reading
+			}
+			return // EOF or desync: stream over
+		}
+		t.Fatalf("reader did not terminate within 10000 reads on %d bytes", len(data))
 	})
 }

@@ -10,6 +10,7 @@ import (
 	"breval/internal/asgraph"
 	"breval/internal/asn"
 	"breval/internal/bgp"
+	"breval/internal/communities"
 )
 
 // MRT-style record framing, modelled on RFC 6396: a fixed header
@@ -27,10 +28,43 @@ const (
 )
 
 // RIBEntry is one (vantage point, origin prefix, AS path) row of a
-// collector RIB snapshot.
+// collector RIB snapshot. The fields below Path only appear on entries
+// decoded from real TABLE_DUMP_V2 dumps; internal-framing records
+// leave them zero.
 type RIBEntry struct {
 	Prefix Prefix
 	Path   asgraph.Path
+
+	// PathID is the RFC 8050 ADDPATH path identifier (0 when absent).
+	PathID uint32
+	// ASSets counts multi-member AS_SET segments in the AS_PATH.
+	// Aggregated paths are not link evidence, so ingest quarantines
+	// entries with ASSets > 0 rather than inventing adjacencies.
+	ASSets int
+	// Communities and LargeCommunities carry the entry's community
+	// attributes, feeding internal/communities-based validation.
+	Communities      []communities.Community
+	LargeCommunities []LargeCommunity
+}
+
+// RecordReader is the streaming decoder contract internal/ingest reads
+// through: the internal framing (RIBReader) and real RFC 6396
+// TABLE_DUMP_V2 (TableDumpReader) both satisfy it, so the hardening
+// above — quarantine, budgets, deterministic parallel merge — is
+// format-blind.
+type RecordReader interface {
+	// Read returns the next RIB entry, io.EOF at a clean end of
+	// stream, a *BadRecordError for in-sync skippable damage, or a
+	// desynchronizing error (ErrTruncated, ErrOversize,
+	// ErrBadPeerIndex) that abandons the file.
+	Read() (RIBEntry, error)
+	// Index is the zero-based index of the record the last Read
+	// attempted, or -1 before the first call.
+	Index() int
+	// LastFrame exposes the raw bytes of the frame the last Read
+	// consumed, for quarantine ledger sampling. The slice aliases the
+	// reader's scratch buffer and is only valid until the next Read.
+	LastFrame() []byte
 }
 
 // RIBWriter streams RIB entries in the MRT-style framing.

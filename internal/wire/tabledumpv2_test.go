@@ -1,0 +1,673 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"breval/internal/asgraph"
+	"breval/internal/asn"
+	"breval/internal/bgp"
+	"breval/internal/communities"
+)
+
+// --- fixture helpers -------------------------------------------------
+
+// mrtRec frames one MRT record: common header + body.
+func mrtRec(typ, sub uint16, body []byte) []byte {
+	rec := make([]byte, 12, 12+len(body))
+	binary.BigEndian.PutUint32(rec[0:4], 42)
+	binary.BigEndian.PutUint16(rec[4:6], typ)
+	binary.BigEndian.PutUint16(rec[6:8], sub)
+	binary.BigEndian.PutUint32(rec[8:12], uint32(len(body)))
+	return append(rec, body...)
+}
+
+// peerTableBody builds a PEER_INDEX_TABLE body with 4-byte-AS IPv4
+// peers, one slot per given AS.
+func peerTableBody(peers ...uint32) []byte {
+	body := binary.BigEndian.AppendUint32(nil, 0x0a000001)
+	body = binary.BigEndian.AppendUint16(body, 4)
+	body = append(body, "view"...)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(peers)))
+	for i, a := range peers {
+		body = append(body, 0x02)
+		body = binary.BigEndian.AppendUint32(body, uint32(i+1))
+		body = binary.BigEndian.AppendUint32(body, uint32(i+1))
+		body = binary.BigEndian.AppendUint32(body, a)
+	}
+	return body
+}
+
+// seq4 encodes one AS_SEQUENCE segment of 4-byte ASNs.
+func seq4(hops ...uint32) []byte {
+	b := []byte{segSequence, byte(len(hops))}
+	for _, h := range hops {
+		b = binary.BigEndian.AppendUint32(b, h)
+	}
+	return b
+}
+
+// seq2 encodes one AS_SEQUENCE segment of 2-byte ASNs.
+func seq2(hops ...uint16) []byte {
+	b := []byte{segSequence, byte(len(hops))}
+	for _, h := range hops {
+		b = binary.BigEndian.AppendUint16(b, h)
+	}
+	return b
+}
+
+// ribEntry builds one RIB entry: peer index, originated time, optional
+// path ID, and an attribute block.
+func ribEntry(peerIdx uint16, pathID []byte, attrs []byte) []byte {
+	b := binary.BigEndian.AppendUint16(nil, peerIdx)
+	b = binary.BigEndian.AppendUint32(b, 42)
+	b = append(b, pathID...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(attrs)))
+	return append(b, attrs...)
+}
+
+// ribBody builds a RIB record body: sequence, prefix, entry count,
+// entries.
+func ribBody(bits uint8, prefix []byte, entries ...[]byte) []byte {
+	body := binary.BigEndian.AppendUint32(nil, 7)
+	body = append(body, bits)
+	body = append(body, prefix...)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(entries)))
+	for _, e := range entries {
+		body = append(body, e...)
+	}
+	return body
+}
+
+// pathAttrs builds a minimal valid attribute block: ORIGIN + AS_PATH.
+func pathAttrs(asPath []byte) []byte {
+	ab := appendAttr(nil, flagTransitive, attrOrigin, []byte{0})
+	return appendAttr(ab, flagTransitive, attrASPath, asPath)
+}
+
+// drain reads entries until the stream ends, splitting outcomes into
+// admitted entries, in-sync bad records, and the terminal error.
+func drain(t *testing.T, tr *TableDumpReader) (entries []RIBEntry, bad []error, terminal error) {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		e, err := tr.Read()
+		switch {
+		case err == nil:
+			entries = append(entries, e)
+		case errors.Is(err, io.EOF):
+			return entries, bad, io.EOF
+		default:
+			var bre *BadRecordError
+			if errors.As(err, &bre) {
+				bad = append(bad, err)
+				continue
+			}
+			return entries, bad, err
+		}
+	}
+	t.Fatal("reader did not terminate within 10000 reads")
+	return nil, nil, nil
+}
+
+// --- round trips -----------------------------------------------------
+
+func TestTableDumpV2RoundTrip(t *testing.T) {
+	ps := bgp.NewPathSet(3, 16)
+	ps.Append(asgraph.Path{100, 10, 1})
+	ps.Append(asgraph.Path{200, 20, 2, 90000000})
+	ps.Append(asgraph.Path{100, 30, 3})
+
+	var buf bytes.Buffer
+	if err := WriteTableDumpV2(&buf, ps, 42); err != nil {
+		t.Fatalf("WriteTableDumpV2: %v", err)
+	}
+	tr := NewTableDumpReader(bytes.NewReader(buf.Bytes()))
+	entries, bad, term := drain(t, tr)
+	if term != io.EOF || len(bad) != 0 {
+		t.Fatalf("terminal = %v, bad = %v", term, bad)
+	}
+	if len(entries) != ps.Len() {
+		t.Fatalf("decoded %d entries, want %d", len(entries), ps.Len())
+	}
+	for i, e := range entries {
+		want := ps.At(i)
+		if e.Path.String() != want.String() {
+			t.Errorf("entry %d path = %v, want %v", i, e.Path, want)
+		}
+		if e.Prefix != PrefixForAS(want.Origin()) {
+			t.Errorf("entry %d prefix = %v, want %v", i, e.Prefix, PrefixForAS(want.Origin()))
+		}
+		if len(e.LargeCommunities) != 1 ||
+			e.LargeCommunities[0] != (LargeCommunity{Global: want[0], Data1: 1, Data2: uint32(want.Origin())}) {
+			t.Errorf("entry %d large communities = %v", i, e.LargeCommunities)
+		}
+		if want[0].Is16Bit() && (len(e.Communities) != 1 ||
+			e.Communities[0] != (communities.Community{ASN: want[0], Value: 100})) {
+			t.Errorf("entry %d communities = %v", i, e.Communities)
+		}
+	}
+}
+
+func TestTableDumpV2IPv6RoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewTableDumpWriter(&buf, 42, []asn.ASN{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Prefix{Bits: 48, V6: true}
+	p.Addr[0], p.Addr[1], p.Addr[5] = 0x20, 0x01, 0xab
+	if err := tw.Write(RIBEntry{Prefix: p, Path: asgraph.Path{100, 10, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTableDumpReader(bytes.NewReader(buf.Bytes()))
+	entries, bad, term := drain(t, tr)
+	if term != io.EOF || len(bad) != 0 || len(entries) != 1 {
+		t.Fatalf("entries=%d bad=%v term=%v", len(entries), bad, term)
+	}
+	if entries[0].Prefix != p {
+		t.Errorf("prefix = %v, want %v", entries[0].Prefix, p)
+	}
+	if !entries[0].Prefix.V6 {
+		t.Error("V6 flag lost")
+	}
+}
+
+func TestTableDumpV2MultiEntryRecord(t *testing.T) {
+	// The writer emits single-entry records; real collectors pack many
+	// entries per prefix. Hand-build a 3-entry record.
+	e0 := ribEntry(0, nil, pathAttrs(seq4(100, 10, 1)))
+	e1 := ribEntry(1, nil, pathAttrs(seq4(200, 10, 1)))
+	e2 := ribEntry(2, nil, pathAttrs(seq4(300, 20, 1)))
+	dump := mrtRec(mrtType, subPeerIndexTable, peerTableBody(100, 200, 300))
+	dump = append(dump, mrtRec(mrtType, subRIBIPv4Unicast, ribBody(24, []byte{10, 0, 0}, e0, e1, e2))...)
+
+	tr := NewTableDumpReader(bytes.NewReader(dump))
+	entries, bad, term := drain(t, tr)
+	if term != io.EOF || len(bad) != 0 {
+		t.Fatalf("terminal = %v, bad = %v", term, bad)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("decoded %d entries, want 3", len(entries))
+	}
+	for i, want := range []string{"100 10 1", "200 10 1", "300 20 1"} {
+		if got := entries[i].Path.String(); got != want {
+			t.Errorf("entry %d path = %q, want %q", i, got, want)
+		}
+		if entries[i].Prefix.Bits != 24 || entries[i].Prefix.Addr[0] != 10 {
+			t.Errorf("entry %d prefix = %v", i, entries[i].Prefix)
+		}
+	}
+	// All three entries share one MRT frame but have distinct indices.
+	if tr.Index() != 2 {
+		t.Errorf("Index() = %d, want 2", tr.Index())
+	}
+}
+
+func TestTableDumpV2AddPath(t *testing.T) {
+	pathID := binary.BigEndian.AppendUint32(nil, 0xdeadbeef)
+	e := ribEntry(0, pathID, pathAttrs(seq4(100, 1)))
+	dump := mrtRec(mrtType, subPeerIndexTable, peerTableBody(100))
+	dump = append(dump, mrtRec(mrtType, subRIBIPv4UnicastAddPath, ribBody(8, []byte{10}, e))...)
+
+	tr := NewTableDumpReader(bytes.NewReader(dump))
+	entries, bad, term := drain(t, tr)
+	if term != io.EOF || len(bad) != 0 || len(entries) != 1 {
+		t.Fatalf("entries=%d bad=%v term=%v", len(entries), bad, term)
+	}
+	if entries[0].PathID != 0xdeadbeef {
+		t.Errorf("PathID = %#x, want 0xdeadbeef", entries[0].PathID)
+	}
+	if entries[0].Path.String() != "100 1" {
+		t.Errorf("path = %v", entries[0].Path)
+	}
+}
+
+// --- AS_PATH decoding ------------------------------------------------
+
+func TestTableDumpV2ASPathSemantics(t *testing.T) {
+	cases := []struct {
+		name     string
+		asPath   []byte
+		as4Path  []byte
+		wantPath string
+		wantSets int
+	}{
+		{
+			name:     "prepends collapse",
+			asPath:   seq4(100, 100, 100, 10, 1, 1),
+			wantPath: "100 10 1",
+		},
+		{
+			name:     "single-member AS_SET is a hop",
+			asPath:   append(seq4(100, 10), segSet, 1, 0, 0, 0, 7),
+			wantPath: "100 10 7",
+		},
+		{
+			name: "multi-member AS_SET only counted",
+			asPath: append(seq4(100, 10),
+				segSet, 2, 0, 0, 0, 7, 0, 0, 0, 8),
+			wantPath: "100 10",
+			wantSets: 1,
+		},
+		{
+			name: "confederation segments skipped",
+			asPath: append(append([]byte{segConfedSequence, 1, 0, 0, 0, 9},
+				seq4(100, 10, 1)...), segConfedSet, 1, 0, 0, 0, 9),
+			wantPath: "100 10 1",
+		},
+		{
+			name:     "2-byte AS_PATH with AS_TRANS, AS4_PATH splices the tail",
+			asPath:   seq2(100, 200, 23456),
+			as4Path:  seq4(200, 90000000),
+			wantPath: "100 200 90000000",
+		},
+		{
+			name:     "AS4_PATH longer than AS_PATH is ignored",
+			asPath:   seq2(100, 23456),
+			as4Path:  seq4(100, 200, 90000000),
+			wantPath: "100 23456",
+		},
+		{
+			name:     "AS4_PATH ignored when AS_PATH already 4-byte",
+			asPath:   seq4(100, 200, 300),
+			as4Path:  seq4(999, 998),
+			wantPath: "100 200 300",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			attrs := appendAttr(nil, flagTransitive, attrOrigin, []byte{0})
+			attrs = appendAttr(attrs, flagTransitive, attrASPath, tc.asPath)
+			if tc.as4Path != nil {
+				attrs = appendAttr(attrs, flagOptional|flagTransitive, attrAS4Path, tc.as4Path)
+			}
+			var e RIBEntry
+			if err := parseRIBAttrs(attrs, &e); err != nil {
+				t.Fatalf("parseRIBAttrs: %v", err)
+			}
+			if got := e.Path.String(); got != tc.wantPath {
+				t.Errorf("path = %q, want %q", got, tc.wantPath)
+			}
+			if e.ASSets != tc.wantSets {
+				t.Errorf("ASSets = %d, want %d", e.ASSets, tc.wantSets)
+			}
+		})
+	}
+}
+
+func TestTableDumpV2ASPathErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"no AS_PATH":            appendAttr(nil, flagTransitive, attrOrigin, []byte{0}),
+		"segment header short":  pathAttrs([]byte{segSequence}),
+		"segment members short": pathAttrs([]byte{segSequence, 3, 0, 0, 0, 1}),
+		"bad segment type":      pathAttrs([]byte{9, 1, 0, 0, 0, 1}),
+		"TLV overruns block":    {flagTransitive, attrASPath, 200, 0},
+		"TLV header short":      {flagTransitive},
+		"ext-len header short":  {flagTransitive | flagExtLen, attrASPath, 0},
+		"bad classic communities": append(pathAttrs(seq4(1, 2)),
+			appendAttr(nil, flagOptional|flagTransitive, attrCommunities, []byte{1, 2, 3})...),
+		"bad large communities": append(pathAttrs(seq4(1, 2)),
+			appendAttr(nil, flagOptional|flagTransitive, attrLargeCommunities, make([]byte, 13))...),
+	}
+	for name, attrs := range cases {
+		var e RIBEntry
+		err := parseRIBAttrs(attrs, &e)
+		if !errors.Is(err, ErrBadAttribute) {
+			t.Errorf("%s: err = %v, want ErrBadAttribute", name, err)
+		}
+	}
+}
+
+// --- damage classification -------------------------------------------
+
+// validDump builds peer table + two single-entry RIB records and
+// returns the serialized dump plus the offset of the second RIB record.
+func validDump() (dump []byte, secondRec int) {
+	dump = mrtRec(mrtType, subPeerIndexTable, peerTableBody(100, 200))
+	dump = append(dump, mrtRec(mrtType, subRIBIPv4Unicast,
+		ribBody(24, []byte{10, 0, 0}, ribEntry(0, nil, pathAttrs(seq4(100, 10, 1)))))...)
+	secondRec = len(dump)
+	dump = append(dump, mrtRec(mrtType, subRIBIPv4Unicast,
+		ribBody(24, []byte{10, 0, 1}, ribEntry(1, nil, pathAttrs(seq4(200, 20, 2)))))...)
+	return dump, secondRec
+}
+
+func TestTableDumpV2BadAttributeFlagsInSync(t *testing.T) {
+	dump, _ := validDump()
+	// Flip the extended-length bit on the first RIB record's ORIGIN
+	// attribute: the TLV walk misreads lengths and the entry dies, but
+	// the record framing is intact so the second record still decodes.
+	firstRIB := len(mrtRec(mrtType, subPeerIndexTable, peerTableBody(100, 200)))
+	// Body layout: seq(4) pl(1) prefix(3) count(2) peer(2) time(4) alen(2) attrs.
+	attrOff := firstRIB + 12 + 4 + 1 + 3 + 2 + 2 + 4 + 2
+	bad := append([]byte(nil), dump...)
+	bad[attrOff] ^= flagExtLen
+
+	tr := NewTableDumpReader(bytes.NewReader(bad))
+	entries, bads, term := drain(t, tr)
+	if term != io.EOF {
+		t.Fatalf("terminal = %v, want EOF", term)
+	}
+	if len(bads) != 1 || !errors.Is(bads[0], ErrBadAttribute) {
+		t.Fatalf("bad records = %v, want one ErrBadAttribute", bads)
+	}
+	if len(entries) != 1 || entries[0].Path.String() != "200 20 2" {
+		t.Fatalf("surviving entries = %v, want the second record's", entries)
+	}
+}
+
+func TestTableDumpV2BadPeerReferenceInSync(t *testing.T) {
+	dump := mrtRec(mrtType, subPeerIndexTable, peerTableBody(100))
+	dump = append(dump, mrtRec(mrtType, subRIBIPv4Unicast, ribBody(8, []byte{10},
+		ribEntry(7, nil, pathAttrs(seq4(100, 1))), // slot 7 of a 1-peer table
+		ribEntry(0, nil, pathAttrs(seq4(100, 2)))))...)
+
+	tr := NewTableDumpReader(bytes.NewReader(dump))
+	entries, bads, term := drain(t, tr)
+	if term != io.EOF {
+		t.Fatalf("terminal = %v, want EOF", term)
+	}
+	if len(bads) != 1 || !errors.Is(bads[0], ErrBadPeerIndex) {
+		t.Fatalf("bad records = %v, want one ErrBadPeerIndex", bads)
+	}
+	if len(entries) != 1 || entries[0].Path.String() != "100 2" {
+		t.Fatalf("surviving entries = %v", entries)
+	}
+}
+
+func TestTableDumpV2CorruptPeerTableDesyncs(t *testing.T) {
+	body := peerTableBody(100, 200)
+	body[4+2+4] = 9 // declared peer count 9, body holds 2
+	dump := mrtRec(mrtType, subPeerIndexTable, body)
+	dump = append(dump, mrtRec(mrtType, subRIBIPv4Unicast,
+		ribBody(8, []byte{10}, ribEntry(0, nil, pathAttrs(seq4(100, 1)))))...)
+
+	tr := NewTableDumpReader(bytes.NewReader(dump))
+	entries, bads, term := drain(t, tr)
+	if !errors.Is(term, ErrBadPeerIndex) {
+		t.Fatalf("terminal = %v, want ErrBadPeerIndex desync", term)
+	}
+	var bre *BadRecordError
+	if errors.As(term, &bre) {
+		t.Fatal("corrupt peer table classified as skippable")
+	}
+	if len(entries) != 0 || len(bads) != 0 {
+		t.Fatalf("entries=%v bads=%v after desync", entries, bads)
+	}
+}
+
+func TestTableDumpV2RIBBeforeTableDesyncs(t *testing.T) {
+	dump := mrtRec(mrtType, subRIBIPv4Unicast,
+		ribBody(8, []byte{10}, ribEntry(0, nil, pathAttrs(seq4(100, 1)))))
+	tr := NewTableDumpReader(bytes.NewReader(dump))
+	_, _, term := drain(t, tr)
+	if !errors.Is(term, ErrBadPeerIndex) {
+		t.Fatalf("terminal = %v, want ErrBadPeerIndex", term)
+	}
+}
+
+func TestTableDumpV2UnsupportedSubtypesInSync(t *testing.T) {
+	dump := mrtRec(mrtType, subPeerIndexTable, peerTableBody(100))
+	dump = append(dump, mrtRec(mrtType, subRIBIPv4Multicast, []byte{1, 2, 3})...)
+	dump = append(dump, mrtRec(mrtType, subRIBGeneric, []byte{})...)
+	dump = append(dump, mrtRec(16, 4, []byte{9, 9})...) // BGP4MP
+	dump = append(dump, mrtRec(mrtType, subRIBIPv4Unicast,
+		ribBody(8, []byte{10}, ribEntry(0, nil, pathAttrs(seq4(100, 1)))))...)
+
+	tr := NewTableDumpReader(bytes.NewReader(dump))
+	entries, bads, term := drain(t, tr)
+	if term != io.EOF {
+		t.Fatalf("terminal = %v, want EOF", term)
+	}
+	if len(bads) != 3 {
+		t.Fatalf("bad records = %d, want 3", len(bads))
+	}
+	for i, b := range bads {
+		if !errors.Is(b, ErrUnsupportedSubtype) {
+			t.Errorf("bad %d = %v, want ErrUnsupportedSubtype", i, b)
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %v", entries)
+	}
+}
+
+func TestTableDumpV2OversizeDesyncs(t *testing.T) {
+	hdr := mrtRec(mrtType, subRIBIPv4Unicast, nil)[:12]
+	binary.BigEndian.PutUint32(hdr[8:12], maxTableDumpBody+1)
+	tr := NewTableDumpReader(bytes.NewReader(hdr))
+	_, _, term := drain(t, tr)
+	if !errors.Is(term, ErrOversize) {
+		t.Fatalf("terminal = %v, want ErrOversize", term)
+	}
+}
+
+func TestTableDumpV2TrailingBytesAfterEntries(t *testing.T) {
+	body := ribBody(8, []byte{10}, ribEntry(0, nil, pathAttrs(seq4(100, 1))))
+	body = append(body, 0xfe, 0xfd) // junk the entry count does not cover
+	dump := mrtRec(mrtType, subPeerIndexTable, peerTableBody(100))
+	dump = append(dump, mrtRec(mrtType, subRIBIPv4Unicast, body)...)
+	dump = append(dump, mrtRec(mrtType, subRIBIPv4Unicast,
+		ribBody(8, []byte{11}, ribEntry(0, nil, pathAttrs(seq4(100, 2)))))...)
+
+	tr := NewTableDumpReader(bytes.NewReader(dump))
+	entries, bads, term := drain(t, tr)
+	if term != io.EOF {
+		t.Fatalf("terminal = %v", term)
+	}
+	if len(bads) != 1 || !errors.Is(bads[0], ErrBadAttribute) {
+		t.Fatalf("bad records = %v, want one trailing-bytes ErrBadAttribute", bads)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (both real entries survive)", len(entries))
+	}
+}
+
+func TestTableDumpV2ZeroEntryRecord(t *testing.T) {
+	dump := mrtRec(mrtType, subPeerIndexTable, peerTableBody(100))
+	dump = append(dump, mrtRec(mrtType, subRIBIPv4Unicast, ribBody(8, []byte{10}))...)
+	dump = append(dump, mrtRec(mrtType, subRIBIPv4Unicast,
+		ribBody(8, []byte{11}, ribEntry(0, nil, pathAttrs(seq4(100, 1)))))...)
+	tr := NewTableDumpReader(bytes.NewReader(dump))
+	entries, bads, term := drain(t, tr)
+	if term != io.EOF || len(bads) != 0 || len(entries) != 1 {
+		t.Fatalf("entries=%d bads=%v term=%v", len(entries), bads, term)
+	}
+}
+
+func TestTableDumpV2BadPrefixLength(t *testing.T) {
+	// /40 in an IPv4 record: in-sync bad attribute, file continues.
+	dump := mrtRec(mrtType, subPeerIndexTable, peerTableBody(100))
+	dump = append(dump, mrtRec(mrtType, subRIBIPv4Unicast,
+		ribBody(40, []byte{1, 2, 3, 4, 5}, ribEntry(0, nil, pathAttrs(seq4(100, 1)))))...)
+	dump = append(dump, mrtRec(mrtType, subRIBIPv4Unicast,
+		ribBody(8, []byte{10}, ribEntry(0, nil, pathAttrs(seq4(100, 2)))))...)
+	tr := NewTableDumpReader(bytes.NewReader(dump))
+	entries, bads, term := drain(t, tr)
+	if term != io.EOF || len(bads) != 1 || !errors.Is(bads[0], ErrBadAttribute) {
+		t.Fatalf("entries=%d bads=%v term=%v", len(entries), bads, term)
+	}
+	if len(entries) != 1 || entries[0].Path.String() != "100 2" {
+		t.Fatalf("surviving entries = %v", entries)
+	}
+}
+
+// TestTableDumpV2TruncationSweep cuts a valid dump at every byte
+// offset. The reader must terminate without panicking; a cut on a
+// record boundary is a clean EOF, anywhere else a desynchronizing
+// ErrTruncated.
+func TestTableDumpV2TruncationSweep(t *testing.T) {
+	dump, _ := validDump()
+	boundaries := map[int]bool{0: true, len(dump): true}
+	for off := 0; off+12 <= len(dump); {
+		blen := int(binary.BigEndian.Uint32(dump[off+8 : off+12]))
+		off += 12 + blen
+		boundaries[off] = true
+	}
+	for n := 0; n <= len(dump); n++ {
+		tr := NewTableDumpReader(bytes.NewReader(dump[:n]))
+		_, _, term := drain(t, tr)
+		if boundaries[n] {
+			if term != io.EOF {
+				t.Fatalf("cut at boundary %d: terminal = %v, want EOF", n, term)
+			}
+		} else if !errors.Is(term, ErrTruncated) {
+			t.Fatalf("cut at %d: terminal = %v, want ErrTruncated", n, term)
+		}
+	}
+}
+
+// --- format detection ------------------------------------------------
+
+func TestDetectFormat(t *testing.T) {
+	internal := func() []byte {
+		ps := bgp.NewPathSet(1, 4)
+		ps.Append(asgraph.Path{100, 10, 1})
+		var buf bytes.Buffer
+		if err := WriteRIB(&buf, ps, 42); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	v2 := func() []byte {
+		ps := bgp.NewPathSet(1, 4)
+		ps.Append(asgraph.Path{100, 10, 1})
+		var buf bytes.Buffer
+		if err := WriteTableDumpV2(&buf, ps, 42); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	v2NoTable, _ := validDump() // leads with a peer table too
+	_ = v2NoTable
+
+	cases := []struct {
+		name string
+		peek []byte
+		want Format
+	}{
+		{"internal dump", internal, FormatInternal},
+		{"v2 dump (peer table first)", v2, FormatTableDumpV2},
+		{"empty", nil, FormatInternal},
+		{"short", []byte{1, 2, 3}, FormatInternal},
+		{"garbage type", mrtRec(999, 2, []byte{1, 2, 3}), FormatInternal},
+		{"BGP4MP leads", mrtRec(16, 4, []byte{1}), FormatTableDumpV2},
+		{"TABLE_DUMP v1 leads", mrtRec(12, 1, []byte{1}), FormatTableDumpV2},
+		{"v6 unicast leads", mrtRec(mrtType, subRIBIPv6Unicast, []byte{1}), FormatTableDumpV2},
+		{"addpath leads", mrtRec(mrtType, subRIBIPv4UnicastAddPath, []byte{1}), FormatTableDumpV2},
+		{"rfc rib body, no table", func() []byte {
+			d, _ := validDump()
+			return d[len(mrtRec(mrtType, subPeerIndexTable, peerTableBody(100, 200))):]
+		}(), FormatTableDumpV2},
+	}
+	for _, tc := range cases {
+		got, err := DetectFormat(tc.peek)
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: format = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestDetectFormatAmbiguous constructs the one overlapping code point:
+// a type-13/subtype-2 record whose 37-byte body walks as both an
+// internal RIB body (bits=24, 8 hops) and an RFC 6396 RIB_IPV4_UNICAST
+// body (pl=8, 1 entry, attrLen=21).
+func TestDetectFormatAmbiguous(t *testing.T) {
+	body := make([]byte, 37)
+	body[0] = 24  // internal: prefix bits (3 prefix bytes follow)
+	body[4] = 8   // internal: hop count / rfc: prefix length
+	body[7] = 1   // rfc: entry count (low byte)
+	body[15] = 21 // rfc: attribute length (low byte)
+	if !internalBodyShape(body) {
+		t.Fatal("crafted body does not walk as internal framing")
+	}
+	if !ribV4BodyShape(body) {
+		t.Fatal("crafted body does not walk as an RFC RIB body")
+	}
+	_, err := DetectFormat(mrtRec(mrtType, subRIBIPv4Unicast, body))
+	if !errors.Is(err, ErrAmbiguousFormat) {
+		t.Fatalf("err = %v, want ErrAmbiguousFormat", err)
+	}
+}
+
+func TestNewAutoReader(t *testing.T) {
+	ps := bgp.NewPathSet(2, 8)
+	ps.Append(asgraph.Path{100, 10, 1})
+	ps.Append(asgraph.Path{200, 20, 2})
+
+	var ibuf, vbuf bytes.Buffer
+	if err := WriteRIB(&ibuf, ps, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTableDumpV2(&vbuf, ps, 42); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		data []byte
+		want Format
+	}{
+		{"internal", ibuf.Bytes(), FormatInternal},
+		{"tabledumpv2", vbuf.Bytes(), FormatTableDumpV2},
+	} {
+		rr, f, err := NewAutoReader(bytes.NewReader(tc.data))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if f != tc.want {
+			t.Fatalf("%s: format = %v, want %v", tc.name, f, tc.want)
+		}
+		var paths []string
+		for {
+			e, err := rr.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			paths = append(paths, e.Path.String())
+		}
+		if len(paths) != 2 || paths[0] != "100 10 1" || paths[1] != "200 20 2" {
+			t.Fatalf("%s: paths = %v", tc.name, paths)
+		}
+	}
+
+	// An ambiguous leading record surfaces the typed error.
+	body := make([]byte, 37)
+	body[0], body[4], body[7], body[15] = 24, 8, 1, 21
+	_, _, err := NewAutoReader(bytes.NewReader(mrtRec(mrtType, subRIBIPv4Unicast, body)))
+	if !errors.Is(err, ErrAmbiguousFormat) {
+		t.Fatalf("err = %v, want ErrAmbiguousFormat", err)
+	}
+}
+
+func TestTableDumpWriterRejections(t *testing.T) {
+	if _, err := NewTableDumpWriter(io.Discard, 1, []asn.ASN{7, 7}); err == nil {
+		t.Error("duplicate peer accepted")
+	}
+	tw, err := NewTableDumpWriter(io.Discard, 1, []asn.ASN{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Write(RIBEntry{Prefix: PrefixForAS(1)}); err == nil {
+		t.Error("empty path accepted")
+	}
+	if err := tw.Write(RIBEntry{Prefix: PrefixForAS(1), Path: asgraph.Path{999, 1}}); err == nil {
+		t.Error("vantage point outside the peer table accepted")
+	}
+	if err := tw.Write(RIBEntry{Prefix: PrefixForAS(1), Path: asgraph.Path{100, 1},
+		Communities: []communities.Community{{ASN: 90000000, Value: 1}}}); err == nil {
+		t.Error("32-bit ASN accepted in a classic community")
+	}
+}

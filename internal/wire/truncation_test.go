@@ -130,7 +130,7 @@ func TestUnmarshalUpdateEveryPrefixTruncated(t *testing.T) {
 	u := &Update{
 		ASPath:    asgraph.Path{64500, 3356, 174},
 		NLRI:      []Prefix{PrefixForAS(174)},
-		Withdrawn: []Prefix{{Addr: [4]byte{10, 1, 2, 0}, Bits: 24}},
+		Withdrawn: []Prefix{{Addr: [16]byte{10, 1, 2, 0}, Bits: 24}},
 	}
 	b, err := u.Marshal()
 	if err != nil {

@@ -36,13 +36,18 @@ const (
 	attrOrigin           = 1
 	attrASPath           = 2
 	attrNextHop          = 3
+	attrMPReachNLRI      = 14
+	attrAS4Path          = 17
 	attrCommunities      = 8
 	attrLargeCommunities = 32
 )
 
 // AS_PATH segment types.
 const (
-	segSequence = 2
+	segSet            = 1
+	segSequence       = 2
+	segConfedSequence = 3
+	segConfedSet      = 4
 )
 
 // Attribute flag bits.
@@ -52,36 +57,48 @@ const (
 	flagExtLen     = 0x10
 )
 
-// Prefix is an IPv4 NLRI prefix.
+// Prefix is an NLRI prefix. The address array is 16 bytes so one type
+// covers both families; V6 distinguishes an IPv6 prefix from an IPv4
+// one (whose address occupies the first four bytes). The simplified
+// UPDATE codec only ever carries IPv4; TABLE_DUMP_V2 RIB records carry
+// both.
 type Prefix struct {
-	Addr [4]byte
+	Addr [16]byte
 	Bits uint8
+	V6   bool
 }
 
 // String implements fmt.Stringer.
 func (p Prefix) String() string {
+	if p.V6 {
+		return fmt.Sprintf("%s/%d", netipString(p.Addr), p.Bits)
+	}
 	return fmt.Sprintf("%d.%d.%d.%d/%d", p.Addr[0], p.Addr[1], p.Addr[2], p.Addr[3], p.Bits)
+}
+
+// netipString renders a 16-byte address in uncompressed IPv6 colon
+// notation (no stdlib netip dependency for one formatter).
+func netipString(a [16]byte) string {
+	var b []byte
+	for i := 0; i < 16; i += 2 {
+		if i > 0 {
+			b = append(b, ':')
+		}
+		b = fmt.Appendf(b, "%x", uint16(a[i])<<8|uint16(a[i+1]))
+	}
+	return string(b)
 }
 
 // PrefixForAS returns the deterministic synthetic prefix the simulator
 // assigns to an origin AS: one /24 from 10.0.0.0/8, unique for ASNs
 // below 2^16 (the synthetic worlds allocate far less).
 func PrefixForAS(a asn.ASN) Prefix {
-	return Prefix{Addr: [4]byte{10, byte(a >> 8), byte(a), 0}, Bits: 24}
+	return Prefix{Addr: [16]byte{10, byte(a >> 8), byte(a), 0}, Bits: 24}
 }
 
-// LargeCommunity is an RFC 8092 large community: a 4-byte global
-// administrator (the tagging ASN, which may be 32-bit) and two 4-byte
-// local data fields.
-type LargeCommunity struct {
-	Global       asn.ASN
-	Data1, Data2 uint32
-}
-
-// String implements fmt.Stringer.
-func (c LargeCommunity) String() string {
-	return fmt.Sprintf("%d:%d:%d", c.Global, c.Data1, c.Data2)
-}
+// LargeCommunity is an RFC 8092 large community; the canonical type
+// lives beside the extraction model in internal/communities.
+type LargeCommunity = communities.Large
 
 // Update is a simplified BGP UPDATE: announced prefixes with one AS
 // path, classic communities (16-bit admins) and large communities
@@ -137,24 +154,17 @@ func (u *Update) Marshal() ([]byte, error) {
 		writeAttr(&attrs, flagTransitive, attrASPath, pb.Bytes())
 		writeAttr(&attrs, flagTransitive, attrNextHop, []byte{192, 0, 2, 1})
 		if len(u.Communities) > 0 {
-			var cb bytes.Buffer
 			for _, c := range u.Communities {
 				if !c.ASN.Is16Bit() {
 					return nil, fmt.Errorf("wire: community AS %d needs large communities", c.ASN)
 				}
-				binary.Write(&cb, binary.BigEndian, uint16(c.ASN))
-				binary.Write(&cb, binary.BigEndian, c.Value)
 			}
-			writeAttr(&attrs, flagOptional|flagTransitive, attrCommunities, cb.Bytes())
+			writeAttr(&attrs, flagOptional|flagTransitive, attrCommunities,
+				communities.AppendClassic(nil, u.Communities))
 		}
 		if len(u.LargeCommunities) > 0 {
-			var lb bytes.Buffer
-			for _, c := range u.LargeCommunities {
-				binary.Write(&lb, binary.BigEndian, uint32(c.Global))
-				binary.Write(&lb, binary.BigEndian, c.Data1)
-				binary.Write(&lb, binary.BigEndian, c.Data2)
-			}
-			writeAttr(&attrs, flagOptional|flagTransitive, attrLargeCommunities, lb.Bytes())
+			writeAttr(&attrs, flagOptional|flagTransitive, attrLargeCommunities,
+				communities.AppendLarge(nil, u.LargeCommunities))
 		}
 	}
 	if attrs.Len() > 0xffff {
@@ -284,26 +294,17 @@ func UnmarshalUpdate(b []byte) (*Update, int, error) {
 				return nil, 0, err
 			}
 		case attrCommunities:
-			if vlen%4 != 0 {
-				return nil, 0, errors.New("wire: bad communities length")
+			cs, err := communities.DecodeClassic(val)
+			if err != nil {
+				return nil, 0, fmt.Errorf("wire: %w", err)
 			}
-			for i := 0; i < vlen; i += 4 {
-				u.Communities = append(u.Communities, communities.Community{
-					ASN:   asn.ASN(binary.BigEndian.Uint16(val[i : i+2])),
-					Value: binary.BigEndian.Uint16(val[i+2 : i+4]),
-				})
-			}
+			u.Communities = append(u.Communities, cs...)
 		case attrLargeCommunities:
-			if vlen%12 != 0 {
-				return nil, 0, errors.New("wire: bad large-communities length")
+			cs, err := communities.DecodeLarge(val)
+			if err != nil {
+				return nil, 0, fmt.Errorf("wire: %w", err)
 			}
-			for i := 0; i < vlen; i += 12 {
-				u.LargeCommunities = append(u.LargeCommunities, LargeCommunity{
-					Global: asn.ASN(binary.BigEndian.Uint32(val[i : i+4])),
-					Data1:  binary.BigEndian.Uint32(val[i+4 : i+8]),
-					Data2:  binary.BigEndian.Uint32(val[i+8 : i+12]),
-				})
-			}
+			u.LargeCommunities = append(u.LargeCommunities, cs...)
 		}
 	}
 

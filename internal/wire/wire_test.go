@@ -21,8 +21,8 @@ func TestUpdateRoundTrip(t *testing.T) {
 			{ASN: 3356, Value: 666},
 			{ASN: 174, Value: 990},
 		},
-		NLRI:      []Prefix{PrefixForAS(90000000), {Addr: [4]byte{192, 0, 2, 0}, Bits: 25}},
-		Withdrawn: []Prefix{{Addr: [4]byte{198, 51, 100, 0}, Bits: 24}},
+		NLRI:      []Prefix{PrefixForAS(90000000), {Addr: [16]byte{192, 0, 2, 0}, Bits: 25}},
+		Withdrawn: []Prefix{{Addr: [16]byte{198, 51, 100, 0}, Bits: 24}},
 	}
 	b, err := u.Marshal()
 	if err != nil {
@@ -50,7 +50,7 @@ func TestUpdateRoundTrip(t *testing.T) {
 }
 
 func TestUpdateEmptyWithdrawOnly(t *testing.T) {
-	u := &Update{Withdrawn: []Prefix{{Addr: [4]byte{10, 0, 0, 0}, Bits: 8}}}
+	u := &Update{Withdrawn: []Prefix{{Addr: [16]byte{10, 0, 0, 0}, Bits: 8}}}
 	b, err := u.Marshal()
 	if err != nil {
 		t.Fatal(err)
@@ -109,7 +109,7 @@ func TestUpdateRoundTripProperty(t *testing.T) {
 		}
 		for i := 0; i <= rng.Intn(4); i++ {
 			u.NLRI = append(u.NLRI, Prefix{
-				Addr: [4]byte{byte(rng.Intn(224)), byte(rng.Intn(256)), byte(rng.Intn(256)), 0},
+				Addr: [16]byte{byte(rng.Intn(224)), byte(rng.Intn(256)), byte(rng.Intn(256)), 0},
 				Bits: uint8(16 + rng.Intn(9)),
 			})
 		}

@@ -21,6 +21,7 @@ go test -race -timeout 40m ./...
 echo "== fuzz smoke (5s each)"
 go test ./internal/wire -run '^$' -fuzz '^FuzzUnmarshalUpdate$' -fuzztime 5s
 go test ./internal/wire -run '^$' -fuzz '^FuzzRIBReader$' -fuzztime 5s
+go test ./internal/wire -run '^$' -fuzz '^FuzzTableDumpV2$' -fuzztime 5s
 go test ./internal/checkpoint -run '^$' -fuzz '^FuzzDecodeManifest$' -fuzztime 5s
 go test ./internal/ingest -run '^$' -fuzz '^FuzzIngestReader$' -fuzztime 5s
 
@@ -208,6 +209,79 @@ if [ "${CHECK_INGEST:-0}" = "1" ]; then
 		echo "ingest multi smoke: experiment output differs from pruned-complement run" >&2
 		exit 1
 	}
+
+	echo "== ingest TABLE_DUMP_V2 smoke"
+	# Convert the clean dump to real RFC 6396 TABLE_DUMP_V2 framing and
+	# require format-blind parity: the v2 rendition (raw and gzipped,
+	# serial and parallel) must ingest to the same path set bytes as the
+	# internal-framing dump.
+	"$SMOKE/ribflip" -in "$SMOKE/clean.rib" -out "$SMOKE/clean-v2.mrt" -to-v2 2>/dev/null
+	gzip -c "$SMOKE/clean-v2.mrt" >"$SMOKE/clean-v2.mrt.gz"
+	"$SMOKE/breval" -ases 600 -only clean -algos ASRank \
+		-rib-in "$SMOKE/clean.rib" \
+		-rib-out "$SMOKE/int-out.rib" >/dev/null 2>&1
+	for v2in in clean-v2.mrt clean-v2.mrt.gz; do
+		for wrk in 1 3; do
+			"$SMOKE/breval" -ases 600 -only clean -algos ASRank \
+				-rib-in "$SMOKE/$v2in" -ingest-file-workers "$wrk" \
+				-rib-out "$SMOKE/v2-out.rib" >/dev/null 2>&1
+			cmp "$SMOKE/int-out.rib" "$SMOKE/v2-out.rib" || {
+				echo "v2 smoke: $v2in (workers=$wrk) differs from internal-format ingest" >&2
+				exit 1
+			}
+		done
+	done
+
+	# Poison the v2 fixture's attribute flags: over budget the run must
+	# degrade to exit 3; within budget the damaged dump must quarantine
+	# exactly the flipped records under bad-attribute and match the
+	# pruned complement byte for byte.
+	flipv2=$("$SMOKE/ribflip" -in "$SMOKE/clean-v2.mrt" -mode attr-flags \
+		-out "$SMOKE/v2-damaged.mrt" -complement "$SMOKE/v2-pruned.mrt" -every 10 2>&1)
+	vdam=${flipv2##*damaged=}
+	set +e
+	"$SMOKE/breval" -ases 600 -only clean -algos ASRank \
+		-rib-in "$SMOKE/v2-damaged.mrt" >/dev/null 2>&1
+	code=$?
+	set -e
+	if [ "$code" -ne 3 ]; then
+		echo "v2 smoke: over-budget run exited $code, want 3" >&2
+		exit 1
+	fi
+	"$SMOKE/breval" -ases 600 -only clean -algos ASRank \
+		-rib-in "$SMOKE/v2-damaged.mrt" -ingest-max-bad-frac 0.5 \
+		-ingest-quarantine "$SMOKE/v2-quarantine.jsonl" \
+		-rib-out "$SMOKE/v2-damaged-out.rib" 2>/dev/null >"$SMOKE/v2-damaged.txt"
+	"$SMOKE/breval" -ases 600 -only clean -algos ASRank \
+		-rib-in "$SMOKE/v2-pruned.mrt" \
+		-rib-out "$SMOKE/v2-pruned-out.rib" 2>/dev/null >"$SMOKE/v2-pruned.txt"
+	v2lines=$(grep -c '"bad-attribute"' "$SMOKE/v2-quarantine.jsonl")
+	if [ "$v2lines" -ne "$vdam" ]; then
+		echo "v2 smoke: ledger has $v2lines bad-attribute entries, want $vdam" >&2
+		exit 1
+	fi
+	cmp "$SMOKE/v2-damaged-out.rib" "$SMOKE/v2-pruned-out.rib" || {
+		echo "v2 smoke: damaged-within-budget path set differs from pruned complement" >&2
+		exit 1
+	}
+	cmp "$SMOKE/v2-damaged.txt" "$SMOKE/v2-pruned.txt" || {
+		echo "v2 smoke: experiment output differs from pruned-complement run" >&2
+		exit 1
+	}
+
+	# A corrupt peer-index table desynchronizes the whole file: exit 3
+	# even with generous budget headroom.
+	"$SMOKE/ribflip" -in "$SMOKE/clean-v2.mrt" -mode peer-index \
+		-out "$SMOKE/v2-desync.mrt" 2>/dev/null
+	set +e
+	"$SMOKE/breval" -ases 600 -only clean -algos ASRank \
+		-rib-in "$SMOKE/v2-desync.mrt" -ingest-max-bad-frac 0.9 >/dev/null 2>&1
+	code=$?
+	set -e
+	if [ "$code" -ne 3 ]; then
+		echo "v2 smoke: peer-table desync exited $code, want 3" >&2
+		exit 1
+	fi
 fi
 
 if [ "${CHECK_SOAK:-0}" = "1" ]; then
